@@ -1,0 +1,14 @@
+(* Benchmark harness: regenerates every table and figure of the paper from
+   the implementation, then characterizes performance.
+
+     dune exec bench/main.exe              everything
+     dune exec bench/main.exe -- --tables  tables and figures only
+     dune exec bench/main.exe -- --perf    performance benches only
+*)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let tables = args = [] || List.mem "--tables" args in
+  let perf = args = [] || List.mem "--perf" args in
+  if tables then Tables.all ();
+  if perf then Perf.run_and_print ()

@@ -1,0 +1,158 @@
+(** Performance characterization (experiments P1-P5 of EXPERIMENTS.md).
+
+    The paper reports no performance numbers — its evaluation is
+    qualitative — so these benches characterize our implementation of its
+    algorithms across synthetic shrink wrap schemas of growing size:
+
+    - P1 decompose: full concept-schema decomposition
+    - P2 apply: a representative operation applied under full constraint
+      checking and propagation
+    - P3 check: the complete consistency check
+    - P4 parse: ODL text -> schema
+    - P5 custom: custom schema generation + mapping derivation
+    - P6 diff: operation-log inference between two schemas
+    - P7 affinity: semantic affinity between two schemas
+*)
+
+open Bechamel
+open Toolkit
+
+let sizes = [ 10; 25; 50; 100 ]
+
+let schema_of n = Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:n)
+
+let staged_for n =
+  let schema = schema_of n in
+  let text = Odl.Printer.schema_to_string schema in
+  let session = Result.get_ok (Core.Session.create schema) in
+  let op =
+    Core.Modop.Add_attribute ("T0", Odl.Types.D_string, Some 12, "bench_attr")
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "decompose/%d" n)
+      (Staged.stage (fun () -> ignore (Core.Decompose.decompose schema)));
+    Test.make
+      ~name:(Printf.sprintf "apply/%d" n)
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Apply.apply ~original:schema ~kind:Core.Concept.Wagon_wheel
+                schema op)));
+    Test.make
+      ~name:(Printf.sprintf "check/%d" n)
+      (Staged.stage (fun () -> ignore (Odl.Validate.check schema)));
+    Test.make
+      ~name:(Printf.sprintf "parse/%d" n)
+      (Staged.stage (fun () -> ignore (Odl.Parser.parse_schema text)));
+    Test.make
+      ~name:(Printf.sprintf "custom/%d" n)
+      (Staged.stage (fun () ->
+           ignore (Core.Session.custom_schema session);
+           ignore (Core.Session.mapping session)));
+    (let other =
+       Schemas.Synth.generate
+         { (Schemas.Synth.default_params ~n_types:n) with seed = 7 }
+     in
+     Test.make
+       ~name:(Printf.sprintf "diff/%d" n)
+       (Staged.stage (fun () ->
+            ignore (Core.Diff.infer ~original:schema ~target:other))));
+    (let other =
+       Schemas.Synth.generate
+         { (Schemas.Synth.default_params ~n_types:n) with seed = 7 }
+     in
+     Test.make
+       ~name:(Printf.sprintf "affinity/%d" n)
+       (Staged.stage (fun () ->
+            ignore (Core.Affinity.semantic_affinity schema other))));
+  ]
+
+(* Ablations: the cost of the guarantees, measured by running the machinery
+   with a guarantee-providing stage removed. *)
+let ablations_for n =
+  let schema = schema_of n in
+  let op =
+    Core.Modop.Add_attribute ("T0", Odl.Types.D_string, Some 12, "bench_attr")
+  in
+  [
+    (* A1: apply without post-validation and propagation — the marginal cost
+       of the validity-preservation guarantee is apply/N minus this *)
+    Test.make
+      ~name:(Printf.sprintf "ablate-primary-only/%d" n)
+      (Staged.stage (fun () -> ignore (Core.Apply.primary ~original:schema schema op)));
+    (* A2: the propagation fixpoint on an already-closed schema — the
+       steady-state overhead of cascade repair *)
+    Test.make
+      ~name:(Printf.sprintf "ablate-repair-noop/%d" n)
+      (Staged.stage (fun () -> ignore (Core.Propagate.repair schema)));
+    (* A3: wagon wheels only vs the full decomposition *)
+    Test.make
+      ~name:(Printf.sprintf "ablate-wheels-only/%d" n)
+      (Staged.stage (fun () -> ignore (Core.Decompose.wagon_wheels schema)));
+  ]
+
+(* P8: instance migration — a store of [3n] objects migrated through a
+   customization that deletes one type *)
+let migration_bench n =
+  let schema = schema_of n in
+  let store =
+    (* one object per type, keyed, plus links along the instance chain *)
+    List.fold_left
+      (fun st i ->
+        match Objects.Store.new_object st i.Odl.Types.i_name with
+        | Ok (st, oid) -> (
+            match i.Odl.Types.i_attrs with
+            | a :: _ when a.attr_type = Odl.Types.D_int -> (
+                match Objects.Store.set_attr st oid a.attr_name (Objects.Value.V_int oid) with
+                | Ok st -> st
+                | Error _ -> st)
+            | _ -> st)
+        | Error _ -> st)
+      (Objects.Store.create schema) schema.s_interfaces
+  in
+  let custom =
+    match
+      Core.Apply.apply ~original:schema ~kind:Core.Concept.Wagon_wheel schema
+        (Core.Modop.Delete_type_definition "T0")
+    with
+    | Ok (s, _) -> s
+    | Error _ -> schema
+  in
+  Test.make
+    ~name:(Printf.sprintf "migrate/%d" n)
+    (Staged.stage (fun () -> ignore (Objects.Migrate.migrate store ~custom)))
+
+let tests () =
+  Test.make_grouped ~name:"swsd"
+    (List.concat_map staged_for sizes
+    @ List.concat_map ablations_for sizes
+    @ List.map migration_bench sizes)
+
+let run_and_print () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '-')
+    "Performance characterization (ns/run, OLS on monotonic clock)"
+    (String.make 78 '-');
+  Printf.printf "%-32s %16s %14s\n" "benchmark" "ns/run" "us/run";
+  List.iter
+    (fun (name, ns) ->
+      Printf.printf "%-32s %16.0f %14.2f\n" name ns (ns /. 1_000.))
+    rows

@@ -1,0 +1,648 @@
+(** swsd — the shrink wrap schema designer command line.
+
+    A schema argument is either a path to an extended-ODL file or the name
+    of a built-in example schema (university, lumber, emsl, acedb, aatdb,
+    sacchdb). *)
+
+let builtins =
+  [
+    ("university", Schemas.University.v);
+    ("lumber", Schemas.Lumber.v);
+    ("vlsi", Schemas.Vlsi.v);
+    ("commerce", Schemas.Commerce.v);
+    ("emsl", Schemas.Emsl.v);
+    ("acedb", Schemas.Genome.acedb_v);
+    ("aatdb", Schemas.Genome.aatdb_v);
+    ("sacchdb", Schemas.Genome.sacchdb_v);
+  ]
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_schema arg =
+  match List.assoc_opt arg builtins with
+  | Some f -> Ok (f ())
+  | None -> (
+      if not (Sys.file_exists arg) then
+        Error (Printf.sprintf "%s: not a file and not a built-in schema" arg)
+      else
+        try Ok (Odl.Parser.parse_schema (read_file arg)) with
+        | Odl.Parser.Parse_error (m, line, col) ->
+            Error (Printf.sprintf "%s:%d:%d: %s" arg line col m)
+        | Odl.Lexer.Lex_error (m, line, col) ->
+            Error (Printf.sprintf "%s:%d:%d: %s" arg line col m))
+
+let with_schema arg f =
+  match load_schema arg with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok schema -> f schema
+
+let with_session arg f =
+  with_schema arg (fun schema ->
+      match Core.Session.create schema with
+      | Error ds ->
+          prerr_endline "the shrink wrap schema is not valid:";
+          List.iter
+            (fun d ->
+              prerr_endline ("  " ^ Fmt.str "%a" Odl.Validate.pp_diagnostic_line d))
+            ds;
+          1
+      | Ok session -> f session)
+
+let load_log path =
+  try Ok (Repository.Store.log_of_string (read_file path)) with
+  | Repository.Store.Bad_log m -> Error m
+  | Sys_error m -> Error m
+
+let with_replayed arg log_path f =
+  with_schema arg (fun schema ->
+      match load_log log_path with
+      | Error m ->
+          prerr_endline m;
+          1
+      | Ok steps -> (
+          match Core.Session.replay schema steps with
+          | Error e ->
+              prerr_endline (Core.Apply.error_to_string e);
+              1
+          | Ok session -> f session))
+
+(* --- commands ------------------------------------------------------------ *)
+
+let cmd_decompose arg =
+  with_session arg (fun session ->
+      Core.Session.concepts session
+      |> List.iter (fun (c : Core.Concept.t) ->
+             Printf.printf "%-24s %-26s %s\n" c.c_id
+               (Core.Concept.kind_name c.c_kind)
+               (String.concat ", " c.c_members));
+      0)
+
+let cmd_show arg concept_id =
+  with_session arg (fun session ->
+      match Core.Decompose.find (Core.Session.concepts session) concept_id with
+      | None ->
+          prerr_endline ("no concept schema named " ^ concept_id);
+          1
+      | Some c ->
+          print_string (Core.Render.concept (Core.Session.workspace session) c);
+          0)
+
+let cmd_check arg =
+  with_schema arg (fun schema ->
+      let ds = Odl.Validate.check schema in
+      if ds = [] then begin
+        print_endline "no findings";
+        0
+      end
+      else begin
+        List.iter
+          (fun d -> print_endline (Fmt.str "%a" Odl.Validate.pp_diagnostic_line d))
+          ds;
+        if Odl.Validate.errors schema = [] then 0 else 1
+      end)
+
+let cmd_custom arg log_path =
+  with_replayed arg log_path (fun session ->
+      print_string (Odl.Printer.schema_to_string (Core.Session.custom_schema session));
+      0)
+
+let cmd_report arg log_path =
+  with_replayed arg log_path (fun session ->
+      print_endline (Core.Session.deliverables session);
+      0)
+
+let cmd_repl arg save_dir =
+  with_session arg (fun session ->
+      let rec loop state =
+        if state.Designer.Engine.finished then 0
+        else begin
+          print_string "swsd> ";
+          match In_channel.input_line stdin with
+          | None -> 0
+          | Some line ->
+              if String.trim line = "" then loop state
+              else begin
+                let state, feedback = Designer.Engine.exec_line state line in
+                List.iter
+                  (fun f -> print_endline (Designer.Feedback.to_string f))
+                  feedback;
+                loop state
+              end
+        end
+      in
+      let state = Designer.Engine.start session in
+      print_endline "shrink wrap schema designer; 'help' lists commands";
+      let code = loop state in
+      (match save_dir with
+      | Some dir ->
+          Repository.Store.save_session (Repository.Store.open_dir dir) session
+      | None -> ());
+      code)
+
+let cmd_diff arg_a arg_b =
+  with_schema arg_a (fun a ->
+      with_schema arg_b (fun b ->
+          let steps, _reached, converged = Core.Diff.infer ~original:a ~target:b in
+          print_endline (Repository.Store.log_to_string steps);
+          if not converged then begin
+            prerr_endline
+              "// warning: the inferred log does not fully converge on the target";
+            1
+          end
+          else 0))
+
+let cmd_explain arg concept_id =
+  with_session arg (fun session ->
+      match Core.Decompose.find (Core.Session.concepts session) concept_id with
+      | None ->
+          prerr_endline ("no concept schema named " ^ concept_id);
+          1
+      | Some c ->
+          print_endline
+            (Core.Explain.concept_text (Core.Session.workspace session) c);
+          0)
+
+let cmd_affinity arg_a arg_b =
+  with_schema arg_a (fun a ->
+      with_schema arg_b (fun b ->
+          Printf.printf "semantic affinity: %.3f\n"
+            (Core.Affinity.semantic_affinity a b);
+          Printf.printf "type overlap: %.3f (%d shared object types)\n"
+            (Core.Affinity.type_overlap a b)
+            (List.length (Core.Affinity.shared_types a b));
+          print_endline "shared types by structural similarity:";
+          List.iter
+            (fun (n, sim) -> Printf.printf "  %-24s %.3f\n" n sim)
+            (Core.Affinity.shared_type_detail a b);
+          0))
+
+let cmd_library dir sketch =
+  let lib, failures = Repository.Library.load dir in
+  List.iter
+    (fun (path, reason) ->
+      Printf.eprintf "warning: skipped %s (%s)\n" path reason)
+    failures;
+  (match sketch with
+  | None -> print_endline (Repository.Library.catalog lib)
+  | Some sketch_arg -> (
+      match load_schema sketch_arg with
+      | Error m ->
+          prerr_endline m;
+          exit 1
+      | Ok sketch ->
+          print_endline "best shrink wrap schemas for the sketch:";
+          Repository.Library.search lib ~sketch
+          |> List.iter (fun (e, a) ->
+                 Printf.printf "  %-20s affinity %.3f (%s)\n"
+                   e.Repository.Library.e_schema.Odl.Types.s_name a e.e_path)));
+  0
+
+let cmd_graph arg concept =
+  match concept with
+  | None -> with_schema arg (fun schema ->
+      print_string (Core.Dot.schema_graph schema);
+      0)
+  | Some concept_id ->
+      with_session arg (fun session ->
+          match
+            Core.Decompose.find (Core.Session.concepts session) concept_id
+          with
+          | None ->
+              prerr_endline ("no concept schema named " ^ concept_id);
+              1
+          | Some c ->
+              print_string
+                (Core.Dot.concept_graph (Core.Session.workspace session) c);
+              0)
+
+let cmd_data_check arg data_path =
+  with_schema arg (fun schema ->
+      match Objects.Serial.of_string schema (read_file data_path) with
+      | exception Objects.Serial.Bad_store m ->
+          prerr_endline m;
+          1
+      | store -> (
+          match Objects.Check.check store with
+          | [] ->
+              Printf.printf "%d object(s), consistent\n" (Objects.Store.count store);
+              0
+          | ps ->
+              List.iter (fun p -> print_endline (Objects.Check.to_string p)) ps;
+              1))
+
+let cmd_migrate_data arg log_path data_path =
+  with_replayed arg log_path (fun session ->
+      let original = Core.Session.original session in
+      let custom = Core.Session.custom_schema session in
+      match Objects.Serial.of_string original (read_file data_path) with
+      | exception Objects.Serial.Bad_store m ->
+          prerr_endline m;
+          1
+      | store ->
+          let migrated, report = Objects.Migrate.migrate store ~custom in
+          List.iter
+            (fun d -> Printf.eprintf "dropped: %s\n" (Objects.Migrate.to_string d))
+            report;
+          List.iter
+            (fun p ->
+              Printf.eprintf "needs completion: %s\n" (Objects.Check.to_string p))
+            (Objects.Migrate.residual_problems migrated);
+          print_endline (Objects.Serial.to_string migrated);
+          0)
+
+let cmd_query arg data_path query_text =
+  with_schema arg (fun schema ->
+      match Objects.Serial.of_string schema (read_file data_path) with
+      | exception Objects.Serial.Bad_store m ->
+          prerr_endline m;
+          1
+      | store -> (
+          match Objects.Query.query store query_text with
+          | exception Objects.Query.Bad_query m ->
+              prerr_endline m;
+              1
+          | [] ->
+              print_endline "no matches";
+              0
+          | objs ->
+              List.iter
+                (fun (o : Objects.Store.obj) ->
+                  Printf.printf "@%d : %s\n" o.o_id o.o_type)
+                objs;
+              0))
+
+let cmd_quality arg =
+  with_schema arg (fun schema ->
+      print_string (Core.Quality.report schema);
+      0)
+
+let cmd_er arg =
+  with_schema arg (fun schema ->
+      print_string (Core.Er.to_string (Core.Er.of_schema schema));
+      0)
+
+let cmd_sql arg =
+  with_schema arg (fun schema ->
+      print_string (Core.Relational.ddl schema);
+      0)
+
+(* --- variants: the multi-variant repository ----------------------------- *)
+
+let with_variant_repo dir f =
+  match Repository.Repo.open_dir dir with
+  | repo -> f repo
+  | exception Repository.Repo.Bad_repo m ->
+      prerr_endline m;
+      1
+  | exception Sys_error m ->
+      prerr_endline m;
+      1
+
+let cmd_variants_init dir schema_arg =
+  with_schema schema_arg (fun schema ->
+      match Repository.Repo.init dir schema with
+      | Ok _ ->
+          Printf.printf "initialized %s for schema %s\n" dir schema.s_name;
+          0
+      | Error m ->
+          prerr_endline m;
+          1)
+
+let cmd_variants_list dir =
+  with_variant_repo dir (fun repo ->
+      print_endline (Repository.Repo.catalog repo);
+      0)
+
+let cmd_variants_new dir name =
+  with_variant_repo dir (fun repo ->
+      match Repository.Repo.create_variant repo name with
+      | Ok _ ->
+          Printf.printf "variant %s created\n" name;
+          0
+      | Error m ->
+          prerr_endline m;
+          1)
+
+let cmd_variants_apply dir name log_path =
+  with_variant_repo dir (fun repo ->
+      match Repository.Repo.open_variant repo name with
+      | Error e ->
+          prerr_endline (Core.Apply.error_to_string e);
+          1
+      | Ok session -> (
+          match load_log log_path with
+          | Error m ->
+              prerr_endline m;
+              1
+          | Ok steps -> (
+              let applied =
+                List.fold_left
+                  (fun acc (kind, op) ->
+                    Result.bind acc (fun s ->
+                        Result.map fst (Core.Session.apply s ~kind op)))
+                  (Ok session) steps
+              in
+              match applied with
+              | Error e ->
+                  prerr_endline (Core.Apply.error_to_string e);
+                  1
+              | Ok session -> (
+                  match Repository.Repo.save_variant repo name session with
+                  | Ok () ->
+                      Printf.printf "%d operation(s) applied to %s\n"
+                        (List.length steps) name;
+                      0
+                  | Error m ->
+                      prerr_endline m;
+                      1))))
+
+let cmd_variants_interop dir a b =
+  with_variant_repo dir (fun repo ->
+      match Repository.Repo.interop_report repo a b with
+      | Ok text ->
+          print_string text;
+          0
+      | Error e ->
+          prerr_endline (Core.Apply.error_to_string e);
+          1)
+
+let cmd_variants_affinity dir =
+  with_variant_repo dir (fun repo ->
+      print_string (Repository.Repo.affinity_matrix repo);
+      0)
+
+let cmd_examples () =
+  List.iter
+    (fun (name, f) -> print_endline (name ^ ": " ^ Core.Render.summary (f ())))
+    builtins;
+  0
+
+(* --- cmdliner wiring ----------------------------------------------------- *)
+
+open Cmdliner
+
+let schema_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"SCHEMA" ~doc:"ODL file or built-in schema name.")
+
+let concept_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CONCEPT" ~doc:"Concept schema id, e.g. ww:Course.")
+
+let log_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"LOG" ~doc:"Operation log file (@ww/@gh/@ah/@ih lines).")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"DIR" ~doc:"Repository directory to save on exit.")
+
+let term_of f = Term.(const (fun x -> Stdlib.exit (f x)) $ schema_arg)
+
+let decompose_cmd =
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"List the concept schemas of a shrink wrap schema")
+    (term_of cmd_decompose)
+
+let show_cmd =
+  Cmd.v
+    (Cmd.info "show" ~doc:"Render one concept schema")
+    Term.(const (fun s c -> Stdlib.exit (cmd_show s c)) $ schema_arg $ concept_arg)
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the consistency checks on a schema")
+    (term_of cmd_check)
+
+let custom_cmd =
+  Cmd.v
+    (Cmd.info "custom" ~doc:"Replay an operation log and print the custom schema")
+    Term.(const (fun s l -> Stdlib.exit (cmd_custom s l)) $ schema_arg $ log_arg)
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report" ~doc:"Replay an operation log and print all deliverables")
+    Term.(const (fun s l -> Stdlib.exit (cmd_report s l)) $ schema_arg $ log_arg)
+
+let repl_cmd =
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive shrink wrap schema designer")
+    Term.(const (fun s d -> Stdlib.exit (cmd_repl s d)) $ schema_arg $ save_arg)
+
+let schema_b_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"TARGET" ~doc:"Target schema (ODL file or built-in name).")
+
+let sketch_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sketch" ] ~docv:"SCHEMA"
+        ~doc:"Application sketch to rank the library against.")
+
+let library_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Directory of .odl schema files.")
+
+let affinity_cmd =
+  Cmd.v
+    (Cmd.info "affinity" ~doc:"Measure the semantic affinity of two schemas")
+    Term.(
+      const (fun a b -> Stdlib.exit (cmd_affinity a b)) $ schema_arg $ schema_b_arg)
+
+let library_cmd =
+  Cmd.v
+    (Cmd.info "library"
+       ~doc:"Browse a schema library, or rank it against an application sketch")
+    Term.(
+      const (fun d s -> Stdlib.exit (cmd_library d s)) $ library_dir_arg $ sketch_arg)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Infer the operation log transforming one schema into another")
+    Term.(const (fun a b -> Stdlib.exit (cmd_diff a b)) $ schema_arg $ schema_b_arg)
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Explain a concept schema in prose")
+    Term.(const (fun s c -> Stdlib.exit (cmd_explain s c)) $ schema_arg $ concept_arg)
+
+let optional_concept_arg =
+  Arg.(
+    value
+    & pos 1 (some string) None
+    & info [] ~docv:"CONCEPT" ~doc:"Optional concept schema id.")
+
+let graph_cmd =
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Emit a schema or concept schema as Graphviz DOT")
+    Term.(
+      const (fun s c -> Stdlib.exit (cmd_graph s c))
+      $ schema_arg $ optional_concept_arg)
+
+let repo_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Variant repository directory.")
+
+let variants_cmd =
+  let init =
+    Cmd.v
+      (Cmd.info "init" ~doc:"Initialize a variant repository for a schema")
+      Term.(
+        const (fun d s -> Stdlib.exit (cmd_variants_init d s))
+        $ repo_dir_arg
+        $ Arg.(
+            required
+            & pos 1 (some string) None
+            & info [] ~docv:"SCHEMA" ~doc:"ODL file or built-in name."))
+  in
+  let list =
+    Cmd.v
+      (Cmd.info "list" ~doc:"Catalog the variants")
+      Term.(const (fun d -> Stdlib.exit (cmd_variants_list d)) $ repo_dir_arg)
+  in
+  let new_ =
+    Cmd.v
+      (Cmd.info "new" ~doc:"Create a fresh variant")
+      Term.(
+        const (fun d n -> Stdlib.exit (cmd_variants_new d n))
+        $ repo_dir_arg
+        $ Arg.(
+            required
+            & pos 1 (some string) None
+            & info [] ~docv:"NAME" ~doc:"Variant name."))
+  in
+  let apply =
+    Cmd.v
+      (Cmd.info "apply" ~doc:"Apply an operation log to a variant")
+      Term.(
+        const (fun d n l -> Stdlib.exit (cmd_variants_apply d n l))
+        $ repo_dir_arg
+        $ Arg.(
+            required
+            & pos 1 (some string) None
+            & info [] ~docv:"NAME" ~doc:"Variant name.")
+        $ Arg.(
+            required
+            & pos 2 (some string) None
+            & info [] ~docv:"LOG" ~doc:"Operation log file."))
+  in
+  let interop =
+    Cmd.v
+      (Cmd.info "interop"
+         ~doc:"Interoperation report between two variants (common objects)")
+      Term.(
+        const (fun d a b -> Stdlib.exit (cmd_variants_interop d a b))
+        $ repo_dir_arg
+        $ Arg.(
+            required
+            & pos 1 (some string) None
+            & info [] ~docv:"A" ~doc:"First variant.")
+        $ Arg.(
+            required
+            & pos 2 (some string) None
+            & info [] ~docv:"B" ~doc:"Second variant."))
+  in
+  let affinity =
+    Cmd.v
+      (Cmd.info "affinity" ~doc:"Pairwise affinity matrix of the variants")
+      Term.(const (fun d -> Stdlib.exit (cmd_variants_affinity d)) $ repo_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "variants"
+       ~doc:"Manage a multi-variant repository (one shrink wrap schema, many              derived designs)")
+    [ init; list; new_; apply; interop; affinity ]
+
+let sql_cmd =
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Translate a schema to relational DDL")
+    (term_of cmd_sql)
+
+let er_cmd =
+  Cmd.v
+    (Cmd.info "er" ~doc:"Translate a schema to an entity-relationship model")
+    (term_of cmd_er)
+
+let data_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"DATA" ~doc:"Object store file.")
+
+let data2_arg =
+  Arg.(
+    required
+    & pos 2 (some string) None
+    & info [] ~docv:"DATA" ~doc:"Object store file.")
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run an OQL query over an object store")
+    Term.(
+      const (fun s d q -> Stdlib.exit (cmd_query s d q))
+      $ schema_arg $ data_arg
+      $ Arg.(
+          required
+          & pos 2 (some string) None
+          & info [] ~docv:"QUERY" ~doc:"e.g. 'select Person where name = \"A\"'"))
+
+let data_check_cmd =
+  Cmd.v
+    (Cmd.info "data-check" ~doc:"Validate an object store against a schema")
+    Term.(
+      const (fun s d -> Stdlib.exit (cmd_data_check s d)) $ schema_arg $ data_arg)
+
+let migrate_data_cmd =
+  Cmd.v
+    (Cmd.info "migrate-data"
+       ~doc:"Migrate an object store through a customization log")
+    Term.(
+      const (fun s l d -> Stdlib.exit (cmd_migrate_data s l d))
+      $ schema_arg $ log_arg $ data2_arg)
+
+let quality_cmd =
+  Cmd.v
+    (Cmd.info "quality" ~doc:"Assess how well-crafted a schema is")
+    (term_of cmd_quality)
+
+let examples_cmd =
+  Cmd.v
+    (Cmd.info "examples" ~doc:"List the built-in example schemas")
+    Term.(const (fun () -> Stdlib.exit (cmd_examples ())) $ const ())
+
+let () =
+  let info =
+    Cmd.info "swsd" ~version:"1.0.0"
+      ~doc:"Shrink wrap schema-based database design with concept schemas"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            decompose_cmd; show_cmd; check_cmd; custom_cmd; report_cmd; repl_cmd;
+            diff_cmd; explain_cmd; affinity_cmd; library_cmd; graph_cmd;
+            sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
+            query_cmd;
+            variants_cmd; examples_cmd;
+          ]))

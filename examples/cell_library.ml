@@ -1,0 +1,67 @@
+(* Two fabs customize one VLSI cell-library shrink wrap schema, then
+   interoperate through their common objects (paper section 5).
+
+   Fab A builds digital-only gate arrays: the analog devices go, and macro
+   blocks are added.  Fab B keeps analog but tracks devices flat (no
+   transistor geometry subclassing).  The interchange schema — the
+   constructs both kept — is what the two fabs can exchange designs over.
+
+   Run with:  dune exec examples/cell_library.exe
+*)
+
+let apply session kind text =
+  match Core.Session.apply session ~kind (Core.Op_parser.parse text) with
+  | Ok (session, _) ->
+      Printf.printf "  %s\n" text;
+      session
+  | Error e -> failwith (text ^ ": " ^ Core.Apply.error_to_string e)
+
+let ww = Core.Concept.Wagon_wheel
+let gh = Core.Concept.Generalization
+let ah = Core.Concept.Aggregation
+
+let () =
+  let shrink_wrap = Schemas.Vlsi.v () in
+  Printf.printf "shrink wrap schema: %s\n" (Core.Render.summary shrink_wrap);
+
+  print_endline "\n--- the chip parts explosion";
+  let chip_ah =
+    Option.get
+      (Core.Decompose.find (Core.Decompose.decompose shrink_wrap) "ah:Chip")
+  in
+  print_string (Core.Render.aggregation shrink_wrap chip_ah);
+
+  print_endline "\n--- fab A: digital-only gate arrays";
+  let a = Result.get_ok (Core.Session.create shrink_wrap) in
+  let a = apply a ww "delete_type_definition(Capacitor)" in
+  let a = apply a ww "delete_type_definition(Resistor)" in
+  let a = apply a ww "add_type_definition(Macro_Block)" in
+  let a = apply a ww "add_attribute(Macro_Block, string, 32, macro_name)" in
+  let a = apply a gh "add_supertype(Macro_Block, Design_Object)" in
+  let a =
+    apply a ah
+      "add_part_of_relationship(Functional_Block, set<Macro_Block>, macros, macro_of)"
+  in
+
+  print_endline "\n--- fab B: flat device tracking, analog kept";
+  let b = Result.get_ok (Core.Session.create shrink_wrap) in
+  (* geometry lives on the device itself, not on a transistor subclass *)
+  let b = apply b gh "modify_attribute(Transistor, width_um, Device)" in
+  let b = apply b gh "modify_attribute(Transistor, length_um, Device)" in
+  let b = apply b ww "delete_type_definition(Transistor)" in
+  let b = apply b ww "delete_attribute(Chip, pin_count)" in
+
+  print_endline "\n--- interoperation through common objects";
+  let report =
+    Core.Interop.analyse ~original:shrink_wrap
+      ~custom_a:(Core.Session.custom_schema ~name:"FabA" a)
+      ~custom_b:(Core.Session.custom_schema ~name:"FabB" b)
+  in
+  print_string (Core.Interop.report_text ~name_a:"FabA" ~name_b:"FabB" report);
+
+  print_endline "\n--- the interchange schema's cell view";
+  let interchange = report.r_interchange in
+  print_endline
+    (Odl.Printer.interface_to_string
+       (Odl.Schema.get_interface interchange "Cell_Version"));
+  Printf.printf "\ninterchange inventory: %s\n" (Core.Render.summary interchange)

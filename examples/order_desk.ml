@@ -1,0 +1,111 @@
+(* The business-objects schema with live data: populate an order desk,
+   query it with the OQL subset, then watch a customization act on the
+   data.
+
+   Run with:  dune exec examples/order_desk.exe
+*)
+
+open Objects
+
+let ok = function Ok v -> v | Error m -> failwith m
+
+let show_matches store label query =
+  Printf.printf "\n%s\n  %s\n" label query;
+  match Query.query store query with
+  | [] -> print_endline "  (no matches)"
+  | objs ->
+      List.iter
+        (fun (o : Store.obj) ->
+          let tag =
+            match Store.get_attr store o.o_id "legal_name" with
+            | Some v -> " " ^ Value.to_string v
+            | None -> (
+                match Store.get_attr store o.o_id "order_number" with
+                | Some v -> " " ^ Value.to_string v
+                | None -> "")
+          in
+          Printf.printf "  @%d : %s%s\n" o.o_id o.o_type tag)
+        objs
+
+let () =
+  let schema = Schemas.Commerce.v () in
+  let s = Store.create schema in
+
+  (* parties *)
+  let s, acme = ok (Store.new_object s "Customer") in
+  let s = ok (Store.set_attr s acme "party_code" (Value.V_string "ACME")) in
+  let s = ok (Store.set_attr s acme "legal_name" (Value.V_string "Acme Corp")) in
+  let s = ok (Store.set_attr s acme "credit_limit" (Value.V_float 50_000.)) in
+  let s, globex = ok (Store.new_object s "Customer") in
+  let s = ok (Store.set_attr s globex "party_code" (Value.V_string "GLBX")) in
+  let s = ok (Store.set_attr s globex "legal_name" (Value.V_string "Globex")) in
+  let s = ok (Store.set_attr s globex "credit_limit" (Value.V_float 1_000.)) in
+  let s, supl = ok (Store.new_object s "Supplier") in
+  let s = ok (Store.set_attr s supl "party_code" (Value.V_string "SUPL")) in
+  let s = ok (Store.set_attr s supl "legal_name" (Value.V_string "Supplies R Us")) in
+
+  (* catalog: a product and its seasonal catalog items (instance-of) *)
+  let s, widget = ok (Store.new_object s "Product") in
+  let s = ok (Store.set_attr s widget "product_code" (Value.V_string "WID-1")) in
+  let s = ok (Store.link s widget "supplied_by" supl) in
+  let s, item_s = ok (Store.new_object s "Catalog_Item") in
+  let s = ok (Store.set_attr s item_s "catalog_season" (Value.V_string "summer")) in
+  let s = ok (Store.set_attr s item_s "list_price" (Value.V_float 9.5)) in
+  let s = ok (Store.link s item_s "item_of" widget) in
+
+  (* an order with two lines and a shipment (part-of) *)
+  let s, order = ok (Store.new_object s "Sales_Order") in
+  let s = ok (Store.set_attr s order "order_number" (Value.V_string "SO-100")) in
+  let s = ok (Store.link s order "placed_by" acme) in
+  let s, line1 = ok (Store.new_object s "Order_Line") in
+  let s = ok (Store.set_attr s line1 "line_number" (Value.V_int 1)) in
+  let s = ok (Store.set_attr s line1 "quantity" (Value.V_int 12)) in
+  let s = ok (Store.link s line1 "line_of" order) in
+  let s = ok (Store.link s line1 "for_item" item_s) in
+  let s, line2 = ok (Store.new_object s "Order_Line") in
+  let s = ok (Store.set_attr s line2 "line_number" (Value.V_int 2)) in
+  let s = ok (Store.set_attr s line2 "quantity" (Value.V_int 3)) in
+  let s = ok (Store.link s line2 "line_of" order) in
+  let s = ok (Store.link s line2 "for_item" item_s) in
+  let s, shipment = ok (Store.new_object s "Shipment") in
+  let s = ok (Store.set_attr s shipment "tracking_number" (Value.V_string "TRK7")) in
+  let s = ok (Store.link s shipment "shipment_of" order) in
+  let s, carrier = ok (Store.new_object s "Carrier") in
+  let s = ok (Store.set_attr s carrier "scac_code" (Value.V_string "FDXG")) in
+  let s = ok (Store.link s shipment "carried_by" carrier) in
+
+  Printf.printf "populated: %d objects; consistent: %b\n" (Store.count s)
+    (Check.is_consistent s);
+
+  (* queries *)
+  show_matches s "all parties (the Party extent spans the hierarchy):"
+    "select Party";
+  show_matches s "creditworthy customers:"
+    "select Customer where credit_limit >= 10000";
+  show_matches s "orders with more than one line:"
+    "select Sales_Order where lines.count > 1";
+  show_matches s "orders by customers named like \"Acme\":"
+    "select Sales_Order where placed_by.legal_name like \"Acme\"";
+  show_matches s "order lines for summer catalog items of WID-1:"
+    "select Order_Line where for_item.item_of.product_code = \"WID-1\" and \
+     for_item.catalog_season = \"summer\"";
+
+  (* customization: this desk does not track carriers *)
+  print_endline "\n--- customizing: carriers are out of scope";
+  let session = Result.get_ok (Core.Session.create schema) in
+  let session =
+    match
+      Core.Session.apply session ~kind:Core.Concept.Wagon_wheel
+        (Core.Op_parser.parse "delete_type_definition(Carrier)")
+    with
+    | Ok (x, _) -> x
+    | Error e -> failwith (Core.Apply.error_to_string e)
+  in
+  let custom = Core.Session.custom_schema session in
+  let migrated, report = Migrate.migrate s ~custom in
+  List.iter (fun d -> print_endline ("  " ^ Migrate.to_string d)) report;
+  Printf.printf "after migration: %d objects; consistent: %b\n"
+    (Store.count migrated)
+    (Check.is_consistent migrated);
+  show_matches migrated "shipments still queryable:"
+    "select Shipment where tracking_number = \"TRK7\""

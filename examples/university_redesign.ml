@@ -1,0 +1,62 @@
+(* University redesign: the paper's two worked customizations in one
+   session, driven through the interactive designer engine so the feedback
+   (info, cautions, impact) is visible.
+
+   1. Figure 8: students also work in departments, so the works_in_a
+      relationship end moves from Employee up to Person — an operation that
+      belongs to the generalization hierarchy concept schema.
+   2. Correspondence-only university: offerings have no room and no time
+      slot, so the course offering wagon wheel is simplified.
+
+   Run with:  dune exec examples/university_redesign.exe
+*)
+
+let run state line =
+  Printf.printf "\nswsd> %s\n" line;
+  let state, feedback = Designer.Engine.exec_line state line in
+  List.iter (fun f -> print_endline (Designer.Feedback.to_string f)) feedback;
+  state
+
+let () =
+  let session =
+    match Core.Session.create (Schemas.University.v ()) with
+    | Ok s -> s
+    | Error _ -> failwith "unreachable: bundled schema is valid"
+  in
+  let state = Designer.Engine.start session in
+
+  print_endline "--- part 1: move works_in_a from Employee to Person (Figure 8)";
+  let state = run state "odl Department" in
+  (* wrong concept schema type: the designer refuses and points at the right
+     one *)
+  let state = run state "focus ww:Department" in
+  let state =
+    run state "apply modify_relationship_target_type(Department, has, Employee, Person)"
+  in
+  (* the generalization hierarchy is where ISA-related changes live *)
+  let state = run state "focus gh:Person" in
+  let state =
+    run state "apply modify_relationship_target_type(Department, has, Employee, Person)"
+  in
+  let state = run state "odl Department" in
+  let state = run state "odl Person" in
+
+  print_endline "\n--- part 2: correspondence-only university";
+  let state = run state "focus ww:Course_Offering" in
+  let state = run state "preview delete_type_definition(Time_Slot)" in
+  let state = run state "apply delete_type_definition(Time_Slot)" in
+  let state = run state "apply delete_attribute(Course_Offering, room)" in
+  let state = run state "show ww:Course_Offering" in
+
+  print_endline "\n--- part 3: a mistake, undone";
+  let state = run state "apply delete_type_definition(Syllabus)" in
+  let state = run state "undo" in
+  let state = run state "odl Syllabus" in
+
+  print_endline "\n--- deliverables";
+  let state = run state "summary" in
+  let state = run state "check" in
+  let state = run state "impact" in
+  let state = run state "mapping" in
+  let _state = run state "log" in
+  ()

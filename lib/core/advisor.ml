@@ -1,0 +1,283 @@
+(** Remedial suggestions after a rejected operation (paper section 5: using
+    constraint analysis "to suggest the operations that need to be altered").
+
+    Given the operation, the concept schema context, and the rejection, the
+    advisor proposes concrete next steps: the right concept schema to issue
+    the operation from, near-miss name corrections, prerequisite additions,
+    corrected old-values for stale modifications, or legal move destinations. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+(* Damerau-free Levenshtein distance, small strings only. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let d = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      d.(i).(j) <-
+        min
+          (min (d.(i - 1).(j) + 1) (d.(i).(j - 1) + 1))
+          (d.(i - 1).(j - 1) + cost)
+    done
+  done;
+  d.(la).(lb)
+
+(** Names from [candidates] within edit distance 2 of [name], nearest
+    first. *)
+let near_misses name candidates =
+  candidates
+  |> List.filter_map (fun c ->
+         let dist = edit_distance (String.lowercase_ascii name) (String.lowercase_ascii c) in
+         if dist > 0 && dist <= 2 then Some (dist, c) else None)
+  |> List.sort compare
+  |> List.map snd
+
+let member_names i =
+  List.map (fun a -> a.attr_name) i.i_attrs
+  @ List.map (fun r -> r.rel_name) i.i_rels
+  @ List.map (fun o -> o.op_name) i.i_ops
+
+(* did-you-mean for a name that failed to resolve *)
+let name_suggestions schema missing =
+  let interface_hits = near_misses missing (Schema.interface_names schema) in
+  let member_hits =
+    schema.s_interfaces
+    |> List.concat_map (fun i ->
+           near_misses missing (member_names i)
+           |> List.map (fun m -> i.i_name ^ "." ^ m))
+  in
+  (match interface_hits with
+  | [] -> []
+  | hits ->
+      [ Printf.sprintf "did you mean interface %s?" (String.concat " or " hits) ])
+  @
+  match member_hits with
+  | [] -> []
+  | hits -> [ Printf.sprintf "did you mean %s?" (String.concat " or " hits) ]
+
+let isa_line_of ~original schema t =
+  let s = if Schema.mem_interface original t then original else schema in
+  Schema.ancestors s t @ Schema.descendants s t
+
+(* extract the word after a known prefix in an error message, e.g. the
+   missing name in "interface Foo" *)
+let last_word m =
+  match String.rindex_opt m ' ' with
+  | None -> m
+  | Some i -> String.sub m (i + 1) (String.length m - i - 1)
+
+(** Suggestions for [op] issued in [kind] and rejected with [error].
+    Best-effort; the empty list means the advisor has nothing to offer. *)
+let suggest ~original schema kind op (error : Apply.error) =
+  let op_name = Modop.name op in
+  match error with
+  | Apply.Not_allowed _ ->
+      Permission.homes op_name
+      |> List.filter (fun k -> k <> kind)
+      |> List.map (fun k ->
+             Printf.sprintf "issue %s from a %s concept schema (e.g. focus %s:...)"
+               op_name (Concept.kind_name k) (Concept.id_prefix k))
+  | Apply.Unknown m ->
+      let missing = last_word m in
+      (* member errors read "attribute Person.nmae": search on the member *)
+      let missing =
+        match String.rindex_opt missing '.' with
+        | Some i -> String.sub missing (i + 1) (String.length missing - i - 1)
+        | None -> missing
+      in
+      let add_first =
+        if
+          String.length m >= 9
+          && String.sub m 0 9 = "interface"
+          && not (Schema.mem_interface schema missing)
+        then
+          [
+            Printf.sprintf "add it first: add_type_definition(%s)" missing;
+          ]
+        else []
+      in
+      name_suggestions schema missing @ add_first
+  | Apply.Conflict m ->
+      if Str_helpers.contains m "already exists" then
+        [
+          Printf.sprintf
+            "delete the existing construct first, or customize it with modify \
+             operations (name equivalence identifies same-named constructs)";
+        ]
+      else if Str_helpers.contains m "already has" then
+        [ "pick a different name, or delete the existing one first" ]
+      else []
+  | Apply.Violation m -> (
+      if Str_helpers.contains m "generalization hierarchy" then
+        (* a move left the ISA line: list the legal destinations *)
+        match op with
+        | Modop.Modify_attribute (owner, member, _)
+        | Modop.Modify_operation (owner, member, _) ->
+            let line = isa_line_of ~original schema owner in
+            if line = [] then
+              [ Printf.sprintf "%s has no ISA line; the member %s cannot move"
+                  owner member ]
+            else
+              [
+                Printf.sprintf "legal destinations for %s.%s: %s" owner member
+                  (String.concat ", " line);
+              ]
+        | Modop.Modify_relationship_target_type (_, _, old_t, _)
+        | Modop.Modify_part_of_target_type (_, _, old_t, _)
+        | Modop.Modify_instance_of_target_type (_, _, old_t, _) ->
+            let line = isa_line_of ~original schema old_t in
+            if line = [] then []
+            else
+              [
+                Printf.sprintf "legal new targets for the %s end: %s" old_t
+                  (String.concat ", " line);
+              ]
+        | _ -> []
+      else if Str_helpers.contains m "expected" then
+        (* a stale old-value: report the current value so the designer can
+           reissue the corrected operation *)
+        [ "the view is stale; the workspace has: " ^ m ]
+      else if Str_helpers.contains m "cycle" then
+        [ "re-wire the hierarchy top-down: delete the old link before adding \
+           the reversed one" ]
+      else [])
+
+(* --- repair planning ------------------------------------------------------ *)
+
+(* Rewrite a stale modify operation so its old-value argument matches the
+   workspace.  [None] when the operation carries no old value or the
+   construct cannot be found. *)
+let correct_stale schema (op : Modop.t) : Modop.t option =
+  let attr n a = Option.bind (Schema.find_interface schema n) (fun i -> Schema.find_attr i a) in
+  let rel n p = Option.bind (Schema.find_interface schema n) (fun i -> Schema.find_rel i p) in
+  let op_def n o = Option.bind (Schema.find_interface schema n) (fun i -> Schema.find_op i o) in
+  match op with
+  | Modify_supertype (n, _, news) ->
+      Option.map
+        (fun i -> Modop.Modify_supertype (n, i.i_supertypes, news))
+        (Schema.find_interface schema n)
+  | Modify_extent_name (n, _, new_e) ->
+      Option.bind (Schema.find_interface schema n) (fun i ->
+          Option.map (fun e -> Modop.Modify_extent_name (n, e, new_e)) i.i_extent)
+  | Delete_extent_name (n, _) ->
+      Option.bind (Schema.find_interface schema n) (fun i ->
+          Option.map (fun e -> Modop.Delete_extent_name (n, e)) i.i_extent)
+  | Modify_attribute_type (n, a, _, new_t) ->
+      Option.map (fun x -> Modop.Modify_attribute_type (n, a, x.attr_type, new_t)) (attr n a)
+  | Modify_attribute_size (n, a, _, new_s) ->
+      Option.map (fun x -> Modop.Modify_attribute_size (n, a, x.attr_size, new_s)) (attr n a)
+  | Modify_relationship_cardinality (n, p, _, new_c) ->
+      Option.map
+        (fun r -> Modop.Modify_relationship_cardinality (n, p, r.rel_card, new_c))
+        (rel n p)
+  | Modify_relationship_order_by (n, p, _, new_l) ->
+      Option.map
+        (fun r -> Modop.Modify_relationship_order_by (n, p, r.rel_order_by, new_l))
+        (rel n p)
+  | Modify_part_of_cardinality (n, p, _, new_k) ->
+      Option.bind (rel n p) (fun r ->
+          match r.rel_card with
+          | Some k -> Some (Modop.Modify_part_of_cardinality (n, p, k, new_k))
+          | None -> None)
+  | Modify_part_of_order_by (n, p, _, new_l) ->
+      Option.map
+        (fun r -> Modop.Modify_part_of_order_by (n, p, r.rel_order_by, new_l))
+        (rel n p)
+  | Modify_instance_of_cardinality (n, p, _, new_k) ->
+      Option.bind (rel n p) (fun r ->
+          match r.rel_card with
+          | Some k -> Some (Modop.Modify_instance_of_cardinality (n, p, k, new_k))
+          | None -> None)
+  | Modify_instance_of_order_by (n, p, _, new_l) ->
+      Option.map
+        (fun r -> Modop.Modify_instance_of_order_by (n, p, r.rel_order_by, new_l))
+        (rel n p)
+  | Modify_operation_return_type (n, o, _, new_t) ->
+      Option.map
+        (fun x -> Modop.Modify_operation_return_type (n, o, x.op_return, new_t))
+        (op_def n o)
+  | Modify_operation_arg_list (n, o, _, new_a) ->
+      Option.map
+        (fun x -> Modop.Modify_operation_arg_list (n, o, x.op_args, new_a))
+        (op_def n o)
+  | Modify_operation_exceptions_raised (n, o, _, new_e) ->
+      Option.map
+        (fun x -> Modop.Modify_operation_exceptions_raised (n, o, x.op_raises, new_e))
+        (op_def n o)
+  | Modify_relationship_target_type (n, p, _, new_t) ->
+      Option.map
+        (fun r -> Modop.Modify_relationship_target_type (n, p, r.rel_target, new_t))
+        (rel n p)
+  | Modify_part_of_target_type (n, p, _, new_t) ->
+      Option.map
+        (fun r -> Modop.Modify_part_of_target_type (n, p, r.rel_target, new_t))
+        (rel n p)
+  | Modify_instance_of_target_type (n, p, _, new_t) ->
+      Option.map
+        (fun r -> Modop.Modify_instance_of_target_type (n, p, r.rel_target, new_t))
+        (rel n p)
+  | Modify_key_list (n, _, new_k) ->
+      (* only unambiguous when the interface has exactly one key *)
+      Option.bind (Schema.find_interface schema n) (fun i ->
+          match i.i_keys with
+          | [ only ] -> Some (Modop.Modify_key_list (n, only, new_k))
+          | _ -> None)
+  | _ -> None
+
+(* One candidate fix for a failed step: either a prerequisite operation to
+   prepend, or a replacement for the failing operation itself. *)
+type fix = Prepend of Concept.kind * Modop.t | Replace of Concept.kind * Modop.t
+
+let fix_for schema kind op (error : Apply.error) =
+  match error with
+  | Apply.Not_allowed _ -> (
+      match Permission.homes (Modop.name op) with
+      | k :: _ -> Some (Replace (k, op))
+      | [] -> None)
+  | Apply.Unknown m when Str_helpers.starts_with ~prefix:"interface " m
+                         || Str_helpers.starts_with ~prefix:"domain type " m
+                         || Str_helpers.starts_with ~prefix:"signature type " m ->
+      let missing = last_word m in
+      if Odl.Names.is_valid missing && not (Odl.Names.is_keyword missing)
+         && not (Schema.mem_interface schema missing)
+      then Some (Prepend (Concept.Wagon_wheel, Modop.Add_type_definition missing))
+      else None
+  | Apply.Violation m when Str_helpers.contains m "expected" ->
+      Option.map (fun op' -> Replace (kind, op')) (correct_stale schema op)
+  | _ -> None
+
+(** [repair_plan ~original workspace kind op] attempts to turn a rejected
+    operation into a short {e verified} plan: prerequisite operations
+    followed by (a possibly corrected form of) the operation itself, such
+    that the whole plan applies cleanly.  [None] when no plan is found. *)
+let repair_plan ~original workspace kind op =
+  let rec go workspace prefix kind op budget =
+    match Apply.apply ~original ~kind workspace op with
+    | Ok _ -> Some (List.rev ((kind, op) :: prefix))
+    | Error _ when budget = 0 -> None
+    | Error e -> (
+        match fix_for workspace kind op e with
+        | None -> None
+        | Some (Replace (kind', op')) ->
+            if kind' = kind && Modop.equal op' op then None
+            else go workspace prefix kind' op' (budget - 1)
+        | Some (Prepend (pk, pre)) -> (
+            match Apply.apply ~original ~kind:pk workspace pre with
+            | Error _ -> None
+            | Ok (workspace', _) ->
+                go workspace' ((pk, pre) :: prefix) kind op (budget - 1)))
+  in
+  go workspace [] kind op 4
+
+let suggest_text ~original schema kind op error =
+  match suggest ~original schema kind op error with
+  | [] -> []
+  | suggestions -> List.map (fun s -> "suggestion: " ^ s) suggestions

@@ -1,0 +1,46 @@
+(** Remedial suggestions after a rejected operation (paper section 5: using
+    constraint analysis to suggest the operations that need to be altered).
+
+    Suggestions include: the concept schema type the operation belongs in,
+    near-miss name corrections ("did you mean"), prerequisite additions,
+    current values for stale modifications, and legal move destinations. *)
+
+val edit_distance : string -> string -> int
+(** Levenshtein distance. *)
+
+val near_misses : string -> string list -> string list
+(** Candidates within edit distance 2, nearest first. *)
+
+val suggest :
+  original:Odl.Types.schema ->
+  Odl.Types.schema ->
+  Concept.kind ->
+  Modop.t ->
+  Apply.error ->
+  string list
+(** Best-effort suggestions; empty when the advisor has nothing to offer. *)
+
+val correct_stale : Odl.Types.schema -> Modop.t -> Modop.t option
+(** Rewrite a stale modify operation so its old-value argument matches the
+    workspace; [None] when the operation carries no old value or the
+    construct cannot be found. *)
+
+val repair_plan :
+  original:Odl.Types.schema ->
+  Odl.Types.schema ->
+  Concept.kind ->
+  Modop.t ->
+  (Concept.kind * Modop.t) list option
+(** Turn a rejected operation into a short {e verified} plan — prerequisite
+    operations followed by (a possibly corrected form of) the operation —
+    such that the whole plan applies cleanly.  [None] when no plan is
+    found. *)
+
+val suggest_text :
+  original:Odl.Types.schema ->
+  Odl.Types.schema ->
+  Concept.kind ->
+  Modop.t ->
+  Apply.error ->
+  string list
+(** {!suggest} with a ["suggestion: "] prefix per line. *)

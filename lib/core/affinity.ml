@@ -1,0 +1,165 @@
+(** Schema affinity: quantifying how similar two schemas are.
+
+    The paper's section 4 argues shrink wrap schema feasibility from the
+    ACEDB family — three databases whose schemas share most object types by
+    name.  This module turns that argument into numbers, following the
+    name-based notion of {e semantic affinity} from the schema-reuse
+    literature the paper builds on (Castano / De Antonellis): same-named
+    constructs are assumed to mean the same thing, so similarity is measured
+    over shared names, weighted by how similar the shared types' structures
+    are.
+
+    It also provides the structural {e descriptor} used to organize a schema
+    library and to pick the best shrink wrap schema to start a design from. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+(* Dice coefficient over two string sets. *)
+let dice xs ys =
+  let xs = List.sort_uniq compare xs and ys = List.sort_uniq compare ys in
+  match (xs, ys) with
+  | [], [] -> 1.0
+  | _ ->
+      let shared = List.length (List.filter (fun x -> List.mem x ys) xs) in
+      2.0 *. float_of_int shared
+      /. float_of_int (List.length xs + List.length ys)
+
+let member_names i =
+  List.map (fun a -> "a:" ^ a.attr_name) i.i_attrs
+  @ List.map (fun r -> "r:" ^ r.rel_name) i.i_rels
+  @ List.map (fun o -> "o:" ^ o.op_name) i.i_ops
+  @ List.map (fun s -> "s:" ^ s) i.i_supertypes
+
+(** Structural similarity of two same-named interfaces: Dice coefficient over
+    their member names (attributes, relationships, operations, supertypes,
+    each in its own namespace). *)
+let interface_similarity (a : interface) (b : interface) =
+  dice (member_names a) (member_names b)
+
+(** Object types shared by name. *)
+let shared_types a b =
+  List.filter (Schema.mem_interface b) (Schema.interface_names a)
+
+(** Jaccard overlap of the object-type name sets. *)
+let type_overlap a b =
+  let na = Schema.interface_names a and nb = Schema.interface_names b in
+  let union = List.sort_uniq compare (na @ nb) in
+  if union = [] then 1.0
+  else
+    float_of_int (List.length (shared_types a b)) /. float_of_int (List.length union)
+
+(** Semantic affinity of two schemas in [0, 1]: the type-name overlap scaled
+    by the mean structural similarity of the shared types.  1.0 means
+    name-identical schemas; 0.0 means no shared object type. *)
+let semantic_affinity a b =
+  match shared_types a b with
+  | [] -> 0.0
+  | shared ->
+      let mean_sim =
+        List.fold_left
+          (fun acc n ->
+            acc
+            +. interface_similarity
+                 (Schema.get_interface a n)
+                 (Schema.get_interface b n))
+          0.0 shared
+        /. float_of_int (List.length shared)
+      in
+      type_overlap a b *. mean_sim
+
+(** Per-shared-type similarity detail, most similar first. *)
+let shared_type_detail a b =
+  shared_types a b
+  |> List.map (fun n ->
+         (n, interface_similarity (Schema.get_interface a n) (Schema.get_interface b n)))
+  |> List.sort (fun (_, x) (_, y) -> compare y x)
+
+(* --- structural descriptors ---------------------------------------------- *)
+
+(** The structural descriptor of a schema, used to characterize entries of a
+    schema library. *)
+type descriptor = {
+  d_name : string;
+  d_types : int;
+  d_attrs : int;
+  d_assocs : int;  (** association ends *)
+  d_part_ofs : int;  (** part-of ends *)
+  d_instance_ofs : int;  (** instance-of ends *)
+  d_ops : int;
+  d_isa_links : int;
+  d_isa_depth : int;  (** longest ancestor chain *)
+}
+
+let descriptor schema =
+  let count_kind k =
+    Schema.all_relationships schema
+    |> List.filter (fun (_, r) -> r.rel_kind = k)
+    |> List.length
+  in
+  let a, _, o = Schema.count_constructs schema in
+  let isa_links =
+    List.fold_left
+      (fun acc i -> acc + List.length i.i_supertypes)
+      0 schema.s_interfaces
+  in
+  let depth =
+    schema.s_interfaces
+    |> List.map (fun i -> List.length (Schema.ancestors schema i.i_name))
+    |> List.fold_left max 0
+  in
+  {
+    d_name = schema.s_name;
+    d_types = List.length schema.s_interfaces;
+    d_attrs = a;
+    d_assocs = count_kind Association;
+    d_part_ofs = count_kind Part_of;
+    d_instance_ofs = count_kind Instance_of;
+    d_ops = o;
+    d_isa_links = isa_links;
+    d_isa_depth = depth;
+  }
+
+let descriptor_to_string d =
+  Printf.sprintf
+    "%s: %d types, %d attrs, %d assoc ends, %d part-of ends, %d instance-of \
+     ends, %d ops, %d isa links (depth %d)"
+    d.d_name d.d_types d.d_attrs d.d_assocs d.d_part_ofs d.d_instance_ofs d.d_ops
+    d.d_isa_links d.d_isa_depth
+
+(* --- library selection ---------------------------------------------------- *)
+
+(** Rank [library] schemas by affinity to [sketch], best first — the designer
+    asks "which shrink wrap schema should I start from?" with a rough sketch
+    of the application. *)
+let rank ~sketch library =
+  library
+  |> List.map (fun s -> (s, semantic_affinity sketch s))
+  |> List.sort (fun (_, x) (_, y) -> compare y x)
+
+(** The best starting point, if the library is nonempty. *)
+let best ~sketch library =
+  match rank ~sketch library with [] -> None | (s, a) :: _ -> Some (s, a)
+
+(** Pairwise affinity matrix rendering for a family of schemas. *)
+let matrix schemas =
+  let width =
+    List.fold_left (fun w s -> max w (String.length s.s_name + 2)) 10 schemas
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%-*s" width "");
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%*s" width s.s_name))
+    schemas;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun a ->
+      Buffer.add_string buf (Printf.sprintf "%-*s" width a.s_name);
+      List.iter
+        (fun b ->
+          Buffer.add_string buf
+            (Printf.sprintf "%*.3f" width (semantic_affinity a b)))
+        schemas;
+      Buffer.add_char buf '\n')
+    schemas;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Schema affinity: quantifying how similar two schemas are, following the
+    name-based notion of semantic affinity from the schema-reuse literature
+    the paper builds on.  Used to measure the ACEDB family overlap (paper
+    section 4) and to pick the best shrink wrap schema from a library. *)
+
+open Odl.Types
+
+val interface_similarity : interface -> interface -> float
+(** Dice coefficient over member names (attributes, relationships,
+    operations, supertypes — each in its own namespace), in [0, 1]. *)
+
+val shared_types : schema -> schema -> type_name list
+val type_overlap : schema -> schema -> float
+(** Jaccard overlap of the object-type name sets. *)
+
+val semantic_affinity : schema -> schema -> float
+(** Type-name overlap scaled by mean structural similarity of the shared
+    types; symmetric, in [0, 1], and 1.0 on content-identical schemas. *)
+
+val shared_type_detail : schema -> schema -> (type_name * float) list
+(** Per-shared-type similarity, most similar first. *)
+
+(** Structural descriptor of a schema (schema-library catalog entry). *)
+type descriptor = {
+  d_name : string;
+  d_types : int;
+  d_attrs : int;
+  d_assocs : int;
+  d_part_ofs : int;
+  d_instance_ofs : int;
+  d_ops : int;
+  d_isa_links : int;
+  d_isa_depth : int;
+}
+
+val descriptor : schema -> descriptor
+val descriptor_to_string : descriptor -> string
+
+val rank : sketch:schema -> schema list -> (schema * float) list
+(** Library schemas by affinity to an application sketch, best first. *)
+
+val best : sketch:schema -> schema list -> (schema * float) option
+
+val matrix : schema list -> string
+(** Pairwise affinity matrix rendering. *)

@@ -1,0 +1,155 @@
+(** Local names (paper section 5, proposed extension).
+
+    Name equivalence forbids renaming constructs, but "database designers are
+    very likely to want to introduce local names"; the paper sketches the
+    extension: the user indicates a change of name and the system maintains
+    the mapping from shrink wrap schema names to local names.  This module is
+    that mapping.  Aliases are presentation-level: the workspace keeps the
+    canonical names (so name equivalence and all machinery stand), and
+    reports show the local names alongside. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+(** What can carry a local name. *)
+type target =
+  | For_interface of type_name
+  | For_member of type_name * string
+      (** attribute, relationship, or operation of an interface *)
+[@@deriving show, eq, ord]
+
+type binding = { target : target; local : string } [@@deriving show, eq]
+
+type t = binding list
+
+let empty : t = []
+
+let bindings (t : t) = t
+
+let target_to_string = function
+  | For_interface n -> n
+  | For_member (n, m) -> n ^ "." ^ m
+
+(** Parse ["Person"] or ["Person.name"] into a target. *)
+let target_of_string s =
+  match String.index_opt s '.' with
+  | None -> For_interface s
+  | Some i ->
+      For_member
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let find (t : t) target =
+  List.find_opt (fun b -> equal_target b.target target) t
+
+let local_of t target = Option.map (fun b -> b.local) (find t target)
+
+(** The canonical targets currently known under [local]. *)
+let targets_of_local (t : t) local =
+  List.filter_map
+    (fun b -> if String.equal b.local local then Some b.target else None)
+    t
+
+let target_exists schema = function
+  | For_interface n -> Schema.mem_interface schema n
+  | For_member (n, m) -> (
+      match Schema.find_interface schema n with
+      | None -> false
+      | Some i -> Schema.has_attr i m || Schema.has_rel i m || Schema.has_op i m)
+
+(** [add schema t target local] binds [local] to [target].
+
+    Constraints: [target] must exist in [schema]; [local] must be a valid,
+    non-keyword identifier; interfaces must not take a local name already
+    used by another interface (alias-level uniqueness mirrors the canonical
+    uniqueness assumption), and members must not collide within their
+    interface. *)
+let add schema (t : t) target local =
+  if not (target_exists schema target) then
+    Error (Printf.sprintf "%s does not exist" (target_to_string target))
+  else if not (Odl.Names.is_valid local) then
+    Error (Printf.sprintf "%s is not a valid identifier" local)
+  else if Odl.Names.is_keyword local then
+    Error (Printf.sprintf "%s is an ODL keyword" local)
+  else
+    let clash =
+      match target with
+      | For_interface _ ->
+          (* unique among interface aliases and against real interface names *)
+          List.exists
+            (fun b ->
+              match b.target with
+              | For_interface _ ->
+                  String.equal b.local local
+                  && not (equal_target b.target target)
+              | For_member _ -> false)
+            t
+          || Schema.mem_interface schema local
+      | For_member (owner, _) ->
+          List.exists
+            (fun b ->
+              match b.target with
+              | For_member (owner', _) ->
+                  String.equal owner owner' && String.equal b.local local
+                  && not (equal_target b.target target)
+              | For_interface _ -> false)
+            t
+    in
+    if clash then
+      Error (Printf.sprintf "the local name %s is already in use" local)
+    else
+      Ok
+        ({ target; local }
+        :: List.filter (fun b -> not (equal_target b.target target)) t)
+
+(** Remove the local name of [target]; unchanged if none. *)
+let remove (t : t) target =
+  List.filter (fun b -> not (equal_target b.target target)) t
+
+(** Drop bindings whose target no longer exists (e.g. after deletions),
+    returning the survivors and the dropped bindings. *)
+let prune schema (t : t) =
+  List.partition (fun b -> target_exists schema b.target) t
+
+(** Presentation: the name to display for an interface. *)
+let display_interface t n =
+  match local_of t (For_interface n) with
+  | Some local -> Printf.sprintf "%s (locally: %s)" n local
+  | None -> n
+
+let report (t : t) =
+  if t = [] then "no local names defined"
+  else
+    t
+    |> List.rev
+    |> List.map (fun b ->
+           Printf.sprintf "%s -> %s" (target_to_string b.target) b.local)
+    |> String.concat "\n"
+
+(* --- persistence (one line per binding: "canonical = local") ------------- *)
+
+let to_string (t : t) =
+  t |> List.rev
+  |> List.map (fun b ->
+         Printf.sprintf "%s = %s" (target_to_string b.target) b.local)
+  |> String.concat "\n"
+
+exception Bad_aliases of string
+
+let of_string text : t =
+  text |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.index_opt line '=' with
+           | None -> raise (Bad_aliases ("missing '=': " ^ line))
+           | Some i ->
+               let canonical = String.trim (String.sub line 0 i) in
+               let local =
+                 String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1))
+               in
+               if canonical = "" || local = "" then
+                 raise (Bad_aliases ("malformed binding: " ^ line));
+               Some { target = target_of_string canonical; local })
+  |> List.rev

@@ -1,0 +1,54 @@
+(** Local names (paper section 5, proposed extension to name equivalence).
+
+    Aliases are presentation-level: the workspace keeps canonical names (so
+    name equivalence and all machinery stand), and the system maintains the
+    mapping from shrink wrap schema names to local names. *)
+
+(** What can carry a local name. *)
+type target =
+  | For_interface of Odl.Types.type_name
+  | For_member of Odl.Types.type_name * string
+      (** attribute, relationship, or operation of an interface *)
+
+type binding = { target : target; local : string }
+type t
+
+val equal_target : target -> target -> bool
+val compare_target : target -> target -> int
+val pp_target : Format.formatter -> target -> unit
+
+val empty : t
+val bindings : t -> binding list
+
+val target_to_string : target -> string
+val target_of_string : string -> target
+(** ["Person"] or ["Person.name"]. *)
+
+val find : t -> target -> binding option
+val local_of : t -> target -> string option
+val targets_of_local : t -> string -> target list
+
+val add : Odl.Types.schema -> t -> target -> string -> (t, string) result
+(** Bind a local name.  The target must exist in the schema; the local name
+    must be a valid, non-keyword identifier, unique among interface aliases
+    (and real interface names) for interfaces, and unique within the owning
+    interface for members.  Rebinding a target replaces its previous local
+    name. *)
+
+val remove : t -> target -> t
+
+val prune : Odl.Types.schema -> t -> t * binding list
+(** Drop bindings whose target no longer exists; returns survivors and
+    dropped bindings. *)
+
+val display_interface : t -> Odl.Types.type_name -> string
+val report : t -> string
+
+(** {1 Persistence} — one line per binding: ["canonical = local"]. *)
+
+val to_string : t -> string
+
+exception Bad_aliases of string
+
+val of_string : string -> t
+(** @raise Bad_aliases on malformed lines. *)

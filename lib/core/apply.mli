@@ -1,0 +1,57 @@
+(** Application of modification operations to the workspace schema.
+
+    An operation is accepted only if it is admissible in the concept schema
+    type it is issued from (Table 1), its own constraints hold (existence,
+    stale old-value checks, uniqueness, semantic stability with respect to
+    the shrink wrap generalization hierarchy, acyclicity), and — after the
+    primary effect and the propagation rules — the workspace has no
+    error-level diagnostics.  Accepted operations therefore preserve schema
+    validity (tested by property). *)
+
+open Odl.Types
+
+type error =
+  | Not_allowed of string  (** denied by the permission matrix *)
+  | Unknown of string  (** a referenced construct does not exist *)
+  | Conflict of string  (** a name is already taken *)
+  | Violation of string  (** a semantic constraint fails *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val apply :
+  original:schema ->
+  kind:Concept.kind ->
+  schema ->
+  Modop.t ->
+  (schema * Change.event list, error) result
+(** [apply ~original ~kind workspace op] — [original] is the shrink wrap
+    schema (the reference for semantic stability).  On success, the events
+    are the operation's impact report: the direct change first, propagated
+    consequences after. *)
+
+val preview :
+  original:schema ->
+  kind:Concept.kind ->
+  schema ->
+  Modop.t ->
+  (Change.event list, error) result
+(** Dry run: the impact report without committing. *)
+
+val apply_log :
+  original:schema ->
+  schema ->
+  (Concept.kind * Modop.t) list ->
+  (schema * Change.event list, error) result
+(** Replay a log, stopping at the first failure. *)
+
+(**/**)
+
+(* Exposed for ablation benchmarking only: the primary effect of an
+   operation without permission checking, propagation, or re-validation.
+   Production callers must use {!apply}. *)
+val primary :
+  original:Odl.Types.schema ->
+  Odl.Types.schema ->
+  Modop.t ->
+  (Odl.Types.schema * Change.event list, error) result

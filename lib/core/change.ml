@@ -1,0 +1,56 @@
+(** The vocabulary of schema changes, used for impact reports and the
+    shrink-wrap → custom mapping.
+
+    Applying one operation produces one {e direct} change plus any number of
+    {e propagated} changes (the knowledge component's propagation rules);
+    showing the full event list before committing is the paper's impact
+    report. *)
+
+open Odl.Types
+
+type construct =
+  | C_interface of type_name
+  | C_supertype of type_name * type_name  (** (subtype, supertype) link *)
+  | C_extent of type_name
+  | C_key of type_name * string list
+  | C_attribute of type_name * string
+  | C_relationship of type_name * string
+  | C_operation of type_name * string
+[@@deriving show, eq, ord]
+
+type change =
+  | Added of construct
+  | Removed of construct
+  | Altered of construct * string  (** in-place modification, described *)
+  | Moved of construct * type_name  (** relocated to the named interface *)
+[@@deriving show, eq, ord]
+
+type event = {
+  ev_change : change;
+  ev_direct : bool;  (** [false] for propagated consequences *)
+}
+[@@deriving show, eq, ord]
+
+let direct change = { ev_change = change; ev_direct = true }
+let propagated change = { ev_change = change; ev_direct = false }
+
+let construct_to_string = function
+  | C_interface n -> Printf.sprintf "interface %s" n
+  | C_supertype (sub, super) -> Printf.sprintf "supertype link %s : %s" sub super
+  | C_extent n -> Printf.sprintf "extent of %s" n
+  | C_key (n, k) -> Printf.sprintf "key (%s) of %s" (String.concat ", " k) n
+  | C_attribute (n, a) -> Printf.sprintf "attribute %s.%s" n a
+  | C_relationship (n, r) -> Printf.sprintf "relationship %s.%s" n r
+  | C_operation (n, o) -> Printf.sprintf "operation %s.%s" n o
+
+let change_to_string = function
+  | Added c -> "added " ^ construct_to_string c
+  | Removed c -> "removed " ^ construct_to_string c
+  | Altered (c, how) -> Printf.sprintf "altered %s (%s)" (construct_to_string c) how
+  | Moved (c, dest) ->
+      Printf.sprintf "moved %s to %s" (construct_to_string c) dest
+
+let event_to_string e =
+  (if e.ev_direct then "" else "  [propagated] ") ^ change_to_string e.ev_change
+
+let pp_event ppf e = Fmt.string ppf (event_to_string e)

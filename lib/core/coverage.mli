@@ -1,0 +1,24 @@
+(** Completeness analysis — the machinery behind the paper's Tables 2 and 3:
+    every ODL candidate construct is covered by an add and a delete
+    operation, and by modify operations except where name equivalence
+    forbids (names are never modified). *)
+
+type row = {
+  group : string;  (** e.g. ["Relationship"] *)
+  field : string;  (** e.g. ["Target type"] *)
+  add_op : string;
+  delete_op : string;
+  modify_op : string option;  (** [None]: disallowed to support name equivalence *)
+}
+
+val candidates : row list
+(** Every ODL candidate for modification, in the paper's table order. *)
+
+val addition_table : (string * string * string) list
+val deletion_table : (string * string * string) list
+val modification_table : (string * string * string) list
+(** Name rows carry a ["-- (name equivalence)"] marker. *)
+
+val named_ops : string list
+(** All operation keywords the tables name (equals the full language;
+    tested). *)

@@ -1,0 +1,136 @@
+(** Algorithmic decomposition of a shrink wrap schema into concept schemas.
+
+    The paper requires that a schema defined in extended ODL can be
+    decomposed algorithmically: at least one wagon wheel exists for every
+    object type, and the union of all initial concept schemas gives back the
+    original shrink wrap schema. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+(** The wagon wheel centred on [focus]: the focal interface, every interface
+    one relationship link away (any kind, either direction), and the focal
+    point's direct supertypes and subtypes. *)
+let wagon_wheel schema focus =
+  let i = Schema.get_interface schema focus in
+  let own_edges = List.map (fun r -> (focus, r.rel_name)) i.i_rels in
+  let incoming =
+    Schema.relationships_targeting schema focus
+    |> List.filter (fun (owner, _) -> not (String.equal owner.i_name focus))
+    |> List.map (fun (owner, r) -> (owner.i_name, r.rel_name))
+  in
+  let neighbours =
+    List.map (fun r -> r.rel_target) i.i_rels
+    @ List.map fst incoming
+    @ List.filter (Schema.mem_interface schema) i.i_supertypes
+    @ Schema.direct_subtypes schema focus
+  in
+  let members =
+    focus
+    :: (neighbours
+       |> List.filter (fun n -> not (String.equal n focus))
+       |> List.sort_uniq compare)
+  in
+  Concept.make Wagon_wheel focus members (own_edges @ incoming)
+
+let wagon_wheels schema =
+  List.map (fun i -> wagon_wheel schema i.i_name) schema.s_interfaces
+
+(* Reachable closure with an explicit edge accumulator. *)
+let reach children_edges start =
+  let rec go members edges = function
+    | [] -> (List.rev members, List.rev edges)
+    | n :: rest ->
+        if List.mem n members then go members edges rest
+        else
+          let es = children_edges n in
+          let nexts = List.map (fun (_, _, target) -> target) es in
+          go (n :: members)
+            (List.rev_append
+               (List.map (fun (owner, path, _) -> (owner, path)) es)
+               edges)
+            (nexts @ rest)
+  in
+  let members, edges = go [] [] [ start ] in
+  (members, List.rev edges)
+
+(** The generalization hierarchy rooted at [root]: the root and all its
+    descendants; edges are not relationship paths (ISA is structural), so
+    [c_edges] is empty and the projection keeps ISA links among members. *)
+let generalization_hierarchy schema root =
+  let members = root :: Schema.descendants schema root in
+  Concept.make Generalization root members []
+
+(** One generalization-hierarchy concept schema per ISA root that actually
+    has subtypes (a lone interface is not a hierarchy). *)
+let generalization_hierarchies schema =
+  Schema.isa_roots schema
+  |> List.filter (fun r -> Schema.direct_subtypes schema r <> [])
+  |> List.map (generalization_hierarchy schema)
+
+let whole_part_edges schema name =
+  match Schema.find_interface schema name with
+  | None -> []
+  | Some i ->
+      i.i_rels
+      |> List.filter (fun r -> role_of_relationship r = Whole_end)
+      |> List.map (fun r -> (name, r.rel_name, r.rel_target))
+
+(** The aggregation hierarchy (parts explosion) rooted at [root]. *)
+let aggregation_hierarchy schema root =
+  let members, edges = reach (whole_part_edges schema) root in
+  Concept.make Aggregation root members edges
+
+(** Roots of aggregation hierarchies: interfaces that aggregate parts but are
+    not themselves a part of anything. *)
+let aggregation_roots schema =
+  let is_whole n = whole_part_edges schema n <> [] in
+  let is_part n =
+    Schema.all_relationships schema
+    |> List.exists (fun (_, r) ->
+           role_of_relationship r = Whole_end && String.equal r.rel_target n)
+  in
+  Schema.interface_names schema
+  |> List.filter (fun n -> is_whole n && not (is_part n))
+
+let aggregation_hierarchies schema =
+  List.map (aggregation_hierarchy schema) (aggregation_roots schema)
+
+let generic_instance_edges schema name =
+  match Schema.find_interface schema name with
+  | None -> []
+  | Some i ->
+      i.i_rels
+      |> List.filter (fun r -> role_of_relationship r = Generic_end)
+      |> List.map (fun r -> (name, r.rel_name, r.rel_target))
+
+(** The instance-of hierarchy headed at [head]: the chain (in our experience
+    linear, but branching is representable) of instance-of links. *)
+let instance_chain schema head =
+  let members, edges = reach (generic_instance_edges schema) head in
+  Concept.make Instance_chain head members edges
+
+(** Heads of instance-of chains: generic entities that are not themselves an
+    instance of anything. *)
+let instance_heads schema =
+  let is_generic n = generic_instance_edges schema n <> [] in
+  let is_instance n =
+    Schema.all_relationships schema
+    |> List.exists (fun (_, r) ->
+           role_of_relationship r = Generic_end && String.equal r.rel_target n)
+  in
+  Schema.interface_names schema
+  |> List.filter (fun n -> is_generic n && not (is_instance n))
+
+let instance_chains schema =
+  List.map (instance_chain schema) (instance_heads schema)
+
+(** Full decomposition: wagon wheels (one per object type) followed by the
+    generalization, aggregation, and instance-of hierarchies. *)
+let decompose schema =
+  wagon_wheels schema
+  @ generalization_hierarchies schema
+  @ aggregation_hierarchies schema
+  @ instance_chains schema
+
+let find concepts id = List.find_opt (fun c -> String.equal c.Concept.c_id id) concepts

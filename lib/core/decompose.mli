@@ -1,0 +1,44 @@
+(** Algorithmic decomposition of a shrink wrap schema into concept schemas.
+
+    Guarantees (tested): at least one wagon wheel exists per object type, and
+    the union of all wagon wheel projections reconstructs the original schema
+    ({!Recompose.reconstruct}). *)
+
+open Odl.Types
+
+val wagon_wheel : schema -> type_name -> Concept.t
+(** The wagon wheel centred on the given object type: the focal interface,
+    every interface one relationship link away (any kind, either direction),
+    and the focal point's direct supertypes and subtypes. *)
+
+val wagon_wheels : schema -> Concept.t list
+(** One per object type, in declaration order. *)
+
+val generalization_hierarchy : schema -> type_name -> Concept.t
+(** The ISA tree rooted at the given type. *)
+
+val generalization_hierarchies : schema -> Concept.t list
+(** One per ISA root that has subtypes. *)
+
+val aggregation_hierarchy : schema -> type_name -> Concept.t
+(** The parts explosion rooted at the given type. *)
+
+val aggregation_roots : schema -> type_name list
+(** Interfaces that aggregate parts but are not parts themselves. *)
+
+val aggregation_hierarchies : schema -> Concept.t list
+
+val instance_chain : schema -> type_name -> Concept.t
+(** The instance-of chain headed at the given type. *)
+
+val instance_heads : schema -> type_name list
+(** Generic entities that are not themselves instances of anything. *)
+
+val instance_chains : schema -> Concept.t list
+
+val decompose : schema -> Concept.t list
+(** Wagon wheels, then generalization, aggregation and instance-of
+    hierarchies. *)
+
+val find : Concept.t list -> string -> Concept.t option
+(** Look a concept schema up by its id (e.g. ["ww:Course_Offering"]). *)

@@ -1,0 +1,389 @@
+(** Schema differencing: infer a modification-operation log that transforms
+    one schema into another.
+
+    This inverts the customization process: where {!Apply} turns a log into
+    a custom schema, [infer] turns a hand-crafted custom schema back into a
+    log over the shrink wrap schema — useful to retrofit the paper's
+    machinery onto customizations performed manually (like the historical
+    ACEDB family), and to audit what a custom schema changed.
+
+    Inference works under the paper's assumptions: name equivalence (a
+    same-named construct is the same construct) and semantic stability (a
+    same-named member found elsewhere on the ISA line was moved).  Every
+    emitted operation is applied to a working copy as it is generated, so
+    the result is replayable by construction; [infer] returns the log
+    together with the final workspace (equal in content to the target
+    whenever the target is expressible, which the tests assert). *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type step = Concept.kind * Modop.t
+
+(* Choose the concept schema type an operation is issued from: its first
+   permission home. *)
+let home op =
+  match Permission.homes (Modop.name op) with
+  | k :: _ -> k
+  | [] -> Concept.Wagon_wheel
+
+(* The generation state: ops are applied as emitted so later decisions see
+   the cascades of earlier ones. *)
+type state = {
+  original : schema;
+  mutable work : schema;
+  mutable steps : step list;  (* reversed *)
+}
+
+let emit st op =
+  let kind = home op in
+  match Apply.apply ~original:st.original ~kind st.work op with
+  | Ok (work, _) ->
+      st.work <- work;
+      st.steps <- (kind, op) :: st.steps;
+      true
+  | Error _ -> false
+
+(* --- phase 1: type definitions ------------------------------------------ *)
+
+let diff_types st target =
+  (* deletions first: their cascades clean up dangling references *)
+  Schema.interface_names st.work
+  |> List.iter (fun n ->
+         if not (Schema.mem_interface target n) then
+           ignore (emit st (Modop.Delete_type_definition n)));
+  Schema.interface_names target
+  |> List.iter (fun n ->
+         if not (Schema.mem_interface st.work n) then
+           ignore (emit st (Modop.Add_type_definition n)))
+
+(* --- phase 2: supertypes -------------------------------------------------- *)
+
+let diff_supertypes st target =
+  target.s_interfaces
+  |> List.iter (fun ti ->
+         match Schema.find_interface st.work ti.i_name with
+         | None -> ()
+         | Some wi ->
+             let ws = List.sort compare wi.i_supertypes in
+             let ts = List.sort compare ti.i_supertypes in
+             if ws <> ts then
+               ignore
+                 (emit st
+                    (Modop.Modify_supertype (ti.i_name, wi.i_supertypes, ti.i_supertypes))))
+
+(* --- phase 3: attributes -------------------------------------------------- *)
+
+let find_attr_on_line schema owner name =
+  let line = owner :: (Schema.ancestors schema owner @ Schema.descendants schema owner) in
+  List.find_map
+    (fun n ->
+      match Schema.find_interface schema n with
+      | None -> None
+      | Some i -> Option.map (fun a -> (n, a)) (Schema.find_attr i name))
+    line
+
+let diff_attr_in_place st owner (wa : attribute) (ta : attribute) =
+  if not (equal_domain_type wa.attr_type ta.attr_type) then
+    ignore
+      (emit st (Modop.Modify_attribute_type (owner, wa.attr_name, wa.attr_type, ta.attr_type)));
+  if wa.attr_size <> ta.attr_size then
+    ignore
+      (emit st (Modop.Modify_attribute_size (owner, wa.attr_name, wa.attr_size, ta.attr_size)))
+
+let diff_attributes st target =
+  (* for every attribute in the workspace: keep, move, retype, or delete *)
+  st.work.s_interfaces
+  |> List.iter (fun wi ->
+         wi.i_attrs
+         |> List.iter (fun wa ->
+                match Schema.find_interface target wi.i_name with
+                | Some ti when Schema.has_attr ti wa.attr_name ->
+                    diff_attr_in_place st wi.i_name wa
+                      (Option.get (Schema.find_attr ti wa.attr_name))
+                | _ -> (
+                    (* not on the same interface in the target: moved? *)
+                    match find_attr_on_line target wi.i_name wa.attr_name with
+                    | Some (dest, ta) ->
+                        if emit st (Modop.Modify_attribute (wi.i_name, wa.attr_name, dest))
+                        then diff_attr_in_place st dest wa ta
+                        else
+                          ignore
+                            (emit st (Modop.Delete_attribute (wi.i_name, wa.attr_name)))
+                    | None ->
+                        ignore
+                          (emit st (Modop.Delete_attribute (wi.i_name, wa.attr_name))))));
+  (* target attributes with no workspace counterpart: additions *)
+  target.s_interfaces
+  |> List.iter (fun ti ->
+         ti.i_attrs
+         |> List.iter (fun ta ->
+                let present =
+                  match Schema.find_interface st.work ti.i_name with
+                  | Some wi -> Schema.has_attr wi ta.attr_name
+                  | None -> false
+                in
+                if not present then
+                  ignore
+                    (emit st
+                       (Modop.Add_attribute
+                          (ti.i_name, ta.attr_type, ta.attr_size, ta.attr_name)))))
+
+(* --- phase 4: operations -------------------------------------------------- *)
+
+let find_op_on_line schema owner name =
+  let line = owner :: (Schema.ancestors schema owner @ Schema.descendants schema owner) in
+  List.find_map
+    (fun n ->
+      match Schema.find_interface schema n with
+      | None -> None
+      | Some i -> Option.map (fun o -> (n, o)) (Schema.find_op i name))
+    line
+
+let diff_op_in_place st owner (wo : operation) (to_ : operation) =
+  if not (equal_domain_type wo.op_return to_.op_return) then
+    ignore
+      (emit st
+         (Modop.Modify_operation_return_type (owner, wo.op_name, wo.op_return, to_.op_return)));
+  if wo.op_args <> to_.op_args then
+    ignore
+      (emit st (Modop.Modify_operation_arg_list (owner, wo.op_name, wo.op_args, to_.op_args)));
+  if wo.op_raises <> to_.op_raises then
+    ignore
+      (emit st
+         (Modop.Modify_operation_exceptions_raised
+            (owner, wo.op_name, wo.op_raises, to_.op_raises)))
+
+let diff_operations st target =
+  st.work.s_interfaces
+  |> List.iter (fun wi ->
+         wi.i_ops
+         |> List.iter (fun wo ->
+                match Schema.find_interface target wi.i_name with
+                | Some ti when Schema.has_op ti wo.op_name ->
+                    diff_op_in_place st wi.i_name wo
+                      (Option.get (Schema.find_op ti wo.op_name))
+                | _ -> (
+                    match find_op_on_line target wi.i_name wo.op_name with
+                    | Some (dest, to_) ->
+                        if emit st (Modop.Modify_operation (wi.i_name, wo.op_name, dest))
+                        then diff_op_in_place st dest wo to_
+                        else
+                          ignore (emit st (Modop.Delete_operation (wi.i_name, wo.op_name)))
+                    | None ->
+                        ignore (emit st (Modop.Delete_operation (wi.i_name, wo.op_name))))));
+  target.s_interfaces
+  |> List.iter (fun ti ->
+         ti.i_ops
+         |> List.iter (fun to_ ->
+                let present =
+                  match Schema.find_interface st.work ti.i_name with
+                  | Some wi -> Schema.has_op wi to_.op_name
+                  | None -> false
+                in
+                if not present then
+                  ignore
+                    (emit st
+                       (Modop.Add_operation
+                          (ti.i_name, to_.op_return, to_.op_name, to_.op_args, to_.op_raises)))))
+
+(* --- phase 5: relationships ----------------------------------------------- *)
+
+(* A relationship pair, canonically ordered by (owner, path). *)
+let pair_key (owner, path) (target, inverse) =
+  if (owner, path) <= (target, inverse) then ((owner, path), (target, inverse))
+  else ((target, inverse), (owner, path))
+
+let pairs_of schema =
+  schema.s_interfaces
+  |> List.concat_map (fun i ->
+         List.map (fun r -> (pair_key (i.i_name, r.rel_name) (r.rel_target, r.rel_inverse), (i.i_name, r))) i.i_rels)
+  |> List.sort_uniq (fun (k1, _) (k2, _) -> compare k1 k2)
+
+let delete_op kind owner path =
+  match kind with
+  | Association -> Modop.Delete_relationship (owner, path)
+  | Part_of -> Modop.Delete_part_of_relationship (owner, path)
+  | Instance_of -> Modop.Delete_instance_of_relationship (owner, path)
+
+let add_op kind (owner, (r : relationship)) =
+  let ar =
+    {
+      Modop.ar_owner = owner;
+      ar_target = r.rel_target;
+      ar_card = r.rel_card;
+      ar_name = r.rel_name;
+      ar_inverse = r.rel_inverse;
+      ar_order_by = r.rel_order_by;
+    }
+  in
+  match kind with
+  | Association -> Modop.Add_relationship ar
+  | Part_of -> Modop.Add_part_of_relationship ar
+  | Instance_of -> Modop.Add_instance_of_relationship ar
+
+let target_type_op kind owner path old_t new_t =
+  match kind with
+  | Association -> Modop.Modify_relationship_target_type (owner, path, old_t, new_t)
+  | Part_of -> Modop.Modify_part_of_target_type (owner, path, old_t, new_t)
+  | Instance_of -> Modop.Modify_instance_of_target_type (owner, path, old_t, new_t)
+
+let order_by_op kind owner path old_l new_l =
+  match kind with
+  | Association -> Modop.Modify_relationship_order_by (owner, path, old_l, new_l)
+  | Part_of -> Modop.Modify_part_of_order_by (owner, path, old_l, new_l)
+  | Instance_of -> Modop.Modify_instance_of_order_by (owner, path, old_l, new_l)
+
+(* align the card / order_by of one end with the target's declaration *)
+let align_end st (owner, (wr : relationship)) (tr : relationship) =
+  (if wr.rel_card <> tr.rel_card then
+     match wr.rel_kind with
+     | Association ->
+         ignore
+           (emit st
+              (Modop.Modify_relationship_cardinality
+                 (owner, wr.rel_name, wr.rel_card, tr.rel_card)))
+     | Part_of | Instance_of -> (
+         (* 1:N shape is fixed; only the collection kind can change *)
+         match (wr.rel_card, tr.rel_card) with
+         | Some ok, Some nk when ok <> nk ->
+             let op =
+               match wr.rel_kind with
+               | Part_of -> Modop.Modify_part_of_cardinality (owner, wr.rel_name, ok, nk)
+               | _ -> Modop.Modify_instance_of_cardinality (owner, wr.rel_name, ok, nk)
+             in
+             ignore (emit st op)
+         | _ -> ()));
+  if wr.rel_order_by <> tr.rel_order_by then
+    ignore
+      (emit st (order_by_op wr.rel_kind owner wr.rel_name wr.rel_order_by tr.rel_order_by))
+
+(* the end of a pair to issue add/delete from: prefer the collection end so
+   part-of and instance-of additions take their canonical form *)
+let preferred_end schema ((o1, p1), (o2, p2)) =
+  let lookup (o, p) =
+    match Schema.find_interface schema o with
+    | None -> None
+    | Some i -> Option.map (fun r -> (o, r)) (Schema.find_rel i p)
+  in
+  match (lookup (o1, p1), lookup (o2, p2)) with
+  | Some ((_, r1) as e1), Some e2 ->
+      if r1.rel_card <> None then Some (e1, Some e2) else Some (e2, Some e1)
+  | Some e1, None -> Some (e1, None)
+  | None, Some e2 -> Some (e2, None)
+  | None, None -> None
+
+let find_rel_in schema owner path =
+  match Schema.find_interface schema owner with
+  | None -> None
+  | Some i -> Schema.find_rel i path
+
+let diff_relationships_phase1 st target =
+  let work_pairs = pairs_of st.work in
+  let target_pairs = pairs_of target in
+  let target_has key = List.mem_assoc key target_pairs in
+  (* deletions and moved targets *)
+  work_pairs
+  |> List.iter (fun (key, (owner, r)) ->
+         if target_has key then ()
+         else
+           (* same owner and both path names, but the far owner moved along
+              the ISA line? *)
+           let moved =
+             match find_rel_in target owner r.rel_name with
+             | Some tr
+               when String.equal tr.rel_inverse r.rel_inverse
+                    && not (String.equal tr.rel_target r.rel_target) ->
+                 emit st
+                   (target_type_op r.rel_kind owner r.rel_name r.rel_target tr.rel_target)
+             | _ -> false
+           in
+           if not moved then
+             (* check the other end for a move issued from there *)
+             let moved_other =
+               match Schema.find_interface st.work r.rel_target with
+               | None -> false
+               | Some ti -> (
+                   match Schema.find_rel ti r.rel_inverse with
+                   | None -> false
+                   | Some inv -> (
+                       match find_rel_in target r.rel_target inv.rel_name with
+                       | Some t_inv
+                         when String.equal t_inv.rel_inverse inv.rel_inverse
+                              && not (String.equal t_inv.rel_target inv.rel_target)
+                         ->
+                           emit st
+                             (target_type_op inv.rel_kind r.rel_target inv.rel_name
+                                inv.rel_target t_inv.rel_target)
+                       | _ -> false))
+             in
+             if not moved_other then
+               ignore (emit st (delete_op r.rel_kind owner r.rel_name)))
+
+let diff_relationships st target =
+  diff_relationships_phase1 st target;
+  (* additions *)
+  pairs_of target
+  |> List.iter (fun (key, _) ->
+         if not (List.mem_assoc key (pairs_of st.work)) then
+           match preferred_end target key with
+           | Some ((owner, r), _) -> ignore (emit st (add_op r.rel_kind (owner, r)))
+           | None -> ());
+  (* alignment of cardinalities and order-by, end by end (both ends of an
+     association can differ from the add-time defaults) *)
+  let ends =
+    List.concat_map
+      (fun i -> List.map (fun r -> (i.i_name, r)) i.i_rels)
+      st.work.s_interfaces
+  in
+  ends
+  |> List.iter (fun (owner, wr) ->
+         match find_rel_in target owner wr.rel_name with
+         | Some tr when String.equal tr.rel_target wr.rel_target ->
+             align_end st (owner, wr) tr
+         | _ -> ())
+
+(* --- phase 6: extents and keys -------------------------------------------- *)
+
+let diff_extents st target =
+  target.s_interfaces
+  |> List.iter (fun ti ->
+         match Schema.find_interface st.work ti.i_name with
+         | None -> ()
+         | Some wi -> (
+             match (wi.i_extent, ti.i_extent) with
+             | None, Some e -> ignore (emit st (Modop.Add_extent_name (ti.i_name, e)))
+             | Some e, None -> ignore (emit st (Modop.Delete_extent_name (ti.i_name, e)))
+             | Some o, Some n when not (String.equal o n) ->
+                 ignore (emit st (Modop.Modify_extent_name (ti.i_name, o, n)))
+             | _ -> ()))
+
+let diff_keys st target =
+  target.s_interfaces
+  |> List.iter (fun ti ->
+         match Schema.find_interface st.work ti.i_name with
+         | None -> ()
+         | Some wi ->
+             wi.i_keys
+             |> List.iter (fun k ->
+                    if not (List.mem k ti.i_keys) then
+                      ignore (emit st (Modop.Delete_key_list (ti.i_name, k))));
+             ti.i_keys
+             |> List.iter (fun k ->
+                    if not (List.mem k wi.i_keys) then
+                      ignore (emit st (Modop.Add_key_list (ti.i_name, k)))))
+
+(** [infer ~original ~target] computes a replayable operation log
+    transforming [original] into (content-)equality with [target], together
+    with the schema the log actually reaches and whether it fully converged. *)
+let infer ~original ~target =
+  let st = { original; work = original; steps = [] } in
+  diff_types st target;
+  diff_supertypes st target;
+  diff_attributes st target;
+  diff_operations st target;
+  diff_relationships st target;
+  diff_extents st target;
+  diff_keys st target;
+  let converged = Recompose.equal_content st.work target in
+  (List.rev st.steps, st.work, converged)

@@ -1,0 +1,19 @@
+(** Schema differencing: infer a modification-operation log that transforms
+    one schema into another.
+
+    Inference works under the paper's assumptions — name equivalence (a
+    same-named construct is the same construct) and semantic stability (a
+    same-named member found elsewhere on the ISA line was moved).  Every
+    emitted operation is validated by applying it to a working copy as it is
+    generated, so the result is replayable by construction. *)
+
+type step = Concept.kind * Modop.t
+
+val infer :
+  original:Odl.Types.schema ->
+  target:Odl.Types.schema ->
+  step list * Odl.Types.schema * bool
+(** [(log, reached, converged)]: the inferred log, the schema it reaches,
+    and whether that schema equals the target in content.  [converged] holds
+    whenever the target is expressible under the operation constraints
+    (tested by property over random schema pairs). *)

@@ -1,0 +1,132 @@
+(** Graphviz (DOT) rendering of schemas and concept schemas.
+
+    The paper's interactive designer shows schemas graphically (OMT
+    notation); this is the batch equivalent: deterministic DOT output with
+    the OMT conventions mapped onto Graphviz idioms —
+
+    - generalization: solid edge with an empty (triangle) arrowhead;
+    - aggregation (part-of): edge with a diamond tail on the whole;
+    - instance-of: dashed edge from generic to instance;
+    - association: plain edge, labelled with the traversal path names.
+
+    Node labels are records listing attributes and operations.  Output is
+    deterministic (declaration order) so tests can assert on it. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '<' -> "\\<"
+         | '>' -> "\\>"
+         | '{' -> "\\{"
+         | '}' -> "\\}"
+         | '|' -> "\\|"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let attr_line (a : attribute) =
+  escape
+    (Printf.sprintf "%s : %s%s" a.attr_name
+       (Fmt.str "%a" Odl.Printer.pp_domain a.attr_type)
+       (match a.attr_size with Some n -> Printf.sprintf "<%d>" n | None -> ""))
+
+let op_line (o : operation) =
+  escape (Printf.sprintf "%s()" o.op_name)
+
+let node_label (i : interface) =
+  let attrs = String.concat "\\l" (List.map attr_line i.i_attrs) in
+  let ops = String.concat "\\l" (List.map op_line i.i_ops) in
+  match (attrs, ops) with
+  | "", "" -> Printf.sprintf "{%s}" (escape i.i_name)
+  | attrs, "" -> Printf.sprintf "{%s|%s\\l}" (escape i.i_name) attrs
+  | "", ops -> Printf.sprintf "{%s|%s\\l}" (escape i.i_name) ops
+  | attrs, ops -> Printf.sprintf "{%s|%s\\l|%s\\l}" (escape i.i_name) attrs ops
+
+let node_line ?(highlight = false) i =
+  Printf.sprintf "  \"%s\" [shape=record, label=\"%s\"%s];" i.i_name
+    (node_label i)
+    (if highlight then ", style=filled, fillcolor=lightgoldenrod" else "")
+
+(* Emit each relationship pair once: from the end whose (owner, name) is the
+   canonical (smaller) one, preferring the collection end for part-of /
+   instance-of so the diamond sits on the whole / the dashed arrow leaves
+   the generic. *)
+let canonical_end (i : interface) (r : relationship) =
+  match role_of_relationship r with
+  | Whole_end | Generic_end -> true
+  | Part_end | Instance_end -> false
+  | Assoc_end ->
+      (i.i_name, r.rel_name) <= (r.rel_target, r.rel_inverse)
+
+let edge_line (i : interface) (r : relationship) =
+  let label = Printf.sprintf "%s / %s" r.rel_name r.rel_inverse in
+  match r.rel_kind with
+  | Association ->
+      Printf.sprintf
+        "  \"%s\" -> \"%s\" [dir=none, label=\"%s\", fontsize=9];" i.i_name
+        r.rel_target (escape label)
+  | Part_of ->
+      Printf.sprintf
+        "  \"%s\" -> \"%s\" [arrowtail=diamond, dir=back, label=\"%s\", \
+         fontsize=9];"
+        i.i_name r.rel_target (escape r.rel_name)
+  | Instance_of ->
+      Printf.sprintf
+        "  \"%s\" -> \"%s\" [style=dashed, label=\"%s\", fontsize=9];" i.i_name
+        r.rel_target (escape r.rel_name)
+
+let isa_lines (i : interface) =
+  List.map
+    (fun s ->
+      Printf.sprintf "  \"%s\" -> \"%s\" [arrowhead=empty];" i.i_name s)
+    i.i_supertypes
+
+let graph_body ?focus interfaces =
+  let nodes =
+    List.map
+      (fun i ->
+        node_line ~highlight:(focus = Some i.i_name) i)
+      interfaces
+  in
+  let member_names = List.map (fun i -> i.i_name) interfaces in
+  let edges =
+    interfaces
+    |> List.concat_map (fun i ->
+           isa_lines
+             { i with i_supertypes = List.filter (fun s -> List.mem s member_names) i.i_supertypes }
+           @ (i.i_rels
+             |> List.filter (fun r ->
+                    canonical_end i r && List.mem r.rel_target member_names)
+             |> List.map (edge_line i)))
+  in
+  nodes @ edges
+
+(** The whole schema as a DOT digraph. *)
+let schema_graph schema =
+  String.concat "\n"
+    ([ Printf.sprintf "digraph \"%s\" {" schema.s_name;
+       "  rankdir=BT;";
+       "  node [fontsize=10];" ]
+    @ graph_body schema.s_interfaces
+    @ [ "}" ])
+  ^ "\n"
+
+(** One concept schema as a DOT digraph; the focal point is highlighted and
+    only the concept schema's members and edges appear. *)
+let concept_graph schema (c : Concept.t) =
+  let projection = Concept.project schema c in
+  String.concat "\n"
+    ([ Printf.sprintf "digraph \"%s\" {" c.c_id;
+       "  rankdir=BT;";
+       "  node [fontsize=10];";
+       Printf.sprintf "  label=\"%s (%s)\";" (escape c.c_id)
+         (Concept.kind_name c.c_kind) ]
+    @ graph_body ~focus:c.c_focus projection.s_interfaces
+    @ [ "}" ])
+  ^ "\n"

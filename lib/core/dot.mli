@@ -1,0 +1,11 @@
+(** Graphviz (DOT) rendering of schemas and concept schemas, with the OMT
+    conventions mapped onto Graphviz idioms: empty arrowheads for ISA,
+    diamond tails for part-of, dashed edges for instance-of.  Output is
+    deterministic. *)
+
+val schema_graph : Odl.Types.schema -> string
+(** The whole schema as a DOT digraph. *)
+
+val concept_graph : Odl.Types.schema -> Concept.t -> string
+(** One concept schema; the focal point is highlighted, and only the concept
+    schema's members and edges appear. *)

@@ -1,0 +1,181 @@
+(** Translation of extended-ODL schemas to the entity-relationship model.
+
+    The paper's section 5 grounds its generality claim in translations "to
+    other models such as entity relationship diagrams and relational
+    models"; {!Relational} covers the latter, this module the former.  The
+    result is a classic (Chen-style) ER model with min/max cardinalities:
+
+    - interfaces become entity types (ISA links become subtype links of an
+      ER generalization);
+    - single-valued attributes become entity attributes; collection-valued
+      attributes become multivalued attributes;
+    - a relationship pair becomes one ER relationship type with a
+      cardinality at each end: [(0,1)] for a to-one end, [(0,N)] for a
+      collection end — part-of and instance-of ends carry [(1,1)] on the
+      part / instance side (a part cannot exist without its whole);
+    - declared keys become ER key attributes;
+    - operations have no ER counterpart and are dropped (the ER model is
+      structural), counted in the translation report. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type cardinality = { c_min : int; c_max : int option  (** [None] = N *) }
+
+let card_to_string c =
+  Printf.sprintf "(%d,%s)" c.c_min
+    (match c.c_max with Some n -> string_of_int n | None -> "N")
+
+type er_attribute = {
+  ea_name : string;
+  ea_multivalued : bool;
+  ea_key : bool;
+}
+
+type entity = {
+  e_name : string;
+  e_supertypes : string list;
+  e_attributes : er_attribute list;
+}
+
+type rel_kind = Er_association | Er_aggregation | Er_instantiation
+
+type er_relationship = {
+  er_name : string;  (** derived from the traversal path pair *)
+  er_kind : rel_kind;
+  er_left : string * cardinality;  (** entity, participation *)
+  er_right : string * cardinality;
+  er_left_role : string;  (** traversal path from left to right *)
+  er_right_role : string;
+}
+
+type model = {
+  m_name : string;
+  m_entities : entity list;
+  m_relationships : er_relationship list;
+  m_dropped_operations : int;
+}
+
+let entity_of schema (i : interface) =
+  let key_attrs = List.concat i.i_keys in
+  ignore schema;
+  {
+    e_name = i.i_name;
+    e_supertypes = i.i_supertypes;
+    e_attributes =
+      List.map
+        (fun a ->
+          {
+            ea_name = a.attr_name;
+            ea_multivalued =
+              (match a.attr_type with D_collection _ -> true | _ -> false);
+            ea_key = List.mem a.attr_name key_attrs;
+          })
+        i.i_attrs;
+  }
+
+(* participation of one end, seen from the opposite side's declaration *)
+let end_cardinality (r : relationship) =
+  match (r.rel_kind, r.rel_card) with
+  | _, Some _ -> { c_min = 0; c_max = None }
+  | Association, None -> { c_min = 0; c_max = Some 1 }
+  | (Part_of | Instance_of), None -> { c_min = 1; c_max = Some 1 }
+
+let er_kind_of = function
+  | Association -> Er_association
+  | Part_of -> Er_aggregation
+  | Instance_of -> Er_instantiation
+
+(* one ER relationship per pair: emitted from the canonical end *)
+let canonical schema (i : interface) (r : relationship) =
+  match Schema.inverse_of schema r with
+  | None -> true
+  | Some _ -> (i.i_name, r.rel_name) <= (r.rel_target, r.rel_inverse)
+
+let relationship_of schema (i : interface) (r : relationship) =
+  let inv_card =
+    match Schema.inverse_of schema r with
+    | Some (_, inv) -> end_cardinality inv
+    | None -> { c_min = 0; c_max = Some 1 }
+  in
+  {
+    er_name = r.rel_name ^ "_" ^ r.rel_inverse;
+    er_kind = er_kind_of r.rel_kind;
+    (* the left end's participation is constrained by how the right side
+       refers to it, and vice versa *)
+    er_left = (i.i_name, end_cardinality r);
+    er_right = (r.rel_target, inv_card);
+    er_left_role = r.rel_name;
+    er_right_role = r.rel_inverse;
+  }
+
+(** Translate a schema to an ER model. *)
+let of_schema schema =
+  let entities = List.map (entity_of schema) schema.s_interfaces in
+  let relationships =
+    schema.s_interfaces
+    |> List.concat_map (fun i ->
+           i.i_rels
+           |> List.filter (canonical schema i)
+           |> List.map (relationship_of schema i))
+  in
+  let dropped =
+    List.fold_left (fun acc i -> acc + List.length i.i_ops) 0 schema.s_interfaces
+  in
+  {
+    m_name = schema.s_name;
+    m_entities = entities;
+    m_relationships = relationships;
+    m_dropped_operations = dropped;
+  }
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let attribute_to_string a =
+  Printf.sprintf "%s%s%s"
+    (if a.ea_key then "_" ^ a.ea_name ^ "_" else a.ea_name)
+    (if a.ea_multivalued then " {multivalued}" else "")
+    ""
+
+let kind_label = function
+  | Er_association -> ""
+  | Er_aggregation -> " <<part-of>>"
+  | Er_instantiation -> " <<instance-of>>"
+
+(** Deterministic text rendering of the ER model (key attributes are
+    underlined as [_name_], as is conventional in plain-text ER). *)
+let to_string m =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "ER model %s" m.m_name;
+  add "";
+  add "entities:";
+  List.iter
+    (fun e ->
+      add "  %s%s" e.e_name
+        (if e.e_supertypes = [] then ""
+         else " ISA " ^ String.concat ", " e.e_supertypes);
+      List.iter (fun a -> add "    %s" (attribute_to_string a)) e.e_attributes)
+    m.m_entities;
+  add "";
+  add "relationship types:";
+  List.iter
+    (fun r ->
+      let l_name, l_card = r.er_left and r_name, r_card = r.er_right in
+      add "  %s%s: %s %s --[%s/%s]-- %s %s" r.er_name (kind_label r.er_kind)
+        l_name (card_to_string l_card) r.er_left_role r.er_right_role
+        (card_to_string r_card) r_name)
+    m.m_relationships;
+  if m.m_dropped_operations > 0 then begin
+    add "";
+    add "note: %d operation(s) have no ER counterpart and were dropped"
+      m.m_dropped_operations
+  end;
+  Buffer.contents buf
+
+(** ER counts: (entities, relationship types, attributes). *)
+let summary m =
+  ( List.length m.m_entities,
+    List.length m.m_relationships,
+    List.fold_left (fun acc e -> acc + List.length e.e_attributes) 0 m.m_entities
+  )

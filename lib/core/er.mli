@@ -1,0 +1,48 @@
+(** Translation of extended-ODL schemas to the entity-relationship model
+    (the other half of the paper's section-5 generality claim; see
+    {!Relational} for the relational half).  See the implementation header
+    for the mapping rules. *)
+
+type cardinality = { c_min : int; c_max : int option  (** [None] = N *) }
+
+val card_to_string : cardinality -> string
+(** ["(0,N)"], ["(1,1)"], ... *)
+
+type er_attribute = {
+  ea_name : string;
+  ea_multivalued : bool;  (** from collection-valued ODL attributes *)
+  ea_key : bool;
+}
+
+type entity = {
+  e_name : string;
+  e_supertypes : string list;
+  e_attributes : er_attribute list;
+}
+
+type rel_kind = Er_association | Er_aggregation | Er_instantiation
+
+type er_relationship = {
+  er_name : string;
+  er_kind : rel_kind;
+  er_left : string * cardinality;
+  er_right : string * cardinality;
+  er_left_role : string;
+  er_right_role : string;
+}
+
+type model = {
+  m_name : string;
+  m_entities : entity list;
+  m_relationships : er_relationship list;
+  m_dropped_operations : int;  (** operations have no ER counterpart *)
+}
+
+val of_schema : Odl.Types.schema -> model
+
+val to_string : model -> string
+(** Deterministic plain-text rendering; key attributes appear as
+    [_name_]. *)
+
+val summary : model -> int * int * int
+(** (entities, relationship types, attributes). *)

@@ -1,0 +1,224 @@
+(** The explanation facility (paper section 5, proposed extension): prose
+    explanations of concept schemas, so a designer can read what a concept
+    schema says instead of decoding the notation.
+
+    Output is deterministic English, one sentence per fact, in declaration
+    order. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+let article noun =
+  match noun.[0] with
+  | 'a' | 'e' | 'i' | 'o' | 'u' | 'A' | 'E' | 'I' | 'O' | 'U' -> "an " ^ noun
+  | _ -> "a " ^ noun
+
+(* "Course_Offering" -> "course offering" *)
+let prose_name n = String.lowercase_ascii (String.map (function '_' -> ' ' | c -> c) n)
+
+let rec domain_prose = function
+  | D_int -> "an integer"
+  | D_float -> "a number"
+  | D_string -> "a string"
+  | D_char -> "a character"
+  | D_boolean -> "a flag"
+  | D_void -> "nothing"
+  | D_named n -> article (prose_name n)
+  | D_collection (k, t) ->
+      Printf.sprintf "a %s of %s values" (collection_kind_name k)
+        (match t with
+        | D_named n -> prose_name n
+        | _ -> String.concat " " (List.tl (String.split_on_char ' ' (domain_prose t))))
+
+let attr_sentence owner (a : attribute) =
+  Printf.sprintf "Each %s records %s (%s%s)." (prose_name owner) a.attr_name
+    (domain_prose a.attr_type)
+    (match a.attr_size with
+    | Some n -> Printf.sprintf " of at most %d" n
+    | None -> "")
+
+let card_phrase = function
+  | None -> "exactly one"
+  | Some Set -> "a set of"
+  | Some List -> "an ordered list of"
+  | Some Bag -> "a bag of"
+  | Some Array -> "an array of"
+
+let rel_sentence owner (r : relationship) =
+  let target = prose_name r.rel_target in
+  let base =
+    match role_of_relationship r with
+    | Assoc_end ->
+        Printf.sprintf "Each %s is related to %s %s through %s (inverse %s)."
+          (prose_name owner) (card_phrase r.rel_card) target r.rel_name
+          r.rel_inverse
+    | Whole_end ->
+        Printf.sprintf "Each %s is a whole aggregating %s %s parts through %s."
+          (prose_name owner) (card_phrase r.rel_card) target r.rel_name
+    | Part_end ->
+        Printf.sprintf "Each %s is a part of exactly one %s (through %s)."
+          (prose_name owner) target r.rel_name
+    | Generic_end ->
+        Printf.sprintf
+          "Each %s is a generic specification with %s %s instances through %s."
+          (prose_name owner) (card_phrase r.rel_card) target r.rel_name
+    | Instance_end ->
+        Printf.sprintf "Each %s is an instance of exactly one %s (through %s)."
+          (prose_name owner) target r.rel_name
+  in
+  if r.rel_order_by = [] then base
+  else
+    Printf.sprintf "%s The %s end is kept ordered by %s." base r.rel_name
+      (String.concat ", " r.rel_order_by)
+
+let op_sentence owner (o : operation) =
+  let args =
+    match o.op_args with
+    | [] -> "no arguments"
+    | args ->
+        String.concat ", "
+          (List.map (fun a -> a.arg_name ^ " (" ^ domain_prose a.arg_type ^ ")") args)
+  in
+  let raises =
+    match o.op_raises with
+    | [] -> ""
+    | es -> Printf.sprintf "  It can raise %s." (String.concat ", " es)
+  in
+  Printf.sprintf "A %s can %s, taking %s and returning %s.%s" (prose_name owner)
+    o.op_name args (domain_prose o.op_return) raises
+
+let keys_sentence owner keys =
+  match keys with
+  | [] -> []
+  | keys ->
+      [
+        Printf.sprintf "A %s is identified by %s." (prose_name owner)
+          (String.concat " or by "
+             (List.map (fun k -> String.concat " together with " k) keys));
+      ]
+
+(** Explain one wagon wheel: what the focal type records, how it relates to
+    its neighbours, and what it can do. *)
+let wagon_wheel schema (c : Concept.t) =
+  let i = Schema.get_interface schema c.c_focus in
+  let intro =
+    Printf.sprintf "This concept schema presents the %s point of view."
+      (prose_name c.c_focus)
+  in
+  let isa =
+    match i.i_supertypes with
+    | [] -> []
+    | supers ->
+        [
+          Printf.sprintf "Every %s is %s." (prose_name c.c_focus)
+            (String.concat " and "
+               (List.map (fun s -> article (prose_name s)) supers));
+        ]
+  in
+  let subs =
+    match Schema.direct_subtypes schema c.c_focus with
+    | [] -> []
+    | subs ->
+        [
+          Printf.sprintf "Specialized kinds of %s: %s." (prose_name c.c_focus)
+            (String.concat ", " (List.map prose_name subs));
+        ]
+  in
+  (intro :: isa)
+  @ subs
+  @ keys_sentence c.c_focus i.i_keys
+  @ List.map (attr_sentence c.c_focus) i.i_attrs
+  @ List.map (rel_sentence c.c_focus) i.i_rels
+  @ List.map (op_sentence c.c_focus) i.i_ops
+
+(** Explain a generalization hierarchy: the inheritance paths and what each
+    subtype adds. *)
+let generalization schema (c : Concept.t) =
+  let intro =
+    Printf.sprintf
+      "This concept schema presents the generalization hierarchy rooted at %s."
+      (prose_name c.c_focus)
+  in
+  let member n =
+    match Schema.find_interface schema n with
+    | None -> []
+    | Some i ->
+        let path = Schema.ancestors schema n in
+        let inherits =
+          if path = [] then
+            Printf.sprintf "%s is the root of the hierarchy."
+              (String.capitalize_ascii (prose_name n))
+          else
+            Printf.sprintf "%s inherits from %s."
+              (String.capitalize_ascii (prose_name n))
+              (String.concat ", then " (List.map prose_name path))
+        in
+        let adds =
+          let own =
+            List.map (fun a -> a.attr_name) i.i_attrs
+            @ List.map (fun r -> r.rel_name) i.i_rels
+            @ List.map (fun o -> o.op_name) i.i_ops
+          in
+          match own with
+          | [] -> []
+          | own -> [ Printf.sprintf "  It adds: %s." (String.concat ", " own) ]
+        in
+        inherits :: adds
+  in
+  intro :: List.concat_map member c.c_members
+
+(** Explain an aggregation hierarchy: the parts explosion in prose. *)
+let aggregation schema (c : Concept.t) =
+  let intro =
+    Printf.sprintf
+      "This concept schema presents the parts explosion of %s."
+      (prose_name c.c_focus)
+  in
+  let member n =
+    match Schema.find_interface schema n with
+    | None -> []
+    | Some i ->
+        i.i_rels
+        |> List.filter (fun r ->
+               role_of_relationship r = Whole_end
+               && Concept.mem_edge c n r.rel_name)
+        |> List.map (fun r ->
+               Printf.sprintf "Each %s consists of %s %s (through %s)."
+                 (prose_name n) (card_phrase r.rel_card)
+                 (prose_name r.rel_target) r.rel_name)
+  in
+  intro :: List.concat_map member c.c_members
+
+(** Explain an instance-of chain: generic specifications and their
+    instantiation levels. *)
+let instance_chain schema (c : Concept.t) =
+  let intro =
+    Printf.sprintf
+      "This concept schema presents the instantiation sequence headed by %s."
+      (prose_name c.c_focus)
+  in
+  let member n =
+    match Schema.find_interface schema n with
+    | None -> []
+    | Some i ->
+        i.i_rels
+        |> List.filter (fun r ->
+               role_of_relationship r = Generic_end
+               && Concept.mem_edge c n r.rel_name)
+        |> List.map (fun r ->
+               Printf.sprintf
+                 "Each %s is a generic specification; its instances are %s \
+                  objects (through %s)."
+                 (prose_name n) (prose_name r.rel_target) r.rel_name)
+  in
+  intro :: List.concat_map member c.c_members
+
+(** Explain any concept schema, as a list of sentences. *)
+let concept schema (c : Concept.t) =
+  match c.c_kind with
+  | Concept.Wagon_wheel -> wagon_wheel schema c
+  | Concept.Generalization -> generalization schema c
+  | Concept.Aggregation -> aggregation schema c
+  | Concept.Instance_chain -> instance_chain schema c
+
+let concept_text schema c = String.concat "\n" (concept schema c)

@@ -1,0 +1,16 @@
+(** The explanation facility (paper section 5, proposed extension): prose
+    explanations of concept schemas.  Output is deterministic English, one
+    sentence per fact, in declaration order. *)
+
+open Odl.Types
+
+val wagon_wheel : schema -> Concept.t -> string list
+val generalization : schema -> Concept.t -> string list
+val aggregation : schema -> Concept.t -> string list
+val instance_chain : schema -> Concept.t -> string list
+
+val concept : schema -> Concept.t -> string list
+(** Dispatch on the concept schema's kind; one sentence per list element. *)
+
+val concept_text : schema -> Concept.t -> string
+(** {!concept}, newline-joined. *)

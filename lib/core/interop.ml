@@ -1,0 +1,148 @@
+(** Interoperation through common objects (paper section 5).
+
+    "Systems built from the same shrink wrap schema (i.e., common objects)
+    can be integrated for information interchange because the semantically
+    identical constructs have already been identified."
+
+    Given two custom schemas derived from one shrink wrap schema — each with
+    its own mapping — the constructs that {e both} customizations preserved
+    are semantically identical across the two databases.  This module
+    computes that correspondence and materializes it as an {e interchange
+    schema}: the largest sub-schema of the shrink wrap schema on which the
+    two systems agree. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+(** Where a shrink-wrap construct survives in a custom schema (interface name
+    it now lives on), when it does. *)
+let survives (m : Mapping.t) construct =
+  List.find_map
+    (fun (e : Mapping.entry) ->
+      if not (Change.equal_construct e.m_construct construct) then None
+      else
+        match e.m_status with
+        | Mapping.Preserved | Mapping.Modified _ -> (
+            match construct with
+            | Change.C_interface n -> Some n
+            | Change.C_attribute (n, _)
+            | Change.C_relationship (n, _)
+            | Change.C_operation (n, _) -> Some n
+            | Change.C_supertype (n, _) | Change.C_extent n
+            | Change.C_key (n, _) -> Some n)
+        | Mapping.Moved dest | Mapping.Moved_and_modified (dest, _) -> Some dest
+        | Mapping.Deleted -> None)
+    m.entries
+
+type common = {
+  co_construct : Change.construct;  (** in shrink wrap schema coordinates *)
+  co_in_a : type_name;  (** interface carrying it in custom schema A *)
+  co_in_b : type_name;  (** interface carrying it in custom schema B *)
+}
+
+(** The constructs of the shrink wrap schema that survive in both customs. *)
+let common_constructs ~original ~custom_a ~custom_b =
+  let ma = Mapping.compute ~original ~custom:custom_a in
+  let mb = Mapping.compute ~original ~custom:custom_b in
+  ma.entries
+  |> List.filter_map (fun (e : Mapping.entry) ->
+         match
+           (survives ma e.m_construct, survives mb e.m_construct)
+         with
+         | Some a, Some b ->
+             Some { co_construct = e.m_construct; co_in_a = a; co_in_b = b }
+         | _ -> None)
+
+(** The interchange schema: the shrink wrap schema restricted to the
+    interfaces, attributes, relationships and operations that survive in both
+    customizations.  Relationship ends are kept only when both ends survive
+    (so the interchange schema stays structurally whole), and it is closed by
+    the propagation rules. *)
+let interchange_schema ~original ~custom_a ~custom_b =
+  let commons = common_constructs ~original ~custom_a ~custom_b in
+  let has c = List.exists (fun x -> Change.equal_construct x.co_construct c) commons in
+  let restrict (i : interface) =
+    {
+      i with
+      i_supertypes =
+        List.filter (fun s -> has (Change.C_interface s)) i.i_supertypes;
+      i_attrs =
+        List.filter (fun a -> has (Change.C_attribute (i.i_name, a.attr_name))) i.i_attrs;
+      i_rels =
+        List.filter
+          (fun r ->
+            has (Change.C_relationship (i.i_name, r.rel_name))
+            && has (Change.C_interface r.rel_target)
+            && has (Change.C_relationship (r.rel_target, r.rel_inverse)))
+          i.i_rels;
+      i_ops =
+        List.filter (fun o -> has (Change.C_operation (i.i_name, o.op_name))) i.i_ops;
+    }
+  in
+  let restricted =
+    {
+      s_name = original.s_name ^ "_interchange";
+      s_interfaces =
+        original.s_interfaces
+        |> List.filter (fun i -> has (Change.C_interface i.i_name))
+        |> List.map restrict;
+    }
+  in
+  fst (Propagate.repair restricted)
+
+type report = {
+  r_common : common list;
+  r_interchange : schema;
+  r_only_a : Change.construct list;  (** shrink-wrap constructs only A kept *)
+  r_only_b : Change.construct list;
+}
+
+let analyse ~original ~custom_a ~custom_b =
+  let ma = Mapping.compute ~original ~custom:custom_a in
+  let mb = Mapping.compute ~original ~custom:custom_b in
+  let commons = common_constructs ~original ~custom_a ~custom_b in
+  let in_common c =
+    List.exists (fun x -> Change.equal_construct x.co_construct c) commons
+  in
+  let only_in m other =
+    m.Mapping.entries
+    |> List.filter_map (fun (e : Mapping.entry) ->
+           if in_common e.m_construct then None
+           else
+             match (survives m e.m_construct, survives other e.m_construct) with
+             | Some _, None -> Some e.m_construct
+             | _ -> None)
+  in
+  {
+    r_common = commons;
+    r_interchange = interchange_schema ~original ~custom_a ~custom_b;
+    r_only_a = only_in ma mb;
+    r_only_b = only_in mb ma;
+  }
+
+let report_text ~name_a ~name_b r =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "interoperation report (%s <-> %s)" name_a name_b;
+  add "  %d constructs are semantically identical in both systems"
+    (List.length r.r_common);
+  add "  interchange schema: %s" (Render.summary r.r_interchange);
+  add "  %d shrink-wrap constructs survive only in %s"
+    (List.length r.r_only_a) name_a;
+  add "  %d shrink-wrap constructs survive only in %s"
+    (List.length r.r_only_b) name_b;
+  let moved =
+    List.filter
+      (fun c -> not (String.equal c.co_in_a c.co_in_b))
+      r.r_common
+  in
+  if moved <> [] then begin
+    add "  constructs residing on different interfaces (move translation needed):";
+    List.iter
+      (fun c ->
+        add "    %s: %s in %s, %s in %s"
+          (Change.construct_to_string c.co_construct)
+          c.co_in_a name_a c.co_in_b name_b)
+      moved
+  end;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Interoperation through common objects (paper section 5): given two custom
+    schemas derived from one shrink wrap schema, the constructs both
+    customizations preserved are semantically identical across the two
+    databases.  This module computes that correspondence and materializes it
+    as the {e interchange schema}. *)
+
+open Odl.Types
+
+(** A shrink-wrap construct surviving in both customizations. *)
+type common = {
+  co_construct : Change.construct;  (** in shrink wrap schema coordinates *)
+  co_in_a : type_name;  (** interface carrying it in custom schema A *)
+  co_in_b : type_name;  (** interface carrying it in custom schema B *)
+}
+
+val common_constructs :
+  original:schema -> custom_a:schema -> custom_b:schema -> common list
+
+val interchange_schema :
+  original:schema -> custom_a:schema -> custom_b:schema -> schema
+(** The shrink wrap schema restricted to the constructs both customs kept:
+    relationship ends survive only when both ends do, and the result is
+    closed under the propagation rules (hence valid whenever the shrink wrap
+    schema is). *)
+
+type report = {
+  r_common : common list;
+  r_interchange : schema;
+  r_only_a : Change.construct list;  (** shrink-wrap constructs only A kept *)
+  r_only_b : Change.construct list;
+}
+
+val analyse : original:schema -> custom_a:schema -> custom_b:schema -> report
+val report_text : name_a:string -> name_b:string -> report -> string

@@ -1,0 +1,219 @@
+(** The semantic correspondence between the shrink wrap schema and the
+    customized schema.
+
+    Under the paper's assumptions — name equivalence, uniqueness, and
+    entity / relationship / attribute / method stability — the mapping can be
+    computed structurally: a construct of the shrink wrap schema either
+    appears in the custom schema under the same name (possibly modified in
+    place, possibly relocated along its ISA line), or it was deleted.
+    Constructs of the custom schema with no shrink-wrap counterpart were
+    added by the designer. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type status =
+  | Preserved
+  | Modified of string list  (** which aspects changed *)
+  | Moved of type_name  (** now resides on the named interface *)
+  | Moved_and_modified of type_name * string list
+  | Deleted
+[@@deriving show, eq]
+
+type entry = {
+  m_construct : Change.construct;  (** located in the shrink wrap schema *)
+  m_status : status;
+}
+[@@deriving show, eq]
+
+type t = {
+  entries : entry list;  (** one per shrink-wrap construct *)
+  added : Change.construct list;  (** designer additions, custom side *)
+}
+[@@deriving show, eq]
+
+let diff_interface_props (o : interface) (c : interface) =
+  List.concat
+    [
+      (if List.sort compare o.i_supertypes <> List.sort compare c.i_supertypes
+       then [ "supertypes" ]
+       else []);
+      (if o.i_extent <> c.i_extent then [ "extent" ] else []);
+      (if List.sort compare o.i_keys <> List.sort compare c.i_keys then [ "keys" ]
+       else []);
+    ]
+
+let diff_attr (o : attribute) (c : attribute) =
+  List.concat
+    [
+      (if not (equal_domain_type o.attr_type c.attr_type) then [ "type" ] else []);
+      (if o.attr_size <> c.attr_size then [ "size" ] else []);
+    ]
+
+let diff_rel (o : relationship) (c : relationship) =
+  List.concat
+    [
+      (if not (String.equal o.rel_target c.rel_target) then [ "target type" ]
+       else []);
+      (if o.rel_card <> c.rel_card then [ "cardinality" ] else []);
+      (if o.rel_order_by <> c.rel_order_by then [ "order_by" ] else []);
+      (if not (String.equal o.rel_inverse c.rel_inverse) then [ "inverse" ]
+       else []);
+    ]
+
+let diff_op (o : operation) (c : operation) =
+  List.concat
+    [
+      (if not (equal_domain_type o.op_return c.op_return) then [ "return type" ]
+       else []);
+      (if o.op_args <> c.op_args then [ "arguments" ] else []);
+      (if o.op_raises <> c.op_raises then [ "exceptions" ] else []);
+    ]
+
+let status_of ~moved_to diffs =
+  match (moved_to, diffs) with
+  | None, [] -> Preserved
+  | None, ds -> Modified ds
+  | Some t, [] -> Moved t
+  | Some t, ds -> Moved_and_modified (t, ds)
+
+(* Find where a named member construct of [owner] ended up in [custom]: on
+   [owner] itself, or relocated along [owner]'s ISA line (the only moves the
+   operations permit). *)
+let locate custom owner find_member =
+  match Schema.find_interface custom owner with
+  | Some i when Option.is_some (find_member i) ->
+      Option.map (fun m -> (None, m)) (find_member i)
+  | _ ->
+      let line =
+        Schema.ancestors custom owner @ Schema.descendants custom owner
+      in
+      List.find_map
+        (fun n ->
+          match Schema.find_interface custom n with
+          | None -> None
+          | Some i ->
+              Option.map (fun m -> (Some n, m)) (find_member i))
+        line
+
+(** [compute ~original ~custom] derives the full mapping. *)
+let compute ~original ~custom =
+  let entry c s = { m_construct = c; m_status = s } in
+  let interface_entries o =
+    match Schema.find_interface custom o.i_name with
+    | None -> [ entry (Change.C_interface o.i_name) Deleted ]
+    | Some c -> (
+        match diff_interface_props o c with
+        | [] -> [ entry (Change.C_interface o.i_name) Preserved ]
+        | ds -> [ entry (Change.C_interface o.i_name) (Modified ds) ])
+  in
+  let attr_entries o =
+    o.i_attrs
+    |> List.map (fun a ->
+           let construct = Change.C_attribute (o.i_name, a.attr_name) in
+           match locate custom o.i_name (fun i -> Schema.find_attr i a.attr_name) with
+           | None -> entry construct Deleted
+           | Some (moved_to, found) ->
+               entry construct (status_of ~moved_to (diff_attr a found)))
+  in
+  let rel_entries o =
+    o.i_rels
+    |> List.map (fun r ->
+           let construct = Change.C_relationship (o.i_name, r.rel_name) in
+           match locate custom o.i_name (fun i -> Schema.find_rel i r.rel_name) with
+           | None -> entry construct Deleted
+           | Some (moved_to, found) ->
+               entry construct (status_of ~moved_to (diff_rel r found)))
+  in
+  let op_entries o =
+    o.i_ops
+    |> List.map (fun op ->
+           let construct = Change.C_operation (o.i_name, op.op_name) in
+           match locate custom o.i_name (fun i -> Schema.find_op i op.op_name) with
+           | None -> entry construct Deleted
+           | Some (moved_to, found) ->
+               entry construct (status_of ~moved_to (diff_op op found)))
+  in
+  let entries =
+    original.s_interfaces
+    |> List.concat_map (fun o ->
+           interface_entries o @ attr_entries o @ rel_entries o @ op_entries o)
+  in
+  (* additions: custom constructs with no shrink-wrap counterpart anywhere on
+     their ISA line *)
+  let original_has owner find_member =
+    Option.is_some (locate original owner find_member)
+    ||
+    match Schema.find_interface original owner with
+    | Some i -> Option.is_some (find_member i)
+    | None -> false
+  in
+  let added =
+    custom.s_interfaces
+    |> List.concat_map (fun c ->
+           let iface =
+             if Schema.mem_interface original c.i_name then []
+             else [ Change.C_interface c.i_name ]
+           in
+           let attrs =
+             c.i_attrs
+             |> List.filter_map (fun a ->
+                    if
+                      original_has c.i_name (fun i ->
+                          Schema.find_attr i a.attr_name)
+                    then None
+                    else Some (Change.C_attribute (c.i_name, a.attr_name)))
+           in
+           let rels =
+             c.i_rels
+             |> List.filter_map (fun r ->
+                    if
+                      original_has c.i_name (fun i -> Schema.find_rel i r.rel_name)
+                    then None
+                    else Some (Change.C_relationship (c.i_name, r.rel_name)))
+           in
+           let ops =
+             c.i_ops
+             |> List.filter_map (fun op ->
+                    if original_has c.i_name (fun i -> Schema.find_op i op.op_name)
+                    then None
+                    else Some (Change.C_operation (c.i_name, op.op_name)))
+           in
+           iface @ attrs @ rels @ ops)
+  in
+  { entries; added }
+
+let status_to_string = function
+  | Preserved -> "preserved"
+  | Modified ds -> "modified (" ^ String.concat ", " ds ^ ")"
+  | Moved t -> "moved to " ^ t
+  | Moved_and_modified (t, ds) ->
+      Printf.sprintf "moved to %s and modified (%s)" t (String.concat ", " ds)
+  | Deleted -> "deleted"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s: %s"
+    (Change.construct_to_string e.m_construct)
+    (status_to_string e.m_status)
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun e -> Fmt.pf ppf "%a@," pp_entry e) m.entries;
+  List.iter
+    (fun c -> Fmt.pf ppf "%s: added by designer@," (Change.construct_to_string c))
+    m.added;
+  Fmt.pf ppf "@]"
+
+(** Counts by status: (preserved, modified, moved, deleted, added). *)
+let summary m =
+  let p, md, mv, d =
+    List.fold_left
+      (fun (p, md, mv, d) e ->
+        match e.m_status with
+        | Preserved -> (p + 1, md, mv, d)
+        | Modified _ -> (p, md + 1, mv, d)
+        | Moved _ | Moved_and_modified _ -> (p, md, mv + 1, d)
+        | Deleted -> (p, md, mv, d + 1))
+      (0, 0, 0, 0) m.entries
+  in
+  (p, md, mv, d, List.length m.added)

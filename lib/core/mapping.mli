@@ -1,0 +1,41 @@
+(** The semantic correspondence between the shrink wrap schema and the
+    customized schema.
+
+    Under name equivalence, uniqueness and the stability assumptions, the
+    mapping is computed structurally: every shrink-wrap construct is
+    classified exactly once (tested by property), and custom-side constructs
+    with no counterpart are designer additions. *)
+
+open Odl.Types
+
+type status =
+  | Preserved
+  | Modified of string list  (** which aspects changed *)
+  | Moved of type_name  (** now resides on the named interface *)
+  | Moved_and_modified of type_name * string list
+  | Deleted
+
+type entry = {
+  m_construct : Change.construct;  (** located in the shrink wrap schema *)
+  m_status : status;
+}
+
+type t = {
+  entries : entry list;  (** one per shrink-wrap construct *)
+  added : Change.construct list;  (** designer additions, custom side *)
+}
+
+val equal_status : status -> status -> bool
+val equal_entry : entry -> entry -> bool
+val equal : t -> t -> bool
+val pp_status : Format.formatter -> status -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val compute : original:schema -> custom:schema -> t
+
+val status_to_string : status -> string
+
+val summary : t -> int * int * int * int * int
+(** (preserved, modified, moved, deleted, added). *)

@@ -1,0 +1,230 @@
+(** Schema modification operations — the complete operation set of the
+    paper's Appendix A BNF.
+
+    Conventions carried over from the paper:
+
+    - modify operations take the {e old} value as well as the new one; the
+      application engine checks the old value against the workspace and
+      rejects the operation on mismatch (stale-view feedback);
+    - names are never modified (name equivalence / uniqueness assumptions);
+    - the three "move" operations ({!Modify_attribute},
+      {!Modify_operation}, {!Modify_relationship_target_type} and their
+      part-of / instance-of analogues) relocate information strictly within
+      the generalization hierarchy established by the shrink wrap schema
+      (semantic stability). *)
+
+open Odl.Types
+
+(** Payload of an [add_relationship] (and of the part-of / instance-of
+    variants, whose role is determined by [ar_card]: a collection end of a
+    part-of relationship is the whole side; of an instance-of relationship,
+    the generic side). *)
+type add_rel = {
+  ar_owner : type_name;
+  ar_target : type_name;
+  ar_card : collection_kind option;  (** [Some _] = to-many end *)
+  ar_name : string;  (** traversal path declared on [ar_owner] *)
+  ar_inverse : string;  (** traversal path declared on [ar_target] *)
+  ar_order_by : string list;
+}
+[@@deriving show, eq, ord]
+
+type t =
+  (* interface definitions *)
+  | Add_type_definition of type_name
+  | Delete_type_definition of type_name
+  (* type properties *)
+  | Add_supertype of type_name * type_name
+  | Delete_supertype of type_name * type_name
+  | Modify_supertype of type_name * type_name list * type_name list
+      (** re-wire ISA: (interface, old supertype list, new supertype list) *)
+  | Add_extent_name of type_name * string
+  | Delete_extent_name of type_name * string
+  | Modify_extent_name of type_name * string * string
+  | Add_key_list of type_name * string list
+  | Delete_key_list of type_name * string list
+  | Modify_key_list of type_name * string list * string list
+  (* attributes *)
+  | Add_attribute of type_name * domain_type * int option * string
+  | Delete_attribute of type_name * string
+  | Modify_attribute of type_name * string * type_name
+      (** move the attribute up/down the generalization hierarchy:
+          (owner, attribute, new owner) *)
+  | Modify_attribute_type of type_name * string * domain_type * domain_type
+  | Modify_attribute_size of type_name * string * int option * int option
+  (* association relationships *)
+  | Add_relationship of add_rel
+  | Delete_relationship of type_name * string
+  | Modify_relationship_target_type of type_name * string * type_name * type_name
+      (** move the far end up/down the generalization hierarchy:
+          (owner, traversal path, old target, new target) *)
+  | Modify_relationship_cardinality of
+      type_name * string * collection_kind option * collection_kind option
+  | Modify_relationship_order_by of type_name * string * string list * string list
+  (* operations *)
+  | Add_operation of type_name * domain_type * string * argument list * string list
+  | Delete_operation of type_name * string
+  | Modify_operation of type_name * string * type_name
+      (** move the operation up/down the generalization hierarchy *)
+  | Modify_operation_return_type of type_name * string * domain_type * domain_type
+  | Modify_operation_arg_list of type_name * string * argument list * argument list
+  | Modify_operation_exceptions_raised of
+      type_name * string * string list * string list
+  (* part-of relationships *)
+  | Add_part_of_relationship of add_rel
+  | Delete_part_of_relationship of type_name * string
+  | Modify_part_of_target_type of type_name * string * type_name * type_name
+  | Modify_part_of_cardinality of type_name * string * collection_kind * collection_kind
+      (** only allowed on the to-part-of (collection) end *)
+  | Modify_part_of_order_by of type_name * string * string list * string list
+  (* instance-of relationships *)
+  | Add_instance_of_relationship of add_rel
+  | Delete_instance_of_relationship of type_name * string
+  | Modify_instance_of_target_type of type_name * string * type_name * type_name
+  | Modify_instance_of_cardinality of
+      type_name * string * collection_kind * collection_kind
+      (** only allowed on the to-instance-entities (collection) end *)
+  | Modify_instance_of_order_by of type_name * string * string list * string list
+[@@deriving show, eq, ord]
+
+(** The operation's keyword in the modification language. *)
+let name = function
+  | Add_type_definition _ -> "add_type_definition"
+  | Delete_type_definition _ -> "delete_type_definition"
+  | Add_supertype _ -> "add_supertype"
+  | Delete_supertype _ -> "delete_supertype"
+  | Modify_supertype _ -> "modify_supertype"
+  | Add_extent_name _ -> "add_extent_name"
+  | Delete_extent_name _ -> "delete_extent_name"
+  | Modify_extent_name _ -> "modify_extent_name"
+  | Add_key_list _ -> "add_key_list"
+  | Delete_key_list _ -> "delete_key_list"
+  | Modify_key_list _ -> "modify_key_list"
+  | Add_attribute _ -> "add_attribute"
+  | Delete_attribute _ -> "delete_attribute"
+  | Modify_attribute _ -> "modify_attribute"
+  | Modify_attribute_type _ -> "modify_attribute_type"
+  | Modify_attribute_size _ -> "modify_attribute_size"
+  | Add_relationship _ -> "add_relationship"
+  | Delete_relationship _ -> "delete_relationship"
+  | Modify_relationship_target_type _ -> "modify_relationship_target_type"
+  | Modify_relationship_cardinality _ -> "modify_relationship_cardinality"
+  | Modify_relationship_order_by _ -> "modify_relationship_order_by"
+  | Add_operation _ -> "add_operation"
+  | Delete_operation _ -> "delete_operation"
+  | Modify_operation _ -> "modify_operation"
+  | Modify_operation_return_type _ -> "modify_operation_return_type"
+  | Modify_operation_arg_list _ -> "modify_operation_arg_list"
+  | Modify_operation_exceptions_raised _ -> "modify_operation_exceptions_raised"
+  | Add_part_of_relationship _ -> "add_part_of_relationship"
+  | Delete_part_of_relationship _ -> "delete_part_of_relationship"
+  | Modify_part_of_target_type _ -> "modify_part_of_target_type"
+  | Modify_part_of_cardinality _ -> "modify_part_of_cardinality"
+  | Modify_part_of_order_by _ -> "modify_part_of_order_by"
+  | Add_instance_of_relationship _ -> "add_instance_of_relationship"
+  | Delete_instance_of_relationship _ -> "delete_instance_of_relationship"
+  | Modify_instance_of_target_type _ -> "modify_instance_of_target_type"
+  | Modify_instance_of_cardinality _ -> "modify_instance_of_cardinality"
+  | Modify_instance_of_order_by _ -> "modify_instance_of_order_by"
+
+(** The interface an operation is primarily issued against. *)
+let subject = function
+  | Add_type_definition n | Delete_type_definition n -> n
+  | Add_supertype (n, _)
+  | Delete_supertype (n, _)
+  | Modify_supertype (n, _, _)
+  | Add_extent_name (n, _)
+  | Delete_extent_name (n, _)
+  | Modify_extent_name (n, _, _)
+  | Add_key_list (n, _)
+  | Delete_key_list (n, _)
+  | Modify_key_list (n, _, _)
+  | Add_attribute (n, _, _, _)
+  | Delete_attribute (n, _)
+  | Modify_attribute (n, _, _)
+  | Modify_attribute_type (n, _, _, _)
+  | Modify_attribute_size (n, _, _, _)
+  | Delete_relationship (n, _)
+  | Modify_relationship_target_type (n, _, _, _)
+  | Modify_relationship_cardinality (n, _, _, _)
+  | Modify_relationship_order_by (n, _, _, _)
+  | Add_operation (n, _, _, _, _)
+  | Delete_operation (n, _)
+  | Modify_operation (n, _, _)
+  | Modify_operation_return_type (n, _, _, _)
+  | Modify_operation_arg_list (n, _, _, _)
+  | Modify_operation_exceptions_raised (n, _, _, _)
+  | Delete_part_of_relationship (n, _)
+  | Modify_part_of_target_type (n, _, _, _)
+  | Modify_part_of_cardinality (n, _, _, _)
+  | Modify_part_of_order_by (n, _, _, _)
+  | Delete_instance_of_relationship (n, _)
+  | Modify_instance_of_target_type (n, _, _, _)
+  | Modify_instance_of_cardinality (n, _, _, _)
+  | Modify_instance_of_order_by (n, _, _, _) -> n
+  | Add_relationship ar | Add_part_of_relationship ar
+  | Add_instance_of_relationship ar -> ar.ar_owner
+
+(** Classification used by the permission matrix (Table 1): the ODL
+    candidate a given operation manipulates, and whether it adds, deletes or
+    modifies it. *)
+type candidate =
+  | Cand_type_definition
+  | Cand_supertype
+  | Cand_extent
+  | Cand_key
+  | Cand_attribute
+  | Cand_relationship
+  | Cand_operation
+  | Cand_part_of
+  | Cand_instance_of
+[@@deriving show, eq, ord]
+
+type action = Add | Delete | Modify [@@deriving show, eq, ord]
+
+let candidate_name = function
+  | Cand_type_definition -> "type definition"
+  | Cand_supertype -> "supertype (ISA)"
+  | Cand_extent -> "extent name"
+  | Cand_key -> "key list"
+  | Cand_attribute -> "attribute"
+  | Cand_relationship -> "relationship"
+  | Cand_operation -> "operation"
+  | Cand_part_of -> "part-of relationship"
+  | Cand_instance_of -> "instance-of relationship"
+
+let action_name = function Add -> "A" | Delete -> "D" | Modify -> "M"
+
+let classify = function
+  | Add_type_definition _ -> (Cand_type_definition, Add)
+  | Delete_type_definition _ -> (Cand_type_definition, Delete)
+  | Add_supertype _ -> (Cand_supertype, Add)
+  | Delete_supertype _ -> (Cand_supertype, Delete)
+  | Modify_supertype _ -> (Cand_supertype, Modify)
+  | Add_extent_name _ -> (Cand_extent, Add)
+  | Delete_extent_name _ -> (Cand_extent, Delete)
+  | Modify_extent_name _ -> (Cand_extent, Modify)
+  | Add_key_list _ -> (Cand_key, Add)
+  | Delete_key_list _ -> (Cand_key, Delete)
+  | Modify_key_list _ -> (Cand_key, Modify)
+  | Add_attribute _ -> (Cand_attribute, Add)
+  | Delete_attribute _ -> (Cand_attribute, Delete)
+  | Modify_attribute _ | Modify_attribute_type _ | Modify_attribute_size _ ->
+      (Cand_attribute, Modify)
+  | Add_relationship _ -> (Cand_relationship, Add)
+  | Delete_relationship _ -> (Cand_relationship, Delete)
+  | Modify_relationship_target_type _ | Modify_relationship_cardinality _
+  | Modify_relationship_order_by _ -> (Cand_relationship, Modify)
+  | Add_operation _ -> (Cand_operation, Add)
+  | Delete_operation _ -> (Cand_operation, Delete)
+  | Modify_operation _ | Modify_operation_return_type _
+  | Modify_operation_arg_list _ | Modify_operation_exceptions_raised _ ->
+      (Cand_operation, Modify)
+  | Add_part_of_relationship _ -> (Cand_part_of, Add)
+  | Delete_part_of_relationship _ -> (Cand_part_of, Delete)
+  | Modify_part_of_target_type _ | Modify_part_of_cardinality _
+  | Modify_part_of_order_by _ -> (Cand_part_of, Modify)
+  | Add_instance_of_relationship _ -> (Cand_instance_of, Add)
+  | Delete_instance_of_relationship _ -> (Cand_instance_of, Delete)
+  | Modify_instance_of_target_type _ | Modify_instance_of_cardinality _
+  | Modify_instance_of_order_by _ -> (Cand_instance_of, Modify)

@@ -1,0 +1,263 @@
+(** Parser for the schema modification language (Appendix A of the paper).
+
+    Each operation has the shape [keyword ( argument , ... )].  Argument
+    forms:
+    - identifiers (type, attribute, path, extent names);
+    - ODL domain types ([string], [set<Course>], ...);
+    - sizes: an integer or [none];
+    - cardinalities: a collection keyword ([set], [list], [bag], [array])
+      or [one];
+    - name lists: [(a, b, c)] — also accepted for a single name as [a];
+    - operation argument lists: [(string term, int year)];
+    - an optional trailing order-by name list on the add-relationship
+      operations. *)
+
+open Odl.Types
+open Odl.Lexer
+module T = Odl.Token_stream
+module P = Odl.Parser
+
+exception Parse_error = T.Parse_error
+
+let parse_domain = P.parse_domain
+
+let parse_size t =
+  match T.peek t with
+  | Ident "none" ->
+      T.advance t;
+      None
+  | Int _ -> Some (T.int t)
+  | tok ->
+      T.error t
+        (Printf.sprintf "expected size (integer or 'none'), found %s"
+           (token_to_string tok))
+
+let parse_card t =
+  let id = T.ident t in
+  if String.equal id "one" then None
+  else
+    match P.collection_of_ident id with
+    | Some k -> Some k
+    | None -> T.error t (Printf.sprintf "expected cardinality, found %s" id)
+
+let parse_collection t =
+  let id = T.ident t in
+  match P.collection_of_ident id with
+  | Some k -> k
+  | None -> T.error t (Printf.sprintf "expected collection kind, found %s" id)
+
+let parse_name_list t =
+  match T.peek t with
+  | Lparen -> T.paren_list t T.ident
+  | _ -> [ T.ident t ]
+
+let parse_target_of_path t =
+  let id = T.ident t in
+  match P.collection_of_ident id with
+  | Some k ->
+      T.expect t Langle;
+      let target = T.ident t in
+      T.expect t Rangle;
+      (target, Some k)
+  | None -> (id, None)
+
+let parse_op_arg t =
+  let ty = parse_domain t in
+  let name = T.ident t in
+  { arg_name = name; arg_type = ty }
+
+let parse_arg_list t = T.paren_list t parse_op_arg
+
+let comma t = T.expect t Comma
+
+let parse_add_rel t mk =
+  T.expect t Lparen;
+  let owner = T.ident t in
+  comma t;
+  let target, card = parse_target_of_path t in
+  comma t;
+  let name = T.ident t in
+  comma t;
+  let inverse = T.ident t in
+  let order_by = if T.eat t Comma then parse_name_list t else [] in
+  T.expect t Rparen;
+  mk
+    {
+      Modop.ar_owner = owner;
+      ar_target = target;
+      ar_card = card;
+      ar_name = name;
+      ar_inverse = inverse;
+      ar_order_by = order_by;
+    }
+
+(* Combinator helpers: parse a fixed parenthesized argument tuple. *)
+let args1 t p1 mk =
+  T.expect t Lparen;
+  let a = p1 t in
+  T.expect t Rparen;
+  mk a
+
+let args2 t p1 p2 mk =
+  T.expect t Lparen;
+  let a = p1 t in
+  comma t;
+  let b = p2 t in
+  T.expect t Rparen;
+  mk a b
+
+let args3 t p1 p2 p3 mk =
+  T.expect t Lparen;
+  let a = p1 t in
+  comma t;
+  let b = p2 t in
+  comma t;
+  let c = p3 t in
+  T.expect t Rparen;
+  mk a b c
+
+let args4 t p1 p2 p3 p4 mk =
+  T.expect t Lparen;
+  let a = p1 t in
+  comma t;
+  let b = p2 t in
+  comma t;
+  let c = p3 t in
+  comma t;
+  let d = p4 t in
+  T.expect t Rparen;
+  mk a b c d
+
+let args5 t p1 p2 p3 p4 p5 mk =
+  T.expect t Lparen;
+  let a = p1 t in
+  comma t;
+  let b = p2 t in
+  comma t;
+  let c = p3 t in
+  comma t;
+  let d = p4 t in
+  comma t;
+  let e = p5 t in
+  T.expect t Rparen;
+  mk a b c d e
+
+let ident = T.ident
+
+let parse_one t : Modop.t =
+  let kw = T.ident t in
+  match kw with
+  | "add_type_definition" -> args1 t ident (fun n -> Modop.Add_type_definition n)
+  | "delete_type_definition" ->
+      args1 t ident (fun n -> Modop.Delete_type_definition n)
+  | "add_supertype" -> args2 t ident ident (fun n s -> Modop.Add_supertype (n, s))
+  | "delete_supertype" ->
+      args2 t ident ident (fun n s -> Modop.Delete_supertype (n, s))
+  | "modify_supertype" ->
+      args3 t ident parse_name_list parse_name_list (fun n o w ->
+          Modop.Modify_supertype (n, o, w))
+  | "add_extent_name" ->
+      args2 t ident ident (fun n e -> Modop.Add_extent_name (n, e))
+  | "delete_extent_name" ->
+      args2 t ident ident (fun n e -> Modop.Delete_extent_name (n, e))
+  | "modify_extent_name" ->
+      args3 t ident ident ident (fun n o w -> Modop.Modify_extent_name (n, o, w))
+  | "add_key_list" ->
+      args2 t ident parse_name_list (fun n k -> Modop.Add_key_list (n, k))
+  | "delete_key_list" ->
+      args2 t ident parse_name_list (fun n k -> Modop.Delete_key_list (n, k))
+  | "modify_key_list" ->
+      args3 t ident parse_name_list parse_name_list (fun n o w ->
+          Modop.Modify_key_list (n, o, w))
+  | "add_attribute" ->
+      args4 t ident parse_domain parse_size ident (fun n d s a ->
+          Modop.Add_attribute (n, d, s, a))
+  | "delete_attribute" ->
+      args2 t ident ident (fun n a -> Modop.Delete_attribute (n, a))
+  | "modify_attribute" ->
+      args3 t ident ident ident (fun n a n' -> Modop.Modify_attribute (n, a, n'))
+  | "modify_attribute_type" ->
+      args4 t ident ident parse_domain parse_domain (fun n a o w ->
+          Modop.Modify_attribute_type (n, a, o, w))
+  | "modify_attribute_size" ->
+      args4 t ident ident parse_size parse_size (fun n a o w ->
+          Modop.Modify_attribute_size (n, a, o, w))
+  | "add_relationship" -> parse_add_rel t (fun ar -> Modop.Add_relationship ar)
+  | "delete_relationship" ->
+      args2 t ident ident (fun n p -> Modop.Delete_relationship (n, p))
+  | "modify_relationship_target_type" ->
+      args4 t ident ident ident ident (fun n p o w ->
+          Modop.Modify_relationship_target_type (n, p, o, w))
+  | "modify_relationship_cardinality" ->
+      args4 t ident ident parse_card parse_card (fun n p o w ->
+          Modop.Modify_relationship_cardinality (n, p, o, w))
+  | "modify_relationship_order_by" ->
+      args4 t ident ident parse_name_list parse_name_list (fun n p o w ->
+          Modop.Modify_relationship_order_by (n, p, o, w))
+  | "add_operation" ->
+      args5 t ident parse_domain ident parse_arg_list parse_name_list
+        (fun n ret o args raises -> Modop.Add_operation (n, ret, o, args, raises))
+  | "delete_operation" ->
+      args2 t ident ident (fun n o -> Modop.Delete_operation (n, o))
+  | "modify_operation" ->
+      args3 t ident ident ident (fun n o n' -> Modop.Modify_operation (n, o, n'))
+  | "modify_operation_return_type" ->
+      args4 t ident ident parse_domain parse_domain (fun n o ot nt ->
+          Modop.Modify_operation_return_type (n, o, ot, nt))
+  | "modify_operation_arg_list" ->
+      args4 t ident ident parse_arg_list parse_arg_list (fun n o oa na ->
+          Modop.Modify_operation_arg_list (n, o, oa, na))
+  | "modify_operation_exceptions_raised" ->
+      args4 t ident ident parse_name_list parse_name_list (fun n o oe ne ->
+          Modop.Modify_operation_exceptions_raised (n, o, oe, ne))
+  | "add_part_of_relationship" ->
+      parse_add_rel t (fun ar -> Modop.Add_part_of_relationship ar)
+  | "delete_part_of_relationship" ->
+      args2 t ident ident (fun n p -> Modop.Delete_part_of_relationship (n, p))
+  | "modify_part_of_target_type" ->
+      args4 t ident ident ident ident (fun n p o w ->
+          Modop.Modify_part_of_target_type (n, p, o, w))
+  | "modify_part_of_cardinality" ->
+      args4 t ident ident parse_collection parse_collection (fun n p o w ->
+          Modop.Modify_part_of_cardinality (n, p, o, w))
+  | "modify_part_of_order_by" ->
+      args4 t ident ident parse_name_list parse_name_list (fun n p o w ->
+          Modop.Modify_part_of_order_by (n, p, o, w))
+  | "add_instance_of_relationship" ->
+      parse_add_rel t (fun ar -> Modop.Add_instance_of_relationship ar)
+  | "delete_instance_of_relationship" ->
+      args2 t ident ident (fun n p ->
+          Modop.Delete_instance_of_relationship (n, p))
+  | "modify_instance_of_target_type" ->
+      args4 t ident ident ident ident (fun n p o w ->
+          Modop.Modify_instance_of_target_type (n, p, o, w))
+  | "modify_instance_of_cardinality" ->
+      args4 t ident ident parse_collection parse_collection (fun n p o w ->
+          Modop.Modify_instance_of_cardinality (n, p, o, w))
+  | "modify_instance_of_order_by" ->
+      args4 t ident ident parse_name_list parse_name_list (fun n p o w ->
+          Modop.Modify_instance_of_order_by (n, p, o, w))
+  | other -> T.error t (Printf.sprintf "unknown operation '%s'" other)
+
+(** Parse exactly one operation from [src].
+    @raise Parse_error on syntax errors. *)
+let parse src =
+  let t = T.of_string src in
+  let op = parse_one t in
+  ignore (T.eat t Semi);
+  T.expect t Eof;
+  op
+
+(** Parse a sequence of operations (an operation log), separated by optional
+    semicolons. *)
+let parse_many src =
+  let t = T.of_string src in
+  let rec go acc =
+    match T.peek t with
+    | Eof -> List.rev acc
+    | _ ->
+        let op = parse_one t in
+        ignore (T.eat t Semi);
+        go (op :: acc)
+  in
+  go []

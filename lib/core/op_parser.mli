@@ -1,0 +1,13 @@
+(** Parser for the schema modification language (Appendix A of the paper).
+    Each operation has the shape [keyword(argument, ...)]; see the
+    implementation header for the argument forms. *)
+
+exception Parse_error of string * int * int
+(** [(message, line, column)]. *)
+
+val parse : string -> Modop.t
+(** Parse exactly one operation.
+    @raise Parse_error on syntax errors. *)
+
+val parse_many : string -> Modop.t list
+(** Parse a sequence of operations separated by optional semicolons. *)

@@ -1,0 +1,8 @@
+(** Printer for the modification language.  Output parses back through
+    {!Op_parser.parse} to the same operation (tested by property). *)
+
+val pp : Format.formatter -> Modop.t -> unit
+val to_string : Modop.t -> string
+
+val pp_log : Format.formatter -> Modop.t list -> unit
+(** One operation per line. *)

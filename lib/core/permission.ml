@@ -1,0 +1,114 @@
+(** The paper's Table 1: which modification operations are admissible in
+    which concept schema type.
+
+    Summary of the policy (paper §3.4):
+    - {e wagon wheels} carry the bulk of the modifications: object types,
+      extents, keys, attributes, relationships and operations can be added,
+      deleted, and have their non-name properties modified; part-of and
+      instance-of links can be added and deleted (they appear in a wagon
+      wheel) but not modified; supertypes cannot be touched at all;
+    - {e generalization hierarchies} own everything ISA: add/delete/re-wire
+      supertype links, add/delete object types, and the three "move"
+      operations that relocate attributes, relationship ends, and operations
+      up or down the hierarchy;
+    - {e aggregation hierarchies} own part-of links (add, delete, re-target,
+      re-cardinality, re-order) plus add/delete of object types;
+    - {e instance-of hierarchies} likewise own instance-of links. *)
+
+let wagon_wheel_ops =
+  [
+    "add_type_definition"; "delete_type_definition";
+    "add_extent_name"; "delete_extent_name"; "modify_extent_name";
+    "add_key_list"; "delete_key_list"; "modify_key_list";
+    "add_attribute"; "delete_attribute";
+    "modify_attribute_type"; "modify_attribute_size";
+    "add_relationship"; "delete_relationship";
+    "modify_relationship_cardinality"; "modify_relationship_order_by";
+    "add_operation"; "delete_operation";
+    "modify_operation_return_type"; "modify_operation_arg_list";
+    "modify_operation_exceptions_raised";
+    "add_part_of_relationship"; "delete_part_of_relationship";
+    "add_instance_of_relationship"; "delete_instance_of_relationship";
+  ]
+
+let generalization_ops =
+  [
+    "add_type_definition"; "delete_type_definition";
+    "add_supertype"; "delete_supertype"; "modify_supertype";
+    "modify_attribute"; "modify_relationship_target_type"; "modify_operation";
+  ]
+
+let aggregation_ops =
+  [
+    "add_type_definition"; "delete_type_definition";
+    "add_part_of_relationship"; "delete_part_of_relationship";
+    "modify_part_of_target_type"; "modify_part_of_cardinality";
+    "modify_part_of_order_by";
+  ]
+
+let instance_chain_ops =
+  [
+    "add_type_definition"; "delete_type_definition";
+    "add_instance_of_relationship"; "delete_instance_of_relationship";
+    "modify_instance_of_target_type"; "modify_instance_of_cardinality";
+    "modify_instance_of_order_by";
+  ]
+
+let ops_for = function
+  | Concept.Wagon_wheel -> wagon_wheel_ops
+  | Concept.Generalization -> generalization_ops
+  | Concept.Aggregation -> aggregation_ops
+  | Concept.Instance_chain -> instance_chain_ops
+
+(** Every operation keyword of the modification language, in Appendix-A
+    order. *)
+let all_op_names =
+  [
+    "add_type_definition"; "delete_type_definition";
+    "add_supertype"; "delete_supertype"; "modify_supertype";
+    "add_extent_name"; "delete_extent_name"; "modify_extent_name";
+    "add_key_list"; "delete_key_list"; "modify_key_list";
+    "add_attribute"; "delete_attribute"; "modify_attribute";
+    "modify_attribute_type"; "modify_attribute_size";
+    "add_relationship"; "delete_relationship";
+    "modify_relationship_target_type"; "modify_relationship_cardinality";
+    "modify_relationship_order_by";
+    "add_operation"; "delete_operation"; "modify_operation";
+    "modify_operation_return_type"; "modify_operation_arg_list";
+    "modify_operation_exceptions_raised";
+    "add_part_of_relationship"; "delete_part_of_relationship";
+    "modify_part_of_target_type"; "modify_part_of_cardinality";
+    "modify_part_of_order_by";
+    "add_instance_of_relationship"; "delete_instance_of_relationship";
+    "modify_instance_of_target_type"; "modify_instance_of_cardinality";
+    "modify_instance_of_order_by";
+  ]
+
+let allowed_name kind op_name = List.mem op_name (ops_for kind)
+
+(** Which concept schema type does admit [op_name]?  Used to word denial
+    feedback ("address supertypes in the generalization hierarchy"). *)
+let homes op_name =
+  List.filter
+    (fun k -> allowed_name k op_name)
+    [
+      Concept.Wagon_wheel; Concept.Generalization; Concept.Aggregation;
+      Concept.Instance_chain;
+    ]
+
+(** [allowed kind op] is [Ok ()] when [op] may be issued while viewing a
+    concept schema of [kind], and [Error reason] otherwise. *)
+let allowed kind op =
+  let n = Modop.name op in
+  if allowed_name kind n then Ok ()
+  else
+    let hint =
+      match homes n with
+      | [] -> "this operation is not admissible in any concept schema type"
+      | ks ->
+          Printf.sprintf "address it in the %s concept schema"
+            (String.concat " or " (List.map Concept.kind_name ks))
+    in
+    Error
+      (Printf.sprintf "%s is not allowed in a %s concept schema; %s" n
+         (Concept.kind_name kind) hint)

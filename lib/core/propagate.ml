@@ -1,0 +1,122 @@
+(** Propagation rules of the knowledge component.
+
+    After the primary effect of an operation, the workspace may contain
+    constructs that refer to things that no longer exist (relationships whose
+    target was deleted, keys naming an attribute that moved away, ...).
+    [repair] applies the propagation rules to a fixpoint, returning the
+    repaired schema together with the propagated change events — the material
+    of the impact report. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+let known_domain schema d =
+  match base_name d with
+  | None -> true
+  | Some n -> Schema.mem_interface schema n
+
+(* One pass of every rule; returns the new schema and this pass's events. *)
+let pass schema =
+  let events = ref [] in
+  let note ch = events := Change.propagated ch :: !events in
+  let repair_interface i =
+    (* rule 1: drop supertype references to missing interfaces *)
+    let supertypes =
+      List.filter
+        (fun s ->
+          let ok = Schema.mem_interface schema s in
+          if not ok then note (Change.Removed (Change.C_supertype (i.i_name, s)));
+          ok)
+        i.i_supertypes
+    in
+    (* rules 2-3: drop relationships whose target or inverse end is gone *)
+    let rels =
+      List.filter
+        (fun r ->
+          let ok =
+            match Schema.find_interface schema r.rel_target with
+            | None -> false
+            | Some target -> Schema.has_rel target r.rel_inverse
+          in
+          if not ok then
+            note (Change.Removed (Change.C_relationship (i.i_name, r.rel_name)));
+          ok)
+        i.i_rels
+    in
+    (* rule 4: drop attributes whose domain names a missing type *)
+    let attrs =
+      List.filter
+        (fun a ->
+          let ok = known_domain schema a.attr_type in
+          if not ok then
+            note (Change.Removed (Change.C_attribute (i.i_name, a.attr_name)));
+          ok)
+        i.i_attrs
+    in
+    (* rule 5: drop operations whose signature names a missing type *)
+    let ops =
+      List.filter
+        (fun o ->
+          let ok =
+            known_domain schema o.op_return
+            && List.for_all (fun a -> known_domain schema a.arg_type) o.op_args
+          in
+          if not ok then
+            note (Change.Removed (Change.C_operation (i.i_name, o.op_name)));
+          ok)
+        i.i_ops
+    in
+    (* rule 6: drop keys naming attributes no longer visible here.  Uses the
+       attribute sets of the pre-pass schema; convergence comes from
+       iterating to fixpoint. *)
+    let visible = Schema.visible_attrs schema i.i_name in
+    let visible_attr n = List.exists (fun a -> String.equal a.attr_name n) visible in
+    let keys =
+      List.filter
+        (fun k ->
+          let ok = List.for_all visible_attr k in
+          if not ok then note (Change.Removed (Change.C_key (i.i_name, k)));
+          ok)
+        i.i_keys
+    in
+    (* rule 7: prune order-by entries naming attributes not visible on the
+       relationship target *)
+    let rels =
+      List.map
+        (fun r ->
+          if r.rel_order_by = [] then r
+          else
+            match Schema.find_interface schema r.rel_target with
+            | None -> r  (* already removed above on the next pass *)
+            | Some _ ->
+                let target_attrs = Schema.visible_attrs schema r.rel_target in
+                let ok a =
+                  List.exists (fun ta -> String.equal ta.attr_name a) target_attrs
+                in
+                let kept, dropped = List.partition ok r.rel_order_by in
+                if dropped = [] then r
+                else begin
+                  note
+                    (Change.Altered
+                       ( Change.C_relationship (i.i_name, r.rel_name),
+                         "order_by pruned: "
+                         ^ String.concat ", " dropped ));
+                  { r with rel_order_by = kept }
+                end)
+        rels
+    in
+    { i with i_supertypes = supertypes; i_rels = rels; i_attrs = attrs;
+      i_ops = ops; i_keys = keys }
+  in
+  let s' = { schema with s_interfaces = List.map repair_interface schema.s_interfaces } in
+  (s', List.rev !events)
+
+(** Apply the propagation rules to a fixpoint. *)
+let repair schema =
+  let rec go schema acc guard =
+    if guard = 0 then (schema, acc)  (* defensive bound; rules only remove *)
+    else
+      let s', events = pass schema in
+      if events = [] then (schema, acc) else go s' (acc @ events) (guard - 1)
+  in
+  go schema [] 1000

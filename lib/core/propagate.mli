@@ -1,0 +1,18 @@
+(** Propagation rules of the knowledge component.
+
+    After the primary effect of an operation, the workspace may contain
+    constructs referring to things that no longer exist.  [repair] applies
+    the propagation rules to a fixpoint:
+
+    + supertype references to missing interfaces are dropped;
+    + relationships whose target or inverse end is gone are removed;
+    + attributes whose domain names a missing type are removed;
+    + operations whose signature names a missing type are removed;
+    + keys naming attributes no longer visible are dropped;
+    + order-by entries naming attributes not visible on the relationship
+      target are pruned. *)
+
+val repair : Odl.Types.schema -> Odl.Types.schema * Change.event list
+(** The repaired schema and the propagated change events (the material of
+    the impact report).  The event list is empty iff the schema was already
+    closed under the rules. *)

@@ -1,0 +1,203 @@
+(** Schema quality assessment.
+
+    The whole premise of shrink wrap schema-based design is a {e
+    well-crafted} starting schema, and the paper notes that "schema quality
+    of the shrink wrap schema can be improved by revising the representation
+    over time as it is employed and reviewed by diverse design teams".  This
+    module supports that review: heuristics that flag craft problems a
+    reviewer would raise, beyond the hard validity rules of
+    [Odl.Validate].
+
+    Findings are advisory (a perfectly valid schema can score poorly), each
+    carrying the heuristic that fired and the construct concerned. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type finding = {
+  q_heuristic : string;  (** short identifier, e.g. ["isolated-type"] *)
+  q_subject : string;
+  q_advice : string;
+}
+
+let finding q_heuristic q_subject q_advice = { q_heuristic; q_subject; q_advice }
+
+let to_string f = Printf.sprintf "[%s] %s: %s" f.q_heuristic f.q_subject f.q_advice
+
+(* --- heuristics ----------------------------------------------------------- *)
+
+(* h1: hierarchy roots (roots that actually have subtypes) without an extent
+   cannot be enumerated *)
+let missing_extents schema =
+  Schema.isa_roots schema
+  |> List.filter (fun n -> Schema.direct_subtypes schema n <> [])
+  |> List.filter_map (fun n ->
+         let i = Schema.get_interface schema n in
+         if i.i_extent = None then
+           Some
+             (finding "missing-extent" n
+                "a hierarchy root without an extent cannot be enumerated; \
+                 declare one if instances are persistent")
+         else None)
+
+(* h2: no key anywhere on the ISA line means no identity.  Weak entities —
+   types anchored by a to-one relationship end (a syllabus describes exactly
+   one course offering) — borrow identity from their anchor and are not
+   flagged. *)
+let missing_keys schema =
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         let line = i.i_name :: Schema.ancestors schema i.i_name in
+         let keyed =
+           List.exists
+             (fun n -> (Schema.get_interface schema n).i_keys <> [])
+             (List.filter (Schema.mem_interface schema) line)
+         in
+         let anchored =
+           List.exists (fun r -> r.rel_card = None) i.i_rels
+         in
+         if keyed || anchored || i.i_attrs = [] then None
+         else
+           Some
+             (finding "missing-key" i.i_name
+                "no key on this interface or its ancestors, and no to-one \
+                 anchor; instances have no declared identity"))
+
+(* h3: isolated object types participate in nothing *)
+let isolated_types schema =
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         let incoming = Schema.relationships_targeting schema i.i_name in
+         if
+           i.i_rels = [] && incoming = [] && i.i_supertypes = []
+           && Schema.direct_subtypes schema i.i_name = []
+         then
+           Some
+             (finding "isolated-type" i.i_name
+                "participates in no relationship or hierarchy; consider \
+                 connecting or removing it")
+         else None)
+
+(* h4: god objects dominate the schema and resist decomposition *)
+let god_objects schema =
+  (* a wagon wheel focal point legitimately carries many spokes; flag only
+     extremes *)
+  let threshold = 12 in
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         let degree =
+           List.length i.i_rels
+           + List.length (Schema.relationships_targeting schema i.i_name)
+         in
+         if degree > threshold then
+           Some
+             (finding "god-object" i.i_name
+                (Printf.sprintf
+                   "%d relationship ends touch this type; consider splitting \
+                    the concept"
+                   degree))
+         else None)
+
+(* h5: an abstract-looking middle type with exactly one subtype adds a level
+   without a distinction *)
+let single_subtype schema =
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         match Schema.direct_subtypes schema i.i_name with
+         | [ only ] when i.i_attrs = [] && i.i_ops = [] && i.i_rels = [] ->
+             Some
+               (finding "needless-layer" i.i_name
+                  (Printf.sprintf
+                     "contributes nothing and has a single subtype (%s); \
+                      consider collapsing the level"
+                     only))
+         | _ -> None)
+
+(* h6: attribute-less leaf types are usually enumerations in disguise *)
+let empty_leaves schema =
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         if
+           i.i_attrs = [] && i.i_ops = [] && i.i_rels = []
+           && Schema.direct_subtypes schema i.i_name = []
+           && i.i_supertypes <> []
+         then
+           Some
+             (finding "empty-leaf" i.i_name
+                "a leaf subtype with no members of its own often stands for \
+                 an enumeration value; consider an attribute instead")
+         else None)
+
+(* h7: mixed naming conventions read as two schemas stitched together *)
+let naming_consistency schema =
+  let is_snake s = String.lowercase_ascii s = s in
+  let member_names =
+    schema.s_interfaces
+    |> List.concat_map (fun i ->
+           List.map (fun a -> (i.i_name, a.attr_name)) i.i_attrs
+           @ List.map (fun r -> (i.i_name, r.rel_name)) i.i_rels)
+  in
+  let camel =
+    List.filter (fun (_, n) -> not (is_snake n)) member_names
+  in
+  match camel with
+  | [] -> []
+  | _ when List.length camel * 4 < List.length member_names ->
+      (* a minority breaks the dominant convention: name the offenders *)
+      camel
+      |> List.map (fun (owner, n) ->
+             finding "naming-style" (owner ^ "." ^ n)
+               "breaks the schema's dominant lower_case member naming")
+  | _ -> []
+
+(* h8: very deep ISA chains are hard to comprehend *)
+let deep_hierarchies schema =
+  schema.s_interfaces
+  |> List.filter_map (fun i ->
+         let depth = List.length (Schema.ancestors schema i.i_name) in
+         if depth > 4 then
+           Some
+             (finding "deep-hierarchy" i.i_name
+                (Printf.sprintf "%d levels of inheritance above this type" depth))
+         else None)
+
+(* h9: a relationship pair where both order_by lists are set suggests the
+   ordering belongs to a first-class type *)
+let unordered_collections _schema = []
+
+let heuristics =
+  [
+    ("missing-extent", "hierarchy roots should declare extents");
+    ("missing-key", "interfaces should have identity somewhere on the ISA line");
+    ("isolated-type", "every object type should participate in something");
+    ("god-object", "no type should dominate the relationship graph");
+    ("needless-layer", "single-subtype empty middles add nothing");
+    ("empty-leaf", "member-less leaf subtypes are enumerations in disguise");
+    ("naming-style", "one naming convention per schema");
+    ("deep-hierarchy", "inheritance chains should stay comprehensible");
+  ]
+
+(** All advisory findings for [schema]. *)
+let assess schema =
+  missing_extents schema @ missing_keys schema @ isolated_types schema
+  @ god_objects schema @ single_subtype schema @ empty_leaves schema
+  @ naming_consistency schema @ deep_hierarchies schema
+  @ unordered_collections schema
+
+(** A craft score in [0, 100]: 100 means no findings; each finding costs
+    points relative to schema size. *)
+let score schema =
+  let findings = List.length (assess schema) in
+  let size = max 1 (List.length schema.s_interfaces) in
+  max 0 (100 - (findings * 100 / (size * 2)))
+
+let report schema =
+  let findings = assess schema in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "schema quality: %d/100 (%d finding(s))\n" (score schema)
+       (List.length findings));
+  List.iter
+    (fun f -> Buffer.add_string buf ("  " ^ to_string f ^ "\n"))
+    findings;
+  Buffer.contents buf

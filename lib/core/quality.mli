@@ -1,0 +1,22 @@
+(** Schema quality assessment: advisory heuristics supporting the paper's
+    premise of a well-crafted shrink wrap schema ("schema quality ... can be
+    improved by revising the representation over time as it is employed and
+    reviewed").  Orthogonal to validity: a valid schema can score poorly. *)
+
+type finding = {
+  q_heuristic : string;  (** short identifier, e.g. ["isolated-type"] *)
+  q_subject : string;
+  q_advice : string;
+}
+
+val to_string : finding -> string
+
+val heuristics : (string * string) list
+(** The heuristic catalog: identifier and one-line rationale. *)
+
+val assess : Odl.Types.schema -> finding list
+
+val score : Odl.Types.schema -> int
+(** Craft score in [0, 100]; 100 = no findings. *)
+
+val report : Odl.Types.schema -> string

@@ -1,0 +1,73 @@
+(** Recomposition: merging concept-schema projections back into one schema.
+
+    The paper's decomposition invariant — "the union of all the initial
+    concept schemas gives the original shrink wrap schema" — is realised by
+    {!union} together with {!normalize}: the normalized union of all wagon
+    wheel projections equals the normalized original schema. *)
+
+open Odl.Types
+
+let union_lists eq xs ys =
+  xs @ List.filter (fun y -> not (List.exists (eq y) xs)) ys
+
+let merge_interface (a : interface) (b : interface) =
+  {
+    i_name = a.i_name;
+    i_supertypes = union_lists String.equal a.i_supertypes b.i_supertypes;
+    i_extent = (match a.i_extent with Some _ -> a.i_extent | None -> b.i_extent);
+    i_keys = union_lists ( = ) a.i_keys b.i_keys;
+    i_attrs =
+      union_lists (fun x y -> String.equal x.attr_name y.attr_name) a.i_attrs b.i_attrs;
+    i_rels =
+      union_lists (fun x y -> String.equal x.rel_name y.rel_name) a.i_rels b.i_rels;
+    i_ops =
+      union_lists (fun x y -> String.equal x.op_name y.op_name) a.i_ops b.i_ops;
+  }
+
+(** [union ~name schemas] merges interfaces by name; same-named attributes,
+    relationships and operations are identified (the paper's name-equivalence
+    assumption). *)
+let union ~name schemas =
+  let add acc i =
+    match List.partition (fun j -> String.equal j.i_name i.i_name) acc with
+    | [ existing ], rest -> rest @ [ merge_interface existing i ]
+    | _, _ -> acc @ [ i ]
+  in
+  let interfaces =
+    List.fold_left (fun acc s -> List.fold_left add acc s.s_interfaces) [] schemas
+  in
+  { s_name = name; s_interfaces = interfaces }
+
+(** Canonical form for schema comparison: interfaces and their components are
+    sorted by name, supertypes and keys sorted.  Two schemas describe the
+    same design iff their normalized forms are equal. *)
+let normalize schema =
+  let norm_interface i =
+    {
+      i with
+      i_supertypes = List.sort_uniq compare i.i_supertypes;
+      i_keys = List.sort_uniq compare i.i_keys;
+      i_attrs = List.sort (fun a b -> compare a.attr_name b.attr_name) i.i_attrs;
+      i_rels = List.sort (fun a b -> compare a.rel_name b.rel_name) i.i_rels;
+      i_ops = List.sort (fun a b -> compare a.op_name b.op_name) i.i_ops;
+    }
+  in
+  {
+    schema with
+    s_interfaces =
+      schema.s_interfaces |> List.map norm_interface
+      |> List.sort (fun a b -> compare a.i_name b.i_name);
+  }
+
+(** [equal_content a b] — equality of design content, ignoring declaration
+    order and the schema name. *)
+let equal_content a b =
+  let a = normalize a and b = normalize b in
+  a.s_interfaces = b.s_interfaces
+
+(** [reconstruct schema] rebuilds [schema] from its wagon wheel
+    decomposition.  [equal_content (reconstruct s) s] holds for every
+    well-formed [s] (tested by property). *)
+let reconstruct schema =
+  let wheels = Decompose.wagon_wheels schema in
+  union ~name:schema.s_name (List.map (Concept.project schema) wheels)

@@ -1,0 +1,22 @@
+(** Recomposition: merging concept-schema projections back into one schema,
+    and content-level schema equality. *)
+
+open Odl.Types
+
+val merge_interface : interface -> interface -> interface
+(** Union of two same-named interface definitions; same-named members are
+    identified (name equivalence). *)
+
+val union : name:string -> schema list -> schema
+(** Merge interfaces by name across all the given schemas. *)
+
+val normalize : schema -> schema
+(** Canonical form: interfaces and members sorted by name. *)
+
+val equal_content : schema -> schema -> bool
+(** Equality of design content — declaration order and schema name are
+    ignored. *)
+
+val reconstruct : schema -> schema
+(** Rebuild a schema as the union of its wagon wheel projections;
+    [equal_content (reconstruct s) s] holds for every well-formed [s]. *)

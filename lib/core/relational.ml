@@ -1,0 +1,238 @@
+(** Translation of extended-ODL schemas to relational DDL.
+
+    The paper (section 5) grounds its generality claim in the existence of
+    translations "to other models such as entity relationship diagrams and
+    relational models"; this module is that translation, so a customized
+    schema can be carried straight to a relational DBMS.
+
+    Mapping rules (class-table inheritance):
+
+    - one table per interface; primary key is the declared key when it is a
+      single own/inherited attribute set, else a surrogate [<name>_id];
+    - a subtype's table holds its own attributes plus a foreign key to each
+      supertype's table sharing the primary key (class-table inheritance);
+    - single-valued attributes become columns ([string<n>] → [VARCHAR(n)],
+      [string] → [TEXT], [int] → [INTEGER], [float] → [DOUBLE PRECISION],
+      [boolean] → [BOOLEAN], [char] → [CHAR(1)], named types → foreign
+      keys); collection-valued attributes become side tables;
+    - a relationship pair becomes: a foreign key column on the to-one side
+      (1:N and part-of / instance-of, with [ON DELETE CASCADE] for part-of),
+      a junction table for M:N, and a foreign key with a [UNIQUE]
+      constraint for 1:1;
+    - operations do not translate (behaviour is out of the relational
+      model); they are emitted as comments so nothing is silently lost. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+let keyword_clash = [ "order"; "table"; "select"; "from"; "where"; "group"; "user" ]
+
+let sql_name s =
+  let lower = String.lowercase_ascii s in
+  if List.mem lower keyword_clash then lower ^ "_" else lower
+
+let rec sql_type = function
+  | D_int -> "INTEGER"
+  | D_float -> "DOUBLE PRECISION"
+  | D_string -> "TEXT"
+  | D_char -> "CHAR(1)"
+  | D_boolean -> "BOOLEAN"
+  | D_void -> "TEXT"  (* unreachable for attributes *)
+  | D_named _ -> "INTEGER"  (* foreign key to the named table's surrogate *)
+  | D_collection (_, t) -> sql_type t
+
+let sized_sql_type a =
+  match (a.attr_type, a.attr_size) with
+  | D_string, Some n -> Printf.sprintf "VARCHAR(%d)" n
+  | t, _ -> sql_type t
+
+let surrogate i = sql_name i.i_name ^ "_id"
+
+(* The primary key column(s) of a table: a single-attribute declared key of
+   scalar type when available, else the surrogate. *)
+let primary_key schema (i : interface) =
+  let visible = Schema.visible_attrs schema i.i_name in
+  let scalar_key =
+    List.find_map
+      (fun k ->
+        match k with
+        | [ single ] -> (
+            match List.find_opt (fun a -> a.attr_name = single) visible with
+            | Some a -> (
+                match a.attr_type with
+                | D_named _ | D_collection _ -> None
+                | _ -> Some (sql_name single, sized_sql_type a))
+            | None -> None)
+        | _ -> None)
+      i.i_keys
+  in
+  match scalar_key with
+  | Some (col, ty) -> (col, ty, false)
+  | None -> (surrogate i, "INTEGER", true)
+
+type emitted = { tables : string list; comments : string list }
+
+let fk_clause ~column ~target_table ~target_col ~cascade =
+  Printf.sprintf "  FOREIGN KEY (%s) REFERENCES %s(%s)%s" column target_table
+    target_col
+    (if cascade then " ON DELETE CASCADE" else "")
+
+(* A collection attribute becomes a side table keyed by owner + position. *)
+let collection_attr_table schema i a =
+  let pk_col, pk_ty, _ = primary_key schema i in
+  let owner_table = sql_name i.i_name in
+  Printf.sprintf
+    "CREATE TABLE %s_%s (\n\
+    \  %s %s NOT NULL,\n\
+    \  position INTEGER NOT NULL,\n\
+    \  value %s,\n\
+    \  PRIMARY KEY (%s, position),\n\
+     %s\n\
+     );"
+    owner_table (sql_name a.attr_name) pk_col pk_ty
+    (sql_type a.attr_type) pk_col
+    (fk_clause ~column:pk_col ~target_table:owner_table ~target_col:pk_col
+       ~cascade:true)
+
+(* One end of each relationship pair carries the translation; pick the
+   to-one end for 1:N, the canonical end otherwise. *)
+let owning_end schema (i : interface) (r : relationship) =
+  match Schema.inverse_of schema r with
+  | None -> true  (* dangling: translate what we can see *)
+  | Some (_, inv) -> (
+      match (r.rel_card, inv.rel_card) with
+      | None, Some _ -> true  (* this is the to-one side of a 1:N *)
+      | Some _, None -> false
+      | None, None | Some _, Some _ ->
+          (* 1:1 or M:N: translate from the canonical end *)
+          (i.i_name, r.rel_name) <= (r.rel_target, r.rel_inverse))
+
+let relationship_sql schema (i : interface) (r : relationship) =
+  let target = Schema.get_interface schema r.rel_target in
+  let t_pk_col, t_pk_ty, _ = primary_key schema target in
+  let o_pk_col, o_pk_ty, _ = primary_key schema i in
+  let cascade = r.rel_kind = Part_of || r.rel_kind = Instance_of in
+  match (r.rel_card, Option.map (fun (_, inv) -> inv.rel_card) (Schema.inverse_of schema r)) with
+  | None, (Some (Some _) | None) ->
+      (* to-one side of 1:N: a column + FK on this table *)
+      `Column
+        ( Printf.sprintf "  %s %s," (sql_name r.rel_name) t_pk_ty,
+          fk_clause ~column:(sql_name r.rel_name)
+            ~target_table:(sql_name r.rel_target) ~target_col:t_pk_col ~cascade
+          ^ "," )
+  | None, Some None ->
+      (* 1:1: column + FK + UNIQUE *)
+      `Column
+        ( Printf.sprintf "  %s %s UNIQUE," (sql_name r.rel_name) t_pk_ty,
+          fk_clause ~column:(sql_name r.rel_name)
+            ~target_table:(sql_name r.rel_target) ~target_col:t_pk_col ~cascade
+          ^ "," )
+  | Some _, _ ->
+      (* M:N (or the collection side chosen as canonical): junction table *)
+      let jt = Printf.sprintf "%s_%s" (sql_name i.i_name) (sql_name r.rel_name) in
+      `Table
+        (Printf.sprintf
+           "CREATE TABLE %s (\n\
+           \  %s_src %s NOT NULL,\n\
+           \  %s_dst %s NOT NULL,\n\
+           \  PRIMARY KEY (%s_src, %s_dst),\n\
+            %s,\n\
+            %s\n\
+            );"
+           jt (sql_name i.i_name) o_pk_ty (sql_name r.rel_target) t_pk_ty
+           (sql_name i.i_name) (sql_name r.rel_target)
+           (fk_clause
+              ~column:(sql_name i.i_name ^ "_src")
+              ~target_table:(sql_name i.i_name) ~target_col:o_pk_col ~cascade:true)
+           (fk_clause
+              ~column:(sql_name r.rel_target ^ "_dst")
+              ~target_table:(sql_name r.rel_target) ~target_col:t_pk_col
+              ~cascade))
+
+let table_sql schema (i : interface) =
+  let pk_col, pk_ty, is_surrogate = primary_key schema i in
+  let pk_line =
+    if is_surrogate then
+      [ Printf.sprintf "  %s INTEGER PRIMARY KEY," pk_col ]
+    else [ Printf.sprintf "  %s %s PRIMARY KEY," pk_col pk_ty ]
+  in
+  let attr_lines =
+    i.i_attrs
+    |> List.filter_map (fun a ->
+           match a.attr_type with
+           | D_collection _ -> None  (* side table *)
+           | _ when (not is_surrogate) && sql_name a.attr_name = pk_col -> None
+           | _ ->
+               Some (Printf.sprintf "  %s %s," (sql_name a.attr_name) (sized_sql_type a)))
+  in
+  let isa_lines =
+    i.i_supertypes
+    |> List.filter (Schema.mem_interface schema)
+    |> List.concat_map (fun s ->
+           let si = Schema.get_interface schema s in
+           let s_pk_col, s_pk_ty, _ = primary_key schema si in
+           [
+             Printf.sprintf "  %s_%s %s NOT NULL," (sql_name s) s_pk_col s_pk_ty;
+             fk_clause
+               ~column:(Printf.sprintf "%s_%s" (sql_name s) s_pk_col)
+               ~target_table:(sql_name s) ~target_col:s_pk_col ~cascade:true
+             ^ ",";
+           ])
+  in
+  let rel_columns, rel_fks, junctions =
+    List.fold_left
+      (fun (cols, fks, tabs) r ->
+        if not (owning_end schema i r) then (cols, fks, tabs)
+        else if not (Schema.mem_interface schema r.rel_target) then (cols, fks, tabs)
+        else
+          match relationship_sql schema i r with
+          | `Column (col, fk) -> (cols @ [ col ], fks @ [ fk ], tabs)
+          | `Table t -> (cols, fks, tabs @ [ t ]))
+      ([], [], []) i.i_rels
+  in
+  let op_comments =
+    List.map
+      (fun o ->
+        Printf.sprintf "-- operation %s.%s does not translate to SQL"
+          i.i_name o.op_name)
+      i.i_ops
+  in
+  let body_lines = pk_line @ attr_lines @ isa_lines @ rel_columns @ rel_fks in
+  let body =
+    (* strip the trailing comma of the final line *)
+    match List.rev body_lines with
+    | [] -> ""
+    | last :: rev_rest ->
+        let last =
+          if String.length last > 0 && last.[String.length last - 1] = ',' then
+            String.sub last 0 (String.length last - 1)
+          else last
+        in
+        String.concat "\n" (List.rev (last :: rev_rest))
+  in
+  let table = Printf.sprintf "CREATE TABLE %s (\n%s\n);" (sql_name i.i_name) body in
+  let side_tables =
+    i.i_attrs
+    |> List.filter (fun a ->
+           match a.attr_type with D_collection _ -> true | _ -> false)
+    |> List.map (collection_attr_table schema i)
+  in
+  { tables = (table :: side_tables) @ junctions; comments = op_comments }
+
+(** Translate a whole schema to SQL DDL text.  Tables are emitted in
+    declaration order, with side and junction tables after their owners. *)
+let ddl schema =
+  let emitted = List.map (table_sql schema) schema.s_interfaces in
+  let tables = List.concat_map (fun e -> e.tables) emitted in
+  let comments = List.concat_map (fun e -> e.comments) emitted in
+  String.concat "\n\n"
+    ((Printf.sprintf "-- relational DDL generated from schema %s" schema.s_name
+     :: tables)
+    @ comments)
+  ^ "\n"
+
+(** Count of tables the translation produces (base + side + junction). *)
+let table_count schema =
+  List.fold_left
+    (fun acc i -> acc + List.length (table_sql schema i).tables)
+    0 schema.s_interfaces

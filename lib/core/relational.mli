@@ -1,0 +1,13 @@
+(** Translation of extended-ODL schemas to relational DDL (class-table
+    inheritance; see the implementation header for the full mapping rules).
+    Makes the paper's data-model-independence claim executable: a customized
+    schema carries straight to a relational DBMS. *)
+
+val ddl : Odl.Types.schema -> string
+(** SQL DDL for the whole schema: one table per interface (plus side tables
+    for collection attributes and junction tables for M:N relationships),
+    foreign keys for ISA and relationship ends, [ON DELETE CASCADE] on
+    part-of and instance-of.  Operations are emitted as comments. *)
+
+val table_count : Odl.Types.schema -> int
+(** Number of tables {!ddl} emits. *)

@@ -1,0 +1,245 @@
+(** A shrink wrap schema design session.
+
+    The session owns the artifacts of the paper's architecture (Figure 1):
+    the original shrink wrap schema, its concept schemas, the workspace for
+    the schema under design, the operation log with recorded impacts, and —
+    derived on demand — the custom schema, the consistency report, and the
+    shrink-wrap → custom mapping.  Sessions are immutable values: applying
+    an operation returns a new session, and undo is structural. *)
+
+open Odl.Types
+module Validate = Odl.Validate
+
+type step = {
+  st_kind : Concept.kind;  (** concept schema type the op was issued from *)
+  st_op : Modop.t;
+  st_events : Change.event list;  (** direct + propagated impact *)
+  st_before : schema;  (** workspace before this step, for undo *)
+}
+
+type t = {
+  original : schema;  (** the shrink wrap schema, never modified *)
+  concepts : Concept.t list;  (** decomposition of [original] *)
+  workspace : schema;  (** the schema under design *)
+  log : step list;  (** applied steps, oldest first *)
+  aliases : Aliases.t;  (** local names (presentation-level renaming) *)
+  future : (Concept.kind * Modop.t) list;  (** undone steps, for redo *)
+}
+
+(** Start a session on [shrink_wrap].  The shrink wrap schema must be valid;
+    otherwise its error diagnostics are returned so the designer can fix the
+    repository copy first. *)
+let create shrink_wrap =
+  match Validate.errors shrink_wrap with
+  | [] ->
+      Ok
+        {
+          original = shrink_wrap;
+          concepts = Decompose.decompose shrink_wrap;
+          workspace = shrink_wrap;
+          log = [];
+          aliases = Aliases.empty;
+          future = [];
+        }
+  | errors -> Error errors
+
+let original t = t.original
+let workspace t = t.workspace
+let concepts t = t.concepts
+let log t = t.log
+
+let find_concept t id = Decompose.find t.concepts id
+
+(** Apply [op] in a concept schema of type [kind].  A fresh application
+    clears the redo history. *)
+let apply t ~kind op =
+  match Apply.apply ~original:t.original ~kind t.workspace op with
+  | Error _ as e -> e
+  | Ok (workspace, events) ->
+      Ok
+        ( {
+            t with
+            workspace;
+            future = [];
+            log =
+              t.log
+              @ [
+                  {
+                    st_kind = kind;
+                    st_op = op;
+                    st_events = events;
+                    st_before = t.workspace;
+                  };
+                ];
+          },
+          events )
+
+(** Apply [op] from the concept schema identified by [concept_id]; the
+    operation must also mention only interfaces that concept schema covers
+    (you modify what you are looking at). *)
+let apply_in t ~concept_id op =
+  match find_concept t concept_id with
+  | None -> Error (Apply.Unknown (Printf.sprintf "concept schema %s" concept_id))
+  | Some c ->
+      let subj = Modop.subject op in
+      if Concept.mem_type c subj || not (Odl.Schema.mem_interface t.workspace subj)
+      then apply t ~kind:c.Concept.c_kind op
+      else
+        Error
+          (Apply.Not_allowed
+             (Printf.sprintf "%s is not part of concept schema %s" subj concept_id))
+
+(** Impact preview: what would [op] change, without committing. *)
+let preview t ~kind op = Apply.preview ~original:t.original ~kind t.workspace op
+
+(** Undo the most recent step; [None] when the log is empty.  The undone
+    operation becomes redoable until the next fresh application. *)
+let undo t =
+  match List.rev t.log with
+  | [] -> None
+  | last :: rev_rest ->
+      Some
+        {
+          t with
+          workspace = last.st_before;
+          log = List.rev rev_rest;
+          future = (last.st_kind, last.st_op) :: t.future;
+        }
+
+(** Redo the most recently undone step; [None] when there is nothing to
+    redo.  Cannot fail otherwise: the operation applied before and the
+    workspace is back in the state it applied to. *)
+let redo t =
+  match t.future with
+  | [] -> None
+  | (kind, op) :: rest -> (
+      match Apply.apply ~original:t.original ~kind t.workspace op with
+      | Error _ -> None  (* unreachable by construction; be defensive *)
+      | Ok (workspace, events) ->
+          Some
+            ( {
+                t with
+                workspace;
+                future = rest;
+                log =
+                  t.log
+                  @ [
+                      {
+                        st_kind = kind;
+                        st_op = op;
+                        st_events = events;
+                        st_before = t.workspace;
+                      };
+                    ];
+              },
+              events ))
+
+let redoable t = List.length t.future
+
+(** The customized user schema: the current workspace, renamed. *)
+let custom_schema ?name t =
+  let name = Option.value name ~default:(t.original.s_name ^ "_custom") in
+  { t.workspace with s_name = name }
+
+(* --- local names (paper section 5 extension) ----------------------------- *)
+
+(** Bind a local (presentation) name to a construct of the workspace. *)
+let add_alias t target local =
+  Result.map
+    (fun aliases -> { t with aliases })
+    (Aliases.add t.workspace t.aliases target local)
+
+(** Remove a construct's local name. *)
+let remove_alias t target = { t with aliases = Aliases.remove t.aliases target }
+
+(** The live bindings: stale ones (whose construct was deleted since) are
+    pruned on read. *)
+let aliases t = fst (Aliases.prune t.workspace t.aliases)
+
+let aliases_report t = Aliases.report (aliases t)
+
+(** Install persisted bindings wholesale (used when loading a repository);
+    stale bindings are dropped lazily by {!aliases}. *)
+let restore_aliases t aliases = { t with aliases }
+
+(** Consistency report over the workspace (errors cannot occur — accepted
+    operations preserve validity — so this surfaces the warnings). *)
+let consistency_report t = Validate.check t.workspace
+
+let mapping t = Mapping.compute ~original:t.original ~custom:t.workspace
+
+(** Refresh the concept schemas against the workspace (after modifications,
+    the decomposition of the workspace shows the customized concepts). *)
+let current_concepts t = Decompose.decompose t.workspace
+
+(* --- deliverables -------------------------------------------------------- *)
+
+let pp_step ppf (idx, s) =
+  Fmt.pf ppf "@[<v 2>%d. [%s] %a" (idx + 1)
+    (Concept.kind_name s.st_kind)
+    Op_printer.pp s.st_op;
+  List.iter (fun e -> Fmt.pf ppf "@,%s" (Change.event_to_string e)) s.st_events;
+  Fmt.pf ppf "@]"
+
+(** The impact report: every applied operation with its direct and
+    propagated changes. *)
+let impact_report t =
+  Fmt.str "@[<v>impact report for %s@,%a@]" t.original.s_name
+    Fmt.(list ~sep:(any "@,") pp_step)
+    (List.mapi (fun i s -> (i, s)) t.log)
+
+let consistency_report_text t =
+  let ds = consistency_report t in
+  if ds = [] then "consistency report: no findings"
+  else
+    Fmt.str "@[<v>consistency report (%d findings)@,%a@]" (List.length ds)
+      Fmt.(list ~sep:(any "@,") Validate.pp_diagnostic_line)
+      ds
+
+let mapping_report t = Fmt.str "@[<v>mapping report@,%a@]" Mapping.pp (mapping t)
+
+(** All designer deliverables in one document: schema summaries, the
+    operation log with impacts, the consistency report, and the mapping. *)
+let deliverables t =
+  String.concat "\n"
+    [
+      "== shrink wrap schema ==";
+      Render.summary t.original;
+      "";
+      "== custom schema ==";
+      Render.summary (custom_schema t);
+      "";
+      "== " ^ impact_report t;
+      "";
+      "== " ^ consistency_report_text t;
+      "";
+      "== " ^ mapping_report t;
+      "";
+      "== local names ==";
+      aliases_report t;
+    ]
+
+(** Serialize the operation log in the modification language (replayable via
+    {!replay}). *)
+let log_text t =
+  t.log
+  |> List.map (fun s ->
+         Printf.sprintf "// in %s\n%s;"
+           (Concept.kind_name s.st_kind)
+           (Op_printer.to_string s.st_op))
+  |> String.concat "\n"
+
+(** Replay a [(kind, op)] log on a fresh session over [shrink_wrap]. *)
+let replay shrink_wrap steps =
+  match create shrink_wrap with
+  | Error ds ->
+      Error
+        (Apply.Violation
+           (Fmt.str "shrink wrap schema invalid: %a"
+              Fmt.(list ~sep:(any "; ") Validate.pp_diagnostic_line)
+              ds))
+  | Ok session ->
+      List.fold_left
+        (fun acc (kind, op) ->
+          Result.bind acc (fun s -> Result.map fst (apply s ~kind op)))
+        (Ok session) steps

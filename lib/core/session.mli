@@ -1,0 +1,87 @@
+(** A shrink wrap schema design session.
+
+    The session owns the artifacts of the paper's architecture (Figure 1):
+    the original shrink wrap schema, its concept schemas, the workspace for
+    the schema under design, the operation log with recorded impacts, the
+    local-name bindings, and — derived on demand — the custom schema, the
+    consistency report, and the shrink-wrap → custom mapping.  Sessions are
+    immutable values: applying an operation returns a new session, and undo
+    is structural. *)
+
+open Odl.Types
+
+type step = {
+  st_kind : Concept.kind;  (** concept schema type the op was issued from *)
+  st_op : Modop.t;
+  st_events : Change.event list;  (** direct + propagated impact *)
+  st_before : schema;  (** workspace before this step, for undo *)
+}
+
+type t
+
+val create : schema -> (t, Odl.Validate.diagnostic list) result
+(** Start a session; an invalid shrink wrap schema is rejected with its
+    error diagnostics. *)
+
+val original : t -> schema
+(** The shrink wrap schema; never modified. *)
+
+val workspace : t -> schema
+val concepts : t -> Concept.t list
+(** The decomposition of the original schema. *)
+
+val log : t -> step list
+val find_concept : t -> string -> Concept.t option
+
+val apply :
+  t -> kind:Concept.kind -> Modop.t -> (t * Change.event list, Apply.error) result
+
+val apply_in :
+  t -> concept_id:string -> Modop.t -> (t * Change.event list, Apply.error) result
+(** Apply from a specific concept schema; the operation's subject must be
+    covered by that concept schema. *)
+
+val preview : t -> kind:Concept.kind -> Modop.t -> (Change.event list, Apply.error) result
+
+val undo : t -> t option
+(** Revert the most recent step; [None] when the log is empty.  The undone
+    operation becomes redoable until the next fresh application. *)
+
+val redo : t -> (t * Change.event list) option
+(** Re-apply the most recently undone step; [None] when there is nothing to
+    redo. *)
+
+val redoable : t -> int
+(** How many undone steps could be redone. *)
+
+val custom_schema : ?name:string -> t -> schema
+(** The customized user schema (default name: ["<original>_custom"]). *)
+
+(** {1 Local names} *)
+
+val add_alias : t -> Aliases.target -> string -> (t, string) result
+val remove_alias : t -> Aliases.target -> t
+val aliases : t -> Aliases.t
+(** Live bindings; stale ones are pruned on read. *)
+
+val aliases_report : t -> string
+val restore_aliases : t -> Aliases.t -> t
+
+(** {1 Reports and deliverables} *)
+
+val consistency_report : t -> Odl.Validate.diagnostic list
+val consistency_report_text : t -> string
+val mapping : t -> Mapping.t
+val mapping_report : t -> string
+val impact_report : t -> string
+val current_concepts : t -> Concept.t list
+(** Decomposition of the workspace (reflects customizations). *)
+
+val deliverables : t -> string
+(** All designer deliverables in one document. *)
+
+val log_text : t -> string
+(** The operation log in the modification language. *)
+
+val replay : schema -> (Concept.kind * Modop.t) list -> (t, Apply.error) result
+(** Rebuild a session by replaying a log on a shrink wrap schema. *)

@@ -1,0 +1,18 @@
+(** Small string utilities used across the core library. *)
+
+(** [contains haystack needle] — substring search. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+
+(** [starts_with prefix s] *)
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix

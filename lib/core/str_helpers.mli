@@ -1,0 +1,6 @@
+(** Small string utilities used across the core library. *)
+
+val contains : string -> string -> bool
+(** [contains haystack needle] — substring search. *)
+
+val starts_with : prefix:string -> string -> bool

@@ -1,0 +1,154 @@
+(** The interactive schema designer's command language.
+
+    {v
+    concepts                     list the concept schemas
+    focus <concept-id>           select the concept schema to work in
+    show [<concept-id>]          render a concept schema (default: focused)
+    odl <type>                   print an interface definition in ODL
+    schema                       print the whole workspace in ODL
+    summary                      one-line inventory of the workspace
+    apply <operation>            apply an operation in the focused concept
+    preview <operation>          impact preview without applying
+    plan <operation>             verified repair plan for a rejected operation
+    undo                         revert the last applied operation
+    redo                         re-apply the last undone operation
+    source <file>                run designer commands from a file
+    check                        consistency report
+    mapping                      shrink-wrap -> custom mapping report
+    impact                       full impact report (all applied operations)
+    custom [<name>]              print the custom schema in ODL
+    explain [<concept-id>]       prose explanation of a concept schema
+    alias <canonical> <local>    bind a local name
+    unalias <canonical>          drop a local name
+    aliases                      list local names
+    log                          print the operation log
+    rules                        list the knowledge component's rule groups
+    save <dir>                   persist the session to a repository
+    help                         this text
+    quit                         leave the designer
+    v} *)
+
+type t =
+  | Concepts
+  | Focus of string
+  | Show of string option
+  | Odl of string
+  | Print_schema
+  | Summary
+  | Apply of Core.Modop.t
+  | Preview of Core.Modop.t
+  | Plan of Core.Modop.t
+  | Undo
+  | Redo
+  | Source of string
+  | Check
+  | Quality
+  | Todo
+  | Load_data of string
+  | Migrate_data
+  | Query of string
+  | Mapping
+  | Impact
+  | Custom of string option
+  | Explain of string option
+  | Alias of string * string
+  | Unalias of string
+  | List_aliases
+  | Log
+  | Rules
+  | Save of string
+  | Help
+  | Quit
+
+exception Bad_command of string
+
+let split_first_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let require_arg word rest =
+  if rest = "" then raise (Bad_command (word ^ " needs an argument")) else rest
+
+let parse_op rest =
+  try Core.Op_parser.parse rest
+  with Core.Op_parser.Parse_error (m, _, col) ->
+    raise (Bad_command (Printf.sprintf "bad operation (column %d): %s" col m))
+
+(** Parse one command line.  @raise Bad_command on errors. *)
+let parse line =
+  let line = String.trim line in
+  let word, rest = split_first_word line in
+  match word with
+  | "concepts" -> Concepts
+  | "focus" -> Focus (require_arg word rest)
+  | "show" -> Show (if rest = "" then None else Some rest)
+  | "odl" -> Odl (require_arg word rest)
+  | "schema" -> Print_schema
+  | "summary" -> Summary
+  | "apply" -> Apply (parse_op (require_arg word rest))
+  | "preview" -> Preview (parse_op (require_arg word rest))
+  | "plan" -> Plan (parse_op (require_arg word rest))
+  | "undo" -> Undo
+  | "redo" -> Redo
+  | "source" -> Source (require_arg word rest)
+  | "check" -> Check
+  | "quality" -> Quality
+  | "todo" -> Todo
+  | "data" -> Load_data (require_arg word rest)
+  | "select" -> Query line
+  | "migrate" -> Migrate_data
+  | "mapping" -> Mapping
+  | "impact" -> Impact
+  | "custom" -> Custom (if rest = "" then None else Some rest)
+  | "explain" -> Explain (if rest = "" then None else Some rest)
+  | "alias" -> (
+      match String.split_on_char ' ' (require_arg word rest) with
+      | [ target; local ] -> Alias (target, local)
+      | _ -> raise (Bad_command "usage: alias <canonical> <local-name>"))
+  | "unalias" -> Unalias (require_arg word rest)
+  | "aliases" -> List_aliases
+  | "log" -> Log
+  | "rules" -> Rules
+  | "save" -> Save (require_arg word rest)
+  | "help" | "?" -> Help
+  | "quit" | "exit" -> Quit
+  | "" -> raise (Bad_command "empty command")
+  | other -> raise (Bad_command ("unknown command: " ^ other))
+
+let help_text =
+  {|commands:
+  concepts            list concept schemas
+  focus <id>          select the concept schema to work in (e.g. ww:Course)
+  show [<id>]         render a concept schema
+  odl <type>          print an interface definition
+  schema              print the workspace schema
+  summary             one-line workspace inventory
+  apply <op>          apply a modification operation, e.g.
+                        apply add_attribute(Person, string, 30, nickname)
+  preview <op>        impact preview without applying
+  plan <op>           if <op> is rejected, propose a verified repair plan
+  undo                revert the last operation
+  redo                re-apply the last undone operation
+  source <file>       run designer commands from a file
+  check               consistency report
+  quality             craft-quality assessment of the workspace
+  todo                concept schemas not yet considered (focus marks them)
+  data <file>         load an object store (validated against the shrink
+                      wrap schema); applies then report their data impact
+  migrate             migrate the loaded data onto the workspace and show it
+  select ...          run an OQL query over the loaded data
+  mapping             shrink-wrap -> custom mapping
+  impact              impact report of all applied operations
+  custom [<name>]     print the custom schema
+  explain [<id>]      explain a concept schema in prose
+  alias <c> <local>   give a construct a local name (e.g. alias Strain Phenotype)
+  unalias <c>         drop a construct's local name
+  aliases             list the local names
+  log                 print the operation log
+  rules               knowledge component rule groups
+  save <dir>          persist the session
+  help                this text
+  quit                leave|}

@@ -1,0 +1,42 @@
+(** The interactive schema designer's command language; see {!help_text} or
+    the implementation header for the command list. *)
+
+type t =
+  | Concepts
+  | Focus of string
+  | Show of string option
+  | Odl of string
+  | Print_schema
+  | Summary
+  | Apply of Core.Modop.t
+  | Preview of Core.Modop.t
+  | Plan of Core.Modop.t
+  | Undo
+  | Redo
+  | Source of string
+  | Check
+  | Quality
+  | Todo
+  | Load_data of string
+  | Migrate_data
+  | Query of string
+  | Mapping
+  | Impact
+  | Custom of string option
+  | Explain of string option
+  | Alias of string * string
+  | Unalias of string
+  | List_aliases
+  | Log
+  | Rules
+  | Save of string
+  | Help
+  | Quit
+
+exception Bad_command of string
+
+val parse : string -> t
+(** Parse one command line.  @raise Bad_command on errors (including
+    modification-language syntax errors in [apply]/[preview]/[plan]). *)
+
+val help_text : string

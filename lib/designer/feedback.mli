@@ -1,0 +1,18 @@
+(** Designer feedback: the messages the interactive schema designer returns
+    for every command. *)
+
+type level = Output | Info | Caution | Error
+
+type t = { level : level; text : string }
+
+val output : string -> t
+val info : string -> t
+val caution : string -> t
+val error : string -> t
+
+val to_string : t -> string
+(** With a ["info: "] / ["caution: "] / ["error: "] prefix; outputs are
+    unprefixed. *)
+
+val pp : Format.formatter -> t -> unit
+val is_error : t -> bool

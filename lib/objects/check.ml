@@ -1,0 +1,179 @@
+(** Whole-store validation: the instance-level counterpart of
+    [Odl.Validate].
+
+    Mutation-time checks in {!Store} keep individual writes sound; these
+    checks judge the store as a whole — reference integrity, link symmetry,
+    cardinality, key uniqueness within extents, and the mandatory-whole rule
+    of part-of (a part object must belong to exactly one whole, matching the
+    ER translation's (1,1)). *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type problem = {
+  p_oid : Value.oid;
+  p_subject : string;  (** e.g. ["Employee.works_in_a"] *)
+  p_message : string;
+}
+
+let problem p_oid p_subject p_message = { p_oid; p_subject; p_message }
+
+let to_string p = Printf.sprintf "@%d %s: %s" p.p_oid p.p_subject p.p_message
+
+let isa schema sub super =
+  String.equal sub super || List.mem super (Schema.ancestors schema sub)
+
+let check_object store (o : Store.obj) =
+  let schema = Store.schema store in
+  match Schema.find_interface schema o.o_type with
+  | None -> [ problem o.o_id o.o_type "object of a type absent from the schema" ]
+  | Some _ ->
+      let visible_rels = Schema.visible_rels schema o.o_type in
+      let sub name = o.o_type ^ "." ^ name in
+      (* attribute values still conform (bulk edits / migration may have
+         changed the schema under the data) *)
+      let attr_problems =
+        o.o_attrs
+        |> List.concat_map (fun (name, v) ->
+               match
+                 List.find_opt
+                   (fun a -> String.equal a.attr_name name)
+                   (Schema.visible_attrs schema o.o_type)
+               with
+               | None ->
+                   [ problem o.o_id (sub name) "value for an attribute the type no longer has" ]
+               | Some a ->
+                   let type_of oid =
+                     Option.map (fun x -> x.Store.o_type) (Store.find store oid)
+                   in
+                   if
+                     not
+                       (Value.conforms ~type_of ~isa:(isa schema) v a.attr_type
+                       && Value.size_ok v a.attr_size)
+                   then
+                     [ problem o.o_id (sub name) "value does not conform to the domain" ]
+                   else [])
+      in
+      let link_problems =
+        o.o_links
+        |> List.concat_map (fun (path, targets) ->
+               match
+                 List.find_opt (fun r -> String.equal r.rel_name path) visible_rels
+               with
+               | None when targets = [] -> []
+               | None ->
+                   [ problem o.o_id (sub path) "links through a relationship the type no longer has" ]
+               | Some r ->
+                   let dangling =
+                     targets
+                     |> List.filter_map (fun oid ->
+                            match Store.find store oid with
+                            | None ->
+                                Some
+                                  (problem o.o_id (sub path)
+                                     (Printf.sprintf "dangling reference @%d" oid))
+                            | Some target ->
+                                if not (isa schema target.o_type r.rel_target)
+                                then
+                                  Some
+                                    (problem o.o_id (sub path)
+                                       (Printf.sprintf
+                                          "@%d is a %s, not a %s" oid
+                                          target.o_type r.rel_target))
+                                else None)
+                   in
+                   let cardinality =
+                     if r.rel_card = None && List.length targets > 1 then
+                       [
+                         problem o.o_id (sub path)
+                           (Printf.sprintf "to-one end holds %d targets"
+                              (List.length targets));
+                       ]
+                     else []
+                   in
+                   let symmetry =
+                     targets
+                     |> List.filter_map (fun oid ->
+                            match Store.find store oid with
+                            | None -> None
+                            | Some target ->
+                                let back =
+                                  Option.value
+                                    (List.assoc_opt r.rel_inverse target.o_links)
+                                    ~default:[]
+                                in
+                                if List.mem o.o_id back then None
+                                else
+                                  Some
+                                    (problem o.o_id (sub path)
+                                       (Printf.sprintf
+                                          "@%d does not link back through %s"
+                                          oid r.rel_inverse)))
+                   in
+                   dangling @ cardinality @ symmetry)
+      in
+      let mandatory_whole =
+        (* every part object must belong to exactly one whole *)
+        visible_rels
+        |> List.concat_map (fun r ->
+               match role_of_relationship r with
+               | Part_end | Instance_end ->
+                   let n =
+                     List.length
+                       (Option.value (List.assoc_opt r.rel_name o.o_links)
+                          ~default:[])
+                   in
+                   if n = 1 then []
+                   else
+                     [
+                       problem o.o_id (sub r.rel_name)
+                         (Printf.sprintf
+                            "a %s must have exactly one %s (has %d)"
+                            o.o_type r.rel_target n);
+                     ]
+               | Assoc_end | Whole_end | Generic_end -> [])
+      in
+      attr_problems @ link_problems @ mandatory_whole
+
+(* key uniqueness: within an extent (a type and its subtypes), no two
+   objects share the values of a declared key *)
+let check_keys store =
+  let schema = Store.schema store in
+  schema.s_interfaces
+  |> List.concat_map (fun i ->
+         i.i_keys
+         |> List.concat_map (fun key ->
+                let members = Store.objects_of_type store i.i_name in
+                let key_values o =
+                  List.map (fun a -> List.assoc_opt a o.Store.o_attrs) key
+                in
+                let seen = Hashtbl.create 8 in
+                members
+                |> List.filter_map (fun o ->
+                       let kv = key_values o in
+                       if List.exists Option.is_none kv then None
+                         (* unset key attributes do not participate *)
+                       else
+                         let repr =
+                           String.concat "|"
+                             (List.map
+                                (function
+                                  | Some v -> Value.to_string v
+                                  | None -> "")
+                                kv)
+                         in
+                         if Hashtbl.mem seen repr then
+                           Some
+                             (problem o.o_id
+                                (i.i_name ^ " key (" ^ String.concat ", " key ^ ")")
+                                "duplicate key value in the extent")
+                         else begin
+                           Hashtbl.add seen repr ();
+                           None
+                         end)))
+
+(** Every problem in the store. *)
+let check store =
+  List.concat_map (check_object store) (Store.objects store) @ check_keys store
+
+let is_consistent store = check store = []

@@ -1,0 +1,15 @@
+(** Whole-store validation: reference integrity, link symmetry, to-one
+    cardinality, key uniqueness within extents, and the mandatory-whole rule
+    for part-of / instance-of (a part or instance object belongs to exactly
+    one whole / generic). *)
+
+type problem = {
+  p_oid : Value.oid;
+  p_subject : string;  (** e.g. ["Employee.works_in_a"] *)
+  p_message : string;
+}
+
+val to_string : problem -> string
+
+val check : Store.t -> problem list
+val is_consistent : Store.t -> bool

@@ -1,0 +1,145 @@
+(** Instance migration through the shrink-wrap → custom mapping.
+
+    After a schema is customized, existing data must follow: objects of
+    deleted types are dropped, values of deleted attributes are dropped,
+    values of moved attributes survive (the object's type still sees them
+    along the ISA line), links through deleted relationships are dropped,
+    and links whose far end was retargeted survive when the target objects
+    still conform.  The migration is conservative — it never invents data —
+    and reports everything it dropped. *)
+
+open Odl.Types
+module Schema = Odl.Schema
+
+type dropped = {
+  d_oid : Value.oid;
+  d_what : string;  (** e.g. ["object"], ["attribute room"], ["link takes"] *)
+  d_reason : string;
+}
+
+let dropped d_oid d_what d_reason = { d_oid; d_what; d_reason }
+
+let to_string d = Printf.sprintf "@%d %s: %s" d.d_oid d.d_what d.d_reason
+
+let isa schema sub super =
+  String.equal sub super || List.mem super (Schema.ancestors schema sub)
+
+(** [migrate store ~custom] carries the store's objects onto the custom
+    schema, returning the migrated store and the drop report.  When the
+    input was consistent, any residual problem is incompleteness on a
+    newly-mandatory end — see {!residual_problems} (tested by property). *)
+let migrate store ~custom =
+  let report = ref [] in
+  let note d = report := d :: !report in
+  (* pass 1: drop objects whose type is gone *)
+  let survivors =
+    Store.objects store
+    |> List.filter (fun (o : Store.obj) ->
+           let kept = Schema.mem_interface custom o.o_type in
+           if not kept then
+             note (dropped o.o_id "object" ("type " ^ o.o_type ^ " was deleted"));
+           kept)
+  in
+  let alive = List.map (fun o -> o.Store.o_id) survivors in
+  (* pass 2: per-object repair against the custom schema *)
+  let repair (o : Store.obj) =
+    let visible_attrs = Schema.visible_attrs custom o.o_type in
+    let attrs =
+      o.o_attrs
+      |> List.filter (fun (name, v) ->
+             match
+               List.find_opt (fun a -> String.equal a.attr_name name) visible_attrs
+             with
+             | None ->
+                 note
+                   (dropped o.o_id ("attribute " ^ name)
+                      "no longer visible on the type");
+                 false
+             | Some a ->
+                 let type_of oid =
+                   (* types of surviving objects, in the original store *)
+                   if List.mem oid alive then
+                     Option.map (fun x -> x.Store.o_type) (Store.find store oid)
+                   else None
+                 in
+                 let ok =
+                   Value.conforms ~type_of ~isa:(isa custom) v a.attr_type
+                   && Value.size_ok v a.attr_size
+                 in
+                 if not ok then
+                   note
+                     (dropped o.o_id ("attribute " ^ name)
+                        "value no longer conforms to the customized domain");
+                 ok)
+    in
+    let visible_rels = Schema.visible_rels custom o.o_type in
+    let links =
+      o.o_links
+      |> List.filter_map (fun (path, targets) ->
+             match
+               List.find_opt (fun r -> String.equal r.rel_name path) visible_rels
+             with
+             | None ->
+                 if targets <> [] then
+                   note
+                     (dropped o.o_id ("link " ^ path)
+                        "relationship no longer visible on the type");
+                 None
+             | Some r ->
+                 let kept_targets =
+                   targets
+                   |> List.filter (fun oid ->
+                          if not (List.mem oid alive) then begin
+                            note
+                              (dropped o.o_id ("link " ^ path)
+                                 (Printf.sprintf "@%d did not survive" oid));
+                            false
+                          end
+                          else
+                            match Store.find store oid with
+                            | Some target
+                              when isa custom target.o_type r.rel_target ->
+                                true
+                            | Some target ->
+                                note
+                                  (dropped o.o_id ("link " ^ path)
+                                     (Printf.sprintf
+                                        "@%d (%s) no longer conforms to %s"
+                                        oid target.o_type r.rel_target));
+                                false
+                            | None -> false)
+                 in
+                 (* a customization can tighten a to-many end to to-one:
+                    keep the first target, drop the rest *)
+                 let kept_targets =
+                   match (r.rel_card, kept_targets) with
+                   | None, first :: (_ :: _ as rest) ->
+                       List.iter
+                         (fun oid ->
+                           note
+                             (dropped o.o_id ("link " ^ path)
+                                (Printf.sprintf
+                                   "@%d dropped: the end became to-one" oid)))
+                         rest;
+                       [ first ]
+                   | _ -> kept_targets
+                 in
+                 Some (path, kept_targets))
+    in
+    { o with o_attrs = attrs; o_links = links }
+  in
+  let repaired = List.map repair survivors in
+  (* pass 3: re-assemble on the custom schema and scrub asymmetric links
+     (an end can lose its path while the far end keeps it) *)
+  let migrated =
+    List.fold_left
+      (fun acc (o : Store.obj) -> Store.restore acc o)
+      (Store.create custom) repaired
+  in
+  let migrated = Store.scrub_asymmetric migrated in
+  (migrated, List.rev !report)
+
+(** Problems the migration could not repair without inventing data — in
+    practice, newly-mandatory part-of / instance-of ends that existing
+    objects do not satisfy.  The designer must complete these by hand. *)
+let residual_problems migrated = Check.check migrated

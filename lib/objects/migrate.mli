@@ -1,0 +1,20 @@
+(** Instance migration through schema customization: carry a store's objects
+    onto the customized schema, dropping what no longer fits and reporting
+    every drop.  Conservative — never invents data. *)
+
+type dropped = {
+  d_oid : Value.oid;
+  d_what : string;  (** e.g. ["object"], ["attribute room"], ["link takes"] *)
+  d_reason : string;
+}
+
+val to_string : dropped -> string
+
+val migrate : Store.t -> custom:Odl.Types.schema -> Store.t * dropped list
+(** The migrated store (on the custom schema) and the drop report.  When
+    the input was consistent, any residual inconsistency is incompleteness
+    the migration must not invent data for — newly-mandatory part-of /
+    instance-of ends (tested by property). *)
+
+val residual_problems : Store.t -> Check.problem list
+(** The completion work left for the designer after a migration. *)

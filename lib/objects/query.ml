@@ -1,0 +1,346 @@
+(** An OQL subset over object stores.
+
+    ODMG pairs ODL with OQL; this is the query-side counterpart of the
+    instance layer — enough OQL to inspect populated stores and to write
+    assertions over them:
+
+    {v
+    select Person                                -- the extent, subtypes included
+    select Person where name = "Alice"           -- predicate on a path
+    select Student where advised_by.name = "A"   -- paths traverse links
+    select Course_Offering where taken_by.count > 2
+    select Person where name like "Al"           -- substring
+    select Person where gpa >= 3.5 and name != "Bob"
+    v}
+
+    A {e path} is a dot-separated sequence of attribute or relationship
+    names starting from the selected object; traversing a to-many link (or
+    applying a predicate to one) means {e some} target satisfies the rest of
+    the path (existential semantics, as OQL's implicit quantification).  The
+    pseudo-member [count] ends a path with the number of linked targets. *)
+
+exception Bad_query of string
+
+type comparison = Eq | Neq | Lt | Leq | Gt | Geq | Like
+
+type predicate =
+  | Compare of string list * comparison * Value.t  (** path, op, literal *)
+  | Count of string list * comparison * int  (** path.count op n *)
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type t = {
+  q_type : string;  (** the extent selected from *)
+  q_where : predicate option;
+}
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+let compare_values op (a : Value.t) (b : Value.t) =
+  let num = function
+    | Value.V_int n -> Some (float_of_int n)
+    | Value.V_float f -> Some f
+    | _ -> None
+  in
+  match op with
+  | Like -> (
+      match (a, b) with
+      | Value.V_string s, Value.V_string sub -> Core.Str_helpers.contains s sub
+      | _ -> false)
+  | Eq | Neq -> (
+      let eq =
+        match (num a, num b) with
+        | Some x, Some y -> x = y
+        | _ -> Value.equal a b
+      in
+      match op with Eq -> eq | _ -> not eq)
+  | Lt | Leq | Gt | Geq -> (
+      let cmp =
+        match (num a, num b) with
+        | Some x, Some y -> Some (compare x y)
+        | None, None -> (
+            match (a, b) with
+            | Value.V_string x, Value.V_string y -> Some (compare x y)
+            | _ -> None)
+        | _ -> None
+      in
+      match cmp with
+      | None -> false
+      | Some c -> (
+          match op with
+          | Lt -> c < 0
+          | Leq -> c <= 0
+          | Gt -> c > 0
+          | Geq -> c >= 0
+          | Eq | Neq | Like -> false))
+
+(* every value reachable from [oid] along [path]; to-many links fan out *)
+let rec walk store oid path : Value.t list =
+  match path with
+  | [] -> []
+  | [ last ] -> (
+      match Store.get_attr store oid last with
+      | Some v -> [ v ]
+      | None ->
+          Store.linked store oid last |> List.map (fun o -> Value.V_ref o))
+  | step :: rest ->
+      let via_links =
+        Store.linked store oid step
+        |> List.concat_map (fun next -> walk store next rest)
+      in
+      let via_ref_attr =
+        match Store.get_attr store oid step with
+        | Some (Value.V_ref next) -> walk store next rest
+        | _ -> []
+      in
+      via_links @ via_ref_attr
+
+let count_at store oid path =
+  match List.rev path with
+  | [] -> 0
+  | _ ->
+      (* the count of the final link set reached by the path *)
+      let prefix = List.rev (List.tl (List.rev path)) in
+      let last = List.nth path (List.length path - 1) in
+      let anchors = if prefix = [] then [ oid ] else
+          walk store oid prefix
+          |> List.filter_map (function Value.V_ref o -> Some o | _ -> None)
+      in
+      List.fold_left
+        (fun acc o -> acc + List.length (Store.linked store o last))
+        0 anchors
+
+let rec eval store oid = function
+  | Compare (path, op, lit) ->
+      List.exists (fun v -> compare_values op v lit) (walk store oid path)
+  | Count (path, op, n) ->
+      compare_values op
+        (Value.V_int (count_at store oid path))
+        (Value.V_int n)
+  | And (p, q) -> eval store oid p && eval store oid q
+  | Or (p, q) -> eval store oid p || eval store oid q
+  | Not p -> not (eval store oid p)
+
+(** Run a query: the matching objects, in oid order. *)
+let run store q =
+  Store.objects_of_type store q.q_type
+  |> List.filter (fun (o : Store.obj) ->
+         match q.q_where with
+         | None -> true
+         | Some p -> eval store o.o_id p)
+
+(* --- parsing -------------------------------------------------------------- *)
+
+type tok =
+  | T_ident of string
+  | T_int of int
+  | T_float of float
+  | T_string of string
+  | T_char of char
+  | T_ref of int
+  | T_op of string  (* one of = != < <= > >= . *)
+  | T_eof
+
+let scan src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let fail msg = raise (Bad_query (Printf.sprintf "%s (at byte %d)" msg !i)) in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\r' | '\n' -> incr i
+    | '.' ->
+        emit (T_op ".");
+        incr i
+    | '=' ->
+        emit (T_op "=");
+        incr i
+    | '!' when !i + 1 < n && src.[!i + 1] = '=' ->
+        emit (T_op "!=");
+        i := !i + 2
+    | '<' | '>' ->
+        let base = String.make 1 src.[!i] in
+        incr i;
+        if !i < n && src.[!i] = '=' then begin
+          emit (T_op (base ^ "="));
+          incr i
+        end
+        else emit (T_op base)
+    | '@' ->
+        incr i;
+        let start = !i in
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+        if !i = start then fail "reference without a number";
+        emit (T_ref (int_of_string (String.sub src start (!i - start))))
+    | '"' ->
+        incr i;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          if !i >= n then fail "unterminated string"
+          else
+            match src.[!i] with
+            | '"' -> incr i
+            | '\\' ->
+                incr i;
+                if !i >= n then fail "dangling escape";
+                Buffer.add_char buf (if src.[!i] = 'n' then '\n' else src.[!i]);
+                incr i;
+                go ()
+            | c ->
+                Buffer.add_char buf c;
+                incr i;
+                go ()
+        in
+        go ();
+        emit (T_string (Buffer.contents buf))
+    | '\'' ->
+        if !i + 2 < n && src.[!i + 2] = '\'' then begin
+          emit (T_char src.[!i + 1]);
+          i := !i + 3
+        end
+        else fail "malformed character literal"
+    | c when (c >= '0' && c <= '9') || c = '-' ->
+        let start = !i in
+        incr i;
+        let is_floaty = ref false in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | '0' .. '9' -> true
+          | '.' ->
+              (* a dot is part of the number only when a digit follows *)
+              !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9'
+              && begin
+                   is_floaty := true;
+                   true
+                 end
+          | 'e' | 'E' ->
+              is_floaty := true;
+              true
+          | _ -> false
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        if !is_floaty then
+          match float_of_string_opt text with
+          | Some f -> emit (T_float f)
+          | None -> fail (Printf.sprintf "malformed number %S" text)
+        else (
+          match int_of_string_opt text with
+          | Some n -> emit (T_int n)
+          | None -> fail (Printf.sprintf "malformed number %S" text))
+    | c when Odl.Names.is_ident_start c ->
+        let start = !i in
+        while !i < n && Odl.Names.is_ident_char src.[!i] do incr i done;
+        emit (T_ident (String.sub src start (!i - start)))
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit T_eof;
+  List.rev !toks
+
+type cur = { mutable toks : tok list }
+
+let peek c = match c.toks with [] -> T_eof | t :: _ -> t
+
+let next c =
+  match c.toks with
+  | [] -> T_eof
+  | t :: rest ->
+      c.toks <- rest;
+      t
+
+let ident c =
+  match next c with
+  | T_ident s -> s
+  | _ -> raise (Bad_query "expected an identifier")
+
+let parse_path c =
+  let rec go acc =
+    match peek c with
+    | T_op "." ->
+        ignore (next c);
+        go (ident c :: acc)
+    | _ -> List.rev acc
+  in
+  go [ ident c ]
+
+let parse_comparison c =
+  match next c with
+  | T_op "=" -> Eq
+  | T_op "!=" -> Neq
+  | T_op "<" -> Lt
+  | T_op "<=" -> Leq
+  | T_op ">" -> Gt
+  | T_op ">=" -> Geq
+  | T_ident "like" -> Like
+  | _ -> raise (Bad_query "expected a comparison operator")
+
+let parse_literal c =
+  match next c with
+  | T_int n -> Value.V_int n
+  | T_float f -> Value.V_float f
+  | T_string s -> Value.V_string s
+  | T_char ch -> Value.V_char ch
+  | T_ref oid -> Value.V_ref oid
+  | T_ident "true" -> Value.V_bool true
+  | T_ident "false" -> Value.V_bool false
+  | _ -> raise (Bad_query "expected a literal")
+
+let rec parse_predicate c =
+  let lhs = parse_conjunct c in
+  match peek c with
+  | T_ident "or" ->
+      ignore (next c);
+      Or (lhs, parse_predicate c)
+  | _ -> lhs
+
+and parse_conjunct c =
+  let lhs = parse_atom c in
+  match peek c with
+  | T_ident "and" ->
+      ignore (next c);
+      And (lhs, parse_conjunct c)
+  | _ -> lhs
+
+and parse_atom c =
+  match peek c with
+  | T_ident "not" ->
+      ignore (next c);
+      Not (parse_atom c)
+  | _ -> (
+      let path = parse_path c in
+      match List.rev path with
+      | "count" :: rev_prefix ->
+          let op = parse_comparison c in
+          (match parse_literal c with
+          | Value.V_int n -> Count (List.rev rev_prefix, op, n)
+          | _ -> raise (Bad_query "count compares against an integer"))
+      | _ ->
+          let op = parse_comparison c in
+          Compare (path, op, parse_literal c))
+
+(** Parse a query.  @raise Bad_query on syntax errors. *)
+let parse src =
+  let c = { toks = scan src } in
+  (match next c with
+  | T_ident "select" -> ()
+  | _ -> raise (Bad_query "a query starts with 'select'"));
+  let q_type = ident c in
+  let q_where =
+    match peek c with
+    | T_ident "where" ->
+        ignore (next c);
+        Some (parse_predicate c)
+    | _ -> None
+  in
+  (match next c with
+  | T_eof -> ()
+  | _ -> raise (Bad_query "trailing input after the query"));
+  { q_type; q_where }
+
+(** Parse and run in one step. *)
+let query store src = run store (parse src)

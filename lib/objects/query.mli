@@ -1,0 +1,29 @@
+(** An OQL subset over object stores: [select Type [where predicate]] with
+    dot paths over attributes and links (existential semantics on to-many
+    links), comparisons, [like] substring match, a [count] pseudo-member,
+    and [and]/[or]/[not].  See the implementation header for examples. *)
+
+exception Bad_query of string
+
+type comparison = Eq | Neq | Lt | Leq | Gt | Geq | Like
+
+type predicate =
+  | Compare of string list * comparison * Value.t  (** path, op, literal *)
+  | Count of string list * comparison * int  (** path.count op n *)
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+type t = {
+  q_type : string;  (** the extent selected from (subtypes included) *)
+  q_where : predicate option;
+}
+
+val parse : string -> t
+(** @raise Bad_query on syntax errors. *)
+
+val run : Store.t -> t -> Store.obj list
+(** Matching objects, in oid order. *)
+
+val query : Store.t -> string -> Store.obj list
+(** Parse and run in one step. *)

@@ -1,0 +1,292 @@
+(** Textual persistence for object stores.
+
+    One object per block, human-readable and diff-friendly, in the spirit of
+    the other persisted artifacts (ODL text, operation logs):
+
+    {v
+    object @1 : Department {
+      dept_name = "CSE";
+      has -> @2, @5;
+    }
+    v}
+
+    Values: integers, floats, [true]/[false], ['c'] characters, ["..."]
+    strings with [\\]-escapes, [@n] references, and
+    [set{...}]/[list{...}]/[bag{...}]/[array{...}] collections.  Blank
+    lines and [# ...] comment lines are skipped. *)
+
+open Odl.Types
+
+exception Bad_store of string
+
+(* --- writing -------------------------------------------------------------- *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec value_to_text = function
+  | Value.V_int n -> string_of_int n
+  | Value.V_float f ->
+      (* keep a distinguishing mark so floats parse back as floats *)
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then s
+      else s ^ "."
+  | Value.V_string s -> "\"" ^ escape_string s ^ "\""
+  | Value.V_char c -> Printf.sprintf "'%c'" c
+  | Value.V_bool b -> string_of_bool b
+  | Value.V_ref oid -> Printf.sprintf "@%d" oid
+  | Value.V_coll (k, vs) ->
+      Printf.sprintf "%s{%s}" (collection_kind_name k)
+        (String.concat ", " (List.map value_to_text vs))
+
+let to_string store =
+  Store.objects store
+  |> List.map (fun (o : Store.obj) ->
+         let attrs =
+           o.o_attrs
+           |> List.rev
+           |> List.map (fun (n, v) ->
+                  Printf.sprintf "  %s = %s;" n (value_to_text v))
+         in
+         let links =
+           o.o_links
+           |> List.rev
+           |> List.filter (fun (_, ts) -> ts <> [])
+           |> List.map (fun (p, ts) ->
+                  Printf.sprintf "  %s -> %s;" p
+                    (String.concat ", " (List.map (Printf.sprintf "@%d") ts)))
+         in
+         String.concat "\n"
+           ((Printf.sprintf "object @%d : %s {" o.o_id o.o_type :: attrs)
+           @ links
+           @ [ "}" ]))
+  |> String.concat "\n\n"
+
+(* --- reading -------------------------------------------------------------- *)
+
+(* a dedicated little scanner: the ODL lexer has no string/char/float
+   literals *)
+type tok =
+  | T_ident of string
+  | T_int of int
+  | T_float of float
+  | T_string of string
+  | T_char of char
+  | T_ref of int
+  | T_punct of char  (* one of { } = ; , > - *)
+  | T_arrow
+  | T_eof
+
+let scan src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  let peek () = if !i < n then Some src.[!i] else None in
+  let fail msg = raise (Bad_store (Printf.sprintf "%s (at byte %d)" msg !i)) in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\r' | '\n' -> incr i
+    | '#' -> while !i < n && src.[!i] <> '\n' do incr i done
+    | '{' | '}' | '=' | ';' | ',' | ':' ->
+        emit (T_punct src.[!i]);
+        incr i
+    | '-' when !i + 1 < n && src.[!i + 1] = '>' ->
+        emit T_arrow;
+        i := !i + 2
+    | '@' ->
+        incr i;
+        let start = !i in
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do incr i done;
+        if !i = start then fail "reference without a number";
+        emit (T_ref (int_of_string (String.sub src start (!i - start))))
+    | '"' ->
+        incr i;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          match peek () with
+          | None -> fail "unterminated string"
+          | Some '"' -> incr i
+          | Some '\\' ->
+              incr i;
+              (match peek () with
+              | Some 'n' -> Buffer.add_char buf '\n'
+              | Some c -> Buffer.add_char buf c
+              | None -> fail "dangling escape");
+              incr i;
+              go ()
+          | Some c ->
+              Buffer.add_char buf c;
+              incr i;
+              go ()
+        in
+        go ();
+        emit (T_string (Buffer.contents buf))
+    | '\'' ->
+        if !i + 2 < n && src.[!i + 2] = '\'' then begin
+          emit (T_char src.[!i + 1]);
+          i := !i + 3
+        end
+        else fail "malformed character literal"
+    | c when (c >= '0' && c <= '9') || c = '-' ->
+        let start = !i in
+        incr i;
+        let is_floaty = ref false in
+        while
+          !i < n
+          &&
+          match src.[!i] with
+          | '0' .. '9' -> true
+          | '.' | 'e' | 'E' | '+' | '-' ->
+              is_floaty := true;
+              true
+          | _ -> false
+        do
+          incr i
+        done;
+        let text = String.sub src start (!i - start) in
+        if !is_floaty then
+          match float_of_string_opt text with
+          | Some f -> emit (T_float f)
+          | None -> fail (Printf.sprintf "malformed number %S" text)
+        else (
+          match int_of_string_opt text with
+          | Some n -> emit (T_int n)
+          | None -> fail (Printf.sprintf "malformed number %S" text))
+    | c when Odl.Names.is_ident_start c ->
+        let start = !i in
+        while !i < n && Odl.Names.is_ident_char src.[!i] do incr i done;
+        emit (T_ident (String.sub src start (!i - start)))
+    | c -> fail (Printf.sprintf "unexpected character %C" c)
+  done;
+  emit T_eof;
+  List.rev !toks
+
+(* cursor over the token list *)
+type cur = { mutable toks : tok list }
+
+let peek_t c = match c.toks with [] -> T_eof | t :: _ -> t
+let next_t c =
+  match c.toks with
+  | [] -> T_eof
+  | t :: rest ->
+      c.toks <- rest;
+      t
+
+let expect_punct c ch =
+  match next_t c with
+  | T_punct p when p = ch -> ()
+  | _ -> raise (Bad_store (Printf.sprintf "expected %C" ch))
+
+let expect_ident c name =
+  match next_t c with
+  | T_ident s when String.equal s name -> ()
+  | _ -> raise (Bad_store ("expected " ^ name))
+
+let rec parse_value c =
+  match next_t c with
+  | T_int n -> Value.V_int n
+  | T_float f -> Value.V_float f
+  | T_string s -> Value.V_string s
+  | T_char ch -> Value.V_char ch
+  | T_ref oid -> Value.V_ref oid
+  | T_ident "true" -> Value.V_bool true
+  | T_ident "false" -> Value.V_bool false
+  | T_ident kind -> (
+      match Odl.Parser.collection_of_ident kind with
+      | Some k ->
+          expect_punct c '{';
+          let rec elems acc =
+            match peek_t c with
+            | T_punct '}' ->
+                ignore (next_t c);
+                List.rev acc
+            | _ -> (
+                let v = parse_value c in
+                match peek_t c with
+                | T_punct ',' ->
+                    ignore (next_t c);
+                    elems (v :: acc)
+                | _ -> elems (v :: acc))
+          in
+          Value.V_coll (k, elems [])
+      | None -> raise (Bad_store ("unexpected identifier " ^ kind)))
+  | _ -> raise (Bad_store "expected a value")
+
+let parse_ref_list c =
+  let rec go acc =
+    match next_t c with
+    | T_ref oid -> (
+        match peek_t c with
+        | T_punct ',' ->
+            ignore (next_t c);
+            go (oid :: acc)
+        | _ -> List.rev (oid :: acc))
+    | _ -> raise (Bad_store "expected a reference")
+  in
+  go []
+
+let parse_object c =
+  expect_ident c "object";
+  let oid =
+    match next_t c with
+    | T_ref oid -> oid
+    | _ -> raise (Bad_store "expected @id after 'object'")
+  in
+  expect_punct c ':';
+  let type_name =
+    match next_t c with
+    | T_ident t -> t
+    | _ -> raise (Bad_store "expected a type name")
+  in
+  expect_punct c '{';
+  let attrs = ref [] and links = ref [] in
+  let rec members () =
+    match peek_t c with
+    | T_punct '}' -> ignore (next_t c)
+    | T_ident name -> (
+        ignore (next_t c);
+        match next_t c with
+        | T_punct '=' ->
+            let v = parse_value c in
+            expect_punct c ';';
+            attrs := (name, v) :: !attrs;
+            members ()
+        | T_arrow ->
+            let refs = parse_ref_list c in
+            expect_punct c ';';
+            links := (name, refs) :: !links;
+            members ()
+        | _ -> raise (Bad_store ("expected '=' or '->' after " ^ name)))
+    | _ -> raise (Bad_store "expected a member or '}'")
+  in
+  members ();
+  {
+    Store.o_id = oid;
+    o_type = type_name;
+    o_attrs = !attrs;
+    o_links = !links;
+  }
+
+(** Parse a store dump against [schema].
+    @raise Bad_store on malformed input.  The result is {e not} checked for
+    consistency — run [Check.check] on it. *)
+let of_string schema src =
+  let c = { toks = scan src } in
+  let rec objects acc =
+    match peek_t c with
+    | T_eof -> List.rev acc
+    | _ -> objects (parse_object c :: acc)
+  in
+  let objs = objects [] in
+  List.fold_left Store.restore (Store.create schema) objs

@@ -1,0 +1,11 @@
+(** Textual persistence for object stores — human-readable, diff-friendly,
+    round-tripping (see the implementation header for the format). *)
+
+exception Bad_store of string
+
+val to_string : Store.t -> string
+
+val of_string : Odl.Types.schema -> string -> Store.t
+(** Parse a store dump against the schema.
+    @raise Bad_store on malformed input.  The result is not checked for
+    consistency — run [Check.check] on it. *)

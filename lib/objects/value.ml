@@ -1,0 +1,63 @@
+(** Instance values and their conformance to ODL domain types.
+
+    The paper's prototype ran on a real object store; this is the instance
+    substrate of the reproduction: enough of an object model to populate a
+    schema with data and to watch customization act on that data. *)
+
+open Odl.Types
+
+type oid = int
+(** Object identity; allocated by the store. *)
+
+type t =
+  | V_int of int
+  | V_float of float
+  | V_string of string
+  | V_char of char
+  | V_bool of bool
+  | V_ref of oid  (** reference to an object (for named domains) *)
+  | V_coll of collection_kind * t list
+
+let rec to_string = function
+  | V_int n -> string_of_int n
+  | V_float f -> Printf.sprintf "%g" f
+  | V_string s -> Printf.sprintf "%S" s
+  | V_char c -> Printf.sprintf "%C" c
+  | V_bool b -> string_of_bool b
+  | V_ref oid -> Printf.sprintf "@%d" oid
+  | V_coll (k, vs) ->
+      Printf.sprintf "%s{%s}" (collection_kind_name k)
+        (String.concat ", " (List.map to_string vs))
+
+(** [conforms ~type_of v domain] — does value [v] inhabit [domain]?
+    [type_of oid] resolves a reference to its object's type name, or [None]
+    for a dangling reference; [isa sub super] is the subtype judgment. *)
+let rec conforms ~type_of ~isa v domain =
+  match (v, domain) with
+  | V_int _, D_int | V_float _, D_float | V_char _, D_char
+  | V_bool _, D_boolean ->
+      true
+  | V_int _, D_float -> true  (* integer literals widen *)
+  | V_string _, D_string -> true
+  | V_ref oid, D_named target -> (
+      match type_of oid with
+      | Some t -> isa t target
+      | None -> false)
+  | V_coll (k, vs), D_collection (k', inner) ->
+      k = k' && List.for_all (fun v -> conforms ~type_of ~isa v inner) vs
+  | _ -> false
+
+(** String sizes are declared separately from the domain; check them too. *)
+let size_ok v size =
+  match (v, size) with
+  | V_string s, Some n -> String.length s <= n
+  | _ -> true
+
+(** Structural equality of values (used for key comparison). *)
+let rec equal a b =
+  match (a, b) with
+  | V_coll (k, xs), V_coll (k', ys) ->
+      k = k'
+      && List.length xs = List.length ys
+      && List.for_all2 equal xs ys
+  | a, b -> a = b

@@ -1,0 +1,29 @@
+(** Instance values and their conformance to ODL domain types. *)
+
+type oid = int
+(** Object identity; allocated by the store. *)
+
+type t =
+  | V_int of int
+  | V_float of float
+  | V_string of string
+  | V_char of char
+  | V_bool of bool
+  | V_ref of oid  (** reference to an object (for named domains) *)
+  | V_coll of Odl.Types.collection_kind * t list
+
+val to_string : t -> string
+
+val conforms :
+  type_of:(oid -> string option) ->
+  isa:(string -> string -> bool) ->
+  t ->
+  Odl.Types.domain_type ->
+  bool
+(** Does the value inhabit the domain?  [type_of] resolves references,
+    [isa] is the subtype judgment.  Integer values widen to [float]. *)
+
+val size_ok : t -> int option -> bool
+(** Declared string sizes. *)
+
+val equal : t -> t -> bool

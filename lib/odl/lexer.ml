@@ -1,0 +1,106 @@
+(** Hand-written lexer shared by the ODL parser and (via the token type) the
+    modification-language parser.  Comments are [// ...] to end of line and
+    [/* ... */] (non-nesting). *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Colon
+  | Coloncolon
+  | Semi
+  | Comma
+  | Eof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** [Lex_error (message, line, col)] *)
+
+let token_to_string = function
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Langle -> "<"
+  | Rangle -> ">"
+  | Colon -> ":"
+  | Coloncolon -> "::"
+  | Semi -> ";"
+  | Comma -> ","
+  | Eof -> "<eof>"
+
+(** Tokenize [src] into a list of located tokens ending with [Eof]. *)
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let col pos = pos - !bol + 1 in
+  let newline pos =
+    incr line;
+    bol := pos + 1
+  in
+  let rec skip_line_comment pos =
+    if pos >= n then pos
+    else if src.[pos] = '\n' then pos
+    else skip_line_comment (pos + 1)
+  in
+  let rec skip_block_comment pos =
+    if pos + 1 >= n then
+      raise (Lex_error ("unterminated comment", !line, col pos))
+    else if src.[pos] = '*' && src.[pos + 1] = '/' then pos + 2
+    else begin
+      if src.[pos] = '\n' then newline pos;
+      skip_block_comment (pos + 1)
+    end
+  in
+  let rec ident_end pos =
+    if pos < n && Names.is_ident_char src.[pos] then ident_end (pos + 1) else pos
+  in
+  let rec int_end pos =
+    if pos < n && src.[pos] >= '0' && src.[pos] <= '9' then int_end (pos + 1)
+    else pos
+  in
+  let rec go pos acc =
+    if pos >= n then List.rev ({ tok = Eof; line = !line; col = col pos } :: acc)
+    else
+      let c = src.[pos] in
+      let emit tok len =
+        go (pos + len) ({ tok; line = !line; col = col pos } :: acc)
+      in
+      match c with
+      | ' ' | '\t' | '\r' -> go (pos + 1) acc
+      | '\n' ->
+          newline pos;
+          go (pos + 1) acc
+      | '/' when pos + 1 < n && src.[pos + 1] = '/' ->
+          go (skip_line_comment pos) acc
+      | '/' when pos + 1 < n && src.[pos + 1] = '*' ->
+          go (skip_block_comment (pos + 2)) acc
+      | '{' -> emit Lbrace 1
+      | '}' -> emit Rbrace 1
+      | '(' -> emit Lparen 1
+      | ')' -> emit Rparen 1
+      | '<' -> emit Langle 1
+      | '>' -> emit Rangle 1
+      | ';' -> emit Semi 1
+      | ',' -> emit Comma 1
+      | ':' when pos + 1 < n && src.[pos + 1] = ':' -> emit Coloncolon 2
+      | ':' -> emit Colon 1
+      | c when Names.is_ident_start c ->
+          let e = ident_end pos in
+          emit (Ident (String.sub src pos (e - pos))) (e - pos)
+      | c when c >= '0' && c <= '9' ->
+          let e = int_end pos in
+          emit (Int (int_of_string (String.sub src pos (e - pos)))) (e - pos)
+      | c ->
+          raise
+            (Lex_error (Printf.sprintf "unexpected character %C" c, !line, col pos))
+  in
+  go 0 []

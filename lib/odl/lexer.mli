@@ -1,0 +1,28 @@
+(** Lexer for the extended ODL syntax and the modification language. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Langle
+  | Rangle
+  | Colon
+  | Coloncolon
+  | Semi
+  | Comma
+  | Eof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** [(message, line, column)]. *)
+
+val token_to_string : token -> string
+
+val tokenize : string -> located list
+(** Tokenize a source string; the result always ends with {!Eof}.  Comments
+    are [// ...] to end of line and non-nesting [/* ... */].
+    @raise Lex_error on invalid characters or unterminated comments. *)

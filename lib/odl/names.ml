@@ -1,0 +1,24 @@
+(** Identifier conventions shared by the ODL parser and the modification
+    language: identifiers start with a letter or underscore and continue with
+    letters, digits, underscores. *)
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_valid s =
+  s <> ""
+  && is_ident_start s.[0]
+  && String.for_all is_ident_char s
+
+(** Keywords of the extended ODL concrete syntax; they cannot be used as
+    identifiers. *)
+let odl_keywords =
+  [
+    "schema"; "interface"; "extent"; "key"; "keys"; "attribute";
+    "relationship"; "part_of"; "instance_of"; "inverse"; "order_by";
+    "raises"; "set"; "list"; "bag"; "array"; "int"; "float"; "string";
+    "char"; "boolean"; "void";
+  ]
+
+let is_keyword s = List.mem s odl_keywords

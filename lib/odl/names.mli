@@ -1,0 +1,14 @@
+(** Identifier conventions shared by the ODL parser and the modification
+    language. *)
+
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+
+val is_valid : string -> bool
+(** Starts with a letter or underscore, continues with letters, digits,
+    underscores. *)
+
+val odl_keywords : string list
+(** Keywords of the extended ODL concrete syntax. *)
+
+val is_keyword : string -> bool

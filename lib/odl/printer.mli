@@ -1,0 +1,17 @@
+(** Pretty printer for the extended ODL concrete syntax.
+
+    Output parses back through {!Parser.parse_schema}; the round trip is the
+    identity on well-formed schemas and the printing is stable (printing the
+    reparse reproduces the text). *)
+
+open Types
+
+val pp_domain : Format.formatter -> domain_type -> unit
+val pp_attribute : Format.formatter -> attribute -> unit
+val pp_relationship : Format.formatter -> relationship -> unit
+val pp_operation : Format.formatter -> operation -> unit
+val pp_interface : Format.formatter -> interface -> unit
+val pp_schema : Format.formatter -> schema -> unit
+
+val schema_to_string : schema -> string
+val interface_to_string : interface -> string

@@ -1,0 +1,136 @@
+(** Abstract syntax for the extended ODMG ODL data model.
+
+    The model follows ODMG-93 ODL interfaces extended, as in the paper, with
+    two additional relationship kinds: [Part_of] (aggregation, the whole/part
+    relationship) and [Instance_of] (generic specification / specific
+    instance).  Both extensions carry an implicit 1:N cardinality: the whole
+    (resp. the generic entity) holds a collection of parts (resp. instances)
+    while each part (resp. instance) refers to exactly one whole (resp.
+    generic entity). *)
+
+type type_name = string [@@deriving show, eq, ord]
+(** Name of an interface (object type).  Unique across a schema. *)
+
+(** Collection type constructors available for to-many relationship ends and
+    collection-valued attribute domains. *)
+type collection_kind =
+  | Set
+  | List
+  | Bag
+  | Array
+[@@deriving show, eq, ord]
+
+(** Domain types for attributes, operation arguments and return types. *)
+type domain_type =
+  | D_int
+  | D_float
+  | D_string
+  | D_char
+  | D_boolean
+  | D_void  (** only meaningful as an operation return type *)
+  | D_named of type_name  (** reference to an interface or named type *)
+  | D_collection of collection_kind * domain_type
+[@@deriving show, eq, ord]
+
+type attribute = {
+  attr_name : string;
+  attr_type : domain_type;
+  attr_size : int option;  (** optional size, e.g. [string<30>] *)
+}
+[@@deriving show, eq, ord]
+
+(** The three relationship kinds of the extended model. *)
+type rel_kind =
+  | Association  (** plain ODMG relationship *)
+  | Part_of  (** aggregation; implicit 1:N whole-to-parts *)
+  | Instance_of  (** generic/instance; implicit 1:N generic-to-instances *)
+[@@deriving show, eq, ord]
+
+type relationship = {
+  rel_kind : rel_kind;
+  rel_name : string;  (** traversal path name, unique within the interface *)
+  rel_target : type_name;  (** interface at the other end *)
+  rel_inverse : string;  (** inverse traversal path name, declared on target *)
+  rel_card : collection_kind option;
+      (** [None] for a to-one end; [Some k] for a to-many end realised by
+          collection kind [k] *)
+  rel_order_by : string list;
+      (** attributes of the target ordering a to-many end *)
+}
+[@@deriving show, eq, ord]
+
+type argument = {
+  arg_name : string;
+  arg_type : domain_type;
+}
+[@@deriving show, eq, ord]
+
+type operation = {
+  op_name : string;
+  op_return : domain_type;
+  op_args : argument list;
+  op_raises : string list;  (** exception names *)
+}
+[@@deriving show, eq, ord]
+
+type interface = {
+  i_name : type_name;
+  i_supertypes : type_name list;  (** ISA; empty for a hierarchy root *)
+  i_extent : string option;
+  i_keys : string list list;  (** each key is a (possibly composite) list *)
+  i_attrs : attribute list;
+  i_rels : relationship list;
+  i_ops : operation list;
+}
+[@@deriving show, eq, ord]
+
+type schema = {
+  s_name : string;
+  s_interfaces : interface list;
+}
+[@@deriving show, eq, ord]
+
+(** The kind of a relationship end, derived from kind and cardinality.  For
+    [Part_of], the collection end is the whole (it aggregates parts); for
+    [Instance_of], the collection end is the generic entity. *)
+type end_role =
+  | Assoc_end
+  | Whole_end  (** part-of, declared on the whole; target is the part type *)
+  | Part_end  (** part-of, declared on the part; target is the whole *)
+  | Generic_end  (** instance-of, on the generic; target is the instance *)
+  | Instance_end  (** instance-of, on the instance; target is the generic *)
+[@@deriving show, eq, ord]
+
+let role_of_relationship (r : relationship) : end_role =
+  match (r.rel_kind, r.rel_card) with
+  | Association, _ -> Assoc_end
+  | Part_of, Some _ -> Whole_end
+  | Part_of, None -> Part_end
+  | Instance_of, Some _ -> Generic_end
+  | Instance_of, None -> Instance_end
+
+let empty_interface name =
+  {
+    i_name = name;
+    i_supertypes = [];
+    i_extent = None;
+    i_keys = [];
+    i_attrs = [];
+    i_rels = [];
+    i_ops = [];
+  }
+
+let empty_schema name = { s_name = name; s_interfaces = [] }
+
+(** [base_name t] is the named type underlying [t], if any — e.g. the element
+    interface of a collection domain. *)
+let rec base_name = function
+  | D_named n -> Some n
+  | D_collection (_, t) -> base_name t
+  | D_int | D_float | D_string | D_char | D_boolean | D_void -> None
+
+let collection_kind_name = function
+  | Set -> "set"
+  | List -> "list"
+  | Bag -> "bag"
+  | Array -> "array"

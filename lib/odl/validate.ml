@@ -1,0 +1,420 @@
+(** Well-formedness checking for extended-ODL schemas.
+
+    Diagnostics carry the paper's knowledge-component classification:
+    structural, hierarchy, semantic and naming categories, at error or
+    warning severity.  A schema is {e valid} when it has no error-level
+    diagnostics; warnings are designer feedback. *)
+
+open Types
+
+(* Note: no [@@deriving] on these types — a constructor named [Error] clashes
+   with the [result] constructor re-exported by the deriving runtime. *)
+
+type severity = Error | Warning
+
+type category =
+  | Structural  (** dangling references, inverse mismatches, end shapes *)
+  | Hierarchy  (** cycles, multi-root components, branching chains *)
+  | Semantic  (** keys, order-by, overriding, domains *)
+  | Naming  (** uniqueness and identifier validity *)
+
+type diagnostic = {
+  severity : severity;
+  category : category;
+  subject : string;  (** the construct at fault, e.g. ["Employee.works_in"] *)
+  message : string;
+}
+
+let equal_diagnostic (a : diagnostic) (b : diagnostic) = a = b
+let compare_diagnostic (a : diagnostic) (b : diagnostic) = compare a b
+
+let diag severity category subject message =
+  { severity; category; subject; message }
+
+let err = diag Error
+let warn = diag Warning
+
+let category_name = function
+  | Structural -> "structural"
+  | Hierarchy -> "hierarchy"
+  | Semantic -> "semantic"
+  | Naming -> "naming"
+
+let pp_diagnostic_line ppf d =
+  Fmt.pf ppf "%s [%s] %s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    (category_name d.category)
+    d.subject d.message
+
+(* --- naming ------------------------------------------------------------ *)
+
+let duplicates key xs =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun x ->
+      let k = key x in
+      if Hashtbl.mem seen k then Some k
+      else begin
+        Hashtbl.add seen k ();
+        None
+      end)
+    xs
+
+let check_naming schema =
+  let dup_ifaces =
+    duplicates (fun i -> i.i_name) schema.s_interfaces
+    |> List.map (fun n -> err Naming n "duplicate interface name")
+  in
+  let per_interface i =
+    let sub s = i.i_name ^ "." ^ s in
+    let bad_ident =
+      List.filter_map
+        (fun name ->
+          if not (Names.is_valid name) then
+            Some (err Naming (sub name) "invalid identifier")
+          else if Names.is_keyword name then
+            Some (err Naming (sub name) "identifier is an ODL keyword")
+          else None)
+        (List.map (fun a -> a.attr_name) i.i_attrs
+        @ List.map (fun r -> r.rel_name) i.i_rels
+        @ List.map (fun o -> o.op_name) i.i_ops)
+    in
+    let dup msg names =
+      duplicates Fun.id names |> List.map (fun n -> err Naming (sub n) msg)
+    in
+    (* attributes and relationships share the property namespace: both are
+       traversed by dot paths, so a clash is ambiguous. *)
+    let property_names =
+      List.map (fun a -> a.attr_name) i.i_attrs
+      @ List.map (fun r -> r.rel_name) i.i_rels
+    in
+    bad_ident
+    @ dup "duplicate property name (attribute/relationship)" property_names
+    @ dup "duplicate operation name" (List.map (fun o -> o.op_name) i.i_ops)
+  in
+  dup_ifaces @ List.concat_map per_interface schema.s_interfaces
+
+(* --- structural --------------------------------------------------------- *)
+
+let check_structural schema =
+  let per_interface i =
+    let sub s = i.i_name ^ "." ^ s in
+    let missing_supers =
+      i.i_supertypes
+      |> List.filter_map (fun s ->
+             if Schema.mem_interface schema s then None
+             else Some (err Structural i.i_name ("unknown supertype " ^ s)))
+    in
+    let rel_checks r =
+      let subject = sub r.rel_name in
+      match Schema.find_interface schema r.rel_target with
+      | None -> [ err Structural subject ("unknown target type " ^ r.rel_target) ]
+      | Some target -> (
+          match Schema.find_rel target r.rel_inverse with
+          | None ->
+              [
+                err Structural subject
+                  (Printf.sprintf "inverse %s::%s does not exist" r.rel_target
+                     r.rel_inverse);
+              ]
+          | Some inv ->
+              let back =
+                if not (String.equal inv.rel_target i.i_name) then
+                  [
+                    err Structural subject
+                      (Printf.sprintf
+                         "inverse %s::%s targets %s instead of %s" r.rel_target
+                         r.rel_inverse inv.rel_target i.i_name);
+                  ]
+                else if not (String.equal inv.rel_inverse r.rel_name) then
+                  [
+                    err Structural subject
+                      (Printf.sprintf "inverse %s::%s names %s as its inverse"
+                         r.rel_target r.rel_inverse inv.rel_inverse);
+                  ]
+                else []
+              in
+              let kind =
+                if inv.rel_kind <> r.rel_kind then
+                  [
+                    err Structural subject
+                      "relationship and its inverse have different kinds";
+                  ]
+                else []
+              in
+              let shape =
+                match r.rel_kind with
+                | Association -> []
+                | Part_of | Instance_of -> (
+                    let what =
+                      match r.rel_kind with
+                      | Part_of -> "part-of"
+                      | _ -> "instance-of"
+                    in
+                    match (r.rel_card, inv.rel_card) with
+                    | Some _, None | None, Some _ -> []
+                    | Some _, Some _ ->
+                        [
+                          err Structural subject
+                            (what
+                           ^ " relationship must be 1:N (both ends are \
+                              collections)");
+                        ]
+                    | None, None ->
+                        [
+                          err Structural subject
+                            (what
+                           ^ " relationship must be 1:N (neither end is a \
+                              collection)");
+                        ])
+              in
+              back @ kind @ shape)
+    in
+    missing_supers @ List.concat_map rel_checks i.i_rels
+  in
+  List.concat_map per_interface schema.s_interfaces
+
+(* --- hierarchy ----------------------------------------------------------- *)
+
+(* Cycle detection over a type-level edge relation via DFS colouring. *)
+let find_cycles next nodes =
+  let state = Hashtbl.create 16 in
+  (* 0 = in progress, 1 = done *)
+  let cycles = ref [] in
+  let rec visit n =
+    match Hashtbl.find_opt state n with
+    | Some 0 -> cycles := n :: !cycles
+    | Some _ -> ()
+    | None ->
+        Hashtbl.add state n 0;
+        List.iter visit (next n);
+        Hashtbl.replace state n 1
+  in
+  List.iter visit nodes;
+  List.sort_uniq compare !cycles
+
+(* Whole -> part edges of the aggregation graph (declared on the whole). *)
+let part_of_children schema name =
+  match Schema.find_interface schema name with
+  | None -> []
+  | Some i ->
+      i.i_rels
+      |> List.filter (fun r -> role_of_relationship r = Whole_end)
+      |> List.map (fun r -> r.rel_target)
+
+let instance_of_children schema name =
+  match Schema.find_interface schema name with
+  | None -> []
+  | Some i ->
+      i.i_rels
+      |> List.filter (fun r -> role_of_relationship r = Generic_end)
+      |> List.map (fun r -> r.rel_target)
+
+(* Connected components of the undirected ISA graph, used to flag components
+   with two or more roots (the paper's single-root assumption). *)
+let isa_components schema =
+  let nodes = Schema.interface_names schema in
+  let neighbours n =
+    Schema.direct_supertypes schema n @ Schema.direct_subtypes schema n
+  in
+  let seen = Hashtbl.create 16 in
+  let component start =
+    let rec go acc = function
+      | [] -> acc
+      | n :: rest ->
+          if Hashtbl.mem seen n then go acc rest
+          else begin
+            Hashtbl.add seen n ();
+            go (n :: acc) (neighbours n @ rest)
+          end
+    in
+    go [] [ start ]
+  in
+  List.filter_map
+    (fun n -> if Hashtbl.mem seen n then None else Some (component n))
+    nodes
+
+let check_hierarchy schema =
+  let nodes = Schema.interface_names schema in
+  let isa_cycles =
+    find_cycles (Schema.direct_supertypes schema) nodes
+    |> List.map (fun n -> err Hierarchy n "interface participates in an ISA cycle")
+  in
+  let part_cycles =
+    find_cycles (part_of_children schema) nodes
+    |> List.map (fun n ->
+           err Hierarchy n "interface participates in a part-of cycle")
+  in
+  let inst_cycles =
+    find_cycles (instance_of_children schema) nodes
+    |> List.map (fun n ->
+           err Hierarchy n "interface participates in an instance-of cycle")
+  in
+  let multi_root =
+    if isa_cycles <> [] then []
+    else
+      isa_components schema
+      |> List.filter_map (fun comp ->
+             match
+               List.filter (fun n -> Schema.direct_supertypes schema n = []) comp
+             with
+             | _ :: _ :: _ as roots when List.length comp > 1 ->
+                 Some
+                   (warn Hierarchy
+                      (String.concat ", " (List.sort compare roots))
+                      "generalization hierarchy has multiple roots; consider \
+                       an abstract supertype")
+             | _ -> None)
+  in
+  let branching_chain =
+    nodes
+    |> List.filter_map (fun n ->
+           match instance_of_children schema n with
+           | _ :: _ :: _ ->
+               Some
+                 (warn Hierarchy n
+                    "instance-of hierarchy branches at this interface \
+                     (chains are expected to be linear)")
+           | _ -> None)
+  in
+  isa_cycles @ part_cycles @ inst_cycles @ multi_root @ branching_chain
+
+(* --- semantic ------------------------------------------------------------ *)
+
+let check_semantic schema =
+  let known_domain d =
+    match base_name d with
+    | None -> true
+    | Some n -> Schema.mem_interface schema n
+  in
+  let per_interface i =
+    let sub s = i.i_name ^ "." ^ s in
+    let visible = Schema.visible_attrs schema i.i_name in
+    let visible_attr n = List.exists (fun a -> String.equal a.attr_name n) visible in
+    let key_checks =
+      i.i_keys
+      |> List.concat_map (fun key ->
+             key
+             |> List.filter_map (fun a ->
+                    if visible_attr a then None
+                    else
+                      Some
+                        (err Semantic (sub a)
+                           "key names an attribute not visible on this \
+                            interface")))
+    in
+    let attr_domains =
+      i.i_attrs
+      |> List.filter_map (fun a ->
+             if known_domain a.attr_type then None
+             else
+               Some
+                 (err Semantic (sub a.attr_name)
+                    "attribute domain names an unknown type"))
+    in
+    let op_domains =
+      i.i_ops
+      |> List.concat_map (fun o ->
+             let ret =
+               if known_domain o.op_return then []
+               else
+                 [
+                   err Semantic (sub o.op_name)
+                     "operation return type names an unknown type";
+                 ]
+             in
+             let args =
+               o.op_args
+               |> List.filter_map (fun a ->
+                      if known_domain a.arg_type then None
+                      else
+                        Some
+                          (err Semantic (sub o.op_name)
+                             (Printf.sprintf
+                                "argument %s names an unknown type" a.arg_name)))
+             in
+             ret @ args)
+    in
+    let order_by_checks =
+      i.i_rels
+      |> List.concat_map (fun r ->
+             match Schema.find_interface schema r.rel_target with
+             | None -> []  (* already a structural error *)
+             | Some _ ->
+                 let target_attrs = Schema.visible_attrs schema r.rel_target in
+                 r.rel_order_by
+                 |> List.filter_map (fun a ->
+                        if
+                          List.exists
+                            (fun ta -> String.equal ta.attr_name a)
+                            target_attrs
+                        then None
+                        else
+                          Some
+                            (err Semantic (sub r.rel_name)
+                               (Printf.sprintf
+                                  "order_by attribute %s is not visible on %s"
+                                  a r.rel_target))))
+    in
+    let override_checks =
+      (* a redefinition with a different signature is legal but suspicious *)
+      let supers = Schema.ancestors schema i.i_name in
+      i.i_ops
+      |> List.concat_map (fun o ->
+             supers
+             |> List.filter_map (fun s ->
+                    match Schema.find_interface schema s with
+                    | None -> None
+                    | Some si -> (
+                        match Schema.find_op si o.op_name with
+                        | Some so
+                          when not (equal_domain_type so.op_return o.op_return)
+                               || List.map (fun a -> a.arg_type) so.op_args
+                                  <> List.map (fun a -> a.arg_type) o.op_args ->
+                            Some
+                              (warn Semantic (sub o.op_name)
+                                 (Printf.sprintf
+                                    "overrides %s::%s with a different \
+                                     signature"
+                                    s o.op_name))
+                        | _ -> None)))
+    in
+    let shadow_checks =
+      let supers = Schema.ancestors schema i.i_name in
+      i.i_attrs
+      |> List.concat_map (fun a ->
+             supers
+             |> List.filter_map (fun s ->
+                    match Schema.find_interface schema s with
+                    | None -> None
+                    | Some si -> (
+                        match Schema.find_attr si a.attr_name with
+                        | Some sa when not (equal_domain_type sa.attr_type a.attr_type)
+                          ->
+                            Some
+                              (warn Semantic (sub a.attr_name)
+                                 (Printf.sprintf
+                                    "shadows %s::%s with a different domain" s
+                                    a.attr_name))
+                        | _ -> None)))
+    in
+    key_checks @ attr_domains @ op_domains @ order_by_checks @ override_checks
+    @ shadow_checks
+  in
+  let extent_dups =
+    schema.s_interfaces
+    |> List.filter_map (fun i -> i.i_extent)
+    |> duplicates Fun.id
+    |> List.map (fun e -> err Semantic e "duplicate extent name")
+  in
+  extent_dups @ List.concat_map per_interface schema.s_interfaces
+
+(** All diagnostics for [schema], naming first (later categories assume the
+    names are at least unique). *)
+let check schema =
+  check_naming schema @ check_structural schema @ check_hierarchy schema
+  @ check_semantic schema
+
+let errors schema = List.filter (fun d -> d.severity = Error) (check schema)
+let warnings schema = List.filter (fun d -> d.severity = Warning) (check schema)
+let is_valid schema = errors schema = []

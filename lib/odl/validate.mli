@@ -1,0 +1,45 @@
+(** Well-formedness checking for extended-ODL schemas.
+
+    Diagnostics carry the knowledge-component classification of the paper:
+    structural, hierarchy, semantic and naming categories, at error or
+    warning severity.  A schema is {e valid} when it has no error-level
+    diagnostics; warnings are designer feedback (e.g. multi-root
+    generalization hierarchies, suspicious overriding). *)
+
+type severity = Error | Warning
+
+type category =
+  | Structural  (** dangling references, inverse mismatches, end shapes *)
+  | Hierarchy  (** cycles, multi-root components, branching chains *)
+  | Semantic  (** keys, order-by, overriding, domains *)
+  | Naming  (** uniqueness and identifier validity *)
+
+type diagnostic = {
+  severity : severity;
+  category : category;
+  subject : string;  (** the construct at fault, e.g. ["Employee.works_in"] *)
+  message : string;
+}
+
+val equal_diagnostic : diagnostic -> diagnostic -> bool
+val compare_diagnostic : diagnostic -> diagnostic -> int
+val category_name : category -> string
+
+val pp_diagnostic_line : Format.formatter -> diagnostic -> unit
+(** One-line rendering: ["error [structural] A.r: unknown target type B"]. *)
+
+val check : Types.schema -> diagnostic list
+(** All diagnostics, naming checks first. *)
+
+val errors : Types.schema -> diagnostic list
+val warnings : Types.schema -> diagnostic list
+
+val is_valid : Types.schema -> bool
+(** No error-level diagnostics. *)
+
+(**/**)
+
+(* Exposed for the decomposition algorithms. *)
+val part_of_children : Types.schema -> Types.type_name -> Types.type_name list
+val instance_of_children : Types.schema -> Types.type_name -> Types.type_name list
+val isa_components : Types.schema -> Types.type_name list list

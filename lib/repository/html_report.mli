@@ -1,0 +1,11 @@
+(** HTML deliverables: the designer feedback documents of a session rendered
+    as one self-contained page — schema summaries, concept schema inventory,
+    operation log with impacts, consistency report, mapping table, local
+    names, and the custom schema.  Deterministic output, no external
+    assets. *)
+
+val escape : string -> string
+(** HTML entity escaping. *)
+
+val render : Core.Session.t -> string
+(** The whole page. *)

@@ -1,0 +1,14 @@
+(** The knowledge component: cautionary statements for the designer.
+
+    Beyond hard constraint enforcement and propagation, the paper's
+    knowledge component issues advisory feedback — consequences the designer
+    should be aware of even though the operation is legal. *)
+
+val cautions : Odl.Types.schema -> Core.Modop.t -> string list
+(** Cautionary statements for applying the operation to the schema,
+    computed against the workspace {e before} application.  Empty when
+    nothing is noteworthy. *)
+
+val rule_summaries : (string * string) list
+(** The rule base by group, for documentation and the designer's [rules]
+    command. *)

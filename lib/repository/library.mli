@@ -1,0 +1,27 @@
+(** A library of shrink wrap schemas on disk: a directory of [*.odl] files,
+    browsable by structural descriptor and searchable by affinity to an
+    application sketch. *)
+
+type entry = {
+  e_path : string;
+  e_schema : Odl.Types.schema;
+  e_descriptor : Core.Affinity.descriptor;
+}
+
+type t = { lib_dir : string; entries : entry list }
+
+val load : string -> t * (string * string) list
+(** Load every parsable [*.odl] file under the directory; unparsable files
+    are returned as [(path, reason)] pairs. *)
+
+val store : t -> Odl.Types.schema -> t
+(** Write a schema into the library directory (file name derived from the
+    schema name) and add it to the in-memory catalog. *)
+
+val schemas : t -> Odl.Types.schema list
+
+val search : t -> sketch:Odl.Types.schema -> (entry * float) list
+(** Entries ranked by affinity to the sketch, best first. *)
+
+val catalog : t -> string
+(** One descriptor line per entry. *)

@@ -1,0 +1,151 @@
+(** A multi-variant design repository: one shrink wrap schema, many derived
+    designs.
+
+    This is the ACEDB situation as a subsystem: a well-crafted schema is
+    published once, and each adopting project keeps its own customization —
+    its variant — in the same repository.  Variants are full sessions
+    (operation log, local names, custom schema, reports), and the repository
+    can compare variants pairwise: affinity and the interoperation report
+    over their common objects.
+
+    Layout:
+    {v
+    <dir>/shrinkwrap.odl
+    <dir>/variants/<name>/     one Store repository per variant
+    v} *)
+
+type t = {
+  dir : string;
+  shrink_wrap : Odl.Types.schema;
+}
+
+let variants_dir t = Filename.concat t.dir "variants"
+let variant_dir t name = Filename.concat (variants_dir t) name
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+exception Bad_repo of string
+
+let valid_variant_name n =
+  n <> "" && Odl.Names.is_valid n
+
+(** Initialize a repository for [shrink_wrap] at [dir].  The shrink wrap
+    schema must be valid. *)
+let init dir shrink_wrap =
+  match Odl.Validate.errors shrink_wrap with
+  | _ :: _ -> Error "the shrink wrap schema is not valid"
+  | [] ->
+      ensure_dir dir;
+      ensure_dir (Filename.concat dir "variants");
+      let t = { dir; shrink_wrap } in
+      let oc = open_out (Filename.concat dir "shrinkwrap.odl") in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Odl.Printer.schema_to_string shrink_wrap));
+      Ok t
+
+(** Open an existing repository. *)
+let open_dir dir =
+  let path = Filename.concat dir "shrinkwrap.odl" in
+  if not (Sys.file_exists path) then
+    raise (Bad_repo (dir ^ " has no shrinkwrap.odl"));
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  { dir; shrink_wrap = Odl.Parser.parse_schema text }
+
+let shrink_wrap t = t.shrink_wrap
+
+let variant_names t =
+  let d = variants_dir t in
+  if Sys.file_exists d && Sys.is_directory d then
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun n -> Sys.is_directory (Filename.concat d n))
+    |> List.sort compare
+  else []
+
+let mem_variant t name = List.mem name (variant_names t)
+
+(** Start a fresh variant: a new design session over the repository's shrink
+    wrap schema, persisted under the variant's name. *)
+let create_variant t name =
+  if not (valid_variant_name name) then
+    Error (Printf.sprintf "%s is not a valid variant name" name)
+  else if mem_variant t name then
+    Error (Printf.sprintf "variant %s already exists" name)
+  else
+    match Core.Session.create t.shrink_wrap with
+    | Error _ -> Error "the shrink wrap schema is not valid"
+    | Ok session ->
+        let store = Store.open_dir (variant_dir t name) in
+        Store.save_session store session;
+        Ok session
+
+(** Load a variant's session by replaying its log. *)
+let open_variant t name =
+  if not (mem_variant t name) then
+    Error (Core.Apply.Unknown (Printf.sprintf "variant %s" name))
+  else Store.load_session (Store.open_dir (variant_dir t name))
+
+(** Persist a session as (a new state of) the named variant. *)
+let save_variant t name session =
+  if not (valid_variant_name name) then
+    Error (Printf.sprintf "%s is not a valid variant name" name)
+  else begin
+    Store.save_session (Store.open_dir (variant_dir t name)) session;
+    Ok ()
+  end
+
+(** The custom schemas of all variants, with their names. *)
+let variant_customs t =
+  variant_names t
+  |> List.filter_map (fun name ->
+         match open_variant t name with
+         | Ok session ->
+             Some (name, Core.Session.custom_schema ~name session)
+         | Error _ -> None)
+
+(** Pairwise affinity matrix over the variants' custom schemas. *)
+let affinity_matrix t =
+  Core.Affinity.matrix (List.map snd (variant_customs t))
+
+(** Interoperation analysis between two variants (paper section 5): the
+    constructs both kept from the shrink wrap schema, and the interchange
+    schema. *)
+let interop t name_a name_b =
+  match (open_variant t name_a, open_variant t name_b) with
+  | Ok a, Ok b ->
+      Ok
+        (Core.Interop.analyse ~original:t.shrink_wrap
+           ~custom_a:(Core.Session.custom_schema a)
+           ~custom_b:(Core.Session.custom_schema b))
+  | Error e, _ | _, Error e -> Error e
+
+let interop_report t name_a name_b =
+  Result.map
+    (Core.Interop.report_text ~name_a ~name_b)
+    (interop t name_a name_b)
+
+(** One catalog line per variant: its mapping summary against the shrink
+    wrap schema. *)
+let catalog t =
+  variant_names t
+  |> List.map (fun name ->
+         match open_variant t name with
+         | Ok session ->
+             let p, md, mv, d, a =
+               Core.Mapping.summary (Core.Session.mapping session)
+             in
+             Printf.sprintf
+               "%-16s %s; vs shrink wrap: %d preserved, %d modified, %d \
+                moved, %d deleted, %d added"
+               name
+               (Core.Render.summary (Core.Session.custom_schema session))
+               p md mv d a
+         | Error e ->
+             Printf.sprintf "%-16s (unreadable: %s)" name
+               (Core.Apply.error_to_string e))
+  |> String.concat "\n"

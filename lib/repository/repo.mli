@@ -1,0 +1,38 @@
+(** A multi-variant design repository: one shrink wrap schema, many derived
+    designs (the ACEDB situation as a subsystem).  Each variant is a full
+    persisted session; the repository compares variants pairwise by affinity
+    and by interoperation over their common objects. *)
+
+type t
+
+exception Bad_repo of string
+
+val init : string -> Odl.Types.schema -> (t, string) result
+(** Initialize a repository at the directory for a (valid) shrink wrap
+    schema. *)
+
+val open_dir : string -> t
+(** @raise Bad_repo when the directory holds no repository.
+    @raise Odl.Parser.Parse_error when the stored schema is corrupt. *)
+
+val shrink_wrap : t -> Odl.Types.schema
+val variant_names : t -> string list
+val mem_variant : t -> string -> bool
+
+val create_variant : t -> string -> (Core.Session.t, string) result
+(** Start (and persist) a fresh design session under the variant's name. *)
+
+val open_variant : t -> string -> (Core.Session.t, Core.Apply.error) result
+(** Load a variant's session by replaying its stored log. *)
+
+val save_variant : t -> string -> Core.Session.t -> (unit, string) result
+
+val variant_customs : t -> (string * Odl.Types.schema) list
+val affinity_matrix : t -> string
+
+val interop : t -> string -> string -> (Core.Interop.report, Core.Apply.error) result
+val interop_report : t -> string -> string -> (string, Core.Apply.error) result
+
+val catalog : t -> string
+(** One line per variant: inventory and mapping summary against the shrink
+    wrap schema. *)

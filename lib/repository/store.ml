@@ -1,0 +1,140 @@
+(** On-disk schema repository.
+
+    Persistence reuses the system's own languages: schemas are stored as
+    extended ODL text and operation logs in the modification language, so a
+    repository is human-readable and round-trips through the parsers.
+
+    Layout of a repository directory:
+    {v
+    <dir>/shrinkwrap.odl     the original shrink wrap schema
+    <dir>/log.ops            applied operations, one per line:  @ww add_...();
+    <dir>/custom.odl         the generated custom schema
+    <dir>/reports/*.txt      generated deliverables
+    v} *)
+
+type t = { dir : string }
+
+let shrinkwrap_file t = Filename.concat t.dir "shrinkwrap.odl"
+let aliases_file t = Filename.concat t.dir "aliases.map"
+let log_file t = Filename.concat t.dir "log.ops"
+let custom_file t = Filename.concat t.dir "custom.odl"
+let reports_dir t = Filename.concat t.dir "reports"
+
+let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
+
+(** Open (creating if needed) a repository rooted at [dir]. *)
+let open_dir dir =
+  ensure_dir dir;
+  ensure_dir (Filename.concat dir "reports");
+  { dir }
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- operation log format ---------------------------------------------- *)
+
+let kind_tag = function
+  | Core.Concept.Wagon_wheel -> "@ww"
+  | Core.Concept.Generalization -> "@gh"
+  | Core.Concept.Aggregation -> "@ah"
+  | Core.Concept.Instance_chain -> "@ih"
+
+let kind_of_tag = function
+  | "@ww" -> Some Core.Concept.Wagon_wheel
+  | "@gh" -> Some Core.Concept.Generalization
+  | "@ah" -> Some Core.Concept.Aggregation
+  | "@ih" -> Some Core.Concept.Instance_chain
+  | _ -> None
+
+exception Bad_log of string
+
+(** Serialize a [(kind, op)] log. *)
+let log_to_string steps =
+  steps
+  |> List.map (fun (kind, op) ->
+         Printf.sprintf "%s %s;" (kind_tag kind) (Core.Op_printer.to_string op))
+  |> String.concat "\n"
+
+(** Parse a log produced by {!log_to_string}.
+    @raise Bad_log on malformed lines. *)
+let log_of_string text =
+  text |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || String.length line >= 2 && String.sub line 0 2 = "//"
+         then None
+         else
+           match String.index_opt line ' ' with
+           | None -> raise (Bad_log ("missing operation: " ^ line))
+           | Some i -> (
+               let tag = String.sub line 0 i in
+               let rest = String.sub line (i + 1) (String.length line - i - 1) in
+               match kind_of_tag tag with
+               | None -> raise (Bad_log ("unknown concept tag: " ^ tag))
+               | Some kind -> (
+                   try Some (kind, Core.Op_parser.parse rest)
+                   with Core.Op_parser.Parse_error (m, _, _) ->
+                     raise (Bad_log (m ^ " in: " ^ rest)))))
+
+(* --- repository operations ---------------------------------------------- *)
+
+let save_shrinkwrap t schema =
+  write_file (shrinkwrap_file t) (Odl.Printer.schema_to_string schema)
+
+let load_shrinkwrap t = Odl.Parser.parse_schema (read_file (shrinkwrap_file t))
+
+let save_log t steps = write_file (log_file t) (log_to_string steps)
+
+let load_log t =
+  if Sys.file_exists (log_file t) then log_of_string (read_file (log_file t))
+  else []
+
+let save_custom t schema =
+  write_file (custom_file t) (Odl.Printer.schema_to_string schema)
+
+let load_custom t = Odl.Parser.parse_schema (read_file (custom_file t))
+
+let save_report t name contents =
+  write_file (Filename.concat (reports_dir t) (name ^ ".txt")) contents
+
+let save_aliases t aliases =
+  write_file (aliases_file t) (Core.Aliases.to_string aliases)
+
+let load_aliases t =
+  if Sys.file_exists (aliases_file t) then
+    Core.Aliases.of_string (read_file (aliases_file t))
+  else Core.Aliases.empty
+
+(** Persist a whole session: shrink wrap schema, operation log, local names,
+    custom schema, and the deliverable reports. *)
+let save_session t session =
+  save_shrinkwrap t (Core.Session.original session);
+  save_log t
+    (List.map
+       (fun (s : Core.Session.step) -> (s.st_kind, s.st_op))
+       (Core.Session.log session));
+  save_aliases t (Core.Session.aliases session);
+  save_custom t (Core.Session.custom_schema session);
+  save_report t "impact" (Core.Session.impact_report session);
+  save_report t "consistency" (Core.Session.consistency_report_text session);
+  save_report t "mapping" (Core.Session.mapping_report session);
+  write_file
+    (Filename.concat (reports_dir t) "deliverables.html")
+    (Html_report.render session)
+
+(** Rebuild a session from a repository by replaying its log on the stored
+    shrink wrap schema, then restoring its local names. *)
+let load_session t =
+  let shrink_wrap = load_shrinkwrap t in
+  Result.map
+    (fun session -> Core.Session.restore_aliases session (load_aliases t))
+    (Core.Session.replay shrink_wrap (load_log t))

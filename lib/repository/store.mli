@@ -1,0 +1,61 @@
+(** On-disk schema repository.
+
+    Persistence reuses the system's own languages: schemas are stored as
+    extended ODL text and operation logs in the modification language, so a
+    repository is human-readable and round-trips through the parsers.
+
+    Layout of a repository directory:
+    {v
+    <dir>/shrinkwrap.odl     the original shrink wrap schema
+    <dir>/log.ops            applied operations:  @ww add_...(...);
+    <dir>/aliases.map        local names:  Canonical = local
+    <dir>/custom.odl         the generated custom schema
+    <dir>/reports/*.txt      generated deliverables
+    v} *)
+
+type t
+
+val open_dir : string -> t
+(** Open (creating if needed) a repository rooted at the directory. *)
+
+val shrinkwrap_file : t -> string
+val log_file : t -> string
+val aliases_file : t -> string
+val custom_file : t -> string
+val reports_dir : t -> string
+
+(** {1 Operation log format} *)
+
+exception Bad_log of string
+
+val log_to_string : (Core.Concept.kind * Core.Modop.t) list -> string
+(** One line per step: a [@ww]/[@gh]/[@ah]/[@ih] concept tag followed by the
+    operation in the modification language. *)
+
+val log_of_string : string -> (Core.Concept.kind * Core.Modop.t) list
+(** Inverse of {!log_to_string}; blank lines and [// ...] comments are
+    skipped.  @raise Bad_log on malformed lines. *)
+
+(** {1 Individual artifacts} *)
+
+val save_shrinkwrap : t -> Odl.Types.schema -> unit
+val load_shrinkwrap : t -> Odl.Types.schema
+val save_log : t -> (Core.Concept.kind * Core.Modop.t) list -> unit
+val load_log : t -> (Core.Concept.kind * Core.Modop.t) list
+(** The empty list when no log has been saved yet. *)
+
+val save_aliases : t -> Core.Aliases.t -> unit
+val load_aliases : t -> Core.Aliases.t
+val save_custom : t -> Odl.Types.schema -> unit
+val load_custom : t -> Odl.Types.schema
+val save_report : t -> string -> string -> unit
+
+(** {1 Whole sessions} *)
+
+val save_session : t -> Core.Session.t -> unit
+(** Shrink wrap schema, operation log, local names, custom schema, and the
+    deliverable reports. *)
+
+val load_session : t -> (Core.Session.t, Core.Apply.error) result
+(** Rebuild by replaying the stored log on the stored shrink wrap schema,
+    then restoring local names. *)

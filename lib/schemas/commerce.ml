@@ -1,0 +1,115 @@
+(** A business-objects shrink wrap schema.
+
+    The paper's section 5 points at the OMG Business Object Model effort —
+    common business objects "to promote the conduct of business over the
+    network" — as a natural application of shrink wrap schemas: every
+    trading partner starts from the same order/party/product schema and
+    customizes locally, interoperating through the common objects.  This
+    schema is that starting point: parties with a generalization hierarchy,
+    an order parts explosion, and a product/catalog-item instance-of link. *)
+
+let source =
+  {|
+schema Business_Objects {
+  interface Party {
+    extent parties;
+    key party_code;
+    attribute string<12> party_code;
+    attribute string<80> legal_name;
+    attribute string tax_registration;
+    relationship set<Address> addresses inverse Address::address_of;
+    string display_name();
+  };
+  interface Organization : Party {
+    attribute string industry_code;
+    relationship set<Contact_Person> contacts inverse Contact_Person::represents;
+  };
+  interface Individual : Party {
+    attribute string given_name;
+    attribute string family_name;
+  };
+  interface Customer : Organization {
+    attribute float credit_limit;
+    attribute string payment_terms;
+    relationship set<Sales_Order> orders inverse Sales_Order::placed_by;
+    boolean credit_ok(float amount);
+  };
+  interface Supplier : Organization {
+    attribute int lead_time_days;
+    relationship set<Product> supplies inverse Product::supplied_by;
+  };
+  interface Contact_Person : Individual {
+    attribute string<60> role_title;
+    attribute string email;
+    relationship Organization represents inverse Organization::contacts;
+  };
+  interface Address {
+    attribute string street;
+    attribute string<40> city;
+    attribute string<2> country_code;
+    attribute string<12> postal_code;
+    relationship Party address_of inverse Party::addresses;
+  };
+  interface Sales_Order {
+    extent sales_orders;
+    key order_number;
+    attribute string<14> order_number;
+    attribute string order_date;
+    attribute string status;
+    relationship Customer placed_by inverse Customer::orders;
+    part_of relationship set<Order_Line> lines inverse Order_Line::line_of
+      order_by (line_number);
+    part_of relationship set<Shipment> shipments inverse Shipment::shipment_of;
+    float total_value() raises (Unpriced_Line);
+    void cancel() raises (Already_Shipped);
+  };
+  interface Order_Line {
+    attribute int line_number;
+    attribute int quantity;
+    attribute float unit_price;
+    part_of relationship Sales_Order line_of inverse Sales_Order::lines;
+    relationship Catalog_Item for_item inverse Catalog_Item::ordered_on;
+  };
+  interface Shipment {
+    attribute string<16> tracking_number;
+    attribute string shipped_on;
+    part_of relationship Sales_Order shipment_of inverse Sales_Order::shipments;
+    relationship Carrier carried_by inverse Carrier::shipments_carried;
+  };
+  interface Carrier {
+    key scac_code;
+    attribute string<4> scac_code;
+    attribute string carrier_name;
+    relationship set<Shipment> shipments_carried inverse Shipment::carried_by;
+  };
+  interface Product {
+    extent products;
+    key product_code;
+    attribute string<16> product_code;
+    attribute string description;
+    attribute string unit_of_measure;
+    relationship Supplier supplied_by inverse Supplier::supplies;
+    instance_of relationship set<Catalog_Item> catalog_items
+      inverse Catalog_Item::item_of;
+  };
+  interface Catalog_Item {
+    attribute string<10> catalog_season;
+    attribute float list_price;
+    attribute boolean discontinued;
+    instance_of relationship Product item_of inverse Product::catalog_items;
+    relationship set<Order_Line> ordered_on inverse Order_Line::for_item;
+    relationship Price_List listed_in inverse Price_List::items;
+  };
+  interface Price_List {
+    key price_list_name;
+    attribute string<24> price_list_name;
+    attribute string currency;
+    attribute string valid_from;
+    relationship set<Catalog_Item> items inverse Catalog_Item::listed_in
+      order_by (list_price);
+  };
+};
+|}
+
+let schema = lazy (Odl.Parser.parse_schema source)
+let v () = Lazy.force schema

@@ -1,0 +1,8 @@
+(** A bundled shrink wrap schema (see the implementation header for what it
+    models and which paper figures it carries). *)
+
+val source : string
+(** The schema in extended ODL concrete syntax. *)
+
+val v : unit -> Odl.Types.schema
+(** The parsed schema (parsed once, lazily). *)

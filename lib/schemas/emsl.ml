@@ -1,0 +1,59 @@
+(** The EMSL software version schema — the instance-of chain of the paper's
+    Figure 6, from the Environmental and Molecular Sciences Laboratory: an
+    application (e.g. a C compiler) has versions, each version is compiled on
+    many machines, each compiled version is installed on many machines. *)
+
+let source =
+  {|
+schema EMSL_Software {
+  interface Application {
+    extent applications;
+    key application_name;
+    attribute string<40> application_name;
+    attribute string vendor;
+    attribute string discipline;
+    instance_of relationship set<Application_Version> versions
+      inverse Application_Version::version_of;
+    int version_count();
+  };
+  interface Application_Version {
+    attribute string<16> version_number;
+    attribute string release_date;
+    instance_of relationship Application version_of
+      inverse Application::versions;
+    instance_of relationship set<Compiled_Version> compilations
+      inverse Compiled_Version::compiled_from;
+  };
+  interface Compiled_Version {
+    attribute string compile_date;
+    attribute string compiler_flags;
+    instance_of relationship Application_Version compiled_from
+      inverse Application_Version::compilations;
+    instance_of relationship set<Installed_Version> installations
+      inverse Installed_Version::installed_from;
+    relationship Machine compiled_on inverse Machine::compilations_here;
+  };
+  interface Installed_Version {
+    attribute string install_date;
+    attribute string<128> install_path;
+    instance_of relationship Compiled_Version installed_from
+      inverse Compiled_Version::installations;
+    relationship Machine installed_on inverse Machine::installations_here;
+    boolean is_current();
+  };
+  interface Machine {
+    extent machines;
+    key hostname;
+    attribute string<64> hostname;
+    attribute string architecture;
+    attribute string operating_system;
+    relationship set<Compiled_Version> compilations_here
+      inverse Compiled_Version::compiled_on;
+    relationship set<Installed_Version> installations_here
+      inverse Installed_Version::installed_on order_by (install_date);
+  };
+};
+|}
+
+let schema = lazy (Odl.Parser.parse_schema source)
+let v () = Lazy.force schema

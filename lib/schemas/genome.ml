@@ -1,0 +1,176 @@
+(** The ACEDB schema family (paper Figures 9-11).
+
+    ACEDB was built for the nematode genome project and manually reused for
+    the Arabidopsis database (AAtDB) and the Saccharomyces database
+    (SacchDB).  The three schemas share most object types by name; the
+    carrier of mutations is called [Strain] in the animal disciplines
+    (ACEDB, SacchDB) and [Phenotype] in the plant discipline (AAtDB).  The
+    common physical-mapping core is generated once — parameterized on the
+    carrier type name and on per-type extension hooks — exactly the
+    situation shrink wrap schema-based design addresses. *)
+
+(* The shared physical-mapping and bibliography core.  [carrier] is the name
+   of the mutation-carrier object type; [locus_extra] and [carrier_extra]
+   are extra member declarations spliced into those interfaces so each
+   database can hang its organism-specific links off the shared types. *)
+let common_core ~carrier ~locus_extra ~carrier_extra =
+  Printf.sprintf
+    {|
+  interface Map {
+    extent maps;
+    key map_name;
+    attribute string<40> map_name;
+    attribute string chromosome;
+    relationship set<Locus> loci inverse Locus::on_map order_by (position);
+    relationship set<Contig> contigs inverse Contig::mapped_to;
+  };
+  interface Locus {
+    extent loci;
+    key locus_name;
+    attribute string<20> locus_name;
+    attribute float position;
+    relationship Map on_map inverse Map::loci;
+    relationship set<Allele> alleles inverse Allele::allele_of;
+    relationship set<Clone> positive_clones inverse Clone::hybridizes_to;
+    %s
+  };
+  interface Contig {
+    attribute string<20> contig_name;
+    attribute int length_kb;
+    relationship Map mapped_to inverse Map::contigs;
+    relationship set<Clone> members inverse Clone::in_contig;
+  };
+  interface Clone {
+    extent clones;
+    key clone_name;
+    attribute string<20> clone_name;
+    attribute string clone_type;
+    relationship Contig in_contig inverse Contig::members;
+    relationship set<Locus> hybridizes_to inverse Locus::positive_clones;
+    relationship set<Sequence> sequences inverse Sequence::from_clone;
+    relationship Laboratory held_by inverse Laboratory::clone_stock;
+  };
+  interface Sequence {
+    attribute string<30> accession;
+    attribute int length_bp;
+    relationship Clone from_clone inverse Clone::sequences;
+    relationship set<Paper> cited_in inverse Paper::sequences_reported;
+  };
+  interface Allele {
+    attribute string<20> allele_name;
+    attribute string mutagen;
+    relationship Locus allele_of inverse Locus::alleles;
+    relationship %s found_in inverse %s::carries;
+  };
+  interface %s {
+    extent carriers;
+    key carrier_name;
+    attribute string<30> carrier_name;
+    attribute string description;
+    relationship set<Allele> carries inverse Allele::found_in;
+    relationship Laboratory maintained_by inverse Laboratory::stock;
+    %s
+  };
+  interface Paper {
+    extent papers;
+    attribute string title;
+    attribute int year;
+    relationship Journal published_in inverse Journal::papers;
+    relationship set<Author> authors inverse Author::wrote;
+    relationship set<Sequence> sequences_reported inverse Sequence::cited_in;
+  };
+  interface Author {
+    key author_name;
+    attribute string<60> author_name;
+    relationship set<Paper> wrote inverse Paper::authors order_by (year);
+    relationship Laboratory member_of inverse Laboratory::members;
+  };
+  interface Journal {
+    key journal_name;
+    attribute string<80> journal_name;
+    relationship set<Paper> papers inverse Paper::published_in;
+  };
+  interface Laboratory {
+    extent laboratories;
+    key lab_code;
+    attribute string<8> lab_code;
+    attribute string location;
+    relationship set<Author> members inverse Author::member_of;
+    relationship set<%s> stock inverse %s::maintained_by;
+    relationship set<Clone> clone_stock inverse Clone::held_by;
+  };
+|}
+    locus_extra carrier carrier carrier carrier_extra carrier carrier
+
+let build ~name ~carrier ?(locus_extra = "") ?(carrier_extra = "") ~extra () =
+  Printf.sprintf "schema %s {%s%s};" name
+    (common_core ~carrier ~locus_extra ~carrier_extra)
+    extra
+
+(** ACEDB: the original nematode schema — [Strain], plus genetic crosses
+    hanging off strains. *)
+let acedb_source =
+  build ~name:"ACEDB" ~carrier:"Strain"
+    ~carrier_extra:
+      "relationship set<Genetic_Cross> crosses inverse \
+       Genetic_Cross::parent_strain;"
+    ~extra:
+      {|
+  interface Genetic_Cross {
+    attribute string cross_date;
+    attribute string genotype;
+    relationship Strain parent_strain inverse Strain::crosses;
+  };
+|}
+    ()
+
+(** AAtDB: the Arabidopsis (thale cress) schema — the mutation carrier is
+    called [Phenotype], and the plant schema records ecotypes. *)
+let aatdb_source =
+  build ~name:"AAtDB" ~carrier:"Phenotype"
+    ~carrier_extra:
+      "relationship set<Ecotype> ecotypes inverse Ecotype::typical_phenotypes;"
+    ~extra:
+      {|
+  interface Ecotype {
+    extent ecotypes;
+    key ecotype_name;
+    attribute string<30> ecotype_name;
+    attribute string collection_site;
+    relationship set<Phenotype> typical_phenotypes inverse Phenotype::ecotypes;
+  };
+|}
+    ()
+
+(** SacchDB: the Saccharomyces (yeast) schema — [Strain], plus gene products
+    (yeast genetics tracks proteins). *)
+let sacchdb_source =
+  build ~name:"SacchDB" ~carrier:"Strain"
+    ~locus_extra:
+      "relationship set<Gene_Product> products inverse Gene_Product::encoded_by;"
+    ~extra:
+      {|
+  interface Gene_Product {
+    extent gene_products;
+    key product_name;
+    attribute string<40> product_name;
+    attribute string product_class;
+    relationship Locus encoded_by inverse Locus::products;
+  };
+|}
+    ()
+
+let acedb = lazy (Odl.Parser.parse_schema acedb_source)
+let aatdb = lazy (Odl.Parser.parse_schema aatdb_source)
+let sacchdb = lazy (Odl.Parser.parse_schema sacchdb_source)
+
+let acedb_v () = Lazy.force acedb
+let aatdb_v () = Lazy.force aatdb
+let sacchdb_v () = Lazy.force sacchdb
+
+(** Object-type names shared by all three schemas — the common-objects
+    argument of the paper's §4. *)
+let common_object_types () =
+  let names s = List.map (fun i -> i.Odl.Types.i_name) s.Odl.Types.s_interfaces in
+  let b = names (aatdb_v ()) and c = names (sacchdb_v ()) in
+  List.filter (fun n -> List.mem n b && List.mem n c) (names (acedb_v ()))

@@ -1,0 +1,16 @@
+(** The ACEDB schema family (paper Figures 9-11): the nematode original and
+    its two historical manual reuses, AAtDB (Arabidopsis) and SacchDB
+    (yeast).  The common physical-mapping core is generated once,
+    parameterized on the mutation-carrier type name ([Strain] vs
+    [Phenotype]) and per-type extension hooks. *)
+
+val acedb_source : string
+val aatdb_source : string
+val sacchdb_source : string
+
+val acedb_v : unit -> Odl.Types.schema
+val aatdb_v : unit -> Odl.Types.schema
+val sacchdb_v : unit -> Odl.Types.schema
+
+val common_object_types : unit -> string list
+(** Object-type names shared by all three schemas. *)

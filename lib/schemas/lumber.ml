@@ -1,0 +1,110 @@
+(** The lumber yard shrink wrap schema — the house parts explosion of the
+    paper's Figure 5, fleshed out with attributes so that modification
+    operations have material to act on.  The aggregation hierarchy rooted at
+    [House] covers construction supplies: structure (roof, foundation,
+    framing) and finish elements (doors, windows, plumbing fixtures). *)
+
+let source =
+  {|
+schema Lumber_Yard {
+  interface House {
+    extent houses;
+    key plan_number;
+    attribute string<12> plan_number;
+    attribute int square_feet;
+    attribute float estimated_cost;
+    part_of relationship set<Structure> structures inverse Structure::structure_of;
+    part_of relationship set<Finish_Element> finish_elements
+      inverse Finish_Element::finish_of;
+    float total_material_cost();
+  };
+  interface Structure {
+    attribute string<30> structure_name;
+    part_of relationship House structure_of inverse House::structures;
+    part_of relationship set<Roof> roofs inverse Roof::roof_of;
+    part_of relationship set<Foundation> foundations inverse Foundation::foundation_of;
+    part_of relationship set<Framing> framings inverse Framing::framing_of;
+  };
+  interface Roof {
+    attribute float pitch;
+    attribute int area_sqft;
+    part_of relationship Structure roof_of inverse Structure::roofs;
+    part_of relationship set<Plywood_Decking> decking inverse Plywood_Decking::decking_of;
+    part_of relationship set<Tar_Paper> tar_paper inverse Tar_Paper::tar_paper_of;
+    part_of relationship set<Shingle_Bundle> shingles inverse Shingle_Bundle::shingles_of;
+  };
+  interface Foundation {
+    attribute string foundation_type;
+    part_of relationship Structure foundation_of inverse Structure::foundations;
+    part_of relationship set<Concrete_Form> forms inverse Concrete_Form::form_of;
+    part_of relationship set<Re_Bar> re_bars inverse Re_Bar::re_bar_of;
+  };
+  interface Framing {
+    attribute string lumber_grade;
+    part_of relationship Structure framing_of inverse Structure::framings;
+    part_of relationship set<Stud> studs inverse Stud::stud_of;
+  };
+  interface Finish_Element {
+    attribute string<30> element_name;
+    part_of relationship House finish_of inverse House::finish_elements;
+    part_of relationship set<Door> doors inverse Door::door_of;
+    part_of relationship set<Window> windows inverse Window::window_of;
+    part_of relationship set<Plumbing_Fixture> plumbing inverse Plumbing_Fixture::plumbing_of;
+  };
+  interface Supply_Item {
+    key sku;
+    attribute string<16> sku;
+    attribute float unit_cost;
+    attribute int quantity_on_hand;
+    relationship Supplier supplied_by inverse Supplier::supplies;
+    boolean in_stock(int quantity);
+  };
+  interface Plywood_Decking : Supply_Item {
+    attribute float thickness_inches;
+    part_of relationship Roof decking_of inverse Roof::decking;
+  };
+  interface Tar_Paper : Supply_Item {
+    attribute int roll_length_feet;
+    part_of relationship Roof tar_paper_of inverse Roof::tar_paper;
+  };
+  interface Shingle_Bundle : Supply_Item {
+    attribute string shingle_style;
+    part_of relationship Roof shingles_of inverse Roof::shingles;
+  };
+  interface Concrete_Form : Supply_Item {
+    attribute string form_size;
+    part_of relationship Foundation form_of inverse Foundation::forms;
+  };
+  interface Re_Bar : Supply_Item {
+    attribute float diameter_inches;
+    part_of relationship Foundation re_bar_of inverse Foundation::re_bars;
+  };
+  interface Stud : Supply_Item {
+    attribute string dimensions;
+    part_of relationship Framing stud_of inverse Framing::studs;
+  };
+  interface Door : Supply_Item {
+    attribute string door_style;
+    part_of relationship Finish_Element door_of inverse Finish_Element::doors;
+  };
+  interface Window : Supply_Item {
+    attribute string glazing;
+    part_of relationship Finish_Element window_of inverse Finish_Element::windows;
+  };
+  interface Plumbing_Fixture : Supply_Item {
+    attribute string fixture_type;
+    part_of relationship Finish_Element plumbing_of inverse Finish_Element::plumbing;
+  };
+  interface Supplier {
+    extent suppliers;
+    key supplier_name;
+    attribute string<40> supplier_name;
+    attribute string city;
+    relationship set<Supply_Item> supplies inverse Supply_Item::supplied_by
+      order_by (sku);
+  };
+};
+|}
+
+let schema = lazy (Odl.Parser.parse_schema source)
+let v () = Lazy.force schema

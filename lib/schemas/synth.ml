@@ -1,0 +1,160 @@
+(** Parametric synthetic schema generator.
+
+    Benches and property tests need valid shrink wrap schemas of controlled
+    size and shape.  Generation is deterministic for a given [params] value
+    (a seeded PRNG state), and always produces a schema that passes
+    [Odl.Validate.errors] — inverses are paired, hierarchies are acyclic by
+    index ordering, keys name own attributes, and names are globally
+    unambiguous. *)
+
+open Odl.Types
+
+type params = {
+  n_types : int;
+  attrs_per_type : int;
+  ops_per_type : int;
+  assocs_per_type : int;  (** association relationships declared per type *)
+  isa_fraction : float;  (** fraction of types given a supertype *)
+  part_edges : int;  (** part-of edges (whole index < part index) *)
+  instance_chain_length : int;  (** 0 = no instance-of chain *)
+  seed : int;
+}
+
+let default_params ~n_types =
+  {
+    n_types;
+    attrs_per_type = 3;
+    ops_per_type = 1;
+    assocs_per_type = 2;
+    isa_fraction = 0.4;
+    part_edges = max 0 (n_types / 4);
+    instance_chain_length = min 4 (max 0 (n_types / 5));
+    seed = 42;
+  }
+
+let type_name i = Printf.sprintf "T%d" i
+let attr_name i k = Printf.sprintf "a%d_%d" i k
+let op_name i k = Printf.sprintf "op%d_%d" i k
+
+let domain_of_int rng i =
+  match i mod 4 with
+  | 0 -> (D_int, None)
+  | 1 -> (D_float, None)
+  | 2 -> (D_string, Some (8 + Random.State.int rng 56))
+  | _ -> (D_boolean, None)
+
+(** Generate a valid schema from [p]. *)
+let generate p =
+  let rng = Random.State.make [| p.seed |] in
+  let n = max 1 p.n_types in
+  (* extra relationship declarations per interface, filled in as pairs *)
+  let extra_rels = Array.make n [] in
+  let push i r = extra_rels.(i) <- extra_rels.(i) @ [ r ] in
+  let pair kind ~whole:(i, iname) ~part:(j, jname) tag =
+    let fwd = Printf.sprintf "%s_%d_%d" tag i j in
+    let bwd = Printf.sprintf "%s_%d_%d_inv" tag i j in
+    push i
+      {
+        rel_kind = kind;
+        rel_name = fwd;
+        rel_target = jname;
+        rel_inverse = bwd;
+        rel_card = Some Set;
+        rel_order_by = [];
+      };
+    push j
+      {
+        rel_kind = kind;
+        rel_name = bwd;
+        rel_target = iname;
+        rel_inverse = fwd;
+        rel_card = None;
+        rel_order_by = [];
+      }
+  in
+  (* associations: forward end on i, inverse on a random target *)
+  for i = 0 to n - 1 do
+    for k = 0 to p.assocs_per_type - 1 do
+      let j = Random.State.int rng n in
+      let fwd = Printf.sprintf "r%d_%d" i k in
+      let bwd = Printf.sprintf "r%d_%d_inv" i k in
+      if not (i = j) || k mod 2 = 0 then begin
+        let many = Random.State.bool rng in
+        push i
+          {
+            rel_kind = Association;
+            rel_name = fwd;
+            rel_target = type_name j;
+            rel_inverse = bwd;
+            rel_card = (if many then Some Set else None);
+            rel_order_by =
+              (if many && p.attrs_per_type > 0 && Random.State.int rng 3 = 0
+               then [ attr_name j 0 ]
+               else []);
+          };
+        push j
+          {
+            rel_kind = Association;
+            rel_name = bwd;
+            rel_target = type_name i;
+            rel_inverse = fwd;
+            rel_card = (if many then None else Some Set);
+            rel_order_by = [];
+          }
+      end
+    done
+  done;
+  (* part-of edges: whole index strictly below part index keeps the graph
+     acyclic *)
+  if n > 1 then
+    for k = 0 to p.part_edges - 1 do
+      let i = Random.State.int rng (n - 1) in
+      let j = i + 1 + Random.State.int rng (n - i - 1) in
+      let already =
+        List.exists
+          (fun r -> String.equal r.rel_name (Printf.sprintf "part_%d_%d" i j))
+          extra_rels.(i)
+      in
+      if not already then
+        pair Part_of ~whole:(i, type_name i) ~part:(j, type_name j)
+          (Printf.sprintf "part%d" k)
+    done;
+  (* one linear instance-of chain over the first [chain_length] types *)
+  let chain = min p.instance_chain_length (n - 1) in
+  for i = 0 to chain - 1 do
+    pair Instance_of ~whole:(i, type_name i) ~part:(i + 1, type_name (i + 1))
+      "inst"
+  done;
+  let interface i =
+    let name = type_name i in
+    let supertypes =
+      if i > 0 && Random.State.float rng 1.0 < p.isa_fraction then
+        [ type_name (Random.State.int rng i) ]
+      else []
+    in
+    let attrs =
+      List.init p.attrs_per_type (fun k ->
+          let ty, size = domain_of_int rng (i + k) in
+          { attr_name = attr_name i k; attr_type = ty; attr_size = size })
+    in
+    let ops =
+      List.init p.ops_per_type (fun k ->
+          {
+            op_name = op_name i k;
+            op_return = (if k mod 2 = 0 then D_boolean else D_int);
+            op_args =
+              (if k mod 3 = 0 then [ { arg_name = "x"; arg_type = D_int } ] else []);
+            op_raises = (if k mod 5 = 0 then [ "Synthetic_Failure" ] else []);
+          })
+    in
+    {
+      i_name = name;
+      i_supertypes = supertypes;
+      i_extent = Some (Printf.sprintf "ext_%s" name);
+      i_keys = (if p.attrs_per_type > 0 then [ [ attr_name i 0 ] ] else []);
+      i_attrs = attrs;
+      i_rels = extra_rels.(i);
+      i_ops = ops;
+    }
+  in
+  { s_name = Printf.sprintf "Synth%d" n; s_interfaces = List.init n interface }

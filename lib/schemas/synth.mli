@@ -1,0 +1,20 @@
+(** Parametric synthetic schema generator for benches and property tests.
+
+    Generation is deterministic for a given parameter value and always
+    produces a schema with no error-level diagnostics: inverses are paired,
+    hierarchies are acyclic by index ordering, keys name own attributes, and
+    names are globally unambiguous. *)
+
+type params = {
+  n_types : int;
+  attrs_per_type : int;
+  ops_per_type : int;
+  assocs_per_type : int;  (** association relationships declared per type *)
+  isa_fraction : float;  (** fraction of types given a supertype *)
+  part_edges : int;  (** part-of edges (whole index < part index) *)
+  instance_chain_length : int;  (** 0 = no instance-of chain *)
+  seed : int;
+}
+
+val default_params : n_types:int -> params
+val generate : params -> Odl.Types.schema

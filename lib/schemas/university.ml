@@ -1,0 +1,122 @@
+(** The university shrink wrap schema — the paper's running example.
+
+    It contains the material of Figures 3, 4, 7 and 8: the course offering
+    wagon wheel (Figure 3), the student generalization hierarchy (Figure 4),
+    the department/employee/person constellation of the
+    modify-relationship-target-type example (Figure 8), and an instance-of
+    link between [Course] and [Course_Offering].  The [Schedule] aggregate of
+    Figure 7 is {e not} part of the shrink wrap schema: the elaboration that
+    introduces it is the paper's worked modification example (see
+    [examples/quickstart.ml]). *)
+
+let source =
+  {|
+schema University {
+  interface Person {
+    extent people;
+    key ssn;
+    attribute string<60> name;
+    attribute string<11> ssn;
+    attribute string birthdate;
+    string display_name();
+  };
+  interface Employee : Person {
+    attribute float salary;
+    attribute string hire_date;
+    relationship Department works_in_a inverse Department::has;
+    void give_raise(float percent) raises (Budget_Exceeded);
+  };
+  interface Student : Person {
+    extent students;
+    attribute float gpa;
+    attribute int credits_earned;
+    relationship set<Course_Offering> takes inverse Course_Offering::taken_by;
+    boolean in_good_standing();
+  };
+  interface Undergraduate : Student {
+    attribute int class_year;
+    attribute string residence_hall;
+  };
+  interface Graduate : Student {
+    attribute string undergrad_institution;
+    relationship Faculty advised_by inverse Faculty::advises;
+  };
+  interface Nonthesis_Masters : Graduate {
+    attribute string comprehensive_exam_date;
+  };
+  interface Thesis_Masters : Graduate {
+    attribute string thesis_title;
+  };
+  interface Doctoral : Graduate {
+    attribute string dissertation_title;
+    attribute string candidacy_date;
+  };
+  interface Faculty : Employee {
+    attribute string rank;
+    attribute string tenure_status;
+    relationship set<Course_Offering> teaches inverse Course_Offering::taught_by;
+    relationship set<Graduate> advises inverse Graduate::advised_by
+      order_by (name);
+    int advisee_count();
+  };
+  interface Department {
+    extent departments;
+    key dept_name;
+    attribute string<40> dept_name;
+    attribute float budget;
+    relationship set<Employee> has inverse Employee::works_in_a;
+    relationship set<Course> offers inverse Course::offered_by;
+  };
+  interface Course {
+    extent courses;
+    key (subject, number);
+    attribute string<8> subject;
+    attribute int number;
+    attribute string title;
+    attribute int credit_hours;
+    relationship Department offered_by inverse Department::offers;
+    relationship set<Course> prerequisites inverse Course::prerequisite_of;
+    relationship set<Course> prerequisite_of inverse Course::prerequisites;
+    instance_of relationship set<Course_Offering> offerings
+      inverse Course_Offering::offering_of;
+  };
+  interface Course_Offering {
+    extent course_offerings;
+    attribute string<20> room;
+    attribute string<10> term;
+    attribute int capacity;
+    instance_of relationship Course offering_of inverse Course::offerings;
+    relationship Syllabus described_by inverse Syllabus::describes;
+    relationship set<Book> books inverse Book::book_for;
+    relationship Time_Slot offered_during inverse Time_Slot::slot_of;
+    relationship set<Student> taken_by inverse Student::takes
+      order_by (name);
+    relationship Faculty taught_by inverse Faculty::teaches;
+    float average_grade(string term) raises (No_Grades);
+    void cancel() raises (Already_Started);
+  };
+  interface Syllabus {
+    attribute int length_pages;
+    attribute string last_revised;
+    relationship Course_Offering describes inverse Course_Offering::described_by;
+  };
+  interface Book {
+    key isbn;
+    attribute string title;
+    attribute string<13> isbn;
+    attribute float price;
+    relationship set<Course_Offering> book_for inverse Course_Offering::books;
+  };
+  interface Time_Slot {
+    key (day, starts, ends);
+    attribute string<9> day;
+    attribute string<5> starts;
+    attribute string<5> ends;
+    relationship set<Course_Offering> slot_of
+      inverse Course_Offering::offered_during;
+  };
+};
+|}
+
+let schema = lazy (Odl.Parser.parse_schema source)
+let v () = Lazy.force schema

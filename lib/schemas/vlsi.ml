@@ -1,0 +1,131 @@
+(** A VLSI cell-library shrink wrap schema.
+
+    The paper motivates part-of hierarchies with "VLSI and CAD applications";
+    this schema is the CAD counterpart of the lumber yard: a chip design
+    parts explosion (chip → functional block → standard cell placement →
+    devices), a generalization hierarchy of components, and an instance-of
+    chain from a cell's generic specification through its versions to
+    placed instances — all four concept schema types in one schema. *)
+
+let source =
+  {|
+schema VLSI_Library {
+  interface Design_Object {
+    key object_id;
+    attribute string<16> object_id;
+    attribute string created_on;
+    attribute string author;
+    string describe();
+  };
+  interface Chip : Design_Object {
+    extent chips;
+    attribute string<24> part_number;
+    attribute float die_area_mm2;
+    attribute int pin_count;
+    part_of relationship set<Functional_Block> blocks
+      inverse Functional_Block::block_of;
+    part_of relationship set<Pad_Ring> pad_rings inverse Pad_Ring::ring_of;
+    relationship Process_Node fabricated_in inverse Process_Node::chips_on;
+    float estimated_power() raises (Missing_Characterization);
+  };
+  interface Functional_Block : Design_Object {
+    attribute string<32> block_name;
+    attribute float area_um2;
+    part_of relationship Chip block_of inverse Chip::blocks;
+    part_of relationship set<Cell_Placement> placements
+      inverse Cell_Placement::placement_of;
+    part_of relationship set<Routing_Channel> channels
+      inverse Routing_Channel::channel_of;
+  };
+  interface Pad_Ring : Design_Object {
+    attribute int pad_count;
+    part_of relationship Chip ring_of inverse Chip::pad_rings;
+  };
+  interface Routing_Channel : Design_Object {
+    attribute int track_count;
+    part_of relationship Functional_Block channel_of
+      inverse Functional_Block::channels;
+    part_of relationship set<Wire_Segment> segments
+      inverse Wire_Segment::segment_of;
+  };
+  interface Wire_Segment {
+    attribute int layer;
+    attribute float length_um;
+    part_of relationship Routing_Channel segment_of
+      inverse Routing_Channel::segments;
+  };
+  interface Cell_Placement : Design_Object {
+    attribute float x_um;
+    attribute float y_um;
+    attribute string orientation;
+    part_of relationship Functional_Block placement_of
+      inverse Functional_Block::placements;
+    instance_of relationship Cell_Version placed_version
+      inverse Cell_Version::placements;
+    part_of relationship set<Device> devices inverse Device::device_of;
+  };
+  interface Device : Design_Object {
+    attribute string device_model;
+    part_of relationship Cell_Placement device_of
+      inverse Cell_Placement::devices;
+  };
+  interface Transistor : Device {
+    attribute float width_um;
+    attribute float length_um;
+    attribute string flavour;
+  };
+  interface Capacitor : Device {
+    attribute float femto_farads;
+  };
+  interface Resistor : Device {
+    attribute float ohms;
+  };
+  interface Cell : Design_Object {
+    extent cells;
+    key cell_name;
+    attribute string<32> cell_name;
+    attribute string cell_function;
+    relationship Cell_Family member_of inverse Cell_Family::members;
+    instance_of relationship set<Cell_Version> versions
+      inverse Cell_Version::version_of;
+    int version_count();
+  };
+  interface Cell_Version : Design_Object {
+    attribute string<12> version_tag;
+    attribute string release_date;
+    attribute boolean deprecated;
+    instance_of relationship Cell version_of inverse Cell::versions;
+    instance_of relationship set<Cell_Placement> placements
+      inverse Cell_Placement::placed_version;
+    relationship set<Characterization> characterizations
+      inverse Characterization::characterizes order_by (corner_name);
+  };
+  interface Characterization {
+    attribute string<16> corner_name;
+    attribute float delay_ps;
+    attribute float leakage_nw;
+    relationship Cell_Version characterizes
+      inverse Cell_Version::characterizations;
+    relationship Process_Node at_node inverse Process_Node::characterizations_at;
+  };
+  interface Cell_Family {
+    extent cell_families;
+    key family_name;
+    attribute string<24> family_name;
+    attribute string logic_style;
+    relationship set<Cell> members inverse Cell::member_of order_by (cell_name);
+  };
+  interface Process_Node {
+    extent process_nodes;
+    key node_name;
+    attribute string<16> node_name;
+    attribute float feature_nm;
+    relationship set<Chip> chips_on inverse Chip::fabricated_in;
+    relationship set<Characterization> characterizations_at
+      inverse Characterization::at_node;
+  };
+};
+|}
+
+let schema = lazy (Odl.Parser.parse_schema source)
+let v () = Lazy.force schema

@@ -1,0 +1,110 @@
+(* The advisor: remedial suggestions after rejected operations. *)
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let suggest ?(kind = Core.Concept.Wagon_wheel) text =
+  let u = Util.university () in
+  let op = Util.parse_op text in
+  match Core.Apply.apply ~original:u ~kind u op with
+  | Ok _ -> Alcotest.failf "%s unexpectedly accepted" text
+  | Error e -> String.concat "\n" (Core.Advisor.suggest ~original:u u kind op e)
+
+let edit_distance () =
+  Alcotest.(check int) "identical" 0 (Core.Advisor.edit_distance "abc" "abc");
+  Alcotest.(check int) "one sub" 1 (Core.Advisor.edit_distance "abc" "abd");
+  Alcotest.(check int) "insert" 1 (Core.Advisor.edit_distance "abc" "abcd");
+  Alcotest.(check int) "delete" 1 (Core.Advisor.edit_distance "abc" "ab");
+  Alcotest.(check int) "far" 5 (Core.Advisor.edit_distance "abcde" "vwxyz")
+
+let near_misses () =
+  Alcotest.(check (list string)) "nearest first" [ "Person"; "Persons" ]
+    (Core.Advisor.near_misses "Persn" [ "Persons"; "Person"; "Book" ])
+
+let wrong_concept_schema () =
+  let s = suggest "add_supertype(Student, Book)" in
+  Alcotest.(check bool) "points at GH" true
+    (contains s "generalization hierarchy");
+  Alcotest.(check bool) "gives the focus prefix" true (contains s "gh:")
+
+let typo_in_interface_name () =
+  let s = suggest "delete_type_definition(Studnet)" in
+  Alcotest.(check bool) "did-you-mean" true (contains s "did you mean");
+  Alcotest.(check bool) "offers Student" true (contains s "Student")
+
+let unknown_interface_add_first () =
+  let s = suggest "add_attribute(Warehouse, int, none, bays)" in
+  Alcotest.(check bool) "suggests adding it" true
+    (contains s "add_type_definition(Warehouse)")
+
+let typo_in_member_name () =
+  let s = suggest "delete_attribute(Person, nmae)" in
+  Alcotest.(check bool) "did-you-mean member" true (contains s "Person.name")
+
+let conflict_hint () =
+  let s = suggest "add_type_definition(Person)" in
+  Alcotest.(check bool) "explains name equivalence" true
+    (contains s "name equivalence")
+
+let stability_hint () =
+  let s =
+    suggest ~kind:Core.Concept.Generalization
+      "modify_attribute(Student, gpa, Book)"
+  in
+  Alcotest.(check bool) "lists the ISA line" true
+    (contains s "legal destinations");
+  Alcotest.(check bool) "includes Person" true (contains s "Person");
+  Alcotest.(check bool) "excludes Book" false (contains s "Book")
+
+let target_move_hint () =
+  let s =
+    suggest ~kind:Core.Concept.Generalization
+      "modify_relationship_target_type(Department, has, Employee, Book)"
+  in
+  Alcotest.(check bool) "legal new targets" true (contains s "legal new targets");
+  Alcotest.(check bool) "mentions Person" true (contains s "Person")
+
+let stale_value_hint () =
+  let s = suggest "modify_extent_name(Person, wrong, p)" in
+  Alcotest.(check bool) "reports current value" true (contains s "stale")
+
+let cycle_hint () =
+  let s = suggest ~kind:Core.Concept.Generalization "add_supertype(Person, Doctoral)" in
+  Alcotest.(check bool) "rewire advice" true (contains s "re-wire")
+
+let suggestions_never_raise () =
+  (* advisor total over all specimen operations and both error-producing
+     kinds *)
+  let u = Util.university () in
+  List.iter
+    (fun text ->
+      let op = Util.parse_op text in
+      List.iter
+        (fun kind ->
+          match Core.Apply.apply ~original:u ~kind u op with
+          | Ok _ -> ()
+          | Error e -> ignore (Core.Advisor.suggest ~original:u u kind op e))
+        Core.Concept.
+          [ Wagon_wheel; Generalization; Aggregation; Instance_chain ])
+    [
+      "add_supertype(A, B)"; "delete_type_definition(Nope)";
+      "modify_attribute(Student, gpa, Ghost)";
+      "modify_part_of_cardinality(X, y, set, list)";
+      "add_relationship(A, set<B>, r, s)";
+    ]
+
+let tests =
+  [
+    test "edit distance" edit_distance;
+    test "near misses" near_misses;
+    test "wrong concept schema" wrong_concept_schema;
+    test "typo in interface name" typo_in_interface_name;
+    test "unknown interface: add first" unknown_interface_add_first;
+    test "typo in member name" typo_in_member_name;
+    test "conflict hint" conflict_hint;
+    test "stability hint lists the ISA line" stability_hint;
+    test "target move hint" target_move_hint;
+    test "stale value hint" stale_value_hint;
+    test "cycle hint" cycle_hint;
+    test "suggestions never raise" suggestions_never_raise;
+  ]

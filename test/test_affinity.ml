@@ -1,0 +1,159 @@
+(* Schema affinity and the schema library. *)
+
+open Core.Affinity
+
+let test = Util.test
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let self_affinity_is_one () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Odl.Types.s_name ^ " self")
+        true
+        (close (semantic_affinity s s) 1.0))
+    [ Util.university (); Util.lumber (); Schemas.Genome.acedb_v () ]
+
+let disjoint_affinity_is_zero () =
+  Alcotest.(check bool) "university vs emsl" true
+    (close (semantic_affinity (Util.university ()) (Util.emsl ())) 0.0)
+
+let symmetry () =
+  let a = Schemas.Genome.acedb_v () and b = Schemas.Genome.aatdb_v () in
+  Alcotest.(check bool) "symmetric" true
+    (close (semantic_affinity a b) (semantic_affinity b a))
+
+let bounded () =
+  let pairs =
+    [
+      (Util.university (), Util.lumber ());
+      (Schemas.Genome.acedb_v (), Schemas.Genome.sacchdb_v ());
+      (Util.emsl (), Schemas.Genome.aatdb_v ());
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let x = semantic_affinity a b in
+      Alcotest.(check bool) "within [0,1]" true (x >= 0.0 && x <= 1.0))
+    pairs
+
+let genome_family_is_close () =
+  let acedb = Schemas.Genome.acedb_v () in
+  let aatdb = Schemas.Genome.aatdb_v () in
+  let sacchdb = Schemas.Genome.sacchdb_v () in
+  let aa = semantic_affinity acedb aatdb in
+  let as_ = semantic_affinity acedb sacchdb in
+  Alcotest.(check bool) "family affinity is high" true (aa > 0.6 && as_ > 0.6);
+  (* both carry Strain, so ACEDB is closer to SacchDB than to AAtDB *)
+  Alcotest.(check bool) "strain databases closer" true (as_ > aa);
+  let au = semantic_affinity acedb (Util.university ()) in
+  Alcotest.(check bool) "unrelated schema is far" true (au < 0.1)
+
+let interface_similarity_behaviour () =
+  let a = Util.parse "interface A { attribute int x; attribute int y; };" in
+  let b = Util.parse "interface A { attribute int x; attribute int z; };" in
+  let ia = Odl.Schema.get_interface a "A" and ib = Odl.Schema.get_interface b "A" in
+  Alcotest.(check bool) "half shared" true (close (interface_similarity ia ib) 0.5);
+  (* same member name in different namespaces does not count as shared *)
+  let c = Util.parse "interface A { void x(); };" in
+  let ic = Odl.Schema.get_interface c "A" in
+  Alcotest.(check bool) "attr vs op disjoint" true
+    (close (interface_similarity ia ic) 0.0)
+
+let descriptors () =
+  let d = descriptor (Util.university ()) in
+  Alcotest.(check int) "types" 15 d.d_types;
+  Alcotest.(check int) "instance-of ends" 2 d.d_instance_ofs;
+  Alcotest.(check int) "isa depth" 3 d.d_isa_depth;
+  let dl = descriptor (Util.lumber ()) in
+  Alcotest.(check bool) "lumber is part-of heavy" true (dl.d_part_ofs > 20)
+
+let ranking () =
+  let library =
+    [ Util.university (); Util.lumber (); Schemas.Genome.acedb_v () ]
+  in
+  (* a sketch of a genome application: a couple of the family's types *)
+  let sketch =
+    Util.parse
+      {|schema Sketch {
+          interface Locus { attribute string<20> locus_name; attribute float position; };
+          interface Clone { attribute string<20> clone_name; };
+        };|}
+  in
+  match best ~sketch library with
+  | Some (winner, a) ->
+      Alcotest.(check string) "ACEDB wins" "ACEDB" winner.Odl.Types.s_name;
+      Alcotest.(check bool) "positive affinity" true (a > 0.0)
+  | None -> Alcotest.fail "library is nonempty"
+
+let matrix_renders () =
+  let m =
+    matrix
+      [ Schemas.Genome.acedb_v (); Schemas.Genome.sacchdb_v ();
+        Schemas.Genome.aatdb_v () ]
+  in
+  Alcotest.(check bool) "has names" true (Str_contains.contains m "SacchDB");
+  Alcotest.(check bool) "has unit diagonal" true (Str_contains.contains m "1.000")
+
+let library_on_disk () =
+  let dir = Filename.temp_file "swsd_lib" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let lib, failures = Repository.Library.load dir in
+      Alcotest.(check int) "empty library" 0 (List.length lib.entries);
+      Alcotest.(check int) "no failures" 0 (List.length failures);
+      let lib = Repository.Library.store lib (Util.university ()) in
+      let lib = Repository.Library.store lib (Schemas.Genome.acedb_v ()) in
+      Alcotest.(check int) "in-memory entries" 2 (List.length lib.entries);
+      let reloaded, failures = Repository.Library.load dir in
+      Alcotest.(check int) "two entries" 2 (List.length reloaded.entries);
+      Alcotest.(check int) "no failures" 0 (List.length failures);
+      let sketch = Util.parse "interface Student { attribute float gpa; };" in
+      (match Repository.Library.search reloaded ~sketch with
+      | (e, a) :: _ ->
+          Alcotest.(check string) "university first" "University"
+            e.e_schema.s_name;
+          Alcotest.(check bool) "positive" true (a > 0.0)
+      | [] -> Alcotest.fail "search found nothing");
+      Alcotest.(check bool) "catalog mentions both" true
+        (Str_contains.contains (Repository.Library.catalog reloaded) "ACEDB"))
+
+let library_reports_bad_files () =
+  let dir = Filename.temp_file "swsd_lib" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let bad = Filename.concat dir "broken.odl" in
+  let oc = open_out bad in
+  output_string oc "interface {{{";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove bad;
+      Sys.rmdir dir)
+    (fun () ->
+      let lib, failures = Repository.Library.load dir in
+      Alcotest.(check int) "no entries" 0 (List.length lib.entries);
+      Alcotest.(check int) "one failure" 1 (List.length failures))
+
+let tests =
+  [
+    test "self affinity is one" self_affinity_is_one;
+    test "disjoint affinity is zero" disjoint_affinity_is_zero;
+    test "affinity is symmetric" symmetry;
+    test "affinity is bounded" bounded;
+    test "genome family is close" genome_family_is_close;
+    test "interface similarity" interface_similarity_behaviour;
+    test "descriptors" descriptors;
+    test "library ranking" ranking;
+    test "matrix rendering" matrix_renders;
+    test "library on disk" library_on_disk;
+    test "library reports bad files" library_reports_bad_files;
+  ]

@@ -1,0 +1,138 @@
+(* Local names (the name-equivalence relaxation). *)
+
+open Core.Aliases
+
+let test = Util.test
+
+let u = Util.university
+
+let add_ok aliases schema target local =
+  match add schema aliases target local with
+  | Ok a -> a
+  | Error m -> Alcotest.failf "alias should be accepted: %s" m
+
+let add_err aliases schema target local =
+  match add schema aliases target local with
+  | Ok _ -> Alcotest.failf "alias %s should be rejected" local
+  | Error m -> m
+
+let interface_alias () =
+  let a = add_ok empty (u ()) (For_interface "Student") "Learner" in
+  Alcotest.(check (option string)) "bound" (Some "Learner")
+    (local_of a (For_interface "Student"));
+  Alcotest.(check (option string)) "others unbound" None
+    (local_of a (For_interface "Person"))
+
+let member_alias () =
+  let a = add_ok empty (u ()) (For_member ("Person", "name")) "full_name" in
+  Alcotest.(check (option string)) "bound" (Some "full_name")
+    (local_of a (For_member ("Person", "name")))
+
+let rebinding_replaces () =
+  let a = add_ok empty (u ()) (For_interface "Student") "Learner" in
+  let a = add_ok a (u ()) (For_interface "Student") "Pupil" in
+  Alcotest.(check (option string)) "latest wins" (Some "Pupil")
+    (local_of a (For_interface "Student"));
+  Alcotest.(check int) "single binding" 1 (List.length (bindings a))
+
+let missing_target () =
+  let m = add_err empty (u ()) (For_interface "Ghost") "G" in
+  Alcotest.(check bool) "mentions target" true (Str_contains.contains m "Ghost");
+  ignore (add_err empty (u ()) (For_member ("Person", "ghost")) "g")
+
+let invalid_locals () =
+  ignore (add_err empty (u ()) (For_interface "Student") "9bad");
+  ignore (add_err empty (u ()) (For_interface "Student") "interface")
+
+let uniqueness () =
+  let a = add_ok empty (u ()) (For_interface "Student") "Learner" in
+  (* another interface cannot take the same local name *)
+  ignore (add_err a (u ()) (For_interface "Person") "Learner");
+  (* nor may a local name collide with a real interface name *)
+  ignore (add_err a (u ()) (For_interface "Student") "Person");
+  (* members collide only within one interface *)
+  let a = add_ok a (u ()) (For_member ("Person", "name")) "label" in
+  let a = add_ok a (u ()) (For_member ("Book", "title")) "label" in
+  ignore (add_err a (u ()) (For_member ("Person", "ssn")) "label")
+
+let remove_binding () =
+  let a = add_ok empty (u ()) (For_interface "Student") "Learner" in
+  let a = remove a (For_interface "Student") in
+  Alcotest.(check (option string)) "gone" None
+    (local_of a (For_interface "Student"))
+
+let pruning () =
+  let a = add_ok empty (u ()) (For_interface "Book") "Tome" in
+  let a = add_ok a (u ()) (For_interface "Student") "Learner" in
+  let without_book = Odl.Schema.remove_interface (u ()) "Book" in
+  let live, dropped = prune without_book a in
+  Alcotest.(check int) "one live" 1 (List.length (bindings live));
+  Alcotest.(check int) "one dropped" 1 (List.length dropped)
+
+let persistence_roundtrip () =
+  let a = add_ok empty (u ()) (For_interface "Student") "Learner" in
+  let a = add_ok a (u ()) (For_member ("Person", "name")) "full_name" in
+  let text = to_string a in
+  let back = of_string text in
+  Alcotest.(check (option string)) "interface survives" (Some "Learner")
+    (local_of back (For_interface "Student"));
+  Alcotest.(check (option string)) "member survives" (Some "full_name")
+    (local_of back (For_member ("Person", "name")))
+
+let bad_persistence () =
+  (match of_string "no equals sign" with
+  | exception Bad_aliases _ -> ()
+  | _ -> Alcotest.fail "should reject");
+  match of_string " = x" with
+  | exception Bad_aliases _ -> ()
+  | _ -> Alcotest.fail "should reject empty canonical"
+
+let target_strings () =
+  Alcotest.(check bool) "interface" true
+    (equal_target (target_of_string "Person") (For_interface "Person"));
+  Alcotest.(check bool) "member" true
+    (equal_target (target_of_string "Person.name") (For_member ("Person", "name")));
+  Alcotest.(check string) "round trip" "Person.name"
+    (target_to_string (target_of_string "Person.name"))
+
+let session_integration () =
+  let s = Util.session_of (u ()) in
+  let s =
+    match Core.Session.add_alias s (For_interface "Student") "Learner" with
+    | Ok s -> s
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool) "report shows binding" true
+    (Str_contains.contains (Core.Session.aliases_report s) "Student -> Learner");
+  (* deleting the aliased construct makes the binding disappear from view *)
+  let s, _ = Util.apply_ok s "delete_type_definition(Student)" in
+  Alcotest.(check bool) "binding pruned" false
+    (Str_contains.contains (Core.Session.aliases_report s) "Learner")
+
+let genome_scenario () =
+  (* the paper's Strain/Phenotype terminology mismatch, solved with a local
+     name instead of delete+add *)
+  let s = Util.session_of (Schemas.Genome.acedb_v ()) in
+  match Core.Session.add_alias s (For_interface "Strain") "Phenotype" with
+  | Ok s ->
+      Alcotest.(check bool) "mapped" true
+        (Str_contains.contains (Core.Session.aliases_report s)
+           "Strain -> Phenotype")
+  | Error m -> Alcotest.fail m
+
+let tests =
+  [
+    test "interface alias" interface_alias;
+    test "member alias" member_alias;
+    test "rebinding replaces" rebinding_replaces;
+    test "missing targets rejected" missing_target;
+    test "invalid local names rejected" invalid_locals;
+    test "uniqueness constraints" uniqueness;
+    test "remove binding" remove_binding;
+    test "pruning after deletion" pruning;
+    test "persistence round trip" persistence_roundtrip;
+    test "bad persistence rejected" bad_persistence;
+    test "target string forms" target_strings;
+    test "session integration" session_integration;
+    test "genome terminology scenario" genome_scenario;
+  ]

@@ -1,0 +1,122 @@
+(* Smaller API corners not covered by the dedicated suites. *)
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let apply_log_batches () =
+  let u = Util.university () in
+  let steps =
+    [
+      (Core.Concept.Wagon_wheel, Util.parse_op "add_type_definition(Lab)");
+      (Core.Concept.Generalization, Util.parse_op "add_supertype(Lab, Person)");
+    ]
+  in
+  (match Core.Apply.apply_log ~original:u u steps with
+  | Ok (schema, events) ->
+      Alcotest.(check bool) "applied" true (Odl.Schema.mem_interface schema "Lab");
+      Alcotest.(check bool) "events accumulate" true (List.length events >= 2)
+  | Error e -> Alcotest.fail (Core.Apply.error_to_string e));
+  (* stops at the first failure *)
+  match
+    Core.Apply.apply_log ~original:u u
+      [ (Core.Concept.Wagon_wheel, Util.parse_op "delete_type_definition(Nope)") ]
+  with
+  | Error (Core.Apply.Unknown _) -> ()
+  | _ -> Alcotest.fail "should stop on failure"
+
+let op_log_printer () =
+  let ops =
+    [ Util.parse_op "add_type_definition(A)"; Util.parse_op "delete_attribute(B, x)" ]
+  in
+  let text = Fmt.str "%a" Core.Op_printer.pp_log ops in
+  Alcotest.(check bool) "one per line" true
+    (contains text "add_type_definition(A)\ndelete_attribute(B, x)")
+
+let alias_display_helpers () =
+  let u = Util.university () in
+  let a =
+    Result.get_ok
+      (Core.Aliases.add u Core.Aliases.empty
+         (Core.Aliases.For_interface "Student") "Learner")
+  in
+  Alcotest.(check string) "display with alias" "Student (locally: Learner)"
+    (Core.Aliases.display_interface a "Student");
+  Alcotest.(check string) "display without" "Person"
+    (Core.Aliases.display_interface a "Person");
+  Alcotest.(check bool) "reverse lookup" true
+    (Core.Aliases.targets_of_local a "Learner"
+    = [ Core.Aliases.For_interface "Student" ]);
+  Alcotest.(check string) "empty report" "no local names defined"
+    (Core.Aliases.report Core.Aliases.empty)
+
+let validate_error_printer () =
+  let e = Core.Apply.Violation "boom" in
+  Alcotest.(check string) "pp_error" "violation: boom"
+    (Fmt.str "%a" Core.Apply.pp_error e)
+
+let shared_type_detail_ordering () =
+  let detail =
+    Core.Affinity.shared_type_detail (Schemas.Genome.acedb_v ())
+      (Schemas.Genome.aatdb_v ())
+  in
+  let sims = List.map snd detail in
+  Alcotest.(check bool) "descending" true
+    (List.sort (fun a b -> compare b a) sims = sims)
+
+let interface_to_string_standalone () =
+  let i = Odl.Schema.get_interface (Util.university ()) "Book" in
+  let text = Odl.Printer.interface_to_string i in
+  Alcotest.(check bool) "parses back" true
+    (Odl.Types.equal_interface i (Odl.Parser.parse_interface_string text))
+
+let concept_membership_helpers () =
+  let u = Util.university () in
+  let ww = Core.Decompose.wagon_wheel u "Book" in
+  Alcotest.(check bool) "mem_edge" true
+    (Core.Concept.mem_edge ww "Book" "book_for");
+  Alcotest.(check bool) "not an edge" false
+    (Core.Concept.mem_edge ww "Book" "nope")
+
+let session_aliases_via_store () =
+  (* aliases survive the full save/load cycle *)
+  let s = Util.session_of (Util.university ()) in
+  let s =
+    Result.get_ok
+      (Core.Session.add_alias s (Core.Aliases.For_interface "Book") "Tome")
+  in
+  let dir = Filename.temp_file "swsd_corner" "" in
+  Sys.remove dir;
+  let repo = Repository.Store.open_dir dir in
+  Repository.Store.save_session repo s;
+  (match Repository.Store.load_session repo with
+  | Ok loaded ->
+      Alcotest.(check bool) "alias restored" true
+        (contains (Core.Session.aliases_report loaded) "Book -> Tome")
+  | Error e -> Alcotest.fail (Core.Apply.error_to_string e));
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  rm dir
+
+let value_printer_forms () =
+  let open Objects.Value in
+  Alcotest.(check string) "nested" "set{1, \"a\", @3}"
+    (to_string (V_coll (Odl.Types.Set, [ V_int 1; V_string "a"; V_ref 3 ])));
+  Alcotest.(check string) "char" "'x'" (to_string (V_char 'x'))
+
+let tests =
+  [
+    test "apply_log batches" apply_log_batches;
+    test "operation log printer" op_log_printer;
+    test "alias display helpers" alias_display_helpers;
+    test "apply error printer" validate_error_printer;
+    test "shared type detail ordering" shared_type_detail_ordering;
+    test "interface printing round trips standalone" interface_to_string_standalone;
+    test "concept membership helpers" concept_membership_helpers;
+    test "aliases survive save/load" session_aliases_via_store;
+    test "value printer forms" value_printer_forms;
+  ]

@@ -1,0 +1,202 @@
+(* Application engine: interface definitions and type properties. *)
+
+open Core.Apply
+
+let test = Util.test
+let gh = Core.Concept.Generalization
+
+let err_kind = function
+  | Not_allowed _ -> "not_allowed"
+  | Unknown _ -> "unknown"
+  | Conflict _ -> "conflict"
+  | Violation _ -> "violation"
+
+let check_err expected e =
+  Alcotest.(check string) "error kind" expected (err_kind e)
+
+let add_type () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events = Util.apply_ok s "add_type_definition(Lab)" in
+  Alcotest.(check bool) "present" true
+    (Odl.Schema.mem_interface (Util.workspace s) "Lab");
+  Alcotest.(check int) "one direct event" 1 (List.length events);
+  Util.check_valid "still valid" (Util.workspace s)
+
+let add_type_conflict () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "conflict" (Util.apply_err s "add_type_definition(Person)")
+
+let add_type_bad_ident () =
+  let s = Util.session_of (Util.university ()) in
+  (* 'interface' is an ODL keyword, unusable as a type name *)
+  check_err "violation" (Util.apply_err s "add_type_definition(interface)")
+
+let delete_type_unknown () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "unknown" (Util.apply_err s "delete_type_definition(Ghost)")
+
+let delete_type_reconnects_subtypes () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events = Util.apply_ok s "delete_type_definition(Graduate)" in
+  let w = Util.workspace s in
+  (* the Graduate subtypes now hang off Student *)
+  Alcotest.(check (list string)) "reconnected" [ "Student" ]
+    (Odl.Schema.get_interface w "Doctoral").i_supertypes;
+  Alcotest.(check bool) "propagated events" true
+    (List.exists (fun e -> not e.Core.Change.ev_direct) events);
+  Util.check_valid "still valid" w
+
+let delete_type_cascades_relationships () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "delete_type_definition(Syllabus)" in
+  let co = Util.iface s "Course_Offering" in
+  Alcotest.(check bool) "described_by gone" false
+    (Odl.Schema.has_rel co "described_by");
+  Util.check_valid "still valid" (Util.workspace s)
+
+let supertype_add () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Visitor)" in
+  let s, _ = Util.apply_ok ~kind:gh s "add_supertype(Visitor, Person)" in
+  Alcotest.(check (list string)) "added" [ "Person" ]
+    (Util.iface s "Visitor").i_supertypes
+
+let supertype_add_duplicate () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "conflict" (Util.apply_err ~kind:gh s "add_supertype(Student, Person)")
+
+let supertype_cycle_rejected () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "add_supertype(Person, Doctoral)");
+  check_err "violation" (Util.apply_err ~kind:gh s "add_supertype(Person, Person)")
+
+let supertype_delete () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok ~kind:gh s "delete_supertype(Undergraduate, Student)" in
+  Alcotest.(check (list string)) "gone" []
+    (Util.iface s "Undergraduate").i_supertypes;
+  Util.check_valid "still valid" (Util.workspace s)
+
+let supertype_delete_absent () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "unknown"
+    (Util.apply_err ~kind:gh s "delete_supertype(Undergraduate, Person)")
+
+let supertype_modify_rewires () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:gh s "modify_supertype(Doctoral, (Graduate), (Student))"
+  in
+  Alcotest.(check (list string)) "rewired" [ "Student" ]
+    (Util.iface s "Doctoral").i_supertypes
+
+let supertype_modify_stale () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "modify_supertype(Doctoral, (Person), (Student))")
+
+let supertype_modify_cycle () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "modify_supertype(Person, (), (Doctoral))")
+
+let extent_add_delete_modify () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
+  let s, _ = Util.apply_ok s "add_extent_name(Lab, labs)" in
+  Alcotest.(check (option string)) "added" (Some "labs") (Util.iface s "Lab").i_extent;
+  let s, _ = Util.apply_ok s "modify_extent_name(Lab, labs, laboratories)" in
+  Alcotest.(check (option string)) "modified" (Some "laboratories")
+    (Util.iface s "Lab").i_extent;
+  let s, _ = Util.apply_ok s "delete_extent_name(Lab, laboratories)" in
+  Alcotest.(check (option string)) "deleted" None (Util.iface s "Lab").i_extent
+
+let extent_conflicts () =
+  let s = Util.session_of (Util.university ()) in
+  (* Person already has an extent *)
+  check_err "conflict" (Util.apply_err s "add_extent_name(Person, persons)");
+  (* extent names are unique across the schema *)
+  let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
+  check_err "conflict" (Util.apply_err s "add_extent_name(Lab, people)");
+  (* stale old value *)
+  check_err "violation"
+    (Util.apply_err s "modify_extent_name(Person, wrong, persons)");
+  check_err "violation" (Util.apply_err s "delete_extent_name(Person, wrong)")
+
+let key_add_delete_modify () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_key_list(Book, (title, isbn))" in
+  Alcotest.(check int) "two keys" 2 (List.length (Util.iface s "Book").i_keys);
+  let s, _ = Util.apply_ok s "modify_key_list(Book, (title, isbn), (title))" in
+  Alcotest.(check bool) "modified" true
+    (List.mem [ "title" ] (Util.iface s "Book").i_keys);
+  let s, _ = Util.apply_ok s "delete_key_list(Book, (title))" in
+  Alcotest.(check int) "back to one" 1 (List.length (Util.iface s "Book").i_keys)
+
+let key_with_inherited_attribute () =
+  let s = Util.session_of (Util.university ()) in
+  (* ssn is declared on Person; Student may key on it *)
+  let s, _ = Util.apply_ok s "add_key_list(Student, (ssn))" in
+  Util.check_valid "still valid" (Util.workspace s)
+
+let key_errors () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "violation" (Util.apply_err s "add_key_list(Book, (ghost))");
+  check_err "conflict" (Util.apply_err s "add_key_list(Book, (isbn))");
+  check_err "unknown" (Util.apply_err s "delete_key_list(Book, (ghost))");
+  check_err "unknown" (Util.apply_err s "modify_key_list(Book, (ghost), (isbn))");
+  check_err "violation" (Util.apply_err s "add_key_list(Book, ())")
+
+let delete_everything_then_rebuild () =
+  (* paper section 3.5: in the extreme, the whole shrink wrap schema can be
+     deleted and an entirely new schema added *)
+  let u = Util.emsl () in
+  let s = Util.session_of u in
+  let s =
+    List.fold_left
+      (fun s i ->
+        fst (Util.apply_ok s ("delete_type_definition(" ^ i.Odl.Types.i_name ^ ")")))
+      s u.s_interfaces
+  in
+  Alcotest.(check int) "empty" 0
+    (List.length (Util.workspace s).s_interfaces);
+  let s =
+    Util.apply_many s
+      [
+        "add_type_definition(Fresh)";
+        "add_attribute(Fresh, string, 20, label)";
+        "add_key_list(Fresh, (label))";
+        "add_extent_name(Fresh, freshes)";
+      ]
+  in
+  Util.check_valid "rebuilt" (Util.workspace s);
+  let _, _, _, deleted, added = Core.Mapping.summary (Core.Session.mapping s) in
+  Alcotest.(check bool) "all deleted" true (deleted > 0);
+  (* the new interface and its attribute; keys and extents are interface
+     properties, not separate mapping entries *)
+  Alcotest.(check int) "two additions" 2 added
+
+let tests =
+  [
+    test "add type definition" add_type;
+    test "add type conflict" add_type_conflict;
+    test "add type with keyword name" add_type_bad_ident;
+    test "delete unknown type" delete_type_unknown;
+    test "delete type reconnects subtypes" delete_type_reconnects_subtypes;
+    test "delete type cascades relationships" delete_type_cascades_relationships;
+    test "add supertype" supertype_add;
+    test "add duplicate supertype" supertype_add_duplicate;
+    test "supertype cycles rejected" supertype_cycle_rejected;
+    test "delete supertype" supertype_delete;
+    test "delete absent supertype" supertype_delete_absent;
+    test "modify supertype rewires" supertype_modify_rewires;
+    test "modify supertype stale check" supertype_modify_stale;
+    test "modify supertype cycle" supertype_modify_cycle;
+    test "extent lifecycle" extent_add_delete_modify;
+    test "extent conflicts" extent_conflicts;
+    test "key lifecycle" key_add_delete_modify;
+    test "key on inherited attribute" key_with_inherited_attribute;
+    test "key errors" key_errors;
+    test "delete everything then rebuild" delete_everything_then_rebuild;
+  ]

@@ -1,0 +1,496 @@
+(* Application engine: instance properties — attributes, relationships,
+   operations, part-of, instance-of. *)
+
+open Core.Apply
+open Odl.Types
+
+let test = Util.test
+let gh = Core.Concept.Generalization
+let ah = Core.Concept.Aggregation
+let ih = Core.Concept.Instance_chain
+
+let err_kind = function
+  | Not_allowed _ -> "not_allowed"
+  | Unknown _ -> "unknown"
+  | Conflict _ -> "conflict"
+  | Violation _ -> "violation"
+
+let check_err expected e =
+  Alcotest.(check string) "error kind" expected (err_kind e)
+
+(* --- attributes ---------------------------------------------------------- *)
+
+let attribute_add () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_attribute(Person, string, 20, nickname)" in
+  let a = Option.get (Odl.Schema.find_attr (Util.iface s "Person") "nickname") in
+  Alcotest.(check bool) "type" true (a.attr_type = D_string);
+  Alcotest.(check (option int)) "size" (Some 20) a.attr_size
+
+let attribute_add_named_domain () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_attribute(Person, set<Book>, none, favorites)" in
+  Util.check_valid "valid" (Util.workspace s);
+  check_err "unknown"
+    (Util.apply_err s "add_attribute(Person, Ghost, none, haunt)")
+
+let attribute_add_conflicts () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "conflict" (Util.apply_err s "add_attribute(Person, int, none, name)");
+  (* attributes and relationships share the property namespace *)
+  check_err "conflict"
+    (Util.apply_err s "add_attribute(Student, int, none, takes)")
+
+let attribute_delete () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "delete_attribute(Person, birthdate)" in
+  Alcotest.(check bool) "gone" false
+    (Odl.Schema.has_attr (Util.iface s "Person") "birthdate");
+  check_err "unknown" (Util.apply_err s "delete_attribute(Person, birthdate)")
+
+let attribute_delete_prunes_keys () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events = Util.apply_ok s "delete_attribute(Person, ssn)" in
+  Alcotest.(check int) "key dropped" 0 (List.length (Util.iface s "Person").i_keys);
+  Alcotest.(check bool) "propagated key removal" true
+    (List.exists
+       (fun e ->
+         (not e.Core.Change.ev_direct)
+         && match e.ev_change with
+            | Core.Change.Removed (Core.Change.C_key _) -> true
+            | _ -> false)
+       events);
+  Util.check_valid "valid" (Util.workspace s)
+
+let attribute_delete_prunes_order_by () =
+  let s = Util.session_of (Util.university ()) in
+  (* Faculty.advises is ordered by name (declared on Person) *)
+  let s, _ = Util.apply_ok s "delete_attribute(Person, name)" in
+  let advises = Option.get (Odl.Schema.find_rel (Util.iface s "Faculty") "advises") in
+  Alcotest.(check (list string)) "order_by pruned" [] advises.rel_order_by;
+  Util.check_valid "valid" (Util.workspace s)
+
+let attribute_move_up () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events = Util.apply_ok ~kind:gh s "modify_attribute(Student, gpa, Person)" in
+  Alcotest.(check bool) "moved" true
+    (Odl.Schema.has_attr (Util.iface s "Person") "gpa");
+  Alcotest.(check bool) "removed from source" false
+    (Odl.Schema.has_attr (Util.iface s "Student") "gpa");
+  Alcotest.(check bool) "move event" true
+    (List.exists
+       (fun e ->
+         match e.Core.Change.ev_change with
+         | Core.Change.Moved (Core.Change.C_attribute ("Student", "gpa"), "Person")
+           -> true
+         | _ -> false)
+       events)
+
+let attribute_move_down () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok ~kind:gh s "modify_attribute(Student, gpa, Graduate)" in
+  Alcotest.(check bool) "moved down" true
+    (Odl.Schema.has_attr (Util.iface s "Graduate") "gpa")
+
+let attribute_move_violations () =
+  let s = Util.session_of (Util.university ()) in
+  (* Employee is not on Student's ISA line: semantic stability *)
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "modify_attribute(Student, gpa, Employee)");
+  (* moving to itself is pointless *)
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "modify_attribute(Student, gpa, Student)");
+  (* unknown attribute *)
+  check_err "unknown"
+    (Util.apply_err ~kind:gh s "modify_attribute(Student, ghost, Person)");
+  (* the destination already declares that name *)
+  let s2, _ = Util.apply_ok s "add_attribute(Person, int, none, gpa)" in
+  check_err "conflict"
+    (Util.apply_err ~kind:gh s2 "modify_attribute(Student, gpa, Person)")
+
+let attribute_move_stability_uses_original () =
+  (* once Graduate is cut loose from Student in the workspace, moves between
+     them are still legal because the *shrink wrap* hierarchy relates them *)
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok ~kind:gh s "delete_supertype(Graduate, Student)" in
+  let s, _ = Util.apply_ok ~kind:gh s "modify_attribute(Student, gpa, Graduate)" in
+  Alcotest.(check bool) "move allowed via original hierarchy" true
+    (Odl.Schema.has_attr (Util.iface s "Graduate") "gpa")
+
+let attribute_modify_type () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "modify_attribute_type(Student, gpa, float, int)" in
+  let a = Option.get (Odl.Schema.find_attr (Util.iface s "Student") "gpa") in
+  Alcotest.(check bool) "changed" true (a.attr_type = D_int);
+  check_err "violation"
+    (Util.apply_err s "modify_attribute_type(Student, gpa, float, int)")
+
+let attribute_modify_size () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "modify_attribute_size(Person, name, 60, 100)" in
+  let a = Option.get (Odl.Schema.find_attr (Util.iface s "Person") "name") in
+  Alcotest.(check (option int)) "changed" (Some 100) a.attr_size;
+  check_err "violation"
+    (Util.apply_err s "modify_attribute_size(Person, name, 60, 80)")
+
+(* --- association relationships ------------------------------------------ *)
+
+let relationship_add_creates_both_ends () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events =
+    Util.apply_ok s "add_relationship(Department, set<Book>, library, owned_by)"
+  in
+  let dept = Util.iface s "Department" and book = Util.iface s "Book" in
+  let fwd = Option.get (Odl.Schema.find_rel dept "library") in
+  let bwd = Option.get (Odl.Schema.find_rel book "owned_by") in
+  Alcotest.(check bool) "forward to-many" true (fwd.rel_card = Some Set);
+  Alcotest.(check bool) "backward to-one" true (bwd.rel_card = None);
+  Alcotest.(check string) "inverse wiring" "library" bwd.rel_inverse;
+  Alcotest.(check int) "two events" 2 (List.length events);
+  Util.check_valid "valid" (Util.workspace s)
+
+let relationship_add_to_one () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s "add_relationship(Syllabus, Faculty, authored_by, authored)"
+  in
+  let fac = Util.iface s "Faculty" in
+  let bwd = Option.get (Odl.Schema.find_rel fac "authored") in
+  Alcotest.(check bool) "backward is to-many" true (bwd.rel_card = Some Set)
+
+let relationship_add_self () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s "add_relationship(Faculty, Faculty, mentor, mentee_of)"
+  in
+  Util.check_valid "valid" (Util.workspace s);
+  check_err "conflict"
+    (Util.apply_err s "add_relationship(Faculty, Faculty, buddy, buddy)")
+
+let relationship_add_conflicts () =
+  let s = Util.session_of (Util.university ()) in
+  check_err "conflict"
+    (Util.apply_err s "add_relationship(Student, set<Book>, takes, t_inv)");
+  check_err "unknown"
+    (Util.apply_err s "add_relationship(Student, set<Ghost>, g, g_inv)");
+  check_err "violation"
+    (Util.apply_err s "add_relationship(Student, set<Book>, fav, fav_of, (ghost))")
+
+let relationship_delete_removes_both_ends () =
+  let s = Util.session_of (Util.university ()) in
+  let s, events = Util.apply_ok s "delete_relationship(Student, takes)" in
+  Alcotest.(check bool) "forward gone" false
+    (Odl.Schema.has_rel (Util.iface s "Student") "takes");
+  Alcotest.(check bool) "inverse gone" false
+    (Odl.Schema.has_rel (Util.iface s "Course_Offering") "taken_by");
+  Alcotest.(check int) "two events" 2 (List.length events);
+  Util.check_valid "valid" (Util.workspace s)
+
+let relationship_delete_kind_checked () =
+  let s = Util.session_of (Util.lumber ()) in
+  (* House.structures is a part-of relationship, not an association *)
+  check_err "violation" (Util.apply_err s "delete_relationship(House, structures)")
+
+let relationship_target_move () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:gh s
+      "modify_relationship_target_type(Department, has, Employee, Person)"
+  in
+  let dept = Util.iface s "Department" in
+  let has = Option.get (Odl.Schema.find_rel dept "has") in
+  Alcotest.(check string) "retargeted" "Person" has.rel_target;
+  Alcotest.(check bool) "inverse moved" true
+    (Odl.Schema.has_rel (Util.iface s "Person") "works_in_a");
+  Alcotest.(check bool) "inverse removed from old target" false
+    (Odl.Schema.has_rel (Util.iface s "Employee") "works_in_a");
+  Util.check_valid "valid" (Util.workspace s)
+
+let relationship_target_move_violations () =
+  let s = Util.session_of (Util.university ()) in
+  (* stale old target *)
+  check_err "violation"
+    (Util.apply_err ~kind:gh s
+       "modify_relationship_target_type(Department, has, Person, Student)");
+  (* off the ISA line *)
+  check_err "violation"
+    (Util.apply_err ~kind:gh s
+       "modify_relationship_target_type(Department, has, Employee, Book)");
+  (* same target *)
+  check_err "violation"
+    (Util.apply_err ~kind:gh s
+       "modify_relationship_target_type(Department, has, Employee, Employee)");
+  (* unknown relationship *)
+  check_err "unknown"
+    (Util.apply_err ~kind:gh s
+       "modify_relationship_target_type(Department, ghost, Employee, Person)")
+
+let relationship_cardinality () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s
+      "modify_relationship_cardinality(Course_Offering, taught_by, one, set)"
+  in
+  let r =
+    Option.get (Odl.Schema.find_rel (Util.iface s "Course_Offering") "taught_by")
+  in
+  Alcotest.(check bool) "now many" true (r.rel_card = Some Set);
+  check_err "violation"
+    (Util.apply_err s
+       "modify_relationship_cardinality(Course_Offering, taught_by, one, set)")
+
+let relationship_order_by () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s
+      "modify_relationship_order_by(Faculty, advises, (name), (name, gpa))"
+  in
+  let r = Option.get (Odl.Schema.find_rel (Util.iface s "Faculty") "advises") in
+  Alcotest.(check (list string)) "changed" [ "name"; "gpa" ] r.rel_order_by;
+  check_err "violation"
+    (Util.apply_err s
+       "modify_relationship_order_by(Faculty, advises, (name), (ghost))")
+
+(* --- operations ----------------------------------------------------------- *)
+
+let operation_add_delete () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s "add_operation(Student, float, predicted_gpa, (int term), ())"
+  in
+  Alcotest.(check bool) "added" true
+    (Odl.Schema.has_op (Util.iface s "Student") "predicted_gpa");
+  check_err "conflict"
+    (Util.apply_err s "add_operation(Student, void, predicted_gpa, (), ())");
+  check_err "unknown"
+    (Util.apply_err s "add_operation(Student, Ghost, mystery, (), ())");
+  let s, _ = Util.apply_ok s "delete_operation(Student, predicted_gpa)" in
+  Alcotest.(check bool) "deleted" false
+    (Odl.Schema.has_op (Util.iface s "Student") "predicted_gpa")
+
+let operation_move () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:gh s "modify_operation(Student, in_good_standing, Person)"
+  in
+  Alcotest.(check bool) "moved" true
+    (Odl.Schema.has_op (Util.iface s "Person") "in_good_standing");
+  check_err "violation"
+    (Util.apply_err ~kind:gh s "modify_operation(Employee, give_raise, Book)")
+
+let operation_move_conflict () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_operation(Person, int, advisee_count, (), ())" in
+  check_err "conflict"
+    (Util.apply_err ~kind:gh s "modify_operation(Faculty, advisee_count, Person)")
+
+let operation_modifications () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok s
+      "modify_operation_return_type(Student, in_good_standing, boolean, int)"
+  in
+  let o = Option.get (Odl.Schema.find_op (Util.iface s "Student") "in_good_standing") in
+  Alcotest.(check bool) "return changed" true (o.op_return = D_int);
+  let s, _ =
+    Util.apply_ok s
+      "modify_operation_arg_list(Student, in_good_standing, (), (int term))"
+  in
+  let o = Option.get (Odl.Schema.find_op (Util.iface s "Student") "in_good_standing") in
+  Alcotest.(check int) "arg added" 1 (List.length o.op_args);
+  let s, _ =
+    Util.apply_ok s
+      "modify_operation_exceptions_raised(Student, in_good_standing, (), (No_Record))"
+  in
+  let o = Option.get (Odl.Schema.find_op (Util.iface s "Student") "in_good_standing") in
+  Alcotest.(check (list string)) "raises" [ "No_Record" ] o.op_raises;
+  check_err "violation"
+    (Util.apply_err s
+       "modify_operation_return_type(Student, in_good_standing, boolean, float)")
+
+(* --- part-of -------------------------------------------------------------- *)
+
+let part_of_add () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Gutter)" in
+  let s, _ =
+    Util.apply_ok ~kind:ah s
+      "add_part_of_relationship(Roof, set<Gutter>, gutters, gutter_of)"
+  in
+  let r = Option.get (Odl.Schema.find_rel (Util.iface s "Roof") "gutters") in
+  Alcotest.(check bool) "kind" true (r.rel_kind = Part_of);
+  Alcotest.(check bool) "whole end" true (role_of_relationship r = Whole_end);
+  let inv = Option.get (Odl.Schema.find_rel (Util.iface s "Gutter") "gutter_of") in
+  Alcotest.(check bool) "part end" true (role_of_relationship inv = Part_end);
+  Util.check_valid "valid" (Util.workspace s)
+
+let part_of_add_from_part_side () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Chimney)" in
+  let s, _ =
+    Util.apply_ok ~kind:ah s
+      "add_part_of_relationship(Chimney, Roof, chimney_of, chimneys)"
+  in
+  let inv = Option.get (Odl.Schema.find_rel (Util.iface s "Roof") "chimneys") in
+  Alcotest.(check bool) "whole end created" true
+    (role_of_relationship inv = Whole_end);
+  Util.check_valid "valid" (Util.workspace s)
+
+let part_of_cycle_rejected () =
+  let s = Util.session_of (Util.lumber ()) in
+  (* House is (transitively) the whole of Roof; Roof cannot aggregate House *)
+  check_err "violation"
+    (Util.apply_err ~kind:ah s
+       "add_part_of_relationship(Roof, set<House>, houses, housed)")
+
+let part_of_cardinality () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ =
+    Util.apply_ok ~kind:ah s "modify_part_of_cardinality(Framing, studs, set, list)"
+  in
+  let r = Option.get (Odl.Schema.find_rel (Util.iface s "Framing") "studs") in
+  Alcotest.(check bool) "now a list" true (r.rel_card = Some List);
+  (* only the collection end may change *)
+  check_err "violation"
+    (Util.apply_err ~kind:ah s
+       "modify_part_of_cardinality(Stud, stud_of, set, list)");
+  check_err "violation"
+    (Util.apply_err ~kind:ah s
+       "modify_part_of_cardinality(Framing, studs, set, bag)")
+
+let part_of_target_move () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ =
+    Util.apply_ok ~kind:ah s
+      "modify_part_of_target_type(Roof, shingles, Shingle_Bundle, Supply_Item)"
+  in
+  Alcotest.(check bool) "inverse relocated" true
+    (Odl.Schema.has_rel (Util.iface s "Supply_Item") "shingles_of");
+  Util.check_valid "valid" (Util.workspace s)
+
+let part_of_order_by () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ =
+    Util.apply_ok ~kind:ah s "modify_part_of_order_by(Framing, studs, (), (sku))"
+  in
+  let r = Option.get (Odl.Schema.find_rel (Util.iface s "Framing") "studs") in
+  Alcotest.(check (list string)) "ordered" [ "sku" ] r.rel_order_by
+
+let part_of_delete () =
+  let s = Util.session_of (Util.lumber ()) in
+  let s, _ = Util.apply_ok ~kind:ah s "delete_part_of_relationship(Framing, studs)" in
+  Alcotest.(check bool) "gone" false
+    (Odl.Schema.has_rel (Util.iface s "Framing") "studs");
+  Alcotest.(check bool) "inverse gone" false
+    (Odl.Schema.has_rel (Util.iface s "Stud") "stud_of");
+  Util.check_valid "valid" (Util.workspace s)
+
+(* --- instance-of ---------------------------------------------------------- *)
+
+let instance_of_add () =
+  let s = Util.session_of (Util.emsl ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Patch_Level)" in
+  let s, _ =
+    Util.apply_ok ~kind:ih s
+      "add_instance_of_relationship(Installed_Version, set<Patch_Level>, patches, patch_of)"
+  in
+  let r =
+    Option.get (Odl.Schema.find_rel (Util.iface s "Installed_Version") "patches")
+  in
+  Alcotest.(check bool) "generic end" true (role_of_relationship r = Generic_end);
+  Util.check_valid "valid" (Util.workspace s)
+
+let instance_of_cycle_rejected () =
+  let s = Util.session_of (Util.emsl ()) in
+  check_err "violation"
+    (Util.apply_err ~kind:ih s
+       "add_instance_of_relationship(Installed_Version, set<Application>, apps, app_of)")
+
+let instance_of_cardinality_and_order () =
+  let s = Util.session_of (Util.emsl ()) in
+  let s, _ =
+    Util.apply_ok ~kind:ih s
+      "modify_instance_of_cardinality(Compiled_Version, installations, set, list)"
+  in
+  let s, _ =
+    Util.apply_ok ~kind:ih s
+      "modify_instance_of_order_by(Compiled_Version, installations, (), (install_date))"
+  in
+  let r =
+    Option.get
+      (Odl.Schema.find_rel (Util.iface s "Compiled_Version") "installations")
+  in
+  Alcotest.(check bool) "list" true (r.rel_card = Some List);
+  Alcotest.(check (list string)) "ordered" [ "install_date" ] r.rel_order_by;
+  check_err "violation"
+    (Util.apply_err ~kind:ih s
+       "modify_instance_of_cardinality(Installed_Version, installed_from, set, list)")
+
+let instance_of_delete () =
+  let s = Util.session_of (Util.emsl ()) in
+  let s, _ =
+    Util.apply_ok ~kind:ih s
+      "delete_instance_of_relationship(Compiled_Version, installations)"
+  in
+  Alcotest.(check bool) "inverse gone" false
+    (Odl.Schema.has_rel (Util.iface s "Installed_Version") "installed_from");
+  Util.check_valid "valid" (Util.workspace s)
+
+let instance_of_target_move () =
+  (* build a tiny schema where the instance end can move along an ISA line *)
+  let src =
+    {|interface G { instance_of relationship set<I> insts inverse I::gen; };
+      interface I : IBase { instance_of relationship G gen inverse G::insts; };
+      interface IBase { };|}
+  in
+  let s = Util.session_of (Util.parse src) in
+  let s, _ =
+    Util.apply_ok ~kind:ih s "modify_instance_of_target_type(G, insts, I, IBase)"
+  in
+  Alcotest.(check bool) "moved" true
+    (Odl.Schema.has_rel (Util.iface s "IBase") "gen");
+  Util.check_valid "valid" (Util.workspace s)
+
+let tests =
+  [
+    test "add attribute" attribute_add;
+    test "add attribute with named domain" attribute_add_named_domain;
+    test "add attribute conflicts" attribute_add_conflicts;
+    test "delete attribute" attribute_delete;
+    test "delete attribute prunes keys" attribute_delete_prunes_keys;
+    test "delete attribute prunes order_by" attribute_delete_prunes_order_by;
+    test "move attribute up" attribute_move_up;
+    test "move attribute down" attribute_move_down;
+    test "attribute move violations" attribute_move_violations;
+    test "stability judged on the shrink wrap hierarchy"
+      attribute_move_stability_uses_original;
+    test "modify attribute type" attribute_modify_type;
+    test "modify attribute size" attribute_modify_size;
+    test "add relationship creates both ends" relationship_add_creates_both_ends;
+    test "add to-one relationship" relationship_add_to_one;
+    test "self relationship" relationship_add_self;
+    test "add relationship conflicts" relationship_add_conflicts;
+    test "delete relationship removes both ends"
+      relationship_delete_removes_both_ends;
+    test "delete relationship checks kind" relationship_delete_kind_checked;
+    test "move relationship target (Figure 8)" relationship_target_move;
+    test "relationship target move violations" relationship_target_move_violations;
+    test "modify relationship cardinality" relationship_cardinality;
+    test "modify relationship order_by" relationship_order_by;
+    test "add and delete operation" operation_add_delete;
+    test "move operation" operation_move;
+    test "operation move conflict" operation_move_conflict;
+    test "operation modifications" operation_modifications;
+    test "add part-of from whole side" part_of_add;
+    test "add part-of from part side" part_of_add_from_part_side;
+    test "part-of cycle rejected" part_of_cycle_rejected;
+    test "part-of cardinality" part_of_cardinality;
+    test "part-of target move" part_of_target_move;
+    test "part-of order_by" part_of_order_by;
+    test "delete part-of" part_of_delete;
+    test "add instance-of" instance_of_add;
+    test "instance-of cycle rejected" instance_of_cycle_rejected;
+    test "instance-of cardinality and order" instance_of_cardinality_and_order;
+    test "delete instance-of" instance_of_delete;
+    test "instance-of target move" instance_of_target_move;
+  ]

@@ -1,0 +1,252 @@
+(* End-to-end tests of the swsd command line binary. *)
+
+let test = Util.test
+
+let swsd = "../bin/swsd.exe"
+
+(** Run the binary with [args]; return (exit code, stdout+stderr). *)
+let run args =
+  let out = Filename.temp_file "swsd_cli" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote swsd)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let text =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, text)
+
+let check_run args expect_code fragments =
+  let code, text = run args in
+  Alcotest.(check int) (String.concat " " args ^ " exit code") expect_code code;
+  List.iter
+    (fun f ->
+      if not (Str_contains.contains text f) then
+        Alcotest.failf "%s: output lacks %S:\n%s" (String.concat " " args) f text)
+    fragments
+
+let write_temp suffix contents =
+  let path = Filename.temp_file "swsd_cli" suffix in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+let examples_cmd () =
+  check_run [ "examples" ] 0 [ "university:"; "vlsi:"; "acedb:" ]
+
+let decompose_cmd () =
+  check_run [ "decompose"; "university" ] 0
+    [ "ww:Course_Offering"; "gh:Person"; "ih:Course" ]
+
+let show_cmd () =
+  check_run [ "show"; "lumber"; "ah:House" ] 0 [ "aggregation hierarchy: House" ];
+  check_run [ "show"; "lumber"; "ah:Ghost" ] 1 [ "no concept schema" ]
+
+let explain_cmd () =
+  check_run [ "explain"; "emsl"; "ih:Application" ] 0
+    [ "instantiation sequence" ]
+
+let check_cmd () =
+  check_run [ "check"; "university" ] 0 [ "no findings" ];
+  let bad = write_temp ".odl" "interface A : Ghost { };" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () -> check_run [ "check"; bad ] 1 [ "unknown supertype" ])
+
+let file_schema () =
+  let path =
+    write_temp ".odl" "schema Mini { interface Thing { attribute int n; }; };"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> check_run [ "decompose"; path ] 0 [ "ww:Thing" ])
+
+let parse_error_reported () =
+  let path = write_temp ".odl" "interface {{{" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, text = run [ "decompose"; path ] in
+      Alcotest.(check int) "fails" 1 code;
+      Alcotest.(check bool) "has position" true (Str_contains.contains text ":1:"))
+
+let custom_and_report_cmds () =
+  let log =
+    write_temp ".ops"
+      "@ww add_type_definition(Lab);\n@gh add_supertype(Lab, Person);\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      check_run [ "custom"; "university"; log ] 0 [ "interface Lab : Person" ];
+      check_run [ "report"; "university"; log ] 0
+        [ "impact report"; "mapping report"; "added interface Lab" ])
+
+let bad_log_rejected () =
+  let log = write_temp ".ops" "@ww frobnicate(X);\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove log)
+    (fun () ->
+      let code, _ = run [ "custom"; "university"; log ] in
+      Alcotest.(check int) "fails" 1 code)
+
+let diff_cmd () =
+  check_run [ "diff"; "acedb"; "aatdb" ] 0
+    [ "delete_type_definition(Strain)"; "add_type_definition(Phenotype)" ];
+  check_run [ "diff"; "university"; "university" ] 0 []
+
+let affinity_cmd () =
+  check_run [ "affinity"; "acedb"; "sacchdb" ] 0
+    [ "semantic affinity: 0.831"; "shared types" ]
+
+let unknown_schema () =
+  let code, text = run [ "decompose"; "not_a_schema" ] in
+  Alcotest.(check int) "fails" 1 code;
+  Alcotest.(check bool) "explains" true
+    (Str_contains.contains text "not a built-in schema")
+
+let repl_scripted () =
+  (* drive the REPL through stdin *)
+  let script =
+    write_temp ".txt"
+      "concepts\nfocus ww:Person\napply add_attribute(Person, string, 12, \
+       phone)\nodl Person\nquit\n"
+  in
+  let out = Filename.temp_file "swsd_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove script;
+      Sys.remove out)
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "%s repl university < %s > %s 2>&1"
+             (Filename.quote swsd) (Filename.quote script) (Filename.quote out))
+      in
+      Alcotest.(check int) "exit" 0 code;
+      let ic = open_in out in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check bool) "applied and visible" true
+        (Str_contains.contains text "attribute string<12> phone"))
+
+let library_cmd () =
+  let dir = Filename.temp_file "swsd_cli_lib" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let schema_path = Filename.concat dir "mini.odl" in
+  let oc = open_out schema_path in
+  output_string oc "schema Mini { interface Gene { attribute string<20> gene_name; }; };";
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove schema_path;
+      Sys.rmdir dir)
+    (fun () ->
+      check_run [ "library"; dir ] 0 [ "Mini: 1 types" ])
+
+let sql_cmd () =
+  check_run [ "sql"; "university" ] 0
+    [ "CREATE TABLE person ("; "ssn VARCHAR(11) PRIMARY KEY" ]
+
+let graph_cmd () =
+  check_run [ "graph"; "university" ] 0 [ "digraph \"University\" {" ];
+  check_run [ "graph"; "university"; "gh:Person" ] 0
+    [ "fillcolor=lightgoldenrod"; "arrowhead=empty" ]
+
+let variants_workflow () =
+  let dir = Filename.temp_file "swsd_cli_variants" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () ->
+      check_run [ "variants"; "init"; dir; "emsl" ] 0 [ "initialized" ];
+      check_run [ "variants"; "new"; dir; "site1" ] 0 [ "variant site1 created" ];
+      let log = write_temp ".ops" "@ww delete_type_definition(Machine);\n" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove log)
+        (fun () ->
+          check_run [ "variants"; "apply"; dir; "site1"; log ] 0
+            [ "1 operation(s) applied" ]);
+      check_run [ "variants"; "new"; dir; "site2" ] 0 [];
+      check_run [ "variants"; "list"; dir ] 0 [ "site1"; "site2" ];
+      check_run [ "variants"; "interop"; dir; "site1"; "site2" ] 0
+        [ "site1 <-> site2" ];
+      check_run [ "variants"; "affinity"; dir ] 0 [ "1.000" ];
+      (* error paths *)
+      check_run [ "variants"; "new"; dir; "site1" ] 1 [ "already exists" ];
+      check_run [ "variants"; "interop"; dir; "site1"; "ghost" ] 1 [ "variant" ])
+
+let data_commands () =
+  let data =
+    write_temp ".objs"
+      "object @1 : Department {\n  dept_name = \"CSE\";\n}\n\nobject @2 : \
+       Faculty {\n  ssn = \"1\";\n  works_in_a -> @1;\n}\n"
+  in
+  let log = write_temp ".ops" "@ww delete_type_definition(Department);\n" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove data;
+      Sys.remove log)
+    (fun () ->
+      (* the data as written is asymmetric: @1 lacks the inverse link *)
+      check_run [ "data-check"; "university"; data ] 1 [ "does not link back" ];
+      (* migrating drops the department and the dangling link *)
+      check_run [ "migrate-data"; "university"; log; data ] 0
+        [ "object @2 : Faculty"; "dropped: @1 object" ])
+
+let query_command () =
+  let data =
+    write_temp ".objs"
+      "object @1 : Person { name = \"Alice\"; ssn = \"1\"; }\nobject @2 : \
+       Person { name = \"Bob\"; ssn = \"2\"; }\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove data)
+    (fun () ->
+      check_run
+        [ "query"; "university"; data; "select Person where name = \"Bob\"" ]
+        0
+        [ "@2 : Person" ];
+      check_run [ "query"; "university"; data; "select Person where" ] 1 [])
+
+let tests =
+  [
+    test "examples" examples_cmd;
+    test "decompose" decompose_cmd;
+    test "show" show_cmd;
+    test "explain" explain_cmd;
+    test "check" check_cmd;
+    test "schema from file" file_schema;
+    test "parse errors are positioned" parse_error_reported;
+    test "custom and report" custom_and_report_cmds;
+    test "bad log rejected" bad_log_rejected;
+    test "diff" diff_cmd;
+    test "affinity" affinity_cmd;
+    test "unknown schema argument" unknown_schema;
+    test "scripted repl" repl_scripted;
+    test "library" library_cmd;
+    test "sql" sql_cmd;
+    test "graph" graph_cmd;
+    test "variants workflow" variants_workflow;
+    test "data commands" data_commands;
+    test "query command" query_command;
+  ]

@@ -1,0 +1,166 @@
+open Core.Concept
+
+let test = Util.test
+
+let find concepts id =
+  match Core.Decompose.find concepts id with
+  | Some c -> c
+  | None -> Alcotest.failf "missing concept schema %s" id
+
+let decomposition_inventory () =
+  let u = Util.university () in
+  let cs = Core.Decompose.decompose u in
+  let of_kind k = List.filter (fun c -> c.c_kind = k) cs in
+  Alcotest.(check int) "one wagon wheel per type"
+    (List.length u.s_interfaces)
+    (List.length (of_kind Wagon_wheel));
+  Alcotest.(check int) "one generalization hierarchy" 1
+    (List.length (of_kind Generalization));
+  Alcotest.(check int) "no aggregation hierarchy in the base schema" 0
+    (List.length (of_kind Aggregation));
+  Alcotest.(check int) "one instance chain" 1
+    (List.length (of_kind Instance_chain))
+
+let ids_unique () =
+  let cs = Core.Decompose.decompose (Util.university ()) in
+  let ids = List.map (fun c -> c.c_id) cs in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let wagon_wheel_members () =
+  let u = Util.university () in
+  let ww = find (Core.Decompose.decompose u) "ww:Course_Offering" in
+  Alcotest.(check string) "focus" "Course_Offering" ww.c_focus;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " is a member") true (mem_type ww n))
+    [ "Course_Offering"; "Syllabus"; "Book"; "Time_Slot"; "Student"; "Faculty";
+      "Course" ];
+  Alcotest.(check bool) "Department is not one link away" false
+    (mem_type ww "Department")
+
+let wagon_wheel_includes_subtypes () =
+  let u = Util.university () in
+  let ww = find (Core.Decompose.decompose u) "ww:Student" in
+  Alcotest.(check bool) "supertype" true (mem_type ww "Person");
+  Alcotest.(check bool) "subtype" true (mem_type ww "Undergraduate")
+
+let generalization_members () =
+  let u = Util.university () in
+  let gh = find (Core.Decompose.decompose u) "gh:Person" in
+  Alcotest.(check int) "nine types in the Person hierarchy" 9
+    (List.length gh.c_members);
+  Alcotest.(check bool) "no Course" false (mem_type gh "Course")
+
+let aggregation_members () =
+  let l = Util.lumber () in
+  let ah = find (Core.Decompose.decompose l) "ah:House" in
+  Alcotest.(check string) "rooted at House" "House" ah.c_focus;
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " reachable") true (mem_type ah n))
+    [ "Structure"; "Roof"; "Shingle_Bundle"; "Door" ];
+  Alcotest.(check bool) "Supplier is not a part" false (mem_type ah "Supplier")
+
+let aggregation_root_detection () =
+  let l = Util.lumber () in
+  Alcotest.(check (list string)) "only House" [ "House" ]
+    (Core.Decompose.aggregation_roots l)
+
+let instance_chain_members () =
+  let e = Util.emsl () in
+  let ih = find (Core.Decompose.decompose e) "ih:Application" in
+  Alcotest.(check (list string)) "the chain"
+    [ "Application"; "Application_Version"; "Compiled_Version";
+      "Installed_Version" ]
+    ih.c_members;
+  Alcotest.(check bool) "Machine is off-chain" false (mem_type ih "Machine")
+
+let instance_heads () =
+  Alcotest.(check (list string)) "only Application" [ "Application" ]
+    (Core.Decompose.instance_heads (Util.emsl ()))
+
+let projection_wagon_wheel () =
+  let u = Util.university () in
+  let ww = find (Core.Decompose.decompose u) "ww:Course_Offering" in
+  let p = project u ww in
+  let co = Odl.Schema.get_interface p "Course_Offering" in
+  (* the focal point keeps its complete definition *)
+  Alcotest.check Util.interface_testable "focus complete"
+    (Odl.Schema.get_interface u "Course_Offering")
+    co;
+  (* neighbours are stripped to the connecting relationships *)
+  let student = Odl.Schema.get_interface p "Student" in
+  Alcotest.(check int) "no attrs on neighbour" 0 (List.length student.i_attrs);
+  Alcotest.(check bool) "keeps the connecting rel" true
+    (Odl.Schema.has_rel student "takes");
+  Alcotest.(check int) "only the connecting rel" 1 (List.length student.i_rels)
+
+let projection_generalization () =
+  let u = Util.university () in
+  let gh = find (Core.Decompose.decompose u) "gh:Person" in
+  let p = project u gh in
+  let grad = Odl.Schema.get_interface p "Graduate" in
+  Alcotest.(check (list string)) "keeps ISA" [ "Student" ] grad.i_supertypes;
+  Alcotest.(check int) "no attributes" 0 (List.length grad.i_attrs);
+  Alcotest.(check int) "no relationships" 0 (List.length grad.i_rels)
+
+let projection_is_valid_subset () =
+  (* projections must not contain interfaces outside their members *)
+  let u = Util.university () in
+  List.iter
+    (fun c ->
+      let p = project u c in
+      List.iter
+        (fun i ->
+          Alcotest.(check bool)
+            (c.c_id ^ " contains only members")
+            true (mem_type c i.Odl.Types.i_name))
+        p.s_interfaces)
+    (Core.Decompose.decompose u)
+
+let union_reconstructs_examples () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.check Util.schema_testable name s (Core.Recompose.reconstruct s))
+    [
+      ("university", Util.university ());
+      ("lumber", Util.lumber ());
+      ("emsl", Util.emsl ());
+      ("acedb", Schemas.Genome.acedb_v ());
+    ]
+
+let union_merges_by_name () =
+  let a = Util.parse "interface A { attribute int x; };" in
+  let b = Util.parse "interface A { attribute int y; };" in
+  let u = Core.Recompose.union ~name:"u" [ a; b ] in
+  let i = Odl.Schema.get_interface u "A" in
+  Alcotest.(check int) "both attrs" 2 (List.length i.i_attrs)
+
+let normalize_orders () =
+  let a = Util.parse "interface B { }; interface A { };" in
+  let b = Util.parse "interface A { }; interface B { };" in
+  Alcotest.(check bool) "content equal" true (Core.Recompose.equal_content a b)
+
+let kind_names () =
+  Alcotest.(check string) "ww" "wagon wheel" (kind_name Wagon_wheel);
+  Alcotest.(check string) "prefix" "ww" (id_prefix Wagon_wheel)
+
+let tests =
+  [
+    test "decomposition inventory" decomposition_inventory;
+    test "concept ids unique" ids_unique;
+    test "wagon wheel members" wagon_wheel_members;
+    test "wagon wheel includes ISA neighbours" wagon_wheel_includes_subtypes;
+    test "generalization members" generalization_members;
+    test "aggregation members" aggregation_members;
+    test "aggregation root detection" aggregation_root_detection;
+    test "instance chain members" instance_chain_members;
+    test "instance chain heads" instance_heads;
+    test "wagon wheel projection" projection_wagon_wheel;
+    test "generalization projection" projection_generalization;
+    test "projections stay within members" projection_is_valid_subset;
+    test "union of wheels reconstructs" union_reconstructs_examples;
+    test "union merges by name" union_merges_by_name;
+    test "normalize ignores order" normalize_orders;
+    test "kind names" kind_names;
+  ]

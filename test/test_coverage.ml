@@ -1,0 +1,86 @@
+(* Completeness of the operation set over the ODL candidates (the paper's
+   section 3.5 argument, checked mechanically). *)
+
+open Core.Coverage
+
+let test = Util.test
+
+let ops_named_exist () =
+  (* every operation the tables name is an operation of the language *)
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (op ^ " exists") true
+        (List.mem op Core.Permission.all_op_names))
+    named_ops
+
+let language_fully_used () =
+  (* every operation of the language appears in the candidate tables *)
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (op ^ " used by some candidate") true
+        (List.mem op named_ops))
+    Core.Permission.all_op_names
+
+let every_candidate_addable_and_deletable () =
+  List.iter
+    (fun row ->
+      Alcotest.(check bool) (row.field ^ " has add") true
+        (String.length row.add_op > 0);
+      Alcotest.(check bool) (row.field ^ " has delete") true
+        (String.length row.delete_op > 0);
+      (* delete is the symmetric form of add *)
+      Alcotest.(check bool)
+        (row.field ^ " delete mirrors add")
+        true
+        ("delete" ^ String.sub row.add_op 3 (String.length row.add_op - 3)
+        = row.delete_op))
+    candidates
+
+let name_rows_have_no_modify () =
+  (* name equivalence: names of constructs are never modified *)
+  List.iter
+    (fun row ->
+      if row.field = "Name" || row.field = "Type name"
+         || row.field = "Traversal path name" || row.field = "Inverse path name"
+      then
+        Alcotest.(check bool) (row.group ^ "/" ^ row.field ^ " unmodifiable") true
+          (row.modify_op = None)
+      else
+        Alcotest.(check bool) (row.group ^ "/" ^ row.field ^ " modifiable") true
+          (row.modify_op <> None))
+    candidates
+
+let table_shapes () =
+  let n = List.length candidates in
+  Alcotest.(check int) "addition rows" n (List.length addition_table);
+  Alcotest.(check int) "deletion rows" n (List.length deletion_table);
+  Alcotest.(check int) "modification rows" n (List.length modification_table);
+  Alcotest.(check bool) "candidate set is substantial" true (n >= 25)
+
+let groups_cover_odl () =
+  let groups = List.sort_uniq compare (List.map (fun r -> r.group) candidates) in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) (g ^ " present") true (List.mem g groups))
+    [
+      "Interface Definition"; "Type Properties"; "Attribute"; "Relationship";
+      "Operation"; "Part-of Relationship"; "Instance-of Relationship";
+    ]
+
+let modification_table_marks_name_rows () =
+  let marked =
+    List.filter (fun (_, _, op) -> Str_contains.contains op "name equivalence")
+      modification_table
+  in
+  Alcotest.(check int) "name rows marked" 9 (List.length marked)
+
+let tests =
+  [
+    test "named operations exist in the language" ops_named_exist;
+    test "the whole language is used" language_fully_used;
+    test "every candidate has add and delete" every_candidate_addable_and_deletable;
+    test "name rows have no modify (name equivalence)" name_rows_have_no_modify;
+    test "table shapes" table_shapes;
+    test "groups cover ODL" groups_cover_odl;
+    test "modification table marks name rows" modification_table_marks_name_rows;
+  ]

@@ -1,0 +1,169 @@
+(* Schema differencing: inferred logs must replay to the target. *)
+
+let test = Util.test
+
+let infer a b = Core.Diff.infer ~original:a ~target:b
+
+let check_converges name a b =
+  let steps, reached, converged = infer a b in
+  if not converged then
+    Alcotest.failf "%s: inferred log does not converge;\nreached:\n%s\nwanted:\n%s"
+      name
+      (Odl.Printer.schema_to_string reached)
+      (Odl.Printer.schema_to_string b);
+  (* the log must also replay through a fresh session *)
+  match Core.Session.replay a steps with
+  | Ok session ->
+      Alcotest.check Util.schema_testable (name ^ " replay")
+        b
+        (Core.Session.workspace session);
+      steps
+  | Error e -> Alcotest.failf "%s: replay failed: %s" name (Core.Apply.error_to_string e)
+
+let identity () =
+  let u = Util.university () in
+  let steps = check_converges "identity" u u in
+  Alcotest.(check int) "empty log" 0 (List.length steps)
+
+let single_deletion () =
+  let u = Util.university () in
+  let b = fst (Core.Propagate.repair (Odl.Schema.remove_interface u "Book")) in
+  let steps = check_converges "deletion" u b in
+  Alcotest.(check bool) "one delete op" true
+    (List.exists
+       (fun (_, op) -> op = Core.Modop.Delete_type_definition "Book")
+       steps)
+
+let attribute_changes () =
+  let a =
+    Util.parse
+      "interface P { attribute int x; attribute string<10> y; };\n\
+       interface Q : P { attribute float z; };"
+  in
+  let b =
+    Util.parse
+      "interface P { attribute float x; attribute string<20> y; attribute \
+       float z; };\n\
+       interface Q : P { attribute boolean w; };"
+  in
+  let steps = check_converges "attributes" a b in
+  (* z moved up the hierarchy, so a move op (not delete+add) is inferred *)
+  Alcotest.(check bool) "move inferred" true
+    (List.exists
+       (fun (_, op) -> op = Core.Modop.Modify_attribute ("Q", "z", "P"))
+       steps)
+
+let relationship_changes () =
+  let a =
+    Util.parse
+      {|interface Person { };
+        interface Employee : Person { relationship Dept works_in inverse Dept::has; };
+        interface Dept { relationship set<Employee> has inverse Employee::works_in; };|}
+  in
+  let b =
+    Util.parse
+      {|interface Person { relationship Dept works_in inverse Dept::has; };
+        interface Employee : Person { };
+        interface Dept { relationship set<Person> has inverse Person::works_in; };|}
+  in
+  let steps = check_converges "figure 8 inverse" a b in
+  Alcotest.(check bool) "target move inferred" true
+    (List.exists
+       (fun (_, op) ->
+         op
+         = Core.Modop.Modify_relationship_target_type
+             ("Dept", "has", "Employee", "Person"))
+       steps)
+
+let relationship_addition_and_cardinality () =
+  let a = Util.parse "interface A { }; interface B { };" in
+  let b =
+    Util.parse
+      {|interface A { relationship set<B> bs inverse B::a_of order_by (x); };
+        interface B { attribute int x; relationship set<A> a_of inverse A::bs; };|}
+  in
+  ignore (check_converges "rel addition" a b)
+
+let part_of_changes () =
+  let a = Util.lumber () in
+  let s = Util.session_of a in
+  let s =
+    Util.apply_many ~kind:Core.Concept.Aggregation s
+      [
+        "modify_part_of_cardinality(Framing, studs, set, list)";
+        "delete_part_of_relationship(Roof, tar_paper)";
+      ]
+  in
+  let b = Core.Session.workspace s in
+  ignore (check_converges "part-of changes" a b)
+
+let extent_and_keys () =
+  let a = Util.parse "interface A { extent as_; attribute int x; key x; };" in
+  let b =
+    Util.parse
+      "interface A { extent all_as; attribute int x; attribute int y; key (x, y); };"
+  in
+  let steps = check_converges "extent and keys" a b in
+  Alcotest.(check bool) "extent modify" true
+    (List.exists
+       (fun (_, op) -> op = Core.Modop.Modify_extent_name ("A", "as_", "all_as"))
+       steps)
+
+let supertype_rewiring () =
+  let a =
+    Util.parse "interface A { }; interface B { }; interface C : A { };"
+  in
+  let b =
+    Util.parse "interface A { }; interface B { }; interface C : B { };"
+  in
+  ignore (check_converges "supertype rewiring" a b)
+
+let acedb_to_aatdb () =
+  let steps =
+    check_converges "ACEDB to AAtDB" (Schemas.Genome.acedb_v ())
+      (Schemas.Genome.aatdb_v ())
+  in
+  Alcotest.(check bool) "strain deleted" true
+    (List.exists
+       (fun (_, op) -> op = Core.Modop.Delete_type_definition "Strain")
+       steps);
+  Alcotest.(check bool) "phenotype added" true
+    (List.exists
+       (fun (_, op) -> op = Core.Modop.Add_type_definition "Phenotype")
+       steps)
+
+let acedb_to_sacchdb () =
+  ignore
+    (check_converges "ACEDB to SacchDB" (Schemas.Genome.acedb_v ())
+       (Schemas.Genome.sacchdb_v ()))
+
+let cross_example_diffs () =
+  (* even unrelated schemas must diff: everything deleted, everything added *)
+  ignore (check_converges "university to emsl" (Util.university ()) (Util.emsl ()));
+  ignore (check_converges "emsl to lumber" (Util.emsl ()) (Util.lumber ()))
+
+let kinds_respect_permissions () =
+  let steps, _, _ = infer (Schemas.Genome.acedb_v ()) (Schemas.Genome.aatdb_v ()) in
+  List.iter
+    (fun (kind, op) ->
+      Alcotest.(check bool)
+        (Core.Modop.name op ^ " permitted in its kind")
+        true
+        (Result.is_ok (Core.Permission.allowed kind op)))
+    steps
+
+let tests =
+  [
+    test "identity diff is empty" identity;
+    test "single deletion" single_deletion;
+    test "attribute changes and moves" attribute_changes;
+    test "relationship target move" relationship_changes;
+    test "relationship addition with order_by" relationship_addition_and_cardinality;
+    test "part-of changes" part_of_changes;
+    test "extent and key changes" extent_and_keys;
+    test "supertype rewiring" supertype_rewiring;
+    test "ACEDB to AAtDB" acedb_to_aatdb;
+    test "ACEDB to SacchDB" acedb_to_sacchdb;
+    test "cross-example diffs" cross_example_diffs;
+    test "inferred kinds respect permissions" kinds_respect_permissions;
+  ]

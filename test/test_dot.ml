@@ -1,0 +1,80 @@
+(* Graphviz rendering. *)
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let concept_of schema id =
+  Option.get (Core.Decompose.find (Core.Decompose.decompose schema) id)
+
+let schema_graph_structure () =
+  let g = Core.Dot.schema_graph (Util.university ()) in
+  Alcotest.(check bool) "digraph header" true (contains g "digraph \"University\"");
+  Alcotest.(check bool) "record node" true
+    (contains g "\"Person\" [shape=record");
+  Alcotest.(check bool) "attrs in label" true (contains g "ssn : string\\<11\\>");
+  Alcotest.(check bool) "isa edge" true
+    (contains g "\"Student\" -> \"Person\" [arrowhead=empty]");
+  Alcotest.(check bool) "closing brace" true (contains g "}\n")
+
+let association_edges_once () =
+  let g = Core.Dot.schema_graph (Util.university ()) in
+  (* the takes/taken_by pair appears exactly once, from the canonical end *)
+  let count needle =
+    let rec go i acc =
+      if i + String.length needle > String.length g then acc
+      else if String.sub g i (String.length needle) = needle then
+        go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one edge for takes/taken_by" 1
+    (count "taken_by / takes" + count "takes / taken_by")
+
+let part_of_and_instance_edges () =
+  let g = Core.Dot.schema_graph (Util.lumber ()) in
+  Alcotest.(check bool) "diamond on the whole" true
+    (contains g "\"House\" -> \"Structure\" [arrowtail=diamond");
+  let g = Core.Dot.schema_graph (Util.emsl ()) in
+  Alcotest.(check bool) "dashed instance-of from the generic" true
+    (contains g
+       "\"Application\" -> \"Application_Version\" [style=dashed")
+
+let concept_graph_scoped () =
+  let u = Util.university () in
+  let g = Core.Dot.concept_graph u (concept_of u "ww:Book") in
+  Alcotest.(check bool) "focus highlighted" true
+    (contains g "\"Book\" [shape=record"
+    && contains g "fillcolor=lightgoldenrod");
+  Alcotest.(check bool) "neighbour present" true (contains g "\"Course_Offering\"");
+  Alcotest.(check bool) "non-member absent" false (contains g "\"Department\"")
+
+let generalization_graph_has_no_spokes () =
+  let u = Util.university () in
+  let g = Core.Dot.concept_graph u (concept_of u "gh:Person") in
+  Alcotest.(check bool) "no association edges" false (contains g "dir=none");
+  Alcotest.(check bool) "isa edges present" true (contains g "arrowhead=empty")
+
+let escaping () =
+  let s =
+    Util.parse "interface A { attribute set<int> xs; };"
+  in
+  let g = Core.Dot.schema_graph s in
+  Alcotest.(check bool) "angle brackets escaped" true
+    (contains g "set\\<int\\>")
+
+let deterministic () =
+  let u = Util.university () in
+  Alcotest.(check string) "stable" (Core.Dot.schema_graph u)
+    (Core.Dot.schema_graph u)
+
+let tests =
+  [
+    test "schema graph structure" schema_graph_structure;
+    test "association edges emitted once" association_edges_once;
+    test "part-of and instance-of styling" part_of_and_instance_edges;
+    test "concept graph is scoped" concept_graph_scoped;
+    test "generalization graph has only ISA edges" generalization_graph_has_no_spokes;
+    test "label escaping" escaping;
+    test "deterministic output" deterministic;
+  ]

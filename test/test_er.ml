@@ -1,0 +1,127 @@
+(* ER-model translation. *)
+
+open Core.Er
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let u_model = lazy (of_schema (Util.university ()))
+
+let entities_and_isa () =
+  let m = Lazy.force u_model in
+  Alcotest.(check int) "one entity per interface" 15 (List.length m.m_entities);
+  let student = List.find (fun e -> e.e_name = "Student") m.m_entities in
+  Alcotest.(check (list string)) "ISA kept" [ "Person" ] student.e_supertypes
+
+let keys_marked () =
+  let m = Lazy.force u_model in
+  let person = List.find (fun e -> e.e_name = "Person") m.m_entities in
+  let ssn = List.find (fun a -> a.ea_name = "ssn") person.e_attributes in
+  let name = List.find (fun a -> a.ea_name = "name") person.e_attributes in
+  Alcotest.(check bool) "ssn is key" true ssn.ea_key;
+  Alcotest.(check bool) "name is not" false name.ea_key
+
+let multivalued_attributes () =
+  let s = Util.parse "interface A { attribute set<string> tags; attribute int n; };" in
+  let m = of_schema s in
+  let a = List.find (fun e -> e.e_name = "A") m.m_entities in
+  Alcotest.(check bool) "tags multivalued" true
+    (List.find (fun x -> x.ea_name = "tags") a.e_attributes).ea_multivalued;
+  Alcotest.(check bool) "n single" false
+    (List.find (fun x -> x.ea_name = "n") a.e_attributes).ea_multivalued
+
+let relationships_once () =
+  let m = Lazy.force u_model in
+  (* one ER relationship per ODL pair (the university schema has 20
+     relationship ends = 10 pairs) *)
+  Alcotest.(check int) "ten relationship types" 10
+    (List.length m.m_relationships)
+
+let cardinalities () =
+  let m = Lazy.force u_model in
+  let works =
+    List.find
+      (fun r -> r.er_left_role = "has" || r.er_right_role = "has")
+      m.m_relationships
+  in
+  (* Department has set<Employee>: the Department side sees (0,N) employees;
+     an employee works in (0,1) department *)
+  let dept_card =
+    if fst works.er_left = "Department" then snd works.er_left
+    else snd works.er_right
+  in
+  let emp_card =
+    if fst works.er_left = "Employee" then snd works.er_left
+    else snd works.er_right
+  in
+  Alcotest.(check string) "department end" "(0,N)" (card_to_string dept_card);
+  Alcotest.(check string) "employee end" "(0,1)" (card_to_string emp_card)
+
+let part_of_mandatory () =
+  let m = of_schema (Util.lumber ()) in
+  let structures =
+    List.find
+      (fun r -> r.er_left_role = "structures" || r.er_right_role = "structures")
+      m.m_relationships
+  in
+  Alcotest.(check bool) "aggregation kind" true
+    (structures.er_kind = Er_aggregation);
+  (* a structure belongs to exactly one house *)
+  let part_card =
+    if fst structures.er_left = "Structure" then snd structures.er_left
+    else snd structures.er_right
+  in
+  Alcotest.(check string) "mandatory part" "(1,1)" (card_to_string part_card)
+
+let instance_of_kind () =
+  let m = of_schema (Util.emsl ()) in
+  Alcotest.(check bool) "instantiation relationships present" true
+    (List.exists (fun r -> r.er_kind = Er_instantiation) m.m_relationships)
+
+let operations_counted () =
+  let m = Lazy.force u_model in
+  Alcotest.(check int) "dropped operations" 6 m.m_dropped_operations
+
+let rendering () =
+  let text = to_string (Lazy.force u_model) in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("has " ^ frag) true (contains text frag))
+    [
+      "ER model University"; "Student ISA Person"; "_ssn_";
+      "<<instance-of>>"; "(0,N)"; "operation(s) have no ER counterpart";
+    ]
+
+let summary_counts () =
+  let e, r, a = summary (Lazy.force u_model) in
+  Alcotest.(check int) "entities" 15 e;
+  Alcotest.(check bool) "relationships" true (r >= 9);
+  Alcotest.(check bool) "attributes" true (a > 25)
+
+let all_examples_translate () =
+  List.iter
+    (fun (name, s) ->
+      let m = of_schema s in
+      Alcotest.(check int) (name ^ " entity count")
+        (List.length s.s_interfaces)
+        (List.length m.m_entities);
+      Alcotest.(check bool) (name ^ " renders") true
+        (String.length (to_string m) > 100))
+    [
+      ("university", Util.university ()); ("lumber", Util.lumber ());
+      ("vlsi", Schemas.Vlsi.v ()); ("commerce", Schemas.Commerce.v ());
+    ]
+
+let tests =
+  [
+    test "entities and ISA" entities_and_isa;
+    test "keys marked" keys_marked;
+    test "multivalued attributes" multivalued_attributes;
+    test "one relationship per pair" relationships_once;
+    test "cardinalities" cardinalities;
+    test "part-of is mandatory on the part" part_of_mandatory;
+    test "instance-of kind" instance_of_kind;
+    test "operations counted" operations_counted;
+    test "rendering" rendering;
+    test "summary counts" summary_counts;
+    test "all examples translate" all_examples_translate;
+  ]

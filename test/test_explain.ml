@@ -1,0 +1,95 @@
+(* The explanation facility. *)
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let concept_of schema id =
+  Option.get (Core.Decompose.find (Core.Decompose.decompose schema) id)
+
+let explain schema id = Core.Explain.concept_text schema (concept_of schema id)
+
+let wagon_wheel_sentences () =
+  let text = explain (Util.university ()) "ww:Course_Offering" in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("has: " ^ frag) true (contains text frag))
+    [
+      "presents the course offering point of view";
+      "records room (a string of at most 20)";
+      "is an instance of exactly one course";
+      "related to a set of book through books";
+      "kept ordered by name";
+      "can raise No_Grades";
+      "returning nothing";
+    ]
+
+let wagon_wheel_isa_and_keys () =
+  let text = explain (Util.university ()) "ww:Student" in
+  Alcotest.(check bool) "isa sentence" true
+    (contains text "Every student is a person.");
+  Alcotest.(check bool) "subtypes listed" true
+    (contains text "Specialized kinds of student: undergraduate, graduate.");
+  let text = explain (Util.university ()) "ww:Course" in
+  Alcotest.(check bool) "composite key" true
+    (contains text "identified by subject together with number")
+
+let generalization_inheritance_paths () =
+  let text = explain (Util.university ()) "gh:Person" in
+  Alcotest.(check bool) "root sentence" true
+    (contains text "Person is the root of the hierarchy.");
+  Alcotest.(check bool) "path" true
+    (contains text "Doctoral inherits from graduate, then student, then person.");
+  Alcotest.(check bool) "additions" true
+    (contains text "It adds: dissertation_title, candidacy_date.")
+
+let aggregation_sentences () =
+  let text = explain (Util.lumber ()) "ah:House" in
+  Alcotest.(check bool) "intro" true
+    (contains text "presents the parts explosion of house");
+  Alcotest.(check bool) "part sentence" true
+    (contains text "Each roof consists of a set of shingle bundle (through shingles).")
+
+let instance_chain_sentences () =
+  let text = explain (Util.emsl ()) "ih:Application" in
+  Alcotest.(check bool) "intro" true
+    (contains text "instantiation sequence headed by application");
+  Alcotest.(check bool) "generic sentence" true
+    (contains text
+       "Each application is a generic specification; its instances are \
+        application version objects (through versions).")
+
+let whole_and_part_sentences () =
+  let text = explain (Util.lumber ()) "ww:Roof" in
+  Alcotest.(check bool) "whole end" true
+    (contains text "is a whole aggregating a set of plywood decking parts");
+  let text = explain (Util.lumber ()) "ww:Stud" in
+  Alcotest.(check bool) "part end" true
+    (contains text "Each stud is a part of exactly one framing")
+
+let explanation_is_deterministic () =
+  let u = Util.university () in
+  Alcotest.(check string) "stable"
+    (explain u "ww:Person") (explain u "ww:Person")
+
+let every_concept_explainable () =
+  List.iter
+    (fun schema ->
+      List.iter
+        (fun c ->
+          let text = Core.Explain.concept_text schema c in
+          Alcotest.(check bool) (c.Core.Concept.c_id ^ " nonempty") true
+            (String.length text > 0))
+        (Core.Decompose.decompose schema))
+    [ Util.university (); Util.lumber (); Util.emsl ();
+      Schemas.Genome.acedb_v () ]
+
+let tests =
+  [
+    test "wagon wheel sentences" wagon_wheel_sentences;
+    test "ISA and key sentences" wagon_wheel_isa_and_keys;
+    test "generalization inheritance paths" generalization_inheritance_paths;
+    test "aggregation sentences" aggregation_sentences;
+    test "instance chain sentences" instance_chain_sentences;
+    test "whole and part sentences" whole_and_part_sentences;
+    test "explanations are deterministic" explanation_is_deterministic;
+    test "every concept schema is explainable" every_concept_explainable;
+  ]

@@ -1,0 +1,156 @@
+(* Robustness: hostile inputs must produce diagnostics, never crashes. *)
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* arbitrary printable garbage *)
+let garbage =
+  QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 200))
+
+(* garbage built from the languages' own token vocabulary — much likelier to
+   get deep into the parsers *)
+let tokeny =
+  QCheck2.Gen.(
+    let word =
+      oneofl
+        [
+          "interface"; "schema"; "attribute"; "relationship"; "part_of";
+          "instance_of"; "inverse"; "order_by"; "extent"; "key"; "raises";
+          "set"; "int"; "string"; "void"; "Foo"; "bar"; "x"; "{"; "}"; "(";
+          ")"; "<"; ">"; ";"; ","; ":"; "::"; "30"; "//c"; "/*"; "*/";
+          "add_attribute"; "modify_supertype"; "delete_relationship"; "none";
+          "one";
+        ]
+    in
+    map (String.concat " ") (list_size (int_range 0 40) word))
+
+let no_crash f src =
+  match f src with
+  | _ -> true
+  | exception Odl.Parser.Parse_error _ -> true
+  | exception Odl.Lexer.Lex_error _ -> true
+  | exception Core.Op_parser.Parse_error _ -> true
+
+let schema_parser_garbage =
+  prop "schema parser survives garbage" garbage (no_crash Odl.Parser.parse_schema)
+
+let schema_parser_tokeny =
+  prop "schema parser survives token salad" tokeny (no_crash Odl.Parser.parse_schema)
+
+let op_parser_garbage =
+  prop "operation parser survives garbage" garbage (no_crash Core.Op_parser.parse)
+
+let op_parser_tokeny =
+  prop "operation parser survives token salad" tokeny (no_crash Core.Op_parser.parse)
+
+let log_parser_garbage =
+  prop "log parser survives garbage" garbage (fun src ->
+      match Repository.Store.log_of_string src with
+      | _ -> true
+      | exception Repository.Store.Bad_log _ -> true)
+
+let aliases_parser_garbage =
+  prop "aliases parser survives garbage" garbage (fun src ->
+      match Core.Aliases.of_string src with
+      | _ -> true
+      | exception Core.Aliases.Bad_aliases _ -> true)
+
+let engine_survives_garbage =
+  (* any input line to the designer produces feedback, never an exception *)
+  prop "designer engine survives garbage" ~count:200 tokeny (fun line ->
+      let state =
+        Designer.Engine.start
+          (Result.get_ok (Core.Session.create (Schemas.Emsl.v ())))
+      in
+      match Designer.Engine.exec_line state line with
+      | _, feedback -> feedback <> [] || String.trim line = "")
+
+let store_schema = lazy (Schemas.University.v ())
+
+let serial_parser_garbage =
+  prop "store parser survives garbage" garbage (fun src ->
+      match Objects.Serial.of_string (Lazy.force store_schema) src with
+      | _ -> true
+      | exception Objects.Serial.Bad_store _ -> true)
+
+let serial_tokeny =
+  QCheck2.Gen.(
+    let word =
+      oneofl
+        [
+          "object"; "@1"; "@2"; ":"; "Person"; "{"; "}"; "="; ";"; "->"; ",";
+          "name"; "\"x\""; "3"; "3.5"; "'c'"; "true"; "set"; "takes";
+        ]
+    in
+    map (String.concat " ") (list_size (int_range 0 30) word))
+
+let serial_parser_tokeny =
+  prop "store parser survives token salad" serial_tokeny (fun src ->
+      match Objects.Serial.of_string (Lazy.force store_schema) src with
+      | _ -> true
+      | exception Objects.Serial.Bad_store _ -> true)
+
+let query_garbage =
+  prop "query parser survives garbage" garbage (fun src ->
+      match Objects.Query.parse src with
+      | _ -> true
+      | exception Objects.Query.Bad_query _ -> true)
+
+let query_tokeny =
+  QCheck2.Gen.(
+    let word =
+      oneofl
+        [
+          "select"; "where"; "and"; "or"; "not"; "like"; "count"; "Person";
+          "name"; "."; "="; "!="; "<"; ">"; "<="; ">="; "\"x\""; "3"; "3.5";
+          "@1"; "true";
+        ]
+    in
+    map (String.concat " ") (list_size (int_range 0 25) word))
+
+let query_parser_tokeny =
+  prop "query parser survives token salad" query_tokeny (fun src ->
+      match Objects.Query.parse src with
+      | _ -> true
+      | exception Objects.Query.Bad_query _ -> true)
+
+(* a parsed store dump reprints and reparses to the same store *)
+let serial_roundtrip_closure =
+  prop "parsed store dumps round trip" serial_tokeny (fun src ->
+      match Objects.Serial.of_string (Lazy.force store_schema) src with
+      | exception _ -> true
+      | store -> (
+          let text = Objects.Serial.to_string store in
+          match Objects.Serial.of_string (Lazy.force store_schema) text with
+          | reparsed ->
+              Objects.Serial.to_string reparsed = text
+          | exception _ -> false))
+
+(* whatever parses must also print and reparse (parser output is always
+   printable) *)
+let parse_print_closure =
+  prop "parsed garbage round trips" tokeny (fun src ->
+      match Odl.Parser.parse_schema src with
+      | exception _ -> true
+      | schema -> (
+          let printed = Odl.Printer.schema_to_string schema in
+          match Odl.Parser.parse_schema printed with
+          | reparsed -> Core.Recompose.equal_content schema reparsed
+          | exception _ -> false))
+
+let tests =
+  [
+    schema_parser_garbage;
+    schema_parser_tokeny;
+    op_parser_garbage;
+    op_parser_tokeny;
+    log_parser_garbage;
+    aliases_parser_garbage;
+    engine_survives_garbage;
+    parse_print_closure;
+    serial_parser_garbage;
+    serial_parser_tokeny;
+    query_garbage;
+    query_parser_tokeny;
+    serial_roundtrip_closure;
+  ]

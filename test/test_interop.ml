@@ -1,0 +1,132 @@
+(* Interoperation through common objects. *)
+
+open Core.Interop
+
+let test = Util.test
+
+let derive schema texts_with_kinds =
+  let s = Util.session_of schema in
+  let s =
+    List.fold_left
+      (fun s (kind, text) -> fst (Util.apply_ok ~kind s text))
+      s texts_with_kinds
+  in
+  Core.Session.workspace s
+
+let ww = Core.Concept.Wagon_wheel
+let gh = Core.Concept.Generalization
+
+let identical_customs_share_everything () =
+  let u = Util.university () in
+  let r = analyse ~original:u ~custom_a:u ~custom_b:u in
+  let a, rels, o = Odl.Schema.count_constructs u in
+  Alcotest.(check int) "all constructs common"
+    (List.length u.s_interfaces + a + rels + o)
+    (List.length r.r_common);
+  Alcotest.check Util.schema_testable "interchange is the whole schema" u
+    r.r_interchange;
+  Alcotest.(check int) "nothing exclusive" 0
+    (List.length r.r_only_a + List.length r.r_only_b)
+
+let disjoint_deletions () =
+  let u = Util.university () in
+  let a = derive u [ (ww, "delete_type_definition(Book)") ] in
+  let b = derive u [ (ww, "delete_type_definition(Syllabus)") ] in
+  let r = analyse ~original:u ~custom_a:a ~custom_b:b in
+  let names =
+    List.map (fun i -> i.Odl.Types.i_name) r.r_interchange.s_interfaces
+  in
+  Alcotest.(check bool) "Book out" false (List.mem "Book" names);
+  Alcotest.(check bool) "Syllabus out" false (List.mem "Syllabus" names);
+  Alcotest.(check bool) "Person in" true (List.mem "Person" names);
+  (* Book survives only in B; Syllabus only in A *)
+  Alcotest.(check bool) "Book only in b" true
+    (List.exists
+       (fun c -> c = Core.Change.C_interface "Book")
+       r.r_only_b);
+  Alcotest.(check bool) "Syllabus only in a" true
+    (List.exists (fun c -> c = Core.Change.C_interface "Syllabus") r.r_only_a)
+
+let interchange_is_valid () =
+  let u = Util.university () in
+  let a = derive u [ (ww, "delete_type_definition(Time_Slot)") ] in
+  let b =
+    derive u
+      [
+        (ww, "delete_type_definition(Book)");
+        (ww, "delete_attribute(Person, birthdate)");
+      ]
+  in
+  let s = interchange_schema ~original:u ~custom_a:a ~custom_b:b in
+  Util.check_valid "interchange" s
+
+let rel_needs_both_ends () =
+  let u = Util.university () in
+  (* A drops Syllabus entirely; B keeps it.  The described_by relationship
+     cannot be part of the interchange. *)
+  let a = derive u [ (ww, "delete_type_definition(Syllabus)") ] in
+  let r = analyse ~original:u ~custom_a:a ~custom_b:u in
+  let co =
+    Odl.Schema.get_interface r.r_interchange "Course_Offering"
+  in
+  Alcotest.(check bool) "described_by excluded" false
+    (Odl.Schema.has_rel co "described_by")
+
+let moved_constructs_flagged () =
+  let u = Util.university () in
+  let a = derive u [ (gh, "modify_attribute(Student, gpa, Person)") ] in
+  let r = analyse ~original:u ~custom_a:a ~custom_b:u in
+  let gpa =
+    List.find
+      (fun c -> c.co_construct = Core.Change.C_attribute ("Student", "gpa"))
+      r.r_common
+  in
+  Alcotest.(check string) "in A on Person" "Person" gpa.co_in_a;
+  Alcotest.(check string) "in B on Student" "Student" gpa.co_in_b;
+  let text = report_text ~name_a:"A" ~name_b:"B" r in
+  Alcotest.(check bool) "report flags the move" true
+    (Str_contains.contains text "move translation needed")
+
+let genome_family_interchange () =
+  (* derive AAtDB-like and SacchDB-like customs from ACEDB via Diff, then
+     compute the interchange: it must contain the family's common core *)
+  let acedb = Schemas.Genome.acedb_v () in
+  let replay target =
+    let steps, _, _ = Core.Diff.infer ~original:acedb ~target in
+    match Core.Session.replay acedb steps with
+    | Ok s -> Core.Session.workspace s
+    | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
+  in
+  let custom_a = replay (Schemas.Genome.aatdb_v ()) in
+  let custom_b = replay (Schemas.Genome.sacchdb_v ()) in
+  let r = analyse ~original:acedb ~custom_a ~custom_b in
+  let names =
+    List.map (fun i -> i.Odl.Types.i_name) r.r_interchange.s_interfaces
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "the paper's common objects"
+    [ "Allele"; "Author"; "Clone"; "Contig"; "Journal"; "Laboratory"; "Locus";
+      "Map"; "Paper"; "Sequence" ]
+    names;
+  Util.check_valid "interchange valid" r.r_interchange
+
+let report_counts () =
+  let u = Util.emsl () in
+  let a = derive u [ (ww, "delete_type_definition(Machine)") ] in
+  let r = analyse ~original:u ~custom_a:a ~custom_b:u in
+  let text = report_text ~name_a:"site1" ~name_b:"site2" r in
+  Alcotest.(check bool) "mentions both systems" true
+    (Str_contains.contains text "site1 <-> site2");
+  Alcotest.(check bool) "exclusive counts present" true
+    (Str_contains.contains text "survive only in site2")
+
+let tests =
+  [
+    test "identical customs share everything" identical_customs_share_everything;
+    test "disjoint deletions" disjoint_deletions;
+    test "interchange schema is valid" interchange_is_valid;
+    test "relationships need both ends" rel_needs_both_ends;
+    test "moved constructs are flagged" moved_constructs_flagged;
+    test "genome family interchange" genome_family_interchange;
+    test "report counts" report_counts;
+  ]

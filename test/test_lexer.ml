@@ -1,0 +1,69 @@
+open Odl.Lexer
+
+let toks src = List.map (fun l -> l.tok) (tokenize src)
+
+let tok_testable =
+  Alcotest.testable (fun ppf t -> Fmt.string ppf (token_to_string t)) ( = )
+
+let check_toks name src expected =
+  Alcotest.check (Alcotest.list tok_testable) name expected (toks src)
+
+let test = Util.test
+
+let idents () =
+  check_toks "plain" "interface Foo"
+    [ Ident "interface"; Ident "Foo"; Eof ];
+  check_toks "underscores" "_a b_2 C_d"
+    [ Ident "_a"; Ident "b_2"; Ident "C_d"; Eof ]
+
+let punctuation () =
+  check_toks "all" "{ } ( ) < > : :: ; ,"
+    [
+      Lbrace; Rbrace; Lparen; Rparen; Langle; Rangle; Colon; Coloncolon; Semi;
+      Comma; Eof;
+    ];
+  check_toks "coloncolon greedy" ":::" [ Coloncolon; Colon; Eof ]
+
+let integers () =
+  check_toks "int" "30" [ Int 30; Eof ];
+  check_toks "int in size" "string<30>" [ Ident "string"; Langle; Int 30; Rangle; Eof ]
+
+let comments () =
+  check_toks "line" "a // comment\nb" [ Ident "a"; Ident "b"; Eof ];
+  check_toks "block" "a /* x\ny */ b" [ Ident "a"; Ident "b"; Eof ];
+  check_toks "block with stars" "a /* * ** */ b" [ Ident "a"; Ident "b"; Eof ]
+
+let positions () =
+  let located = tokenize "ab\n  cd" in
+  match located with
+  | [ a; c; _eof ] ->
+      Alcotest.(check (pair int int)) "first" (1, 1) (a.line, a.col);
+      Alcotest.(check (pair int int)) "second" (2, 3) (c.line, c.col)
+  | _ -> Alcotest.fail "expected three tokens"
+
+let position_after_block_comment () =
+  let located = tokenize "/* a\nb */ x" in
+  match located with
+  | [ x; _eof ] -> Alcotest.(check int) "line" 2 x.line
+  | _ -> Alcotest.fail "expected two tokens"
+
+let errors () =
+  Alcotest.check_raises "bad char" (Lex_error ("unexpected character '#'", 1, 1))
+    (fun () -> ignore (tokenize "#"));
+  (match tokenize "/* never closed" with
+  | exception Lex_error _ -> ()
+  | _ -> Alcotest.fail "unterminated comment should raise")
+
+let whitespace_only () = check_toks "empty" "  \t \n " [ Eof ]
+
+let tests =
+  [
+    test "identifiers" idents;
+    test "punctuation" punctuation;
+    test "integers" integers;
+    test "comments" comments;
+    test "positions" positions;
+    test "position after block comment" position_after_block_comment;
+    test "errors" errors;
+    test "whitespace only" whitespace_only;
+  ]

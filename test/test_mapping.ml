@@ -1,0 +1,147 @@
+open Core.Mapping
+
+let test = Util.test
+
+let status_of m construct =
+  match
+    List.find_opt (fun e -> Core.Change.equal_construct e.m_construct construct) m.entries
+  with
+  | Some e -> e.m_status
+  | None -> Alcotest.failf "no mapping entry for %s" (Core.Change.construct_to_string construct)
+
+let identity_mapping () =
+  let u = Util.university () in
+  let m = compute ~original:u ~custom:u in
+  Alcotest.(check bool) "all preserved" true
+    (List.for_all (fun e -> e.m_status = Preserved) m.entries);
+  Alcotest.(check int) "nothing added" 0 (List.length m.added)
+
+let entry_totality () =
+  (* exactly one entry per shrink-wrap construct *)
+  let u = Util.university () in
+  let m = compute ~original:u ~custom:u in
+  let a, r, o = Odl.Schema.count_constructs u in
+  Alcotest.(check int) "entries = interfaces + members"
+    (List.length u.s_interfaces + a + r + o)
+    (List.length m.entries)
+
+let deleted_constructs () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "delete_attribute(Person, birthdate)" in
+  let m = Core.Session.mapping s in
+  Alcotest.(check bool) "deleted" true
+    (status_of m (Core.Change.C_attribute ("Person", "birthdate")) = Deleted)
+
+let modified_interface () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "modify_extent_name(Person, people, persons)" in
+  let m = Core.Session.mapping s in
+  match status_of m (Core.Change.C_interface "Person") with
+  | Modified aspects ->
+      Alcotest.(check (list string)) "extent changed" [ "extent" ] aspects
+  | other -> Alcotest.failf "expected Modified, got %s" (status_to_string other)
+
+let modified_attribute () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "modify_attribute_type(Student, gpa, float, int)" in
+  let m = Core.Session.mapping s in
+  match status_of m (Core.Change.C_attribute ("Student", "gpa")) with
+  | Modified aspects -> Alcotest.(check (list string)) "type" [ "type" ] aspects
+  | other -> Alcotest.failf "expected Modified, got %s" (status_to_string other)
+
+let moved_attribute () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:Core.Concept.Generalization s
+      "modify_attribute(Student, gpa, Person)"
+  in
+  let m = Core.Session.mapping s in
+  Alcotest.(check bool) "moved to Person" true
+    (status_of m (Core.Change.C_attribute ("Student", "gpa")) = Moved "Person")
+
+let moved_and_modified () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:Core.Concept.Generalization s
+      "modify_attribute(Student, gpa, Person)"
+  in
+  let s, _ = Util.apply_ok s "modify_attribute_type(Person, gpa, float, int)" in
+  let m = Core.Session.mapping s in
+  match status_of m (Core.Change.C_attribute ("Student", "gpa")) with
+  | Moved_and_modified ("Person", [ "type" ]) -> ()
+  | other -> Alcotest.failf "expected moved+modified, got %s" (status_to_string other)
+
+let moved_relationship_end () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ =
+    Util.apply_ok ~kind:Core.Concept.Generalization s
+      "modify_relationship_target_type(Department, has, Employee, Person)"
+  in
+  let m = Core.Session.mapping s in
+  (match status_of m (Core.Change.C_relationship ("Department", "has")) with
+  | Modified aspects ->
+      Alcotest.(check bool) "target changed" true (List.mem "target type" aspects)
+  | other -> Alcotest.failf "expected Modified, got %s" (status_to_string other));
+  Alcotest.(check bool) "inverse moved" true
+    (status_of m (Core.Change.C_relationship ("Employee", "works_in_a")) = Moved "Person")
+
+let added_constructs () =
+  let s = Util.session_of (Util.university ()) in
+  let s =
+    Util.apply_many s
+      [ "add_type_definition(Lab)"; "add_attribute(Lab, int, none, room_count)";
+        "add_attribute(Person, string, 12, phone)" ]
+  in
+  let m = Core.Session.mapping s in
+  let added c = List.exists (Core.Change.equal_construct c) m.added in
+  Alcotest.(check bool) "interface" true (added (Core.Change.C_interface "Lab"));
+  Alcotest.(check bool) "attr on new type" true
+    (added (Core.Change.C_attribute ("Lab", "room_count")));
+  Alcotest.(check bool) "attr on old type" true
+    (added (Core.Change.C_attribute ("Person", "phone")));
+  Alcotest.(check bool) "old attrs not added" false
+    (added (Core.Change.C_attribute ("Person", "name")))
+
+let summary_totals () =
+  let s = Util.session_of (Util.university ()) in
+  let s =
+    Util.apply_many s
+      [ "delete_type_definition(Book)"; "add_type_definition(Lab)" ]
+  in
+  let m = Core.Session.mapping s in
+  let p, md, mv, d, a = summary m in
+  Alcotest.(check int) "partition totals" (List.length m.entries) (p + md + mv + d);
+  Alcotest.(check int) "added" (List.length m.added) a;
+  Alcotest.(check bool) "book attrs deleted" true (d >= 4)
+
+let deleted_interface_members_deleted () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "delete_type_definition(Book)" in
+  let m = Core.Session.mapping s in
+  Alcotest.(check bool) "interface deleted" true
+    (status_of m (Core.Change.C_interface "Book") = Deleted);
+  Alcotest.(check bool) "member attr deleted" true
+    (status_of m (Core.Change.C_attribute ("Book", "isbn")) = Deleted)
+
+let report_renders () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "delete_attribute(Person, birthdate)" in
+  let text = Core.Session.mapping_report s in
+  Alcotest.(check bool) "mentions deletion" true
+    (Str_contains.contains text "attribute Person.birthdate: deleted")
+
+let tests =
+  [
+    test "identity mapping" identity_mapping;
+    test "entry totality" entry_totality;
+    test "deleted constructs" deleted_constructs;
+    test "modified interface" modified_interface;
+    test "modified attribute" modified_attribute;
+    test "moved attribute" moved_attribute;
+    test "moved and modified" moved_and_modified;
+    test "moved relationship end" moved_relationship_end;
+    test "added constructs" added_constructs;
+    test "summary totals" summary_totals;
+    test "deleted interface members" deleted_interface_members_deleted;
+    test "report renders" report_renders;
+  ]

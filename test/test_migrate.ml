@@ -1,0 +1,194 @@
+(* Instance migration through schema customization. *)
+
+open Objects
+
+let test = Util.test
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "should succeed: %s" m
+
+let consistent name store =
+  match Check.check store with
+  | [] -> ()
+  | ps ->
+      Alcotest.failf "%s should be consistent:\n%s" name
+        (String.concat "\n" (List.map Check.to_string ps))
+
+(* a store over the university schema with one of everything we migrate *)
+let populated () =
+  let s = Store.create (Util.university ()) in
+  let s, course = ok (Store.new_object s "Course") in
+  let s = ok (Store.set_attr s course "subject" (Value.V_string "CS")) in
+  let s, offering = ok (Store.new_object s "Course_Offering") in
+  let s = ok (Store.set_attr s offering "room" (Value.V_string "B7")) in
+  let s = ok (Store.set_attr s offering "term" (Value.V_string "F26")) in
+  let s = ok (Store.link s offering "offering_of" course) in
+  let s, book = ok (Store.new_object s "Book") in
+  let s = ok (Store.set_attr s book "isbn" (Value.V_string "12345")) in
+  let s = ok (Store.link s offering "books" book) in
+  let s, slot = ok (Store.new_object s "Time_Slot") in
+  let s = ok (Store.set_attr s slot "day" (Value.V_string "Mon")) in
+  let s = ok (Store.link s offering "offered_during" slot) in
+  let s, student = ok (Store.new_object s "Student") in
+  let s = ok (Store.set_attr s student "ssn" (Value.V_string "9")) in
+  let s = ok (Store.set_attr s student "gpa" (Value.V_float 3.5)) in
+  let s = ok (Store.link s student "takes" offering) in
+  (s, course, offering, book, slot, student)
+
+let customize texts =
+  let session = Util.session_of (Util.university ()) in
+  let session =
+    List.fold_left
+      (fun sess (kind, text) -> fst (Util.apply_ok ~kind sess text))
+      session texts
+  in
+  Core.Session.workspace session
+
+let identity_migration_drops_nothing () =
+  let s, _, _, _, _, _ = populated () in
+  let migrated, report = Migrate.migrate s ~custom:(Util.university ()) in
+  Alcotest.(check int) "no drops" 0 (List.length report);
+  Alcotest.(check int) "same objects" (Store.count s) (Store.count migrated);
+  consistent "identity migration" migrated
+
+let deleted_type_drops_objects_and_links () =
+  let s, _, offering, _, slot, _ = populated () in
+  let custom =
+    customize [ (Core.Concept.Wagon_wheel, "delete_type_definition(Time_Slot)") ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check bool) "slot dropped" true (Store.find migrated slot = None);
+  Alcotest.(check bool) "object drop reported" true
+    (List.exists
+       (fun d -> d.Migrate.d_oid = slot && d.d_what = "object")
+       report);
+  Alcotest.(check (list int)) "offering's slot link gone" []
+    (Store.linked migrated offering "offered_during");
+  consistent "after type deletion" migrated
+
+let deleted_attribute_drops_values () =
+  let s, _, offering, _, _, _ = populated () in
+  let custom =
+    customize
+      [ (Core.Concept.Wagon_wheel, "delete_attribute(Course_Offering, room)") ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check bool) "room value gone" true
+    (Store.get_attr migrated offering "room" = None);
+  Alcotest.(check bool) "term kept" true
+    (Store.get_attr migrated offering "term" <> None);
+  Alcotest.(check bool) "reported" true
+    (List.exists (fun d -> d.Migrate.d_what = "attribute room") report);
+  consistent "after attribute deletion" migrated
+
+let moved_attribute_keeps_values () =
+  let s, _, _, _, _, student = populated () in
+  let custom =
+    customize
+      [ (Core.Concept.Generalization, "modify_attribute(Student, gpa, Person)") ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check bool) "gpa survives the move" true
+    (Store.get_attr migrated student "gpa" = Some (Value.V_float 3.5));
+  Alcotest.(check bool) "nothing dropped for it" true
+    (not (List.exists (fun d -> d.Migrate.d_what = "attribute gpa") report));
+  consistent "after move" migrated
+
+let deleted_relationship_drops_links () =
+  let s, _, offering, book, _, _ = populated () in
+  let custom =
+    customize
+      [ (Core.Concept.Wagon_wheel, "delete_relationship(Course_Offering, books)") ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check (list int)) "links gone" [] (Store.linked migrated offering "books");
+  Alcotest.(check (list int)) "inverse gone" []
+    (Store.linked migrated book "book_for");
+  Alcotest.(check bool) "book object survives" true
+    (Store.find migrated book <> None);
+  Alcotest.(check bool) "reported" true
+    (List.exists (fun d -> Str_contains.contains d.Migrate.d_what "link") report);
+  consistent "after relationship deletion" migrated
+
+let widened_target_keeps_links () =
+  (* Figure 8: works_in_a widens from Employee to Person — employee data
+     still conforms *)
+  let s = Store.create (Util.university ()) in
+  let s, dept = ok (Store.new_object s "Department") in
+  let s = ok (Store.set_attr s dept "dept_name" (Value.V_string "CSE")) in
+  let s, emp = ok (Store.new_object s "Employee") in
+  let s = ok (Store.set_attr s emp "ssn" (Value.V_string "1")) in
+  let s = ok (Store.link s emp "works_in_a" dept) in
+  let custom =
+    customize
+      [
+        (Core.Concept.Generalization,
+         "modify_relationship_target_type(Department, has, Employee, Person)");
+      ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check (list int)) "link survives" [ dept ]
+    (Store.linked migrated emp "works_in_a");
+  Alcotest.(check int) "nothing dropped" 0 (List.length report);
+  consistent "after widening" migrated
+
+let narrowed_target_drops_nonconforming () =
+  (* narrow taken_by from Student to Graduate: an Undergraduate's enrolment
+     no longer conforms *)
+  let s = Store.create (Util.university ()) in
+  let s, course = ok (Store.new_object s "Course") in
+  let s, offering = ok (Store.new_object s "Course_Offering") in
+  let s = ok (Store.link s offering "offering_of" course) in
+  let s, under = ok (Store.new_object s "Undergraduate") in
+  let s = ok (Store.set_attr s under "ssn" (Value.V_string "u")) in
+  let s, grad = ok (Store.new_object s "Doctoral") in
+  let s = ok (Store.set_attr s grad "ssn" (Value.V_string "g")) in
+  let s = ok (Store.link s under "takes" offering) in
+  let s = ok (Store.link s grad "takes" offering) in
+  let custom =
+    customize
+      [
+        (Core.Concept.Generalization,
+         "modify_relationship_target_type(Course_Offering, taken_by, Student, Graduate)");
+      ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check bool) "undergraduate enrolment dropped" true
+    (not (List.mem under (Store.linked migrated offering "taken_by")));
+  Alcotest.(check bool) "graduate enrolment kept" true
+    (List.mem grad (Store.linked migrated offering "taken_by"));
+  Alcotest.(check bool) "reported" true (report <> []);
+  consistent "after narrowing" migrated
+
+let full_session_migration () =
+  (* the tutorial's correspondence-university customization, applied to data *)
+  let s, _, offering, _, slot, student = populated () in
+  let custom =
+    customize
+      [
+        (Core.Concept.Wagon_wheel, "delete_type_definition(Time_Slot)");
+        (Core.Concept.Wagon_wheel, "delete_attribute(Course_Offering, room)");
+        (Core.Concept.Generalization, "modify_attribute(Student, gpa, Person)");
+      ]
+  in
+  let migrated, report = Migrate.migrate s ~custom in
+  Alcotest.(check bool) "slot gone" true (Store.find migrated slot = None);
+  Alcotest.(check bool) "room gone" true
+    (Store.get_attr migrated offering "room" = None);
+  Alcotest.(check bool) "gpa kept" true
+    (Store.get_attr migrated student "gpa" <> None);
+  Alcotest.(check bool) "drops reported" true (List.length report >= 2);
+  consistent "after the full session" migrated
+
+let tests =
+  [
+    test "identity migration drops nothing" identity_migration_drops_nothing;
+    test "deleted type drops objects and links" deleted_type_drops_objects_and_links;
+    test "deleted attribute drops values" deleted_attribute_drops_values;
+    test "moved attribute keeps values" moved_attribute_keeps_values;
+    test "deleted relationship drops links" deleted_relationship_drops_links;
+    test "widened target keeps links" widened_target_keeps_links;
+    test "narrowed target drops nonconforming" narrowed_target_drops_nonconforming;
+    test "full session migration" full_session_migration;
+  ]

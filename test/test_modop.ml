@@ -1,0 +1,167 @@
+(* The modification language: parser, printer, classification. *)
+
+open Core.Modop
+
+let test = Util.test
+
+let roundtrip text =
+  let op = Util.parse_op text in
+  let printed = Core.Op_printer.to_string op in
+  let reparsed = Util.parse_op printed in
+  Alcotest.check Util.op_testable text op reparsed
+
+(* one concrete instance of every operation in the language *)
+let specimens =
+  [
+    "add_type_definition(Foo)";
+    "delete_type_definition(Foo)";
+    "add_supertype(Foo, Bar)";
+    "delete_supertype(Foo, Bar)";
+    "modify_supertype(Foo, (Bar), (Baz, Quux))";
+    "add_extent_name(Foo, foos)";
+    "delete_extent_name(Foo, foos)";
+    "modify_extent_name(Foo, foos, all_foos)";
+    "add_key_list(Foo, (a, b))";
+    "delete_key_list(Foo, (a))";
+    "modify_key_list(Foo, (a), (a, b))";
+    "add_attribute(Foo, string, 30, name)";
+    "add_attribute(Foo, set<Bar>, none, bars)";
+    "delete_attribute(Foo, name)";
+    "modify_attribute(Foo, name, Bar)";
+    "modify_attribute_type(Foo, name, int, float)";
+    "modify_attribute_size(Foo, name, none, 40)";
+    "add_relationship(Foo, set<Bar>, bars, foo_of)";
+    "add_relationship(Foo, Bar, bar, foo_of, (x, y))";
+    "delete_relationship(Foo, bars)";
+    "modify_relationship_target_type(Foo, bars, Bar, Baz)";
+    "modify_relationship_cardinality(Foo, bars, set, one)";
+    "modify_relationship_cardinality(Foo, bars, one, list)";
+    "modify_relationship_order_by(Foo, bars, (), (x))";
+    "add_operation(Foo, void, reset, (), ())";
+    "add_operation(Foo, int, add, (int x, set<Bar> ys), (Overflow, Underflow))";
+    "delete_operation(Foo, reset)";
+    "modify_operation(Foo, reset, Bar)";
+    "modify_operation_return_type(Foo, reset, void, int)";
+    "modify_operation_arg_list(Foo, add, (int x), (int x, int y))";
+    "modify_operation_exceptions_raised(Foo, add, (), (Overflow))";
+    "add_part_of_relationship(Whole, set<Part>, parts, whole_of)";
+    "add_part_of_relationship(Part, Whole, whole_of, parts)";
+    "delete_part_of_relationship(Whole, parts)";
+    "modify_part_of_target_type(Whole, parts, Part, SubPart)";
+    "modify_part_of_cardinality(Whole, parts, set, list)";
+    "modify_part_of_order_by(Whole, parts, (), (sku))";
+    "add_instance_of_relationship(Generic, set<Inst>, insts, generic_of)";
+    "delete_instance_of_relationship(Generic, insts)";
+    "modify_instance_of_target_type(Generic, insts, Inst, SubInst)";
+    "modify_instance_of_cardinality(Generic, insts, set, bag)";
+    "modify_instance_of_order_by(Generic, insts, (x), ())";
+  ]
+
+let all_roundtrip () = List.iter roundtrip specimens
+
+let specimen_coverage () =
+  (* the specimens exercise every operation keyword of the language *)
+  let keywords =
+    specimens |> List.map (fun t -> name (Util.parse_op t))
+    |> List.sort_uniq Stdlib.compare
+  in
+  Alcotest.(check (list string))
+    "all operations covered"
+    (List.sort Stdlib.compare Core.Permission.all_op_names)
+    keywords
+
+let add_attribute_fields () =
+  match Util.parse_op "add_attribute(Foo, string, 30, name)" with
+  | Add_attribute ("Foo", Odl.Types.D_string, Some 30, "name") -> ()
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let add_attribute_no_size () =
+  match Util.parse_op "add_attribute(Foo, int, none, count)" with
+  | Add_attribute ("Foo", Odl.Types.D_int, None, "count") -> ()
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let add_relationship_fields () =
+  match Util.parse_op "add_relationship(Foo, set<Bar>, bars, foo_of, (x))" with
+  | Add_relationship
+      {
+        ar_owner = "Foo";
+        ar_target = "Bar";
+        ar_card = Some Odl.Types.Set;
+        ar_name = "bars";
+        ar_inverse = "foo_of";
+        ar_order_by = [ "x" ];
+      } -> ()
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let to_one_relationship () =
+  match Util.parse_op "add_relationship(Foo, Bar, bar, foo_of)" with
+  | Add_relationship { ar_card = None; _ } -> ()
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let cardinality_forms () =
+  match Util.parse_op "modify_relationship_cardinality(F, r, one, set)" with
+  | Modify_relationship_cardinality ("F", "r", None, Some Odl.Types.Set) -> ()
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let operation_args () =
+  match Util.parse_op "add_operation(F, int, add, (int x, string y), (E))" with
+  | Add_operation ("F", Odl.Types.D_int, "add", [ a; b ], [ "E" ]) ->
+      Alcotest.(check string) "arg1" "x" a.arg_name;
+      Alcotest.(check bool) "arg2 type" true (b.arg_type = Odl.Types.D_string)
+  | op -> Alcotest.failf "unexpected parse: %s" (Core.Op_printer.to_string op)
+
+let parse_many () =
+  let ops =
+    Core.Op_parser.parse_many
+      "add_type_definition(A); add_type_definition(B)\n\
+       delete_type_definition(A);"
+  in
+  Alcotest.(check int) "three ops" 3 (List.length ops)
+
+let expect_parse_error text =
+  match Util.parse_op text with
+  | exception Core.Op_parser.Parse_error _ -> ()
+  | op -> Alcotest.failf "should not parse: got %s" (Core.Op_printer.to_string op)
+
+let parse_errors () =
+  expect_parse_error "frobnicate(A)";
+  expect_parse_error "add_type_definition()";
+  expect_parse_error "add_type_definition(A, B)";
+  expect_parse_error "add_attribute(A, string, 30)";
+  expect_parse_error "modify_part_of_cardinality(A, p, one, set)"
+    (* part-of cardinalities are collections, never 'one' *);
+  expect_parse_error "add_relationship(A)";
+  expect_parse_error "add_type_definition(A) trailing"
+
+let classification () =
+  let check text cand action =
+    let c, a = classify (Util.parse_op text) in
+    Alcotest.(check bool) (text ^ " candidate") true (c = cand);
+    Alcotest.(check bool) (text ^ " action") true (a = action)
+  in
+  check "add_type_definition(A)" Cand_type_definition Add;
+  check "modify_attribute(A, x, B)" Cand_attribute Modify;
+  check "delete_part_of_relationship(A, p)" Cand_part_of Delete;
+  check "modify_instance_of_order_by(A, p, (), ())" Cand_instance_of Modify
+
+let subjects () =
+  Alcotest.(check string) "subject of add_relationship" "Foo"
+    (subject (Util.parse_op "add_relationship(Foo, Bar, b, f)"));
+  Alcotest.(check string) "subject of move" "A"
+    (subject (Util.parse_op "modify_attribute(A, x, B)"))
+
+let tests =
+  [
+    test "every operation round trips" all_roundtrip;
+    test "specimens cover the whole language" specimen_coverage;
+    test "add_attribute fields" add_attribute_fields;
+    test "add_attribute without size" add_attribute_no_size;
+    test "add_relationship fields" add_relationship_fields;
+    test "to-one relationship" to_one_relationship;
+    test "cardinality forms" cardinality_forms;
+    test "operation arguments" operation_args;
+    test "parse a log" parse_many;
+    test "parse errors" parse_errors;
+    test "classification" classification;
+    test "subjects" subjects;
+  ]

@@ -1,0 +1,202 @@
+(* The object store: typed instances under a schema. *)
+
+open Objects
+
+let test = Util.test
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "should succeed: %s" m
+
+let err what = function
+  | Ok _ -> Alcotest.failf "%s should fail" what
+  | Error m -> m
+
+let consistent name store =
+  match Check.check store with
+  | [] -> ()
+  | ps ->
+      Alcotest.failf "%s should be consistent:\n%s" name
+        (String.concat "\n" (List.map Check.to_string ps))
+
+(* a small populated university store used across the tests *)
+let university_store () =
+  let s = Store.create (Util.university ()) in
+  let s, dept = ok (Store.new_object s "Department") in
+  let s = ok (Store.set_attr s dept "dept_name" (Value.V_string "CSE")) in
+  let s, alice = ok (Store.new_object s "Faculty") in
+  let s = ok (Store.set_attr s alice "name" (Value.V_string "Alice")) in
+  let s = ok (Store.set_attr s alice "ssn" (Value.V_string "111-22-3333")) in
+  let s = ok (Store.link s alice "works_in_a" dept) in
+  let s, bob = ok (Store.new_object s "Doctoral") in
+  let s = ok (Store.set_attr s bob "ssn" (Value.V_string "444-55-6666")) in
+  let s = ok (Store.set_attr s bob "gpa" (Value.V_float 3.9)) in
+  let s = ok (Store.link s bob "advised_by" alice) in
+  let s, course = ok (Store.new_object s "Course") in
+  let s = ok (Store.set_attr s course "subject" (Value.V_string "CS")) in
+  let s = ok (Store.set_attr s course "number" (Value.V_int 101)) in
+  let s, offering = ok (Store.new_object s "Course_Offering") in
+  let s = ok (Store.link s offering "offering_of" course) in
+  let s = ok (Store.link s offering "taught_by" alice) in
+  let s = ok (Store.link s bob "takes" offering) in
+  (s, dept, alice, bob, course, offering)
+
+let creation_and_attrs () =
+  let s, _, alice, _, _, _ = university_store () in
+  Alcotest.(check int) "five objects" 5 (Store.count s);
+  (match Store.get_attr s alice "name" with
+  | Some (Value.V_string "Alice") -> ()
+  | _ -> Alcotest.fail "attribute readable");
+  consistent "populated store" s
+
+let unknown_type_rejected () =
+  let s = Store.create (Util.university ()) in
+  ignore (err "new_object Ghost" (Store.new_object s "Ghost"))
+
+let attr_type_checked () =
+  let s = Store.create (Util.university ()) in
+  let s, p = ok (Store.new_object s "Person") in
+  ignore (err "wrong domain" (Store.set_attr s p "name" (Value.V_int 3)));
+  ignore (err "unknown attr" (Store.set_attr s p "nope" (Value.V_int 3)));
+  (* size limit: Person.name is string<60> *)
+  ignore
+    (err "oversize"
+       (Store.set_attr s p "name" (Value.V_string (String.make 61 'x'))));
+  (* int widens to float *)
+  let s, st = ok (Store.new_object s "Student") in
+  let s = ok (Store.set_attr s st "gpa" (Value.V_int 4)) in
+  ignore s
+
+let inherited_attrs_writable () =
+  let s = Store.create (Util.university ()) in
+  let s, d = ok (Store.new_object s "Doctoral") in
+  let s = ok (Store.set_attr s d "name" (Value.V_string "Dee")) in
+  (* own attribute too *)
+  let s = ok (Store.set_attr s d "dissertation_title" (Value.V_string "T")) in
+  ignore s
+
+let link_maintains_inverse () =
+  let s, dept, alice, _, _, _ = university_store () in
+  Alcotest.(check (list int)) "forward" [ dept ] (Store.linked s alice "works_in_a");
+  Alcotest.(check (list int)) "inverse" [ alice ] (Store.linked s dept "has")
+
+let to_one_displaces () =
+  let s, dept, alice, _, _, _ = university_store () in
+  let s, dept2 = ok (Store.new_object s "Department") in
+  let s = ok (Store.set_attr s dept2 "dept_name" (Value.V_string "EE")) in
+  let s = ok (Store.link s alice "works_in_a" dept2) in
+  Alcotest.(check (list int)) "new forward" [ dept2 ]
+    (Store.linked s alice "works_in_a");
+  Alcotest.(check (list int)) "old inverse cleared" []
+    (Store.linked s dept "has");
+  consistent "after displacement" s
+
+let link_type_checked () =
+  let s, _, alice, _, _, offering = university_store () in
+  ignore
+    (err "wrong target"
+       (Store.link s alice "works_in_a" offering));
+  (* subtypes conform: a Faculty can take courses (Faculty ISA Person... not
+     Student!) — so this must fail *)
+  ignore (err "not a student" (Store.link s offering "taken_by" alice))
+
+let subtype_conforms () =
+  let s, _, _, bob, _, offering = university_store () in
+  (* bob is Doctoral <= Student: taken_by accepts him *)
+  Alcotest.(check bool) "linked as student" true
+    (List.mem bob (Store.linked s offering "taken_by"))
+
+let unlink_both_ends () =
+  let s, dept, alice, _, _, _ = university_store () in
+  let s = ok (Store.unlink s alice "works_in_a" dept) in
+  Alcotest.(check (list int)) "forward gone" [] (Store.linked s alice "works_in_a");
+  Alcotest.(check (list int)) "inverse gone" [] (Store.linked s dept "has")
+
+let delete_scrubs_references () =
+  let s, _, alice, bob, _, _ = university_store () in
+  let s = ok (Store.delete s alice) in
+  Alcotest.(check bool) "gone" true (Store.find s alice = None);
+  Alcotest.(check (list int)) "bob's advisor link scrubbed" []
+    (Store.linked s bob "advised_by")
+
+let extents () =
+  let s, _, _, _, _, _ = university_store () in
+  Alcotest.(check int) "people includes all subtypes" 2
+    (List.length (Store.objects_of_type s "Person"));
+  Alcotest.(check int) "students" 1 (List.length (Store.objects_of_type s "Student"));
+  Alcotest.(check int) "exact type only" 0
+    (List.length (Store.objects_of_type ~include_subtypes:false s "Person"))
+
+let key_uniqueness_checked () =
+  let s = Store.create (Util.university ()) in
+  let s, p1 = ok (Store.new_object s "Person") in
+  let s = ok (Store.set_attr s p1 "ssn" (Value.V_string "1")) in
+  let s, p2 = ok (Store.new_object s "Person") in
+  let s = ok (Store.set_attr s p2 "ssn" (Value.V_string "1")) in
+  Alcotest.(check bool) "duplicate flagged" true
+    (List.exists
+       (fun p -> Str_contains.contains p.Check.p_message "duplicate key")
+       (Check.check s));
+  let s = ok (Store.set_attr s p2 "ssn" (Value.V_string "2")) in
+  consistent "after fix" s
+
+let mandatory_whole_checked () =
+  let s = Store.create (Util.lumber ()) in
+  let s, roof = ok (Store.new_object s "Roof") in
+  (* a roof is a part of a structure: unattached, the store is inconsistent *)
+  Alcotest.(check bool) "orphan part flagged" true
+    (List.exists
+       (fun p -> Str_contains.contains p.Check.p_message "exactly one")
+       (Check.check s));
+  let s, structure = ok (Store.new_object s "Structure") in
+  let s = ok (Store.link s roof "roof_of" structure) in
+  (* the structure itself is a part of a house; attach it too *)
+  let s, house = ok (Store.new_object s "House") in
+  let s = ok (Store.set_attr s house "plan_number" (Value.V_string "P1")) in
+  let s = ok (Store.link s structure "structure_of" house) in
+  consistent "attached" s
+
+let collection_attributes () =
+  let s =
+    Store.create
+      (Util.parse "interface A { attribute set<string> tags; };")
+  in
+  let s, a = ok (Store.new_object s "A") in
+  let s =
+    ok
+      (Store.set_attr s a "tags"
+         (Value.V_coll (Odl.Types.Set, [ Value.V_string "x"; Value.V_string "y" ])))
+  in
+  ignore
+    (err "wrong collection kind"
+       (Store.set_attr s a "tags"
+          (Value.V_coll (Odl.Types.List, [ Value.V_string "x" ]))));
+  ignore
+    (err "wrong element"
+       (Store.set_attr s a "tags" (Value.V_coll (Odl.Types.Set, [ Value.V_int 1 ]))))
+
+let dump_renders () =
+  let s, _, _, _, _, _ = university_store () in
+  let text = Store.dump s in
+  Alcotest.(check bool) "object line" true (Str_contains.contains text ": Faculty");
+  Alcotest.(check bool) "attr line" true (Str_contains.contains text "name = \"Alice\"");
+  Alcotest.(check bool) "link line" true (Str_contains.contains text "works_in_a -> @1")
+
+let tests =
+  [
+    test "creation and attributes" creation_and_attrs;
+    test "unknown type rejected" unknown_type_rejected;
+    test "attribute writes type-checked" attr_type_checked;
+    test "inherited attributes writable" inherited_attrs_writable;
+    test "link maintains inverse" link_maintains_inverse;
+    test "to-one links displace" to_one_displaces;
+    test "link target type-checked" link_type_checked;
+    test "subtypes conform" subtype_conforms;
+    test "unlink removes both ends" unlink_both_ends;
+    test "delete scrubs references" delete_scrubs_references;
+    test "extents" extents;
+    test "key uniqueness" key_uniqueness_checked;
+    test "mandatory whole" mandatory_whole_checked;
+    test "collection attributes" collection_attributes;
+    test "dump" dump_renders;
+  ]

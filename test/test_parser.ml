@@ -1,0 +1,141 @@
+open Odl.Types
+
+let test = Util.test
+
+let parse_iface src = Odl.Parser.parse_interface_string src
+
+let minimal () =
+  let i = parse_iface "interface Foo { };" in
+  Alcotest.(check string) "name" "Foo" i.i_name;
+  Alcotest.(check (list string)) "no supers" [] i.i_supertypes
+
+let supertypes () =
+  let i = parse_iface "interface A : B, C { };" in
+  Alcotest.(check (list string)) "supers" [ "B"; "C" ] i.i_supertypes
+
+let extent_and_keys () =
+  let i =
+    parse_iface
+      "interface A { extent as_; key x; key (y, z); attribute int x; attribute \
+       int y; attribute int z; };"
+  in
+  Alcotest.(check (option string)) "extent" (Some "as_") i.i_extent;
+  Alcotest.(check (list (list string))) "keys" [ [ "x" ]; [ "y"; "z" ] ] i.i_keys
+
+let attribute_domains () =
+  let i =
+    parse_iface
+      "interface A { attribute int a; attribute float b; attribute string<30> \
+       c; attribute boolean d; attribute char e; attribute set<int> f; \
+       attribute list<Other> g; attribute Other h; };"
+  in
+  let ty name =
+    (Option.get (Odl.Schema.find_attr i name)).attr_type
+  in
+  let size name = (Option.get (Odl.Schema.find_attr i name)).attr_size in
+  Alcotest.(check bool) "int" true (ty "a" = D_int);
+  Alcotest.(check bool) "float" true (ty "b" = D_float);
+  Alcotest.(check bool) "sized string" true
+    (ty "c" = D_string && size "c" = Some 30);
+  Alcotest.(check bool) "boolean" true (ty "d" = D_boolean);
+  Alcotest.(check bool) "char" true (ty "e" = D_char);
+  Alcotest.(check bool) "set of int" true (ty "f" = D_collection (Set, D_int));
+  Alcotest.(check bool) "list of named" true
+    (ty "g" = D_collection (List, D_named "Other"));
+  Alcotest.(check bool) "named" true (ty "h" = D_named "Other")
+
+let relationships () =
+  let i =
+    parse_iface
+      "interface A { relationship B to_b inverse B::to_a; relationship set<B> \
+       many_b inverse B::one_a order_by (x, y); part_of relationship set<P> \
+       parts inverse P::whole; instance_of relationship G generic inverse \
+       G::instances; };"
+  in
+  let r name = Option.get (Odl.Schema.find_rel i name) in
+  Alcotest.(check bool) "to-one assoc" true
+    ((r "to_b").rel_card = None && (r "to_b").rel_kind = Association);
+  Alcotest.(check bool) "to-many assoc" true ((r "many_b").rel_card = Some Set);
+  Alcotest.(check (list string)) "order_by" [ "x"; "y" ] (r "many_b").rel_order_by;
+  Alcotest.(check bool) "part_of" true ((r "parts").rel_kind = Part_of);
+  Alcotest.(check bool) "whole end role" true
+    (role_of_relationship (r "parts") = Whole_end);
+  Alcotest.(check bool) "instance_of" true ((r "generic").rel_kind = Instance_of);
+  Alcotest.(check bool) "instance end role" true
+    (role_of_relationship (r "generic") = Instance_end)
+
+let operations () =
+  let i =
+    parse_iface
+      "interface A { void f(); int g(string x, set<B> ys) raises (E1, E2); B \
+       h(); };"
+  in
+  let o name = Option.get (Odl.Schema.find_op i name) in
+  Alcotest.(check bool) "void return" true ((o "f").op_return = D_void);
+  Alcotest.(check int) "two args" 2 (List.length (o "g").op_args);
+  Alcotest.(check (list string)) "raises" [ "E1"; "E2" ] (o "g").op_raises;
+  Alcotest.(check bool) "named return" true ((o "h").op_return = D_named "B")
+
+let named_schema () =
+  let s = Util.parse "schema S { interface A { }; interface B { }; };" in
+  Alcotest.(check string) "name" "S" s.s_name;
+  Alcotest.(check (list string)) "order" [ "A"; "B" ]
+    (List.map (fun i -> i.i_name) s.s_interfaces)
+
+let anonymous_schema () =
+  let s = Util.parse "interface A { }; interface B { };" in
+  Alcotest.(check int) "two interfaces" 2 (List.length s.s_interfaces)
+
+let empty_schema () =
+  let s = Util.parse "schema Empty { };" in
+  Alcotest.(check int) "none" 0 (List.length s.s_interfaces)
+
+let expect_parse_error src =
+  match Util.parse src with
+  | exception Odl.Parser.Parse_error _ -> ()
+  | _ -> Alcotest.failf "should not parse: %s" src
+
+let syntax_errors () =
+  expect_parse_error "interface { };";
+  expect_parse_error "interface A { attribute int; };";
+  expect_parse_error "interface A { relationship B x inverse C::y; };"
+    (* inverse must be qualified by the target type *);
+  expect_parse_error "interface A { extent e }";
+  expect_parse_error "schema S { interface A { }; } trailing";
+  expect_parse_error "interface A : { };"
+
+let mismatched_inverse_qualifier () =
+  match
+    Util.parse "interface A { relationship B r inverse Wrong::s; };"
+  with
+  | exception Odl.Parser.Parse_error (m, _, _) ->
+      Alcotest.(check bool) "mentions target" true
+        (Str_contains.contains m "target")
+  | _ -> Alcotest.fail "should reject mismatched inverse qualifier"
+
+let error_position () =
+  match Util.parse "interface A {\n  attribute ;\n};" with
+  | exception Odl.Parser.Parse_error (_, line, _) ->
+      Alcotest.(check int) "line" 2 line
+  | _ -> Alcotest.fail "should not parse"
+
+let semicolon_after_interface_optional () =
+  let s = Util.parse "schema S { interface A { } interface B { }; };" in
+  Alcotest.(check int) "two" 2 (List.length s.s_interfaces)
+
+let tests =
+  [
+    test "minimal interface" minimal;
+    test "supertypes" supertypes;
+    test "extent and keys" extent_and_keys;
+    test "attribute domains" attribute_domains;
+    test "relationships of all kinds" relationships;
+    test "operations" operations;
+    test "named schema" named_schema;
+    test "anonymous schema" anonymous_schema;
+    test "empty schema" empty_schema;
+    test "syntax errors" syntax_errors;
+    test "mismatched inverse qualifier" mismatched_inverse_qualifier;
+    test "error position" error_position;
+    test "optional semicolon" semicolon_after_interface_optional;
+  ]

@@ -1,0 +1,139 @@
+open Core.Permission
+module C = Core.Concept
+
+let test = Util.test
+
+let kinds = [ C.Wagon_wheel; C.Generalization; C.Aggregation; C.Instance_chain ]
+
+let every_op_has_a_home () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) (op ^ " allowed somewhere") true (homes op <> []))
+    all_op_names
+
+let per_kind_op_lists_are_subsets () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun op ->
+          Alcotest.(check bool) (op ^ " is a known operation") true
+            (List.mem op all_op_names))
+        (ops_for k))
+    kinds
+
+let wagon_wheel_policy () =
+  let allowed = [
+    "add_type_definition"; "delete_type_definition"; "add_attribute";
+    "delete_attribute"; "modify_attribute_type"; "modify_attribute_size";
+    "add_relationship"; "modify_relationship_cardinality"; "add_operation";
+    "modify_operation_return_type"; "add_part_of_relationship";
+    "delete_instance_of_relationship"; "add_extent_name"; "modify_key_list";
+  ] in
+  let denied = [
+    "add_supertype"; "delete_supertype"; "modify_supertype";
+    "modify_attribute"; "modify_operation"; "modify_relationship_target_type";
+    "modify_part_of_target_type"; "modify_part_of_cardinality";
+    "modify_instance_of_order_by";
+  ] in
+  List.iter
+    (fun op -> Alcotest.(check bool) ("WW allows " ^ op) true
+        (allowed_name C.Wagon_wheel op))
+    allowed;
+  List.iter
+    (fun op -> Alcotest.(check bool) ("WW denies " ^ op) false
+        (allowed_name C.Wagon_wheel op))
+    denied
+
+let generalization_policy () =
+  List.iter
+    (fun op -> Alcotest.(check bool) ("GH allows " ^ op) true
+        (allowed_name C.Generalization op))
+    [ "add_supertype"; "delete_supertype"; "modify_supertype";
+      "modify_attribute"; "modify_operation"; "modify_relationship_target_type";
+      "add_type_definition"; "delete_type_definition" ];
+  List.iter
+    (fun op -> Alcotest.(check bool) ("GH denies " ^ op) false
+        (allowed_name C.Generalization op))
+    [ "add_attribute"; "add_relationship"; "add_extent_name";
+      "modify_part_of_target_type"; "add_instance_of_relationship" ]
+
+let aggregation_policy () =
+  List.iter
+    (fun op -> Alcotest.(check bool) ("AH allows " ^ op) true
+        (allowed_name C.Aggregation op))
+    [ "add_part_of_relationship"; "delete_part_of_relationship";
+      "modify_part_of_target_type"; "modify_part_of_cardinality";
+      "modify_part_of_order_by"; "add_type_definition" ];
+  List.iter
+    (fun op -> Alcotest.(check bool) ("AH denies " ^ op) false
+        (allowed_name C.Aggregation op))
+    [ "add_relationship"; "add_attribute"; "add_supertype";
+      "add_instance_of_relationship"; "modify_instance_of_target_type" ]
+
+let instance_chain_policy () =
+  List.iter
+    (fun op -> Alcotest.(check bool) ("IH allows " ^ op) true
+        (allowed_name C.Instance_chain op))
+    [ "add_instance_of_relationship"; "delete_instance_of_relationship";
+      "modify_instance_of_target_type"; "modify_instance_of_cardinality";
+      "modify_instance_of_order_by"; "delete_type_definition" ];
+  List.iter
+    (fun op -> Alcotest.(check bool) ("IH denies " ^ op) false
+        (allowed_name C.Instance_chain op))
+    [ "add_part_of_relationship"; "add_relationship"; "modify_attribute" ]
+
+let moves_only_in_generalization () =
+  List.iter
+    (fun op ->
+      Alcotest.(check (list bool))
+        (op ^ " only in GH")
+        [ false; true; false; false ]
+        (List.map (fun k -> allowed_name k op) kinds))
+    [ "modify_attribute"; "modify_operation"; "modify_relationship_target_type" ]
+
+let type_definitions_everywhere () =
+  List.iter
+    (fun op ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (op ^ " everywhere") true (allowed_name k op))
+        kinds)
+    [ "add_type_definition"; "delete_type_definition" ]
+
+let denial_message_points_home () =
+  let op = Util.parse_op "add_supertype(A, B)" in
+  match allowed C.Wagon_wheel op with
+  | Ok () -> Alcotest.fail "should be denied"
+  | Error m ->
+      Alcotest.(check bool) "names the right concept schema" true
+        (Str_contains.contains m "generalization hierarchy")
+
+let allowed_agrees_with_allowed_name () =
+  List.iter
+    (fun text ->
+      let op = Util.parse_op text in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (text ^ " agreement")
+            (allowed_name k (Core.Modop.name op))
+            (Result.is_ok (allowed k op)))
+        kinds)
+    [
+      "add_supertype(A, B)"; "add_attribute(A, int, none, x)";
+      "modify_part_of_cardinality(A, p, set, list)";
+      "add_instance_of_relationship(A, set<B>, i, g)";
+    ]
+
+let tests =
+  [
+    test "every operation has a home" every_op_has_a_home;
+    test "per-kind lists are well formed" per_kind_op_lists_are_subsets;
+    test "wagon wheel policy" wagon_wheel_policy;
+    test "generalization policy" generalization_policy;
+    test "aggregation policy" aggregation_policy;
+    test "instance chain policy" instance_chain_policy;
+    test "moves only in generalization hierarchies" moves_only_in_generalization;
+    test "type definitions everywhere" type_definitions_everywhere;
+    test "denial message points home" denial_message_points_home;
+    test "allowed agrees with allowed_name" allowed_agrees_with_allowed_name;
+  ]

@@ -1,0 +1,148 @@
+(* Repair planning: verified plans for rejected operations. *)
+
+let test = Util.test
+let ww = Core.Concept.Wagon_wheel
+let gh = Core.Concept.Generalization
+
+let plan_for ?(kind = ww) schema text =
+  Core.Advisor.repair_plan ~original:schema schema kind (Util.parse_op text)
+
+let verify schema plan =
+  match Core.Session.replay schema plan with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.failf "plan must replay cleanly: %s" (Core.Apply.error_to_string e)
+
+let missing_target_prepends_add () =
+  let u = Util.university () in
+  match plan_for u "add_relationship(Person, set<Committee>, serves_on, members)" with
+  | Some plan ->
+      Alcotest.(check int) "two steps" 2 (List.length plan);
+      Alcotest.(check bool) "prerequisite first" true
+        (snd (List.hd plan) = Core.Modop.Add_type_definition "Committee");
+      verify u plan
+  | None -> Alcotest.fail "a plan exists"
+
+let missing_domain_type () =
+  let u = Util.university () in
+  match plan_for u "add_attribute(Person, set<Committee>, none, committees)" with
+  | Some plan ->
+      Alcotest.(check bool) "adds the domain type" true
+        (List.exists
+           (fun (_, op) -> op = Core.Modop.Add_type_definition "Committee")
+           plan);
+      verify u plan
+  | None -> Alcotest.fail "a plan exists"
+
+let wrong_kind_replaced () =
+  (* an ISA operation issued from a wagon wheel: the plan re-homes it to the
+     generalization hierarchy, where it applies as a single step *)
+  let u = Util.university () in
+  match plan_for ~kind:ww u "add_supertype(Book, Person)" with
+  | Some plan ->
+      Alcotest.(check int) "one step" 1 (List.length plan);
+      Alcotest.(check bool) "re-homed to GH" true (fst (List.hd plan) = gh);
+      verify u plan
+  | None -> Alcotest.fail "re-homing plan exists"
+
+let stale_value_corrected () =
+  let u = Util.university () in
+  match plan_for u "modify_extent_name(Person, wrong_extent, persons)" with
+  | Some [ (_, Core.Modop.Modify_extent_name ("Person", "people", "persons")) ] as p
+    -> verify u (Option.get p)
+  | Some plan ->
+      Alcotest.failf "unexpected plan: %s"
+        (String.concat "; "
+           (List.map (fun (_, o) -> Core.Op_printer.to_string o) plan))
+  | None -> Alcotest.fail "a corrected plan exists"
+
+let stale_cardinality_corrected () =
+  let u = Util.university () in
+  match
+    plan_for u "modify_relationship_cardinality(Course_Offering, taught_by, set, list)"
+  with
+  | Some plan ->
+      Alcotest.(check bool) "old value corrected to one" true
+        (List.exists
+           (fun (_, op) ->
+             op
+             = Core.Modop.Modify_relationship_cardinality
+                 ("Course_Offering", "taught_by", None, Some Odl.Types.List))
+           plan);
+      verify u plan
+  | None -> Alcotest.fail "a corrected plan exists"
+
+let stale_and_rehomed () =
+  (* both fixes at once: wrong concept schema type AND stale old value *)
+  let u = Util.university () in
+  match plan_for ~kind:ww u "modify_supertype(Doctoral, (Person), (Student))" with
+  | Some plan ->
+      Alcotest.(check bool) "landed in GH" true (List.for_all (fun (k, _) -> k = gh) plan);
+      Alcotest.(check bool) "old supertypes corrected" true
+        (List.exists
+           (fun (_, op) ->
+             op = Core.Modop.Modify_supertype ("Doctoral", [ "Graduate" ], [ "Student" ]))
+           plan);
+      verify u plan
+  | None -> Alcotest.fail "a combined plan exists"
+
+let applicable_op_needs_no_plan () =
+  let u = Util.university () in
+  match plan_for u "add_type_definition(Lab)" with
+  | Some [ (k, Core.Modop.Add_type_definition "Lab") ] ->
+      Alcotest.(check bool) "same kind" true (k = ww)
+  | _ -> Alcotest.fail "plan is the op itself"
+
+let hopeless_cases () =
+  let u = Util.university () in
+  (* a genuine conflict has no mechanical fix *)
+  Alcotest.(check bool) "conflict unplannable" true
+    (plan_for u "add_type_definition(Person)" = None);
+  (* an ISA cycle has no mechanical fix *)
+  Alcotest.(check bool) "cycle unplannable" true
+    (plan_for ~kind:gh u "add_supertype(Person, Doctoral)" = None)
+
+let correct_stale_units () =
+  let u = Util.university () in
+  let check text expected =
+    match Core.Advisor.correct_stale u (Util.parse_op text) with
+    | Some op -> Alcotest.(check string) text expected (Core.Op_printer.to_string op)
+    | None -> Alcotest.failf "%s should be correctable" text
+  in
+  check "modify_attribute_size(Person, name, 10, 80)"
+    "modify_attribute_size(Person, name, 60, 80)";
+  check "modify_operation_return_type(Student, in_good_standing, int, float)"
+    "modify_operation_return_type(Student, in_good_standing, boolean, float)";
+  check "modify_relationship_order_by(Faculty, advises, (), (gpa))"
+    "modify_relationship_order_by(Faculty, advises, (name), (gpa))";
+  Alcotest.(check bool) "adds have no stale form" true
+    (Core.Advisor.correct_stale u (Util.parse_op "add_type_definition(X)") = None)
+
+let engine_plan_command () =
+  let state =
+    Designer.Engine.start (Util.session_of (Util.university ()))
+  in
+  let state, _ = Designer.Engine.exec_line state "focus ww:Person" in
+  let _, fb =
+    Designer.Engine.exec_line state
+      "plan add_relationship(Person, set<Committee>, serves_on, members)"
+  in
+  let text = String.concat "\n" (List.map Designer.Feedback.to_string fb) in
+  Alcotest.(check bool) "prints the plan" true
+    (Str_contains.contains text "add_type_definition(Committee)");
+  Alcotest.(check bool) "then the op" true
+    (Str_contains.contains text "serves_on")
+
+let tests =
+  [
+    test "missing target: prerequisite add" missing_target_prepends_add;
+    test "missing domain type" missing_domain_type;
+    test "wrong concept schema: re-homed" wrong_kind_replaced;
+    test "stale extent corrected" stale_value_corrected;
+    test "stale cardinality corrected" stale_cardinality_corrected;
+    test "stale and re-homed together" stale_and_rehomed;
+    test "applicable op needs no plan" applicable_op_needs_no_plan;
+    test "hopeless cases return None" hopeless_cases;
+    test "correct_stale units" correct_stale_units;
+    test "engine plan command" engine_plan_command;
+  ]

@@ -1,0 +1,76 @@
+let test = Util.test
+
+let roundtrip name schema =
+  let printed = Odl.Printer.schema_to_string schema in
+  let reparsed = Util.parse printed in
+  Alcotest.check Util.schema_testable name schema reparsed;
+  (* printing is stable: printing the reparse gives the same text *)
+  Alcotest.(check string)
+    (name ^ " stable") printed
+    (Odl.Printer.schema_to_string reparsed)
+
+let examples () =
+  roundtrip "university" (Util.university ());
+  roundtrip "lumber" (Util.lumber ());
+  roundtrip "emsl" (Util.emsl ());
+  roundtrip "acedb" (Schemas.Genome.acedb_v ());
+  roundtrip "aatdb" (Schemas.Genome.aatdb_v ());
+  roundtrip "sacchdb" (Schemas.Genome.sacchdb_v ())
+
+let synthetic () =
+  List.iter
+    (fun n ->
+      roundtrip
+        (Printf.sprintf "synth%d" n)
+        (Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:n)))
+    [ 1; 5; 20; 60 ]
+
+let sized_attribute () =
+  let s = Util.parse "interface A { attribute string<17> x; };" in
+  Alcotest.(check bool) "prints size" true
+    (Str_contains.contains (Odl.Printer.schema_to_string s) "string<17> x")
+
+let key_forms () =
+  let s =
+    Util.parse
+      "interface A { key x; key (y, z); attribute int x; attribute int y; \
+       attribute int z; };"
+  in
+  let printed = Odl.Printer.schema_to_string s in
+  Alcotest.(check bool) "single" true (Str_contains.contains printed "key x;");
+  Alcotest.(check bool) "composite" true (Str_contains.contains printed "key (y, z);")
+
+let part_of_keyword () =
+  let src =
+    "interface W { part_of relationship set<P> parts inverse P::whole; };\n\
+     interface P { part_of relationship W whole inverse W::parts; };"
+  in
+  let printed = Odl.Printer.schema_to_string (Util.parse src) in
+  Alcotest.(check bool) "keyword kept" true
+    (Str_contains.contains printed "part_of relationship set<P> parts")
+
+let order_by_printed () =
+  let src =
+    "interface A { attribute int x; relationship set<A> r inverse A::r_inv \
+     order_by (x); relationship A r_inv inverse A::r; };"
+  in
+  let printed = Odl.Printer.schema_to_string (Util.parse src) in
+  Alcotest.(check bool) "order_by" true
+    (Str_contains.contains printed "order_by (x)")
+
+let operation_raises_printed () =
+  let src = "interface A { int f(string s) raises (Bad); };" in
+  let printed = Odl.Printer.schema_to_string (Util.parse src) in
+  Alcotest.(check bool) "raises" true
+    (Str_contains.contains printed "raises (Bad)")
+
+let tests =
+  [
+    test "example schemas round trip" examples;
+    test "synthetic schemas round trip" synthetic;
+    test "sized attribute" sized_attribute;
+    test "key forms" key_forms;
+    test "part-of keyword" part_of_keyword;
+    test "order_by" order_by_printed;
+    test "operation raises" operation_raises_printed;
+  ]

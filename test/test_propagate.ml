@@ -1,0 +1,113 @@
+(* Propagation rules in isolation: Propagate.repair on hand-broken schemas. *)
+
+open Odl.Types
+
+let test = Util.test
+
+let repair schema = Core.Propagate.repair schema
+
+let removals events =
+  List.filter_map
+    (fun e ->
+      match e.Core.Change.ev_change with
+      | Core.Change.Removed c -> Some c
+      | _ -> None)
+    events
+
+let no_change_on_valid () =
+  let s, events = repair (Util.university ()) in
+  Alcotest.(check int) "no events" 0 (List.length events);
+  Alcotest.check Util.schema_testable "unchanged" (Util.university ()) s
+
+let drops_dangling_supertype () =
+  let s = Util.parse "interface A : Ghost { };" in
+  let s', events = repair s in
+  Alcotest.(check (list string)) "cleared" []
+    (Odl.Schema.get_interface s' "A").i_supertypes;
+  Alcotest.(check int) "one event" 1 (List.length events)
+
+let drops_rel_with_missing_target () =
+  let s = Util.parse "interface A { relationship Ghost r inverse Ghost::s; };" in
+  let s', _ = repair s in
+  Alcotest.(check int) "rel dropped" 0
+    (List.length (Odl.Schema.get_interface s' "A").i_rels)
+
+let drops_rel_with_missing_inverse () =
+  let s =
+    Util.parse "interface A { relationship B r inverse B::ghost; }; interface B { };"
+  in
+  let s', _ = repair s in
+  Alcotest.(check int) "rel dropped" 0
+    (List.length (Odl.Schema.get_interface s' "A").i_rels)
+
+let drops_attr_with_missing_domain () =
+  let s = Util.parse "interface A { attribute Ghost x; attribute int y; };" in
+  let s', _ = repair s in
+  let a = Odl.Schema.get_interface s' "A" in
+  Alcotest.(check bool) "ghost attr gone" false (Odl.Schema.has_attr a "x");
+  Alcotest.(check bool) "good attr kept" true (Odl.Schema.has_attr a "y")
+
+let drops_op_with_missing_types () =
+  let s =
+    Util.parse
+      "interface A { Ghost f(); void g(Ghost x); int h(); };"
+  in
+  let s', _ = repair s in
+  let a = Odl.Schema.get_interface s' "A" in
+  Alcotest.(check bool) "bad return gone" false (Odl.Schema.has_op a "f");
+  Alcotest.(check bool) "bad arg gone" false (Odl.Schema.has_op a "g");
+  Alcotest.(check bool) "good op kept" true (Odl.Schema.has_op a "h")
+
+let drops_key_with_invisible_attr () =
+  let s = Util.parse "interface A { key ghost; attribute int x; key x; };" in
+  let s', events = repair s in
+  Alcotest.(check (list (list string))) "only the good key" [ [ "x" ] ]
+    (Odl.Schema.get_interface s' "A").i_keys;
+  Alcotest.(check bool) "key removal reported" true
+    (List.exists
+       (function Core.Change.C_key ("A", [ "ghost" ]) -> true | _ -> false)
+       (removals events))
+
+let prunes_order_by_entries () =
+  let s =
+    Util.parse
+      {|interface A { attribute int x;
+          relationship set<A> r inverse A::r_inv order_by (x, ghost);
+          relationship A r_inv inverse A::r; };|}
+  in
+  let s', _ = repair s in
+  let r = Option.get (Odl.Schema.find_rel (Odl.Schema.get_interface s' "A") "r") in
+  Alcotest.(check (list string)) "ghost pruned, x kept" [ "x" ] r.rel_order_by
+
+let cascade_to_fixpoint () =
+  (* the key on B names an attribute inherited from Ghost-typed A... the
+     cascade needs two passes: first the attribute goes, then the key *)
+  let s =
+    Util.parse
+      {|interface A { attribute Ghost x; };
+        interface B : A { key x; };|}
+  in
+  let s', _ = repair s in
+  Alcotest.(check (list (list string))) "key gone" []
+    (Odl.Schema.get_interface s' "B").i_keys;
+  Util.check_valid "fixpoint is valid" s'
+
+let all_events_propagated () =
+  let s = Util.parse "interface A : Ghost { attribute Ghost x; };" in
+  let _, events = repair s in
+  Alcotest.(check bool) "all marked propagated" true
+    (List.for_all (fun e -> not e.Core.Change.ev_direct) events)
+
+let tests =
+  [
+    test "no change on a valid schema" no_change_on_valid;
+    test "drops dangling supertype" drops_dangling_supertype;
+    test "drops relationship with missing target" drops_rel_with_missing_target;
+    test "drops relationship with missing inverse" drops_rel_with_missing_inverse;
+    test "drops attribute with missing domain" drops_attr_with_missing_domain;
+    test "drops operation with missing types" drops_op_with_missing_types;
+    test "drops key naming invisible attribute" drops_key_with_invisible_attr;
+    test "prunes order_by entries" prunes_order_by_entries;
+    test "cascades to a fixpoint" cascade_to_fixpoint;
+    test "repair events are propagated" all_events_propagated;
+  ]

@@ -1,0 +1,167 @@
+(* Schema quality heuristics. *)
+
+open Core.Quality
+
+let test = Util.test
+
+let fired findings heuristic subject =
+  List.exists
+    (fun f -> f.q_heuristic = heuristic && f.q_subject = subject)
+    findings
+
+let bundled_schemas_are_well_crafted () =
+  (* the premise: the bundled shrink wrap schemas should score high *)
+  List.iter
+    (fun (name, s) ->
+      let sc = score s in
+      if sc < 85 then
+        Alcotest.failf "%s scores %d:\n%s" name sc (report s))
+    [
+      ("university", Util.university ()); ("lumber", Util.lumber ());
+      ("emsl", Util.emsl ()); ("commerce", Schemas.Commerce.v ());
+    ]
+
+let missing_extent_detected () =
+  (* only roots that actually head a hierarchy are expected to be
+     enumerable *)
+  let s =
+    Util.parse
+      "interface A { attribute int x; key x; };\n\
+       interface B : A { attribute int y; };"
+  in
+  Alcotest.(check bool) "fires on the hierarchy root" true
+    (fired (assess s) "missing-extent" "A");
+  let lone = Util.parse "interface A { attribute int x; key x; };" in
+  Alcotest.(check bool) "silent on a lone type" false
+    (fired (assess lone) "missing-extent" "A")
+
+let missing_key_detected () =
+  let s =
+    Util.parse "interface A { extent as_; attribute int x; };"
+  in
+  Alcotest.(check bool) "fires" true (fired (assess s) "missing-key" "A");
+  (* a weak entity anchored by a to-one end borrows identity *)
+  let weak =
+    Util.parse
+      {|interface Owner { extent os; attribute int k; key k;
+          relationship set<Weak> w inverse Weak::of_owner; };
+        interface Weak { attribute int n;
+          relationship Owner of_owner inverse Owner::w; };|}
+  in
+  Alcotest.(check bool) "anchored weak entity not flagged" false
+    (fired (assess weak) "missing-key" "Weak");
+  (* a key anywhere on the ISA line suffices *)
+  let s2 =
+    Util.parse
+      "interface A { extent as_; attribute int x; key x; };\n\
+       interface B : A { attribute int y; };"
+  in
+  Alcotest.(check bool) "inherited identity ok" false
+    (fired (assess s2) "missing-key" "B")
+
+let isolated_type_detected () =
+  let s =
+    Util.parse
+      {|interface Island { extent is_; attribute int x; key x; };
+        interface A { extent as_; attribute int y; key y;
+          relationship B b inverse B::a; };
+        interface B { relationship set<A> a inverse A::b; };|}
+  in
+  let findings = assess s in
+  Alcotest.(check bool) "island flagged" true
+    (fired findings "isolated-type" "Island");
+  Alcotest.(check bool) "connected not flagged" false
+    (fired findings "isolated-type" "A")
+
+let god_object_detected () =
+  (* a hub with ten spokes *)
+  let spokes = List.init 10 (fun k -> k) in
+  let hub_rels =
+    spokes
+    |> List.map (fun k ->
+           Printf.sprintf "relationship S%d r%d inverse S%d::inv%d;" k k k k)
+    |> String.concat "\n"
+  in
+  let spoke_ifaces =
+    spokes
+    |> List.map (fun k ->
+           Printf.sprintf
+             "interface S%d { relationship set<Hub> inv%d inverse Hub::r%d; };"
+             k k k)
+    |> String.concat "\n"
+  in
+  let s = Util.parse (Printf.sprintf "interface Hub { %s };\n%s" hub_rels spoke_ifaces) in
+  Alcotest.(check bool) "fires" true (fired (assess s) "god-object" "Hub")
+
+let needless_layer_detected () =
+  let s =
+    Util.parse
+      "interface Top { attribute int x; }; interface Middle : Top { }; \
+       interface Leaf : Middle { attribute int y; };"
+  in
+  Alcotest.(check bool) "fires on Middle" true
+    (fired (assess s) "needless-layer" "Middle");
+  Alcotest.(check bool) "not on Top" false (fired (assess s) "needless-layer" "Top")
+
+let empty_leaf_detected () =
+  let s =
+    Util.parse "interface Base { attribute int x; }; interface Red : Base { };"
+  in
+  Alcotest.(check bool) "fires" true (fired (assess s) "empty-leaf" "Red")
+
+let naming_style_detected () =
+  let s =
+    Util.parse
+      "interface A { attribute int alpha; attribute int beta; attribute int \
+       gamma; attribute int delta; attribute int CamelCase; };"
+  in
+  Alcotest.(check bool) "fires on the minority offender" true
+    (fired (assess s) "naming-style" "A.CamelCase")
+
+let deep_hierarchy_detected () =
+  let chain =
+    "interface L0 { attribute int a0; };"
+    :: List.init 5 (fun k ->
+           Printf.sprintf "interface L%d : L%d { attribute int a%d; };" (k + 1)
+             k (k + 1))
+  in
+  let s = Util.parse (String.concat "\n" chain) in
+  Alcotest.(check bool) "fires at depth five" true
+    (fired (assess s) "deep-hierarchy" "L5")
+
+let score_monotonicity () =
+  (* strictly worse schema cannot score higher *)
+  let good = Util.parse "interface A { extent as_; attribute int x; key x; };" in
+  let bad =
+    Util.parse
+      "interface A { attribute int x; };\n\
+       interface Island { };"
+  in
+  Alcotest.(check bool) "ordering" true (score good >= score bad)
+
+let catalog_documented () =
+  let ids = List.map fst heuristics in
+  (* every finding produced anywhere uses a documented heuristic *)
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          Alcotest.(check bool) (f.q_heuristic ^ " documented") true
+            (List.mem f.q_heuristic ids))
+        (assess s))
+    [ Util.university (); Util.parse "interface A { };" ]
+
+let tests =
+  [
+    test "bundled schemas are well crafted" bundled_schemas_are_well_crafted;
+    test "missing extent" missing_extent_detected;
+    test "missing key" missing_key_detected;
+    test "isolated type" isolated_type_detected;
+    test "god object" god_object_detected;
+    test "needless layer" needless_layer_detected;
+    test "empty leaf" empty_leaf_detected;
+    test "naming style" naming_style_detected;
+    test "deep hierarchy" deep_hierarchy_detected;
+    test "score monotonicity" score_monotonicity;
+    test "catalog documented" catalog_documented;
+  ]

@@ -1,0 +1,121 @@
+(* The OQL subset. *)
+
+open Objects
+
+let test = Util.test
+
+let ok = function Ok v -> v | Error m -> Alcotest.failf "should succeed: %s" m
+
+(* a university store with enough shape for interesting queries *)
+let sample =
+  lazy
+    (let s = Store.create (Util.university ()) in
+     let s, dept = ok (Store.new_object s "Department") in
+     let s = ok (Store.set_attr s dept "dept_name" (Value.V_string "CSE")) in
+     let s, alice = ok (Store.new_object s "Faculty") in
+     let s = ok (Store.set_attr s alice "name" (Value.V_string "Alice")) in
+     let s = ok (Store.set_attr s alice "ssn" (Value.V_string "1")) in
+     let s = ok (Store.link s alice "works_in_a" dept) in
+     let s, bob = ok (Store.new_object s "Doctoral") in
+     let s = ok (Store.set_attr s bob "name" (Value.V_string "Bob")) in
+     let s = ok (Store.set_attr s bob "ssn" (Value.V_string "2")) in
+     let s = ok (Store.set_attr s bob "gpa" (Value.V_float 3.9)) in
+     let s = ok (Store.link s bob "advised_by" alice) in
+     let s, carol = ok (Store.new_object s "Undergraduate") in
+     let s = ok (Store.set_attr s carol "name" (Value.V_string "Carol")) in
+     let s = ok (Store.set_attr s carol "ssn" (Value.V_string "3")) in
+     let s = ok (Store.set_attr s carol "gpa" (Value.V_float 2.5)) in
+     let s, course = ok (Store.new_object s "Course") in
+     let s, offering = ok (Store.new_object s "Course_Offering") in
+     let s = ok (Store.link s offering "offering_of" course) in
+     let s = ok (Store.link s bob "takes" offering) in
+     let s = ok (Store.link s carol "takes" offering) in
+     (s, alice, bob, carol, offering))
+
+let names objs =
+  List.map (fun (o : Store.obj) -> o.o_id) objs
+
+let q src =
+  let s, _, _, _, _ = Lazy.force sample in
+  names (Query.query s src)
+
+let extent_includes_subtypes () =
+  let _, alice, bob, carol, _ = Lazy.force sample in
+  Alcotest.(check (list int)) "all persons" [ alice; bob; carol ]
+    (q "select Person");
+  Alcotest.(check (list int)) "students only" [ bob; carol ] (q "select Student")
+
+let attribute_predicates () =
+  let _, alice, bob, carol, _ = Lazy.force sample in
+  Alcotest.(check (list int)) "equality" [ alice ]
+    (q "select Person where name = \"Alice\"");
+  Alcotest.(check (list int)) "inequality" [ bob; carol ]
+    (q "select Person where name != \"Alice\"");
+  Alcotest.(check (list int)) "numeric" [ bob ]
+    (q "select Student where gpa >= 3.0");
+  Alcotest.(check (list int)) "like" [ carol ]
+    (q "select Person where name like \"aro\"")
+
+let path_traversal () =
+  let _, _, bob, _, _ = Lazy.force sample in
+  Alcotest.(check (list int)) "via to-one link" [ bob ]
+    (q "select Student where advised_by.name = \"Alice\"");
+  Alcotest.(check (list int)) "two hops" [ bob ]
+    (q "select Student where advised_by.works_in_a.dept_name = \"CSE\"")
+
+let existential_on_to_many () =
+  let _, _, _, _, offering = Lazy.force sample in
+  (* some enrolled student has a high gpa *)
+  Alcotest.(check (list int)) "exists" [ offering ]
+    (q "select Course_Offering where taken_by.gpa > 3.0");
+  Alcotest.(check (list int)) "none matches" []
+    (q "select Course_Offering where taken_by.gpa > 4.5")
+
+let count_pseudo_member () =
+  let _, _, _, _, offering = Lazy.force sample in
+  Alcotest.(check (list int)) "two takers" [ offering ]
+    (q "select Course_Offering where taken_by.count = 2");
+  Alcotest.(check (list int)) "strictly more" []
+    (q "select Course_Offering where taken_by.count > 2");
+  let _, alice, _, _, _ = Lazy.force sample in
+  Alcotest.(check (list int)) "count through a path" [ alice ]
+    (q "select Faculty where advises.count >= 1")
+
+let boolean_connectives () =
+  let _, _, bob, carol, _ = Lazy.force sample in
+  Alcotest.(check (list int)) "and" [ bob ]
+    (q "select Student where gpa > 3.0 and name = \"Bob\"");
+  Alcotest.(check (list int)) "or" [ bob; carol ]
+    (q "select Student where name = \"Bob\" or name = \"Carol\"");
+  Alcotest.(check (list int)) "not" [ carol ]
+    (q "select Student where not gpa > 3.0")
+
+let unset_attributes_do_not_match () =
+  (* alice has no gpa (Faculty): numeric predicates on it are vacuously
+     false, never an error *)
+  Alcotest.(check (list int)) "unset is no match" []
+    (q "select Faculty where gpa > 0")
+
+let parse_errors () =
+  List.iter
+    (fun src ->
+      match Query.parse src with
+      | exception Query.Bad_query _ -> ()
+      | _ -> Alcotest.failf "should not parse: %s" src)
+    [
+      "Person"; "select"; "select Person where"; "select Person where name";
+      "select Person where name = "; "select Person where name ~ \"x\"";
+      "select Person trailing"; "select Person where taken_by.count = \"x\"";
+    ]
+
+let tests =
+  [
+    test "extent includes subtypes" extent_includes_subtypes;
+    test "attribute predicates" attribute_predicates;
+    test "path traversal" path_traversal;
+    test "existential on to-many" existential_on_to_many;
+    test "count pseudo-member" count_pseudo_member;
+    test "boolean connectives" boolean_connectives;
+    test "unset attributes do not match" unset_attributes_do_not_match;
+    test "parse errors" parse_errors;
+  ]

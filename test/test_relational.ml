@@ -1,0 +1,133 @@
+(* Relational DDL translation. *)
+
+let test = Util.test
+let contains = Str_contains.contains
+
+let ddl schema = Core.Relational.ddl schema
+
+let u_ddl = lazy (ddl (Util.university ()))
+
+let tables_emitted () =
+  let d = Lazy.force u_ddl in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) ("table " ^ t) true
+        (contains d ("CREATE TABLE " ^ t ^ " (")))
+    [ "person"; "student"; "course_offering"; "book"; "department" ]
+
+let declared_key_becomes_pk () =
+  let d = Lazy.force u_ddl in
+  (* Person keys on ssn, a sized string *)
+  Alcotest.(check bool) "ssn primary key" true
+    (contains d "ssn VARCHAR(11) PRIMARY KEY")
+
+let surrogate_when_no_scalar_key () =
+  let d = Lazy.force u_ddl in
+  (* Syllabus has no key: surrogate id *)
+  Alcotest.(check bool) "surrogate" true
+    (contains d "syllabus_id INTEGER PRIMARY KEY")
+
+let composite_key_gets_surrogate () =
+  (* Course keys on (subject, number): composite -> surrogate *)
+  Alcotest.(check bool) "surrogate for composite" true
+    (contains (Lazy.force u_ddl) "course_id INTEGER PRIMARY KEY")
+
+let class_table_inheritance () =
+  let d = Lazy.force u_ddl in
+  Alcotest.(check bool) "subtype references supertype" true
+    (contains d "person_ssn VARCHAR(11) NOT NULL");
+  Alcotest.(check bool) "cascading FK" true
+    (contains d "FOREIGN KEY (person_ssn) REFERENCES person(ssn) ON DELETE CASCADE")
+
+let one_to_many_column () =
+  let d = Lazy.force u_ddl in
+  (* Employee.works_in_a is the to-one side: a column + FK on employee *)
+  Alcotest.(check bool) "fk column typed by the target key" true
+    (contains d "works_in_a VARCHAR(40)");
+  Alcotest.(check bool) "fk constraint" true
+    (contains d "FOREIGN KEY (works_in_a) REFERENCES department(dept_name)")
+
+let many_to_many_junction () =
+  let d = Lazy.force u_ddl in
+  (* Course.prerequisites is M:N (both ends sets): junction table *)
+  Alcotest.(check bool) "junction table" true
+    (contains d "CREATE TABLE course_prerequisite_of ("
+    || contains d "CREATE TABLE course_prerequisites (")
+
+let one_to_one_unique () =
+  let d = Lazy.force u_ddl in
+  (* Course_Offering.described_by <-> Syllabus.describes is 1:1 *)
+  Alcotest.(check bool) "unique column" true (contains d "UNIQUE")
+
+let part_of_cascades () =
+  let d = ddl (Util.lumber ()) in
+  (* the part side holds the FK with cascade *)
+  Alcotest.(check bool) "cascade on part" true
+    (contains d "FOREIGN KEY (structure_of) REFERENCES house(plan_number) ON DELETE CASCADE")
+
+let collection_attribute_side_table () =
+  let s =
+    Util.parse "interface A { key k; attribute string<4> k; attribute set<int> xs; };"
+  in
+  let d = ddl s in
+  Alcotest.(check bool) "side table" true (contains d "CREATE TABLE a_xs (");
+  Alcotest.(check bool) "positioned" true (contains d "position INTEGER NOT NULL")
+
+let operations_commented () =
+  let d = Lazy.force u_ddl in
+  Alcotest.(check bool) "operation comment" true
+    (contains d "-- operation Course_Offering.average_grade does not translate")
+
+let keyword_collision_renamed () =
+  let s = Util.parse "interface Order { attribute int total; };" in
+  let d = ddl s in
+  Alcotest.(check bool) "renamed" true (contains d "CREATE TABLE order_ (")
+
+let all_examples_translate () =
+  List.iter
+    (fun (name, s) ->
+      let d = ddl s in
+      Alcotest.(check bool) (name ^ " nonempty") true (String.length d > 200);
+      Alcotest.(check bool)
+        (name ^ " table count sane")
+        true
+        (Core.Relational.table_count s >= List.length s.s_interfaces))
+    [
+      ("university", Util.university ()); ("lumber", Util.lumber ());
+      ("emsl", Util.emsl ()); ("acedb", Schemas.Genome.acedb_v ());
+      ("vlsi", Schemas.Vlsi.v ());
+    ]
+
+let no_trailing_commas () =
+  (* every CREATE TABLE body must end without a comma before the paren *)
+  let check_schema name s =
+    let lines = Array.of_list (String.split_on_char '\n' (ddl s)) in
+    Array.iteri
+      (fun idx line ->
+        if line = ");" && idx > 0 then
+          let prev = lines.(idx - 1) in
+          if String.length prev > 0 && prev.[String.length prev - 1] = ',' then
+            Alcotest.failf "%s: trailing comma before ); (%s)" name prev)
+      lines
+  in
+  check_schema "university" (Util.university ());
+  check_schema "lumber" (Util.lumber ());
+  check_schema "vlsi" (Schemas.Vlsi.v ())
+
+let tests =
+  [
+    test "tables emitted" tables_emitted;
+    test "declared key becomes primary key" declared_key_becomes_pk;
+    test "surrogate when no scalar key" surrogate_when_no_scalar_key;
+    test "composite key gets surrogate" composite_key_gets_surrogate;
+    test "class-table inheritance" class_table_inheritance;
+    test "1:N becomes a column" one_to_many_column;
+    test "M:N becomes a junction table" many_to_many_junction;
+    test "1:1 gets UNIQUE" one_to_one_unique;
+    test "part-of cascades" part_of_cascades;
+    test "collection attribute side table" collection_attribute_side_table;
+    test "operations are commented" operations_commented;
+    test "keyword collisions renamed" keyword_collision_renamed;
+    test "all examples translate" all_examples_translate;
+    test "no trailing commas" no_trailing_commas;
+  ]

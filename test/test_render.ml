@@ -1,0 +1,78 @@
+(* Figure renderings: deterministic text the paper's figures map onto. *)
+
+let test = Util.test
+
+let contains = Str_contains.contains
+
+let concept_of schema id =
+  Option.get (Core.Decompose.find (Core.Decompose.decompose schema) id)
+
+let figure3_wagon_wheel () =
+  let u = Util.university () in
+  let text = Core.Render.concept u (concept_of u "ww:Course_Offering") in
+  List.iter
+    (fun frag -> Alcotest.(check bool) ("has " ^ frag) true (contains text frag))
+    [
+      "wagon wheel: Course_Offering";
+      "attr  room : string<20>";
+      "described_by --> Syllabus";
+      "books --> Book [set]";
+      "(instance-of) offering_of --> Course";
+      "average_grade(string term) : float";
+    ]
+
+let figure4_generalization () =
+  let u = Util.university () in
+  let text = Core.Render.concept u (concept_of u "gh:Person") in
+  Alcotest.(check bool) "header" true
+    (contains text "generalization hierarchy: Person");
+  (* indentation encodes depth *)
+  Alcotest.(check bool) "depth one" true (contains text "\n  Student\n");
+  Alcotest.(check bool) "depth two" true (contains text "\n    Graduate\n");
+  Alcotest.(check bool) "depth three" true (contains text "\n      Doctoral\n")
+
+let figure5_aggregation () =
+  let l = Util.lumber () in
+  let text = Core.Render.concept l (concept_of l "ah:House") in
+  Alcotest.(check bool) "root" true (contains text "aggregation hierarchy: House");
+  Alcotest.(check bool) "nested part" true (contains text "\n      Tar_Paper\n")
+
+let figure6_instance_chain () =
+  let e = Util.emsl () in
+  let text = Core.Render.concept e (concept_of e "ih:Application") in
+  Alcotest.(check bool) "arrow" true (contains text "| instance-of (versions)");
+  Alcotest.(check bool) "chain tail" true (contains text "Installed_Version")
+
+let object_type_graph () =
+  let text = Core.Render.object_type_graph (Schemas.Genome.acedb_v ()) in
+  Alcotest.(check bool) "schema name" true (contains text "object types of ACEDB");
+  Alcotest.(check bool) "links listed" true (contains text "loci --> Locus [set]")
+
+let summary_line () =
+  let text = Core.Render.summary (Util.university ()) in
+  Alcotest.(check bool) "counts present" true
+    (contains text "15 object types")
+
+let incoming_spokes () =
+  let u = Util.university () in
+  let text = Core.Render.concept u (concept_of u "ww:Syllabus") in
+  Alcotest.(check bool) "incoming spoke shown" true
+    (contains text "<-- Course_Offering.described_by")
+
+let rendering_is_deterministic () =
+  let u = Util.university () in
+  let c = concept_of u "ww:Course_Offering" in
+  Alcotest.(check string) "stable" (Core.Render.concept u c)
+    (Core.Render.concept u c)
+
+let tests =
+  [
+    test "figure 3: wagon wheel" figure3_wagon_wheel;
+    test "figure 4: generalization" figure4_generalization;
+    test "figure 5: aggregation" figure5_aggregation;
+    test "figure 6: instance chain" figure6_instance_chain;
+    test "figures 9-11: object type graph" object_type_graph;
+    test "summary line" summary_line;
+    test "incoming spokes" incoming_spokes;
+    test "rendering is deterministic" rendering_is_deterministic;
+  ]

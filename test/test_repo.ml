@@ -1,0 +1,128 @@
+(* The multi-variant repository. *)
+
+module Repo = Repository.Repo
+
+let test = Util.test
+
+let with_repo schema f =
+  let dir = Filename.temp_file "swsd_repo" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () ->
+      match Repo.init dir schema with
+      | Ok repo -> f dir repo
+      | Error m -> Alcotest.fail m)
+
+let init_rejects_invalid () =
+  let dir = Filename.temp_file "swsd_repo" "" in
+  Sys.remove dir;
+  match Repo.init dir (Util.parse "interface A : Ghost { };") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid shrink wrap schema must be rejected"
+
+let init_and_reopen () =
+  with_repo (Util.university ()) (fun dir _repo ->
+      let reopened = Repo.open_dir dir in
+      Alcotest.check Util.schema_testable "schema survives"
+        (Util.university ())
+        (Repo.shrink_wrap reopened))
+
+let open_missing () =
+  match Repo.open_dir "/nonexistent/definitely/not" with
+  | exception Repo.Bad_repo _ -> ()
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "should not open"
+
+let variant_lifecycle () =
+  with_repo (Util.university ()) (fun _dir repo ->
+      Alcotest.(check (list string)) "empty" [] (Repo.variant_names repo);
+      let session =
+        match Repo.create_variant repo "night_school" with
+        | Ok s -> s
+        | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check (list string)) "listed" [ "night_school" ]
+        (Repo.variant_names repo);
+      (* duplicate and invalid names rejected *)
+      Alcotest.(check bool) "duplicate rejected" true
+        (Result.is_error (Repo.create_variant repo "night_school"));
+      Alcotest.(check bool) "bad name rejected" true
+        (Result.is_error (Repo.create_variant repo "not a name"));
+      (* customize and save *)
+      let session, _ =
+        Util.apply_ok session "delete_type_definition(Time_Slot)"
+      in
+      (match Repo.save_variant repo "night_school" session with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      match Repo.open_variant repo "night_school" with
+      | Ok loaded ->
+          Alcotest.(check bool) "customization survived" false
+            (Odl.Schema.mem_interface (Core.Session.workspace loaded) "Time_Slot")
+      | Error e -> Alcotest.fail (Core.Apply.error_to_string e))
+
+let open_unknown_variant () =
+  with_repo (Util.emsl ()) (fun _dir repo ->
+      match Repo.open_variant repo "ghost" with
+      | Error (Core.Apply.Unknown _) -> ()
+      | _ -> Alcotest.fail "unknown variant must be Unknown")
+
+let two_variants_interop () =
+  with_repo (Util.university ()) (fun _dir repo ->
+      let a = Result.get_ok (Repo.create_variant repo "campus") in
+      let a, _ = Util.apply_ok a "delete_type_definition(Book)" in
+      ignore (Repo.save_variant repo "campus" a);
+      let b = Result.get_ok (Repo.create_variant repo "online") in
+      let b, _ = Util.apply_ok b "delete_type_definition(Time_Slot)" in
+      let b, _ = Util.apply_ok b "delete_attribute(Course_Offering, room)" in
+      ignore (Repo.save_variant repo "online" b);
+      match Repo.interop repo "campus" "online" with
+      | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
+      | Ok r ->
+          let names =
+            List.map (fun i -> i.Odl.Types.i_name) r.r_interchange.s_interfaces
+          in
+          Alcotest.(check bool) "Book out" false (List.mem "Book" names);
+          Alcotest.(check bool) "Time_Slot out" false (List.mem "Time_Slot" names);
+          Alcotest.(check bool) "Person in" true (List.mem "Person" names);
+          Util.check_valid "interchange" r.r_interchange;
+          match Repo.interop_report repo "campus" "online" with
+          | Ok text ->
+              Alcotest.(check bool) "report names variants" true
+                (Str_contains.contains text "campus <-> online")
+          | Error e -> Alcotest.fail (Core.Apply.error_to_string e))
+
+let catalog_and_affinity () =
+  with_repo (Util.emsl ()) (fun _dir repo ->
+      let a = Result.get_ok (Repo.create_variant repo "site1") in
+      let a, _ = Util.apply_ok a "delete_type_definition(Machine)" in
+      ignore (Repo.save_variant repo "site1" a);
+      ignore (Repo.create_variant repo "site2");
+      let catalog = Repo.catalog repo in
+      Alcotest.(check bool) "both listed" true
+        (Str_contains.contains catalog "site1"
+        && Str_contains.contains catalog "site2");
+      Alcotest.(check bool) "mapping summary present" true
+        (Str_contains.contains catalog "deleted");
+      let matrix = Repo.affinity_matrix repo in
+      Alcotest.(check bool) "matrix has diagonal" true
+        (Str_contains.contains matrix "1.000"))
+
+let tests =
+  [
+    test "init rejects invalid shrink wrap" init_rejects_invalid;
+    test "init and reopen" init_and_reopen;
+    test "open missing repository" open_missing;
+    test "variant lifecycle" variant_lifecycle;
+    test "open unknown variant" open_unknown_variant;
+    test "two variants interoperate" two_variants_interop;
+    test "catalog and affinity" catalog_and_affinity;
+  ]

@@ -1,0 +1,117 @@
+module Store = Repository.Store
+
+let test = Util.test
+
+let tmp_dir () =
+  let f = Filename.temp_file "swsd_test" "" in
+  Sys.remove f;
+  f
+
+let with_repo f =
+  let dir = tmp_dir () in
+  let repo = Store.open_dir dir in
+  Fun.protect
+    ~finally:(fun () ->
+      (* best-effort cleanup *)
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+      in
+      if Sys.file_exists dir then rm dir)
+    (fun () -> f repo)
+
+let schema_roundtrip () =
+  with_repo (fun repo ->
+      Store.save_shrinkwrap repo (Util.university ());
+      Alcotest.check Util.schema_testable "round trip" (Util.university ())
+        (Store.load_shrinkwrap repo))
+
+let log_roundtrip () =
+  let steps =
+    [
+      (Core.Concept.Wagon_wheel, Util.parse_op "add_type_definition(Lab)");
+      (Core.Concept.Generalization, Util.parse_op "add_supertype(Lab, Person)");
+      (Core.Concept.Aggregation,
+       Util.parse_op "add_part_of_relationship(A, set<B>, parts, whole)");
+      (Core.Concept.Instance_chain,
+       Util.parse_op "delete_instance_of_relationship(A, insts)");
+    ]
+  in
+  let text = Store.log_to_string steps in
+  let back = Store.log_of_string text in
+  Alcotest.(check int) "same length" (List.length steps) (List.length back);
+  List.iter2
+    (fun (k1, o1) (k2, o2) ->
+      Alcotest.(check bool) "kind" true (k1 = k2);
+      Alcotest.check Util.op_testable "op" o1 o2)
+    steps back
+
+let log_comments_and_blanks () =
+  let parsed =
+    Store.log_of_string
+      "// a comment\n\n@ww add_type_definition(A);\n   \n// more\n@gh add_supertype(A, B);"
+  in
+  Alcotest.(check int) "two ops" 2 (List.length parsed)
+
+let bad_logs () =
+  let expect_bad text =
+    match Store.log_of_string text with
+    | exception Store.Bad_log _ -> ()
+    | _ -> Alcotest.failf "should be rejected: %s" text
+  in
+  expect_bad "@zz add_type_definition(A);";
+  expect_bad "@ww";
+  expect_bad "@ww frobnicate(A);"
+
+let session_roundtrip () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.university ()) in
+      let s =
+        Util.apply_many s
+          [ "add_type_definition(Lab)"; "delete_type_definition(Book)" ]
+      in
+      Store.save_session repo s;
+      match Store.load_session repo with
+      | Ok loaded ->
+          Alcotest.check Util.schema_testable "workspace restored"
+            (Core.Session.workspace s) (Core.Session.workspace loaded);
+          Alcotest.(check int) "log restored" 2
+            (List.length (Core.Session.log loaded))
+      | Error e -> Alcotest.failf "load failed: %s" (Core.Apply.error_to_string e))
+
+let reports_written () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.university ()) in
+      Store.save_session repo s;
+      List.iter
+        (fun name ->
+          let path = Filename.concat (Store.reports_dir repo) (name ^ ".txt") in
+          Alcotest.(check bool) (name ^ " written") true (Sys.file_exists path))
+        [ "impact"; "consistency"; "mapping" ])
+
+let custom_written_and_parsable () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.emsl ()) in
+      let s, _ = Util.apply_ok s "add_type_definition(Extra)" in
+      Store.save_session repo s;
+      let custom = Store.load_custom repo in
+      Alcotest.(check bool) "custom has the addition" true
+        (Odl.Schema.mem_interface custom "Extra"))
+
+let empty_log_on_fresh_repo () =
+  with_repo (fun repo -> Alcotest.(check int) "no log" 0 (List.length (Store.load_log repo)))
+
+let tests =
+  [
+    test "schema round trip" schema_roundtrip;
+    test "log round trip" log_roundtrip;
+    test "log comments and blanks" log_comments_and_blanks;
+    test "bad logs rejected" bad_logs;
+    test "session round trip" session_roundtrip;
+    test "reports written" reports_written;
+    test "custom schema written and parsable" custom_written_and_parsable;
+    test "empty log on fresh repo" empty_log_on_fresh_repo;
+  ]

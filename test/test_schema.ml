@@ -1,0 +1,140 @@
+module Schema = Odl.Schema
+
+let test = Util.test
+
+let u = Util.university
+
+let lookups () =
+  let s = u () in
+  Alcotest.(check bool) "find present" true
+    (Option.is_some (Schema.find_interface s "Person"));
+  Alcotest.(check bool) "find absent" true
+    (Option.is_none (Schema.find_interface s "Nope"));
+  Alcotest.check_raises "get absent" (Schema.Unknown_interface "Nope") (fun () ->
+      ignore (Schema.get_interface s "Nope"))
+
+let member_lookups () =
+  let s = u () in
+  let student = Schema.get_interface s "Student" in
+  Alcotest.(check bool) "attr" true (Schema.has_attr student "gpa");
+  Alcotest.(check bool) "no attr" false (Schema.has_attr student "name");
+  Alcotest.(check bool) "rel" true (Schema.has_rel student "takes");
+  Alcotest.(check bool) "op" true (Schema.has_op student "in_good_standing")
+
+let updates () =
+  let s = u () in
+  let s' =
+    Schema.update_interface s "Person" (fun i ->
+        { i with i_extent = Some "persons" })
+  in
+  Alcotest.(check (option string)) "updated" (Some "persons")
+    (Schema.get_interface s' "Person").i_extent;
+  Alcotest.(check (option string)) "original untouched" (Some "people")
+    (Schema.get_interface s "Person").i_extent;
+  Alcotest.check_raises "update absent" (Schema.Unknown_interface "Nope")
+    (fun () -> ignore (Schema.update_interface s "Nope" Fun.id))
+
+let add_remove () =
+  let s = u () in
+  let s' = Schema.add_interface s (Odl.Types.empty_interface "Fresh") in
+  Alcotest.(check bool) "added" true (Schema.mem_interface s' "Fresh");
+  let s'' = Schema.remove_interface s' "Fresh" in
+  Alcotest.(check bool) "removed" false (Schema.mem_interface s'' "Fresh")
+
+let hierarchy () =
+  let s = u () in
+  Alcotest.(check (list string)) "direct supers" [ "Student" ]
+    (Schema.direct_supertypes s "Graduate");
+  Alcotest.(check (list string)) "direct subs"
+    [ "Nonthesis_Masters"; "Thesis_Masters"; "Doctoral" ]
+    (Schema.direct_subtypes s "Graduate");
+  Alcotest.(check (list string)) "ancestors" [ "Student"; "Person" ]
+    (Schema.ancestors s "Graduate");
+  Alcotest.(check bool) "descendants include leaf" true
+    (List.mem "Doctoral" (Schema.descendants s "Person"));
+  Alcotest.(check bool) "roots" true (List.mem "Person" (Schema.isa_roots s));
+  Alcotest.(check bool) "subtype not root" false
+    (List.mem "Student" (Schema.isa_roots s))
+
+let isa_line () =
+  let s = u () in
+  let check a b expected =
+    Alcotest.(check bool)
+      (a ^ "/" ^ b) expected (Schema.same_isa_line s a b)
+  in
+  check "Person" "Doctoral" true;
+  check "Doctoral" "Person" true;
+  check "Person" "Person" true;
+  check "Undergraduate" "Graduate" false;
+  check "Employee" "Student" false;
+  check "Faculty" "Person" true
+
+let visibility () =
+  let s = u () in
+  let names l = List.map (fun a -> a.Odl.Types.attr_name) l in
+  let visible = names (Schema.visible_attrs s "Doctoral") in
+  Alcotest.(check bool) "inherits name" true (List.mem "name" visible);
+  Alcotest.(check bool) "inherits gpa" true (List.mem "gpa" visible);
+  Alcotest.(check bool) "own attr" true (List.mem "dissertation_title" visible);
+  Alcotest.(check bool) "not sibling's" false
+    (List.mem "class_year" visible);
+  let rels = Schema.visible_rels s "Faculty" in
+  Alcotest.(check bool) "inherited rel" true
+    (List.exists (fun r -> r.Odl.Types.rel_name = "works_in_a") rels)
+
+let shadowing () =
+  let s =
+    Util.parse
+      "interface A { attribute int x; }; interface B : A { attribute float x; \
+       };"
+  in
+  let visible = Schema.visible_attrs s "B" in
+  Alcotest.(check int) "one x" 1
+    (List.length (List.filter (fun a -> a.Odl.Types.attr_name = "x") visible));
+  let x = List.find (fun a -> a.Odl.Types.attr_name = "x") visible in
+  Alcotest.(check bool) "subtype wins" true (x.attr_type = Odl.Types.D_float)
+
+let targeting_and_inverse () =
+  let s = u () in
+  let incoming = Schema.relationships_targeting s "Course_Offering" in
+  Alcotest.(check bool) "takes targets offerings" true
+    (List.exists (fun (_, r) -> r.Odl.Types.rel_name = "takes") incoming);
+  let co = Schema.get_interface s "Course_Offering" in
+  let books = Option.get (Schema.find_rel co "books") in
+  match Schema.inverse_of s books with
+  | Some (owner, inv) ->
+      Alcotest.(check string) "inverse owner" "Book" owner.i_name;
+      Alcotest.(check string) "inverse path" "book_for" inv.rel_name
+  | None -> Alcotest.fail "inverse should resolve"
+
+let counting () =
+  let s = u () in
+  let a, r, o = Schema.count_constructs s in
+  Alcotest.(check bool) "attrs" true (a > 20);
+  Alcotest.(check bool) "rels" true (r > 15);
+  Alcotest.(check bool) "ops" true (o > 3);
+  Alcotest.(check int) "size is the sum" (List.length s.s_interfaces + a + r + o)
+    (Schema.size s)
+
+let cycle_safety () =
+  (* deliberately cyclic ISA graph: the traversals must terminate *)
+  let s = Util.parse "interface A : B { }; interface B : A { };" in
+  Alcotest.(check bool) "ancestors terminate" true
+    (List.length (Schema.ancestors s "A") <= 2);
+  Alcotest.(check bool) "descendants terminate" true
+    (List.length (Schema.descendants s "A") <= 2)
+
+let tests =
+  [
+    test "interface lookups" lookups;
+    test "member lookups" member_lookups;
+    test "functional updates" updates;
+    test "add and remove" add_remove;
+    test "hierarchy queries" hierarchy;
+    test "same ISA line" isa_line;
+    test "visibility with inheritance" visibility;
+    test "attribute shadowing" shadowing;
+    test "targeting and inverse" targeting_and_inverse;
+    test "construct counting" counting;
+    test "cycle safety" cycle_safety;
+  ]

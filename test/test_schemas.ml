@@ -1,0 +1,134 @@
+(* The bundled shrink wrap schemas and the synthetic generator. *)
+
+let test = Util.test
+
+let all_bundled () =
+  [
+    ("university", Util.university ());
+    ("lumber", Util.lumber ());
+    ("emsl", Util.emsl ());
+    ("acedb", Schemas.Genome.acedb_v ());
+    ("aatdb", Schemas.Genome.aatdb_v ());
+    ("sacchdb", Schemas.Genome.sacchdb_v ());
+    ("vlsi", Schemas.Vlsi.v ());
+    ("commerce", Schemas.Commerce.v ());
+  ]
+
+let bundled_valid () =
+  List.iter (fun (name, s) -> Util.check_valid name s) (all_bundled ())
+
+let bundled_warning_free () =
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check int) (name ^ " warnings") 0
+        (List.length (Odl.Validate.warnings s)))
+    (all_bundled ())
+
+let university_shape () =
+  let u = Util.university () in
+  Alcotest.(check int) "types" 15 (List.length u.s_interfaces);
+  Alcotest.(check bool) "has instance-of" true
+    (Core.Decompose.instance_heads u = [ "Course" ])
+
+let genome_commonality () =
+  let common = Schemas.Genome.common_object_types () in
+  Alcotest.(check int) "ten shared types" 10 (List.length common);
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " shared") true (List.mem n common))
+    [ "Map"; "Locus"; "Clone"; "Paper" ];
+  (* the carrier differs between disciplines *)
+  Alcotest.(check bool) "Strain not common" false (List.mem "Strain" common);
+  Alcotest.(check bool) "Phenotype not common" false (List.mem "Phenotype" common)
+
+let genome_carriers () =
+  Alcotest.(check bool) "ACEDB has Strain" true
+    (Odl.Schema.mem_interface (Schemas.Genome.acedb_v ()) "Strain");
+  Alcotest.(check bool) "AAtDB has Phenotype" true
+    (Odl.Schema.mem_interface (Schemas.Genome.aatdb_v ()) "Phenotype");
+  Alcotest.(check bool) "SacchDB has Gene_Product" true
+    (Odl.Schema.mem_interface (Schemas.Genome.sacchdb_v ()) "Gene_Product")
+
+let vlsi_shape () =
+  let s = Schemas.Vlsi.v () in
+  let kinds k =
+    Core.Decompose.decompose s
+    |> List.filter (fun c -> c.Core.Concept.c_kind = k)
+    |> List.map (fun c -> c.Core.Concept.c_focus)
+  in
+  Alcotest.(check (list string)) "one gen hierarchy" [ "Design_Object" ]
+    (kinds Core.Concept.Generalization);
+  Alcotest.(check (list string)) "parts explosion from Chip" [ "Chip" ]
+    (kinds Core.Concept.Aggregation);
+  Alcotest.(check (list string)) "instance chain from Cell" [ "Cell" ]
+    (kinds Core.Concept.Instance_chain);
+  (* the chain runs three levels deep: Cell -> Cell_Version -> Cell_Placement *)
+  let ih =
+    Option.get (Core.Decompose.find (Core.Decompose.decompose s) "ih:Cell")
+  in
+  Alcotest.(check bool) "placements are on the chain" true
+    (Core.Concept.mem_type ih "Cell_Placement")
+
+let commerce_shape () =
+  let s = Schemas.Commerce.v () in
+  Alcotest.(check (list string)) "order parts explosion" [ "Sales_Order" ]
+    (Core.Decompose.aggregation_roots s);
+  Alcotest.(check (list string)) "catalog instance chain" [ "Product" ]
+    (Core.Decompose.instance_heads s);
+  Alcotest.(check bool) "party hierarchy present" true
+    (List.mem "Customer" (Odl.Schema.descendants s "Party"))
+
+let synth_valid_sizes () =
+  List.iter
+    (fun n ->
+      let s = Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:n) in
+      Util.check_valid (Printf.sprintf "synth %d" n) s;
+      Alcotest.(check int)
+        (Printf.sprintf "synth %d size" n)
+        n
+        (List.length s.s_interfaces))
+    [ 1; 2; 10; 64; 200 ]
+
+let synth_deterministic () =
+  let p = Schemas.Synth.default_params ~n_types:30 in
+  Alcotest.check Util.schema_testable "same seed, same schema"
+    (Schemas.Synth.generate p) (Schemas.Synth.generate p)
+
+let synth_seed_sensitivity () =
+  let p = Schemas.Synth.default_params ~n_types:30 in
+  let a = Schemas.Synth.generate p in
+  let b = Schemas.Synth.generate { p with seed = 7 } in
+  Alcotest.(check bool) "different seed, different schema" false
+    (Core.Recompose.equal_content a b)
+
+let synth_valid_across_seeds () =
+  List.iter
+    (fun seed ->
+      let p = { (Schemas.Synth.default_params ~n_types:40) with seed } in
+      Util.check_valid (Printf.sprintf "seed %d" seed) (Schemas.Synth.generate p))
+    [ 0; 1; 2; 3; 99; 1234 ]
+
+let synth_has_all_hierarchies () =
+  let p = Schemas.Synth.default_params ~n_types:40 in
+  let s = Schemas.Synth.generate p in
+  let kinds =
+    Core.Decompose.decompose s
+    |> List.map (fun c -> c.Core.Concept.c_kind)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "all four concept kinds" 4 (List.length kinds)
+
+let tests =
+  [
+    test "bundled schemas are valid" bundled_valid;
+    test "bundled schemas are warning-free" bundled_warning_free;
+    test "university shape" university_shape;
+    test "genome family commonality" genome_commonality;
+    test "genome family carriers" genome_carriers;
+    test "vlsi schema shape" vlsi_shape;
+    test "commerce schema shape" commerce_shape;
+    test "synthetic schemas valid at all sizes" synth_valid_sizes;
+    test "synthetic generation is deterministic" synth_deterministic;
+    test "synthetic generation varies by seed" synth_seed_sensitivity;
+    test "synthetic valid across seeds" synth_valid_across_seeds;
+    test "synthetic exercises all concept kinds" synth_has_all_hierarchies;
+  ]

@@ -1,0 +1,129 @@
+(* Object store persistence. *)
+
+open Objects
+
+let test = Util.test
+
+let ok = function Ok v -> v | Error m -> Alcotest.failf "should succeed: %s" m
+
+let sample () =
+  let s = Store.create (Util.university ()) in
+  let s, dept = ok (Store.new_object s "Department") in
+  let s = ok (Store.set_attr s dept "dept_name" (Value.V_string "CSE")) in
+  let s = ok (Store.set_attr s dept "budget" (Value.V_float 1.5e6)) in
+  let s, fac = ok (Store.new_object s "Faculty") in
+  (* name is string<60>: room for escapes worth testing *)
+  let s = ok (Store.set_attr s fac "name" (Value.V_string "with \"quotes\"\nand newline")) in
+  let s = ok (Store.set_attr s fac "ssn" (Value.V_string "111-22-3333")) in
+  let s = ok (Store.link s fac "works_in_a" dept) in
+  s
+
+let store_equal a b =
+  let norm (o : Store.obj) =
+    {
+      o with
+      o_attrs = List.sort compare o.o_attrs;
+      o_links =
+        List.sort compare (List.filter (fun (_, ts) -> ts <> []) o.o_links);
+    }
+  in
+  List.map norm (Store.objects a) = List.map norm (Store.objects b)
+
+let roundtrip () =
+  let s = sample () in
+  let text = Serial.to_string s in
+  let back = Serial.of_string (Util.university ()) text in
+  Alcotest.(check bool) "round trips" true (store_equal s back);
+  Alcotest.(check bool) "reparse is consistent" true (Check.is_consistent back)
+
+let value_forms_roundtrip () =
+  let schema =
+    Util.parse
+      {|interface A {
+          attribute int i; attribute float f; attribute boolean b;
+          attribute char c; attribute string s;
+          attribute set<int> si; attribute list<string> ls;
+        };|}
+  in
+  let s = Store.create schema in
+  let s, a = ok (Store.new_object s "A") in
+  let s = ok (Store.set_attr s a "i" (Value.V_int (-42))) in
+  let s = ok (Store.set_attr s a "f" (Value.V_float 3.25)) in
+  let s = ok (Store.set_attr s a "b" (Value.V_bool true)) in
+  let s = ok (Store.set_attr s a "c" (Value.V_char 'x')) in
+  let s = ok (Store.set_attr s a "s" (Value.V_string "hey")) in
+  let s =
+    ok (Store.set_attr s a "si" (Value.V_coll (Odl.Types.Set, [ Value.V_int 1; Value.V_int 2 ])))
+  in
+  let s =
+    ok
+      (Store.set_attr s a "ls"
+         (Value.V_coll (Odl.Types.List, [ Value.V_string "a"; Value.V_string "b" ])))
+  in
+  let back = Serial.of_string schema (Serial.to_string s) in
+  Alcotest.(check bool) "all value forms survive" true (store_equal s back)
+
+let float_stays_float () =
+  (* a whole-number float must not come back as an int *)
+  let schema = Util.parse "interface A { attribute float f; };" in
+  let s = Store.create schema in
+  let s, a = ok (Store.new_object s "A") in
+  let s = ok (Store.set_attr s a "f" (Value.V_float 4.0)) in
+  let back = Serial.of_string schema (Serial.to_string s) in
+  match Store.get_attr back a "f" with
+  | Some (Value.V_float 4.0) -> ()
+  | other ->
+      Alcotest.failf "expected V_float 4.0, got %s"
+        (match other with Some v -> Value.to_string v | None -> "nothing")
+
+let comments_and_blank_lines () =
+  let schema = Util.parse "interface A { attribute int x; };" in
+  let text = "# a comment\n\nobject @3 : A {\n  x = 7;\n}\n" in
+  let s = Serial.of_string schema text in
+  Alcotest.(check int) "one object" 1 (Store.count s);
+  Alcotest.(check bool) "value read" true
+    (Store.get_attr s 3 "x" = Some (Value.V_int 7))
+
+let oids_preserved () =
+  let schema = Util.parse "interface A { attribute int x; };" in
+  let s = Serial.of_string schema "object @42 : A { x = 1; }" in
+  Alcotest.(check bool) "oid kept" true (Store.find s 42 <> None);
+  (* fresh allocations continue above the highest restored oid *)
+  let s, fresh = ok (Store.new_object s "A") in
+  ignore s;
+  Alcotest.(check bool) "fresh above" true (fresh > 42)
+
+let malformed_rejected () =
+  let schema = Util.parse "interface A { attribute int x; };" in
+  let expect_bad text =
+    match Serial.of_string schema text with
+    | exception Serial.Bad_store _ -> ()
+    | _ -> Alcotest.failf "should reject: %s" text
+  in
+  expect_bad "object A { }";
+  expect_bad "object @1 : A { x = ; }";
+  expect_bad "object @1 : A { x -> nope; }";
+  expect_bad "object @1 : A { x = \"unterminated }";
+  expect_bad "object @1 : A { x = 'toolong'; }";
+  expect_bad "garbage"
+
+let inconsistency_detectable_after_load () =
+  (* the parser restores faithfully, even dangling links; Check finds them *)
+  let schema =
+    Util.parse
+      {|interface A { relationship B b inverse B::a; };
+        interface B { relationship set<A> a inverse A::b; };|}
+  in
+  let s = Serial.of_string schema "object @1 : A { b -> @9; }" in
+  Alcotest.(check bool) "dangling detected" false (Check.is_consistent s)
+
+let tests =
+  [
+    test "round trip" roundtrip;
+    test "all value forms round trip" value_forms_roundtrip;
+    test "floats stay floats" float_stays_float;
+    test "comments and blank lines" comments_and_blank_lines;
+    test "object ids preserved" oids_preserved;
+    test "malformed input rejected" malformed_rejected;
+    test "inconsistency detectable after load" inconsistency_detectable_after_load;
+  ]

@@ -1,0 +1,79 @@
+(** Shared helpers for the test suite. *)
+
+open Odl.Types
+
+let schema_testable =
+  Alcotest.testable
+    (fun ppf s -> Fmt.string ppf (Odl.Printer.schema_to_string s))
+    Core.Recompose.equal_content
+
+let interface_testable =
+  Alcotest.testable
+    (fun ppf i -> Fmt.string ppf (Odl.Printer.interface_to_string i))
+    equal_interface
+
+let op_testable = Alcotest.testable Core.Modop.pp Core.Modop.equal
+
+let parse s = Odl.Parser.parse_schema s
+let parse_op s = Core.Op_parser.parse s
+
+let university () = Schemas.University.v ()
+let lumber () = Schemas.Lumber.v ()
+let emsl () = Schemas.Emsl.v ()
+
+let session_of schema =
+  match Core.Session.create schema with
+  | Ok s -> s
+  | Error ds ->
+      Alcotest.failf "schema should be valid: %a"
+        Fmt.(list ~sep:(any "; ") Odl.Validate.pp_diagnostic_line)
+        ds
+
+(** Apply an operation text in [kind]; fail the test on rejection. *)
+let apply_ok ?(kind = Core.Concept.Wagon_wheel) session text =
+  match Core.Session.apply session ~kind (parse_op text) with
+  | Ok (s, events) -> (s, events)
+  | Error e -> Alcotest.failf "%s should be accepted: %s" text (Core.Apply.error_to_string e)
+
+(** Expect rejection; return the error. *)
+let apply_err ?(kind = Core.Concept.Wagon_wheel) session text =
+  match Core.Session.apply session ~kind (parse_op text) with
+  | Ok _ -> Alcotest.failf "%s should be rejected" text
+  | Error e -> e
+
+let apply_many ?(kind = Core.Concept.Wagon_wheel) session texts =
+  List.fold_left (fun s text -> fst (apply_ok ~kind s text)) session texts
+
+let workspace = Core.Session.workspace
+let iface session name = Odl.Schema.get_interface (workspace session) name
+
+(** Direct apply (no session) on a schema acting as its own original. *)
+let raw_apply ?(kind = Core.Concept.Wagon_wheel) schema text =
+  Core.Apply.apply ~original:schema ~kind schema (parse_op text)
+
+let check_valid name schema =
+  match Odl.Validate.errors schema with
+  | [] -> ()
+  | ds ->
+      Alcotest.failf "%s should have no errors: %a" name
+        Fmt.(list ~sep:(any "; ") Odl.Validate.pp_diagnostic_line)
+        ds
+
+let has_error_containing schema fragment =
+  List.exists
+    (fun (d : Odl.Validate.diagnostic) ->
+      d.severity = Odl.Validate.Error
+      &&
+      let text = d.subject ^ " " ^ d.message in
+      let re = Str_contains.contains text fragment in
+      re)
+    (Odl.Validate.check schema)
+
+let has_warning_containing schema fragment =
+  List.exists
+    (fun (d : Odl.Validate.diagnostic) ->
+      d.severity = Odl.Validate.Warning
+      && Str_contains.contains (d.subject ^ " " ^ d.message) fragment)
+    (Odl.Validate.check schema)
+
+let test name f = Alcotest.test_case name `Quick f
