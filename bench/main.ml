@@ -4,11 +4,14 @@
      dune exec bench/main.exe              everything
      dune exec bench/main.exe -- --tables  tables and figures only
      dune exec bench/main.exe -- --perf    performance benches only
+     dune exec bench/main.exe -- --index   P8 only; writes BENCH_index.json
 *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let tables = args = [] || List.mem "--tables" args in
   let perf = args = [] || List.mem "--perf" args in
+  let index = List.mem "--index" args in
   if tables then Tables.all ();
-  if perf then Perf.run_and_print ()
+  if perf then Perf.run_and_print ();
+  if index then Perf.run_index ~json_path:"BENCH_index.json" ()

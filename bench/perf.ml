@@ -12,6 +12,9 @@
     - P5 custom: custom schema generation + mapping derivation
     - P6 diff: operation-log inference between two schemas
     - P7 affinity: semantic affinity between two schemas
+    - P8 index: incremental (dirty-set) consistency re-check vs a full
+      naive check, and the indexed vs naive apply engine
+    - P9 migrate: instance migration through a customization
 *)
 
 open Bechamel
@@ -91,7 +94,45 @@ let ablations_for n =
       (Staged.stage (fun () -> ignore (Core.Decompose.wagon_wheels schema)));
   ]
 
-(* P8: instance migration — a store of [3n] objects migrated through a
+(* P8: the schema index — one interface of a warm-indexed schema is
+   modified, then consistency is re-established.  check-full pays a naive
+   whole-schema check; check-incremental pays the index update plus the
+   dirty-set re-check.  apply vs apply-indexed measures the same contrast
+   through the full operation engine (constraint check + propagation). *)
+let index_checks_for n =
+  let schema = schema_of n in
+  let probe i =
+    {
+      i with
+      Odl.Types.i_attrs =
+        { Odl.Types.attr_name = "bench_ix"; attr_type = D_int; attr_size = None }
+        :: i.Odl.Types.i_attrs;
+    }
+  in
+  let updated = Odl.Schema.update_interface schema "T0" probe in
+  let warm = Core.Schema_index.build schema in
+  ignore (Core.Schema_index.diagnostics warm);
+  let op =
+    Core.Modop.Add_attribute ("T0", Odl.Types.D_string, Some 12, "bench_attr")
+  in
+  [
+    Test.make
+      ~name:(Printf.sprintf "check-full/%d" n)
+      (Staged.stage (fun () -> ignore (Odl.Validate.check updated)));
+    Test.make
+      ~name:(Printf.sprintf "check-incremental/%d" n)
+      (Staged.stage (fun () ->
+           let idx = Core.Schema_index.update_interface warm "T0" probe in
+           ignore (Core.Schema_index.diagnostics idx)));
+    Test.make
+      ~name:(Printf.sprintf "apply-indexed/%d" n)
+      (Staged.stage (fun () ->
+           ignore
+             (Core.Apply.Indexed.apply ~original:warm
+                ~kind:Core.Concept.Wagon_wheel warm op)));
+  ]
+
+(* P9: instance migration — a store of [3n] objects migrated through a
    customization that deletes one type *)
 let migration_bench n =
   let schema = schema_of n in
@@ -126,33 +167,77 @@ let tests () =
   Test.make_grouped ~name:"swsd"
     (List.concat_map staged_for sizes
     @ List.concat_map ablations_for sizes
+    @ List.concat_map index_checks_for sizes
     @ List.map migration_bench sizes)
 
-let run_and_print () =
+(* Run a bechamel test tree and return (name, ns/run) rows, sorted. *)
+let measure_rows tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
-  let raw = Benchmark.all cfg instances (tests ()) in
+  let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> est
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
-  in
-  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '-')
-    "Performance characterization (ns/run, OLS on monotonic clock)"
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let print_rows title rows =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '-') title
     (String.make 78 '-');
   Printf.printf "%-32s %16s %14s\n" "benchmark" "ns/run" "us/run";
   List.iter
     (fun (name, ns) ->
       Printf.printf "%-32s %16.0f %14.2f\n" name ns (ns /. 1_000.))
     rows
+
+let run_and_print () =
+  print_rows "Performance characterization (ns/run, OLS on monotonic clock)"
+    (measure_rows (tests ()))
+
+(* P8 baseline: incremental vs full checking, recorded as JSON so later
+   work can compare against a committed reference. *)
+let run_index ~json_path () =
+  let rows =
+    measure_rows
+      (Test.make_grouped ~name:"index" (List.concat_map index_checks_for sizes))
+  in
+  print_rows "P8: incremental vs full consistency check (ns/run)" rows;
+  let strip name =
+    (* "index/check-full/100" -> "check-full/100" *)
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let entry (name, ns) =
+    Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %.1f }" (strip name)
+      ns
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"P8 incremental vs full consistency check\",";
+        "  \"schema\": \"Schemas.Synth.default_params, sizes below\",";
+        Printf.sprintf "  \"sizes\": [%s],"
+          (String.concat ", " (List.map string_of_int sizes));
+        "  \"unit\": \"ns/run\",";
+        "  \"results\": [";
+        String.concat ",\n" (List.map entry rows);
+        "  ]";
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path

@@ -42,9 +42,17 @@ let with_schema arg f =
       1
   | Ok schema -> f schema
 
-let with_session arg f =
+(* In paranoid mode the session cross-checks every operation against the
+   naive reference engine; a divergence is an index bug, reported loudly. *)
+let guard_divergence f session =
+  try f session with
+  | Core.Session.Divergence m ->
+      prerr_endline ("engine divergence (index bug): " ^ m);
+      2
+
+let with_session ?(paranoid = false) arg f =
   with_schema arg (fun schema ->
-      match Core.Session.create schema with
+      match Core.Session.create ~paranoid schema with
       | Error ds ->
           prerr_endline "the shrink wrap schema is not valid:";
           List.iter
@@ -52,25 +60,29 @@ let with_session arg f =
               prerr_endline ("  " ^ Fmt.str "%a" Odl.Validate.pp_diagnostic_line d))
             ds;
           1
-      | Ok session -> f session)
+      | Ok session -> guard_divergence f session)
 
 let load_log path =
   try Ok (Repository.Store.log_of_string (read_file path)) with
   | Repository.Store.Bad_log m -> Error m
   | Sys_error m -> Error m
 
-let with_replayed arg log_path f =
+let with_replayed ?(paranoid = false) arg log_path f =
   with_schema arg (fun schema ->
       match load_log log_path with
       | Error m ->
           prerr_endline m;
           1
       | Ok steps -> (
-          match Core.Session.replay schema steps with
-          | Error e ->
-              prerr_endline (Core.Apply.error_to_string e);
-              1
-          | Ok session -> f session))
+          try
+            match Core.Session.replay ~paranoid schema steps with
+            | Error e ->
+                prerr_endline (Core.Apply.error_to_string e);
+                1
+            | Ok session -> guard_divergence f session
+          with Core.Session.Divergence m ->
+            prerr_endline ("engine divergence (index bug): " ^ m);
+            2))
 
 (* --- commands ------------------------------------------------------------ *)
 
@@ -93,10 +105,25 @@ let cmd_show arg concept_id =
           print_string (Core.Render.concept (Core.Session.workspace session) c);
           0)
 
-let cmd_check arg =
+let cmd_check arg paranoid =
   with_schema arg (fun schema ->
       let ds = Odl.Validate.check schema in
-      if ds = [] then begin
+      let diverged =
+        paranoid
+        &&
+        let di = Core.Schema_index.diagnostics (Core.Schema_index.build schema) in
+        if List.equal Odl.Validate.equal_diagnostic di ds then begin
+          print_endline "paranoid: indexed and naive checkers agree";
+          false
+        end
+        else begin
+          prerr_endline
+            "engine divergence (index bug): indexed and naive diagnostics differ";
+          true
+        end
+      in
+      if diverged then 2
+      else if ds = [] then begin
         print_endline "no findings";
         0
       end
@@ -107,18 +134,18 @@ let cmd_check arg =
         if Odl.Validate.errors schema = [] then 0 else 1
       end)
 
-let cmd_custom arg log_path =
-  with_replayed arg log_path (fun session ->
+let cmd_custom arg log_path paranoid =
+  with_replayed ~paranoid arg log_path (fun session ->
       print_string (Odl.Printer.schema_to_string (Core.Session.custom_schema session));
       0)
 
-let cmd_report arg log_path =
-  with_replayed arg log_path (fun session ->
+let cmd_report arg log_path paranoid =
+  with_replayed ~paranoid arg log_path (fun session ->
       print_endline (Core.Session.deliverables session);
       0)
 
-let cmd_repl arg save_dir =
-  with_session arg (fun session ->
+let cmd_repl arg save_dir paranoid =
+  with_session ~paranoid arg (fun session ->
       let rec loop state =
         if state.Designer.Engine.finished then 0
         else begin
@@ -411,6 +438,15 @@ let save_arg =
     & opt (some string) None
     & info [ "save" ] ~docv:"DIR" ~doc:"Repository directory to save on exit.")
 
+let paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "paranoid" ]
+        ~doc:
+          "Cross-check the indexed engine against the naive reference \
+           checker (full-scan oracle); abort with exit code 2 on any \
+           divergence.")
+
 let term_of f = Term.(const (fun x -> Stdlib.exit (f x)) $ schema_arg)
 
 let decompose_cmd =
@@ -426,22 +462,29 @@ let show_cmd =
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"Run the consistency checks on a schema")
-    (term_of cmd_check)
+    Term.(
+      const (fun s p -> Stdlib.exit (cmd_check s p)) $ schema_arg $ paranoid_arg)
 
 let custom_cmd =
   Cmd.v
     (Cmd.info "custom" ~doc:"Replay an operation log and print the custom schema")
-    Term.(const (fun s l -> Stdlib.exit (cmd_custom s l)) $ schema_arg $ log_arg)
+    Term.(
+      const (fun s l p -> Stdlib.exit (cmd_custom s l p))
+      $ schema_arg $ log_arg $ paranoid_arg)
 
 let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Replay an operation log and print all deliverables")
-    Term.(const (fun s l -> Stdlib.exit (cmd_report s l)) $ schema_arg $ log_arg)
+    Term.(
+      const (fun s l p -> Stdlib.exit (cmd_report s l p))
+      $ schema_arg $ log_arg $ paranoid_arg)
 
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive shrink wrap schema designer")
-    Term.(const (fun s d -> Stdlib.exit (cmd_repl s d)) $ schema_arg $ save_arg)
+    Term.(
+      const (fun s d p -> Stdlib.exit (cmd_repl s d p))
+      $ schema_arg $ save_arg $ paranoid_arg)
 
 let schema_b_arg =
   Arg.(

@@ -6,7 +6,14 @@
     the shrink wrap generalization hierarchy, acyclicity), and — after the
     primary effect and the propagation rules — the workspace has no
     error-level diagnostics.  Accepted operations therefore preserve schema
-    validity (tested by property). *)
+    validity (tested by property).
+
+    The engine is functorized over {!Schema_view.S}.  {!Naive} (re-exported
+    as the top-level [apply]/[preview]/[apply_log]) runs on plain schemas
+    and is the reference; {!Indexed} runs on {!Schema_index.t} with
+    incremental checking and propagation, and is differentially tested to
+    accept/reject identically, produce equal workspaces and equal event
+    lists, and render equal error messages. *)
 
 open Odl.Types
 
@@ -19,16 +26,58 @@ type error =
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+module Make (V : Schema_view.S) : sig
+  val apply :
+    original:V.t ->
+    kind:Concept.kind ->
+    V.t ->
+    Modop.t ->
+    (V.t * Change.event list, error) result
+  (** [apply ~original ~kind workspace op] — [original] is the shrink wrap
+      schema (the reference for semantic stability).  On success, the events
+      are the operation's impact report: the direct change first, propagated
+      consequences after. *)
+
+  val preview :
+    original:V.t ->
+    kind:Concept.kind ->
+    V.t ->
+    Modop.t ->
+    (Change.event list, error) result
+  (** Dry run: the impact report without committing. *)
+
+  val apply_log :
+    original:V.t ->
+    V.t ->
+    (Concept.kind * Modop.t) list ->
+    (V.t * Change.event list, error) result
+  (** Replay a log, stopping at the first failure. *)
+
+  (**/**)
+
+  (* Exposed for ablation benchmarking only: the primary effect of an
+     operation without permission checking, propagation, or re-validation.
+     Production callers must use [apply]. *)
+  val primary :
+    original:V.t -> V.t -> Modop.t -> (V.t * Change.event list, error) result
+end
+
+module Naive : module type of Make (Schema_view.Naive)
+
+module Indexed : module type of Make (Schema_index)
+(** The incremental engine.  Assumes the workspace it is given is
+    rule-closed (no error-level diagnostics), which {!Session} guarantees;
+    on such workspaces it is observationally equal to {!Naive}. *)
+
+(** {1 The reference engine over plain schemas} *)
+
 val apply :
   original:schema ->
   kind:Concept.kind ->
   schema ->
   Modop.t ->
   (schema * Change.event list, error) result
-(** [apply ~original ~kind workspace op] — [original] is the shrink wrap
-    schema (the reference for semantic stability).  On success, the events
-    are the operation's impact report: the direct change first, propagated
-    consequences after. *)
+(** [Naive.apply]. *)
 
 val preview :
   original:schema ->
@@ -36,20 +85,15 @@ val preview :
   schema ->
   Modop.t ->
   (Change.event list, error) result
-(** Dry run: the impact report without committing. *)
 
 val apply_log :
   original:schema ->
   schema ->
   (Concept.kind * Modop.t) list ->
   (schema * Change.event list, error) result
-(** Replay a log, stopping at the first failure. *)
 
 (**/**)
 
-(* Exposed for ablation benchmarking only: the primary effect of an
-   operation without permission checking, propagation, or re-validation.
-   Production callers must use {!apply}. *)
 val primary :
   original:Odl.Types.schema ->
   Odl.Types.schema ->

@@ -34,6 +34,24 @@ type event = {
 let direct change = { ev_change = change; ev_direct = true }
 let propagated change = { ev_change = change; ev_direct = false }
 
+(* The interfaces whose records a construct lives in. *)
+let construct_owners = function
+  | C_interface n | C_extent n | C_key (n, _) | C_attribute (n, _)
+  | C_relationship (n, _) | C_operation (n, _) ->
+      [ n ]
+  | C_supertype (sub, _) -> [ sub ]  (* the link is stored on the subtype *)
+
+(** The interfaces whose records an event list touches — the seed of the
+    dirty set for incremental re-checking and propagation.  Sorted,
+    duplicate-free; may include names of just-removed interfaces. *)
+let touched_names events =
+  events
+  |> List.concat_map (fun e ->
+         match e.ev_change with
+         | Added c | Removed c | Altered (c, _) -> construct_owners c
+         | Moved (c, dest) -> dest :: construct_owners c)
+  |> List.sort_uniq compare
+
 let construct_to_string = function
   | C_interface n -> Printf.sprintf "interface %s" n
   | C_supertype (sub, super) -> Printf.sprintf "supertype link %s : %s" sub super

@@ -2,9 +2,29 @@
 
     Guarantees (tested): at least one wagon wheel exists per object type, and
     the union of all wagon wheel projections reconstructs the original schema
-    ({!Recompose.reconstruct}). *)
+    ({!Recompose.reconstruct}).
+
+    Functorized over {!Schema_view.S}; the top-level functions below are the
+    naive instantiation, {!Indexed} the one over {!Schema_index.t}.  Both
+    backends produce identical concept lists (tested by property). *)
 
 open Odl.Types
+
+module Make (V : Schema_view.S) : sig
+  val wagon_wheel : V.t -> type_name -> Concept.t
+  val wagon_wheels : V.t -> Concept.t list
+  val generalization_hierarchy : V.t -> type_name -> Concept.t
+  val generalization_hierarchies : V.t -> Concept.t list
+  val aggregation_hierarchy : V.t -> type_name -> Concept.t
+  val aggregation_roots : V.t -> type_name list
+  val aggregation_hierarchies : V.t -> Concept.t list
+  val instance_chain : V.t -> type_name -> Concept.t
+  val instance_heads : V.t -> type_name list
+  val instance_chains : V.t -> Concept.t list
+  val decompose : V.t -> Concept.t list
+end
+
+module Indexed : module type of Make (Schema_index)
 
 val wagon_wheel : schema -> type_name -> Concept.t
 (** The wagon wheel centred on the given object type: the focal interface,

@@ -5,26 +5,34 @@
     target was deleted, keys naming an attribute that moved away, ...).
     [repair] applies the propagation rules to a fixpoint, returning the
     repaired schema together with the propagated change events — the material
-    of the impact report. *)
+    of the impact report.
+
+    The rules are written once, in {!Make}, against an abstract
+    {!Schema_view.S} backend.  Each pass computes every repair against the
+    frozen pre-pass state and only then applies the updates, so the emitted
+    event sequence is independent of the backend: the naive backend scans
+    every interface per pass, the indexed backend only the
+    [affected_by]-candidates — a sound superset of the interfaces whose
+    rules can fire, because on a rule-closed workspace a rule only fires as
+    a consequence of the change that seeded the pass. *)
 
 open Odl.Types
-module Schema = Odl.Schema
 
-let known_domain schema d =
-  match base_name d with
-  | None -> true
-  | Some n -> Schema.mem_interface schema n
+module Make (V : Schema_view.S) = struct
+  let known_domain v d =
+    match base_name d with
+    | None -> true
+    | Some n -> V.mem_interface v n
 
-(* One pass of every rule; returns the new schema and this pass's events. *)
-let pass schema =
-  let events = ref [] in
-  let note ch = events := Change.propagated ch :: !events in
-  let repair_interface i =
+  (* One interface's repairs against the frozen pre-pass state [v]; events
+     are noted in rule order (the order the naive implementation emitted
+     them in). *)
+  let repair_interface v note i =
     (* rule 1: drop supertype references to missing interfaces *)
     let supertypes =
       List.filter
         (fun s ->
-          let ok = Schema.mem_interface schema s in
+          let ok = V.mem_interface v s in
           if not ok then note (Change.Removed (Change.C_supertype (i.i_name, s)));
           ok)
         i.i_supertypes
@@ -34,9 +42,9 @@ let pass schema =
       List.filter
         (fun r ->
           let ok =
-            match Schema.find_interface schema r.rel_target with
+            match V.find_interface v r.rel_target with
             | None -> false
-            | Some target -> Schema.has_rel target r.rel_inverse
+            | Some target -> Odl.Schema.has_rel target r.rel_inverse
           in
           if not ok then
             note (Change.Removed (Change.C_relationship (i.i_name, r.rel_name)));
@@ -47,7 +55,7 @@ let pass schema =
     let attrs =
       List.filter
         (fun a ->
-          let ok = known_domain schema a.attr_type in
+          let ok = known_domain v a.attr_type in
           if not ok then
             note (Change.Removed (Change.C_attribute (i.i_name, a.attr_name)));
           ok)
@@ -58,8 +66,8 @@ let pass schema =
       List.filter
         (fun o ->
           let ok =
-            known_domain schema o.op_return
-            && List.for_all (fun a -> known_domain schema a.arg_type) o.op_args
+            known_domain v o.op_return
+            && List.for_all (fun a -> known_domain v a.arg_type) o.op_args
           in
           if not ok then
             note (Change.Removed (Change.C_operation (i.i_name, o.op_name)));
@@ -67,9 +75,9 @@ let pass schema =
         i.i_ops
     in
     (* rule 6: drop keys naming attributes no longer visible here.  Uses the
-       attribute sets of the pre-pass schema; convergence comes from
+       attribute sets of the pre-pass state; convergence comes from
        iterating to fixpoint. *)
-    let visible = Schema.visible_attrs schema i.i_name in
+    let visible = V.visible_attrs v i.i_name in
     let visible_attr n = List.exists (fun a -> String.equal a.attr_name n) visible in
     let keys =
       List.filter
@@ -86,10 +94,10 @@ let pass schema =
         (fun r ->
           if r.rel_order_by = [] then r
           else
-            match Schema.find_interface schema r.rel_target with
+            match V.find_interface v r.rel_target with
             | None -> r  (* already removed above on the next pass *)
             | Some _ ->
-                let target_attrs = Schema.visible_attrs schema r.rel_target in
+                let target_attrs = V.visible_attrs v r.rel_target in
                 let ok a =
                   List.exists (fun ta -> String.equal ta.attr_name a) target_attrs
                 in
@@ -107,16 +115,47 @@ let pass schema =
     in
     { i with i_supertypes = supertypes; i_rels = rels; i_attrs = attrs;
       i_ops = ops; i_keys = keys }
-  in
-  let s' = { schema with s_interfaces = List.map repair_interface schema.s_interfaces } in
-  (s', List.rev !events)
 
-(** Apply the propagation rules to a fixpoint. *)
+  (* One pass over [candidates] (declaration order): compute all repairs
+     against the frozen [v], then apply those that changed anything.
+     Returns the new state, this pass's events, and the changed names. *)
+  let pass v candidates =
+    let updates =
+      List.filter_map
+        (fun name ->
+          match V.find_interface v name with
+          | None -> None
+          | Some i ->
+              let evs = ref [] in
+              let note ch = evs := Change.propagated ch :: !evs in
+              let i' = repair_interface v note i in
+              if !evs = [] then None else Some (name, i', List.rev !evs))
+        candidates
+    in
+    let v' =
+      List.fold_left
+        (fun v (name, i', _) -> V.update_interface v name (fun _ -> i'))
+        v updates
+    in
+    ( v',
+      List.concat_map (fun (_, _, evs) -> evs) updates,
+      List.map (fun (name, _, _) -> name) updates )
+
+  (** Apply the propagation rules to a fixpoint, starting from the
+      interfaces that may react to a change of the [touched] ones. *)
+  let repair_from v ~touched =
+    let rec go v acc touched guard =
+      if guard = 0 then (v, acc)  (* defensive bound; rules only remove *)
+      else
+        let v', events, changed = pass v (V.affected_by v touched) in
+        if events = [] then (v, acc) else go v' (acc @ events) changed (guard - 1)
+    in
+    go v [] touched 1000
+end
+
+module Naive = Make (Schema_view.Naive)
+
+(** Apply the propagation rules to a fixpoint (over a plain schema; every
+    interface is a candidate on every pass). *)
 let repair schema =
-  let rec go schema acc guard =
-    if guard = 0 then (schema, acc)  (* defensive bound; rules only remove *)
-    else
-      let s', events = pass schema in
-      if events = [] then (schema, acc) else go s' (acc @ events) (guard - 1)
-  in
-  go schema [] 1000
+  Naive.repair_from schema ~touched:(Odl.Schema.interface_names schema)

@@ -12,7 +12,18 @@
     + order-by entries naming attributes not visible on the relationship
       target are pruned. *)
 
+module Make (V : Schema_view.S) : sig
+  val repair_from :
+    V.t -> touched:Odl.Types.type_name list -> V.t * Change.event list
+  (** Apply the propagation rules to a fixpoint, examining only interfaces
+      that may react to a change of the [touched] ones (per
+      [V.affected_by]).  On a workspace that was rule-closed before the
+      [touched] interfaces changed, this emits exactly the events a full
+      scan would, in the same order. *)
+end
+
 val repair : Odl.Types.schema -> Odl.Types.schema * Change.event list
 (** The repaired schema and the propagated change events (the material of
     the impact report).  The event list is empty iff the schema was already
-    closed under the rules. *)
+    closed under the rules.  Equivalent to [Make(Schema_view.Naive)] with
+    every interface touched. *)

@@ -1,0 +1,29 @@
+(** Indexed schema backend: map-backed name→interface lookup, reverse ISA /
+    reverse-mention adjacency, and incremental consistency checking with a
+    dirty-set diagnostics cache.
+
+    Implements {!Schema_view.S}, so the functorized engine ({!Apply.Make},
+    {!Propagate.Make}, {!Decompose.Make}) runs unchanged over it; the naive
+    backend {!Schema_view.Naive} is the reference oracle it is
+    differentially tested against.
+
+    The index is persistent: every update returns a new value and old values
+    remain usable (undo in {!Session} keeps superseded versions).  The
+    mutable fields are memoization caches only; each version owns its own,
+    so divergent versions cannot corrupt one another.
+
+    {!diagnostics} equals [Odl.Validate.check (schema t)] for {e any}
+    schema, including invalid ones.  The other queries assume interface
+    names are unique (duplicate names are an error-level diagnostic, and
+    {!Session.create} refuses such schemas). *)
+
+type t
+
+val build : Odl.Types.schema -> t
+(** Index a schema from scratch; O(size of schema).  The diagnostics cache
+    starts cold — the first {!diagnostics} call pays full-check cost. *)
+
+include Schema_view.S with type t := t
+
+val is_valid : t -> bool
+(** No error-level diagnostics (cache-served where possible). *)

@@ -5,7 +5,15 @@
     the schema under design, the operation log with recorded impacts, and —
     derived on demand — the custom schema, the consistency report, and the
     shrink-wrap → custom mapping.  Sessions are immutable values: applying
-    an operation returns a new session, and undo is structural. *)
+    an operation returns a new session, and undo is structural.
+
+    Operations run on the {e indexed} engine ({!Apply.Indexed} over
+    {!Schema_index}): per-op constraint checking and propagation touch only
+    the affected neighbourhood, and the consistency report is served from
+    the index's dirty-set cache.  The plain [workspace] schema is kept in
+    lock-step for callers that want the value.  In {e paranoid} mode every
+    operation is additionally run through the naive reference engine and
+    the two outcomes compared — a mismatch raises {!Divergence}. *)
 
 open Odl.Types
 module Validate = Odl.Validate
@@ -19,60 +27,114 @@ type step = {
 
 type t = {
   original : schema;  (** the shrink wrap schema, never modified *)
+  original_index : Schema_index.t;  (** index of [original] (stability checks) *)
   concepts : Concept.t list;  (** decomposition of [original] *)
-  workspace : schema;  (** the schema under design *)
+  workspace : schema;  (** the schema under design; equals [schema index] *)
+  index : Schema_index.t;  (** the workspace's index, updated per op *)
+  past_indexes : Schema_index.t list;
+      (** index versions before each step, newest first (parallels [log]);
+          undo restores from here in O(1) *)
   log : step list;  (** applied steps, oldest first *)
   aliases : Aliases.t;  (** local names (presentation-level renaming) *)
   future : (Concept.kind * Modop.t) list;  (** undone steps, for redo *)
+  paranoid : bool;  (** cross-check every op against the naive engine *)
 }
+
+exception Divergence of string
+
+let divergence fmt = Printf.ksprintf (fun m -> raise (Divergence m)) fmt
+
+(* Differential cross-check of one operation: the indexed outcome must match
+   the naive engine's exactly — acceptance, workspace, events, and the full
+   diagnostics list (the error messages embed the first diagnostic, so
+   diagnostic equality also pins error-message equality). *)
+let check_divergence t ~kind op indexed_outcome =
+  let naive = Apply.apply ~original:t.original ~kind t.workspace op in
+  let ctx = Fmt.str "%a" Op_printer.pp op in
+  match (indexed_outcome, naive) with
+  | Ok (idx, evs), Ok (ws, evs') ->
+      if not (equal_schema (Schema_index.schema idx) ws) then
+        divergence "%s: indexed and naive workspaces differ" ctx;
+      if not (List.equal Change.equal_event evs evs') then
+        divergence "%s: indexed and naive impact events differ" ctx;
+      if
+        not
+          (List.equal Validate.equal_diagnostic
+             (Schema_index.diagnostics idx)
+             (Validate.check ws))
+      then divergence "%s: indexed and naive diagnostics differ" ctx
+  | Error e, Error e' ->
+      if Apply.error_to_string e <> Apply.error_to_string e' then
+        divergence "%s: engines reject with different errors (%s vs %s)" ctx
+          (Apply.error_to_string e) (Apply.error_to_string e')
+  | Ok _, Error e ->
+      divergence "%s: indexed engine accepted what the naive engine rejects (%s)"
+        ctx (Apply.error_to_string e)
+  | Error e, Ok _ ->
+      divergence "%s: indexed engine rejected (%s) what the naive engine accepts"
+        ctx (Apply.error_to_string e)
 
 (** Start a session on [shrink_wrap].  The shrink wrap schema must be valid;
     otherwise its error diagnostics are returned so the designer can fix the
-    repository copy first. *)
-let create shrink_wrap =
-  match Validate.errors shrink_wrap with
+    repository copy first.  [paranoid] turns on per-operation differential
+    checking against the naive engine (see {!Divergence}). *)
+let create ?(paranoid = false) shrink_wrap =
+  let index = Schema_index.build shrink_wrap in
+  if paranoid then begin
+    let di = Schema_index.diagnostics index in
+    let dn = Validate.check shrink_wrap in
+    if not (List.equal Validate.equal_diagnostic di dn) then
+      divergence "create: indexed and naive diagnostics differ"
+  end;
+  match Schema_index.errors index with
   | [] ->
       Ok
         {
           original = shrink_wrap;
-          concepts = Decompose.decompose shrink_wrap;
+          original_index = index;
+          concepts = Decompose.Indexed.decompose index;
           workspace = shrink_wrap;
+          index;
+          past_indexes = [];
           log = [];
           aliases = Aliases.empty;
           future = [];
+          paranoid;
         }
   | errors -> Error errors
 
 let original t = t.original
 let workspace t = t.workspace
+let index t = t.index
 let concepts t = t.concepts
 let log t = t.log
 
 let find_concept t id = Decompose.find t.concepts id
 
+let indexed_apply t ~kind op =
+  let outcome = Apply.Indexed.apply ~original:t.original_index ~kind t.index op in
+  if t.paranoid then check_divergence t ~kind op outcome;
+  outcome
+
+let commit t ~kind op (index, events) ~future =
+  ( {
+      t with
+      workspace = Schema_index.schema index;
+      index;
+      past_indexes = t.index :: t.past_indexes;
+      future;
+      log =
+        t.log
+        @ [ { st_kind = kind; st_op = op; st_events = events; st_before = t.workspace } ];
+    },
+    events )
+
 (** Apply [op] in a concept schema of type [kind].  A fresh application
     clears the redo history. *)
 let apply t ~kind op =
-  match Apply.apply ~original:t.original ~kind t.workspace op with
+  match indexed_apply t ~kind op with
   | Error _ as e -> e
-  | Ok (workspace, events) ->
-      Ok
-        ( {
-            t with
-            workspace;
-            future = [];
-            log =
-              t.log
-              @ [
-                  {
-                    st_kind = kind;
-                    st_op = op;
-                    st_events = events;
-                    st_before = t.workspace;
-                  };
-                ];
-          },
-          events )
+  | Ok (index, events) -> Ok (commit t ~kind op (index, events) ~future:[])
 
 (** Apply [op] from the concept schema identified by [concept_id]; the
     operation must also mention only interfaces that concept schema covers
@@ -82,7 +144,7 @@ let apply_in t ~concept_id op =
   | None -> Error (Apply.Unknown (Printf.sprintf "concept schema %s" concept_id))
   | Some c ->
       let subj = Modop.subject op in
-      if Concept.mem_type c subj || not (Odl.Schema.mem_interface t.workspace subj)
+      if Concept.mem_type c subj || not (Schema_index.mem_interface t.index subj)
       then apply t ~kind:c.Concept.c_kind op
       else
         Error
@@ -90,18 +152,27 @@ let apply_in t ~concept_id op =
              (Printf.sprintf "%s is not part of concept schema %s" subj concept_id))
 
 (** Impact preview: what would [op] change, without committing. *)
-let preview t ~kind op = Apply.preview ~original:t.original ~kind t.workspace op
+let preview t ~kind op =
+  Apply.Indexed.preview ~original:t.original_index ~kind t.index op
 
 (** Undo the most recent step; [None] when the log is empty.  The undone
-    operation becomes redoable until the next fresh application. *)
+    operation becomes redoable until the next fresh application.  The index
+    version recorded at apply time is restored in O(1). *)
 let undo t =
   match List.rev t.log with
   | [] -> None
   | last :: rev_rest ->
+      let index, past_indexes =
+        match t.past_indexes with
+        | idx :: rest -> (idx, rest)
+        | [] -> (Schema_index.build last.st_before, [])  (* unreachable *)
+      in
       Some
         {
           t with
           workspace = last.st_before;
+          index;
+          past_indexes;
           log = List.rev rev_rest;
           future = (last.st_kind, last.st_op) :: t.future;
         }
@@ -113,26 +184,10 @@ let redo t =
   match t.future with
   | [] -> None
   | (kind, op) :: rest -> (
-      match Apply.apply ~original:t.original ~kind t.workspace op with
+      match indexed_apply t ~kind op with
       | Error _ -> None  (* unreachable by construction; be defensive *)
-      | Ok (workspace, events) ->
-          Some
-            ( {
-                t with
-                workspace;
-                future = rest;
-                log =
-                  t.log
-                  @ [
-                      {
-                        st_kind = kind;
-                        st_op = op;
-                        st_events = events;
-                        st_before = t.workspace;
-                      };
-                    ];
-              },
-              events ))
+      | Ok (index, events) ->
+          Some (commit t ~kind op (index, events) ~future:rest))
 
 let redoable t = List.length t.future
 
@@ -163,14 +218,16 @@ let aliases_report t = Aliases.report (aliases t)
 let restore_aliases t aliases = { t with aliases }
 
 (** Consistency report over the workspace (errors cannot occur — accepted
-    operations preserve validity — so this surfaces the warnings). *)
-let consistency_report t = Validate.check t.workspace
+    operations preserve validity — so this surfaces the warnings).  Served
+    from the index's diagnostics cache: only checks invalidated since the
+    last report are recomputed. *)
+let consistency_report t = Schema_index.diagnostics t.index
 
 let mapping t = Mapping.compute ~original:t.original ~custom:t.workspace
 
 (** Refresh the concept schemas against the workspace (after modifications,
     the decomposition of the workspace shows the customized concepts). *)
-let current_concepts t = Decompose.decompose t.workspace
+let current_concepts t = Decompose.Indexed.decompose t.index
 
 (* --- deliverables -------------------------------------------------------- *)
 
@@ -230,8 +287,8 @@ let log_text t =
   |> String.concat "\n"
 
 (** Replay a [(kind, op)] log on a fresh session over [shrink_wrap]. *)
-let replay shrink_wrap steps =
-  match create shrink_wrap with
+let replay ?paranoid shrink_wrap steps =
+  match create ?paranoid shrink_wrap with
   | Error ds ->
       Error
         (Apply.Violation

@@ -19,14 +19,25 @@ type step = {
 
 type t
 
-val create : schema -> (t, Odl.Validate.diagnostic list) result
+exception Divergence of string
+(** Raised in paranoid mode when the indexed engine's outcome for an
+    operation differs from the naive reference engine's — acceptance,
+    resulting workspace, impact events, or diagnostics.  Indicates a bug in
+    the index; the operation is not committed. *)
+
+val create : ?paranoid:bool -> schema -> (t, Odl.Validate.diagnostic list) result
 (** Start a session; an invalid shrink wrap schema is rejected with its
-    error diagnostics. *)
+    error diagnostics.  Operations run on the indexed engine; with
+    [~paranoid:true] (default [false]) every operation is additionally run
+    through the naive engine and compared (see {!Divergence}). *)
 
 val original : t -> schema
 (** The shrink wrap schema; never modified. *)
 
 val workspace : t -> schema
+
+val index : t -> Schema_index.t
+(** The workspace's schema index (kept in lock-step with {!workspace}). *)
 val concepts : t -> Concept.t list
 (** The decomposition of the original schema. *)
 
@@ -70,6 +81,8 @@ val restore_aliases : t -> Aliases.t -> t
 (** {1 Reports and deliverables} *)
 
 val consistency_report : t -> Odl.Validate.diagnostic list
+(** Equal to [Odl.Validate.check (workspace t)], served incrementally from
+    the index's dirty-set diagnostics cache. *)
 val consistency_report_text : t -> string
 val mapping : t -> Mapping.t
 val mapping_report : t -> string
@@ -83,5 +96,9 @@ val deliverables : t -> string
 val log_text : t -> string
 (** The operation log in the modification language. *)
 
-val replay : schema -> (Concept.kind * Modop.t) list -> (t, Apply.error) result
+val replay :
+  ?paranoid:bool ->
+  schema ->
+  (Concept.kind * Modop.t) list ->
+  (t, Apply.error) result
 (** Rebuild a session by replaying a log on a shrink wrap schema. *)

@@ -3,7 +3,14 @@
     Diagnostics carry the paper's knowledge-component classification:
     structural, hierarchy, semantic and naming categories, at error or
     warning severity.  A schema is {e valid} when it has no error-level
-    diagnostics; warnings are designer feedback. *)
+    diagnostics; warnings are designer feedback.
+
+    The checks themselves are written once, in the {!Checks} functor,
+    against an abstract {!LOOKUP} backend.  The naive backend (this module's
+    top-level [check]) resolves every lookup by scanning the interface list;
+    [Core.Schema_index] instantiates the same functor over its adjacency
+    maps, which is what makes the indexed checker's diagnostics equal to the
+    naive checker's by construction (and differentially tested). *)
 
 open Types
 
@@ -46,8 +53,6 @@ let pp_diagnostic_line ppf d =
     (category_name d.category)
     d.subject d.message
 
-(* --- naming ------------------------------------------------------------ *)
-
 let duplicates key xs =
   let seen = Hashtbl.create 16 in
   List.filter_map
@@ -60,12 +65,36 @@ let duplicates key xs =
       end)
     xs
 
-let check_naming schema =
-  let dup_ifaces =
-    duplicates (fun i -> i.i_name) schema.s_interfaces
+(* --- the abstract lookup backend ---------------------------------------- *)
+
+module type LOOKUP = sig
+  type t
+
+  val schema : t -> schema
+  val find_interface : t -> type_name -> interface option
+  val mem_interface : t -> type_name -> bool
+
+  val direct_supertypes : t -> type_name -> type_name list
+  (** Declared supertypes that exist, in declaration order. *)
+
+  val direct_subtypes : t -> type_name -> type_name list
+  (** Interfaces listing the name as a supertype, in schema declaration
+      order (check results depend on this order). *)
+
+  val ancestors : t -> type_name -> type_name list
+  val visible_attrs : t -> type_name -> attribute list
+end
+
+module Checks (L : LOOKUP) = struct
+  (* --- naming ------------------------------------------------------------ *)
+
+  (** Duplicate interface names; the only schema-global naming check. *)
+  let naming_global t =
+    duplicates (fun i -> i.i_name) (L.schema t).s_interfaces
     |> List.map (fun n -> err Naming n "duplicate interface name")
-  in
-  let per_interface i =
+
+  (** Naming checks local to one interface (no schema context needed). *)
+  let naming_interface i =
     let sub s = i.i_name ^ "." ^ s in
     let bad_ident =
       List.filter_map
@@ -91,23 +120,20 @@ let check_naming schema =
     bad_ident
     @ dup "duplicate property name (attribute/relationship)" property_names
     @ dup "duplicate operation name" (List.map (fun o -> o.op_name) i.i_ops)
-  in
-  dup_ifaces @ List.concat_map per_interface schema.s_interfaces
 
-(* --- structural --------------------------------------------------------- *)
+  (* --- structural --------------------------------------------------------- *)
 
-let check_structural schema =
-  let per_interface i =
+  let structural_interface t i =
     let sub s = i.i_name ^ "." ^ s in
     let missing_supers =
       i.i_supertypes
       |> List.filter_map (fun s ->
-             if Schema.mem_interface schema s then None
+             if L.mem_interface t s then None
              else Some (err Structural i.i_name ("unknown supertype " ^ s)))
     in
     let rel_checks r =
       let subject = sub r.rel_name in
-      match Schema.find_interface schema r.rel_target with
+      match L.find_interface t r.rel_target with
       | None -> [ err Structural subject ("unknown target type " ^ r.rel_target) ]
       | Some target -> (
           match Schema.find_rel target r.rel_inverse with
@@ -171,125 +197,128 @@ let check_structural schema =
               back @ kind @ shape)
     in
     missing_supers @ List.concat_map rel_checks i.i_rels
-  in
-  List.concat_map per_interface schema.s_interfaces
 
-(* --- hierarchy ----------------------------------------------------------- *)
+  (* --- hierarchy ----------------------------------------------------------- *)
 
-(* Cycle detection over a type-level edge relation via DFS colouring. *)
-let find_cycles next nodes =
-  let state = Hashtbl.create 16 in
-  (* 0 = in progress, 1 = done *)
-  let cycles = ref [] in
-  let rec visit n =
-    match Hashtbl.find_opt state n with
-    | Some 0 -> cycles := n :: !cycles
-    | Some _ -> ()
-    | None ->
-        Hashtbl.add state n 0;
-        List.iter visit (next n);
-        Hashtbl.replace state n 1
-  in
-  List.iter visit nodes;
-  List.sort_uniq compare !cycles
-
-(* Whole -> part edges of the aggregation graph (declared on the whole). *)
-let part_of_children schema name =
-  match Schema.find_interface schema name with
-  | None -> []
-  | Some i ->
-      i.i_rels
-      |> List.filter (fun r -> role_of_relationship r = Whole_end)
-      |> List.map (fun r -> r.rel_target)
-
-let instance_of_children schema name =
-  match Schema.find_interface schema name with
-  | None -> []
-  | Some i ->
-      i.i_rels
-      |> List.filter (fun r -> role_of_relationship r = Generic_end)
-      |> List.map (fun r -> r.rel_target)
-
-(* Connected components of the undirected ISA graph, used to flag components
-   with two or more roots (the paper's single-root assumption). *)
-let isa_components schema =
-  let nodes = Schema.interface_names schema in
-  let neighbours n =
-    Schema.direct_supertypes schema n @ Schema.direct_subtypes schema n
-  in
-  let seen = Hashtbl.create 16 in
-  let component start =
-    let rec go acc = function
-      | [] -> acc
-      | n :: rest ->
-          if Hashtbl.mem seen n then go acc rest
-          else begin
-            Hashtbl.add seen n ();
-            go (n :: acc) (neighbours n @ rest)
-          end
+  (* Cycle detection over a type-level edge relation via DFS colouring. *)
+  let find_cycles next nodes =
+    let state = Hashtbl.create 16 in
+    (* 0 = in progress, 1 = done *)
+    let cycles = ref [] in
+    let rec visit n =
+      match Hashtbl.find_opt state n with
+      | Some 0 -> cycles := n :: !cycles
+      | Some _ -> ()
+      | None ->
+          Hashtbl.add state n 0;
+          List.iter visit (next n);
+          Hashtbl.replace state n 1
     in
-    go [] [ start ]
-  in
-  List.filter_map
-    (fun n -> if Hashtbl.mem seen n then None else Some (component n))
-    nodes
+    List.iter visit nodes;
+    List.sort_uniq compare !cycles
 
-let check_hierarchy schema =
-  let nodes = Schema.interface_names schema in
-  let isa_cycles =
-    find_cycles (Schema.direct_supertypes schema) nodes
-    |> List.map (fun n -> err Hierarchy n "interface participates in an ISA cycle")
-  in
-  let part_cycles =
-    find_cycles (part_of_children schema) nodes
-    |> List.map (fun n ->
-           err Hierarchy n "interface participates in a part-of cycle")
-  in
-  let inst_cycles =
-    find_cycles (instance_of_children schema) nodes
-    |> List.map (fun n ->
-           err Hierarchy n "interface participates in an instance-of cycle")
-  in
-  let multi_root =
-    if isa_cycles <> [] then []
-    else
-      isa_components schema
-      |> List.filter_map (fun comp ->
-             match
-               List.filter (fun n -> Schema.direct_supertypes schema n = []) comp
-             with
-             | _ :: _ :: _ as roots when List.length comp > 1 ->
+  (* Whole -> part edges of the aggregation graph (declared on the whole). *)
+  let part_of_children t name =
+    match L.find_interface t name with
+    | None -> []
+    | Some i ->
+        i.i_rels
+        |> List.filter (fun r -> role_of_relationship r = Whole_end)
+        |> List.map (fun r -> r.rel_target)
+
+  let instance_of_children t name =
+    match L.find_interface t name with
+    | None -> []
+    | Some i ->
+        i.i_rels
+        |> List.filter (fun r -> role_of_relationship r = Generic_end)
+        |> List.map (fun r -> r.rel_target)
+
+  (* Connected components of the undirected ISA graph, used to flag components
+     with two or more roots (the paper's single-root assumption). *)
+  let isa_components t =
+    let nodes = Schema.interface_names (L.schema t) in
+    let neighbours n = L.direct_supertypes t n @ L.direct_subtypes t n in
+    let seen = Hashtbl.create 16 in
+    let component start =
+      let rec go acc = function
+        | [] -> acc
+        | n :: rest ->
+            if Hashtbl.mem seen n then go acc rest
+            else begin
+              Hashtbl.add seen n ();
+              go (n :: acc) (neighbours n @ rest)
+            end
+      in
+      go [] [ start ]
+    in
+    List.filter_map
+      (fun n -> if Hashtbl.mem seen n then None else Some (component n))
+      nodes
+
+  let hierarchy t =
+    let nodes = Schema.interface_names (L.schema t) in
+    let isa_cycles =
+      find_cycles (L.direct_supertypes t) nodes
+      |> List.map (fun n ->
+             err Hierarchy n "interface participates in an ISA cycle")
+    in
+    let part_cycles =
+      find_cycles (part_of_children t) nodes
+      |> List.map (fun n ->
+             err Hierarchy n "interface participates in a part-of cycle")
+    in
+    let inst_cycles =
+      find_cycles (instance_of_children t) nodes
+      |> List.map (fun n ->
+             err Hierarchy n "interface participates in an instance-of cycle")
+    in
+    let multi_root =
+      if isa_cycles <> [] then []
+      else
+        isa_components t
+        |> List.filter_map (fun comp ->
+               match
+                 List.filter (fun n -> L.direct_supertypes t n = []) comp
+               with
+               | _ :: _ :: _ as roots when List.length comp > 1 ->
+                   Some
+                     (warn Hierarchy
+                        (String.concat ", " (List.sort compare roots))
+                        "generalization hierarchy has multiple roots; consider \
+                         an abstract supertype")
+               | _ -> None)
+    in
+    let branching_chain =
+      nodes
+      |> List.filter_map (fun n ->
+             match instance_of_children t n with
+             | _ :: _ :: _ ->
                  Some
-                   (warn Hierarchy
-                      (String.concat ", " (List.sort compare roots))
-                      "generalization hierarchy has multiple roots; consider \
-                       an abstract supertype")
+                   (warn Hierarchy n
+                      "instance-of hierarchy branches at this interface \
+                       (chains are expected to be linear)")
              | _ -> None)
-  in
-  let branching_chain =
-    nodes
-    |> List.filter_map (fun n ->
-           match instance_of_children schema n with
-           | _ :: _ :: _ ->
-               Some
-                 (warn Hierarchy n
-                    "instance-of hierarchy branches at this interface \
-                     (chains are expected to be linear)")
-           | _ -> None)
-  in
-  isa_cycles @ part_cycles @ inst_cycles @ multi_root @ branching_chain
+    in
+    isa_cycles @ part_cycles @ inst_cycles @ multi_root @ branching_chain
 
-(* --- semantic ------------------------------------------------------------ *)
+  (* --- semantic ------------------------------------------------------------ *)
 
-let check_semantic schema =
-  let known_domain d =
-    match base_name d with
-    | None -> true
-    | Some n -> Schema.mem_interface schema n
-  in
-  let per_interface i =
+  (** Duplicate extent names; the only schema-global semantic check. *)
+  let semantic_global t =
+    (L.schema t).s_interfaces
+    |> List.filter_map (fun i -> i.i_extent)
+    |> duplicates Fun.id
+    |> List.map (fun e -> err Semantic e "duplicate extent name")
+
+  let semantic_interface t i =
+    let known_domain d =
+      match base_name d with
+      | None -> true
+      | Some n -> L.mem_interface t n
+    in
     let sub s = i.i_name ^ "." ^ s in
-    let visible = Schema.visible_attrs schema i.i_name in
+    let visible = L.visible_attrs t i.i_name in
     let visible_attr n = List.exists (fun a -> String.equal a.attr_name n) visible in
     let key_checks =
       i.i_keys
@@ -338,10 +367,10 @@ let check_semantic schema =
     let order_by_checks =
       i.i_rels
       |> List.concat_map (fun r ->
-             match Schema.find_interface schema r.rel_target with
+             match L.find_interface t r.rel_target with
              | None -> []  (* already a structural error *)
              | Some _ ->
-                 let target_attrs = Schema.visible_attrs schema r.rel_target in
+                 let target_attrs = L.visible_attrs t r.rel_target in
                  r.rel_order_by
                  |> List.filter_map (fun a ->
                         if
@@ -358,12 +387,12 @@ let check_semantic schema =
     in
     let override_checks =
       (* a redefinition with a different signature is legal but suspicious *)
-      let supers = Schema.ancestors schema i.i_name in
+      let supers = L.ancestors t i.i_name in
       i.i_ops
       |> List.concat_map (fun o ->
              supers
              |> List.filter_map (fun s ->
-                    match Schema.find_interface schema s with
+                    match L.find_interface t s with
                     | None -> None
                     | Some si -> (
                         match Schema.find_op si o.op_name with
@@ -380,12 +409,12 @@ let check_semantic schema =
                         | _ -> None)))
     in
     let shadow_checks =
-      let supers = Schema.ancestors schema i.i_name in
+      let supers = L.ancestors t i.i_name in
       i.i_attrs
       |> List.concat_map (fun a ->
              supers
              |> List.filter_map (fun s ->
-                    match Schema.find_interface schema s with
+                    match L.find_interface t s with
                     | None -> None
                     | Some si -> (
                         match Schema.find_attr si a.attr_name with
@@ -400,21 +429,44 @@ let check_semantic schema =
     in
     key_checks @ attr_domains @ op_domains @ order_by_checks @ override_checks
     @ shadow_checks
-  in
-  let extent_dups =
-    schema.s_interfaces
-    |> List.filter_map (fun i -> i.i_extent)
-    |> duplicates Fun.id
-    |> List.map (fun e -> err Semantic e "duplicate extent name")
-  in
-  extent_dups @ List.concat_map per_interface schema.s_interfaces
+
+  (** All diagnostics, in the canonical order: naming first (later categories
+      assume the names are at least unique), then structural, hierarchy and
+      semantic. *)
+  let check t =
+    let ifaces = (L.schema t).s_interfaces in
+    naming_global t
+    @ List.concat_map naming_interface ifaces
+    @ List.concat_map (structural_interface t) ifaces
+    @ hierarchy t @ semantic_global t
+    @ List.concat_map (semantic_interface t) ifaces
+end
+
+(* --- the naive backend: direct list scans over the schema ---------------- *)
+
+module Schema_lookup = struct
+  type t = schema
+
+  let schema s = s
+  let find_interface = Schema.find_interface
+  let mem_interface = Schema.mem_interface
+  let direct_supertypes = Schema.direct_supertypes
+  let direct_subtypes = Schema.direct_subtypes
+  let ancestors = Schema.ancestors
+  let visible_attrs = Schema.visible_attrs
+end
+
+module Naive = Checks (Schema_lookup)
 
 (** All diagnostics for [schema], naming first (later categories assume the
     names are at least unique). *)
-let check schema =
-  check_naming schema @ check_structural schema @ check_hierarchy schema
-  @ check_semantic schema
+let check schema = Naive.check schema
 
 let errors schema = List.filter (fun d -> d.severity = Error) (check schema)
 let warnings schema = List.filter (fun d -> d.severity = Warning) (check schema)
 let is_valid schema = errors schema = []
+
+(* Exposed for the decomposition algorithms. *)
+let part_of_children = Naive.part_of_children
+let instance_of_children = Naive.instance_of_children
+let isa_components = Naive.isa_components

@@ -28,6 +28,56 @@ val category_name : category -> string
 val pp_diagnostic_line : Format.formatter -> diagnostic -> unit
 (** One-line rendering: ["error [structural] A.r: unknown target type B"]. *)
 
+(** {1 The check code, abstracted over its lookup backend}
+
+    Every check is written once, against {!LOOKUP}.  The naive backend below
+    scans the interface list; [Core.Schema_index] instantiates the same
+    functor over its adjacency maps, so both checkers produce identical
+    diagnostics (same order, same messages) by construction. *)
+
+module type LOOKUP = sig
+  type t
+
+  val schema : t -> Types.schema
+  val find_interface : t -> Types.type_name -> Types.interface option
+  val mem_interface : t -> Types.type_name -> bool
+
+  val direct_supertypes : t -> Types.type_name -> Types.type_name list
+  (** Declared supertypes that exist, in declaration order. *)
+
+  val direct_subtypes : t -> Types.type_name -> Types.type_name list
+  (** Interfaces listing the name as a supertype, in schema declaration
+      order (check results depend on this order). *)
+
+  val ancestors : t -> Types.type_name -> Types.type_name list
+  val visible_attrs : t -> Types.type_name -> Types.attribute list
+end
+
+module Checks (L : LOOKUP) : sig
+  val naming_global : L.t -> diagnostic list
+  (** Duplicate interface names (the only schema-global naming check). *)
+
+  val naming_interface : Types.interface -> diagnostic list
+  (** Naming checks local to one interface; needs no schema context, so its
+      results can be cached per interface record. *)
+
+  val structural_interface : L.t -> Types.interface -> diagnostic list
+  val hierarchy : L.t -> diagnostic list
+
+  val semantic_global : L.t -> diagnostic list
+  (** Duplicate extent names (the only schema-global semantic check). *)
+
+  val semantic_interface : L.t -> Types.interface -> diagnostic list
+
+  val check : L.t -> diagnostic list
+  (** [naming_global @ naming_interface* @ structural_interface* @ hierarchy
+      @ semantic_global @ semantic_interface*], the canonical order. *)
+
+  val part_of_children : L.t -> Types.type_name -> Types.type_name list
+  val instance_of_children : L.t -> Types.type_name -> Types.type_name list
+  val isa_components : L.t -> Types.type_name list list
+end
+
 val check : Types.schema -> diagnostic list
 (** All diagnostics, naming checks first. *)
 

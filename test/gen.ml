@@ -55,6 +55,44 @@ let synth_params =
 
 let synth_schema = map Schemas.Synth.generate synth_params
 
+(** Parameters biased towards deep structure: dense part-of hierarchies and
+    long (near schema-spanning) linear instance-of chains.  The general
+    [synth_params] rarely produces more than shallow aggregation, so the
+    hierarchy-shaped concept schemas — and the index's adjacency maps for
+    part-of / instance-of edges — would otherwise go under-exercised. *)
+let synth_params_hierarchical =
+  let* n_types = int_range 4 30 in
+  let* attrs_per_type = int_range 0 3 in
+  let* ops_per_type = int_range 0 1 in
+  let* assocs_per_type = int_range 0 2 in
+  let* isa_fraction = float_bound_inclusive 0.6 in
+  let* part_edges = int_range (n_types / 2) n_types in
+  let* instance_chain_length = int_range (n_types / 2) (n_types - 1) in
+  let* seed = int_range 0 10_000 in
+  return
+    {
+      Schemas.Synth.n_types;
+      attrs_per_type;
+      ops_per_type;
+      assocs_per_type;
+      isa_fraction;
+      part_edges;
+      instance_chain_length;
+      seed;
+    }
+
+let synth_schema_hierarchical =
+  map Schemas.Synth.generate synth_params_hierarchical
+
+(** Any synthetic schema: mostly the general shape, one third with heavy
+    part-of / instance-of structure. *)
+let any_synth_schema =
+  frequency [ (2, synth_schema); (1, synth_schema_hierarchical) ]
+
+let concept_kind =
+  oneofl
+    Core.Concept.[ Wagon_wheel; Generalization; Aggregation; Instance_chain ]
+
 (* --- arbitrary operations (for parser/printer round trips) -------------- *)
 
 let name_list = list_size (int_range 0 3) ident
@@ -259,6 +297,14 @@ let plausible_op schema : Core.Modop.t t =
        return (Modify_part_of_cardinality (n, p, o, w)));
       (let* p = pick_rel_of n and* o = collection_kind and* w = collection_kind in
        return (Modify_instance_of_cardinality (n, p, o, w)));
+      (let* p = pick_rel_of n
+       and* old_l = list_size (int_range 0 1) (pick_attr_of n)
+       and* new_l = list_size (int_range 0 1) (pick_attr_of n) in
+       return (Modify_part_of_order_by (n, p, old_l, new_l)));
+      (let* p = pick_rel_of n
+       and* old_l = list_size (int_range 0 1) (pick_attr_of n)
+       and* new_l = list_size (int_range 0 1) (pick_attr_of n) in
+       return (Modify_instance_of_order_by (n, p, old_l, new_l)));
       (let* p = pick_rel_of n and* o = pick_type and* w = pick_type in
        return (Modify_part_of_target_type (n, p, o, w)));
       (let* p = pick_rel_of n and* o = pick_type and* w = pick_type in
@@ -274,3 +320,18 @@ let plausible_op schema : Core.Modop.t t =
        and* news = list_size (int_range 0 2) pick_type in
        return (Modify_supertype (n, olds, news)));
     ]
+
+(* --- operation workloads ------------------------------------------------- *)
+
+(** A sequence of up to [max_len] (concept kind, plausible op) steps against
+    [schema].  Built from [list_size] over element generators, so QCheck2
+    shrinks a failing case by dropping steps and simplifying the survivors. *)
+let op_sequence ?(max_len = 10) schema =
+  list_size (int_range 0 max_len) (pair concept_kind (plausible_op schema))
+
+(** A synthetic schema together with an operation workload against it — the
+    shared input shape of the differential and fuzz suites. *)
+let schema_and_ops =
+  let* schema = any_synth_schema in
+  let* ops = op_sequence schema in
+  return (schema, ops)

@@ -126,6 +126,20 @@ let serial_roundtrip_closure =
               Objects.Serial.to_string reparsed = text
           | exception _ -> false))
 
+(* the application engine survives arbitrary plausible workloads: no
+   exceptions, and every accepted step preserves validity *)
+let engine_survives_op_sequences =
+  prop "apply survives op sequences" ~count:200 Gen.schema_and_ops
+    (fun (schema, steps) ->
+      let rec go ws = function
+        | [] -> true
+        | (kind, op) :: rest -> (
+            match Core.Apply.apply ~original:schema ~kind ws op with
+            | Error _ -> go ws rest
+            | Ok (ws', _) -> Odl.Validate.errors ws' = [] && go ws' rest)
+      in
+      go schema steps)
+
 (* whatever parses must also print and reparse (parser output is always
    printable) *)
 let parse_print_closure =
@@ -147,6 +161,7 @@ let tests =
     log_parser_garbage;
     aliases_parser_garbage;
     engine_survives_garbage;
+    engine_survives_op_sequences;
     parse_print_closure;
     serial_parser_garbage;
     serial_parser_tokeny;

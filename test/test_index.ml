@@ -1,0 +1,165 @@
+(* Differential tests of the indexed schema core against the naive
+   reference: Schema_index's incremental checking vs Odl.Validate.check,
+   and Apply.Indexed vs the naive Apply engine.  Equality is demanded on
+   everything observable — acceptance, error messages, resulting workspace,
+   impact events, the full diagnostics list, and decompositions.
+
+   Run with QCHECK_LONG=1 (the [fuzz-long] alias) for a 10x deeper pass. *)
+
+open Odl.Types
+module Apply = Core.Apply
+module Index = Core.Schema_index
+module Validate = Odl.Validate
+
+let prop name ?(count = 500) gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~long_factor:10 gen f)
+
+let diags_equal = List.equal Validate.equal_diagnostic
+
+(* 1. a freshly built index reports exactly the naive checker's
+   diagnostics, in the same order, with the same messages *)
+let fresh_diagnostics_agree =
+  prop "fresh index diagnostics = naive check" Gen.any_synth_schema (fun s ->
+      diags_equal (Index.diagnostics (Index.build s)) (Validate.check s))
+
+(* 2. same on deliberately broken schemas: dropping a random interface
+   without repair leaves dangling supertypes, relationship targets and
+   unpaired inverses — the checkers must agree on invalid input too *)
+let broken_diagnostics_agree =
+  let gen =
+    QCheck2.Gen.(
+      let* s = Gen.any_synth_schema in
+      let* k = int_bound (max 0 (List.length s.s_interfaces - 1)) in
+      return
+        { s with s_interfaces = List.filteri (fun i _ -> i <> k) s.s_interfaces })
+  in
+  prop "broken-schema diagnostics agree" gen (fun s ->
+      diags_equal (Index.diagnostics (Index.build s)) (Validate.check s))
+
+(* 3. incremental re-check: after warming the diagnostics cache, mutate the
+   index directly (bypassing the engine's validity gate) and compare the
+   dirty-set re-check against a full naive check of the updated schema *)
+let incremental_diagnostics_agree =
+  let gen = QCheck2.Gen.(pair Gen.any_synth_schema (int_range 0 9999)) in
+  prop "incremental re-check after raw index updates" gen (fun (s, r) ->
+      let idx = Index.build s in
+      ignore (Index.diagnostics idx);
+      let names = Odl.Schema.interface_names s in
+      let victim = List.nth names (r mod List.length names) in
+      (* duplicate every attribute of the victim: naming errors appear *)
+      let dup =
+        Index.update_interface idx victim (fun i ->
+            { i with i_attrs = i.i_attrs @ i.i_attrs })
+      in
+      (* remove the victim outright: dangling references appear *)
+      let removed = Index.remove_interface idx victim in
+      diags_equal (Index.diagnostics dup) (Validate.check (Index.schema dup))
+      && diags_equal (Index.diagnostics removed)
+           (Validate.check (Index.schema removed)))
+
+(* 4. the engines agree on every step of an operation workload: both accept
+   with identical workspace, events and diagnostics, or both reject with
+   identical error messages.  Applies each accepted step and continues, so
+   later steps run against customized workspaces. *)
+let engines_agree =
+  prop "indexed engine = naive engine over op sequences" Gen.schema_and_ops
+    (fun (schema, steps) ->
+      let orig_idx = Index.build schema in
+      let rec go ws idx = function
+        | [] -> true
+        | (kind, op) :: rest -> (
+            let naive = Apply.apply ~original:schema ~kind ws op in
+            let indexed = Apply.Indexed.apply ~original:orig_idx ~kind idx op in
+            match (naive, indexed) with
+            | Error e, Error e' ->
+                Apply.error_to_string e = Apply.error_to_string e'
+                && go ws idx rest
+            | Ok (ws', evs), Ok (idx', evs') ->
+                equal_schema ws' (Index.schema idx')
+                && List.equal Core.Change.equal_event evs evs'
+                && diags_equal (Validate.check ws') (Index.diagnostics idx')
+                && go ws' idx' rest
+            | Ok _, Error _ | Error _, Ok _ -> false)
+      in
+      go schema orig_idx steps)
+
+(* 5. a paranoid session survives whole workloads (its per-op cross-check
+   raises Divergence on any disagreement), including undo/redo, and its
+   incremental consistency report equals a fresh naive check *)
+let paranoid_session_agrees =
+  prop "paranoid session never diverges" Gen.schema_and_ops
+    (fun (schema, steps) ->
+      match Core.Session.create ~paranoid:true schema with
+      | Error _ -> false (* synthetic schemas are valid *)
+      | Ok session ->
+          let s =
+            List.fold_left
+              (fun s (kind, op) ->
+                match Core.Session.apply s ~kind op with
+                | Ok (s', _) -> s'
+                | Error _ -> s)
+              session steps
+          in
+          let s = match Core.Session.undo s with Some s' -> s' | None -> s in
+          let s =
+            match Core.Session.redo s with Some (s', _) -> s' | None -> s
+          in
+          diags_equal
+            (Core.Session.consistency_report s)
+            (Validate.check (Core.Session.workspace s)))
+
+(* 6. both backends produce the identical concept-schema list, initially
+   and after every accepted operation *)
+let decompositions_agree =
+  prop "indexed decompose = naive decompose" Gen.schema_and_ops
+    (fun (schema, steps) ->
+      let agree idx =
+        List.equal Core.Concept.equal
+          (Core.Decompose.decompose (Index.schema idx))
+          (Core.Decompose.Indexed.decompose idx)
+      in
+      let orig_idx = Index.build schema in
+      let rec go idx = function
+        | [] -> true
+        | (kind, op) :: rest -> (
+            match Apply.Indexed.apply ~original:orig_idx ~kind idx op with
+            | Error _ -> go idx rest
+            | Ok (idx', _) -> agree idx' && go idx' rest)
+      in
+      agree orig_idx && go orig_idx steps)
+
+(* 7. seed schemas: the named examples and fixed-size synthetic schemas,
+   checked deterministically *)
+let seed_case name schema =
+  Alcotest.test_case name `Quick (fun () ->
+      let idx = Index.build schema in
+      Alcotest.(check bool)
+        "diagnostics agree" true
+        (diags_equal (Index.diagnostics idx) (Validate.check schema));
+      Alcotest.(check bool)
+        "decompositions agree" true
+        (List.equal Core.Concept.equal
+           (Core.Decompose.decompose schema)
+           (Core.Decompose.Indexed.decompose idx)))
+
+let seed_units =
+  seed_case "university seed" (Schemas.University.v ())
+  :: seed_case "emsl seed" (Schemas.Emsl.v ())
+  :: List.map
+       (fun n ->
+         seed_case
+           (Printf.sprintf "synthetic seed n=%d" n)
+           (Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:n)))
+       [ 10; 25; 50 ]
+
+let tests =
+  [
+    fresh_diagnostics_agree;
+    broken_diagnostics_agree;
+    incremental_diagnostics_agree;
+    engines_agree;
+    paranoid_session_agrees;
+    decompositions_agree;
+  ]
+  @ seed_units

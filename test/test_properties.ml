@@ -7,13 +7,58 @@ let prop name ?(count = count) gen f =
 
 (* 0. the synthetic generator only emits valid schemas *)
 let synth_always_valid =
-  prop "synthetic schemas are valid" Gen.synth_params (fun p ->
-      Odl.Validate.errors (Schemas.Synth.generate p) = [])
+  prop "synthetic schemas are valid"
+    QCheck2.Gen.(oneof [ Gen.synth_params; Gen.synth_params_hierarchical ])
+    (fun p -> Odl.Validate.errors (Schemas.Synth.generate p) = [])
 
 (* 1. union of all wagon wheels = the original schema *)
 let union_reconstructs =
-  prop "union of wagon wheels reconstructs" Gen.synth_schema (fun s ->
+  prop "union of wagon wheels reconstructs" Gen.any_synth_schema (fun s ->
       Core.Recompose.equal_content s (Core.Recompose.reconstruct s))
+
+(* 1b. the union invariant survives customization: after every accepted
+   operation the workspace still reconstructs from its wagon wheels *)
+let union_reconstructs_under_ops =
+  prop "union of wagon wheels reconstructs after ops" Gen.schema_and_ops
+    (fun (schema, steps) ->
+      let rec go ws = function
+        | [] -> true
+        | (kind, op) :: rest -> (
+            match Core.Apply.apply ~original:schema ~kind ws op with
+            | Error _ -> go ws rest
+            | Ok (ws', _) ->
+                Core.Recompose.equal_content ws' (Core.Recompose.reconstruct ws')
+                && go ws' rest)
+      in
+      go schema steps)
+
+(* 1c. the same invariant on the named seed schemas, before and after an
+   accepted operation *)
+let union_reconstructs_seeds =
+  Alcotest.test_case "union reconstructs on seed schemas" `Quick (fun () ->
+      List.iter
+        (fun (name, s) ->
+          let reconstructs s =
+            Core.Recompose.equal_content s (Core.Recompose.reconstruct s)
+          in
+          Alcotest.(check bool) (name ^ " reconstructs") true (reconstructs s);
+          let focus = (List.hd s.Odl.Types.s_interfaces).Odl.Types.i_name in
+          let op =
+            Core.Modop.Add_attribute (focus, Odl.Types.D_int, None, "union_probe")
+          in
+          match Core.Apply.apply ~original:s ~kind:Core.Concept.Wagon_wheel s op with
+          | Error e -> Alcotest.fail (name ^ ": " ^ Core.Apply.error_to_string e)
+          | Ok (s', _) ->
+              Alcotest.(check bool)
+                (name ^ " reconstructs after op")
+                true (reconstructs s'))
+        [
+          ("university", Schemas.University.v ());
+          ("emsl", Schemas.Emsl.v ());
+          ("synth-10", Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:10));
+          ("synth-25", Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:25));
+          ("synth-50", Schemas.Synth.generate (Schemas.Synth.default_params ~n_types:50));
+        ])
 
 (* 2. parser . printer = identity *)
 let print_parse_roundtrip =
@@ -411,6 +456,8 @@ let tests =
   [
     synth_always_valid;
     union_reconstructs;
+    union_reconstructs_under_ops;
+    union_reconstructs_seeds;
     print_parse_roundtrip;
     op_roundtrip;
     apply_preserves_validity;
