@@ -5,6 +5,7 @@
      dune exec bench/main.exe -- --tables  tables and figures only
      dune exec bench/main.exe -- --perf    performance benches only
      dune exec bench/main.exe -- --index   P8 only; writes BENCH_index.json
+     dune exec bench/main.exe -- --journal P10 only; writes BENCH_journal.json
 *)
 
 let () =
@@ -12,6 +13,8 @@ let () =
   let tables = args = [] || List.mem "--tables" args in
   let perf = args = [] || List.mem "--perf" args in
   let index = List.mem "--index" args in
+  let journal = List.mem "--journal" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
-  if index then Perf.run_index ~json_path:"BENCH_index.json" ()
+  if index then Perf.run_index ~json_path:"BENCH_index.json" ();
+  if journal then Perf.run_journal ~json_path:"BENCH_journal.json" ()

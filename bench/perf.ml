@@ -15,6 +15,9 @@
     - P8 index: incremental (dirty-set) consistency re-check vs a full
       naive check, and the indexed vs naive apply engine
     - P9 migrate: instance migration through a customization
+    - P10 journal: appending one durable record to an n-record operation
+      journal vs rewriting the whole log (the persistence cost per accepted
+      operation before and after incremental persistence)
 *)
 
 open Bechamel
@@ -203,6 +206,36 @@ let run_and_print () =
   print_rows "Performance characterization (ns/run, OLS on monotonic clock)"
     (measure_rows (tests ()))
 
+(* P10: the durable journal on the real filesystem — appending one fsync'd
+   record to a log already holding [n] records vs atomically rewriting all
+   [n].  Append should stay flat as [n] grows; the rewrite pays O(n). *)
+let journal_sizes = [ 10; 100; 1000 ]
+
+let journal_benches_for ~dirs n =
+  let io = Repository.Io.unix in
+  let op =
+    Core.Modop.Add_attribute ("T0", Odl.Types.D_string, Some 12, "bench_attr")
+  in
+  let entries =
+    List.init n (fun _ -> Repository.Journal.Op (Core.Concept.Wagon_wheel, op))
+  in
+  let dir = Filename.temp_file "swsd_bench_journal" "" in
+  Sys.remove dir;
+  Repository.Io.mkdir_p io dir;
+  dirs := dir :: !dirs;
+  let log_path = Filename.concat dir "log.ops" in
+  Repository.Journal.rewrite io log_path entries;
+  [
+    Test.make
+      ~name:(Printf.sprintf "append/%d" n)
+      (Staged.stage (fun () ->
+           Repository.Journal.append io log_path
+             (Repository.Journal.Op (Core.Concept.Wagon_wheel, op))));
+    Test.make
+      ~name:(Printf.sprintf "rewrite/%d" n)
+      (Staged.stage (fun () -> Repository.Journal.rewrite io log_path entries));
+  ]
+
 (* P8 baseline: incremental vs full checking, recorded as JSON so later
    work can compare against a committed reference. *)
 let run_index ~json_path () =
@@ -229,6 +262,52 @@ let run_index ~json_path () =
         "  \"schema\": \"Schemas.Synth.default_params, sizes below\",";
         Printf.sprintf "  \"sizes\": [%s],"
           (String.concat ", " (List.map string_of_int sizes));
+        "  \"unit\": \"ns/run\",";
+        "  \"results\": [";
+        String.concat ",\n" (List.map entry rows);
+        "  ]";
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path
+
+(* P10 baseline: journal append vs whole-log rewrite, recorded as JSON so
+   the O(1)-ish append per accepted operation stays an auditable claim. *)
+let run_journal ~json_path () =
+  let dirs = ref [] in
+  let rows =
+    measure_rows
+      (Test.make_grouped ~name:"journal"
+         (List.concat_map (journal_benches_for ~dirs) journal_sizes))
+  in
+  List.iter
+    (fun d ->
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Sys.rmdir d)
+    !dirs;
+  print_rows "P10: journal append vs whole-log rewrite (ns/run)" rows;
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  let entry (name, ns) =
+    Printf.sprintf "    { \"name\": \"%s\", \"ns_per_run\": %.1f }" (strip name)
+      ns
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"P10 journal append vs whole-log rewrite\",";
+        "  \"setup\": \"one fsync'd append to an n-record log vs an atomic \
+         rewrite of all n records, real filesystem\",";
+        Printf.sprintf "  \"sizes\": [%s],"
+          (String.concat ", " (List.map string_of_int journal_sizes));
         "  \"unit\": \"ns/run\",";
         "  \"results\": [";
         String.concat ",\n" (List.map entry rows);

@@ -146,12 +146,23 @@ let cmd_report arg log_path paranoid =
 
 let cmd_repl arg save_dir paranoid =
   with_session ~paranoid arg (fun session ->
+      (* With --save the session is persisted up front and then journalled
+         incrementally: one durable record per accepted operation, so a
+         crash loses at most the operation in flight. *)
+      let repo =
+        Option.map
+          (fun dir ->
+            let repo = Repository.Store.open_dir dir in
+            Repository.Store.save_session repo session;
+            repo)
+          save_dir
+      in
       let rec loop state =
-        if state.Designer.Engine.finished then 0
+        if state.Designer.Engine.finished then state
         else begin
           print_string "swsd> ";
           match In_channel.input_line stdin with
-          | None -> 0
+          | None -> state
           | Some line ->
               if String.trim line = "" then loop state
               else begin
@@ -163,14 +174,16 @@ let cmd_repl arg save_dir paranoid =
               end
         end
       in
-      let state = Designer.Engine.start session in
+      let state = Designer.Engine.start ?repo session in
       print_endline "shrink wrap schema designer; 'help' lists commands";
-      let code = loop state in
-      (match save_dir with
-      | Some dir ->
-          Repository.Store.save_session (Repository.Store.open_dir dir) session
+      let final = loop state in
+      (* a full save on exit snapshots the final state (not the initial
+         session) and regenerates the derived artifacts *)
+      (match repo with
+      | Some repo ->
+          Repository.Store.save_session repo final.Designer.Engine.session
       | None -> ());
-      code)
+      0)
 
 let cmd_diff arg_a arg_b =
   with_schema arg_a (fun a ->
@@ -323,13 +336,18 @@ let cmd_sql arg =
 
 let with_variant_repo dir f =
   match Repository.Repo.open_dir dir with
-  | repo -> f repo
-  | exception Repository.Repo.Bad_repo m ->
+  | Ok repo -> f repo
+  | Error m ->
       prerr_endline m;
-      1
-  | exception Sys_error m ->
-      prerr_endline m;
-      1
+      (* a present-but-unreadable repository is corruption (exit 2); a
+         directory that simply is not a repository is an ordinary error *)
+      if Sys.file_exists (Filename.concat dir "shrinkwrap.odl") then 2 else 1
+
+(* Exit code for a variant that would not open: damage is 2, like any
+   corrupt repository; an unknown name is an ordinary error. *)
+let variant_error e =
+  prerr_endline (Repository.Repo.open_error_to_string e);
+  match e with Repository.Repo.No_variant _ -> 1 | Repository.Repo.Load _ -> 2
 
 let cmd_variants_init dir schema_arg =
   with_schema schema_arg (fun schema ->
@@ -359,9 +377,7 @@ let cmd_variants_new dir name =
 let cmd_variants_apply dir name log_path =
   with_variant_repo dir (fun repo ->
       match Repository.Repo.open_variant repo name with
-      | Error e ->
-          prerr_endline (Core.Apply.error_to_string e);
-          1
+      | Error e -> variant_error e
       | Ok session -> (
           match load_log log_path with
           | Error m ->
@@ -395,14 +411,65 @@ let cmd_variants_interop dir a b =
       | Ok text ->
           print_string text;
           0
-      | Error e ->
-          prerr_endline (Core.Apply.error_to_string e);
-          1)
+      | Error e -> variant_error e)
 
 let cmd_variants_affinity dir =
   with_variant_repo dir (fun repo ->
       print_string (Repository.Repo.affinity_matrix repo);
       0)
+
+(* Check (and optionally salvage) a repository directory: a plain session
+   store, or a multi-variant repository (every variant is checked).
+   Exit codes: 0 clean (or fully salvaged), 2 damaged. *)
+let cmd_fsck dir salvage =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    prerr_endline (dir ^ ": not a directory");
+    1
+  end
+  else begin
+    let fsck_store label sdir =
+      let report =
+        Repository.Store.fsck ~salvage (Repository.Store.open_dir sdir)
+      in
+      List.iter
+        (fun m -> Printf.printf "%s: %s\n" label m)
+        report.Repository.Store.fsck_issues;
+      match report with
+      | { fsck_issues = []; _ } -> 0
+      | { fsck_session = None; _ } -> 2
+      | { fsck_session = Some _; _ } ->
+          if salvage then begin
+            Printf.printf "%s: salvaged\n" label;
+            0
+          end
+          else 2
+    in
+    let variants_dir = Filename.concat dir "variants" in
+    let code =
+      if Sys.file_exists variants_dir && Sys.is_directory variants_dir then begin
+        (* multi-variant repository: the top-level schema plus each variant *)
+        let top =
+          match Repository.Repo.open_dir dir with
+          | Ok _ -> 0
+          | Error m ->
+              print_endline ("shrinkwrap.odl: " ^ m);
+              2
+        in
+        Sys.readdir variants_dir |> Array.to_list |> List.sort compare
+        |> List.filter (fun n ->
+               try Sys.is_directory (Filename.concat variants_dir n)
+               with Sys_error _ -> false)
+        |> List.fold_left
+             (fun acc n ->
+               max acc
+                 (fsck_store ("variants/" ^ n) (Filename.concat variants_dir n)))
+             top
+      end
+      else fsck_store "." dir
+    in
+    if code = 0 then print_endline (dir ^ ": clean");
+    code
+  end
 
 let cmd_examples () =
   List.iter
@@ -669,6 +736,24 @@ let quality_cmd =
     (Cmd.info "quality" ~doc:"Assess how well-crafted a schema is")
     (term_of cmd_quality)
 
+let salvage_arg =
+  Arg.(
+    value & flag
+    & info [ "salvage" ]
+        ~doc:
+          "Rewrite a damaged repository from its best recoverable state \
+           (longest replayable journal prefix) and sweep stale temporary \
+           files.")
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Check the integrity of a repository directory (a session store or \
+          a variants repository) and optionally salvage it")
+    Term.(
+      const (fun d s -> Stdlib.exit (cmd_fsck d s)) $ repo_dir_arg $ salvage_arg)
+
 let examples_cmd =
   Cmd.v
     (Cmd.info "examples" ~doc:"List the built-in example schemas")
@@ -687,5 +772,5 @@ let () =
             diff_cmd; explain_cmd; affinity_cmd; library_cmd; graph_cmd;
             sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
             query_cmd;
-            variants_cmd; examples_cmd;
+            variants_cmd; fsck_cmd; examples_cmd;
           ]))

@@ -53,6 +53,20 @@ module Make (V : Schema_view.S) = struct
       fail_violation "%s is an ODL keyword and cannot name an interface" n
     else Ok ()
 
+  (* New member names (attributes, traversal paths, operations, arguments,
+     exceptions, extents) must be plain identifiers too: an accepted session
+     is printed to ODL artifacts that must re-parse. *)
+  let require_fresh_name what n =
+    if not (Odl.Names.is_valid n) then fail_violation "invalid identifier %s" n
+    else if Odl.Names.is_keyword n then
+      fail_violation "%s is an ODL keyword and cannot name %s" n what
+    else Ok ()
+
+  let require_fresh_names what ns =
+    List.fold_left
+      (fun acc n -> Result.bind acc (fun () -> require_fresh_name what n))
+      (Ok ()) ns
+
   (* Attributes and relationships share one property namespace per interface. *)
   let require_property_free i name =
     if Schema.has_attr i name || Schema.has_rel i name then
@@ -135,6 +149,8 @@ module Make (V : Schema_view.S) = struct
   let add_relationship_ends schema kind (ar : Modop.add_rel) =
     let* owner = require_interface schema ar.ar_owner in
     let* target = require_interface schema ar.ar_target in
+    let* () = require_fresh_name "a traversal path" ar.ar_name in
+    let* () = require_fresh_name "a traversal path" ar.ar_inverse in
     let* () = require_property_free owner ar.ar_name in
     let* () =
       if String.equal ar.ar_owner ar.ar_target && String.equal ar.ar_name ar.ar_inverse
@@ -513,6 +529,7 @@ module Make (V : Schema_view.S) = struct
             ] )
     | Add_extent_name (n, e) ->
         let* i = require_interface schema n in
+        let* () = require_fresh_name "an extent" e in
         let* () =
           match i.i_extent with
           | Some e' -> fail_conflict "%s already has extent %s" n e'
@@ -541,6 +558,7 @@ module Make (V : Schema_view.S) = struct
             [ direct (Removed (C_extent n)) ] )
     | Modify_extent_name (n, old_e, new_e) ->
         let* i = require_interface schema n in
+        let* () = require_fresh_name "an extent" new_e in
         let* () =
           require_stale_eq ( = ) (Some old_e) i.i_extent
             (Printf.sprintf "extent of %s" n)
@@ -608,6 +626,7 @@ module Make (V : Schema_view.S) = struct
               ] )
     | Add_attribute (n, d, size, a) ->
         let* i = require_interface schema n in
+        let* () = require_fresh_name "an attribute" a in
         let* () = require_property_free i a in
         let* () =
           match base_name d with
@@ -714,6 +733,11 @@ module Make (V : Schema_view.S) = struct
         modify_order_by schema Association "an association" n p o w
     | Add_operation (n, ret, o, args, raises) ->
         let* i = require_interface schema n in
+        let* () = require_fresh_name "an operation" o in
+        let* () =
+          require_fresh_names "an argument" (List.map (fun a -> a.arg_name) args)
+        in
+        let* () = require_fresh_names "an exception" raises in
         let* () =
           if Schema.has_op i o then
             fail_conflict "%s already has an operation named %s" n o
@@ -781,6 +805,10 @@ module Make (V : Schema_view.S) = struct
         let* i = require_interface schema n in
         let* op_def = require_op i o in
         let* () =
+          require_fresh_names "an argument"
+            (List.map (fun a -> a.arg_name) new_a)
+        in
+        let* () =
           require_stale_eq ( = ) old_a op_def.op_args
             (Printf.sprintf "argument list of %s.%s" n o)
             (fun args ->
@@ -792,6 +820,7 @@ module Make (V : Schema_view.S) = struct
     | Modify_operation_exceptions_raised (n, o, old_e, new_e) ->
         let* i = require_interface schema n in
         let* op_def = require_op i o in
+        let* () = require_fresh_names "an exception" new_e in
         let* () =
           require_stale_eq ( = ) old_e op_def.op_raises
             (Printf.sprintf "exceptions of %s.%s" n o)

@@ -6,19 +6,26 @@ open Modop
 
 let pp_domain = Odl.Printer.pp_domain
 
+(* every name position goes through [Names.to_source]: plain identifiers
+   print as themselves, anything else (embedded newlines, spaces, a leading
+   "//", ...) prints quoted and parses back to the same string *)
+let name = Odl.Names.to_source
+let pp_name ppf s = Fmt.string ppf (name s)
+
 let pp_target_of_path ppf (target, card) =
   match card with
-  | None -> Fmt.string ppf target
-  | Some k -> Fmt.pf ppf "%s<%s>" (collection_kind_name k) target
+  | None -> pp_name ppf target
+  | Some k -> Fmt.pf ppf "%s<%s>" (collection_kind_name k) (name target)
 
 let pp_name_list ppf xs =
-  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") string) xs
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_name) xs
 
 let pp_size ppf = function
   | None -> Fmt.string ppf "none"
   | Some n -> Fmt.int ppf n
 
-let pp_arg ppf (a : argument) = Fmt.pf ppf "%a %s" pp_domain a.arg_type a.arg_name
+let pp_arg ppf (a : argument) =
+  Fmt.pf ppf "%a %a" pp_domain a.arg_type pp_name a.arg_name
 
 let pp_arg_list ppf xs =
   Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_arg) xs
@@ -28,53 +35,53 @@ let pp_card ppf = function
   | Some k -> Fmt.string ppf (collection_kind_name k)
 
 let pp_add_rel keyword ppf ar =
-  Fmt.pf ppf "%s(%s, %a, %s, %s" keyword ar.ar_owner pp_target_of_path
-    (ar.ar_target, ar.ar_card) ar.ar_name ar.ar_inverse;
+  Fmt.pf ppf "%s(%s, %a, %s, %s" keyword (name ar.ar_owner) pp_target_of_path
+    (ar.ar_target, ar.ar_card) (name ar.ar_name) (name ar.ar_inverse);
   if ar.ar_order_by <> [] then Fmt.pf ppf ", %a" pp_name_list ar.ar_order_by;
   Fmt.string ppf ")"
 
 let pp ppf op =
   let kw = Modop.name op in
-  let plain ppf args = Fmt.pf ppf "%s(%a)" kw Fmt.(list ~sep:(any ", ") string) args in
+  let plain ppf args = Fmt.pf ppf "%s(%a)" kw Fmt.(list ~sep:(any ", ") pp_name) args in
   match op with
   | Add_type_definition n | Delete_type_definition n -> plain ppf [ n ]
   | Add_supertype (n, s) | Delete_supertype (n, s) -> plain ppf [ n; s ]
   | Modify_supertype (n, olds, news) ->
-      Fmt.pf ppf "%s(%s, %a, %a)" kw n pp_name_list olds pp_name_list news
+      Fmt.pf ppf "%s(%s, %a, %a)" kw (name n) pp_name_list olds pp_name_list news
   | Add_extent_name (n, e) | Delete_extent_name (n, e) -> plain ppf [ n; e ]
   | Modify_extent_name (n, o, w) -> plain ppf [ n; o; w ]
   | Add_key_list (n, k) | Delete_key_list (n, k) ->
-      Fmt.pf ppf "%s(%s, %a)" kw n pp_name_list k
+      Fmt.pf ppf "%s(%s, %a)" kw (name n) pp_name_list k
   | Modify_key_list (n, o, w) ->
-      Fmt.pf ppf "%s(%s, %a, %a)" kw n pp_name_list o pp_name_list w
+      Fmt.pf ppf "%s(%s, %a, %a)" kw (name n) pp_name_list o pp_name_list w
   | Add_attribute (n, d, size, a) ->
-      Fmt.pf ppf "%s(%s, %a, %a, %s)" kw n pp_domain d pp_size size a
+      Fmt.pf ppf "%s(%s, %a, %a, %s)" kw (name n) pp_domain d pp_size size (name a)
   | Delete_attribute (n, a) -> plain ppf [ n; a ]
   | Modify_attribute (n, a, n') -> plain ppf [ n; a; n' ]
   | Modify_attribute_type (n, a, o, w) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n a pp_domain o pp_domain w
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name a) pp_domain o pp_domain w
   | Modify_attribute_size (n, a, o, w) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n a pp_size o pp_size w
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name a) pp_size o pp_size w
   | Add_relationship ar -> pp_add_rel kw ppf ar
   | Delete_relationship (n, p) -> plain ppf [ n; p ]
   | Modify_relationship_target_type (n, p, o, w) -> plain ppf [ n; p; o; w ]
   | Modify_relationship_cardinality (n, p, o, w) ->
       (* carry the target implicitly: cardinalities print as target-of-paths
          with a placeholder target resolved at parse time *)
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n p pp_card o pp_card w
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name p) pp_card o pp_card w
   | Modify_relationship_order_by (n, p, o, w) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n p pp_name_list o pp_name_list w
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name p) pp_name_list o pp_name_list w
   | Add_operation (n, ret, o, args, raises) ->
-      Fmt.pf ppf "%s(%s, %a, %s, %a, %a)" kw n pp_domain ret o pp_arg_list args
-        pp_name_list raises
+      Fmt.pf ppf "%s(%s, %a, %s, %a, %a)" kw (name n) pp_domain ret (name o)
+        pp_arg_list args pp_name_list raises
   | Delete_operation (n, o) -> plain ppf [ n; o ]
   | Modify_operation (n, o, n') -> plain ppf [ n; o; n' ]
   | Modify_operation_return_type (n, o, ot, nt) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n o pp_domain ot pp_domain nt
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name o) pp_domain ot pp_domain nt
   | Modify_operation_arg_list (n, o, oa, na) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n o pp_arg_list oa pp_arg_list na
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name o) pp_arg_list oa pp_arg_list na
   | Modify_operation_exceptions_raised (n, o, oe, ne) ->
-      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n o pp_name_list oe pp_name_list ne
+      Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name o) pp_name_list oe pp_name_list ne
   | Add_part_of_relationship ar | Add_instance_of_relationship ar ->
       pp_add_rel kw ppf ar
   | Delete_part_of_relationship (n, p) | Delete_instance_of_relationship (n, p)
@@ -83,9 +90,10 @@ let pp ppf op =
   | Modify_instance_of_target_type (n, p, o, w) -> plain ppf [ n; p; o; w ]
   | Modify_part_of_cardinality (n, p, o, w)
   | Modify_instance_of_cardinality (n, p, o, w) ->
-      plain ppf [ n; p; collection_kind_name o; collection_kind_name w ]
+      Fmt.pf ppf "%s(%s, %s, %s, %s)" kw (name n) (name p)
+        (collection_kind_name o) (collection_kind_name w)
   | Modify_part_of_order_by (n, p, o, w) | Modify_instance_of_order_by (n, p, o, w)
-    -> Fmt.pf ppf "%s(%s, %s, %a, %a)" kw n p pp_name_list o pp_name_list w
+    -> Fmt.pf ppf "%s(%s, %s, %a, %a)" kw (name n) (name p) pp_name_list o pp_name_list w
 
 let to_string op = Fmt.str "%a" pp op
 

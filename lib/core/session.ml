@@ -108,6 +108,7 @@ let workspace t = t.workspace
 let index t = t.index
 let concepts t = t.concepts
 let log t = t.log
+let step_count t = List.length t.log
 
 let find_concept t id = Decompose.find t.concepts id
 

@@ -42,6 +42,8 @@ val concepts : t -> Concept.t list
 (** The decomposition of the original schema. *)
 
 val log : t -> step list
+val step_count : t -> int
+(** [List.length (log t)]: committed (not undone) steps. *)
 val find_concept : t -> string -> Concept.t option
 
 val apply :

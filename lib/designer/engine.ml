@@ -11,11 +11,30 @@ type state = {
   reviewed : string list;  (** concept schemas already considered *)
   store : Objects.Store.t option;
       (** instance data under the shrink wrap schema, for data impact *)
+  repo : Repository.Store.t option;
+      (** when set, every accepted operation (and undo) is journalled
+          durably before it is acknowledged *)
   finished : bool;
 }
 
-let start session =
-  { session; focus = None; reviewed = []; store = None; finished = false }
+let start ?repo session =
+  { session; focus = None; reviewed = []; store = None; repo; finished = false }
+
+(* Journal one durable record; a persistence failure never loses the
+   in-memory state, it only warns. *)
+let persist state entry =
+  match state.repo with
+  | None -> []
+  | Some repo -> (
+      match entry repo with
+      | () -> []
+      | exception Sys_error m ->
+          [ Feedback.caution ("persistence failed: " ^ m) ])
+
+let persist_step state kind op =
+  persist state (fun repo -> Repository.Store.append_step repo (kind, op))
+
+let persist_undo state = persist state Repository.Store.append_undo
 
 (* what migrating the loaded data onto [schema] would drop *)
 let data_impact state schema =
@@ -77,7 +96,7 @@ let do_apply state op =
       | Ok (session, events) ->
           ( { state with session },
             Feedback.info ("applied " ^ Core.Op_printer.to_string op)
-            :: (cautions @ apply_feedback events
+            :: (persist_step state kind op @ cautions @ apply_feedback events
                @ data_impact state (Session.workspace session)) )
       | Error e ->
           let suggestions =
@@ -184,17 +203,22 @@ let rec exec state (cmd : Command.t) =
       match Session.undo state.session with
       | Some session ->
           ( { state with session },
-            [
-              Feedback.info
-                (Printf.sprintf "reverted last operation (%d redoable)"
-                   (Session.redoable session));
-            ] )
+            Feedback.info
+              (Printf.sprintf "reverted last operation (%d redoable)"
+                 (Session.redoable session))
+            :: persist_undo state )
       | None -> (state, [ Feedback.error "nothing to undo" ]))
   | Redo -> (
       match Session.redo state.session with
       | Some (session, events) ->
+          let persisted =
+            (* the redone step is the most recent entry of the log *)
+            match List.rev (Session.log session) with
+            | (s : Session.step) :: _ -> persist_step state s.st_kind s.st_op
+            | [] -> []
+          in
           ( { state with session },
-            Feedback.info "re-applied" :: apply_feedback events )
+            Feedback.info "re-applied" :: (persisted @ apply_feedback events) )
       | None -> (state, [ Feedback.error "nothing to redo" ]))
   | Source path -> (
       match In_channel.with_open_text path In_channel.input_all with

@@ -11,10 +11,14 @@ type state = {
   store : Objects.Store.t option;
       (** instance data under the shrink wrap schema; applies report their
           data impact and [migrate] carries them onto the workspace *)
+  repo : Repository.Store.t option;
+      (** when set, every accepted operation (and undo/redo) is journalled
+          durably before it is acknowledged, so a crash loses at most the
+          operation in flight *)
   finished : bool;  (** set by the [quit] command *)
 }
 
-val start : Core.Session.t -> state
+val start : ?repo:Repository.Store.t -> Core.Session.t -> state
 
 val exec : state -> Command.t -> state * Feedback.t list
 (** Execute one parsed command. *)

@@ -4,6 +4,11 @@
 
 type token =
   | Ident of string
+  | Quoted of string
+      (** a double-quoted identifier: any string, with backslash escapes for
+          quote, backslash, newline, CR and tab; lets names that are not
+          plain identifiers (spaces, newlines, leading [//], ...) round-trip
+          through the concrete syntax, notably in persisted operation logs *)
   | Int of int
   | Lbrace
   | Rbrace
@@ -24,6 +29,7 @@ exception Lex_error of string * int * int
 
 let token_to_string = function
   | Ident s -> s
+  | Quoted s -> Names.quoted s
   | Int n -> string_of_int n
   | Lbrace -> "{"
   | Rbrace -> "}"
@@ -67,6 +73,43 @@ let tokenize src =
     if pos < n && src.[pos] >= '0' && src.[pos] <= '9' then int_end (pos + 1)
     else pos
   in
+  (* scan a quoted identifier starting after the opening double quote; raw
+     newlines are rejected so a quoted name can never span lines *)
+  let quoted_end start =
+    let b = Buffer.create 8 in
+    let rec go pos =
+      if pos >= n then
+        raise (Lex_error ("unterminated quoted identifier", !line, col start))
+      else
+        match src.[pos] with
+        | '"' -> (Buffer.contents b, pos + 1)
+        | '\n' ->
+            raise
+              (Lex_error ("newline in quoted identifier", !line, col pos))
+        | '\\' ->
+            if pos + 1 >= n then
+              raise
+                (Lex_error ("unterminated quoted identifier", !line, col start))
+            else begin
+              (match src.[pos + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | c ->
+                  raise
+                    (Lex_error
+                       ( Printf.sprintf "unknown escape '\\%c' in quoted identifier" c,
+                         !line, col pos )));
+              go (pos + 2)
+            end
+        | c ->
+            Buffer.add_char b c;
+            go (pos + 1)
+    in
+    go start
+  in
   let rec go pos acc =
     if pos >= n then List.rev ({ tok = Eof; line = !line; col = col pos } :: acc)
     else
@@ -83,6 +126,9 @@ let tokenize src =
           go (skip_line_comment pos) acc
       | '/' when pos + 1 < n && src.[pos + 1] = '*' ->
           go (skip_block_comment (pos + 2)) acc
+      | '"' ->
+          let s, e = quoted_end (pos + 1) in
+          go e ({ tok = Quoted s; line = !line; col = col pos } :: acc)
       | '{' -> emit Lbrace 1
       | '}' -> emit Rbrace 1
       | '(' -> emit Lparen 1

@@ -2,6 +2,10 @@
 
 type token =
   | Ident of string
+  | Quoted of string
+      (** a double-quoted identifier (backslash escapes for quote, backslash,
+          newline, CR, tab); names that are not plain identifiers round-trip
+          through it *)
   | Int of int
   | Lbrace
   | Rbrace

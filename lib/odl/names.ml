@@ -22,3 +22,29 @@ let odl_keywords =
   ]
 
 let is_keyword s = List.mem s odl_keywords
+
+(** Whether [s] must be printed as a quoted identifier to survive a
+    print/parse round trip: not a plain identifier (empty, or containing
+    spaces, newlines, punctuation, ...), or a keyword (a bare [set] would
+    re-lex as the collection keyword, not a name). *)
+let needs_quoting s = not (is_valid s) || is_keyword s
+
+let escape_quoted s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quoted s = "\"" ^ escape_quoted s ^ "\""
+
+(** [s] in concrete syntax: itself when a plain identifier, quoted (and
+    escaped) otherwise. *)
+let to_source s = if needs_quoting s then quoted s else s

@@ -11,7 +11,7 @@ let rec pp_domain ppf = function
   | D_char -> Fmt.string ppf "char"
   | D_boolean -> Fmt.string ppf "boolean"
   | D_void -> Fmt.string ppf "void"
-  | D_named n -> Fmt.string ppf n
+  | D_named n -> Fmt.string ppf (Names.to_source n)
   | D_collection (k, t) ->
       Fmt.pf ppf "%s<%a>" (collection_kind_name k) pp_domain t
 

@@ -36,7 +36,7 @@ let expect t tok =
 
 let ident t =
   match peek t with
-  | Ident s ->
+  | Ident s | Quoted s ->
       advance t;
       s
   | got -> error t (Printf.sprintf "expected identifier, found %s" (token_to_string got))

@@ -1,0 +1,246 @@
+(** Injectable IO for the repository layer.
+
+    Every syscall the durable repository performs goes through a first-class
+    record of operations, so tests can substitute an in-memory filesystem
+    with write-back-cache semantics and a fault injector that crashes the
+    writer at any syscall.  Production code uses {!unix}.
+
+    Durability model: data written with {!field-write}/{!field-append} is
+    volatile until {!field-fsync} succeeds on the file; {!field-rename} and
+    the other metadata operations are treated as immediately durable (the
+    metadata-journaling behaviour of common Linux filesystems).  A file's
+    directory entry is considered durable once the file has been fsync'd. *)
+
+exception Crash
+(** Raised by a {!faulty} IO at its injected crash point. *)
+
+type t = {
+  read_file : string -> string;  (** whole contents; [Sys_error] if absent *)
+  write : string -> string -> unit;  (** create/truncate; NOT durable *)
+  append : string -> string -> unit;  (** append, creating; NOT durable *)
+  fsync : string -> unit;  (** make the file's current contents durable *)
+  rename : string -> string -> unit;  (** atomic replace *)
+  remove : string -> unit;
+  file_exists : string -> bool;
+  is_directory : string -> bool;  (** [false] on dangling symlinks *)
+  mkdir : string -> unit;  (** one level; succeeds if it already exists *)
+  readdir : string -> string list;
+}
+
+(* --- the real filesystem ------------------------------------------------- *)
+
+let unix : t =
+  {
+    read_file =
+      (fun path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic)));
+    write =
+      (fun path contents ->
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc contents));
+    append =
+      (fun path contents ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc contents));
+    fsync =
+      (fun path ->
+        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> Unix.fsync fd));
+    rename = Sys.rename;
+    remove = Sys.remove;
+    file_exists = Sys.file_exists;
+    is_directory =
+      (fun path -> try Sys.is_directory path with Sys_error _ -> false);
+    mkdir =
+      (fun path ->
+        try Unix.mkdir path 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) ->
+            raise (Sys_error (path ^ ": " ^ Unix.error_message e)));
+    readdir = (fun path -> Sys.readdir path |> Array.to_list);
+  }
+
+(* --- derived operations -------------------------------------------------- *)
+
+(** [mkdir_p io dir] creates [dir] and any missing parents; tolerant of the
+    directory already existing (including concurrent creation: {!field-mkdir}
+    treats EEXIST as success). *)
+let rec mkdir_p io dir =
+  if dir = "" || dir = "." || dir = "/" || io.is_directory dir then ()
+  else begin
+    mkdir_p io (Filename.dirname dir);
+    io.mkdir dir
+  end
+
+let tmp_suffix = ".tmp"
+
+(** Write-to-temp, fsync, atomically rename into place.  A crash at any
+    point leaves either the old contents or the new, never a mixture, and
+    the new contents are durable once [atomic_write] returns. *)
+let atomic_write io path contents =
+  let tmp = path ^ tmp_suffix in
+  io.write tmp contents;
+  io.fsync tmp;
+  io.rename tmp path
+
+(* --- in-memory filesystem with write-back-cache semantics ---------------- *)
+
+type mem = {
+  files : (string, string) Hashtbl.t;  (** current (volatile) view *)
+  synced : (string, string) Hashtbl.t;  (** what survives a crash *)
+  dirs : (string, unit) Hashtbl.t;
+}
+
+let mem_create () =
+  { files = Hashtbl.create 16; synced = Hashtbl.create 16; dirs = Hashtbl.create 4 }
+
+let mem_io (m : mem) : t =
+  let get tbl p = Hashtbl.find_opt tbl p in
+  {
+    read_file =
+      (fun p ->
+        match get m.files p with
+        | Some c -> c
+        | None -> raise (Sys_error (p ^ ": No such file or directory")));
+    write = (fun p c -> Hashtbl.replace m.files p c);
+    append =
+      (fun p c ->
+        Hashtbl.replace m.files p (Option.value ~default:"" (get m.files p) ^ c));
+    fsync =
+      (fun p ->
+        match get m.files p with
+        | Some c -> Hashtbl.replace m.synced p c
+        | None -> raise (Sys_error (p ^ ": No such file or directory")));
+    rename =
+      (fun a b ->
+        (match get m.files a with
+        | Some c ->
+            Hashtbl.replace m.files b c;
+            Hashtbl.remove m.files a
+        | None -> raise (Sys_error (a ^ ": No such file or directory")));
+        (* the rename itself is durable metadata; the content of [b] after a
+           crash is whatever of inode [a] had reached the disk *)
+        (match get m.synced a with
+        | Some c -> Hashtbl.replace m.synced b c
+        | None -> Hashtbl.remove m.synced b);
+        Hashtbl.remove m.synced a);
+    remove =
+      (fun p ->
+        Hashtbl.remove m.files p;
+        Hashtbl.remove m.synced p);
+    file_exists = (fun p -> Hashtbl.mem m.files p || Hashtbl.mem m.dirs p);
+    is_directory = (fun p -> Hashtbl.mem m.dirs p);
+    mkdir = (fun p -> Hashtbl.replace m.dirs p ());
+    readdir =
+      (fun d ->
+        let under tbl =
+          Hashtbl.fold
+            (fun p _ acc ->
+              if Filename.dirname p = d then Filename.basename p :: acc else acc)
+            tbl []
+        in
+        List.sort_uniq compare (under m.files @ under m.dirs));
+  }
+
+(** Simulate power loss: un-fsync'd data partially reaches the disk.  For
+    each dirty file a deterministic rule keyed on [flush] decides how much
+    of the pending delta survives — nothing, a torn prefix, or all of it —
+    then the volatile view is reset to the survivors. *)
+let mem_crash ?(flush = 0) (m : mem) =
+  let keep cur syn =
+    match flush mod 3 with
+    | 0 -> syn
+    | 2 -> Some cur
+    | _ ->
+        (* a torn prefix: synced part plus half of the pending delta *)
+        let s = Option.value ~default:"" syn in
+        let sl = String.length s and cl = String.length cur in
+        if cl > sl && String.length s <= cl && String.sub cur 0 sl = s then
+          Some (String.sub cur 0 (sl + ((cl - sl) / 2)))
+        else if cl = 0 then Some ""
+        else Some (String.sub cur 0 (cl / 2))
+  in
+  let survivors =
+    Hashtbl.fold
+      (fun p cur acc ->
+        let syn = Hashtbl.find_opt m.synced p in
+        if syn = Some cur then (p, cur) :: acc
+        else
+          match keep cur syn with
+          | Some c -> (p, c) :: acc
+          | None -> acc)
+      m.files []
+  in
+  Hashtbl.reset m.files;
+  Hashtbl.reset m.synced;
+  List.iter
+    (fun (p, c) ->
+      Hashtbl.replace m.files p c;
+      Hashtbl.replace m.synced p c)
+    survivors
+
+(* --- fault injection ----------------------------------------------------- *)
+
+(** Count every effectful syscall (write, append, fsync, rename, remove,
+    mkdir) going through the IO; the second component reads the count. *)
+let counting io =
+  let n = ref 0 in
+  let tick () = incr n in
+  ( {
+      io with
+      write = (fun p c -> tick (); io.write p c);
+      append = (fun p c -> tick (); io.append p c);
+      fsync = (fun p -> tick (); io.fsync p);
+      rename = (fun a b -> tick (); io.rename a b);
+      remove = (fun p -> tick (); io.remove p);
+      mkdir = (fun p -> tick (); io.mkdir p);
+    },
+    fun () -> !n )
+
+(** [faulty ~crash_at io] raises {!Crash} in place of the [crash_at]-th
+    (0-based) effectful syscall.  A crashing [write]/[append] first lands a
+    torn prefix of its data (half), modelling a partial write; the other
+    syscalls have no effect at the crash point. *)
+let faulty ~crash_at io =
+  let n = ref 0 in
+  let gate partial f =
+    if !n = crash_at then begin
+      incr n;
+      partial ();
+      raise Crash
+    end
+    else begin
+      incr n;
+      f ()
+    end
+  in
+  let nothing () = () in
+  ( {
+      io with
+      write =
+        (fun p c ->
+          gate
+            (fun () -> io.write p (String.sub c 0 (String.length c / 2)))
+            (fun () -> io.write p c));
+      append =
+        (fun p c ->
+          gate
+            (fun () -> io.append p (String.sub c 0 (String.length c / 2)))
+            (fun () -> io.append p c));
+      fsync = (fun p -> gate nothing (fun () -> io.fsync p));
+      rename = (fun a b -> gate nothing (fun () -> io.rename a b));
+      remove = (fun p -> gate nothing (fun () -> io.remove p));
+      mkdir = (fun p -> gate nothing (fun () -> io.mkdir p));
+    },
+    fun () -> !n )

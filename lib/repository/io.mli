@@ -1,0 +1,65 @@
+(** Injectable IO for the repository layer.
+
+    Every syscall the durable repository performs goes through a first-class
+    record of operations, so tests can substitute an in-memory filesystem
+    with write-back-cache semantics and a fault injector that crashes the
+    writer at any syscall.  Production code uses {!unix}.
+
+    Durability model: data written with [write]/[append] is volatile until
+    [fsync] succeeds on the file; [rename] and the other metadata operations
+    are treated as immediately durable.  A file's directory entry is
+    considered durable once the file has been fsync'd. *)
+
+exception Crash
+(** Raised by a {!faulty} IO at its injected crash point. *)
+
+type t = {
+  read_file : string -> string;  (** whole contents; [Sys_error] if absent *)
+  write : string -> string -> unit;  (** create/truncate; NOT durable *)
+  append : string -> string -> unit;  (** append, creating; NOT durable *)
+  fsync : string -> unit;  (** make the file's current contents durable *)
+  rename : string -> string -> unit;  (** atomic replace *)
+  remove : string -> unit;
+  file_exists : string -> bool;
+  is_directory : string -> bool;  (** [false] on dangling symlinks *)
+  mkdir : string -> unit;  (** one level; succeeds if it already exists *)
+  readdir : string -> string list;
+}
+
+val unix : t
+(** The real filesystem. *)
+
+val mkdir_p : t -> string -> unit
+(** Create a directory and any missing parents; tolerant of concurrent
+    creation (EEXIST is success). *)
+
+val tmp_suffix : string
+(** Suffix of the temporary files {!atomic_write} renames into place;
+    leftovers from a crash are harmless and swept by fsck. *)
+
+val atomic_write : t -> string -> string -> unit
+(** Write-to-temp, fsync, atomically rename into place.  A crash at any
+    point leaves either the old contents or the new, never a mixture. *)
+
+(** {1 In-memory filesystem (for fault-injection tests)} *)
+
+type mem
+
+val mem_create : unit -> mem
+val mem_io : mem -> t
+
+val mem_crash : ?flush:int -> mem -> unit
+(** Simulate power loss: for each file with un-fsync'd data, a deterministic
+    rule keyed on [flush] keeps nothing, a torn prefix, or all of the
+    pending delta; the surviving state becomes the new contents. *)
+
+(** {1 Fault injection} *)
+
+val counting : t -> t * (unit -> int)
+(** Count every effectful syscall (write, append, fsync, rename, remove,
+    mkdir); the second component reads the count. *)
+
+val faulty : crash_at:int -> t -> t * (unit -> int)
+(** Raise {!Crash} in place of the [crash_at]-th (0-based) effectful
+    syscall.  A crashing write/append first lands a torn half-prefix of its
+    data; other syscalls have no effect at the crash point. *)

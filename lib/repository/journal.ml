@@ -1,0 +1,130 @@
+(** Append-only operation journal.  See journal.mli for the format. *)
+
+type entry =
+  | Op of Core.Concept.kind * Core.Modop.t
+  | Undo
+
+type damage =
+  | Torn_tail of string
+  | Corrupt of { line : int; reason : string }
+
+let damage_to_string = function
+  | Torn_tail frag ->
+      Printf.sprintf "torn tail (%d bytes of unacknowledged record)"
+        (String.length frag)
+  | Corrupt { line; reason } -> Printf.sprintf "line %d: %s" line reason
+
+type parsed = {
+  entries : entry list;
+  damage : damage option;
+}
+
+(* --- concept tags -------------------------------------------------------- *)
+
+let kind_tag = function
+  | Core.Concept.Wagon_wheel -> "@ww"
+  | Core.Concept.Generalization -> "@gh"
+  | Core.Concept.Aggregation -> "@ah"
+  | Core.Concept.Instance_chain -> "@ih"
+
+let kind_of_tag = function
+  | "@ww" -> Some Core.Concept.Wagon_wheel
+  | "@gh" -> Some Core.Concept.Generalization
+  | "@ah" -> Some Core.Concept.Aggregation
+  | "@ih" -> Some Core.Concept.Instance_chain
+  | _ -> None
+
+let undo_line = "@undo;"
+
+(* --- serialization ------------------------------------------------------- *)
+
+let entry_to_line = function
+  | Op (kind, op) ->
+      Printf.sprintf "%s %s;" (kind_tag kind) (Core.Op_printer.to_string op)
+  | Undo -> undo_line
+
+let to_string entries =
+  entries |> List.map (fun e -> entry_to_line e ^ "\n") |> String.concat ""
+
+(* --- parsing ------------------------------------------------------------- *)
+
+(* [None] for lines to skip, [Ok entry] for records, [Error reason] for
+   interior corruption. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || (String.length line >= 2 && String.sub line 0 2 = "//") then
+    None
+  else if line = undo_line then Some (Ok Undo)
+  else
+    match String.index_opt line ' ' with
+    | None -> Some (Error ("missing operation: " ^ line))
+    | Some i -> (
+        let tag = String.sub line 0 i in
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        match kind_of_tag tag with
+        | None -> Some (Error ("unknown concept tag: " ^ tag))
+        | Some kind -> (
+            try Some (Ok (Op (kind, Core.Op_parser.parse rest))) with
+            | Core.Op_parser.Parse_error (m, _, _) ->
+                Some (Error (m ^ " in: " ^ rest))
+            | Odl.Lexer.Lex_error (m, _, _) ->
+                Some (Error (m ^ " in: " ^ rest))))
+
+let parse text =
+  (* Records are newline-terminated; the segment after the final newline is
+     an in-flight record from a crashed append (quoted identifiers guarantee
+     no record contains a raw newline, so a torn append never fabricates a
+     terminated line). *)
+  let terminated, fragment =
+    match String.rindex_opt text '\n' with
+    | None -> ([], text)
+    | Some i ->
+        ( String.split_on_char '\n' (String.sub text 0 i),
+          String.sub text (i + 1) (String.length text - i - 1) )
+  in
+  let rec go n acc = function
+    | [] -> (List.rev acc, None, n)
+    | line :: rest -> (
+        match parse_line line with
+        | None -> go (n + 1) acc rest
+        | Some (Ok e) -> go (n + 1) (e :: acc) rest
+        | Some (Error reason) ->
+            (List.rev acc, Some (Corrupt { line = n; reason }), n))
+  in
+  let entries, corrupt, _ = go 1 [] terminated in
+  match corrupt with
+  | Some _ as damage -> { entries; damage }
+  | None ->
+      if String.trim fragment = "" then { entries; damage = None }
+      else
+        (* A fragment that parses lost only its newline; keep it.  Either
+           way the file needs repair before the next append. *)
+        let entries =
+          match parse_line fragment with
+          | Some (Ok e) -> entries @ [ e ]
+          | _ -> entries
+        in
+        { entries; damage = Some (Torn_tail fragment) }
+
+let resolve entries =
+  let rec go stack = function
+    | [] -> Ok (List.rev stack)
+    | Op (kind, op) :: rest -> go ((kind, op) :: stack) rest
+    | Undo :: rest -> (
+        match stack with
+        | _ :: stack -> go stack rest
+        | [] -> Error "undo record with no operation to undo")
+  in
+  go [] entries
+
+(* --- file operations ----------------------------------------------------- *)
+
+let append (io : Io.t) path entry =
+  io.append path (entry_to_line entry ^ "\n");
+  io.fsync path
+
+let read (io : Io.t) path =
+  if io.file_exists path then parse (io.read_file path)
+  else { entries = []; damage = None }
+
+let rewrite io path entries = Io.atomic_write io path (to_string entries)

@@ -1,0 +1,71 @@
+(** Append-only operation journal.
+
+    The journal is the durability backbone of a repository: one line per
+    accepted operation, appended and fsync'd before the operation is
+    acknowledged.  Undo is journalled as its own record rather than by
+    rewriting history, so the file is strictly append-only between
+    snapshots.
+
+    Line format (the modification language, prefixed with a concept tag):
+    {v
+    @ww add_attribute(Route, distance: Float);
+    @gh delete_object_type(Depot);
+    @undo;
+    v}
+    Blank lines and [// ...] comment lines are tolerated, so the file stays
+    hand-editable.  Quoted identifiers keep pathological names (embedded
+    newlines, leading slashes) from breaking the line discipline. *)
+
+type entry =
+  | Op of Core.Concept.kind * Core.Modop.t  (** an accepted operation *)
+  | Undo  (** pops the most recent unresolved operation *)
+
+type damage =
+  | Torn_tail of string
+      (** unterminated final fragment left by a crash mid-append; the
+          operation was never acknowledged, so dropping it is a valid
+          recovery — but the file needs repair before further appends *)
+  | Corrupt of { line : int; reason : string }
+      (** a terminated line that does not parse: interior corruption, not a
+          crash artifact *)
+
+val damage_to_string : damage -> string
+
+type parsed = {
+  entries : entry list;  (** longest valid prefix *)
+  damage : damage option;
+}
+
+val entry_to_line : entry -> string
+(** One record, without the trailing newline. *)
+
+val to_string : entry list -> string
+(** All records, each newline-terminated. *)
+
+val parse : string -> parsed
+(** Longest-valid-prefix read.  A parseable unterminated final fragment is
+    kept as an entry (only its newline was lost); an unparseable one is
+    dropped — both are reported as {!Torn_tail} so the caller can repair
+    the file before appending again. *)
+
+val resolve : entry list -> ((Core.Concept.kind * Core.Modop.t) list, string) result
+(** Replay undo records: [Op] pushes, [Undo] pops.  [Error] when an [Undo]
+    has nothing to pop (the writer never journals one in that state, so it
+    is corruption). *)
+
+(** {1 File operations} *)
+
+val append : Io.t -> string -> entry -> unit
+(** Append one record and fsync; the entry is durable on return. *)
+
+val read : Io.t -> string -> parsed
+(** Read and {!parse} the journal; an absent file is an empty journal. *)
+
+val rewrite : Io.t -> string -> entry list -> unit
+(** Atomically replace the journal with exactly [entries] (snapshot or
+    repair); crash-safe via {!Io.atomic_write}. *)
+
+(** {1 Concept tags} *)
+
+val kind_tag : Core.Concept.kind -> string
+val kind_of_tag : string -> Core.Concept.kind option

@@ -4,9 +4,9 @@
     This is the ACEDB situation as a subsystem: a well-crafted schema is
     published once, and each adopting project keeps its own customization —
     its variant — in the same repository.  Variants are full sessions
-    (operation log, local names, custom schema, reports), and the repository
-    can compare variants pairwise: affinity and the interoperation report
-    over their common objects.
+    (operation journal, local names, custom schema, reports), and the
+    repository can compare variants pairwise: affinity and the
+    interoperation report over their common objects.
 
     Layout:
     {v
@@ -16,58 +16,67 @@
 
 type t = {
   dir : string;
+  io : Io.t;
   shrink_wrap : Odl.Types.schema;
 }
 
 let variants_dir t = Filename.concat t.dir "variants"
 let variant_dir t name = Filename.concat (variants_dir t) name
+let variant_store t name = Store.open_dir ~io:t.io (variant_dir t name)
 
-let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
-
-exception Bad_repo of string
-
-let valid_variant_name n =
-  n <> "" && Odl.Names.is_valid n
+let valid_variant_name n = n <> "" && Odl.Names.is_valid n
 
 (** Initialize a repository for [shrink_wrap] at [dir].  The shrink wrap
     schema must be valid. *)
-let init dir shrink_wrap =
+let init ?(io = Io.unix) dir shrink_wrap =
   match Odl.Validate.errors shrink_wrap with
   | _ :: _ -> Error "the shrink wrap schema is not valid"
   | [] ->
-      ensure_dir dir;
-      ensure_dir (Filename.concat dir "variants");
-      let t = { dir; shrink_wrap } in
-      let oc = open_out (Filename.concat dir "shrinkwrap.odl") in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (Odl.Printer.schema_to_string shrink_wrap));
+      Io.mkdir_p io dir;
+      Io.mkdir_p io (Filename.concat dir "variants");
+      let t = { dir; io; shrink_wrap } in
+      Io.atomic_write io
+        (Filename.concat dir "shrinkwrap.odl")
+        (Odl.Printer.schema_to_string shrink_wrap);
       Ok t
 
-(** Open an existing repository. *)
-let open_dir dir =
+(** Open an existing repository; every failure mode is an [Error] naming
+    the damaged file, never an exception. *)
+let open_dir ?(io = Io.unix) dir =
   let path = Filename.concat dir "shrinkwrap.odl" in
-  if not (Sys.file_exists path) then
-    raise (Bad_repo (dir ^ " has no shrinkwrap.odl"));
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  { dir; shrink_wrap = Odl.Parser.parse_schema text }
+  if not (io.Io.file_exists path) then
+    Error (dir ^ " has no shrinkwrap.odl")
+  else
+    match Odl.Parser.parse_schema (io.Io.read_file path) with
+    | shrink_wrap -> Ok { dir; io; shrink_wrap }
+    | exception Odl.Parser.Parse_error (m, line, _) ->
+        Error (Printf.sprintf "%s is damaged: line %d: %s" path line m)
+    | exception Odl.Lexer.Lex_error (m, line, _) ->
+        Error (Printf.sprintf "%s is damaged: line %d: %s" path line m)
+    | exception Sys_error m -> Error (path ^ ": " ^ m)
 
 let shrink_wrap t = t.shrink_wrap
 
 let variant_names t =
   let d = variants_dir t in
-  if Sys.file_exists d && Sys.is_directory d then
-    Sys.readdir d |> Array.to_list
-    |> List.filter (fun n -> Sys.is_directory (Filename.concat d n))
+  if t.io.Io.is_directory d then
+    (match t.io.Io.readdir d with
+    | names -> names
+    | exception Sys_error _ -> [])
+    (* is_directory is false on dangling symlinks, so they are skipped *)
+    |> List.filter (fun n -> t.io.Io.is_directory (Filename.concat d n))
     |> List.sort compare
   else []
 
 let mem_variant t name = List.mem name (variant_names t)
+
+type open_error =
+  | No_variant of string
+  | Load of Store.load_error
+
+let open_error_to_string = function
+  | No_variant name -> Printf.sprintf "no variant named %s" name
+  | Load e -> Store.load_error_to_string e
 
 (** Start a fresh variant: a new design session over the repository's shrink
     wrap schema, persisted under the variant's name. *)
@@ -80,22 +89,23 @@ let create_variant t name =
     match Core.Session.create t.shrink_wrap with
     | Error _ -> Error "the shrink wrap schema is not valid"
     | Ok session ->
-        let store = Store.open_dir (variant_dir t name) in
-        Store.save_session store session;
+        Store.save_session (variant_store t name) session;
         Ok session
 
-(** Load a variant's session by replaying its log. *)
+(** Load a variant's session by replaying its journal. *)
 let open_variant t name =
-  if not (mem_variant t name) then
-    Error (Core.Apply.Unknown (Printf.sprintf "variant %s" name))
-  else Store.load_session (Store.open_dir (variant_dir t name))
+  if not (mem_variant t name) then Error (No_variant name)
+  else
+    Result.map_error
+      (fun e -> Load e)
+      (Store.load_session (variant_store t name))
 
 (** Persist a session as (a new state of) the named variant. *)
 let save_variant t name session =
   if not (valid_variant_name name) then
     Error (Printf.sprintf "%s is not a valid variant name" name)
   else begin
-    Store.save_session (Store.open_dir (variant_dir t name)) session;
+    Store.save_session (variant_store t name) session;
     Ok ()
   end
 
@@ -104,8 +114,7 @@ let variant_customs t =
   variant_names t
   |> List.filter_map (fun name ->
          match open_variant t name with
-         | Ok session ->
-             Some (name, Core.Session.custom_schema ~name session)
+         | Ok session -> Some (name, Core.Session.custom_schema ~name session)
          | Error _ -> None)
 
 (** Pairwise affinity matrix over the variants' custom schemas. *)
@@ -147,5 +156,5 @@ let catalog t =
                p md mv d a
          | Error e ->
              Printf.sprintf "%-16s (unreadable: %s)" name
-               (Core.Apply.error_to_string e))
+               (open_error_to_string e))
   |> String.concat "\n"

@@ -5,34 +5,45 @@
 
 type t
 
-exception Bad_repo of string
-
-val init : string -> Odl.Types.schema -> (t, string) result
+val init : ?io:Io.t -> string -> Odl.Types.schema -> (t, string) result
 (** Initialize a repository at the directory for a (valid) shrink wrap
     schema. *)
 
-val open_dir : string -> t
-(** @raise Bad_repo when the directory holds no repository.
-    @raise Odl.Parser.Parse_error when the stored schema is corrupt. *)
+val open_dir : ?io:Io.t -> string -> (t, string) result
+(** Open an existing repository.  [Error] (never an exception) when the
+    directory holds no repository or the stored schema is damaged; the
+    message names the damaged file. *)
 
 val shrink_wrap : t -> Odl.Types.schema
+
 val variant_names : t -> string list
+(** Subdirectories of [variants/]; dangling symlinks and unreadable entries
+    are skipped. *)
+
 val mem_variant : t -> string -> bool
+val variant_store : t -> string -> Store.t
+
+(** Why a variant would not open. *)
+type open_error =
+  | No_variant of string  (** no variant of that name *)
+  | Load of Store.load_error  (** its repository is damaged *)
+
+val open_error_to_string : open_error -> string
 
 val create_variant : t -> string -> (Core.Session.t, string) result
 (** Start (and persist) a fresh design session under the variant's name. *)
 
-val open_variant : t -> string -> (Core.Session.t, Core.Apply.error) result
-(** Load a variant's session by replaying its stored log. *)
+val open_variant : t -> string -> (Core.Session.t, open_error) result
+(** Load a variant's session by replaying its stored journal. *)
 
 val save_variant : t -> string -> Core.Session.t -> (unit, string) result
 
 val variant_customs : t -> (string * Odl.Types.schema) list
 val affinity_matrix : t -> string
 
-val interop : t -> string -> string -> (Core.Interop.report, Core.Apply.error) result
-val interop_report : t -> string -> string -> (string, Core.Apply.error) result
+val interop : t -> string -> string -> (Core.Interop.report, open_error) result
+val interop_report : t -> string -> string -> (string, open_error) result
 
 val catalog : t -> string
 (** One line per variant: inventory and mapping summary against the shrink
-    wrap schema. *)
+    wrap schema; damaged variants are listed as unreadable. *)

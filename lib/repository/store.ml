@@ -1,4 +1,4 @@
-(** On-disk schema repository.
+(** On-disk schema repository (crash-safe).
 
     Persistence reuses the system's own languages: schemas are stored as
     extended ODL text and operation logs in the modification language, so a
@@ -7,134 +7,389 @@
     Layout of a repository directory:
     {v
     <dir>/shrinkwrap.odl     the original shrink wrap schema
-    <dir>/log.ops            applied operations, one per line:  @ww add_...();
+    <dir>/log.ops            operation journal:  @ww add_...(...);  @undo;
+    <dir>/aliases.map        local names:  Canonical = local
     <dir>/custom.odl         the generated custom schema
+    <dir>/manifest           format version, generation, ops watermark
     <dir>/reports/*.txt      generated deliverables
-    v} *)
+    v}
 
-type t = { dir : string }
+    Durability protocol: whole-file artifacts go through {!Io.atomic_write}
+    (write-to-temp, fsync, rename), the journal is append-only with a
+    per-record fsync, and the manifest is written last so it witnesses a
+    completed save.  All syscalls go through the injectable {!Io.t} the
+    store was opened with. *)
 
+type t = { dir : string; io : Io.t }
+
+let dir t = t.dir
+let io t = t.io
 let shrinkwrap_file t = Filename.concat t.dir "shrinkwrap.odl"
 let aliases_file t = Filename.concat t.dir "aliases.map"
 let log_file t = Filename.concat t.dir "log.ops"
 let custom_file t = Filename.concat t.dir "custom.odl"
+let manifest_file t = Filename.concat t.dir "manifest"
 let reports_dir t = Filename.concat t.dir "reports"
 
-let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755
-
 (** Open (creating if needed) a repository rooted at [dir]. *)
-let open_dir dir =
-  ensure_dir dir;
-  ensure_dir (Filename.concat dir "reports");
-  { dir }
+let open_dir ?(io = Io.unix) dir =
+  let t = { dir; io } in
+  Io.mkdir_p io dir;
+  Io.mkdir_p io (reports_dir t);
+  t
 
-let write_file path contents =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc contents)
-
-let read_file path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let write_file t path contents = Io.atomic_write t.io path contents
+let read_file t path = t.io.Io.read_file path
 
 (* --- operation log format ---------------------------------------------- *)
 
-let kind_tag = function
-  | Core.Concept.Wagon_wheel -> "@ww"
-  | Core.Concept.Generalization -> "@gh"
-  | Core.Concept.Aggregation -> "@ah"
-  | Core.Concept.Instance_chain -> "@ih"
-
-let kind_of_tag = function
-  | "@ww" -> Some Core.Concept.Wagon_wheel
-  | "@gh" -> Some Core.Concept.Generalization
-  | "@ah" -> Some Core.Concept.Aggregation
-  | "@ih" -> Some Core.Concept.Instance_chain
-  | _ -> None
-
 exception Bad_log of string
 
-(** Serialize a [(kind, op)] log. *)
+(** Serialize a [(kind, op)] log, one newline-terminated record per step. *)
 let log_to_string steps =
-  steps
-  |> List.map (fun (kind, op) ->
-         Printf.sprintf "%s %s;" (kind_tag kind) (Core.Op_printer.to_string op))
-  |> String.concat "\n"
+  Journal.to_string (List.map (fun (kind, op) -> Journal.Op (kind, op)) steps)
 
-(** Parse a log produced by {!log_to_string}.
+(** Parse a log produced by {!log_to_string} (or written by hand: a missing
+    final newline is tolerated, damage is not).
     @raise Bad_log on malformed lines. *)
 let log_of_string text =
-  text |> String.split_on_char '\n'
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || String.length line >= 2 && String.sub line 0 2 = "//"
-         then None
-         else
-           match String.index_opt line ' ' with
-           | None -> raise (Bad_log ("missing operation: " ^ line))
-           | Some i -> (
-               let tag = String.sub line 0 i in
-               let rest = String.sub line (i + 1) (String.length line - i - 1) in
-               match kind_of_tag tag with
-               | None -> raise (Bad_log ("unknown concept tag: " ^ tag))
-               | Some kind -> (
-                   try Some (kind, Core.Op_parser.parse rest)
-                   with Core.Op_parser.Parse_error (m, _, _) ->
-                     raise (Bad_log (m ^ " in: " ^ rest)))))
+  let text =
+    if text = "" || text.[String.length text - 1] = '\n' then text
+    else text ^ "\n"
+  in
+  let { Journal.entries; damage } = Journal.parse text in
+  (match damage with
+  | Some d -> raise (Bad_log (Journal.damage_to_string d))
+  | None -> ());
+  match Journal.resolve entries with
+  | Ok steps -> steps
+  | Error m -> raise (Bad_log m)
 
-(* --- repository operations ---------------------------------------------- *)
+(* --- individual artifacts ----------------------------------------------- *)
 
 let save_shrinkwrap t schema =
-  write_file (shrinkwrap_file t) (Odl.Printer.schema_to_string schema)
+  write_file t (shrinkwrap_file t) (Odl.Printer.schema_to_string schema)
 
-let load_shrinkwrap t = Odl.Parser.parse_schema (read_file (shrinkwrap_file t))
+let load_shrinkwrap t =
+  Odl.Parser.parse_schema (read_file t (shrinkwrap_file t))
 
-let save_log t steps = write_file (log_file t) (log_to_string steps)
+let save_log t steps =
+  Journal.rewrite t.io (log_file t)
+    (List.map (fun (kind, op) -> Journal.Op (kind, op)) steps)
 
 let load_log t =
-  if Sys.file_exists (log_file t) then log_of_string (read_file (log_file t))
+  if t.io.Io.file_exists (log_file t) then
+    let { Journal.entries; damage } = Journal.read t.io (log_file t) in
+    (match damage with
+    | Some (Journal.Corrupt _ as d) -> raise (Bad_log (Journal.damage_to_string d))
+    | Some (Journal.Torn_tail _) | None -> ());
+    match Journal.resolve entries with
+    | Ok steps -> steps
+    | Error m -> raise (Bad_log m)
   else []
 
 let save_custom t schema =
-  write_file (custom_file t) (Odl.Printer.schema_to_string schema)
+  write_file t (custom_file t) (Odl.Printer.schema_to_string schema)
 
-let load_custom t = Odl.Parser.parse_schema (read_file (custom_file t))
+let load_custom t = Odl.Parser.parse_schema (read_file t (custom_file t))
 
 let save_report t name contents =
-  write_file (Filename.concat (reports_dir t) (name ^ ".txt")) contents
+  write_file t (Filename.concat (reports_dir t) (name ^ ".txt")) contents
 
 let save_aliases t aliases =
-  write_file (aliases_file t) (Core.Aliases.to_string aliases)
+  write_file t (aliases_file t) (Core.Aliases.to_string aliases)
 
 let load_aliases t =
-  if Sys.file_exists (aliases_file t) then
-    Core.Aliases.of_string (read_file (aliases_file t))
+  if t.io.Io.file_exists (aliases_file t) then
+    Core.Aliases.of_string (read_file t (aliases_file t))
   else Core.Aliases.empty
 
-(** Persist a whole session: shrink wrap schema, operation log, local names,
-    custom schema, and the deliverable reports. *)
+(* --- incremental persistence -------------------------------------------- *)
+
+let append_step t (kind, op) =
+  Journal.append t.io (log_file t) (Journal.Op (kind, op))
+
+let append_undo t = Journal.append t.io (log_file t) Journal.Undo
+
+(* --- manifest ------------------------------------------------------------ *)
+
+type manifest = { m_generation : int; m_ops : int }
+
+let manifest_to_string m =
+  Printf.sprintf "format 1\ngeneration %d\nops %d\n" m.m_generation m.m_ops
+
+let manifest_of_string text =
+  let kv line =
+    match String.index_opt line ' ' with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.sub line 0 i,
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          )
+  in
+  let fields =
+    text |> String.split_on_char '\n' |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+    |> List.filter_map kv
+  in
+  let int_field k =
+    match List.assoc_opt k fields with
+    | Some v -> int_of_string_opt v
+    | None -> None
+  in
+  match (List.assoc_opt "format" fields, int_field "generation", int_field "ops") with
+  | Some "1", Some g, Some o -> Some { m_generation = g; m_ops = o }
+  | _ -> None
+
+let load_manifest t =
+  if t.io.Io.file_exists (manifest_file t) then
+    match manifest_of_string (read_file t (manifest_file t)) with
+    | m -> m
+    | exception Sys_error _ -> None
+  else None
+
+let save_manifest t m = write_file t (manifest_file t) (manifest_to_string m)
+
+(* --- whole sessions ------------------------------------------------------ *)
+
+let session_steps session =
+  List.map
+    (fun (s : Core.Session.step) -> (s.st_kind, s.st_op))
+    (Core.Session.log session)
+
+(** Persist a whole session: shrink wrap schema, operation journal, local
+    names, custom schema, the deliverable reports, and last the manifest —
+    each atomically, so a crash anywhere leaves every artifact whole. *)
 let save_session t session =
+  let steps = session_steps session in
+  let generation =
+    match load_manifest t with Some m -> m.m_generation + 1 | None -> 1
+  in
   save_shrinkwrap t (Core.Session.original session);
-  save_log t
-    (List.map
-       (fun (s : Core.Session.step) -> (s.st_kind, s.st_op))
-       (Core.Session.log session));
+  save_log t steps;
   save_aliases t (Core.Session.aliases session);
   save_custom t (Core.Session.custom_schema session);
   save_report t "impact" (Core.Session.impact_report session);
   save_report t "consistency" (Core.Session.consistency_report_text session);
   save_report t "mapping" (Core.Session.mapping_report session);
-  write_file
+  write_file t
     (Filename.concat (reports_dir t) "deliverables.html")
-    (Html_report.render session)
+    (Html_report.render session);
+  save_manifest t { m_generation = generation; m_ops = List.length steps }
 
-(** Rebuild a session from a repository by replaying its log on the stored
-    shrink wrap schema, then restoring its local names. *)
+type load_error =
+  | Damaged of { file : string; reason : string }
+  | Replay of Core.Apply.error
+
+let load_error_to_string = function
+  | Damaged { file; reason } -> Printf.sprintf "%s is damaged: %s" file reason
+  | Replay e ->
+      "log.ops does not replay: " ^ Core.Apply.error_to_string e
+
+let damaged file reason = Error (Damaged { file; reason })
+
+(* Read and parse one ODL artifact, mapping every failure mode to
+   [Damaged]. *)
+let read_schema_artifact t file path =
+  if not (t.io.Io.file_exists path) then damaged file "missing"
+  else
+    match Odl.Parser.parse_schema (read_file t path) with
+    | schema -> Ok schema
+    | exception Odl.Parser.Parse_error (m, line, _) ->
+        damaged file (Printf.sprintf "line %d: %s" line m)
+    | exception Odl.Lexer.Lex_error (m, line, _) ->
+        damaged file (Printf.sprintf "line %d: %s" line m)
+    | exception Sys_error m -> damaged file m
+
+(** Rebuild a session by replaying the journal on the stored shrink wrap
+    schema, then restoring its local names.  A torn journal tail — the
+    crash artifact of an append that was never acknowledged — is truncated
+    and forgotten; interior corruption is an error.  No exception escapes. *)
 let load_session t =
-  let shrink_wrap = load_shrinkwrap t in
-  Result.map
-    (fun session -> Core.Session.restore_aliases session (load_aliases t))
-    (Core.Session.replay shrink_wrap (load_log t))
+  let ( let* ) = Result.bind in
+  try
+    let* shrink_wrap =
+      read_schema_artifact t "shrinkwrap.odl" (shrinkwrap_file t)
+    in
+    let { Journal.entries; damage } = Journal.read t.io (log_file t) in
+    let* entries =
+      match damage with
+      | None -> Ok entries
+      | Some (Journal.Torn_tail _) ->
+          (* Repair in place so the next append lands on a clean file. *)
+          Journal.rewrite t.io (log_file t) entries;
+          Ok entries
+      | Some (Journal.Corrupt _ as d) ->
+          damaged "log.ops" (Journal.damage_to_string d)
+    in
+    let* steps =
+      match Journal.resolve entries with
+      | Ok steps -> Ok steps
+      | Error m -> damaged "log.ops" m
+    in
+    let* session =
+      Result.map_error
+        (fun e -> Replay e)
+        (Core.Session.replay shrink_wrap steps)
+    in
+    let* aliases =
+      if t.io.Io.file_exists (aliases_file t) then
+        match Core.Aliases.of_string (read_file t (aliases_file t)) with
+        | aliases -> Ok aliases
+        | exception Core.Aliases.Bad_aliases m -> damaged "aliases.map" m
+        | exception Sys_error m -> damaged "aliases.map" m
+      else Ok Core.Aliases.empty
+    in
+    Ok (Core.Session.restore_aliases session aliases)
+  with Sys_error m -> damaged "repository" m
+
+(* --- integrity checking -------------------------------------------------- *)
+
+type fsck_report = {
+  fsck_issues : string list;
+  fsck_session : Core.Session.t option;
+}
+
+(** Inspect every artifact of the repository, reporting damage; with
+    [~salvage:true] rewrite it from the best recoverable session (longest
+    replayable journal prefix) and sweep stale temporary files. *)
+let fsck ?(salvage = false) t =
+  let issues = ref [] in
+  let issue fmt = Printf.ksprintf (fun m -> issues := m :: !issues) fmt in
+  let tmp_files =
+    let under d =
+      if t.io.Io.is_directory d then
+        t.io.Io.readdir d
+        |> List.filter (fun f -> Filename.check_suffix f Io.tmp_suffix)
+        |> List.map (Filename.concat d)
+        |> List.sort compare
+      else []
+    in
+    under t.dir @ under (reports_dir t)
+  in
+  List.iter
+    (fun p -> issue "%s: stale temporary file from an interrupted write" p)
+    tmp_files;
+  let sweep_tmp () =
+    List.iter
+      (fun p -> try t.io.Io.remove p with Sys_error _ -> ())
+      tmp_files
+  in
+  let finish session =
+    if salvage then begin
+      sweep_tmp ();
+      match session with
+      | Some s when !issues <> [] -> save_session t s
+      | _ -> ()
+    end;
+    { fsck_issues = List.rev !issues; fsck_session = session }
+  in
+  match read_schema_artifact t "shrinkwrap.odl" (shrinkwrap_file t) with
+  | Error (Damaged { reason; _ }) | (exception Sys_error reason) ->
+      issue
+        "shrinkwrap.odl: %s (unrecoverable: the base schema roots every \
+         replay)"
+        reason;
+      finish None
+  | Error (Replay _) -> assert false
+  | Ok shrink_wrap -> (
+      (* journal: longest valid, resolvable, replayable prefix *)
+      let entries =
+        match Journal.read t.io (log_file t) with
+        | { Journal.entries; damage = None } -> entries
+        | { entries; damage = Some (Journal.Torn_tail _ as d) } ->
+            issue "log.ops: %s" (Journal.damage_to_string d);
+            entries
+        | { entries; damage = Some (Journal.Corrupt _ as d) } ->
+            issue "log.ops: %s; kept the valid prefix (%d record(s))"
+              (Journal.damage_to_string d) (List.length entries);
+            entries
+        | exception Sys_error m ->
+            issue "log.ops: %s; treating the journal as empty" m;
+            []
+      in
+      let steps =
+        let rec go stack kept = function
+          | [] -> List.rev stack
+          | Journal.Op (kind, op) :: rest ->
+              go ((kind, op) :: stack) (kept + 1) rest
+          | Journal.Undo :: rest -> (
+              match stack with
+              | _ :: stack -> go stack (kept + 1) rest
+              | [] ->
+                  issue
+                    "log.ops: record %d undoes nothing; dropped it and %d \
+                     later record(s)"
+                    (kept + 1) (List.length rest);
+                  List.rev stack)
+        in
+        go [] 0 entries
+      in
+      match Core.Session.create shrink_wrap with
+      | Error _ ->
+          issue
+            "shrinkwrap.odl: parses but is not a valid schema (unrecoverable)";
+          finish None
+      | Ok empty_session ->
+          let session =
+            let rec go s n = function
+              | [] -> s
+              | (kind, op) :: rest -> (
+                  match Core.Session.apply s ~kind op with
+                  | Ok (s, _) -> go s (n + 1) rest
+                  | Error e ->
+                      issue
+                        "log.ops: operation %d rejected on replay (%s); \
+                         dropped it and %d later operation(s)"
+                        (n + 1)
+                        (Core.Apply.error_to_string e)
+                        (List.length rest);
+                      s)
+            in
+            go empty_session 0 steps
+          in
+          let session =
+            if t.io.Io.file_exists (aliases_file t) then
+              match Core.Aliases.of_string (read_file t (aliases_file t)) with
+              | aliases -> Core.Session.restore_aliases session aliases
+              | exception Core.Aliases.Bad_aliases m ->
+                  issue "aliases.map: %s; local names reset" m;
+                  session
+              | exception Sys_error m ->
+                  issue "aliases.map: %s; local names reset" m;
+                  session
+            else session
+          in
+          (if not (t.io.Io.file_exists (custom_file t)) then
+             issue "custom.odl: missing (derived; regenerated by salvage)"
+           else
+             match Odl.Parser.parse_schema (read_file t (custom_file t)) with
+             | _ -> ()
+             | exception Odl.Parser.Parse_error (m, line, _) ->
+                 issue "custom.odl: line %d: %s (derived; regenerated by \
+                        salvage)" line m
+             | exception Odl.Lexer.Lex_error (m, line, _) ->
+                 issue "custom.odl: line %d: %s (derived; regenerated by \
+                        salvage)" line m
+             | exception Sys_error m -> issue "custom.odl: %s" m);
+          List.iter
+            (fun r ->
+              let p = Filename.concat (reports_dir t) r in
+              if not (t.io.Io.file_exists p) then
+                issue "reports/%s: missing (derived; regenerated by salvage)" r)
+            [ "impact.txt"; "consistency.txt"; "mapping.txt";
+              "deliverables.html" ];
+          (match load_manifest t with
+          | None ->
+              if t.io.Io.file_exists (manifest_file t) then
+                issue "manifest: unreadable (rewritten by salvage)"
+              else issue "manifest: missing (rewritten by salvage)"
+          | Some m ->
+              let actual = List.length (Core.Session.log session) in
+              if actual < m.m_ops then
+                issue
+                  "manifest: records %d op(s) but only %d replay — a saved \
+                   tail was lost"
+                  m.m_ops actual);
+          finish (Some session))

@@ -1,4 +1,4 @@
-(** On-disk schema repository.
+(** On-disk schema repository (crash-safe).
 
     Persistence reuses the system's own languages: schemas are stored as
     extended ODL text and operation logs in the modification language, so a
@@ -7,21 +7,30 @@
     Layout of a repository directory:
     {v
     <dir>/shrinkwrap.odl     the original shrink wrap schema
-    <dir>/log.ops            applied operations:  @ww add_...(...);
+    <dir>/log.ops            operation journal:  @ww add_...(...);  @undo;
     <dir>/aliases.map        local names:  Canonical = local
     <dir>/custom.odl         the generated custom schema
+    <dir>/manifest           format version, generation, ops watermark
     <dir>/reports/*.txt      generated deliverables
-    v} *)
+    v}
+
+    Durability: every whole-file artifact is written via write-to-temp,
+    fsync, atomic rename; the journal is append-only with a per-record
+    fsync ({!Journal}); the manifest is written last so it witnesses a
+    completed save.  All syscalls go through an injectable {!Io.t}. *)
 
 type t
 
-val open_dir : string -> t
+val open_dir : ?io:Io.t -> string -> t
 (** Open (creating if needed) a repository rooted at the directory. *)
 
+val dir : t -> string
+val io : t -> Io.t
 val shrinkwrap_file : t -> string
 val log_file : t -> string
 val aliases_file : t -> string
 val custom_file : t -> string
+val manifest_file : t -> string
 val reports_dir : t -> string
 
 (** {1 Operation log format} *)
@@ -29,12 +38,13 @@ val reports_dir : t -> string
 exception Bad_log of string
 
 val log_to_string : (Core.Concept.kind * Core.Modop.t) list -> string
-(** One line per step: a [@ww]/[@gh]/[@ah]/[@ih] concept tag followed by the
-    operation in the modification language. *)
+(** One newline-terminated line per step: a [@ww]/[@gh]/[@ah]/[@ih] concept
+    tag followed by the operation in the modification language. *)
 
 val log_of_string : string -> (Core.Concept.kind * Core.Modop.t) list
 (** Inverse of {!log_to_string}; blank lines and [// ...] comments are
-    skipped.  @raise Bad_log on malformed lines. *)
+    skipped and [@undo;] records are resolved.
+    @raise Bad_log on malformed lines. *)
 
 (** {1 Individual artifacts} *)
 
@@ -42,7 +52,8 @@ val save_shrinkwrap : t -> Odl.Types.schema -> unit
 val load_shrinkwrap : t -> Odl.Types.schema
 val save_log : t -> (Core.Concept.kind * Core.Modop.t) list -> unit
 val load_log : t -> (Core.Concept.kind * Core.Modop.t) list
-(** The empty list when no log has been saved yet. *)
+(** The empty list when no log has been saved yet.
+    @raise Bad_log on damage. *)
 
 val save_aliases : t -> Core.Aliases.t -> unit
 val load_aliases : t -> Core.Aliases.t
@@ -50,12 +61,60 @@ val save_custom : t -> Odl.Types.schema -> unit
 val load_custom : t -> Odl.Types.schema
 val save_report : t -> string -> string -> unit
 
+(** {1 Incremental persistence}
+
+    The designer appends one durable journal record per accepted operation,
+    so a crash loses at most the operation in flight (never acknowledged). *)
+
+val append_step : t -> Core.Concept.kind * Core.Modop.t -> unit
+(** Journal one accepted operation; durable on return. *)
+
+val append_undo : t -> unit
+(** Journal an undo of the most recent unresolved operation. *)
+
+(** {1 Manifest} *)
+
+type manifest = {
+  m_generation : int;  (** bumped by every full {!save_session} *)
+  m_ops : int;  (** resolved operation count at that save *)
+}
+
+val load_manifest : t -> manifest option
+(** [None] when absent or unreadable (older repository or interrupted
+    save — the artifacts themselves are still authoritative). *)
+
 (** {1 Whole sessions} *)
 
 val save_session : t -> Core.Session.t -> unit
-(** Shrink wrap schema, operation log, local names, custom schema, and the
-    deliverable reports. *)
+(** Shrink wrap schema, operation journal, local names, custom schema, the
+    deliverable reports, and last the manifest — each atomically. *)
 
-val load_session : t -> (Core.Session.t, Core.Apply.error) result
-(** Rebuild by replaying the stored log on the stored shrink wrap schema,
-    then restoring local names. *)
+type load_error =
+  | Damaged of { file : string; reason : string }
+      (** an artifact is missing, unreadable, or corrupt *)
+  | Replay of Core.Apply.error
+      (** the journal is well-formed but an operation is rejected when
+          replayed on the stored shrink wrap schema *)
+
+val load_error_to_string : load_error -> string
+
+val load_session : t -> (Core.Session.t, load_error) result
+(** Rebuild by replaying the journal on the stored shrink wrap schema, then
+    restoring local names.  A torn journal tail (crash artifact of an
+    unacknowledged append) is silently truncated; interior corruption is
+    {!Damaged}.  No exception escapes. *)
+
+(** {1 Integrity checking} *)
+
+type fsck_report = {
+  fsck_issues : string list;  (** one line each, naming the file *)
+  fsck_session : Core.Session.t option;
+      (** best recoverable session; [None] only when the base schema
+          itself is lost *)
+}
+
+val fsck : ?salvage:bool -> t -> fsck_report
+(** Inspect every artifact and report damage.  With [~salvage:true],
+    rewrite the repository from the best recoverable session (longest
+    replayable journal prefix), regenerating derived artifacts and
+    removing stale temporary files. *)

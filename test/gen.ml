@@ -184,6 +184,73 @@ let modop : Core.Modop.t t =
        return (Modify_instance_of_order_by (n, p, o, w)));
     ]
 
+(* --- pathological names (for persistence round trips) ------------------- *)
+
+(** Names that stress the journal's line discipline: embedded newlines,
+    leading comment markers, concept tags, quotes, backslashes, separators —
+    everything that once could corrupt an op-log line.  Such names are only
+    representable as quoted identifiers, so the generator guarantees
+    [Odl.Names.needs_quoting]. *)
+let pathological_name =
+  let nasty_char =
+    oneofl
+      [ '\n'; '\r'; '\t'; ' '; '"'; '\\'; '/'; '@'; ';'; '('; ')'; ':'; ',' ]
+  in
+  let* prefix = oneofl [ ""; "//"; "@ww "; "@undo"; "\"" ] in
+  let* chars =
+    list_size (int_range 1 8)
+      (frequency [ (2, char_range 'a' 'z'); (3, nasty_char) ])
+  in
+  let s = prefix ^ String.concat "" (List.map (String.make 1) chars) in
+  return (if Odl.Names.needs_quoting s then s else s ^ "!")
+
+(** Operations whose every name position is pathological: a representative
+    subset of constructors covering the printer's name holes (targets,
+    members, name lists, relationship records, operation signatures, named
+    domains). *)
+let pathological_op : Core.Modop.t t =
+  let open Core.Modop in
+  let name = pathological_name in
+  let names n = list_size (int_range 0 n) name in
+  let named_domain = map (fun t -> D_named t) name in
+  oneof
+    [
+      map (fun n -> Add_type_definition n) name;
+      map (fun n -> Delete_type_definition n) name;
+      map2 (fun n s -> Add_supertype (n, s)) name name;
+      map3 (fun n o w -> Modify_supertype (n, o, w)) name (names 2) (names 2);
+      map2 (fun n e -> Add_extent_name (n, e)) name name;
+      map2 (fun n k -> Add_key_list (n, k)) name (list_size (int_range 1 3) name);
+      map3 (fun n o w -> Modify_key_list (n, o, w)) name (names 2) (names 2);
+      (let* n = name and* d = named_domain and* s = size_opt and* a = name in
+       return (Add_attribute (n, d, s, a)));
+      map2 (fun n a -> Delete_attribute (n, a)) name name;
+      (let* ar_owner = name
+       and* ar_target = name
+       and* ar_card = opt collection_kind
+       and* ar_name = name
+       and* ar_inverse = name
+       and* ar_order_by = names 2 in
+       return
+         (Add_relationship
+            { ar_owner; ar_target; ar_card; ar_name; ar_inverse; ar_order_by }));
+      (let* n = name
+       and* ret = named_domain
+       and* o = name
+       and* args =
+         list_size (int_range 0 2)
+           (let* arg_type = named_domain and* arg_name = name in
+            return { arg_name; arg_type })
+       and* raises = names 2 in
+       return (Add_operation (n, ret, o, args, raises)));
+      (let* n = name and* p = name and* o = name and* w = name in
+       return (Modify_part_of_target_type (n, p, o, w)));
+    ]
+
+(** Ops for persistence round trips: plain names, pathological names, and a
+    mix inside one log. *)
+let roundtrip_op = frequency [ (3, modop); (2, pathological_op) ]
+
 (* --- plausible operations against a concrete schema --------------------- *)
 
 (** Operations whose names mostly refer to constructs that actually exist in

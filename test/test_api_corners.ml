@@ -92,7 +92,7 @@ let session_aliases_via_store () =
   | Ok loaded ->
       Alcotest.(check bool) "alias restored" true
         (contains (Core.Session.aliases_report loaded) "Book -> Tome")
-  | Error e -> Alcotest.fail (Core.Apply.error_to_string e));
+  | Error e -> Alcotest.fail (Repository.Store.load_error_to_string e));
   let rec rm p =
     if Sys.is_directory p then begin
       Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);

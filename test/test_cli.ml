@@ -32,6 +32,19 @@ let check_run args expect_code fragments =
         Alcotest.failf "%s: output lacks %S:\n%s" (String.concat " " args) f text)
     fragments
 
+let rec rm_rf p =
+  if (try Sys.is_directory p with Sys_error _ -> false) then begin
+    Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else Sys.remove p
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let write_temp suffix contents =
   let path = Filename.temp_file "swsd_cli" suffix in
   let oc = open_out path in
@@ -195,6 +208,79 @@ let variants_workflow () =
       check_run [ "variants"; "new"; dir; "site1" ] 1 [ "already exists" ];
       check_run [ "variants"; "interop"; dir; "site1"; "ghost" ] 1 [ "variant" ])
 
+let repl_save_and_fsck () =
+  (* with --save every accepted operation is journalled; the final state
+     survives quitting the repl (not the initial session) *)
+  let dir = Filename.temp_file "swsd_cli_save" "" in
+  Sys.remove dir;
+  let script =
+    write_temp ".txt"
+      "focus ww:Person\napply add_attribute(Person, string, 12, phone)\nquit\n"
+  in
+  let out = Filename.temp_file "swsd_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove script;
+      Sys.remove out;
+      if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "%s repl university --save %s < %s > %s 2>&1"
+             (Filename.quote swsd) (Filename.quote dir) (Filename.quote script)
+             (Filename.quote out))
+      in
+      Alcotest.(check int) "repl exit" 0 code;
+      let log = read_file (Filename.concat dir "log.ops") in
+      Alcotest.(check bool) "accepted op persisted" true
+        (Str_contains.contains log "add_attribute(Person, string, 12, phone)");
+      check_run [ "fsck"; dir ] 0 [ "clean" ])
+
+let fsck_corrupt_and_salvage () =
+  let dir = Filename.temp_file "swsd_cli_fsck" "" in
+  Sys.remove dir;
+  let append_file path text =
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc text;
+    close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () ->
+      check_run [ "variants"; "init"; dir; "emsl" ] 0 [ "initialized" ];
+      check_run [ "variants"; "new"; dir; "site1" ] 0 [];
+      let log = write_temp ".ops" "@ww delete_type_definition(Machine);\n" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove log)
+        (fun () -> check_run [ "variants"; "apply"; dir; "site1"; log ] 0 []);
+      (* interior corruption in the variant's journal: commands refuse with
+         a one-line diagnostic naming the file and exit 2 *)
+      let site_log =
+        Filename.concat (Filename.concat (Filename.concat dir "variants") "site1")
+          "log.ops"
+      in
+      append_file site_log "not a journal record\n";
+      let more = write_temp ".ops" "@ww add_type_definition(Zed);\n" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove more)
+        (fun () ->
+          check_run [ "variants"; "apply"; dir; "site1"; more ] 2 [ "log.ops" ]);
+      check_run [ "fsck"; dir ] 2 [ "variants/site1: log.ops" ];
+      (* salvage keeps the valid journal prefix and leaves the repository
+         usable again *)
+      check_run [ "fsck"; "--salvage"; dir ] 0 [ "variants/site1: salvaged" ];
+      check_run [ "fsck"; dir ] 0 [ "clean" ];
+      check_run [ "variants"; "list"; dir ] 0 [ "site1" ];
+      (* a corrupt top-level schema is corruption too *)
+      let oc = open_out (Filename.concat dir "shrinkwrap.odl") in
+      output_string oc "interface {{{";
+      close_out oc;
+      check_run [ "variants"; "list"; dir ] 2 [ "shrinkwrap.odl" ];
+      check_run [ "fsck"; dir ] 2 [ "shrinkwrap.odl" ])
+
+let fsck_not_a_directory () =
+  check_run [ "fsck"; "/nonexistent/definitely/not" ] 1 [ "not a directory" ]
+
 let data_commands () =
   let data =
     write_temp ".objs"
@@ -247,6 +333,9 @@ let tests =
     test "sql" sql_cmd;
     test "graph" graph_cmd;
     test "variants workflow" variants_workflow;
+    test "repl --save persists and fsck is clean" repl_save_and_fsck;
+    test "fsck reports, refuses, and salvages corruption" fsck_corrupt_and_salvage;
+    test "fsck on a non-directory" fsck_not_a_directory;
     test "data commands" data_commands;
     test "query command" query_command;
   ]

@@ -37,7 +37,7 @@ let quickstart_workflow () =
       Alcotest.check Util.schema_testable "reload equals"
         (Core.Session.workspace session)
         (Core.Session.workspace loaded)
-  | Error e -> Alcotest.fail (Core.Apply.error_to_string e));
+  | Error e -> Alcotest.fail (Repository.Store.load_error_to_string e));
   let rec rm p =
     if Sys.is_directory p then begin
       Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);

@@ -8,7 +8,8 @@ let with_repo schema f =
   let dir = Filename.temp_file "swsd_repo" "" in
   Sys.remove dir;
   let rec rm p =
-    if Sys.is_directory p then begin
+    (* [Sys.is_directory] raises on dangling symlinks; treat them as files *)
+    if (try Sys.is_directory p with Sys_error _ -> false) then begin
       Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
       Sys.rmdir p
     end
@@ -30,16 +31,19 @@ let init_rejects_invalid () =
 
 let init_and_reopen () =
   with_repo (Util.university ()) (fun dir _repo ->
-      let reopened = Repo.open_dir dir in
-      Alcotest.check Util.schema_testable "schema survives"
-        (Util.university ())
-        (Repo.shrink_wrap reopened))
+      match Repo.open_dir dir with
+      | Error m -> Alcotest.fail m
+      | Ok reopened ->
+          Alcotest.check Util.schema_testable "schema survives"
+            (Util.university ())
+            (Repo.shrink_wrap reopened))
 
 let open_missing () =
   match Repo.open_dir "/nonexistent/definitely/not" with
-  | exception Repo.Bad_repo _ -> ()
-  | exception Sys_error _ -> ()
-  | _ -> Alcotest.fail "should not open"
+  | Error m ->
+      Alcotest.(check bool) "error names the shrinkwrap file" true
+        (Str_contains.contains m "shrinkwrap.odl")
+  | Ok _ -> Alcotest.fail "should not open"
 
 let variant_lifecycle () =
   with_repo (Util.university ()) (fun _dir repo ->
@@ -67,13 +71,21 @@ let variant_lifecycle () =
       | Ok loaded ->
           Alcotest.(check bool) "customization survived" false
             (Odl.Schema.mem_interface (Core.Session.workspace loaded) "Time_Slot")
-      | Error e -> Alcotest.fail (Core.Apply.error_to_string e))
+      | Error e -> Alcotest.fail (Repo.open_error_to_string e))
 
 let open_unknown_variant () =
   with_repo (Util.emsl ()) (fun _dir repo ->
       match Repo.open_variant repo "ghost" with
-      | Error (Core.Apply.Unknown _) -> ()
-      | _ -> Alcotest.fail "unknown variant must be Unknown")
+      | Error (Repo.No_variant _) -> ()
+      | _ -> Alcotest.fail "unknown variant must be No_variant")
+
+let variant_names_skip_dangling () =
+  with_repo (Util.university ()) (fun dir repo ->
+      ignore (Repo.create_variant repo "real");
+      let variants = Filename.concat dir "variants" in
+      Unix.symlink "/nonexistent/target" (Filename.concat variants "ghostlink");
+      Alcotest.(check (list string)) "dangling symlink skipped" [ "real" ]
+        (Repo.variant_names repo))
 
 let two_variants_interop () =
   with_repo (Util.university ()) (fun _dir repo ->
@@ -85,7 +97,7 @@ let two_variants_interop () =
       let b, _ = Util.apply_ok b "delete_attribute(Course_Offering, room)" in
       ignore (Repo.save_variant repo "online" b);
       match Repo.interop repo "campus" "online" with
-      | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
+      | Error e -> Alcotest.fail (Repo.open_error_to_string e)
       | Ok r ->
           let names =
             List.map (fun i -> i.Odl.Types.i_name) r.r_interchange.s_interfaces
@@ -98,7 +110,7 @@ let two_variants_interop () =
           | Ok text ->
               Alcotest.(check bool) "report names variants" true
                 (Str_contains.contains text "campus <-> online")
-          | Error e -> Alcotest.fail (Core.Apply.error_to_string e))
+          | Error e -> Alcotest.fail (Repo.open_error_to_string e))
 
 let catalog_and_affinity () =
   with_repo (Util.emsl ()) (fun _dir repo ->
@@ -123,6 +135,7 @@ let tests =
     test "open missing repository" open_missing;
     test "variant lifecycle" variant_lifecycle;
     test "open unknown variant" open_unknown_variant;
+    test "variant names skip dangling symlinks" variant_names_skip_dangling;
     test "two variants interoperate" two_variants_interop;
     test "catalog and affinity" catalog_and_affinity;
   ]

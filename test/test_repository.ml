@@ -1,27 +1,60 @@
+(* The durable repository: artifact round trips, the append-only journal,
+   and crash recovery.  The fault-injection sweeps crash the writer at every
+   effectful syscall of generated save/append schedules (in-memory filesystem
+   with write-back-cache semantics, plus a smaller sweep on the real
+   filesystem) and demand that recovery always lands on a durable state with
+   no exception escaping.
+
+   Run with QCHECK_LONG=1 (the [fuzz-long] alias) for the full sweep. *)
+
 module Store = Repository.Store
+module Io = Repository.Io
+module Journal = Repository.Journal
 
 let test = Util.test
+
+let prop name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~long_factor:10 gen f)
 
 let tmp_dir () =
   let f = Filename.temp_file "swsd_test" "" in
   Sys.remove f;
   f
 
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else Sys.remove p
+
 let with_repo f =
   let dir = tmp_dir () in
   let repo = Store.open_dir dir in
   Fun.protect
-    ~finally:(fun () ->
-      (* best-effort cleanup *)
-      let rec rm p =
-        if Sys.is_directory p then begin
-          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
-          Sys.rmdir p
-        end
-        else Sys.remove p
-      in
-      if Sys.file_exists dir then rm dir)
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
     (fun () -> f repo)
+
+let steps s =
+  List.map
+    (fun (st : Core.Session.step) -> (st.st_kind, st.st_op))
+    (Core.Session.log s)
+
+let steps_equal =
+  List.equal (fun (k1, o1) (k2, o2) -> k1 = k2 && Core.Modop.equal o1 o2)
+
+let entry_equal a b =
+  match (a, b) with
+  | Journal.Op (k1, o1), Journal.Op (k2, o2) -> k1 = k2 && Core.Modop.equal o1 o2
+  | Journal.Undo, Journal.Undo -> true
+  | _ -> false
+
+let rec take n l =
+  if n <= 0 then []
+  else match l with [] -> [] | x :: r -> x :: take (n - 1) r
+
+(* --- artifact round trips (whole files) ---------------------------------- *)
 
 let schema_roundtrip () =
   with_repo (fun repo ->
@@ -64,7 +97,9 @@ let bad_logs () =
   in
   expect_bad "@zz add_type_definition(A);";
   expect_bad "@ww";
-  expect_bad "@ww frobnicate(A);"
+  expect_bad "@ww frobnicate(A);";
+  (* an undo with nothing to undo is corruption, not a crash artifact *)
+  expect_bad "@undo;"
 
 let session_roundtrip () =
   with_repo (fun repo ->
@@ -80,7 +115,7 @@ let session_roundtrip () =
             (Core.Session.workspace s) (Core.Session.workspace loaded);
           Alcotest.(check int) "log restored" 2
             (List.length (Core.Session.log loaded))
-      | Error e -> Alcotest.failf "load failed: %s" (Core.Apply.error_to_string e))
+      | Error e -> Alcotest.failf "load failed: %s" (Store.load_error_to_string e))
 
 let reports_written () =
   with_repo (fun repo ->
@@ -104,6 +139,397 @@ let custom_written_and_parsable () =
 let empty_log_on_fresh_repo () =
   with_repo (fun repo -> Alcotest.(check int) "no log" 0 (List.length (Store.load_log repo)))
 
+(* --- the journal ---------------------------------------------------------- *)
+
+let kind_tags () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "tag round trips" true
+        (Journal.kind_of_tag (Journal.kind_tag k) = Some k))
+    [
+      Core.Concept.Wagon_wheel; Core.Concept.Generalization;
+      Core.Concept.Aggregation; Core.Concept.Instance_chain;
+    ];
+  Alcotest.(check bool) "unknown tag" true (Journal.kind_of_tag "@zz" = None)
+
+let incremental_appends () =
+  with_repo (fun repo ->
+      Store.save_session repo (Util.session_of (Util.university ()));
+      Store.append_step repo
+        (Core.Concept.Wagon_wheel, Util.parse_op "add_type_definition(Lab)");
+      Store.append_step repo
+        (Core.Concept.Generalization, Util.parse_op "add_supertype(Lab, Person)");
+      Store.append_undo repo;
+      let text = (Store.io repo).Io.read_file (Store.log_file repo) in
+      Alcotest.(check bool) "undo journalled, not rewritten" true
+        (Str_contains.contains text "@undo;");
+      match Store.load_session repo with
+      | Ok loaded ->
+          Alcotest.(check int) "undo resolved on load" 1
+            (Core.Session.step_count loaded)
+      | Error e -> Alcotest.fail (Store.load_error_to_string e))
+
+let torn_tail_selfheal () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.university ()) in
+      let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
+      Store.save_session repo s;
+      (* a crash mid-append leaves an unterminated fragment *)
+      (Store.io repo).Io.append (Store.log_file repo) "@gh add_supertype(La";
+      (match Store.load_session repo with
+      | Ok loaded ->
+          Alcotest.(check int) "torn record dropped" 1
+            (Core.Session.step_count loaded)
+      | Error e -> Alcotest.fail (Store.load_error_to_string e));
+      (* ... and loading repaired the file for the next appender *)
+      match Journal.read (Store.io repo) (Store.log_file repo) with
+      | { Journal.damage = None; entries } ->
+          Alcotest.(check int) "journal repaired in place" 1 (List.length entries)
+      | { damage = Some d; _ } ->
+          Alcotest.failf "journal not repaired: %s" (Journal.damage_to_string d))
+
+let interior_corruption_and_fsck () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.university ()) in
+      let s =
+        Util.apply_many s
+          [ "add_type_definition(Lab)"; "add_type_definition(Annex)" ]
+      in
+      Store.save_session repo s;
+      let io = Store.io repo in
+      let log = io.Io.read_file (Store.log_file repo) in
+      (match String.index_opt log '\n' with
+      | None -> Alcotest.fail "expected two records"
+      | Some i ->
+          io.Io.write (Store.log_file repo)
+            (String.sub log 0 (i + 1)
+            ^ "frobnicate the journal\n"
+            ^ String.sub log (i + 1) (String.length log - i - 1)));
+      (match Store.load_session repo with
+      | Ok _ -> Alcotest.fail "interior corruption must not load"
+      | Error (Store.Damaged { file; _ }) ->
+          Alcotest.(check string) "names the journal" "log.ops" file
+      | Error e ->
+          Alcotest.failf "unexpected error: %s" (Store.load_error_to_string e));
+      let report = Store.fsck repo in
+      Alcotest.(check bool) "fsck reports the journal" true
+        (List.exists
+           (fun m -> Str_contains.contains m "log.ops")
+           report.Store.fsck_issues);
+      let report = Store.fsck ~salvage:true repo in
+      (match report.Store.fsck_session with
+      | Some s ->
+          Alcotest.(check int) "valid prefix kept" 1 (Core.Session.step_count s)
+      | None -> Alcotest.fail "salvage should recover a session");
+      match Store.load_session repo with
+      | Ok loaded ->
+          Alcotest.(check int) "clean after salvage" 1
+            (Core.Session.step_count loaded)
+      | Error e ->
+          Alcotest.failf "still damaged after salvage: %s"
+            (Store.load_error_to_string e))
+
+let fsck_clean () =
+  with_repo (fun repo ->
+      Store.save_session repo (Util.session_of (Util.university ()));
+      let report = Store.fsck repo in
+      Alcotest.(check (list string)) "no issues" [] report.Store.fsck_issues)
+
+let missing_shrinkwrap () =
+  with_repo (fun repo ->
+      Store.append_step repo
+        (Core.Concept.Wagon_wheel, Util.parse_op "add_type_definition(Lab)");
+      (match Store.load_session repo with
+      | Error (Store.Damaged { file; _ }) ->
+          Alcotest.(check string) "names the schema" "shrinkwrap.odl" file
+      | Ok _ -> Alcotest.fail "no shrink wrap schema, must not load"
+      | Error e ->
+          Alcotest.failf "unexpected: %s" (Store.load_error_to_string e));
+      let report = Store.fsck repo in
+      Alcotest.(check bool) "unrecoverable" true
+        (Option.is_none report.Store.fsck_session))
+
+let manifest_generations () =
+  with_repo (fun repo ->
+      let s = Util.session_of (Util.university ()) in
+      Store.save_session repo s;
+      (match Store.load_manifest repo with
+      | Some m -> Alcotest.(check int) "first generation" 1 m.Store.m_generation
+      | None -> Alcotest.fail "manifest missing");
+      let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
+      Store.save_session repo s;
+      match Store.load_manifest repo with
+      | Some m ->
+          Alcotest.(check int) "generation bumped" 2 m.Store.m_generation;
+          Alcotest.(check int) "ops watermark" 1 m.Store.m_ops
+      | None -> Alcotest.fail "manifest missing")
+
+let stale_tmp_swept () =
+  with_repo (fun repo ->
+      Store.save_session repo (Util.session_of (Util.university ()));
+      let stale = Store.custom_file repo ^ Io.tmp_suffix in
+      (Store.io repo).Io.write stale "half a write";
+      let report = Store.fsck repo in
+      Alcotest.(check bool) "tmp reported" true
+        (List.exists
+           (fun m -> Str_contains.contains m Io.tmp_suffix)
+           report.Store.fsck_issues);
+      ignore (Store.fsck ~salvage:true repo);
+      Alcotest.(check bool) "tmp swept" false (Sys.file_exists stale))
+
+let mkdir_p_nested () =
+  let base = tmp_dir () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists base then rm_rf base)
+    (fun () ->
+      let deep =
+        Filename.concat (Filename.concat (Filename.concat base "a") "b") "c"
+      in
+      Io.mkdir_p Io.unix deep;
+      Alcotest.(check bool) "created" true (Sys.is_directory deep);
+      (* idempotent: EEXIST is success *)
+      Io.mkdir_p Io.unix deep;
+      Alcotest.(check bool) "still there" true (Sys.is_directory deep))
+
+let engine_persists_incrementally () =
+  with_repo (fun repo ->
+      let session = Util.session_of (Util.university ()) in
+      Store.save_session repo session;
+      let run st line = fst (Designer.Engine.exec_line st line) in
+      let st = Designer.Engine.start ~repo session in
+      let st = run st "focus ww:Person" in
+      let st = run st "apply add_attribute(Person, string, 12, phone)" in
+      let st = run st "undo" in
+      let st = run st "redo" in
+      match Store.load_session repo with
+      | Ok loaded ->
+          Alcotest.(check int) "journal tracks the designer"
+            (Core.Session.step_count st.Designer.Engine.session)
+            (Core.Session.step_count loaded);
+          Alcotest.check Util.schema_testable "workspace restored"
+            (Core.Session.workspace st.Designer.Engine.session)
+            (Core.Session.workspace loaded)
+      | Error e -> Alcotest.fail (Store.load_error_to_string e))
+
+(* --- round-trip properties (pathological names included) ------------------ *)
+
+let log_roundtrip_prop =
+  prop "op log round trips (pathological names included)"
+    QCheck2.Gen.(list_size (int_range 0 8) (pair Gen.concept_kind Gen.roundtrip_op))
+    (fun steps -> steps_equal steps (Store.log_of_string (Store.log_to_string steps)))
+
+let entry_gen =
+  QCheck2.Gen.(
+    frequency
+      [
+        (4, map (fun (k, o) -> Journal.Op (k, o)) (pair Gen.concept_kind Gen.roundtrip_op));
+        (1, return Journal.Undo);
+      ])
+
+let journal_entry_roundtrip =
+  prop "journal entries round trip (undo records included)"
+    QCheck2.Gen.(list_size (int_range 0 8) entry_gen)
+    (fun entries ->
+      let p = Journal.parse (Journal.to_string entries) in
+      p.Journal.damage = None && List.equal entry_equal entries p.Journal.entries)
+
+(* Cutting the journal anywhere — the on-disk state after a torn write —
+   recovers a clean prefix of the entries: a cut at a record boundary loses
+   nothing, a cut inside the last record is reported as a torn tail and
+   yields at most that record beyond the terminated prefix. *)
+let journal_torn_prefix =
+  prop "any journal prefix recovers a clean prefix of entries"
+    QCheck2.Gen.(pair (list_size (int_range 1 6) entry_gen) nat)
+    (fun (entries, n) ->
+      let full = Journal.to_string entries in
+      let cut = n mod (String.length full + 1) in
+      let text = String.sub full 0 cut in
+      let terminated =
+        String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 text
+      in
+      let p = Journal.parse text in
+      let m = List.length p.Journal.entries in
+      let boundary = cut = 0 || text.[cut - 1] = '\n' in
+      (m = terminated || ((not boundary) && m = terminated + 1))
+      && List.for_all2 entry_equal (take m entries) p.Journal.entries
+      &&
+      if boundary then p.Journal.damage = None
+      else
+        match p.Journal.damage with
+        | Some (Journal.Torn_tail _) -> true
+        | _ -> false)
+
+(* --- fault injection: crash at every syscall ------------------------------ *)
+
+type action =
+  | A_op of Core.Concept.kind * Core.Modop.t  (** apply + journal if accepted *)
+  | A_undo  (** undo + journal if possible *)
+  | A_snapshot  (** full [save_session] *)
+
+let action_to_string = function
+  | A_op (k, o) -> Journal.entry_to_line (Journal.Op (k, o))
+  | A_undo -> "@undo;"
+  | A_snapshot -> "(snapshot)"
+
+let schedule_print actions =
+  String.concat "  " (List.map action_to_string actions)
+
+(* Run a schedule the way the designer does: accepted operations are
+   journalled one record at a time, snapshots are whole saves.  Returns the
+   resolved step list after each durable record, newest first. *)
+let run_actions store session actions =
+  List.fold_left
+    (fun (session, states) action ->
+      match action with
+      | A_op (kind, op) -> (
+          match Core.Session.apply session ~kind op with
+          | Ok (s, _) ->
+              Store.append_step store (kind, op);
+              (s, steps s :: states)
+          | Error _ -> (session, states))
+      | A_undo -> (
+          match Core.Session.undo session with
+          | Some s ->
+              Store.append_undo store;
+              (s, steps s :: states)
+          | None -> (session, states))
+      | A_snapshot ->
+          Store.save_session store session;
+          (session, states))
+    (session, []) actions
+
+(* Crash the writer at effectful syscall [k] of [actions] (the setup save is
+   not faulted), let the write-back cache lose or tear whatever was not yet
+   fsync'd, and demand that the repository reloads onto a durable state of
+   the schedule with a clean journal. *)
+let mem_sweep actions =
+  let fresh () =
+    let mem = Io.mem_create () in
+    let io = Io.mem_io mem in
+    let store = Store.open_dir ~io "/repo" in
+    Store.save_session store (Util.session_of (Util.university ()));
+    (mem, io)
+  in
+  let _, io = fresh () in
+  let counted, total = Io.counting io in
+  let _, states =
+    run_actions
+      (Store.open_dir ~io:counted "/repo")
+      (Util.session_of (Util.university ()))
+      actions
+  in
+  let timeline = [] :: List.rev states in
+  for k = 0 to total () - 1 do
+    let mem, io = fresh () in
+    let faulty_io, _ = Io.faulty ~crash_at:k io in
+    (try
+       ignore
+         (run_actions
+            (Store.open_dir ~io:faulty_io "/repo")
+            (Util.session_of (Util.university ()))
+            actions)
+     with Io.Crash -> ());
+    (* power loss: un-fsync'd data survives in full, torn, or not at all *)
+    Io.mem_crash ~flush:k mem;
+    let store = Store.open_dir ~io "/repo" in
+    (match Store.load_session store with
+    | Error e ->
+        QCheck2.Test.fail_reportf "crash at syscall %d: repository unreadable: %s"
+          k
+          (Store.load_error_to_string e)
+    | Ok s ->
+        if not (List.exists (steps_equal (steps s)) timeline) then
+          QCheck2.Test.fail_reportf
+            "crash at syscall %d: recovered %d step(s), not a durable state" k
+            (List.length (steps s)));
+    match Journal.read io (Store.log_file store) with
+    | { Journal.damage = None; _ } -> ()
+    | { damage = Some d; _ } ->
+        QCheck2.Test.fail_reportf "crash at syscall %d: journal still damaged: %s"
+          k
+          (Journal.damage_to_string d)
+  done;
+  true
+
+let schedule_gen =
+  let open QCheck2.Gen in
+  let u = Util.university () in
+  list_size (int_range 1 6)
+    (frequency
+       [
+         (6, map (fun (k, o) -> A_op (k, o)) (pair Gen.concept_kind (Gen.plausible_op u)));
+         (2, return A_undo);
+         (1, return A_snapshot);
+       ])
+
+let crash_sweep =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"crash at every syscall recovers a durable state (mem fs)"
+       ~count:10 ~long_factor:50 ~print:schedule_print schedule_gen mem_sweep)
+
+(* The same harness over the real filesystem: a fixed schedule, a fresh
+   directory per crash point. *)
+let disk_crash_sweep () =
+  let actions =
+    [
+      A_op (Core.Concept.Wagon_wheel, Util.parse_op "add_type_definition(Lab)");
+      A_op
+        (Core.Concept.Wagon_wheel,
+         Util.parse_op "add_attribute(Lab, string, 40, title)");
+      A_undo;
+      A_snapshot;
+      A_op
+        (Core.Concept.Generalization, Util.parse_op "add_supertype(Lab, Person)");
+    ]
+  in
+  let with_dir f =
+    let dir = tmp_dir () in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+      (fun () -> f dir)
+  in
+  let setup dir =
+    let store = Store.open_dir dir in
+    Store.save_session store (Util.session_of (Util.university ()));
+    store
+  in
+  let total, timeline =
+    with_dir (fun dir ->
+        ignore (setup dir);
+        let counted, total = Io.counting Io.unix in
+        let _, states =
+          run_actions
+            (Store.open_dir ~io:counted dir)
+            (Util.session_of (Util.university ()))
+            actions
+        in
+        (total (), [] :: List.rev states))
+  in
+  Alcotest.(check int) "every action lands a durable record" 5
+    (List.length timeline);
+  for k = 0 to total - 1 do
+    with_dir (fun dir ->
+        ignore (setup dir);
+        let faulty_io, _ = Io.faulty ~crash_at:k Io.unix in
+        (try
+           ignore
+             (run_actions
+                (Store.open_dir ~io:faulty_io dir)
+                (Util.session_of (Util.university ()))
+                actions)
+         with Io.Crash -> ());
+        match Store.load_session (Store.open_dir dir) with
+        | Error e ->
+            Alcotest.failf "crash at syscall %d: %s" k
+              (Store.load_error_to_string e)
+        | Ok s ->
+            Alcotest.(check bool)
+              (Printf.sprintf "crash at syscall %d lands on the timeline" k)
+              true
+              (List.exists (steps_equal (steps s)) timeline))
+  done
+
 let tests =
   [
     test "schema round trip" schema_roundtrip;
@@ -114,4 +540,19 @@ let tests =
     test "reports written" reports_written;
     test "custom schema written and parsable" custom_written_and_parsable;
     test "empty log on fresh repo" empty_log_on_fresh_repo;
+    test "concept tags round trip" kind_tags;
+    test "incremental appends and journalled undo" incremental_appends;
+    test "torn journal tail self-heals" torn_tail_selfheal;
+    test "interior corruption detected and salvaged" interior_corruption_and_fsck;
+    test "fsck on a clean repository" fsck_clean;
+    test "missing shrink wrap schema" missing_shrinkwrap;
+    test "manifest generations" manifest_generations;
+    test "stale temporary files swept" stale_tmp_swept;
+    test "mkdir_p nests and tolerates EEXIST" mkdir_p_nested;
+    test "designer persists incrementally" engine_persists_incrementally;
+    log_roundtrip_prop;
+    journal_entry_roundtrip;
+    journal_torn_prefix;
+    crash_sweep;
+    test "crash at every syscall recovers (real fs)" disk_crash_sweep;
   ]
