@@ -145,6 +145,21 @@ let cmd_report arg log_path paranoid =
       0)
 
 let cmd_repl arg save_dir paranoid =
+  (* Fail fast if another process (a server, another repl) owns the save
+     directory: a second writer would interleave journal appends. *)
+  let flock =
+    match save_dir with
+    | None -> None
+    | Some dir -> (
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        match
+          Server.Locks.lock_file (Filename.concat dir Server.Locks.lock_file_name)
+        with
+        | Ok l -> Some l
+        | Error m ->
+            prerr_endline ("cannot save to locked repository: " ^ m);
+            Stdlib.exit 2)
+  in
   with_session ~paranoid arg (fun session ->
       (* With --save the session is persisted up front and then journalled
          incrementally: one durable record per accepted operation, so a
@@ -183,6 +198,7 @@ let cmd_repl arg save_dir paranoid =
       | Some repo ->
           Repository.Store.save_session repo final.Designer.Engine.session
       | None -> ());
+      Option.iter Server.Locks.unlock_file flock;
       0)
 
 let cmd_diff arg_a arg_b =
@@ -471,6 +487,30 @@ let cmd_fsck dir salvage =
     code
   end
 
+(* Serve a multi-variant repository to concurrent designer sessions over
+   a Unix domain socket.  SIGTERM/SIGINT drain gracefully: in-flight
+   requests finish, dirty sessions are snapshotted, locks released. *)
+let cmd_serve dir socket =
+  let socket_path =
+    match socket with Some p -> p | None -> Filename.concat dir "swsd.sock"
+  in
+  match Server.create ~socket_path dir with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok server ->
+      Server.install_signal_handlers server;
+      Printf.printf "serving %s on %s\n%!" dir socket_path;
+      let failures = Server.run server in
+      List.iter
+        (fun (variant, reason) ->
+          Printf.eprintf
+            "warning: %s: snapshot failed (%s); journal remains authoritative\n"
+            variant reason)
+        failures;
+      print_endline "server stopped";
+      0
+
 let cmd_examples () =
   List.iter
     (fun (name, f) -> print_endline (name ^ ": " ^ Core.Render.summary (f ())))
@@ -754,6 +794,21 @@ let fsck_cmd =
     Term.(
       const (fun d s -> Stdlib.exit (cmd_fsck d s)) $ repo_dir_arg $ salvage_arg)
 
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a variant repository to concurrent designer sessions over a \
+          Unix domain socket (line protocol; graceful drain on SIGTERM)")
+    Term.(
+      const (fun d s -> Stdlib.exit (cmd_serve d s))
+      $ repo_dir_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "socket" ] ~docv:"PATH"
+              ~doc:"Socket path (default: DIR/swsd.sock)."))
+
 let examples_cmd =
   Cmd.v
     (Cmd.info "examples" ~doc:"List the built-in example schemas")
@@ -772,5 +827,5 @@ let () =
             diff_cmd; explain_cmd; affinity_cmd; library_cmd; graph_cmd;
             sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
             query_cmd;
-            variants_cmd; fsck_cmd; examples_cmd;
+            variants_cmd; serve_cmd; fsck_cmd; examples_cmd;
           ]))

@@ -29,46 +29,91 @@ type t = {
 
 (* --- the real filesystem ------------------------------------------------- *)
 
+(** [retry_eintr f] runs [f ()] again whenever it is interrupted by a
+    signal (EINTR).  Every syscall {!unix} performs goes through this one
+    loop, so a SIGCHLD/SIGALRM landing mid-write in the threaded server
+    never surfaces as a spurious IO failure. *)
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+(* Map the remaining Unix errors to the [Sys_error] the rest of the
+   repository layer expects (EINTR never reaches this point). *)
+let sys_error path = function
+  | Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+  | e -> raise e
+
+let with_fd path flags perm f =
+  let fd = try retry_eintr (fun () -> Unix.openfile path flags perm)
+           with e -> sys_error path e in
+  Fun.protect
+    ~finally:(fun () -> retry_eintr (fun () -> Unix.close fd))
+    (fun () -> try f fd with e -> sys_error path e)
+
+let read_all fd =
+  let chunk = 65536 in
+  let buf = Bytes.create chunk in
+  let b = Buffer.create chunk in
+  let rec go () =
+    let n = retry_eintr (fun () -> Unix.read fd buf 0 chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes b buf 0 n;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents b
+
+(* A short write (interrupted or against a full pipe of the fs cache) is
+   resumed from where it stopped; EINTR before any byte is a plain retry. *)
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = retry_eintr (fun () -> Unix.write fd b off (len - off)) in
+      go (off + n)
+  in
+  go 0
+
 let unix : t =
   {
     read_file =
-      (fun path ->
-        let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic)));
+      (fun path -> with_fd path [ Unix.O_RDONLY ] 0 read_all);
     write =
       (fun path contents ->
-        let oc = open_out_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc contents));
+        with_fd path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+          (fun fd -> write_all fd contents));
     append =
       (fun path contents ->
-        let oc =
-          open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-        in
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc contents));
+        with_fd path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+          (fun fd -> write_all fd contents));
     fsync =
       (fun path ->
-        let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
-        Fun.protect
-          ~finally:(fun () -> Unix.close fd)
-          (fun () -> Unix.fsync fd));
-    rename = Sys.rename;
-    remove = Sys.remove;
-    file_exists = Sys.file_exists;
+        with_fd path [ Unix.O_RDONLY ] 0 (fun fd ->
+            retry_eintr (fun () -> Unix.fsync fd)));
+    rename =
+      (fun a b ->
+        try retry_eintr (fun () -> Unix.rename a b) with e -> sys_error a e);
+    remove =
+      (fun p ->
+        try retry_eintr (fun () -> Unix.unlink p) with e -> sys_error p e);
+    file_exists = (fun p -> retry_eintr (fun () -> Sys.file_exists p));
     is_directory =
-      (fun path -> try Sys.is_directory path with Sys_error _ -> false);
+      (fun path ->
+        try retry_eintr (fun () -> Sys.is_directory path)
+        with Sys_error _ -> false);
     mkdir =
       (fun path ->
-        try Unix.mkdir path 0o755 with
+        try retry_eintr (fun () -> Unix.mkdir path 0o755) with
         | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-        | Unix.Unix_error (e, _, _) ->
-            raise (Sys_error (path ^ ": " ^ Unix.error_message e)));
-    readdir = (fun path -> Sys.readdir path |> Array.to_list);
+        | e -> sys_error path e);
+    readdir =
+      (* sorted, so every directory listing is deterministic across
+         filesystems (readdir order is arbitrary on ext4/btrfs/tmpfs) *)
+      (fun path ->
+        retry_eintr (fun () -> Sys.readdir path)
+        |> Array.to_list |> List.sort compare);
   }
 
 (* --- derived operations -------------------------------------------------- *)
@@ -190,6 +235,47 @@ let mem_crash ?(flush = 0) (m : mem) =
       Hashtbl.replace m.synced p c)
     survivors
 
+(* --- concurrency wrappers ------------------------------------------------- *)
+
+(** [locked io] serializes every operation of [io] through one mutex.  The
+    in-memory filesystem is plain hashtables, so any concurrent use (the
+    multi-session service, the chaos harness) must go through this. *)
+let locked io =
+  let m = Mutex.create () in
+  let guard f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  {
+    read_file = (fun p -> guard (fun () -> io.read_file p));
+    write = (fun p c -> guard (fun () -> io.write p c));
+    append = (fun p c -> guard (fun () -> io.append p c));
+    fsync = (fun p -> guard (fun () -> io.fsync p));
+    rename = (fun a b -> guard (fun () -> io.rename a b));
+    remove = (fun p -> guard (fun () -> io.remove p));
+    file_exists = (fun p -> guard (fun () -> io.file_exists p));
+    is_directory = (fun p -> guard (fun () -> io.is_directory p));
+    mkdir = (fun p -> guard (fun () -> io.mkdir p));
+    readdir = (fun p -> guard (fun () -> io.readdir p));
+  }
+
+(** [protected io] wraps every operation of [io] in {!retry_eintr} — the
+    same loop {!unix} uses internally, exposed so tests can drive it
+    against {!eintr_faulty}. *)
+let protected io =
+  {
+    read_file = (fun p -> retry_eintr (fun () -> io.read_file p));
+    write = (fun p c -> retry_eintr (fun () -> io.write p c));
+    append = (fun p c -> retry_eintr (fun () -> io.append p c));
+    fsync = (fun p -> retry_eintr (fun () -> io.fsync p));
+    rename = (fun a b -> retry_eintr (fun () -> io.rename a b));
+    remove = (fun p -> retry_eintr (fun () -> io.remove p));
+    file_exists = (fun p -> retry_eintr (fun () -> io.file_exists p));
+    is_directory = (fun p -> retry_eintr (fun () -> io.is_directory p));
+    mkdir = (fun p -> retry_eintr (fun () -> io.mkdir p));
+    readdir = (fun p -> retry_eintr (fun () -> io.readdir p));
+  }
+
 (* --- fault injection ----------------------------------------------------- *)
 
 (** Count every effectful syscall (write, append, fsync, rename, remove,
@@ -207,6 +293,36 @@ let counting io =
       mkdir = (fun p -> tick (); io.mkdir p);
     },
     fun () -> !n )
+
+(** [eintr_faulty ~eintr_at io] raises [Unix_error (EINTR, ...)] in place
+    of each effectful syscall whose (0-based) index is listed in
+    [eintr_at]; the syscall has no effect at the injection point, like a
+    signal landing before the kernel did any work.  Composed under
+    {!protected} (or behind {!unix}'s own loops) the interrupted call is
+    retried and must succeed; the second component reads how many
+    interrupts were delivered. *)
+let eintr_faulty ~eintr_at io =
+  let n = ref 0 in
+  let delivered = ref 0 in
+  let gate f =
+    let i = !n in
+    incr n;
+    if List.mem i eintr_at then begin
+      incr delivered;
+      raise (Unix.Unix_error (Unix.EINTR, "injected", ""))
+    end
+    else f ()
+  in
+  ( {
+      io with
+      write = (fun p c -> gate (fun () -> io.write p c));
+      append = (fun p c -> gate (fun () -> io.append p c));
+      fsync = (fun p -> gate (fun () -> io.fsync p));
+      rename = (fun a b -> gate (fun () -> io.rename a b));
+      remove = (fun p -> gate (fun () -> io.remove p));
+      mkdir = (fun p -> gate (fun () -> io.mkdir p));
+    },
+    fun () -> !delivered )
 
 (** [faulty ~crash_at io] raises {!Crash} in place of the [crash_at]-th
     (0-based) effectful syscall.  A crashing [write]/[append] first lands a

@@ -27,7 +27,14 @@ type t = {
 }
 
 val unix : t
-(** The real filesystem. *)
+(** The real filesystem.  Every syscall is EINTR-safe ({!retry_eintr}) and
+    short writes are resumed, so signals landing in a threaded server never
+    surface as spurious IO failures; [readdir] is sorted so directory
+    listings are deterministic across filesystems. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Re-run the thunk whenever it raises [Unix_error (EINTR, _, _)] — the
+    shared retry loop behind every {!unix} syscall. *)
 
 val mkdir_p : t -> string -> unit
 (** Create a directory and any missing parents; tolerant of concurrent
@@ -53,7 +60,25 @@ val mem_crash : ?flush:int -> mem -> unit
     rule keyed on [flush] keeps nothing, a torn prefix, or all of the
     pending delta; the surviving state becomes the new contents. *)
 
+(** {1 Concurrency wrappers} *)
+
+val locked : t -> t
+(** Serialize every operation through one mutex.  Required around {!mem_io}
+    (plain hashtables) whenever several threads share the filesystem, e.g.
+    under the multi-session service. *)
+
+val protected : t -> t
+(** Wrap every operation in {!retry_eintr}; {!unix} already retries
+    internally, this exposes the same discipline for composed IOs (and for
+    driving {!eintr_faulty} in tests). *)
+
 (** {1 Fault injection} *)
+
+val eintr_faulty : eintr_at:int list -> t -> t * (unit -> int)
+(** Raise [Unix_error (EINTR, _, _)] in place of each effectful syscall
+    whose 0-based index is listed (no effect at the injection point; the
+    retried call gets a fresh index).  The second component reads how many
+    interrupts were delivered. *)
 
 val counting : t -> t * (unit -> int)
 (** Count every effectful syscall (write, append, fsync, rename, remove,

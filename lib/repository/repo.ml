@@ -23,6 +23,8 @@ type t = {
 let variants_dir t = Filename.concat t.dir "variants"
 let variant_dir t name = Filename.concat (variants_dir t) name
 let variant_store t name = Store.open_dir ~io:t.io (variant_dir t name)
+let io t = t.io
+let dir t = t.dir
 
 let valid_variant_name n = n <> "" && Odl.Names.is_valid n
 

@@ -17,11 +17,20 @@ val open_dir : ?io:Io.t -> string -> (t, string) result
 val shrink_wrap : t -> Odl.Types.schema
 
 val variant_names : t -> string list
-(** Subdirectories of [variants/]; dangling symlinks and unreadable entries
+(** Subdirectories of [variants/], sorted (deterministic regardless of the
+    filesystem's readdir order); dangling symlinks and unreadable entries
     are skipped. *)
 
 val mem_variant : t -> string -> bool
 val variant_store : t -> string -> Store.t
+
+val variants_dir : t -> string
+val variant_dir : t -> string -> string
+(** Paths under the repository; the service keeps its advisory lock file
+    ([.lock]) in a variant's directory. *)
+
+val io : t -> Io.t
+val dir : t -> string
 
 (** Why a variant would not open. *)
 type open_error =

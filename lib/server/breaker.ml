@@ -1,0 +1,51 @@
+(** Circuit breaker: the degradation ladder's last rung before crashing.
+
+    Each variant session carries one breaker around its journal appends.
+    Repeated append failures (after {!Retry} has absorbed transient bursts)
+    trip the breaker and the variant degrades to read-only — browsing,
+    checking, and reports keep working, mutations are refused — instead of
+    the server dying or silently dropping acknowledged work.  After a
+    cooldown the breaker goes half-open: one mutation is allowed through as
+    a probe, and its outcome closes or re-trips the circuit. *)
+
+type state = Closed | Open of float  (** tripped at [t]; read-only *)
+
+type t = {
+  threshold : int;  (** consecutive failures that trip the breaker *)
+  cooldown : float;  (** seconds before a half-open probe is allowed *)
+  mutable failures : int;  (** consecutive failures while closed *)
+  mutable state : state;
+}
+
+let create ?(threshold = 3) ?(cooldown = 30.0) () =
+  { threshold; cooldown; failures = 0; state = Closed }
+
+let is_open t = match t.state with Open _ -> true | Closed -> false
+
+(** Would a mutation be admitted now?  [true] while closed, and for the
+    half-open probe once [cooldown] has elapsed since the trip. *)
+let allows t ~now =
+  match t.state with
+  | Closed -> true
+  | Open tripped_at -> now -. tripped_at >= t.cooldown
+
+let record_success t =
+  t.failures <- 0;
+  t.state <- Closed
+
+(** One journal-append failure (post-retry).  Trips the breaker at
+    [threshold] consecutive failures; a failed half-open probe re-trips it
+    immediately, restarting the cooldown. *)
+let record_failure t ~now =
+  match t.state with
+  | Open _ -> t.state <- Open now
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.threshold then t.state <- Open now
+
+let describe t =
+  match t.state with
+  | Closed -> "closed"
+  | Open _ ->
+      Printf.sprintf "open (read-only after %d journal failure(s))"
+        (max t.failures t.threshold)

@@ -1,0 +1,17 @@
+(** Per-variant circuit breaker: repeated journal-append failures degrade
+    the variant to read-only instead of crashing the server; a cooldown
+    admits a half-open probe whose outcome closes or re-trips the
+    circuit.  Not thread-safe on its own — call under the session lock. *)
+
+type t
+
+val create : ?threshold:int -> ?cooldown:float -> unit -> t
+val is_open : t -> bool
+
+val allows : t -> now:float -> bool
+(** Admit a mutation?  [true] while closed, and for the half-open probe
+    once the cooldown has elapsed. *)
+
+val record_success : t -> unit
+val record_failure : t -> now:float -> unit
+val describe : t -> string

@@ -1,0 +1,138 @@
+(** Two-level lock manager for variant repositories.
+
+    In-process, a table of per-variant locks serializes the sessions of one
+    server: a request holds its variant's lock for the duration of its
+    execution (engine step + journal append), so two sessions can never
+    interleave journal records.  Waiting is bounded twice over — by a
+    per-variant queue bound (excess requests are shed immediately so the
+    accept loop never blocks behind a convoy) and by the request deadline.
+
+    Across processes, an advisory file lock ([.lock] in the locked
+    directory, [lockf]) keeps a second server — or a [swsd repl --save]
+    pointed at the same variant — from interleaving appends with us.  POSIX
+    record locks are per-process, which is exactly right: threads of one
+    server share the file lock and serialize through the in-process table
+    instead. *)
+
+(* --- in-process ----------------------------------------------------------- *)
+
+type entry = {
+  mutex : Mutex.t;
+  mutable waiters : int;  (** requests queued on this key *)
+}
+
+type t = {
+  table : (string, entry) Hashtbl.t;
+  table_mutex : Mutex.t;  (** guards [table] and every [waiters] count *)
+}
+
+let create () = { table = Hashtbl.create 8; table_mutex = Mutex.create () }
+
+let entry_of t key =
+  Mutex.lock t.table_mutex;
+  let e =
+    match Hashtbl.find_opt t.table key with
+    | Some e -> e
+    | None ->
+        let e = { mutex = Mutex.create (); waiters = 0 } in
+        Hashtbl.add t.table key e;
+        e
+  in
+  Mutex.unlock t.table_mutex;
+  e
+
+type failure =
+  | Busy of int  (** shed on arrival: [waiters] already queued *)
+  | Timed_out  (** queued, but the deadline passed before the lock freed *)
+
+(* OCaml's [Condition] has no timed wait, so bounded waiting polls
+   [try_lock] at a millisecond cadence; at the service's request scale the
+   contention window is a single engine step, which this resolves fast. *)
+let poll_interval = 0.001
+
+(** Run [f] holding [key]'s lock.  Sheds immediately with [Busy] when
+    [max_waiters] requests are already queued on the key, and with
+    [Timed_out] when the lock cannot be acquired by [deadline] (absolute,
+    per [now]). *)
+let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
+    ?(now = Unix.gettimeofday) t key ~deadline f =
+  let e = entry_of t key in
+  let run () =
+    Ok (Fun.protect ~finally:(fun () -> Mutex.unlock e.mutex) f)
+  in
+  (* an uncontended lock admits regardless of the queue bound; the bound
+     only sheds requests that would actually have to wait *)
+  if Mutex.try_lock e.mutex then run ()
+  else
+    let admitted =
+      Mutex.lock t.table_mutex;
+      let ok = e.waiters < max_waiters in
+      if ok then e.waiters <- e.waiters + 1;
+      let n = e.waiters in
+      Mutex.unlock t.table_mutex;
+      if ok then Ok () else Error (Busy n)
+    in
+    match admitted with
+    | Error _ as err -> err
+    | Ok () ->
+        let leave () =
+          Mutex.lock t.table_mutex;
+          e.waiters <- e.waiters - 1;
+          Mutex.unlock t.table_mutex
+        in
+        let rec acquire () =
+          if Mutex.try_lock e.mutex then begin
+            leave ();
+            run ()
+          end
+          else if now () > deadline then begin
+            leave ();
+            Error Timed_out
+          end
+          else begin
+            sleep poll_interval;
+            acquire ()
+          end
+        in
+        acquire ()
+
+let waiters t key =
+  Mutex.lock t.table_mutex;
+  let n =
+    match Hashtbl.find_opt t.table key with Some e -> e.waiters | None -> 0
+  in
+  Mutex.unlock t.table_mutex;
+  n
+
+(* --- cross-process (advisory file locks) ---------------------------------- *)
+
+type file_lock = { fd : Unix.file_descr; path : string }
+
+let lock_file_name = ".lock"
+
+(** Try to take the advisory lock [path] (created 0o644 if absent) without
+    blocking.  [Error] when another process holds it, or on IO failure. *)
+let lock_file path =
+  match
+    Repository.Io.retry_eintr (fun () ->
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (path ^ ": " ^ Unix.error_message e)
+  | fd -> (
+      match Repository.Io.retry_eintr (fun () -> Unix.lockf fd Unix.F_TLOCK 0) with
+      | () -> Ok { fd; path }
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (path ^ ": held by another process")
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error (path ^ ": " ^ Unix.error_message e))
+
+(** Release (and keep the lock file around — its presence is meaningless,
+    only the [lockf] record matters, so a crashed holder leaves nothing
+    stale to clean up). *)
+let unlock_file { fd; _ } =
+  (try Repository.Io.retry_eintr (fun () -> Unix.lockf fd Unix.F_ULOCK 0)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()

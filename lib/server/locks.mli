@@ -1,0 +1,42 @@
+(** Two-level lock manager: an in-process per-variant mutex table with
+    bounded, deadline-limited waiting, plus advisory [lockf] file locks
+    against other processes ([swsd serve], [swsd repl --save]). *)
+
+(** {1 In-process} *)
+
+type t
+
+val create : unit -> t
+
+type failure =
+  | Busy of int  (** shed on arrival: that many requests already queued *)
+  | Timed_out  (** queued, but the deadline passed first *)
+
+val with_key :
+  ?max_waiters:int ->
+  ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  t ->
+  string ->
+  deadline:float ->
+  (unit -> 'a) ->
+  ('a, failure) result
+(** Run the thunk holding [key]'s lock; shed with [Busy] when the queue
+    bound is reached, [Timed_out] when the (absolute) deadline passes while
+    waiting.  The lock is released even if the thunk raises. *)
+
+val waiters : t -> string -> int
+
+(** {1 Cross-process} *)
+
+type file_lock
+
+val lock_file_name : string
+(** [".lock"], kept inside the locked directory. *)
+
+val lock_file : string -> (file_lock, string) result
+(** Non-blocking advisory lock on the path (created if absent); [Error]
+    names the holder situation.  Released on process exit or
+    {!unlock_file}. *)
+
+val unlock_file : file_lock -> unit

@@ -1,0 +1,98 @@
+(** The design service's line protocol.
+
+    Requests are single lines.  Lines starting with [@] are session
+    control; anything else is a designer command executed by
+    {!Designer.Engine} against the connection's open variant:
+
+    {v
+    @list                 list the variants (sorted)
+    @open <variant>       attach to a variant (shared session)
+    @new <variant>        create a variant, then attach
+    @close                detach; last detach snapshots the session
+    @ping                 liveness probe
+    @quit                 close the connection
+    focus ww:Person       ... any designer command line ...
+    v}
+
+    Every request yields one response: zero or more body lines, each
+    prefixed [". "] so arbitrary command output (schemas, reports) can
+    never be mistaken for a status, then exactly one status line:
+
+    {v
+    !ok                   accepted; mutations are durable on disk
+    !err <message>        rejected (parse error, read-only variant, ...)
+    !busy <reason>        shed by backpressure, followed by
+    !retry-after <ms>     ... when to come back
+    v}
+
+    [!busy] is always immediately followed by its [!retry-after] line;
+    clients treat [!retry-after] as the terminator. *)
+
+type request =
+  | List
+  | Open of string
+  | New of string
+  | Close
+  | Ping
+  | Quit
+  | Command of string  (** a designer command line, verbatim *)
+
+type status =
+  | Ok
+  | Err of string
+  | Busy of { reason : string; retry_after_ms : int }
+
+type response = { body : string list; status : status }
+
+let ok body = { body; status = Ok }
+let err ?(body = []) message = { body; status = Err message }
+
+let busy ?(body = []) ~retry_after_ms reason =
+  { body; status = Busy { reason; retry_after_ms } }
+
+let parse_request line =
+  let line = String.trim line in
+  let word, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  match (word, rest) with
+  | "@list", "" -> Result.Ok List
+  | "@open", v when v <> "" -> Result.Ok (Open v)
+  | "@new", v when v <> "" -> Result.Ok (New v)
+  | "@close", "" -> Result.Ok Close
+  | "@ping", "" -> Result.Ok Ping
+  | "@quit", "" -> Result.Ok Quit
+  | _ when String.length line > 0 && line.[0] = '@' ->
+      Result.Error ("unknown control request: " ^ line)
+  | _ when line = "" -> Result.Error "empty request"
+  | _ -> Result.Ok (Command line)
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let body_prefix = ". "
+
+(* One logical body entry may span lines (a rendered schema); each physical
+   line gets the prefix. *)
+let body_lines body =
+  List.concat_map (String.split_on_char '\n') body
+  |> List.map (fun l -> body_prefix ^ l)
+
+let status_lines = function
+  | Ok -> [ "!ok" ]
+  | Err m -> [ "!err " ^ m ]
+  | Busy { reason; retry_after_ms } ->
+      [ "!busy " ^ reason; Printf.sprintf "!retry-after %d" retry_after_ms ]
+
+let to_lines r = body_lines r.body @ status_lines r.status
+
+let to_string r = String.concat "\n" (to_lines r) ^ "\n"
+
+let is_terminator line =
+  let starts p =
+    String.length line >= String.length p && String.sub line 0 (String.length p) = p
+  in
+  starts "!ok" || starts "!err" || starts "!retry-after"

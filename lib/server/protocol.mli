@@ -1,0 +1,34 @@
+(** The design service's line protocol: one-line requests ([@open v],
+    [@close], [@list], [@quit], or a designer command), responses of
+    [". "]-prefixed body lines terminated by exactly one status —
+    [!ok], [!err msg], or [!busy reason] + [!retry-after ms]. *)
+
+type request =
+  | List
+  | Open of string
+  | New of string
+  | Close
+  | Ping
+  | Quit
+  | Command of string  (** a designer command line, verbatim *)
+
+type status =
+  | Ok
+  | Err of string
+  | Busy of { reason : string; retry_after_ms : int }
+
+type response = { body : string list; status : status }
+
+val ok : string list -> response
+val err : ?body:string list -> string -> response
+val busy : ?body:string list -> retry_after_ms:int -> string -> response
+
+val parse_request : string -> (request, string) result
+
+val body_prefix : string
+val to_lines : response -> string list
+val to_string : response -> string
+(** Newline-terminated wire form. *)
+
+val is_terminator : string -> bool
+(** Does this line end a response ([!ok] / [!err ...] / [!retry-after ...])? *)

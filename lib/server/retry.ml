@@ -1,0 +1,51 @@
+(** Retry with jittered exponential backoff around transient IO failures.
+
+    The repository layer surfaces every IO failure as [Sys_error] (after
+    {!Repository.Io.unix} has already absorbed EINTR at the syscall level).
+    A busy filesystem can still fail an append transiently — EAGAIN, a
+    momentary ENOSPC, an NFS hiccup — and the service should absorb a short
+    burst of those rather than degrade a variant.  Deterministic tests
+    inject the sleep and the jitter source. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** backoff ceiling *)
+  jitter : float;  (** fraction of the delay randomized away, [0..1] *)
+}
+
+let default =
+  { max_attempts = 3; base_delay = 0.01; max_delay = 0.5; jitter = 0.5 }
+
+(** No sleeping, no second chances — for tests that want the first failure
+    to surface. *)
+let no_retries = { default with max_attempts = 1 }
+
+(** Failures worth retrying: the repository's [Sys_error] wrapping of a
+    syscall failure.  {!Repository.Io.Crash} (the injected power-loss
+    point) and everything else is terminal. *)
+let is_transient = function Sys_error _ -> true | _ -> false
+
+let delay_for ~policy ~rand attempt =
+  let exp = policy.base_delay *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min exp policy.max_delay in
+  (* full jitter over the configured fraction: d * (1 - j + j*u) *)
+  let u = Random.State.float rand 1.0 in
+  capped *. (1.0 -. policy.jitter +. (policy.jitter *. u))
+
+(** Run [f]; on a transient failure sleep a jittered backoff and try again,
+    up to [policy.max_attempts] tries.  Returns the last failure when the
+    budget is exhausted; non-transient exceptions fly through. *)
+let with_retries ?(rand = Random.State.make [| 0x5eed |])
+    ?(sleep = Thread.delay) policy f =
+  let rec go attempt =
+    match f () with
+    | v -> Ok v
+    | exception e when is_transient e ->
+        if attempt + 1 >= policy.max_attempts then Error e
+        else begin
+          sleep (delay_for ~policy ~rand attempt);
+          go (attempt + 1)
+        end
+  in
+  go 0

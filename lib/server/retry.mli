@@ -1,0 +1,27 @@
+(** Retry with jittered exponential backoff around transient IO failures
+    ([Sys_error]); everything else — including the fault injector's
+    {!Repository.Io.Crash} — flies through untouched. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the first retry *)
+  max_delay : float;  (** backoff ceiling *)
+  jitter : float;  (** fraction of the delay randomized away, [0..1] *)
+}
+
+val default : policy
+val no_retries : policy
+
+val is_transient : exn -> bool
+
+val delay_for : policy:policy -> rand:Random.State.t -> int -> float
+(** The jittered backoff before retry number [attempt] (0-based). *)
+
+val with_retries :
+  ?rand:Random.State.t ->
+  ?sleep:(float -> unit) ->
+  policy ->
+  (unit -> 'a) ->
+  ('a, exn) result
+(** Run the thunk, sleeping {!delay_for} between transient failures, up to
+    [max_attempts] tries; [Error] carries the last failure. *)

@@ -1,0 +1,220 @@
+(** Unix-domain-socket front end for {!Service}.
+
+    Thread-per-connection over a listening socket: the accept loop never
+    does repository work (admission, shedding, and serialization live in
+    {!Service}), so a slow or hung client can never stall accepts.  A
+    background reaper frees idle sessions.  SIGTERM/SIGINT request a
+    graceful stop: the listener closes, in-flight requests drain, every
+    dirty session is snapshotted, locks are released. *)
+
+(* [server.ml] shares the library's name, so it is the library interface:
+   re-export the inner modules for external users (bin, tests, bench). *)
+module Retry = Retry
+module Breaker = Breaker
+module Locks = Locks
+module Protocol = Protocol
+module Service = Service
+module Io = Repository.Io
+
+type t = {
+  service : Service.t;
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  stop_requested : bool Atomic.t;
+  accepting : bool Atomic.t;
+}
+
+let create ?(config = Service.default_config) ?(backlog = 64) ~socket_path dir =
+  match Service.open_service ~config dir with
+  | Error m -> Error m
+  | Ok service -> (
+      (* a leftover socket file from a dead server would fail the bind *)
+      (if Sys.file_exists socket_path then
+         try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      match
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX socket_path);
+        Unix.listen fd backlog;
+        fd
+      with
+      | fd ->
+          Ok
+            {
+              service;
+              socket_path;
+              listen_fd = fd;
+              stop_requested = Atomic.make false;
+              accepting = Atomic.make false;
+            }
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (socket_path ^ ": " ^ Unix.error_message e))
+
+let service t = t.service
+
+(** Ask the accept loop to wind down; safe from a signal handler or any
+    thread.  Closing the listener unblocks a pending [accept]. *)
+let stop t =
+  if not (Atomic.exchange t.stop_requested true) then
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  let handle _ = stop t in
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* a client vanishing mid-write must be an EPIPE error, not death *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* --- per-connection worker ------------------------------------------------ *)
+
+let send fd text =
+  let b = Bytes.of_string text in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Io.retry_eintr (fun () -> Unix.write fd b off (len - off)) in
+      go (off + n)
+  in
+  go 0
+
+(* Read one newline-terminated line; [None] at EOF.  Byte-at-a-time reads
+   are fine at this protocol's scale and keep the loop interruptible. *)
+let read_line fd =
+  let b = Buffer.create 64 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Io.retry_eintr (fun () -> Unix.read fd one 0 1) with
+    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | _ ->
+        if Bytes.get one 0 = '\n' then Some (Buffer.contents b)
+        else begin
+          Buffer.add_char b (Bytes.get one 0);
+          go ()
+        end
+  in
+  go ()
+
+let handle_client t fd =
+  let conn = Service.connect t.service in
+  let finish () =
+    Service.disconnect t.service conn;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  (try
+     send fd (Protocol.to_string (Protocol.ok [ "swsd design service" ]));
+     let rec loop () =
+       match read_line fd with
+       | None -> ()  (* client went away; disconnect snapshots for it *)
+       | Some line ->
+           let stop_after = String.trim line = "@quit" in
+           let response = Service.request t.service conn line in
+           send fd (Protocol.to_string response);
+           if not stop_after then loop ()
+     in
+     loop ()
+   with
+  | Unix.Unix_error _ | Sys_error _ -> ()
+  | Io.Crash -> ());
+  finish ()
+
+(* --- main loop ------------------------------------------------------------ *)
+
+(** Accept connections until {!stop} (or SIGTERM via
+    {!install_signal_handlers}), then drain and snapshot through
+    {!Service.shutdown}.  Blocks the calling thread; spawns one thread per
+    connection plus the idle reaper. *)
+let run ?(reap_every = 1.0) t =
+  let reaper =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get t.stop_requested) do
+          Thread.delay reap_every;
+          if not (Atomic.get t.stop_requested) then
+            ignore (Service.reap_idle t.service)
+        done)
+      ()
+  in
+  (* A blocked [accept] is not reliably woken by a concurrent [close], so
+     the loop polls readiness with a short select instead: [stop] lands
+     within one timeout, and a closed listener surfaces as EBADF here. *)
+  (try Unix.set_nonblock t.listen_fd with Unix.Unix_error _ -> ());
+  let rec accept_loop () =
+    if not (Atomic.get t.stop_requested) then begin
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> accept_loop ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | client_fd, _ ->
+              Unix.clear_nonblock client_fd;
+              ignore (Thread.create (fun () -> handle_client t client_fd) ());
+              accept_loop ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+              accept_loop ()
+          | exception Unix.Unix_error _ -> Atomic.set t.stop_requested true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ ->
+          (* the listener was closed (stop/SIGTERM) or is unusable *)
+          Atomic.set t.stop_requested true
+    end
+  in
+  Atomic.set t.accepting true;
+  accept_loop ();
+  Thread.join reaper;
+  let failures = Service.shutdown t.service in
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  failures
+
+(* --- a minimal client (tests, bench, scripting) --------------------------- *)
+
+module Client = struct
+  type c = { fd : Unix.file_descr; mutable buf : string }
+
+  let connect path =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Io.retry_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path));
+      fd
+    with
+    | fd -> Ok { fd; buf = "" }
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (path ^ ": " ^ Unix.error_message e)
+
+  let read_line c =
+    let rec go () =
+      match String.index_opt c.buf '\n' with
+      | Some i ->
+          let line = String.sub c.buf 0 i in
+          c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
+          Some line
+      | None -> (
+          let chunk = Bytes.create 4096 in
+          match Io.retry_eintr (fun () -> Unix.read c.fd chunk 0 4096) with
+          | 0 -> None
+          | n ->
+              c.buf <- c.buf ^ Bytes.sub_string chunk 0 n;
+              go ())
+    in
+    go ()
+
+  (** Read body lines up to and including the status; [None] on EOF. *)
+  let read_response c =
+    let rec go acc =
+      match read_line c with
+      | None -> None
+      | Some line ->
+          if Protocol.is_terminator line then Some (List.rev (line :: acc))
+          else go (line :: acc)
+    in
+    go []
+
+  let request c line =
+    send c.fd (line ^ "\n");
+    read_response c
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,48 @@
+(** Unix-domain-socket front end for {!Service}: one thread per
+    connection, a periodic idle-session reaper, and graceful drain on
+    SIGTERM/SIGINT. *)
+
+module Retry = Retry
+module Breaker = Breaker
+module Locks = Locks
+module Protocol = Protocol
+module Service = Service
+
+type t
+
+val create :
+  ?config:Service.config ->
+  ?backlog:int ->
+  socket_path:string ->
+  string ->
+  (t, string) result
+(** [create ~socket_path dir] opens the repository at [dir] and binds a
+    listening socket at [socket_path] (unlinking a stale socket file). *)
+
+val service : t -> Service.t
+
+val run : ?reap_every:float -> t -> (string * string) list
+(** Accept and serve until {!stop}; then drain, snapshot, and release
+    locks via {!Service.shutdown}, returning its failures.  Blocks. *)
+
+val stop : t -> unit
+(** Request shutdown; safe from a signal handler or another thread. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM/SIGINT → {!stop} (graceful drain); SIGPIPE ignored. *)
+
+(** Blocking line-protocol client used by the CLI, tests, and bench. *)
+module Client : sig
+  type c
+
+  val connect : string -> (c, string) result
+
+  val request : c -> string -> string list option
+  (** Send one request line; returns the response lines (body then
+      status, terminator included), or [None] if the server hung up. *)
+
+  val read_response : c -> string list option
+  (** Read one response without sending (e.g. the greeting). *)
+
+  val close : c -> unit
+end

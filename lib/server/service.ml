@@ -1,0 +1,564 @@
+(** The multi-session design service (transport-agnostic core).
+
+    One {!t} serves a multi-variant repository ({!Repository.Repo}) to many
+    concurrent connections.  Each open variant is a shared session: an
+    in-memory {!Designer.Engine} state plus the variant's durable store.
+    The socket layer ({!Server}) is a thin thread-per-connection loop
+    around {!request}; the chaos harness drives {!request} directly from
+    test threads.
+
+    Robustness discipline, in order of application to a request:
+
+    - {b Admission}: a stopping service refuses new work; each request gets
+      an absolute deadline ([request_deadline] from arrival).
+    - {b Backpressure}: requests serialize per variant through {!Locks};
+      when [max_waiters] requests are already queued on the variant the new
+      one is shed immediately with [!busy]/[!retry-after], and a queued
+      request that cannot start by its deadline is shed the same way — the
+      accept loop never blocks behind a convoy.
+    - {b Durability}: the engine runs with no repository attached; the
+      service itself journals the delta of every accepted command (undo
+      records, then fresh steps) through {!Retry.with_retries}, and only
+      then acknowledges with [!ok].  On any persistence failure the
+      in-memory state is discarded and the session is evicted, so a live
+      session provably equals the replay of its journal; the next [@open]
+      reloads from disk, whose recovery repairs any torn tail.
+    - {b Degradation}: journal failures feed the variant's {!Breaker};
+      a tripped breaker leaves the variant readable but refuses mutations
+      until a cooled-down probe succeeds — the server never crashes over a
+      failing disk.
+    - {b Reaping}: sessions idle past [idle_timeout] are snapshotted and
+      freed; their connections are told to [@open] again.
+    - {b Shutdown}: {!shutdown} drains in-flight requests, snapshots every
+      dirty session through the existing {!Repository.Store} path, and
+      releases all locks. *)
+
+module Engine = Designer.Engine
+module Store = Repository.Store
+module Repo = Repository.Repo
+module Io = Repository.Io
+
+type config = {
+  request_deadline : float;  (** seconds from arrival to shed *)
+  max_waiters : int;  (** per-variant queue bound *)
+  idle_timeout : float;  (** reaper frees sessions idle this long *)
+  drain_timeout : float;  (** max wait for in-flight work at shutdown *)
+  retry : Retry.policy;  (** around journal appends and snapshots *)
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  use_file_locks : bool;  (** advisory [.lock] per variant (real fs only) *)
+  retry_after_ms : int;  (** hint sent with [!busy] *)
+  now : unit -> float;
+  sleep : float -> unit;
+  chaos_hook : (variant:string -> line:string -> unit) option;
+      (** test-only: runs inside the variant lock before execution; an
+          exception here models a worker thread killed mid-request *)
+}
+
+let default_config =
+  {
+    request_deadline = 5.0;
+    max_waiters = 8;
+    idle_timeout = 300.0;
+    drain_timeout = 5.0;
+    retry = Retry.default;
+    breaker_threshold = 3;
+    breaker_cooldown = 30.0;
+    use_file_locks = true;
+    retry_after_ms = 100;
+    now = Unix.gettimeofday;
+    sleep = Thread.delay;
+    chaos_hook = None;
+  }
+
+type session = {
+  variant : string;
+  store : Store.t;
+  conns : (int, unit) Hashtbl.t;  (** attached connection ids *)
+  mutable state : Engine.state;
+  mutable dirty : bool;  (** changes not yet snapshotted *)
+  mutable last_used : float;
+  mutable flock : Locks.file_lock option;
+}
+
+type t = {
+  repo : Repo.t;
+  config : config;
+  locks : Locks.t;
+  sessions : (string, session) Hashtbl.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
+      (** per variant, surviving session eviction *)
+  mu : Mutex.t;  (** guards [sessions], [breakers], and session bookkeeping *)
+  inflight : int Atomic.t;
+  conn_ids : int Atomic.t;
+  mutable stopping : bool;
+  rand : Random.State.t;
+}
+
+type conn = { id : int; mutable variant : string option }
+
+let open_service ?(config = default_config) ?io dir =
+  let io = match io with Some io -> io | None -> Io.unix in
+  Result.map
+    (fun repo ->
+      {
+        repo;
+        config;
+        locks = Locks.create ();
+        sessions = Hashtbl.create 8;
+        breakers = Hashtbl.create 8;
+        mu = Mutex.create ();
+        inflight = Atomic.make 0;
+        conn_ids = Atomic.make 0;
+        stopping = false;
+        rand = Random.State.make [| 0x5ca1ab1e |];
+      })
+    (Repo.open_dir ~io dir)
+
+let connect t = { id = Atomic.fetch_and_add t.conn_ids 1; variant = None }
+
+let session_count t =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.mu;
+  n
+
+(* --- small helpers -------------------------------------------------------- *)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let breaker_of t variant =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.breakers variant with
+      | Some b -> b
+      | None ->
+          let b =
+            Breaker.create ~threshold:t.config.breaker_threshold
+              ~cooldown:t.config.breaker_cooldown ()
+          in
+          Hashtbl.add t.breakers variant b;
+          b)
+
+let shed t (failure : Locks.failure) =
+  match failure with
+  | Locks.Busy n ->
+      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
+        (Printf.sprintf "%d request(s) queued on this variant" n)
+  | Locks.Timed_out ->
+      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
+        "deadline exceeded waiting for the variant"
+
+let with_variant t variant f =
+  let deadline = t.config.now () +. t.config.request_deadline in
+  match
+    Locks.with_key ~max_waiters:t.config.max_waiters ~sleep:t.config.sleep
+      ~now:t.config.now t.locks variant ~deadline f
+  with
+  | Ok r -> r
+  | Error failure -> shed t failure
+
+(* Free a session's cross-process lock and drop it from the table.  Caller
+   holds the variant lock; never snapshots. *)
+let evict t (s : session) =
+  locked t (fun () -> Hashtbl.remove t.sessions s.variant);
+  Option.iter Locks.unlock_file s.flock;
+  s.flock <- None
+
+(* Snapshot a dirty session through the regular Store path. *)
+let snapshot t (s : session) =
+  if not s.dirty then Ok ()
+  else
+    match
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep t.config.retry
+        (fun () -> Store.save_session s.store s.state.Engine.session)
+    with
+    | Ok () ->
+        s.dirty <- false;
+        Ok ()
+    | Error e -> Error (Printexc.to_string e)
+    | exception e ->
+        (* e.g. an injected crash: atomic whole-file writes keep every
+           artifact whole, and the journal remains authoritative *)
+        Error (Printexc.to_string e)
+
+(* --- journal persistence -------------------------------------------------- *)
+
+let step_ops session =
+  List.map
+    (fun (st : Core.Session.step) -> (st.Core.Session.st_kind, st.st_op))
+    (Core.Session.log session)
+
+let step_eq (k1, o1) (k2, o2) = k1 = k2 && Core.Modop.equal o1 o2
+
+let rec common_prefix n a b =
+  match (a, b) with
+  | x :: a', y :: b' when step_eq x y -> common_prefix (n + 1) a' b'
+  | _ -> n
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+
+(** The journal records turning [before]'s log into [after]'s: undos for
+    the popped tail, then the fresh steps.  Ops only push/pop at the tail,
+    so the common prefix characterizes the delta exactly. *)
+let journal_delta ~before ~after =
+  let b = step_ops before and a = step_ops after in
+  let p = common_prefix 0 b a in
+  let undos = List.length b - p in
+  (undos, drop p a)
+
+(* Append the delta, each record through the retry policy; durable (fsync'd
+   per record) on [Ok].  Any failure leaves the on-disk journal in an
+   unknown (possibly torn) state: the caller must evict the session so the
+   next open reloads through recovery. *)
+let persist_delta t s ~before ~after =
+  let undos, adds = journal_delta ~before ~after in
+  let append thunk =
+    match
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep t.config.retry thunk
+    with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+  in
+  let rec undo_loop n =
+    if n = 0 then Ok ()
+    else
+      match append (fun () -> Store.append_undo s.store) with
+      | Ok () -> undo_loop (n - 1)
+      | Error _ as e -> e
+  in
+  let rec add_loop = function
+    | [] -> Ok ()
+    | step :: rest -> (
+        match append (fun () -> Store.append_step s.store step) with
+        | Ok () -> add_loop rest
+        | Error _ as e -> e)
+  in
+  if undos = 0 && adds = [] then Ok 0
+  else
+    match undo_loop undos with
+    | Error e -> Error e
+    | Ok () -> (
+        match add_loop adds with
+        | Error e -> Error e
+        | Ok () -> Ok (undos + List.length adds))
+
+(* --- command classification ----------------------------------------------- *)
+
+type class_ = Read_only | Mutating | Refused of string
+
+let classify line =
+  match Designer.Command.parse line with
+  | exception Designer.Command.Bad_command _ ->
+      (* the engine will produce the error feedback *)
+      Read_only
+  | Apply _ | Undo | Redo | Alias _ | Unalias _ -> Mutating
+  | Source _ -> Refused "source is not available in server sessions"
+  | Save _ -> Refused "save is not available in server sessions; @close snapshots"
+  | Quit -> Refused "quit is not available in server sessions; use @close or @quit"
+  | Concepts | Focus _ | Show _ | Odl _ | Print_schema | Summary | Preview _
+  | Plan _ | Check | Quality | Todo | Load_data _ | Migrate_data | Query _
+  | Mapping | Impact | Custom _ | Explain _ | List_aliases | Log | Rules
+  | Help ->
+      Read_only
+
+(* --- session lifecycle ---------------------------------------------------- *)
+
+let find_session t variant =
+  locked t (fun () -> Hashtbl.find_opt t.sessions variant)
+
+let attach t (s : session) (conn : conn) =
+  locked t (fun () -> Hashtbl.replace s.conns conn.id ());
+  conn.variant <- Some s.variant;
+  s.last_used <- t.config.now ()
+
+(* Load a variant from disk into a fresh shared session.  Caller holds the
+   variant lock. *)
+let load_session t variant =
+  let flock =
+    if t.config.use_file_locks then
+      let path =
+        Filename.concat (Repo.variant_dir t.repo variant) Locks.lock_file_name
+      in
+      match Locks.lock_file path with
+      | Ok l -> Ok (Some l)
+      | Error m -> Error ("variant is locked by another process: " ^ m)
+    else Ok None
+  in
+  match flock with
+  | Error _ as e -> e
+  | Ok flock -> (
+      match Repo.open_variant t.repo variant with
+      | Error e ->
+          Option.iter Locks.unlock_file flock;
+          Error (Repo.open_error_to_string e)
+      | exception e ->
+          (* an injected crash while reading/repairing; nothing attached *)
+          Option.iter Locks.unlock_file flock;
+          Error ("could not load variant: " ^ Printexc.to_string e)
+      | Ok session -> (
+          match Repo.variant_store t.repo variant with
+          | store ->
+              let s =
+                {
+                  variant;
+                  store;
+                  conns = Hashtbl.create 4;
+                  state = Engine.start session;
+                  dirty = false;
+                  last_used = t.config.now ();
+                  flock;
+                }
+              in
+              locked t (fun () -> Hashtbl.replace t.sessions variant s);
+              Ok s
+          | exception e ->
+              Option.iter Locks.unlock_file flock;
+              Error ("could not open variant store: " ^ Printexc.to_string e)))
+
+let do_open t conn variant ~create =
+  match conn.variant with
+  | Some v when v = variant -> Protocol.ok [ "already attached to " ^ variant ]
+  | Some v -> Protocol.err ("already attached to " ^ v ^ "; @close first")
+  | None ->
+      with_variant t variant (fun () ->
+          let created =
+            if not create then Ok false
+            else
+              match Repo.create_variant t.repo variant with
+              | Ok _ -> Ok true
+              | Error m -> Error m
+              | exception e ->
+                  Error ("could not create variant: " ^ Printexc.to_string e)
+          in
+          match created with
+          | Error m -> Protocol.err m
+          | Ok created -> (
+              match find_session t variant with
+              | Some s ->
+                  attach t s conn;
+                  Protocol.ok
+                    [
+                      Printf.sprintf "attached to %s (%d client(s))" variant
+                        (Hashtbl.length s.conns);
+                    ]
+              | None -> (
+                  if not (Repo.mem_variant t.repo variant) then
+                    Protocol.err ("no variant named " ^ variant)
+                  else
+                    match load_session t variant with
+                    | Error m -> Protocol.err m
+                    | Ok s ->
+                        attach t s conn;
+                        Protocol.ok
+                          [
+                            (if created then "created and attached to " ^ variant
+                             else "attached to " ^ variant);
+                          ])))
+
+(* Detach [conn]; the last detach snapshots and frees the session.  Caller
+   holds the variant lock. *)
+let release t (s : session) (conn : conn) ~snapshot_on_free =
+  locked t (fun () -> Hashtbl.remove s.conns conn.id);
+  conn.variant <- None;
+  if locked t (fun () -> Hashtbl.length s.conns) = 0 then begin
+    let warn =
+      if snapshot_on_free then
+        match snapshot t s with
+        | Ok () -> []
+        | Error m -> [ "snapshot failed (journal remains authoritative): " ^ m ]
+      else []
+    in
+    evict t s;
+    warn
+  end
+  else []
+
+let do_close t conn =
+  match conn.variant with
+  | None -> Protocol.err "no open session"
+  | Some variant ->
+      with_variant t variant (fun () ->
+          match find_session t variant with
+          | None ->
+              (* reaped underneath us; nothing left to release *)
+              conn.variant <- None;
+              Protocol.ok [ "session was already closed (idle)" ]
+          | Some s ->
+              let warn = release t s conn ~snapshot_on_free:true in
+              Protocol.ok (warn @ [ "closed" ]))
+
+(* --- request execution ---------------------------------------------------- *)
+
+let feedback_body feedback = List.map Designer.Feedback.to_string feedback
+
+let do_command t conn line =
+  match conn.variant with
+  | None -> Protocol.err "no open session; use: @open <variant>"
+  | Some variant -> (
+      match classify line with
+      | Refused m -> Protocol.err m
+      | class_ ->
+          with_variant t variant (fun () ->
+              match find_session t variant with
+              | None ->
+                  conn.variant <- None;
+                  Protocol.err "session expired (idle); use @open to resume"
+              | Some s ->
+                  let now = t.config.now () in
+                  let breaker = breaker_of t variant in
+                  if class_ = Mutating && not (Breaker.allows breaker ~now) then
+                    Protocol.err
+                      ("variant is read-only: circuit " ^ Breaker.describe breaker)
+                  else
+                    (* the on-disk journal state is unknown after a killed
+                       worker (chaos hook) or a crash mid-append: degrade
+                       the variant and evict the session, so the next @open
+                       reloads through recovery *)
+                    let degrade_and_evict why =
+                      Breaker.record_failure breaker ~now:(t.config.now ());
+                      Hashtbl.reset s.conns;
+                      evict t s;
+                      conn.variant <- None;
+                      Protocol.err why
+                    in
+                    let run () =
+                      (match t.config.chaos_hook with
+                      | Some hook -> hook ~variant ~line
+                      | None -> ());
+                      let before = s.state in
+                      let after, feedback = Engine.exec_line before line in
+                      let persisted =
+                        persist_delta t s ~before:before.Engine.session
+                          ~after:after.Engine.session
+                      in
+                      s.last_used <- t.config.now ();
+                      match persisted with
+                      | Ok n ->
+                          if n > 0 then Breaker.record_success breaker;
+                          s.state <- after;
+                          if class_ = Mutating || n > 0 then s.dirty <- true;
+                          let body = feedback_body feedback in
+                          if List.exists Designer.Feedback.is_error feedback
+                          then Protocol.err ~body "command rejected"
+                          else Protocol.ok body
+                      | Error e ->
+                          degrade_and_evict
+                            ("persistence failed; operation not accepted; \
+                              session evicted (reopen with @open): "
+                            ^ Printexc.to_string e)
+                    in
+                    (match run () with
+                    | response -> response
+                    | exception e ->
+                        degrade_and_evict
+                          ("request died mid-flight; session evicted: "
+                          ^ Printexc.to_string e))))
+
+let disconnect t conn =
+  match conn.variant with
+  | None -> ()
+  | Some variant ->
+      with_variant t variant (fun () ->
+          (match find_session t variant with
+          | None -> conn.variant <- None
+          | Some s -> ignore (release t s conn ~snapshot_on_free:true));
+          Protocol.ok [])
+      |> ignore
+
+let request t conn line =
+  if t.stopping then Protocol.err "server is shutting down"
+  else begin
+    Atomic.incr t.inflight;
+    Fun.protect
+      ~finally:(fun () -> Atomic.decr t.inflight)
+      (fun () ->
+        match
+          match Protocol.parse_request line with
+          | Error m -> Protocol.err m
+          | Ok List -> Protocol.ok (Repo.variant_names t.repo)
+          | Ok Ping -> Protocol.ok [ "pong" ]
+          | Ok (Open v) -> do_open t conn v ~create:false
+          | Ok (New v) -> do_open t conn v ~create:true
+          | Ok Close -> do_close t conn
+          | Ok Quit ->
+              disconnect t conn;
+              Protocol.ok [ "bye" ]
+          | Ok (Command c) -> do_command t conn c
+        with
+        | response -> response
+        (* no request may kill its worker thread: locks were released on
+           the way out (Fun.protect), the session was evicted if its disk
+           state became unknown — surface the rest as an error response *)
+        | exception e -> Protocol.err ("internal: " ^ Printexc.to_string e))
+  end
+
+(* --- reaper and shutdown -------------------------------------------------- *)
+
+(** Snapshot and free sessions idle longer than [idle_timeout]; attached
+    connections learn on their next request.  Returns how many were
+    reaped.  Runs opportunistically: a variant busy right now is skipped
+    (it is not idle). *)
+let reap_idle t =
+  let now = t.config.now () in
+  let candidates =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun v s acc ->
+            if now -. s.last_used > t.config.idle_timeout then (v, s) :: acc
+            else acc)
+          t.sessions [])
+  in
+  List.fold_left
+    (fun reaped (variant, _) ->
+      let deadline = t.config.now () +. 0.05 in
+      match
+        Locks.with_key ~max_waiters:1 ~sleep:t.config.sleep ~now:t.config.now
+          t.locks variant ~deadline (fun () ->
+            match find_session t variant with
+            | Some s when t.config.now () -. s.last_used > t.config.idle_timeout
+              ->
+                (match snapshot t s with Ok () | Error _ -> ());
+                Hashtbl.reset s.conns;
+                evict t s;
+                true
+            | _ -> false)
+      with
+      | Ok true -> reaped + 1
+      | Ok false | Error _ -> reaped)
+    0 candidates
+
+(** Drain in-flight requests (bounded by [drain_timeout]), snapshot every
+    dirty session, release all locks.  Further requests get [!err].
+    Returns the sessions that failed to snapshot (their journals remain
+    authoritative). *)
+let shutdown t =
+  t.stopping <- true;
+  let give_up = t.config.now () +. t.config.drain_timeout in
+  while Atomic.get t.inflight > 0 && t.config.now () < give_up do
+    t.config.sleep 0.002
+  done;
+  let all =
+    locked t (fun () -> Hashtbl.fold (fun v s acc -> (v, s) :: acc) t.sessions [])
+  in
+  List.filter_map
+    (fun (variant, s) ->
+      let deadline = t.config.now () +. 1.0 in
+      let res =
+        Locks.with_key ~max_waiters:1 ~sleep:t.config.sleep ~now:t.config.now
+          t.locks variant ~deadline (fun () ->
+            let r = snapshot t s in
+            Hashtbl.reset s.conns;
+            evict t s;
+            r)
+      in
+      match res with
+      | Ok (Ok ()) -> None
+      | Ok (Error m) -> Some (variant, m)
+      | Error _ ->
+          (* still busy past the drain budget: free without snapshot; the
+             journal holds every acknowledged op *)
+          (match find_session t variant with Some s -> evict t s | None -> ());
+          Some (variant, "busy at shutdown; journal remains authoritative"))
+    all

@@ -1,0 +1,57 @@
+(** The multi-session design service (transport-agnostic core).
+
+    Serves a multi-variant repository to many concurrent connections; each
+    open variant is one shared session (engine state + durable store).
+    Per-variant locks serialize requests, bounded queues and per-request
+    deadlines shed load ([!busy]/[!retry-after]), journal appends are
+    retried with jittered backoff and acknowledged only once durable, and
+    repeated failures trip a per-variant circuit breaker to read-only.
+    Thread-safe: {!request} may be called from any number of threads. *)
+
+type config = {
+  request_deadline : float;  (** seconds from arrival to shed *)
+  max_waiters : int;  (** per-variant queue bound *)
+  idle_timeout : float;  (** reaper frees sessions idle this long *)
+  drain_timeout : float;  (** max wait for in-flight work at shutdown *)
+  retry : Retry.policy;  (** around journal appends and snapshots *)
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  use_file_locks : bool;  (** advisory [.lock] per variant (real fs only) *)
+  retry_after_ms : int;  (** hint sent with [!busy] *)
+  now : unit -> float;
+  sleep : float -> unit;
+  chaos_hook : (variant:string -> line:string -> unit) option;
+      (** test-only: runs inside the variant lock before execution; an
+          exception here models a worker thread killed mid-request *)
+}
+
+val default_config : config
+
+type t
+type conn
+
+val open_service : ?config:config -> ?io:Repository.Io.t -> string -> (t, string) result
+(** Open the multi-variant repository at the directory and serve it. *)
+
+val connect : t -> conn
+(** A fresh connection context (one per client). *)
+
+val request : t -> conn -> string -> Protocol.response
+(** Execute one request line on behalf of [conn]; blocks at most
+    [request_deadline] (then sheds).  Mutations are durable when the
+    response is [!ok]. *)
+
+val disconnect : t -> conn -> unit
+(** Drop the connection; its session detach behaves like [@close]. *)
+
+val session_count : t -> int
+
+val reap_idle : t -> int
+(** Snapshot and free sessions idle past [idle_timeout]; busy variants are
+    skipped.  Returns how many were reaped. *)
+
+val shutdown : t -> (string * string) list
+(** Drain in-flight requests (bounded by [drain_timeout]), snapshot every
+    dirty session, release all locks; later requests get [!err].  Returns
+    [(variant, reason)] for sessions whose snapshot failed — their
+    journals remain authoritative. *)

@@ -1,6 +1,12 @@
+(* The bounded chaos soak only exists when SWSD_SOAK_SECS is set (the
+   [@soak] dune alias); tier-1 runs never see the suite. *)
+let soak_suites =
+  if Sys.getenv_opt "SWSD_SOAK_SECS" = None then []
+  else [ ("server-soak", Test_server.soak_tests) ]
+
 let () =
   Alcotest.run "shrinkwrap"
-    [
+    ([
       ("lexer", Test_lexer.tests);
       ("parser", Test_parser.tests);
       ("printer", Test_printer.tests);
@@ -43,4 +49,7 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("properties", Test_properties.tests);
       ("index", Test_index.tests);
+      ("server", Test_server.tests);
+      ("server-restore", Test_restore.tests);
     ]
+    @ soak_suites)

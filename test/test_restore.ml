@@ -1,0 +1,163 @@
+(* Undo/redo across a session snapshot-restore boundary.
+
+   A snapshot (save_session) collapses the journal to the *resolved* log:
+   undone operations and their [@undo;] records disappear, and with them
+   the redo stack — redo history is session-local by design, while the
+   undo chain survives because it is recomputed from the resolved log.
+   These tests pin that contract, including a torn [@undo;] crash artifact
+   at the journal tail. *)
+
+module Io = Repository.Io
+module Store = Repository.Store
+module Repo = Repository.Repo
+module Service = Server.Service
+module Protocol = Server.Protocol
+
+let test = Util.test
+
+let tiny () =
+  Util.parse
+    "interface Person { attribute string name; attribute int age; };\n\
+     interface Course { attribute string title; attribute string code; };"
+
+let mem_repo () =
+  let m = Io.mem_create () in
+  let io = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io "/repo" (tiny ()) with
+  | Result.Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Result.Ok _ -> ()
+      | Result.Error e -> Alcotest.fail e)
+  | Result.Error e -> Alcotest.fail e);
+  io
+
+let config =
+  {
+    Service.default_config with
+    Service.use_file_locks = false;
+    retry = { Server.Retry.default with Server.Retry.base_delay = 0.0002 };
+  }
+
+let service io =
+  match Service.open_service ~config ~io "/repo" with
+  | Result.Ok t -> t
+  | Result.Error m -> Alcotest.fail m
+
+let req_ok t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Ok -> r.Protocol.body
+  | _ -> Alcotest.failf "%s should succeed, got: %s" line (Protocol.to_string r)
+
+let req_rejected t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Err _ -> String.concat "\n" r.Protocol.body
+  | _ -> Alcotest.failf "%s should be rejected, got: %s" line (Protocol.to_string r)
+
+let apply name = Printf.sprintf "apply add_attribute(Person, string, 8, %s)" name
+
+let ops_of_log io =
+  match Store.load_session (Store.open_dir ~io "/repo/variants/v") with
+  | Result.Ok s ->
+      List.map
+        (fun (st : Core.Session.step) ->
+          Core.Op_printer.to_string st.Core.Session.st_op)
+        (Core.Session.log s)
+  | Result.Error e -> Alcotest.fail (Store.load_error_to_string e)
+
+(* undo, snapshot (via @close), restore (via @open): the undone operation
+   stays undone, and the redo stack does not survive the boundary *)
+let redo_lost_across_snapshot () =
+  let io = mem_repo () in
+  let t = service io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply "first"));
+  ignore (req_ok t c (apply "second"));
+  ignore (req_ok t c "undo");
+  (* before the boundary, redo would work; cross it instead *)
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@open v");
+  let msg = req_rejected t c "redo" in
+  Alcotest.(check bool) "redo does not survive a snapshot" true
+    (Str_contains.contains msg "nothing to redo");
+  (* the undo chain does survive: it is recomputed from the resolved log *)
+  ignore (req_ok t c "undo");
+  ignore (req_ok t c "@close");
+  Alcotest.(check (list string)) "both operations undone" [] (ops_of_log io)
+
+(* the same boundary, but the service is shut down (drain + snapshot)
+   rather than politely closed *)
+let redo_lost_across_shutdown () =
+  let io = mem_repo () in
+  let t = service io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply "first"));
+  ignore (req_ok t c "undo");
+  Alcotest.(check (list (pair string string))) "shutdown snapshots" []
+    (Service.shutdown t);
+  Alcotest.(check (list string)) "resolved log is empty" [] (ops_of_log io);
+  let t = service io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  let msg = req_rejected t c "redo" in
+  Alcotest.(check bool) "nothing to redo after restore" true
+    (Str_contains.contains msg "nothing to redo");
+  ignore (Service.shutdown t)
+
+(* A torn [@undo;] at the journal tail is the crash artifact of an
+   unacknowledged undo: replay must silently drop the torn record and keep
+   every complete one. *)
+let torn_undo_tail () =
+  let io = mem_repo () in
+  let store = Store.open_dir ~io "/repo/variants/v" in
+  let step name =
+    (Core.Concept.Wagon_wheel,
+     Util.parse_op (Printf.sprintf "add_attribute(Person, string, 8, %s)" name))
+  in
+  Store.append_step store (step "first");
+  Store.append_step store (step "second");
+  Store.append_undo store;
+  (* a complete undo resolves: first only *)
+  Alcotest.(check int) "complete @undo; resolves" 1
+    (List.length (ops_of_log io));
+  (* now tear a second undo: the crash interrupted the append mid-line *)
+  io.Io.append (Store.log_file store) "@un";
+  (match Store.load_session store with
+  | Result.Ok s ->
+      Alcotest.(check int) "torn @undo; is dropped, not applied" 1
+        (List.length (Core.Session.log s))
+  | Result.Error e -> Alcotest.fail (Store.load_error_to_string e));
+  (* tear again (the check above repaired the file in place) and let the
+     service open the variant through the same recovery *)
+  io.Io.append (Store.log_file store) "@un";
+  let t = service io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  let log = req_ok t c "log" in
+  Alcotest.(check bool) "recovered session still holds the first op" true
+    (List.exists (fun l -> Str_contains.contains l "first") log);
+  (* the next mutation journals cleanly after the torn tail *)
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply "after_repair"));
+  ignore (req_ok t c "@close");
+  ignore (Service.shutdown t);
+  let ops = String.concat "\n" (ops_of_log io) in
+  Alcotest.(check bool) "first survives" true (Str_contains.contains ops "first");
+  Alcotest.(check bool) "post-repair op survives" true
+    (Str_contains.contains ops "after_repair");
+  Alcotest.(check bool) "second stays undone" true
+    (not (Str_contains.contains ops "second"))
+
+let tests =
+  [
+    test "redo is lost across @close/@open (undo chain survives)"
+      redo_lost_across_snapshot;
+    test "redo is lost across shutdown/restart" redo_lost_across_shutdown;
+    test "a torn @undo; tail is dropped on replay, then journalling resumes"
+      torn_undo_tail;
+  ]

@@ -1,0 +1,884 @@
+(* The concurrent design service: protocol, retry/breaker/lock building
+   blocks, EINTR discipline, and the chaos harness — N concurrent clients
+   over a fault-injected in-memory filesystem, with injected crashes and
+   killed workers; after every schedule the repository must fsck clean and
+   every acknowledged operation must survive recovery.
+
+   All service-level tests drive {!Server.Service.request} directly from
+   threads (the socket layer adds nothing to the concurrency semantics);
+   one test exercises the real Unix-domain-socket server end to end, and
+   one the SIGTERM drain of a spawned [swsd serve] process. *)
+
+module Io = Repository.Io
+module Store = Repository.Store
+module Repo = Repository.Repo
+module Service = Server.Service
+module Protocol = Server.Protocol
+module Retry = Server.Retry
+module Breaker = Server.Breaker
+module Locks = Server.Locks
+
+let test = Util.test
+
+let tiny_text =
+  "interface Person { attribute string name; attribute int age; };\n\
+   interface Course { attribute string title; attribute string code; };"
+
+let tiny () = Util.parse tiny_text
+
+(* A deadlocked suite is worse than a failed one: if [f] does not finish
+   within [secs], name the test and abort the whole run. *)
+let with_watchdog ~secs ~name f =
+  let finished = Atomic.make false in
+  ignore
+    (Thread.create
+       (fun () ->
+         let deadline = Unix.gettimeofday () +. secs in
+         while (not (Atomic.get finished)) && Unix.gettimeofday () < deadline do
+           Thread.delay 0.05
+         done;
+         if not (Atomic.get finished) then begin
+           Printf.eprintf "watchdog: %s still running after %.0fs (deadlock?)\n%!"
+             name secs;
+           Stdlib.exit 125
+         end)
+       ());
+  Fun.protect ~finally:(fun () -> Atomic.set finished true) f
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let parse_requests () =
+  let ok l r =
+    match Protocol.parse_request l with
+    | Result.Ok got when got = r -> ()
+    | Result.Ok _ -> Alcotest.failf "%s: wrong request" l
+    | Result.Error m -> Alcotest.failf "%s: %s" l m
+  in
+  ok "@list" Protocol.List;
+  ok "  @open night_school " (Protocol.Open "night_school");
+  ok "@new v1" (Protocol.New "v1");
+  ok "@close" Protocol.Close;
+  ok "@ping" Protocol.Ping;
+  ok "@quit" Protocol.Quit;
+  ok "focus ww:Person" (Protocol.Command "focus ww:Person");
+  ok "apply add_attribute(Person, string, 8, x)"
+    (Protocol.Command "apply add_attribute(Person, string, 8, x)");
+  (match Protocol.parse_request "@frobnicate" with
+  | Result.Error m ->
+      Alcotest.(check bool) "names the request" true
+        (Str_contains.contains m "@frobnicate")
+  | Result.Ok _ -> Alcotest.fail "unknown control must be rejected");
+  match Protocol.parse_request "   " with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "empty must be rejected"
+
+let render_responses () =
+  Alcotest.(check string) "ok" "!ok\n" (Protocol.to_string (Protocol.ok []));
+  Alcotest.(check string) "body prefixed" ". a\n. b\n!ok\n"
+    (Protocol.to_string (Protocol.ok [ "a\nb" ]));
+  Alcotest.(check string) "err" "!err boom\n"
+    (Protocol.to_string (Protocol.err "boom"));
+  Alcotest.(check string) "busy is two lines"
+    "!busy queue full\n!retry-after 250\n"
+    (Protocol.to_string (Protocol.busy ~retry_after_ms:250 "queue full"));
+  List.iter
+    (fun (line, expect) ->
+      Alcotest.(check bool) line expect (Protocol.is_terminator line))
+    [
+      ("!ok", true);
+      ("!err nope", true);
+      ("!retry-after 100", true);
+      ("!busy queue full", false);
+      (". body", false);
+    ]
+
+(* --- retry ---------------------------------------------------------------- *)
+
+let retry_policy =
+  { Retry.max_attempts = 3; base_delay = 0.001; max_delay = 0.01; jitter = 0.5 }
+
+let retry_transient () =
+  let calls = ref 0 in
+  let result =
+    Retry.with_retries ~sleep:(fun _ -> ()) retry_policy (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Sys_error "transient EIO");
+        "done")
+  in
+  Alcotest.(check int) "three attempts" 3 !calls;
+  (match result with
+  | Result.Ok s -> Alcotest.(check string) "value" "done" s
+  | Result.Error _ -> Alcotest.fail "should succeed on the third attempt");
+  calls := 0;
+  (match
+     Retry.with_retries ~sleep:(fun _ -> ()) retry_policy (fun () ->
+         incr calls;
+         raise (Sys_error "always"))
+   with
+  | Result.Error (Sys_error _) -> ()
+  | _ -> Alcotest.fail "exhausted retries must report the failure");
+  Alcotest.(check int) "gives up after max_attempts" 3 !calls
+
+let retry_non_transient () =
+  let calls = ref 0 in
+  (try
+     ignore
+       (Retry.with_retries ~sleep:(fun _ -> ()) retry_policy (fun () ->
+            incr calls;
+            raise Io.Crash));
+     Alcotest.fail "Crash must fly through"
+   with Io.Crash -> ());
+  Alcotest.(check int) "no retry of a crash" 1 !calls
+
+let retry_delays_bounded () =
+  let rand = Random.State.make [| 42 |] in
+  for attempt = 0 to 10 do
+    let d = Retry.delay_for ~policy:Retry.default ~rand attempt in
+    if d < 0.0 || d > Retry.default.Retry.max_delay then
+      Alcotest.failf "attempt %d: delay %f out of bounds" attempt d
+  done
+
+(* --- breaker -------------------------------------------------------------- *)
+
+let breaker_ladder () =
+  let b = Breaker.create ~threshold:2 ~cooldown:10.0 () in
+  Alcotest.(check bool) "starts closed" true (Breaker.allows b ~now:0.0);
+  Breaker.record_failure b ~now:1.0;
+  Alcotest.(check bool) "below threshold" true (Breaker.allows b ~now:1.0);
+  Breaker.record_failure b ~now:2.0;
+  Alcotest.(check bool) "tripped" false (Breaker.allows b ~now:3.0);
+  Alcotest.(check bool) "is_open" true (Breaker.is_open b);
+  (* half-open probe after the cooldown *)
+  Alcotest.(check bool) "probe allowed" true (Breaker.allows b ~now:12.5);
+  Breaker.record_failure b ~now:12.5;
+  Alcotest.(check bool) "failed probe re-trips" false (Breaker.allows b ~now:13.0);
+  Alcotest.(check bool) "new cooldown restarts" true (Breaker.allows b ~now:23.0);
+  Breaker.record_success b;
+  Alcotest.(check bool) "success closes" true (Breaker.allows b ~now:23.0);
+  Breaker.record_failure b ~now:24.0;
+  Alcotest.(check bool) "counter was reset" true (Breaker.allows b ~now:24.0)
+
+(* --- locks ---------------------------------------------------------------- *)
+
+let locks_shed_and_timeout () =
+  let l = Locks.create () in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let holder =
+    Thread.create
+      (fun () ->
+        ignore
+          (Locks.with_key l "v" ~deadline:(Unix.gettimeofday () +. 10.0)
+             (fun () ->
+               Atomic.set entered true;
+               while not (Atomic.get release) do
+                 Thread.delay 0.001
+               done)))
+      ()
+  in
+  while not (Atomic.get entered) do
+    Thread.delay 0.001
+  done;
+  (* bound 0: shed on arrival while the lock is held *)
+  (match
+     Locks.with_key ~max_waiters:0 l "v"
+       ~deadline:(Unix.gettimeofday () +. 10.0)
+       (fun () -> ())
+   with
+  | Result.Error (Locks.Busy _) -> ()
+  | _ -> Alcotest.fail "should shed with Busy at the queue bound");
+  (* queued, but the deadline passes first *)
+  (match
+     Locks.with_key ~max_waiters:8 l "v"
+       ~deadline:(Unix.gettimeofday () +. 0.05)
+       (fun () -> ())
+   with
+  | Result.Error Locks.Timed_out -> ()
+  | _ -> Alcotest.fail "should time out");
+  (* a different key is free *)
+  (match
+     Locks.with_key l "w" ~deadline:(Unix.gettimeofday () +. 1.0) (fun () -> 7)
+   with
+  | Result.Ok 7 -> ()
+  | _ -> Alcotest.fail "distinct keys must not contend");
+  Atomic.set release true;
+  Thread.join holder;
+  match Locks.with_key l "v" ~deadline:(Unix.gettimeofday () +. 1.0) (fun () -> ()) with
+  | Result.Ok () -> ()
+  | _ -> Alcotest.fail "lock must be free after release"
+
+(* --- EINTR discipline (satellite: every syscall survives signals) --------- *)
+
+let eintr_retry_loop () =
+  let calls = ref 0 in
+  let v =
+    Io.retry_eintr (fun () ->
+        incr calls;
+        if !calls < 3 then raise (Unix.Unix_error (Unix.EINTR, "read", ""));
+        "through")
+  in
+  Alcotest.(check string) "eventually returns" "through" v;
+  Alcotest.(check int) "retried twice" 3 !calls
+
+let eintr_injection () =
+  let m = Io.mem_create () in
+  let base = Io.mem_io m in
+  (* unprotected, the injected interrupt escapes *)
+  let raw, _ = Io.eintr_faulty ~eintr_at:[ 0 ] base in
+  (try
+     raw.Io.write "/f" "x";
+     Alcotest.fail "EINTR should escape an unprotected io"
+   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  (* protected, every operation rides through the interrupts *)
+  let fio, delivered = Io.eintr_faulty ~eintr_at:[ 0; 2; 4; 6 ] base in
+  let io = Io.protected fio in
+  io.Io.mkdir "/d";
+  io.Io.write "/d/f" "hello";
+  io.Io.append "/d/f" " world";
+  io.Io.fsync "/d/f";
+  io.Io.rename "/d/f" "/d/g";
+  Alcotest.(check string) "contents intact" "hello world"
+    (io.Io.read_file "/d/g");
+  Alcotest.(check int) "all four interrupts delivered" 4 (delivered ())
+
+(* --- mem-fs service helpers ----------------------------------------------- *)
+
+let quick_retry =
+  { Retry.max_attempts = 3; base_delay = 0.0002; max_delay = 0.001; jitter = 0.5 }
+
+let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
+    ?(idle = 300.0) ?(threshold = 3) ?(cooldown = 30.0) ?chaos_hook () =
+  {
+    Service.request_deadline = deadline;
+    max_waiters;
+    idle_timeout = idle;
+    drain_timeout = 5.0;
+    retry = quick_retry;
+    breaker_threshold = threshold;
+    breaker_cooldown = cooldown;
+    use_file_locks = false (* lockf needs a real fd; mem fs has none *);
+    retry_after_ms = 25;
+    now = Option.value now ~default:Unix.gettimeofday;
+    sleep = Option.value sleep ~default:Thread.delay;
+    chaos_hook;
+  }
+
+(* A mem-fs repository with one variant [v], ready to serve. *)
+let mem_repo () =
+  let m = Io.mem_create () in
+  let io = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io "/repo" (tiny ()) with
+  | Result.Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Result.Ok _ -> ()
+      | Result.Error e -> Alcotest.fail e)
+  | Result.Error e -> Alcotest.fail e);
+  (m, io)
+
+let service ?config io =
+  match Service.open_service ?config ~io "/repo" with
+  | Result.Ok t -> t
+  | Result.Error m -> Alcotest.fail m
+
+let req_ok t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Ok -> r.Protocol.body
+  | _ -> Alcotest.failf "%s should succeed, got: %s" line (Protocol.to_string r)
+
+let req_err t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Err m -> m
+  | _ -> Alcotest.failf "%s should be refused, got: %s" line (Protocol.to_string r)
+
+let apply_line name = Printf.sprintf "apply add_attribute(Person, string, 8, %s)" name
+
+(* The journal as recovered after a full post-mortem: resolved steps. *)
+let recovered_steps io =
+  match Store.load_session (Store.open_dir ~io "/repo/variants/v") with
+  | Result.Ok s ->
+      List.map
+        (fun (st : Core.Session.step) ->
+          Core.Op_printer.to_string st.Core.Session.st_op)
+        (Core.Session.log s)
+  | Result.Error e -> Alcotest.fail (Store.load_error_to_string e)
+
+(* --- service basics -------------------------------------------------------- *)
+
+let service_lifecycle () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  Alcotest.(check (list string)) "list" [ "v" ] (req_ok t c "@list");
+  ignore (req_ok t c "@ping");
+  Alcotest.(check bool) "command without a session refused" true
+    (Str_contains.contains (req_err t c "concepts") "@open");
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "nickname"));
+  (* the ack implies a durable journal record, before any snapshot *)
+  Alcotest.(check bool) "journal holds the acked op" true
+    (Str_contains.contains (io.Io.read_file "/repo/variants/v/log.ops") "nickname");
+  (* engine rejections surface as !err with the feedback as body *)
+  Alcotest.(check bool) "duplicate attribute rejected" true
+    (Str_contains.contains (req_err t c (apply_line "nickname")) "rejected");
+  (* server-session refusals *)
+  Alcotest.(check bool) "save refused" true
+    (Str_contains.contains (req_err t c "save /tmp/x") "@close");
+  Alcotest.(check bool) "source refused" true
+    (Str_contains.contains (req_err t c "source cmds.txt") "not available");
+  ignore (req_ok t c "undo");
+  ignore (req_ok t c "redo");
+  ignore (req_ok t c "@close");
+  Alcotest.(check int) "session freed on last close" 0 (Service.session_count t);
+  (* a full shutdown on a quiet service reports nothing *)
+  Alcotest.(check (list (pair string string))) "clean shutdown" [] (Service.shutdown t);
+  Alcotest.(check bool) "stopped service refuses" true
+    (Str_contains.contains (req_err t c "@ping") "shutting down")
+
+let shared_session_attach () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let a = Service.connect t and b = Service.connect t in
+  ignore (req_ok t a "@open v");
+  let body = req_ok t b "@open v" in
+  Alcotest.(check bool) "second client told it shares" true
+    (List.exists (fun l -> Str_contains.contains l "2 client(s)") body);
+  Alcotest.(check int) "one shared session" 1 (Service.session_count t);
+  ignore (req_ok t a "@close");
+  Alcotest.(check int) "still alive for b" 1 (Service.session_count t);
+  ignore (req_ok t b "@close");
+  Alcotest.(check int) "freed on last detach" 0 (Service.session_count t)
+
+let idle_reaper () =
+  let clock = ref 0.0 in
+  let config =
+    quick_config ~now:(fun () -> !clock) ~sleep:(fun d -> clock := !clock +. d)
+      ~idle:300.0 ()
+  in
+  let _, io = mem_repo () in
+  let t = service ~config io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "kept"));
+  Alcotest.(check int) "not yet idle" 0 (Service.reap_idle t);
+  clock := !clock +. 301.0;
+  Alcotest.(check int) "reaped" 1 (Service.reap_idle t);
+  Alcotest.(check int) "freed" 0 (Service.session_count t);
+  Alcotest.(check bool) "connection learns on next use" true
+    (Str_contains.contains (req_err t c "concepts") "expired");
+  (* reopening resumes from the reaper's snapshot *)
+  ignore (req_ok t c "@open v");
+  let log = req_ok t c "log" in
+  Alcotest.(check bool) "state survived the reap" true
+    (List.exists (fun l -> Str_contains.contains l "kept") log)
+
+(* --- backpressure and deadlines ------------------------------------------- *)
+
+(* Block one request inside the variant lock via the chaos hook, then look
+   at what happens to the others. *)
+let blocked_variant ~max_waiters ~deadline k =
+  with_watchdog ~secs:30.0 ~name:"backpressure" (fun () ->
+      let entered = Atomic.make false and release = Atomic.make false in
+      let hook ~variant:_ ~line =
+        if Str_contains.contains line "slowpoke" then begin
+          Atomic.set entered true;
+          while not (Atomic.get release) do
+            Thread.delay 0.001
+          done
+        end
+      in
+      let _, io = mem_repo () in
+      let t = service ~config:(quick_config ~max_waiters ~deadline ~chaos_hook:hook ()) io in
+      let a = Service.connect t and b = Service.connect t in
+      ignore (req_ok t a "@open v");
+      ignore (req_ok t b "@open v");
+      ignore (req_ok t a "focus ww:Person");
+      let slow =
+        Thread.create (fun () -> ignore (req_ok t a (apply_line "slowpoke"))) ()
+      in
+      while not (Atomic.get entered) do
+        Thread.delay 0.001
+      done;
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set release true;
+          Thread.join slow)
+        (fun () -> k t b))
+
+let backpressure_sheds () =
+  blocked_variant ~max_waiters:0 ~deadline:5.0 (fun t b ->
+      match (Service.request t b "summary").Protocol.status with
+      | Protocol.Busy { retry_after_ms; reason } ->
+          Alcotest.(check int) "advertises the configured backoff" 25
+            retry_after_ms;
+          Alcotest.(check bool) "names the queue" true
+            (Str_contains.contains reason "queued")
+      | _ -> Alcotest.fail "should shed with !busy at the queue bound")
+
+let deadline_sheds () =
+  blocked_variant ~max_waiters:8 ~deadline:0.08 (fun t b ->
+      match (Service.request t b "summary").Protocol.status with
+      | Protocol.Busy { reason; _ } ->
+          Alcotest.(check bool) "names the deadline" true
+            (Str_contains.contains reason "deadline")
+      | _ -> Alcotest.fail "should shed with !busy when the deadline passes")
+
+(* --- circuit breaker: degradation to read-only ----------------------------- *)
+
+let breaker_degrades_variant () =
+  let clock = ref 0.0 in
+  let failing = ref false in
+  let m = Io.mem_create () in
+  let raw = Io.locked (Io.mem_io m) in
+  let io =
+    {
+      raw with
+      Io.append =
+        (fun path data ->
+          if !failing then raise (Sys_error (path ^ ": injected EIO"))
+          else raw.Io.append path data);
+    }
+  in
+  (match Repo.init ~io:raw "/repo" (tiny ()) with
+  | Result.Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Result.Ok _ -> ()
+      | Result.Error e -> Alcotest.fail e)
+  | Result.Error e -> Alcotest.fail e);
+  let config =
+    quick_config ~now:(fun () -> !clock) ~sleep:(fun _ -> ()) ~threshold:1
+      ~cooldown:30.0 ()
+  in
+  let t = service ~config io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "before"));
+  failing := true;
+  (* retries exhaust, the op is not accepted, the session is evicted *)
+  let msg = req_err t c (apply_line "lost") in
+  Alcotest.(check bool) "op refused on persistence failure" true
+    (Str_contains.contains msg "persistence failed");
+  Alcotest.(check int) "session evicted" 0 (Service.session_count t);
+  (* the variant reopens read-only: the breaker has tripped *)
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "summary");
+  let msg = req_err t c (apply_line "still_lost") in
+  Alcotest.(check bool) "mutations refused while open" true
+    (Str_contains.contains msg "read-only");
+  (* after the cooldown a half-open probe goes through, and success closes *)
+  failing := false;
+  clock := !clock +. 31.0;
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "recovered"));
+  ignore (req_ok t c (apply_line "and_again"));
+  ignore (req_ok t c "@close");
+  ignore (Service.shutdown t);
+  (* nothing acked was lost; the refused op is nowhere *)
+  let steps = String.concat "\n" (recovered_steps raw) in
+  Alcotest.(check bool) "acked op kept" true (Str_contains.contains steps "before");
+  Alcotest.(check bool) "recovered op kept" true
+    (Str_contains.contains steps "recovered");
+  Alcotest.(check bool) "refused op absent" true
+    (not (Str_contains.contains steps "lost"))
+
+(* --- lock discipline ------------------------------------------------------- *)
+
+(* Same variant: requests must serialize.  The chaos hook briefly dwells
+   inside the critical section; any overlap is a mutual-exclusion bug. *)
+let same_variant_serializes () =
+  with_watchdog ~secs:60.0 ~name:"same-variant serialization" (fun () ->
+      let inside = Atomic.make 0 in
+      let overlapped = Atomic.make false in
+      let hook ~variant:_ ~line:_ =
+        if Atomic.fetch_and_add inside 1 > 0 then Atomic.set overlapped true;
+        Thread.delay 0.001;
+        ignore (Atomic.fetch_and_add inside (-1))
+      in
+      let _, io = mem_repo () in
+      let t = service ~config:(quick_config ~deadline:30.0 ~chaos_hook:hook ()) io in
+      let clients = 4 and ops = 5 in
+      let threads =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                let c = Service.connect t in
+                ignore (req_ok t c "@open v");
+                for j = 1 to ops do
+                  ignore (req_ok t c "focus ww:Person");
+                  ignore (req_ok t c (apply_line (Printf.sprintf "c%d_%d" i j)))
+                done;
+                Service.disconnect t c)
+              ())
+      in
+      List.iter Thread.join threads;
+      ignore (Service.shutdown t);
+      Alcotest.(check bool) "no two requests inside one variant" false
+        (Atomic.get overlapped);
+      (* every acked op is recovered, in each client's order *)
+      let steps = recovered_steps io in
+      Alcotest.(check int) "all ops journalled" (clients * ops)
+        (List.length steps);
+      let position name =
+        let rec go k = function
+          | [] -> Alcotest.failf "%s missing from the recovered journal" name
+          | s :: rest ->
+              if Str_contains.contains s (name ^ ")") then k else go (k + 1) rest
+        in
+        go 0 steps
+      in
+      for i = 0 to clients - 1 do
+        let ps =
+          List.init ops (fun j -> position (Printf.sprintf "c%d_%d" i (j + 1)))
+        in
+        if List.sort compare ps <> ps then
+          Alcotest.failf "client %d ops recovered out of order" i
+      done)
+
+(* Distinct variants: requests must run in parallel.  Both workers meet at
+   a barrier inside their respective variant locks; a global lock could
+   never let the second one arrive. *)
+let distinct_variants_parallel () =
+  with_watchdog ~secs:30.0 ~name:"distinct-variant parallelism" (fun () ->
+      let arrived = Atomic.make 0 in
+      let met = Atomic.make false in
+      let hook ~variant:_ ~line =
+        if Str_contains.contains line "barrier" then begin
+          ignore (Atomic.fetch_and_add arrived 1);
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while Atomic.get arrived < 2 && Unix.gettimeofday () < deadline do
+            Thread.delay 0.001
+          done;
+          if Atomic.get arrived >= 2 then Atomic.set met true
+        end
+      in
+      let _, io = mem_repo () in
+      let t = service ~config:(quick_config ~deadline:15.0 ~chaos_hook:hook ()) io in
+      let setup = Service.connect t in
+      ignore (req_ok t setup "@new w");
+      ignore (req_ok t setup "@close");
+      let worker variant =
+        Thread.create
+          (fun () ->
+            let c = Service.connect t in
+            ignore (req_ok t c ("@open " ^ variant));
+            ignore (req_ok t c "focus ww:Person");
+            ignore (req_ok t c (apply_line "barrier"));
+            Service.disconnect t c)
+          ()
+      in
+      let a = worker "v" and b = worker "w" in
+      Thread.join a;
+      Thread.join b;
+      ignore (Service.shutdown t);
+      Alcotest.(check bool)
+        "both variants were inside their locks at the same time" true
+        (Atomic.get met))
+
+(* --- chaos: concurrent clients over a crashing filesystem ------------------ *)
+
+(* One chaos schedule: 3 clients race 3 ops each onto the shared variant
+   while (a) the filesystem crashes at a seed-chosen syscall and (b) a
+   seed-chosen subset of requests has its worker killed mid-flight.  Then:
+   power loss, salvage, and the recovered journal must contain every
+   acknowledged op, per client in order, with a clean re-fsck. *)
+let chaos_schedule seed =
+  let m = Io.mem_create () in
+  let plain = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io:plain "/repo" (tiny ()) with
+  | Result.Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Result.Ok _ -> ()
+      | Result.Error e -> Alcotest.fail e)
+  | Result.Error e -> Alcotest.fail e);
+  (* the locked wrapper outermost also serializes the injector's counter *)
+  let faulted, _ = Io.faulty ~crash_at:(5 + (seed * 17 mod 120)) (Io.mem_io m) in
+  let io = Io.locked faulted in
+  let hook ~variant:_ ~line =
+    if Hashtbl.hash (seed, line) mod 11 = 0 then
+      failwith "chaos: worker killed mid-request"
+  in
+  let config =
+    quick_config ~deadline:10.0 ~threshold:max_int ~chaos_hook:hook ()
+  in
+  let t = service ~config io in
+  let clients = 3 and ops = 3 in
+  let acked = Array.make clients [] in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let c = Service.connect t in
+            for j = 1 to ops do
+              let name = Printf.sprintf "c%d_%d" i j in
+              (* open (sessions get evicted under chaos), focus, apply; a
+                 few attempts per op, give up on persistent refusal *)
+              let rec attempt k =
+                if k > 0 then begin
+                  ignore (Service.request t c "@open v");
+                  ignore (Service.request t c "focus ww:Person");
+                  let r = Service.request t c (apply_line name) in
+                  match r.Protocol.status with
+                  | Protocol.Ok -> acked.(i) <- name :: acked.(i)
+                  | Protocol.Err m when Str_contains.contains m "rejected" ->
+                      (* the engine refused it — e.g. a crashed-but-written
+                         earlier attempt replayed into the reopened session.
+                         Applied or not, it was never acknowledged. *)
+                      ()
+                  | _ ->
+                      Thread.delay 0.001;
+                      attempt (k - 1)
+                end
+              in
+              attempt 4
+            done;
+            Service.disconnect t c)
+          ())
+  in
+  List.iter Thread.join threads;
+  ignore (Service.shutdown t);
+  (* power loss, then recovery with the fault injector unplugged *)
+  Io.mem_crash ~flush:seed m;
+  let store = Store.open_dir ~io:plain "/repo/variants/v" in
+  let report = Store.fsck ~salvage:true store in
+  (match report.Store.fsck_session with
+  | Some _ -> ()
+  | None -> Alcotest.failf "seed %d: repository unrecoverable" seed);
+  (match (Store.fsck store).Store.fsck_issues with
+  | [] -> ()
+  | issues ->
+      Alcotest.failf "seed %d: not clean after salvage: %s" seed
+        (String.concat "; " issues));
+  let steps = recovered_steps plain in
+  let position name =
+    let rec go k = function
+      | [] -> None
+      | s :: rest ->
+          if Str_contains.contains s (name ^ ")") then Some k else go (k + 1) rest
+    in
+    go 0 steps
+  in
+  Array.iteri
+    (fun i names ->
+      ignore
+        (List.fold_left
+           (fun last name ->
+             match position name with
+             | None ->
+                 Alcotest.failf "seed %d: acked op %s lost after recovery" seed
+                   name
+             | Some p ->
+                 if p > last then
+                   Alcotest.failf "seed %d: client %d acked ops out of order"
+                     seed i;
+                 p)
+           max_int (* acked lists are newest-first *)
+           names))
+    acked
+
+let chaos_soak_schedules = 200
+
+let chaos_property () =
+  with_watchdog ~secs:300.0 ~name:"chaos schedules" (fun () ->
+      for seed = 0 to chaos_soak_schedules - 1 do
+        chaos_schedule seed
+      done)
+
+(* The @soak alias: keep running fresh schedules for SWSD_SOAK_SECS wall
+   seconds (tier-1 skips this; the suite is only registered when set). *)
+let soak () =
+  let secs =
+    match float_of_string_opt (Sys.getenv "SWSD_SOAK_SECS") with
+    | Some s -> s
+    | None -> 30.0
+  in
+  with_watchdog ~secs:(secs +. 120.0) ~name:"chaos soak" (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let n = ref 0 in
+      while Unix.gettimeofday () -. t0 < secs do
+        chaos_schedule (1000 + !n);
+        incr n
+      done;
+      Printf.printf "soak: %d chaos schedule(s) in %.1fs, all clean\n%!" !n
+        (Unix.gettimeofday () -. t0);
+      if !n < chaos_soak_schedules then
+        Alcotest.failf "soak ran only %d schedule(s) in %.0fs" !n secs)
+
+(* --- the real socket server ------------------------------------------------ *)
+
+let tmp_dir () =
+  let f = Filename.temp_file "swsd_server" "" in
+  Sys.remove f;
+  f
+
+let rec rm_rf p =
+  if (try Sys.is_directory p with Sys_error _ -> false) then begin
+    Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else if Sys.file_exists p then Sys.remove p
+
+let socket_end_to_end () =
+  with_watchdog ~secs:60.0 ~name:"socket end-to-end" (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e);
+          let socket_path = Filename.concat dir "swsd.sock" in
+          let server =
+            match Server.create ~socket_path dir with
+            | Result.Ok s -> s
+            | Result.Error m -> Alcotest.fail m
+          in
+          let runner = Thread.create (fun () -> ignore (Server.run server)) () in
+          let client =
+            match Server.Client.connect socket_path with
+            | Result.Ok c -> c
+            | Result.Error m -> Alcotest.fail m
+          in
+          (match Server.Client.read_response client with
+          | Some greeting ->
+              Alcotest.(check bool) "greeting terminates with !ok" true
+                (List.mem "!ok" greeting)
+          | None -> Alcotest.fail "no greeting");
+          let roundtrip line =
+            match Server.Client.request client line with
+            | Some lines -> lines
+            | None -> Alcotest.failf "%s: server hung up" line
+          in
+          let expect_ok line =
+            let lines = roundtrip line in
+            if not (List.mem "!ok" lines) then
+              Alcotest.failf "%s: %s" line (String.concat " | " lines)
+          in
+          expect_ok "@new night";
+          expect_ok "focus ww:Person";
+          expect_ok (apply_line "over_the_wire");
+          Alcotest.(check bool) "journal durable behind the socket" true
+            (Str_contains.contains
+               (Io.unix.Io.read_file
+                  (Filename.concat dir "variants/night/log.ops"))
+               "over_the_wire");
+          expect_ok "@quit";
+          Server.Client.close client;
+          (* a second client arrives, then the server stops underneath it *)
+          Server.stop server;
+          Thread.join runner;
+          Alcotest.(check bool) "socket file removed" false
+            (Sys.file_exists socket_path)))
+
+(* [swsd serve] as a child process: SIGTERM must drain gracefully (exit 0)
+   and a concurrent [repl --save] on a served variant must fail fast. *)
+let sigterm_drains () =
+  with_watchdog ~secs:60.0 ~name:"sigterm drain" (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok repo -> (
+              match Repo.create_variant repo "v" with
+              | Result.Ok _ -> ()
+              | Result.Error e -> Alcotest.fail e)
+          | Result.Error e -> Alcotest.fail e);
+          let socket_path = Filename.concat dir "swsd.sock" in
+          let pid =
+            Unix.create_process "../bin/swsd.exe"
+              [| "swsd"; "serve"; dir; "--socket"; socket_path |]
+              Unix.stdin Unix.stdout Unix.stderr
+          in
+          let rec connect tries =
+            match Server.Client.connect socket_path with
+            | Result.Ok c -> c
+            | Result.Error _ when tries > 0 ->
+                Thread.delay 0.05;
+                connect (tries - 1)
+            | Result.Error m -> Alcotest.fail m
+          in
+          let client = connect 100 in
+          ignore (Server.Client.read_response client);
+          (match Server.Client.request client "@open v" with
+          | Some lines -> Alcotest.(check bool) "opened" true (List.mem "!ok" lines)
+          | None -> Alcotest.fail "open failed");
+          (* the served variant is lockf-locked against other processes *)
+          let rc =
+            Sys.command
+              (Printf.sprintf
+                 "../bin/swsd.exe repl university --save %s </dev/null \
+                  >/dev/null 2>&1"
+                 (Filename.quote (Filename.concat dir "variants/v")))
+          in
+          Alcotest.(check int) "repl --save fails fast on a served variant" 2 rc;
+          Server.Client.close client;
+          Unix.kill pid Sys.sigterm;
+          let _, status = Io.retry_eintr (fun () -> Unix.waitpid [] pid) in
+          (match status with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+          | Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+          | Unix.WSTOPPED _ -> Alcotest.fail "server stopped");
+          Alcotest.(check bool) "socket removed on drain" false
+            (Sys.file_exists socket_path)))
+
+(* --- deterministic listings (satellite) ------------------------------------ *)
+
+let variant_names_sorted () =
+  let m = Io.mem_create () in
+  let io = Io.mem_io m in
+  (match Repo.init ~io "/repo" (tiny ()) with
+  | Result.Ok repo ->
+      List.iter
+        (fun n ->
+          match Repo.create_variant repo n with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e)
+        [ "zeta"; "alpha"; "mid" ]
+  | Result.Error e -> Alcotest.fail e);
+  (* a filesystem enumerating in any order must not leak through *)
+  let scrambled = { io with Io.readdir = (fun p -> List.rev (io.Io.readdir p)) } in
+  match Repo.open_dir ~io:scrambled "/repo" with
+  | Result.Error e -> Alcotest.fail e
+  | Result.Ok repo ->
+      Alcotest.(check (list string)) "sorted regardless of readdir order"
+        [ "alpha"; "mid"; "zeta" ]
+        (Repo.variant_names repo)
+
+let tests =
+  [
+    test "protocol: request parsing" parse_requests;
+    test "protocol: response rendering" render_responses;
+    test "retry: transient failures retried, then reported" retry_transient;
+    test "retry: crashes fly through untouched" retry_non_transient;
+    test "retry: jittered delays stay bounded" retry_delays_bounded;
+    test "breaker: trip, half-open probe, close" breaker_ladder;
+    test "locks: queue bound sheds, deadline sheds, keys independent"
+      locks_shed_and_timeout;
+    test "eintr: the shared retry loop" eintr_retry_loop;
+    test "eintr: injected interrupts ride through a protected io" eintr_injection;
+    test "service: session lifecycle over one connection" service_lifecycle;
+    test "service: one variant is one shared session" shared_session_attach;
+    test "service: idle sessions are snapshotted and reaped" idle_reaper;
+    test "service: full queue sheds with !busy" backpressure_sheds;
+    test "service: deadline expiry sheds with !busy" deadline_sheds;
+    test "service: journal failures degrade the variant to read-only"
+      breaker_degrades_variant;
+    test "locks: same-variant requests serialize (journal intact)"
+      same_variant_serializes;
+    test "locks: distinct variants run in parallel" distinct_variants_parallel;
+    Alcotest.test_case
+      (Printf.sprintf "chaos: %d crash/kill schedules recover every acked op"
+         chaos_soak_schedules)
+      `Slow chaos_property;
+    test "server: socket round trip, stop removes the socket" socket_end_to_end;
+    test "server: SIGTERM drains; repl --save fails fast on a served variant"
+      sigterm_drains;
+    test "repo: variant names are sorted whatever readdir yields"
+      variant_names_sorted;
+  ]
+
+let soak_tests = [ Alcotest.test_case "bounded chaos soak" `Slow soak ]
