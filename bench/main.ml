@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --index   P8 only; writes BENCH_index.json
      dune exec bench/main.exe -- --journal P10 only; writes BENCH_journal.json
      dune exec bench/main.exe -- --server  P11 only; writes BENCH_server.json
+     dune exec bench/main.exe -- --obs     P12 only; writes BENCH_obs.json
 *)
 
 let () =
@@ -16,8 +17,10 @@ let () =
   let index = List.mem "--index" args in
   let journal = List.mem "--journal" args in
   let server = List.mem "--server" args in
+  let obs = List.mem "--obs" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
   if journal then Perf.run_journal ~json_path:"BENCH_journal.json" ();
-  if server then Server_bench.run ~json_path:"BENCH_server.json" ()
+  if server then Server_bench.run ~json_path:"BENCH_server.json" ();
+  if obs then Obs_bench.run ~json_path:"BENCH_obs.json" ()

@@ -1,0 +1,190 @@
+(* P12: observability overhead.
+
+   What does full instrumentation cost on the request path?  Two identical
+   services over in-memory filesystems — one with a live [Obs.t] (every
+   counter, histogram, and trace recording), one opened with [Obs.noop]
+   (every instrument a load-and-branch no-op) — serve the P11 workload
+   (8 sessions, 2:1 mutate:read) in small alternating batches.
+
+   Two things make the comparison honest on a noisy shared machine:
+
+   - Fine-grained interleaving and a robust estimator.  Ambient load
+     swings throughput far more between moments than instrumentation could
+     ever cost, so the sides alternate every ~100 ms (order flipping each
+     pair, which cancels linear drift), every request is timed
+     individually, and the score compares the sides' median request
+     latencies — scheduler stalls and GC pauses land in the tail, which a
+     median never sees.
+   - Hook hygiene.  The session/journal observation hooks are process-wide
+     globals; with both services in one process the enabled side's hooks
+     would fire during the disabled side's batches and bias the overhead
+     toward zero.  Each batch re-arms or disarms them explicitly
+     ({!Service.rearm_hooks} / {!Service.disarm_hooks}).
+
+   The budget is 3%: if enabling observability costs more than that in
+   aggregate throughput, the instrumentation is too hot for production
+   defaults. *)
+
+module Io = Repository.Io
+module Repo = Repository.Repo
+module Service = Server.Service
+module Protocol = Server.Protocol
+
+let schema_text =
+  "interface Person { attribute string name; attribute int age; };\n\
+   interface Course { attribute string title; attribute string code; };"
+
+let parse text = Odl.Parser.parse_schema text
+
+let sessions = 8
+let per_batch = 25  (* requests per session per batch *)
+let pairs = 40
+
+let config = { Service.default_config with Service.use_file_locks = false }
+
+let fresh_service obs =
+  let m = Io.mem_create () in
+  let io = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io "/repo" (parse schema_text) with
+  | Ok repo ->
+      for i = 0 to sessions - 1 do
+        match Repo.create_variant repo (Printf.sprintf "v%02d" i) with
+        | Ok _ -> ()
+        | Error e -> failwith e
+      done
+  | Error e -> failwith e);
+  match Service.open_service ~config ~io ~obs "/repo" with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let must t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Ok -> ()
+  | _ -> failwith (Printf.sprintf "%s failed: %s" line (Protocol.to_string r))
+
+type side = {
+  svc : Service.t;
+  conns : Service.conn array;  (* one per session, kept open throughout *)
+  enabled : bool;
+  lat : float array;  (* per-request latencies of the scored batches *)
+  mutable filled : int;
+  mutable elapsed : float;  (* summed scored batch time, seconds *)
+}
+
+let make_side ~enabled obs =
+  let svc = fresh_service obs in
+  let conns =
+    Array.init sessions (fun i ->
+        let c = Service.connect svc in
+        must svc c (Printf.sprintf "@open v%02d" i);
+        must svc c "focus ww:Person";
+        c)
+  in
+  {
+    svc;
+    conns;
+    enabled;
+    lat = Array.make (pairs * sessions * per_batch) 0.0;
+    filled = 0;
+    elapsed = 0.0;
+  }
+
+(* Batches draw attribute names from one process-wide sequence, so the two
+   sides apply structurally identical operations without name collisions
+   within a side. *)
+let serial = ref 0
+
+(* One batch; [scored] batches record per-request latencies. *)
+let batch ?(scored = true) side =
+  incr serial;
+  let s = !serial in
+  if side.enabled then Service.rearm_hooks side.svc
+  else Service.disarm_hooks ();
+  let base = side.filled in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init sessions (fun i ->
+        Thread.create
+          (fun () ->
+            for j = 0 to per_batch - 1 do
+              let line =
+                if j mod 3 = 2 then "log"
+                else
+                  Printf.sprintf
+                    "apply add_attribute(Person, string, 8, b%d_%d_%d)" s i j
+              in
+              let r0 = Unix.gettimeofday () in
+              must side.svc side.conns.(i) line;
+              if scored then
+                side.lat.(base + (i * per_batch) + j) <-
+                  Unix.gettimeofday () -. r0
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  if scored then begin
+    side.filled <- base + (sessions * per_batch);
+    side.elapsed <- side.elapsed +. (Unix.gettimeofday () -. t0)
+  end
+
+let run ~json_path () =
+  Printf.printf
+    "P12: observability overhead (%d sessions, %d paired batches of %d \
+     requests/session)\n"
+    sessions pairs per_batch;
+  let on = make_side ~enabled:true (Obs.create ()) in
+  let off = make_side ~enabled:false Obs.noop in
+  (* a discarded warmup pair gets lazy init and page faults out of the way *)
+  batch ~scored:false on;
+  batch ~scored:false off;
+  for p = 0 to pairs - 1 do
+    if p mod 2 = 0 then begin
+      batch on;
+      batch off
+    end
+    else begin
+      batch off;
+      batch on
+    end
+  done;
+  let requests = pairs * sessions * per_batch in
+  let rate elapsed = float_of_int requests /. elapsed in
+  let median side =
+    Array.sort compare side.lat;
+    side.lat.(requests / 2)
+  in
+  let m_on = median on and m_off = median off in
+  let overhead_pct = (m_on -. m_off) /. m_off *. 100.0 in
+  Printf.printf "  enabled:  median %8.1f us/req   (%8.0f req/s aggregate)\n"
+    (m_on *. 1e6) (rate on.elapsed);
+  Printf.printf "  disabled: median %8.1f us/req   (%8.0f req/s aggregate)\n"
+    (m_off *. 1e6) (rate off.elapsed);
+  Printf.printf "  median-latency overhead: %+.2f%% (budget 3%%)\n" overhead_pct;
+  ignore (Service.shutdown on.svc);
+  ignore (Service.shutdown off.svc);
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"P12 observability overhead\",";
+        Printf.sprintf
+          "  \"setup\": \"%d sessions, 2:1 mutate:read mix, in-memory fs, \
+           %d interleaved enabled/disabled batch pairs (order alternating) \
+           after a warmup, scored on median request latency\","
+          sessions pairs;
+        Printf.sprintf "  \"requests_per_side\": %d," requests;
+        Printf.sprintf "  \"enabled_median_us\": %.1f," (m_on *. 1e6);
+        Printf.sprintf "  \"disabled_median_us\": %.1f," (m_off *. 1e6);
+        Printf.sprintf "  \"enabled_req_per_s\": %.1f," (rate on.elapsed);
+        Printf.sprintf "  \"disabled_req_per_s\": %.1f," (rate off.elapsed);
+        Printf.sprintf "  \"overhead_pct\": %.2f," overhead_pct;
+        "  \"budget_pct\": 3.0";
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" json_path

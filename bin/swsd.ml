@@ -490,11 +490,12 @@ let cmd_fsck dir salvage =
 (* Serve a multi-variant repository to concurrent designer sessions over
    a Unix domain socket.  SIGTERM/SIGINT drain gracefully: in-flight
    requests finish, dirty sessions are snapshotted, locks released. *)
-let cmd_serve dir socket =
+let cmd_serve dir socket no_obs =
   let socket_path =
     match socket with Some p -> p | None -> Filename.concat dir "swsd.sock"
   in
-  match Server.create ~socket_path dir with
+  let obs = if no_obs then Obs.noop else Obs.create () in
+  match Server.create ~obs ~socket_path dir with
   | Error m ->
       prerr_endline m;
       1
@@ -510,6 +511,52 @@ let cmd_serve dir socket =
         failures;
       print_endline "server stopped";
       0
+
+(* Ask a running server for its observability snapshot.  The transcript is
+   plain line protocol: consume the greeting, send @stats, strip the body
+   prefix from the reply.  Exit 1 when the server refuses (e.g. --no-obs)
+   or cannot be reached. *)
+let cmd_stats socket json =
+  match Server.Client.connect socket with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok c ->
+      let finish code =
+        Server.Client.close c;
+        code
+      in
+      let strip line =
+        let p = Server.Protocol.body_prefix in
+        let pl = String.length p in
+        if String.length line >= pl && String.sub line 0 pl = p then
+          String.sub line pl (String.length line - pl)
+        else line
+      in
+      (match Server.Client.read_response c with
+      | None ->
+          prerr_endline (socket ^ ": server hung up before greeting");
+          finish 1
+      | Some _greeting -> (
+          match
+            Server.Client.request c (if json then "@stats json" else "@stats")
+          with
+          | None ->
+              prerr_endline (socket ^ ": server hung up");
+              finish 1
+          | Some lines ->
+              let body, status =
+                match List.rev lines with
+                | status :: rev_body -> (List.rev rev_body, status)
+                | [] -> ([], "!err empty response")
+              in
+              List.iter (fun l -> print_endline (strip l)) body;
+              if String.length status >= 3 && String.sub status 0 3 = "!ok" then
+                finish 0
+              else begin
+                prerr_endline status;
+                finish 1
+              end))
 
 let cmd_examples () =
   List.iter
@@ -801,13 +848,36 @@ let serve_cmd =
          "Serve a variant repository to concurrent designer sessions over a \
           Unix domain socket (line protocol; graceful drain on SIGTERM)")
     Term.(
-      const (fun d s -> Stdlib.exit (cmd_serve d s))
+      const (fun d s n -> Stdlib.exit (cmd_serve d s n))
       $ repo_dir_arg
       $ Arg.(
           value
           & opt (some string) None
           & info [ "socket" ] ~docv:"PATH"
-              ~doc:"Socket path (default: DIR/swsd.sock)."))
+              ~doc:"Socket path (default: DIR/swsd.sock).")
+      $ Arg.(
+          value & flag
+          & info [ "no-obs" ]
+              ~doc:
+                "Disable observability: every metric, histogram, and trace \
+                 hook becomes a no-op, and @stats reports an error."))
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Fetch the observability snapshot (request counters, latency \
+          histogram quantiles, lock contention, breaker state, recent \
+          traces) from a running server")
+    Term.(
+      const (fun s j -> Stdlib.exit (cmd_stats s j))
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"SOCKET" ~doc:"The server's Unix socket path.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit the snapshot as one JSON object."))
 
 let examples_cmd =
   Cmd.v
@@ -827,5 +897,5 @@ let () =
             diff_cmd; explain_cmd; affinity_cmd; library_cmd; graph_cmd;
             sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
             query_cmd;
-            variants_cmd; serve_cmd; fsck_cmd; examples_cmd;
+            variants_cmd; serve_cmd; stats_cmd; fsck_cmd; examples_cmd;
           ]))

@@ -1,0 +1,157 @@
+(** Stable renderings of a {!Registry.snapshot}.
+
+    [to_text] is for humans at a terminal (`swsd stats`): aligned columns,
+    names sorted, histograms as count / mean / p50 / p90 / p99 / max.
+    [to_json] is for scripts and scrapers: one self-contained JSON object
+    with the same content, quantiles precomputed (bucket arrays are an
+    implementation detail and are not exported).  Both renderings are
+    deterministic for a given snapshot. *)
+
+open Registry
+
+(* Latency-style histograms are named *_seconds; render them in ms. *)
+let is_seconds name =
+  let suffix = "_seconds" in
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl && String.sub name (nl - sl) sl = suffix
+
+let scaled name v = if is_seconds name then v *. 1000.0 else v
+let histo_unit name = if is_seconds name then "ms" else "raw"
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+(* --- text ----------------------------------------------------------------- *)
+
+let quantiles (s : Histo.snapshot) =
+  ( Histo.quantile s 0.50,
+    Histo.quantile s 0.90,
+    Histo.quantile s 0.99,
+    if s.Histo.s_count = 0 then 0.0 else s.Histo.s_max )
+
+let to_text sn =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "observability snapshot (uptime %.1fs)" sn.sn_uptime;
+  if sn.sn_counters <> [] then begin
+    line "counters:";
+    List.iter (fun (n, v) -> line "  %-40s %12d" n v) sn.sn_counters
+  end;
+  if sn.sn_gauges <> [] then begin
+    line "gauges:";
+    List.iter (fun (n, v) -> line "  %-40s %12d" n v) sn.sn_gauges
+  end;
+  if sn.sn_histos <> [] then begin
+    line "histograms:";
+    line "  %-34s %5s %9s %9s %9s %9s %9s %4s" "" "count" "mean" "p50" "p90"
+      "p99" "max" "unit";
+    List.iter
+      (fun (n, s) ->
+        let p50, p90, p99, mx = quantiles s in
+        let sc = scaled n in
+        line "  %-34s %5d %9s %9s %9s %9s %9s %4s" n s.Histo.s_count
+          (fmt_num (sc (Histo.mean s)))
+          (fmt_num (sc p50)) (fmt_num (sc p90)) (fmt_num (sc p99))
+          (fmt_num (sc mx)) (histo_unit n))
+      sn.sn_histos
+  end;
+  if sn.sn_notes <> [] then begin
+    line "notes:";
+    List.iter (fun (n, v) -> line "  %-34s %s" n v) sn.sn_notes
+  end;
+  if sn.sn_traces <> [] then begin
+    line "recent traces (newest first):";
+    List.iter
+      (fun (tr : Trace.trace) ->
+        let phases =
+          tr.Trace.tr_phases
+          |> List.map (fun (p : Trace.phase) ->
+                 Printf.sprintf "%s=%.3fms" p.Trace.ph_name
+                   (p.Trace.ph_seconds *. 1000.0))
+          |> String.concat " "
+        in
+        line "  %-8s %-4s %9.3fms  %s%s" tr.Trace.tr_label tr.Trace.tr_status
+          (tr.Trace.tr_seconds *. 1000.0)
+          phases
+          (if tr.Trace.tr_detail = "" then ""
+           else "  [" ^ tr.Trace.tr_detail ^ "]"))
+      sn.sn_traces
+  end;
+  Buffer.contents b
+
+(* --- json ----------------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape s ^ "\""
+
+(* JSON numbers may not be nan/inf; empty-histogram min/max render as 0. *)
+let jfloat v = if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let jobj fields = "{" ^ String.concat ", " fields ^ "}"
+let jfield k v = jstr k ^ ": " ^ v
+
+let int_table kvs =
+  jobj (List.map (fun (k, v) -> jfield k (string_of_int v)) kvs)
+
+let histo_json name (s : Histo.snapshot) =
+  let p50, p90, p99, _ = quantiles s in
+  jobj
+    [
+      jfield "count" (string_of_int s.Histo.s_count);
+      jfield "sum" (jfloat s.Histo.s_sum);
+      jfield "min" (jfloat (if s.Histo.s_count = 0 then 0.0 else s.Histo.s_min));
+      jfield "max" (jfloat (if s.Histo.s_count = 0 then 0.0 else s.Histo.s_max));
+      jfield "p50" (jfloat p50);
+      jfield "p90" (jfloat p90);
+      jfield "p99" (jfloat p99);
+      jfield "unit" (jstr (if is_seconds name then "s" else "raw"));
+    ]
+
+let trace_json (tr : Trace.trace) =
+  jobj
+    [
+      jfield "label" (jstr tr.Trace.tr_label);
+      jfield "detail" (jstr tr.Trace.tr_detail);
+      jfield "start" (jfloat tr.Trace.tr_start);
+      jfield "seconds" (jfloat tr.Trace.tr_seconds);
+      jfield "status" (jstr tr.Trace.tr_status);
+      jfield "phases"
+        (jobj
+           (List.map
+              (fun (p : Trace.phase) ->
+                jfield p.Trace.ph_name (jfloat p.Trace.ph_seconds))
+              tr.Trace.tr_phases));
+    ]
+
+let to_json sn =
+  jobj
+    [
+      jfield "at" (jfloat sn.sn_at);
+      jfield "uptime_s" (jfloat sn.sn_uptime);
+      jfield "counters" (int_table sn.sn_counters);
+      jfield "gauges" (int_table sn.sn_gauges);
+      jfield "histograms"
+        (jobj
+           (List.map (fun (n, s) -> jfield n (histo_json n s)) sn.sn_histos));
+      jfield "notes"
+        (jobj (List.map (fun (n, v) -> jfield n (jstr v)) sn.sn_notes));
+      jfield "traces"
+        ("[" ^ String.concat ", " (List.map trace_json sn.sn_traces) ^ "]");
+    ]

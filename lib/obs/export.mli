@@ -1,0 +1,8 @@
+(** Stable text and JSON renderings of a {!Registry.snapshot}. *)
+
+val to_text : Registry.snapshot -> string
+(** Human-oriented, aligned, deterministic; latencies in ms. *)
+
+val to_json : Registry.snapshot -> string
+(** One JSON object: counters, gauges, histogram quantiles, notes, recent
+    traces.  Latencies in seconds; no NaN/infinity ever emitted. *)

@@ -1,0 +1,187 @@
+(** Log-bucketed histograms for latency-style measurements.
+
+    Values are bucketed on a logarithmic grid ([per_decade] buckets per
+    power of ten between [lo] and [hi], plus an underflow and an overflow
+    bucket), so quantile estimates carry a bounded {e relative} error — the
+    right trade for latencies spanning microseconds to seconds.  Recording
+    is sharded by thread id (one small mutex per shard, threads almost
+    never share one), and {!snapshot} merges the shards into an immutable,
+    mergeable value: snapshots of the same shape form a commutative monoid
+    under {!merge}, so per-process histograms can be combined across
+    scrapes or servers.
+
+    Quantiles are read from a snapshot: the estimate for an interior bucket
+    is its geometric midpoint; the underflow and overflow buckets answer
+    with the exact observed minimum and maximum, so [quantile s 1.0] is the
+    true max. *)
+
+let shard_count = 8
+
+type shard = {
+  mu : Mutex.t;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type t = {
+  h_name : string;
+  h_on : bool;
+  h_lo : float;  (** lower edge of the first interior bucket *)
+  h_hi : float;  (** upper edge of the last interior bucket *)
+  h_per_decade : int;
+  h_n : int;  (** total buckets, including underflow (0) and overflow (n-1) *)
+  h_shards : shard array;
+}
+
+let fresh_shard n =
+  {
+    mu = Mutex.create ();
+    buckets = Array.make n 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+  }
+
+(** [create name] — value domain defaults to seconds: 1µs .. 1000s with 10
+    buckets per decade (≈26% bucket width). *)
+let create ?(on = true) ?(lo = 1e-6) ?(hi = 1e3) ?(per_decade = 10) name =
+  if not (lo > 0.0 && hi > lo && per_decade > 0) then
+    invalid_arg "Histo.create: need 0 < lo < hi and per_decade > 0";
+  let interior =
+    int_of_float (ceil (Float.log10 (hi /. lo) *. float_of_int per_decade))
+  in
+  let n = interior + 2 in
+  {
+    h_name = name;
+    h_on = on;
+    h_lo = lo;
+    h_hi = hi;
+    h_per_decade = per_decade;
+    h_n = n;
+    h_shards = Array.init shard_count (fun _ -> fresh_shard n);
+  }
+
+let name t = t.h_name
+
+let bucket_index t v =
+  if v < t.h_lo then 0
+  else if v >= t.h_hi then t.h_n - 1
+  else
+    let i =
+      1 + int_of_float (Float.log10 (v /. t.h_lo) *. float_of_int t.h_per_decade)
+    in
+    (* float rounding at bucket edges can land one off; clamp to interior *)
+    max 1 (min (t.h_n - 2) i)
+
+let observe t v =
+  if t.h_on then begin
+    let s = t.h_shards.(Thread.id (Thread.self ()) land (shard_count - 1)) in
+    Mutex.lock s.mu;
+    s.buckets.(bucket_index t v) <- s.buckets.(bucket_index t v) + 1;
+    s.count <- s.count + 1;
+    s.sum <- s.sum +. v;
+    if v < s.min_v then s.min_v <- v;
+    if v > s.max_v then s.max_v <- v;
+    Mutex.unlock s.mu
+  end
+
+(* --- snapshots ------------------------------------------------------------ *)
+
+type snapshot = {
+  s_lo : float;
+  s_hi : float;
+  s_per_decade : int;
+  s_count : int;
+  s_sum : float;
+  s_min : float;  (** [infinity] when empty *)
+  s_max : float;  (** [neg_infinity] when empty *)
+  s_buckets : int array;
+}
+
+let empty_like t =
+  {
+    s_lo = t.h_lo;
+    s_hi = t.h_hi;
+    s_per_decade = t.h_per_decade;
+    s_count = 0;
+    s_sum = 0.0;
+    s_min = infinity;
+    s_max = neg_infinity;
+    s_buckets = Array.make t.h_n 0;
+  }
+
+let snapshot t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mu;
+      let r =
+        {
+          acc with
+          s_count = acc.s_count + s.count;
+          s_sum = acc.s_sum +. s.sum;
+          s_min = Float.min acc.s_min s.min_v;
+          s_max = Float.max acc.s_max s.max_v;
+          s_buckets = Array.mapi (fun i n -> n + s.buckets.(i)) acc.s_buckets;
+        }
+      in
+      Mutex.unlock s.mu;
+      r)
+    (empty_like t) t.h_shards
+
+(** Combine two snapshots of the same shape (same [lo]/[hi]/[per_decade]).
+    Associative and commutative, with the empty snapshot as identity. *)
+let merge a b =
+  if
+    a.s_lo <> b.s_lo || a.s_hi <> b.s_hi || a.s_per_decade <> b.s_per_decade
+    || Array.length a.s_buckets <> Array.length b.s_buckets
+  then invalid_arg "Histo.merge: incompatible bucket shapes";
+  {
+    a with
+    s_count = a.s_count + b.s_count;
+    s_sum = a.s_sum +. b.s_sum;
+    s_min = Float.min a.s_min b.s_min;
+    s_max = Float.max a.s_max b.s_max;
+    s_buckets = Array.mapi (fun i n -> n + b.s_buckets.(i)) a.s_buckets;
+  }
+
+(* The bucket an exact value of this snapshot's shape falls into; mirrors
+   [bucket_index] so tests can compare estimate vs oracle bucket-wise. *)
+let snapshot_bucket s v =
+  let n = Array.length s.s_buckets in
+  if v < s.s_lo then 0
+  else if v >= s.s_hi then n - 1
+  else
+    let i =
+      1 + int_of_float (Float.log10 (v /. s.s_lo) *. float_of_int s.s_per_decade)
+    in
+    max 1 (min (n - 2) i)
+
+(** Quantile estimate for [q] in [0..1]: geometric midpoint of the bucket
+    holding the rank-⌈q·count⌉ value; the underflow/overflow buckets answer
+    with the observed min/max.  [0.0] on an empty snapshot. *)
+let quantile s q =
+  if s.s_count = 0 then 0.0
+  else if q >= 1.0 then s.s_max
+  else
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int s.s_count))) in
+    let n = Array.length s.s_buckets in
+    let rec walk i cum =
+      if i >= n then s.s_max
+      else
+        let cum = cum + s.s_buckets.(i) in
+        if cum >= rank then
+          if i = 0 then s.s_min
+          else if i = n - 1 then s.s_max
+          else
+            s.s_lo
+            *. Float.pow 10.0
+                 ((float_of_int i -. 0.5) /. float_of_int s.s_per_decade)
+        else walk (i + 1) cum
+    in
+    walk 0 0
+
+let mean s = if s.s_count = 0 then 0.0 else s.s_sum /. float_of_int s.s_count

@@ -1,0 +1,89 @@
+(** Named counters and gauges.
+
+    Counters are write-hot: the service increments several per request from
+    many worker threads.  Each counter is therefore backed by a small array
+    of per-thread sharded cells — a thread picks its cell by thread id, so
+    two threads almost never touch the same atomic — and the total is
+    aggregated only on read ({!value}, {!counters}).  There is no shared
+    mutex anywhere on the increment path.
+
+    Gauges are point-in-time values (sessions open, requests in flight) set
+    rarely; a single atomic cell suffices.
+
+    A registry created with [~on:false] hands out disabled instruments whose
+    operations are a single branch — the [--no-obs] configuration. *)
+
+let shard_count = 16  (* power of two: thread id folds in with a mask *)
+
+let slot () = Thread.id (Thread.self ()) land (shard_count - 1)
+
+type counter = {
+  c_name : string;
+  c_on : bool;
+  c_cells : int Atomic.t array;
+}
+
+type gauge = { g_name : string; g_on : bool; g_cell : int Atomic.t }
+
+type registry = {
+  r_on : bool;
+  r_mu : Mutex.t;  (** guards registration only, never the hot path *)
+  mutable r_counters : counter list;
+  mutable r_gauges : gauge list;
+}
+
+let create ?(on = true) () =
+  { r_on = on; r_mu = Mutex.create (); r_counters = []; r_gauges = [] }
+
+let locked r f =
+  Mutex.lock r.r_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.r_mu) f
+
+(** Find-or-create the counter named [name]; registration is idempotent, so
+    instruments can be looked up again from anywhere. *)
+let counter r name =
+  locked r (fun () ->
+      match List.find_opt (fun c -> c.c_name = name) r.r_counters with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              c_name = name;
+              c_on = r.r_on;
+              c_cells = Array.init shard_count (fun _ -> Atomic.make 0);
+            }
+          in
+          r.r_counters <- c :: r.r_counters;
+          c)
+
+let gauge r name =
+  locked r (fun () ->
+      match List.find_opt (fun g -> g.g_name = name) r.r_gauges with
+      | Some g -> g
+      | None ->
+          let g = { g_name = name; g_on = r.r_on; g_cell = Atomic.make 0 } in
+          r.r_gauges <- g :: r.r_gauges;
+          g)
+
+let incr c = if c.c_on then ignore (Atomic.fetch_and_add c.c_cells.(slot ()) 1)
+let add c n = if c.c_on then ignore (Atomic.fetch_and_add c.c_cells.(slot ()) n)
+
+(** Aggregate over the shards.  Reads race benignly with concurrent
+    increments: the result is some total that was true at a recent instant. *)
+let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cells
+
+let set g v = if g.g_on then Atomic.set g.g_cell v
+let gauge_value g = Atomic.get g.g_cell
+
+let by_name name_of l =
+  List.sort (fun a b -> compare (name_of a) (name_of b)) l
+
+let counters r =
+  locked r (fun () -> r.r_counters)
+  |> by_name (fun c -> c.c_name)
+  |> List.map (fun c -> (c.c_name, value c))
+
+let gauges r =
+  locked r (fun () -> r.r_gauges)
+  |> by_name (fun g -> g.g_name)
+  |> List.map (fun g -> (g.g_name, gauge_value g))

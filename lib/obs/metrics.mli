@@ -1,0 +1,33 @@
+(** Named counters (per-thread sharded cells, aggregated on read — the
+    increment path never touches a shared mutex) and gauges (single atomic
+    cell).  A registry created with [~on:false] hands out no-op
+    instruments. *)
+
+type counter
+type gauge
+type registry
+
+val create : ?on:bool -> unit -> registry
+(** Fresh registry; [on] defaults to [true]. *)
+
+val counter : registry -> string -> counter
+(** Find-or-create by name (idempotent). *)
+
+val gauge : registry -> string -> gauge
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val value : counter -> int
+(** Aggregated total; races benignly with concurrent increments. *)
+
+val set : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val counters : registry -> (string * int) list
+(** All counters with their aggregated values, sorted by name. *)
+
+val gauges : registry -> (string * int) list
+
+val shard_count : int
+(** How many cells back each counter (fixed; thread id selects one). *)

@@ -1,0 +1,80 @@
+(** The observability registry: one value tying together the counters and
+    gauges ({!Metrics}), the latency histograms ({!Histo}), and the request
+    tracer ({!Trace}) of a process, plus point-in-time snapshots of all of
+    them for {!Export}.
+
+    A registry created with [~on:false] (or the shared {!noop}) hands out
+    disabled instruments: every hook in the instrumented code compiles down
+    to a load and a branch, which is what the server's [--no-obs] flag
+    relies on. *)
+
+type t = {
+  on : bool;
+  metrics : Metrics.registry;
+  mu : Mutex.t;  (** guards histogram registration *)
+  mutable histos : Histo.t list;
+  tracer : Trace.t;
+  started : float;
+}
+
+let create ?(on = true) ?(trace_capacity = 64) () =
+  {
+    on;
+    metrics = Metrics.create ~on ();
+    mu = Mutex.create ();
+    histos = [];
+    tracer = Trace.create ~on ~capacity:trace_capacity ();
+    started = Clock.wall ();
+  }
+
+(** The disabled registry: share it wherever observability is off. *)
+let noop = create ~on:false ()
+
+let enabled t = t.on
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let tracer t = t.tracer
+
+(** Find-or-create a histogram; the optional bucket shape only applies on
+    first creation. *)
+let histo ?lo ?hi ?per_decade t name =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      match List.find_opt (fun h -> Histo.name h = name) t.histos with
+      | Some h -> h
+      | None ->
+          let h = Histo.create ~on:t.on ?lo ?hi ?per_decade name in
+          t.histos <- h :: t.histos;
+          h)
+
+type snapshot = {
+  sn_at : float;  (** wall-clock time of the snapshot *)
+  sn_uptime : float;
+  sn_counters : (string * int) list;  (** sorted by name *)
+  sn_gauges : (string * int) list;
+  sn_histos : (string * Histo.snapshot) list;
+  sn_notes : (string * string) list;  (** caller-supplied dynamic lines *)
+  sn_traces : Trace.trace list;  (** newest first *)
+}
+
+let snapshot ?(notes = []) t =
+  let at = Clock.wall () in
+  let histos =
+    Mutex.lock t.mu;
+    let hs = t.histos in
+    Mutex.unlock t.mu;
+    hs
+    |> List.map (fun h -> (Histo.name h, Histo.snapshot h))
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  {
+    sn_at = at;
+    sn_uptime = at -. t.started;
+    sn_counters = Metrics.counters t.metrics;
+    sn_gauges = Metrics.gauges t.metrics;
+    sn_histos = histos;
+    sn_notes = notes;
+    sn_traces = Trace.recent t.tracer;
+  }

@@ -1,0 +1,147 @@
+(** Request tracing: spans with named phases over a monotonic clock, kept
+    in a fixed-size ring buffer of recent traces.
+
+    A worker thread opens a span per request ({!start}), marks it current
+    for the thread, and accumulates phase durations — directly
+    ({!add_phase}) or from code that has no reference to the span
+    ({!add_phase_current}, used by the lock manager and the consistency
+    checker deep inside the stack).  {!finish} stamps the total and pushes
+    the completed trace into the ring under a mutex; recording durations on
+    the span itself needs no lock because a span belongs to one thread.
+
+    The ring holds the most recent [capacity] traces; older ones are
+    overwritten.  Disabled tracers ([~on:false]) hand out a dead span and
+    every operation short-circuits. *)
+
+type phase = { ph_name : string; ph_seconds : float }
+
+type trace = {
+  tr_label : string;  (** request verb: [@open], [command], ... *)
+  tr_detail : string;  (** variant or free-form context *)
+  tr_start : float;  (** wall-clock timestamp *)
+  tr_seconds : float;  (** total duration (monotonic clock) *)
+  tr_status : string;  (** ok | err | busy *)
+  tr_phases : phase list;  (** in recording order *)
+}
+
+type span = {
+  sp_live : bool;
+  sp_label : string;
+  mutable sp_detail : string;
+  sp_wall : float;
+  sp_t0 : float;
+  mutable sp_phases : phase list;  (** reversed *)
+}
+
+type t = {
+  on : bool;
+  clock : unit -> float;  (** monotonic; durations only *)
+  capacity : int;
+  mu : Mutex.t;  (** guards [ring], [next], [current] *)
+  ring : trace option array;
+  mutable next : int;
+  current : (int, span) Hashtbl.t;  (** thread id → its open span *)
+}
+
+let dead_span =
+  {
+    sp_live = false;
+    sp_label = "";
+    sp_detail = "";
+    sp_wall = 0.0;
+    sp_t0 = 0.0;
+    sp_phases = [];
+  }
+
+let create ?(on = true) ?(capacity = 64) ?(clock = Clock.now) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    on;
+    clock;
+    capacity;
+    mu = Mutex.create ();
+    ring = Array.make capacity None;
+    next = 0;
+    current = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(** Open a span and make it the calling thread's current one. *)
+let start t ~label ?(detail = "") () =
+  if not t.on then dead_span
+  else begin
+    let sp =
+      {
+        sp_live = true;
+        sp_label = label;
+        sp_detail = detail;
+        sp_wall = Clock.wall ();
+        sp_t0 = t.clock ();
+        sp_phases = [];
+      }
+    in
+    locked t (fun () ->
+        Hashtbl.replace t.current (Thread.id (Thread.self ())) sp);
+    sp
+  end
+
+let set_detail sp detail = if sp.sp_live then sp.sp_detail <- detail
+
+let add_phase sp name seconds =
+  if sp.sp_live then
+    sp.sp_phases <- { ph_name = name; ph_seconds = seconds } :: sp.sp_phases
+
+(** Time [f] as a phase of [sp] (still recorded if [f] raises). *)
+let phase t sp name f =
+  if not sp.sp_live then f ()
+  else begin
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () -> add_phase sp name (t.clock () -. t0))
+      f
+  end
+
+(** Add a phase to the calling thread's current span, if any — lets code
+    far from the request loop (locks, the consistency checker) contribute
+    without threading the span through every signature. *)
+let add_phase_current t name seconds =
+  if t.on then
+    let sp =
+      locked t (fun () ->
+          Hashtbl.find_opt t.current (Thread.id (Thread.self ())))
+    in
+    match sp with Some sp -> add_phase sp name seconds | None -> ()
+
+(** Close the span: drop it as the thread's current span and push the
+    completed trace into the ring. *)
+let finish t sp ~status =
+  if sp.sp_live then begin
+    let tr =
+      {
+        tr_label = sp.sp_label;
+        tr_detail = sp.sp_detail;
+        tr_start = sp.sp_wall;
+        tr_seconds = t.clock () -. sp.sp_t0;
+        tr_status = status;
+        tr_phases = List.rev sp.sp_phases;
+      }
+    in
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.current (Thread.id (Thread.self ())) with
+        | Some cur when cur == sp ->
+            Hashtbl.remove t.current (Thread.id (Thread.self ()))
+        | _ -> ());
+        t.ring.(t.next mod t.capacity) <- Some tr;
+        t.next <- t.next + 1)
+  end
+
+(** The retained traces, newest first. *)
+let recent t =
+  locked t (fun () ->
+      let n = min t.next t.capacity in
+      List.init n (fun i ->
+          t.ring.((t.next - 1 - i + t.capacity) mod t.capacity))
+      |> List.filter_map Fun.id)

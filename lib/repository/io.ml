@@ -276,6 +276,28 @@ let protected io =
     readdir = (fun p -> retry_eintr (fun () -> io.readdir p));
   }
 
+(** [observed ~now ~record io] times each write-path operation of [io] and
+    reports it as [record op seconds] with [op] one of ["write"],
+    ["append"], ["fsync"], ["rename"].  Reads and metadata queries are left
+    untimed — the durability-critical syscalls are the ones whose latency
+    distribution matters.  Nothing is recorded when the operation raises:
+    a failed fsync's duration would pollute the latency histogram that
+    feeds the p99 alerts. *)
+let observed ~now ~record io =
+  let timed op f =
+    let t0 = now () in
+    let r = f () in
+    record op (now () -. t0);
+    r
+  in
+  {
+    io with
+    write = (fun p c -> timed "write" (fun () -> io.write p c));
+    append = (fun p c -> timed "append" (fun () -> io.append p c));
+    fsync = (fun p -> timed "fsync" (fun () -> io.fsync p));
+    rename = (fun a b -> timed "rename" (fun () -> io.rename a b));
+  }
+
 (* --- fault injection ----------------------------------------------------- *)
 
 (** Count every effectful syscall (write, append, fsync, rename, remove,

@@ -72,6 +72,11 @@ val protected : t -> t
     internally, this exposes the same discipline for composed IOs (and for
     driving {!eintr_faulty} in tests). *)
 
+val observed : now:(unit -> float) -> record:(string -> float -> unit) -> t -> t
+(** Time each write-path operation and report it as [record op seconds]
+    ([op] is ["write"], ["append"], ["fsync"], or ["rename"]); reads are
+    untimed.  Failed operations are not recorded. *)
+
 (** {1 Fault injection} *)
 
 val eintr_faulty : eintr_at:int list -> t -> t * (unit -> int)

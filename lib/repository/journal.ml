@@ -119,12 +119,31 @@ let resolve entries =
 
 (* --- file operations ----------------------------------------------------- *)
 
+(* One process-wide observer rather than a parameter on every call: the
+   journal is written from deep inside the repository layer, and threading
+   an observer through [Store]/[Session] signatures would couple those
+   layers to observability for the sake of two timing points.  The server
+   installs its hook at startup; [None] (the default) costs one load. *)
+let observer : (op:string -> seconds:float -> unit) option ref = ref None
+let set_observer f = observer := f
+
+let timed op f =
+  match !observer with
+  | None -> f ()
+  | Some record ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      record ~op ~seconds:(Unix.gettimeofday () -. t0);
+      r
+
 let append (io : Io.t) path entry =
-  io.append path (entry_to_line entry ^ "\n");
-  io.fsync path
+  timed "append" (fun () ->
+      io.append path (entry_to_line entry ^ "\n");
+      io.fsync path)
 
 let read (io : Io.t) path =
   if io.file_exists path then parse (io.read_file path)
   else { entries = []; damage = None }
 
-let rewrite io path entries = Io.atomic_write io path (to_string entries)
+let rewrite io path entries =
+  timed "rewrite" (fun () -> Io.atomic_write io path (to_string entries))

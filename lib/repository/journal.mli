@@ -55,6 +55,12 @@ val resolve : entry list -> ((Core.Concept.kind * Core.Modop.t) list, string) re
 
 (** {1 File operations} *)
 
+val set_observer : (op:string -> seconds:float -> unit) option -> unit
+(** Install a process-wide hook timing whole journal writes: [op] is
+    ["append"] (record + fsync, the commit-latency path) or ["rewrite"]
+    (atomic snapshot/repair replace).  [None] (the default) disables it.
+    The hook runs on the writer's thread and must be fast and non-raising. *)
+
 val append : Io.t -> string -> entry -> unit
 (** Append one record and fsync; the entry is durable on return. *)
 

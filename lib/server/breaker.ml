@@ -6,46 +6,121 @@
     checking, and reports keep working, mutations are refused — instead of
     the server dying or silently dropping acknowledged work.  After a
     cooldown the breaker goes half-open: one mutation is allowed through as
-    a probe, and its outcome closes or re-trips the circuit. *)
+    a probe, and its outcome closes or re-trips the circuit.
 
-type state = Closed | Open of float  (** tripped at [t]; read-only *)
+    Every state transition (closed → open → half-open → ...) is recorded
+    with its timestamp in a bounded log, so [@stats] can report the breaker
+    history and the time spent in the current state. *)
+
+type phase = Closed | Opened | Half_open
+
+let phase_name = function
+  | Closed -> "closed"
+  | Opened -> "open"
+  | Half_open -> "half-open"
+
+type state =
+  | St_closed
+  | St_open of float  (** tripped at [t]; read-only *)
+  | St_half_open of float  (** probe admitted at [t] *)
+
+let max_log = 16
 
 type t = {
   threshold : int;  (** consecutive failures that trip the breaker *)
   cooldown : float;  (** seconds before a half-open probe is allowed *)
   mutable failures : int;  (** consecutive failures while closed *)
   mutable state : state;
+  mutable log : (float * phase) list;  (** transitions, newest first, capped *)
 }
 
 let create ?(threshold = 3) ?(cooldown = 30.0) () =
-  { threshold; cooldown; failures = 0; state = Closed }
+  { threshold; cooldown; failures = 0; state = St_closed; log = [] }
 
-let is_open t = match t.state with Open _ -> true | Closed -> false
+let record t ~now phase =
+  t.log <-
+    (now, phase)
+    :: (if List.length t.log >= max_log then
+          List.filteri (fun i _ -> i < max_log - 1) t.log
+        else t.log)
 
-(** Would a mutation be admitted now?  [true] while closed, and for the
-    half-open probe once [cooldown] has elapsed since the trip. *)
+let is_open t = match t.state with St_open _ -> true | _ -> false
+
+let phase t =
+  match t.state with
+  | St_closed -> Closed
+  | St_open _ -> Opened
+  | St_half_open _ -> Half_open
+
+(** Would a mutation be admitted now?  [true] while closed; once [cooldown]
+    has elapsed since the trip the breaker transitions to half-open (the
+    transition is recorded here, on the admitting read) and probes are
+    admitted until an outcome closes or re-trips it. *)
 let allows t ~now =
   match t.state with
-  | Closed -> true
-  | Open tripped_at -> now -. tripped_at >= t.cooldown
+  | St_closed -> true
+  | St_half_open _ -> true
+  | St_open tripped_at ->
+      if now -. tripped_at >= t.cooldown then begin
+        t.state <- St_half_open now;
+        record t ~now Half_open;
+        true
+      end
+      else false
 
-let record_success t =
+let record_success t ~now =
+  (match t.state with
+  | St_closed -> ()
+  | St_open _ | St_half_open _ -> record t ~now Closed);
   t.failures <- 0;
-  t.state <- Closed
+  t.state <- St_closed
 
 (** One journal-append failure (post-retry).  Trips the breaker at
-    [threshold] consecutive failures; a failed half-open probe re-trips it
-    immediately, restarting the cooldown. *)
+    [threshold] consecutive failures; a failed half-open probe (or any
+    failure while open) re-trips it immediately, restarting the cooldown. *)
 let record_failure t ~now =
   match t.state with
-  | Open _ -> t.state <- Open now
-  | Closed ->
+  | St_open _ | St_half_open _ ->
+      t.state <- St_open now;
+      record t ~now Opened
+  | St_closed ->
       t.failures <- t.failures + 1;
-      if t.failures >= t.threshold then t.state <- Open now
+      if t.failures >= t.threshold then begin
+        t.state <- St_open now;
+        record t ~now Opened
+      end
+
+(** The transition history, newest first: [(timestamp, phase entered)].
+    Capped at a small fixed length. *)
+let transitions t = List.map (fun (at, p) -> (at, phase_name p)) t.log
+
+(** When the current state was entered; [None] while closed with no
+    recorded transitions (a breaker that never tripped). *)
+let since t =
+  match t.state with
+  | St_open at | St_half_open at -> Some at
+  | St_closed -> (
+      match t.log with (at, Closed) :: _ -> Some at | _ -> None)
+
+(** Seconds spent in the current state as of [now]; [None] for a breaker
+    that never left its initial closed state. *)
+let time_in_state t ~now = Option.map (fun at -> now -. at) (since t)
 
 let describe t =
+  let history =
+    match t.log with
+    | [] -> ""
+    | log ->
+        "; transitions: "
+        ^ String.concat ", "
+            (List.rev_map
+               (fun (at, p) -> Printf.sprintf "%s@%.3f" (phase_name p) at)
+               log)
+  in
   match t.state with
-  | Closed -> "closed"
-  | Open _ ->
-      Printf.sprintf "open (read-only after %d journal failure(s))"
+  | St_closed -> "closed" ^ history
+  | St_half_open _ -> "half-open (probing)" ^ history
+  | St_open _ ->
+      Printf.sprintf "open (read-only after %d journal failure(s))%s"
         (max t.failures t.threshold)
+        history

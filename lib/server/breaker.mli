@@ -1,17 +1,41 @@
 (** Per-variant circuit breaker: repeated journal-append failures degrade
     the variant to read-only instead of crashing the server; a cooldown
     admits a half-open probe whose outcome closes or re-trips the
-    circuit.  Not thread-safe on its own — call under the session lock. *)
+    circuit.  State transitions are recorded with timestamps for [@stats].
+    Not thread-safe on its own — call under the session lock. *)
 
 type t
+
+type phase = Closed | Opened | Half_open
+
+val phase_name : phase -> string
+(** ["closed"], ["open"], ["half-open"]. *)
 
 val create : ?threshold:int -> ?cooldown:float -> unit -> t
 val is_open : t -> bool
 
-val allows : t -> now:float -> bool
-(** Admit a mutation?  [true] while closed, and for the half-open probe
-    once the cooldown has elapsed. *)
+val phase : t -> phase
+(** The current state. *)
 
-val record_success : t -> unit
+val allows : t -> now:float -> bool
+(** Admit a mutation?  [true] while closed; the first admitting read after
+    the cooldown transitions the breaker to half-open (recorded in the
+    transition log). *)
+
+val record_success : t -> now:float -> unit
 val record_failure : t -> now:float -> unit
+
+val transitions : t -> (float * string) list
+(** Transition history, newest first: [(timestamp, phase entered)]; capped
+    at a small fixed length. *)
+
+val since : t -> float option
+(** When the current state was entered; [None] for a breaker that never
+    tripped. *)
+
+val time_in_state : t -> now:float -> float option
+(** Seconds in the current state; [None] for a breaker that never
+    tripped. *)
+
 val describe : t -> string
+(** Human-readable state including the timestamped transition history. *)

@@ -53,16 +53,30 @@ let poll_interval = 0.001
 (** Run [f] holding [key]'s lock.  Sheds immediately with [Busy] when
     [max_waiters] requests are already queued on the key, and with
     [Timed_out] when the lock cannot be acquired by [deadline] (absolute,
-    per [now]). *)
+    per [now]).
+
+    [observe] (if given) reports, after the lock is released, how long the
+    request waited for the lock, how long it held it, and how many other
+    requests were queued on the key when it was admitted — the
+    observability layer feeds lock-wait/hold histograms and queue-depth
+    gauges from it.  It runs outside the lock and its timings come from
+    [now]. *)
 let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
-    ?(now = Unix.gettimeofday) t key ~deadline f =
+    ?(now = Unix.gettimeofday) ?observe t key ~deadline f =
   let e = entry_of t key in
-  let run () =
-    Ok (Fun.protect ~finally:(fun () -> Mutex.unlock e.mutex) f)
+  let arrived = match observe with Some _ -> now () | None -> 0.0 in
+  let run ~depth () =
+    let acquired = match observe with Some _ -> now () | None -> 0.0 in
+    let r = Ok (Fun.protect ~finally:(fun () -> Mutex.unlock e.mutex) f) in
+    (match observe with
+    | Some g ->
+        g ~waited:(acquired -. arrived) ~held:(now () -. acquired) ~depth
+    | None -> ());
+    r
   in
   (* an uncontended lock admits regardless of the queue bound; the bound
      only sheds requests that would actually have to wait *)
-  if Mutex.try_lock e.mutex then run ()
+  if Mutex.try_lock e.mutex then run ~depth:0 ()
   else
     let admitted =
       Mutex.lock t.table_mutex;
@@ -70,11 +84,11 @@ let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
       if ok then e.waiters <- e.waiters + 1;
       let n = e.waiters in
       Mutex.unlock t.table_mutex;
-      if ok then Ok () else Error (Busy n)
+      if ok then Ok n else Error (Busy n)
     in
     match admitted with
     | Error _ as err -> err
-    | Ok () ->
+    | Ok depth ->
         let leave () =
           Mutex.lock t.table_mutex;
           e.waiters <- e.waiters - 1;
@@ -83,7 +97,7 @@ let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
         let rec acquire () =
           if Mutex.try_lock e.mutex then begin
             leave ();
-            run ()
+            run ~depth ()
           end
           else if now () > deadline then begin
             leave ();

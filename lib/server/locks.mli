@@ -16,6 +16,7 @@ val with_key :
   ?max_waiters:int ->
   ?sleep:(float -> unit) ->
   ?now:(unit -> float) ->
+  ?observe:(waited:float -> held:float -> depth:int -> unit) ->
   t ->
   string ->
   deadline:float ->
@@ -23,7 +24,9 @@ val with_key :
   ('a, failure) result
 (** Run the thunk holding [key]'s lock; shed with [Busy] when the queue
     bound is reached, [Timed_out] when the (absolute) deadline passes while
-    waiting.  The lock is released even if the thunk raises. *)
+    waiting.  The lock is released even if the thunk raises.  [observe]
+    reports (after release) the wait time, hold time, and the queue depth
+    seen at admission — the feed for lock-contention metrics. *)
 
 val waiters : t -> string -> int
 

@@ -10,6 +10,7 @@
     @new <variant>        create a variant, then attach
     @close                detach; last detach snapshots the session
     @ping                 liveness probe
+    @stats [json]         observability snapshot (text, or JSON with [json])
     @quit                 close the connection
     focus ww:Person       ... any designer command line ...
     v}
@@ -34,6 +35,7 @@ type request =
   | New of string
   | Close
   | Ping
+  | Stats of [ `Text | `Json ]
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 
@@ -65,6 +67,8 @@ let parse_request line =
   | "@new", v when v <> "" -> Result.Ok (New v)
   | "@close", "" -> Result.Ok Close
   | "@ping", "" -> Result.Ok Ping
+  | "@stats", "" -> Result.Ok (Stats `Text)
+  | "@stats", "json" -> Result.Ok (Stats `Json)
   | "@quit", "" -> Result.Ok Quit
   | _ when String.length line > 0 && line.[0] = '@' ->
       Result.Error ("unknown control request: " ^ line)

@@ -9,6 +9,7 @@ type request =
   | New of string
   | Close
   | Ping
+  | Stats of [ `Text | `Json ]  (** [@stats] / [@stats json]: obs snapshot *)
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 

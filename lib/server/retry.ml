@@ -35,16 +35,36 @@ let delay_for ~policy ~rand attempt =
 
 (** Run [f]; on a transient failure sleep a jittered backoff and try again,
     up to [policy.max_attempts] tries.  Returns the last failure when the
-    budget is exhausted; non-transient exceptions fly through. *)
-let with_retries ?(rand = Random.State.make [| 0x5eed |])
-    ?(sleep = Thread.delay) policy f =
+    budget is exhausted; non-transient exceptions fly through.
+
+    Callers that retry concurrently should share one explicit [rand] (the
+    service passes its per-service state): the jitter streams then
+    interleave and the backoffs decorrelate.  When [rand] is omitted a
+    fresh {e self-seeded} state is made on first use — never a fixed seed,
+    which would hand every concurrent retry the identical jitter sequence
+    and synchronize the backoffs into a thundering herd.  Tests that need
+    reproducible delays pass an explicit seeded [rand].
+
+    [on_retry] (if given) observes each backoff before the sleep — the
+    observability layer counts retries and their delays with it. *)
+let with_retries ?rand ?(sleep = Thread.delay) ?on_retry policy f =
+  let rand =
+    lazy
+      (match rand with
+      | Some r -> r
+      | None -> Random.State.make_self_init ())
+  in
   let rec go attempt =
     match f () with
     | v -> Ok v
     | exception e when is_transient e ->
         if attempt + 1 >= policy.max_attempts then Error e
         else begin
-          sleep (delay_for ~policy ~rand attempt);
+          let delay = delay_for ~policy ~rand:(Lazy.force rand) attempt in
+          (match on_retry with
+          | Some g -> g ~attempt ~delay
+          | None -> ());
+          sleep delay;
           go (attempt + 1)
         end
   in

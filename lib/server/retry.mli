@@ -20,8 +20,15 @@ val delay_for : policy:policy -> rand:Random.State.t -> int -> float
 val with_retries :
   ?rand:Random.State.t ->
   ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> unit) ->
   policy ->
   (unit -> 'a) ->
   ('a, exn) result
 (** Run the thunk, sleeping {!delay_for} between transient failures, up to
-    [max_attempts] tries; [Error] carries the last failure. *)
+    [max_attempts] tries; [Error] carries the last failure.  Concurrent
+    callers should share one explicit [rand] so their jitter decorrelates;
+    the default is a fresh self-seeded state per call (never a fixed seed —
+    that would synchronize concurrent backoffs into a thundering herd).
+    Pass a seeded [rand] for reproducible delays in tests.  [on_retry]
+    observes each backoff (0-based attempt, chosen delay) before the
+    sleep. *)

@@ -24,8 +24,9 @@ type t = {
   accepting : bool Atomic.t;
 }
 
-let create ?(config = Service.default_config) ?(backlog = 64) ~socket_path dir =
-  match Service.open_service ~config dir with
+let create ?(config = Service.default_config) ?(backlog = 64) ?obs ~socket_path
+    dir =
+  match Service.open_service ~config ?obs dir with
   | Error m -> Error m
   | Ok service -> (
       (* a leftover socket file from a dead server would fail the bind *)

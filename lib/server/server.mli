@@ -13,11 +13,14 @@ type t
 val create :
   ?config:Service.config ->
   ?backlog:int ->
+  ?obs:Obs.t ->
   socket_path:string ->
   string ->
   (t, string) result
 (** [create ~socket_path dir] opens the repository at [dir] and binds a
-    listening socket at [socket_path] (unlinking a stale socket file). *)
+    listening socket at [socket_path] (unlinking a stale socket file).
+    [obs] is passed to {!Service.open_service}; [Obs.noop] disables
+    observability ([--no-obs]). *)
 
 val service : t -> Service.t
 

@@ -71,6 +71,86 @@ let default_config =
     chaos_hook = None;
   }
 
+(* --- instruments ----------------------------------------------------------
+
+   Every counter/histogram the service records into, resolved once at
+   [open_service] so the hot path never looks instruments up by name.  With
+   a disabled registry ([Obs.noop], the [--no-obs] configuration) each of
+   these is a no-op object and every record call is a load and a branch.
+
+   Naming scheme: [swsd.<area>.<name>], [_total] for counters, [_seconds]
+   for latency histograms (exported in ms by the text renderer); dimension-
+   less histograms (queue depth, dirty-set size) carry no suffix. *)
+
+type instruments = {
+  obs : Obs.t;
+  tracer : Obs.Trace.t;
+  c_requests : Obs.Metrics.counter;
+  c_ok : Obs.Metrics.counter;
+  c_err : Obs.Metrics.counter;
+  c_shed_queue : Obs.Metrics.counter;  (** [!busy]: variant queue full *)
+  c_shed_deadline : Obs.Metrics.counter;  (** [!busy]: deadline while queued *)
+  c_breaker_rejected : Obs.Metrics.counter;  (** mutations refused read-only *)
+  c_breaker_trips : Obs.Metrics.counter;  (** closed/half-open → open edges *)
+  c_ops : Obs.Metrics.counter;  (** committed engine operations *)
+  c_opened : Obs.Metrics.counter;  (** sessions loaded from disk *)
+  c_evicted : Obs.Metrics.counter;  (** sessions dropped on failure *)
+  c_reaped : Obs.Metrics.counter;  (** sessions freed by the idle reaper *)
+  c_retries : Obs.Metrics.counter;  (** backoff sleeps inside {!Retry} *)
+  g_sessions : Obs.Metrics.gauge;
+  g_inflight : Obs.Metrics.gauge;
+  h_request : Obs.Histo.t;  (** whole request, arrival to response *)
+  h_lock_wait : Obs.Histo.t;
+  h_lock_hold : Obs.Histo.t;
+  h_queue_depth : Obs.Histo.t;  (** waiters seen at admission *)
+  h_apply : Obs.Histo.t;  (** engine execution of a command line *)
+  h_check : Obs.Histo.t;  (** incremental consistency report *)
+  h_dirty : Obs.Histo.t;  (** dirty-set size per committed op *)
+  h_respond : Obs.Histo.t;  (** feedback rendering *)
+  h_journal_append : Obs.Histo.t;  (** record + fsync, the commit path *)
+  h_journal_rewrite : Obs.Histo.t;  (** snapshot / repair replace *)
+  h_io_write : Obs.Histo.t;
+  h_io_append : Obs.Histo.t;
+  h_io_fsync : Obs.Histo.t;
+  h_io_rename : Obs.Histo.t;
+}
+
+let make_instruments obs =
+  let c = Obs.counter obs and g = Obs.gauge obs in
+  let h ?lo ?hi name = Obs.histo ?lo ?hi obs name in
+  {
+    obs;
+    tracer = Obs.tracer obs;
+    c_requests = c "swsd.requests_total";
+    c_ok = c "swsd.responses.ok_total";
+    c_err = c "swsd.responses.err_total";
+    c_shed_queue = c "swsd.shed.queue_full_total";
+    c_shed_deadline = c "swsd.shed.deadline_total";
+    c_breaker_rejected = c "swsd.breaker.rejected_total";
+    c_breaker_trips = c "swsd.breaker.trips_total";
+    c_ops = c "swsd.engine.ops_total";
+    c_opened = c "swsd.sessions.opened_total";
+    c_evicted = c "swsd.sessions.evicted_total";
+    c_reaped = c "swsd.sessions.reaped_total";
+    c_retries = c "swsd.retry.attempts_total";
+    g_sessions = g "swsd.sessions.open";
+    g_inflight = g "swsd.requests.inflight";
+    h_request = h "swsd.request_seconds";
+    h_lock_wait = h "swsd.lock.wait_seconds";
+    h_lock_hold = h "swsd.lock.hold_seconds";
+    h_queue_depth = h ~lo:1.0 ~hi:1e4 "swsd.lock.queue_depth";
+    h_apply = h "swsd.engine.apply_seconds";
+    h_check = h "swsd.engine.check_seconds";
+    h_dirty = h ~lo:1.0 ~hi:1e4 "swsd.engine.dirty_set";
+    h_respond = h "swsd.respond_seconds";
+    h_journal_append = h "swsd.journal.append_seconds";
+    h_journal_rewrite = h "swsd.journal.rewrite_seconds";
+    h_io_write = h "swsd.io.write_seconds";
+    h_io_append = h "swsd.io.append_seconds";
+    h_io_fsync = h "swsd.io.fsync_seconds";
+    h_io_rename = h "swsd.io.rename_seconds";
+  }
+
 type session = {
   variant : string;
   store : Store.t;
@@ -93,12 +173,55 @@ type t = {
   conn_ids : int Atomic.t;
   mutable stopping : bool;
   rand : Random.State.t;
+  i : instruments;
 }
 
 type conn = { id : int; mutable variant : string option }
 
-let open_service ?(config = default_config) ?io dir =
+(* The session/journal observation hooks are process-wide globals (see
+   their doc comments for why); install them only for an enabled registry,
+   so opening an [Obs.noop] service for a quick test does not silence a
+   live one's hooks. *)
+let install_hooks i ~now =
+  Core.Session.set_hooks
+    (Some
+       {
+         Core.Session.h_now = now;
+         h_op_applied =
+           (fun ~kind:_ ~dirty ->
+             Obs.Metrics.incr i.c_ops;
+             Obs.Histo.observe i.h_dirty (float_of_int dirty));
+         h_check =
+           (fun ~seconds ~findings:_ ->
+             Obs.Trace.add_phase_current i.tracer "check" seconds;
+             Obs.Histo.observe i.h_check seconds);
+       });
+  Repository.Journal.set_observer
+    (Some
+       (fun ~op ~seconds ->
+         Obs.Trace.add_phase_current i.tracer "journal" seconds;
+         Obs.Histo.observe
+           (if op = "append" then i.h_journal_append else i.h_journal_rewrite)
+           seconds))
+
+let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
+  let i = make_instruments obs in
   let io = match io with Some io -> io | None -> Io.unix in
+  let io =
+    if not (Obs.enabled obs) then io
+    else
+      Io.observed ~now:config.now
+        ~record:(fun op seconds ->
+          Obs.Histo.observe
+            (match op with
+            | "fsync" -> i.h_io_fsync
+            | "append" -> i.h_io_append
+            | "write" -> i.h_io_write
+            | _ -> i.h_io_rename)
+            seconds)
+        io
+  in
+  if Obs.enabled obs then install_hooks i ~now:config.now;
   Result.map
     (fun repo ->
       {
@@ -112,8 +235,21 @@ let open_service ?(config = default_config) ?io dir =
         conn_ids = Atomic.make 0;
         stopping = false;
         rand = Random.State.make [| 0x5ca1ab1e |];
+        i;
       })
     (Repo.open_dir ~io dir)
+
+let obs t = t.i.obs
+
+(* The global hooks are last-writer-wins, so in a multi-service process
+   (tests, the overhead benchmark) the most recently opened enabled service
+   owns them.  These let such a process hand them around explicitly. *)
+let rearm_hooks t =
+  if Obs.enabled t.i.obs then install_hooks t.i ~now:t.config.now
+
+let disarm_hooks () =
+  Core.Session.set_hooks None;
+  Repository.Journal.set_observer None
 
 let connect t = { id = Atomic.fetch_and_add t.conn_ids 1; variant = None }
 
@@ -151,13 +287,35 @@ let shed t (failure : Locks.failure) =
         "deadline exceeded waiting for the variant"
 
 let with_variant t variant f =
+  let i = t.i in
   let deadline = t.config.now () +. t.config.request_deadline in
+  let arrived = t.config.now () in
+  let observe =
+    if not (Obs.enabled i.obs) then None
+    else
+      Some
+        (fun ~waited ~held ~depth ->
+          Obs.Histo.observe i.h_lock_wait waited;
+          Obs.Histo.observe i.h_lock_hold held;
+          Obs.Histo.observe i.h_queue_depth (float_of_int depth))
+  in
+  (* the wait phase is stamped on entry (not from [observe], which fires
+     after release) so trace phases read in execution order *)
+  let g () =
+    if Obs.enabled i.obs then
+      Obs.Trace.add_phase_current i.tracer "wait" (t.config.now () -. arrived);
+    f ()
+  in
   match
     Locks.with_key ~max_waiters:t.config.max_waiters ~sleep:t.config.sleep
-      ~now:t.config.now t.locks variant ~deadline f
+      ~now:t.config.now ?observe t.locks variant ~deadline g
   with
   | Ok r -> r
-  | Error failure -> shed t failure
+  | Error failure ->
+      (match failure with
+      | Locks.Busy _ -> Obs.Metrics.incr i.c_shed_queue
+      | Locks.Timed_out -> Obs.Metrics.incr i.c_shed_deadline);
+      shed t failure
 
 (* Free a session's cross-process lock and drop it from the table.  Caller
    holds the variant lock; never snapshots. *)
@@ -171,7 +329,9 @@ let snapshot t (s : session) =
   if not s.dirty then Ok ()
   else
     match
-      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep t.config.retry
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
+        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
+        t.config.retry
         (fun () -> Store.save_session s.store s.state.Engine.session)
     with
     | Ok () ->
@@ -216,7 +376,9 @@ let persist_delta t s ~before ~after =
   let undos, adds = journal_delta ~before ~after in
   let append thunk =
     match
-      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep t.config.retry thunk
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
+        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
+        t.config.retry thunk
     with
     | Ok () -> Ok ()
     | Error e -> Error e
@@ -312,6 +474,7 @@ let load_session t variant =
                 }
               in
               locked t (fun () -> Hashtbl.replace t.sessions variant s);
+              Obs.Metrics.incr t.i.c_opened;
               Ok s
           | exception e ->
               Option.iter Locks.unlock_file flock;
@@ -406,18 +569,26 @@ let do_command t conn line =
                   conn.variant <- None;
                   Protocol.err "session expired (idle); use @open to resume"
               | Some s ->
+                  let i = t.i in
                   let now = t.config.now () in
                   let breaker = breaker_of t variant in
-                  if class_ = Mutating && not (Breaker.allows breaker ~now) then
+                  if class_ = Mutating && not (Breaker.allows breaker ~now)
+                  then begin
+                    Obs.Metrics.incr i.c_breaker_rejected;
                     Protocol.err
                       ("variant is read-only: circuit " ^ Breaker.describe breaker)
+                  end
                   else
                     (* the on-disk journal state is unknown after a killed
                        worker (chaos hook) or a crash mid-append: degrade
                        the variant and evict the session, so the next @open
                        reloads through recovery *)
                     let degrade_and_evict why =
+                      let was_open = Breaker.is_open breaker in
                       Breaker.record_failure breaker ~now:(t.config.now ());
+                      if Breaker.is_open breaker && not was_open then
+                        Obs.Metrics.incr i.c_breaker_trips;
+                      Obs.Metrics.incr i.c_evicted;
                       Hashtbl.reset s.conns;
                       evict t s;
                       conn.variant <- None;
@@ -428,7 +599,11 @@ let do_command t conn line =
                       | Some hook -> hook ~variant ~line
                       | None -> ());
                       let before = s.state in
+                      let t_apply = t.config.now () in
                       let after, feedback = Engine.exec_line before line in
+                      let apply_seconds = t.config.now () -. t_apply in
+                      Obs.Histo.observe i.h_apply apply_seconds;
+                      Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
                       let persisted =
                         persist_delta t s ~before:before.Engine.session
                           ~after:after.Engine.session
@@ -436,10 +611,17 @@ let do_command t conn line =
                       s.last_used <- t.config.now ();
                       match persisted with
                       | Ok n ->
-                          if n > 0 then Breaker.record_success breaker;
+                          if n > 0 then
+                            Breaker.record_success breaker
+                              ~now:(t.config.now ());
                           s.state <- after;
                           if class_ = Mutating || n > 0 then s.dirty <- true;
+                          let t_respond = t.config.now () in
                           let body = feedback_body feedback in
+                          let respond_seconds = t.config.now () -. t_respond in
+                          Obs.Histo.observe i.h_respond respond_seconds;
+                          Obs.Trace.add_phase_current i.tracer "respond"
+                            respond_seconds;
                           if List.exists Designer.Feedback.is_error feedback
                           then Protocol.err ~body "command rejected"
                           else Protocol.ok body
@@ -467,6 +649,53 @@ let disconnect t conn =
           Protocol.ok [])
       |> ignore
 
+(* --- the @stats snapshot --------------------------------------------------- *)
+
+(** Render the observability snapshot.  Dynamic state that has no standing
+    instrument — per-variant breaker history, attached sessions — rides
+    along as notes; the sessions/inflight gauges are refreshed here, at
+    read time, rather than maintained on every transition. *)
+let do_stats t fmt =
+  let i = t.i in
+  if not (Obs.enabled i.obs) then
+    Protocol.err "observability is disabled (server started with --no-obs)"
+  else begin
+    Obs.Metrics.set i.g_inflight (Atomic.get t.inflight);
+    let now = t.config.now () in
+    let notes =
+      locked t (fun () ->
+          Obs.Metrics.set i.g_sessions (Hashtbl.length t.sessions);
+          let sessions =
+            Hashtbl.fold
+              (fun v s acc ->
+                ( "session." ^ v,
+                  Printf.sprintf "%d client(s)%s" (Hashtbl.length s.conns)
+                    (if s.dirty then ", dirty" else "") )
+                :: acc)
+              t.sessions []
+          in
+          let breakers =
+            Hashtbl.fold
+              (fun v b acc ->
+                let in_state =
+                  match Breaker.time_in_state b ~now with
+                  | Some s -> Printf.sprintf " (%.1fs in state)" s
+                  | None -> ""
+                in
+                ("breaker." ^ v, Breaker.describe b ^ in_state) :: acc)
+              t.breakers []
+          in
+          List.sort compare (sessions @ breakers))
+    in
+    let sn = Obs.snapshot ~notes i.obs in
+    let text =
+      match fmt with
+      | `Text -> Obs.Export.to_text sn
+      | `Json -> Obs.Export.to_json sn
+    in
+    Protocol.ok [ String.trim text ]
+  end
+
 let request t conn line =
   if t.stopping then Protocol.err "server is shutting down"
   else begin
@@ -474,24 +703,54 @@ let request t conn line =
     Fun.protect
       ~finally:(fun () -> Atomic.decr t.inflight)
       (fun () ->
-        match
-          match Protocol.parse_request line with
-          | Error m -> Protocol.err m
-          | Ok List -> Protocol.ok (Repo.variant_names t.repo)
-          | Ok Ping -> Protocol.ok [ "pong" ]
-          | Ok (Open v) -> do_open t conn v ~create:false
-          | Ok (New v) -> do_open t conn v ~create:true
-          | Ok Close -> do_close t conn
-          | Ok Quit ->
-              disconnect t conn;
-              Protocol.ok [ "bye" ]
-          | Ok (Command c) -> do_command t conn c
-        with
-        | response -> response
-        (* no request may kill its worker thread: locks were released on
-           the way out (Fun.protect), the session was evicted if its disk
-           state became unknown — surface the rest as an error response *)
-        | exception e -> Protocol.err ("internal: " ^ Printexc.to_string e))
+        let i = t.i in
+        Obs.Metrics.incr i.c_requests;
+        let arrived = t.config.now () in
+        let label =
+          let line = String.trim line in
+          if String.length line > 0 && line.[0] = '@' then
+            match String.index_opt line ' ' with
+            | None -> line
+            | Some j -> String.sub line 0 j
+          else "command"
+        in
+        let sp = Obs.Trace.start i.tracer ~label ~detail:(String.trim line) () in
+        let response =
+          match
+            match
+              Obs.Trace.phase i.tracer sp "parse" (fun () ->
+                  Protocol.parse_request line)
+            with
+            | Error m -> Protocol.err m
+            | Ok List -> Protocol.ok (Repo.variant_names t.repo)
+            | Ok Ping -> Protocol.ok [ "pong" ]
+            | Ok (Stats fmt) -> do_stats t fmt
+            | Ok (Open v) -> do_open t conn v ~create:false
+            | Ok (New v) -> do_open t conn v ~create:true
+            | Ok Close -> do_close t conn
+            | Ok Quit ->
+                disconnect t conn;
+                Protocol.ok [ "bye" ]
+            | Ok (Command c) -> do_command t conn c
+          with
+          | response -> response
+          (* no request may kill its worker thread: locks were released on
+             the way out (Fun.protect), the session was evicted if its disk
+             state became unknown — surface the rest as an error response *)
+          | exception e -> Protocol.err ("internal: " ^ Printexc.to_string e)
+        in
+        (match response.Protocol.status with
+        | Protocol.Ok -> Obs.Metrics.incr i.c_ok
+        | Protocol.Err _ -> Obs.Metrics.incr i.c_err
+        | Protocol.Busy _ -> () (* already counted at the shed site *));
+        Obs.Trace.finish i.tracer sp
+          ~status:
+            (match response.Protocol.status with
+            | Protocol.Ok -> "ok"
+            | Protocol.Err _ -> "err"
+            | Protocol.Busy _ -> "busy");
+        Obs.Histo.observe i.h_request (t.config.now () -. arrived);
+        response)
   end
 
 (* --- reaper and shutdown -------------------------------------------------- *)
@@ -522,6 +781,7 @@ let reap_idle t =
                 (match snapshot t s with Ok () | Error _ -> ());
                 Hashtbl.reset s.conns;
                 evict t s;
+                Obs.Metrics.incr t.i.c_reaped;
                 true
             | _ -> false)
       with

@@ -30,8 +30,27 @@ val default_config : config
 type t
 type conn
 
-val open_service : ?config:config -> ?io:Repository.Io.t -> string -> (t, string) result
-(** Open the multi-variant repository at the directory and serve it. *)
+val open_service :
+  ?config:config -> ?io:Repository.Io.t -> ?obs:Obs.t -> string -> (t, string) result
+(** Open the multi-variant repository at the directory and serve it.
+
+    [obs] (default: a fresh enabled registry) receives the service's
+    counters, latency histograms, and request traces, served back over the
+    protocol's [@stats] request; pass [Obs.noop] to disable every
+    instrumentation point ([--no-obs]).  Opening with an enabled registry
+    installs the process-wide session/journal observation hooks. *)
+
+val obs : t -> Obs.t
+(** The registry the service records into. *)
+
+val rearm_hooks : t -> unit
+(** Re-install the process-wide session/journal hooks pointing at [t]
+    (no-op for a disabled registry).  The hooks are last-writer-wins, so a
+    process juggling several services — tests, the overhead benchmark —
+    uses this to hand them to the service about to run. *)
+
+val disarm_hooks : unit -> unit
+(** Uninstall the process-wide session/journal hooks entirely. *)
 
 val connect : t -> conn
 (** A fresh connection context (one per client). *)

@@ -51,5 +51,6 @@ let () =
       ("index", Test_index.tests);
       ("server", Test_server.tests);
       ("server-restore", Test_restore.tests);
+      ("obs", Test_obs.tests);
     ]
     @ soak_suites)

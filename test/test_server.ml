@@ -153,10 +153,50 @@ let breaker_ladder () =
   Breaker.record_failure b ~now:12.5;
   Alcotest.(check bool) "failed probe re-trips" false (Breaker.allows b ~now:13.0);
   Alcotest.(check bool) "new cooldown restarts" true (Breaker.allows b ~now:23.0);
-  Breaker.record_success b;
+  Breaker.record_success b ~now:23.0;
   Alcotest.(check bool) "success closes" true (Breaker.allows b ~now:23.0);
   Breaker.record_failure b ~now:24.0;
   Alcotest.(check bool) "counter was reset" true (Breaker.allows b ~now:24.0)
+
+(* The transition log records every closed → open → half-open edge with its
+   timestamp, newest first, and feeds [describe] and [time_in_state]. *)
+let breaker_transition_log () =
+  let b = Breaker.create ~threshold:2 ~cooldown:10.0 () in
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "no transitions before the first trip" [] (Breaker.transitions b);
+  Alcotest.(check (option (float 0.0)))
+    "no time-in-state before the first trip" None
+    (Breaker.time_in_state b ~now:5.0);
+  Breaker.record_failure b ~now:1.0;
+  Breaker.record_failure b ~now:2.0;
+  (* trip at 2, half-open probe admitted at 12.5, probe fails at 13,
+     cooled-down probe at 23.5 succeeds and closes at 24 *)
+  ignore (Breaker.allows b ~now:12.5);
+  Breaker.record_failure b ~now:13.0;
+  ignore (Breaker.allows b ~now:23.5);
+  Breaker.record_success b ~now:24.0;
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "full history, newest first"
+    [
+      (24.0, "closed");
+      (23.5, "half-open");
+      (13.0, "open");
+      (12.5, "half-open");
+      (2.0, "open");
+    ]
+    (Breaker.transitions b);
+  Alcotest.(check (option (float 1e-6)))
+    "time in (closed) state counts from the closing transition" (Some 6.0)
+    (Breaker.time_in_state b ~now:30.0);
+  let d = Breaker.describe b in
+  let mem needle =
+    let nl = String.length needle and dl = String.length d in
+    let rec go i = i + nl <= dl && (String.sub d i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "describe names the state" true (mem "closed");
+  Alcotest.(check bool)
+    "describe carries the timestamped history" true (mem "open@2.000")
 
 (* --- locks ---------------------------------------------------------------- *)
 
@@ -274,8 +314,8 @@ let mem_repo () =
   | Result.Error e -> Alcotest.fail e);
   (m, io)
 
-let service ?config io =
-  match Service.open_service ?config ~io "/repo" with
+let service ?config ?obs io =
+  match Service.open_service ?config ?obs ~io "/repo" with
   | Result.Ok t -> t
   | Result.Error m -> Alcotest.fail m
 
@@ -848,6 +888,77 @@ let variant_names_sorted () =
         [ "alpha"; "mid"; "zeta" ]
         (Repo.variant_names repo)
 
+(* --- @stats (observability end to end) ------------------------------------- *)
+
+let stats_snapshot () =
+  let _, io = mem_repo () in
+  let obs = Obs.create () in
+  let t = service ~config:(quick_config ()) ~obs io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "nickname"));
+  ignore (req_ok t c "check");
+  ignore (req_err t c "no such command anywhere");
+  let body = String.concat "\n" (req_ok t c "@stats") in
+  let has n = Str_contains.contains body n in
+  (* request counters are live and non-zero *)
+  Alcotest.(check bool) "counts requests" true (has "swsd.requests_total");
+  Alcotest.(check bool) "counts ok responses" true (has "swsd.responses.ok_total");
+  (* the mutation went through the journal, lock, and engine instruments *)
+  Alcotest.(check bool) "journal append histogram" true
+    (has "swsd.journal.append_seconds");
+  Alcotest.(check bool) "io fsync histogram" true (has "swsd.io.fsync_seconds");
+  Alcotest.(check bool) "lock wait histogram" true (has "swsd.lock.wait_seconds");
+  Alcotest.(check bool) "engine apply histogram" true
+    (has "swsd.engine.apply_seconds");
+  Alcotest.(check bool) "breaker note" true (has "breaker.v");
+  Alcotest.(check bool) "session note" true (has "session.v");
+  Alcotest.(check bool) "recent traces" true (has "recent traces");
+  (* the same figures through the registry API: nothing is zero that the
+     transcript above must have moved *)
+  let sn = Obs.snapshot obs in
+  let counter n =
+    match List.assoc_opt n sn.Obs.sn_counters with Some v -> v | None -> 0
+  in
+  let histo_count n =
+    match List.assoc_opt n sn.Obs.sn_histos with
+    | Some h -> h.Obs.Histo.s_count
+    | None -> 0
+  in
+  Alcotest.(check bool) "requests > 0" true (counter "swsd.requests_total" > 0);
+  Alcotest.(check bool) "ok > 0" true (counter "swsd.responses.ok_total" > 0);
+  Alcotest.(check bool) "err > 0" true (counter "swsd.responses.err_total" > 0);
+  Alcotest.(check bool) "ops > 0" true (counter "swsd.engine.ops_total" > 0);
+  Alcotest.(check bool) "fsyncs recorded" true
+    (histo_count "swsd.io.fsync_seconds" > 0);
+  Alcotest.(check bool) "journal appends recorded" true
+    (histo_count "swsd.journal.append_seconds" > 0);
+  Alcotest.(check bool) "lock waits recorded" true
+    (histo_count "swsd.lock.wait_seconds" > 0);
+  Alcotest.(check bool) "requests timed" true
+    (histo_count "swsd.request_seconds" > 0);
+  Alcotest.(check bool) "consistency checks timed" true
+    (histo_count "swsd.engine.check_seconds" > 0);
+  (* JSON rendering round-trips through the wire protocol in one body *)
+  let json = String.concat "\n" (req_ok t c "@stats json") in
+  Alcotest.(check bool) "json has counters" true
+    (Str_contains.contains json "\"swsd.requests_total\"");
+  Alcotest.(check bool) "json has quantiles" true
+    (Str_contains.contains json "\"p99\"");
+  ignore (Service.shutdown t)
+
+let stats_disabled () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) ~obs:Obs.noop io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "nickname"));
+  Alcotest.(check bool) "@stats refused under --no-obs" true
+    (Str_contains.contains (req_err t c "@stats") "disabled");
+  ignore (Service.shutdown t)
+
 let tests =
   [
     test "protocol: request parsing" parse_requests;
@@ -856,6 +967,10 @@ let tests =
     test "retry: crashes fly through untouched" retry_non_transient;
     test "retry: jittered delays stay bounded" retry_delays_bounded;
     test "breaker: trip, half-open probe, close" breaker_ladder;
+    test "breaker: timestamped transition log" breaker_transition_log;
+    test "stats: @stats reports live counters, latencies, and traces"
+      stats_snapshot;
+    test "stats: @stats refused when observability is disabled" stats_disabled;
     test "locks: queue bound sheds, deadline sheds, keys independent"
       locks_shed_and_timeout;
     test "eintr: the shared retry loop" eintr_retry_loop;
