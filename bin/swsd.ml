@@ -144,7 +144,13 @@ let cmd_report arg log_path paranoid =
       print_endline (Core.Session.deliverables session);
       0)
 
-let cmd_repl arg save_dir paranoid =
+let cmd_repl arg save_dir paranoid readonly =
+  (* A readonly repl never journals, so pairing it with --save would
+     promise durability it cannot deliver. *)
+  if readonly && save_dir <> None then begin
+    prerr_endline "--readonly cannot be combined with --save";
+    Stdlib.exit 2
+  end;
   (* Fail fast if another process (a server, another repl) owns the save
      directory: a second writer would interleave journal appends. *)
   let flock =
@@ -181,7 +187,21 @@ let cmd_repl arg save_dir paranoid =
           | Some line ->
               if String.trim line = "" then loop state
               else begin
-                let state, feedback = Designer.Engine.exec_line state line in
+                (* Mirror the server's [!readonly] refusal: parse first so
+                   syntax errors read the same either way, then classify. *)
+                let state, feedback =
+                  match Designer.Command.parse line with
+                  | cmd when readonly && Designer.Command.mutates cmd ->
+                      ( state,
+                        [
+                          Designer.Feedback.error
+                            "readonly session; restart without --readonly to \
+                             modify";
+                        ] )
+                  | cmd -> Designer.Engine.exec state cmd
+                  | exception Designer.Command.Bad_command m ->
+                      (state, [ Designer.Feedback.error m ])
+                in
                 List.iter
                   (fun f -> print_endline (Designer.Feedback.to_string f))
                   feedback;
@@ -190,7 +210,9 @@ let cmd_repl arg save_dir paranoid =
         end
       in
       let state = Designer.Engine.start ?repo session in
-      print_endline "shrink wrap schema designer; 'help' lists commands";
+      print_endline
+        ("shrink wrap schema designer; 'help' lists commands"
+        ^ if readonly then " (readonly)" else "");
       let final = loop state in
       (* a full save on exit snapshots the final state (not the initial
          session) and regenerates the derived artifacts *)
@@ -633,12 +655,21 @@ let report_cmd =
       const (fun s l p -> Stdlib.exit (cmd_report s l p))
       $ schema_arg $ log_arg $ paranoid_arg)
 
+let readonly_arg =
+  Arg.(
+    value & flag
+    & info [ "readonly" ]
+        ~doc:
+          "Browse without write access: mutating commands (apply, undo, \
+           redo, alias, data, source, save) are refused.  Cannot be \
+           combined with $(b,--save).")
+
 let repl_cmd =
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive shrink wrap schema designer")
     Term.(
-      const (fun s d p -> Stdlib.exit (cmd_repl s d p))
-      $ schema_arg $ save_arg $ paranoid_arg)
+      const (fun s d p r -> Stdlib.exit (cmd_repl s d p r))
+      $ schema_arg $ save_arg $ paranoid_arg $ readonly_arg)
 
 let schema_b_arg =
   Arg.(

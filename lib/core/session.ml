@@ -38,6 +38,10 @@ type t = {
   aliases : Aliases.t;  (** local names (presentation-level renaming) *)
   future : (Concept.kind * Modop.t) list;  (** undone steps, for redo *)
   paranoid : bool;  (** cross-check every op against the naive engine *)
+  version : int;
+      (** monotonic change stamp: bumped by every state transition (apply,
+          undo, redo, alias changes) and never decremented — two sessions
+          with the same version along one lineage are the same value *)
 }
 
 exception Divergence of string
@@ -127,6 +131,7 @@ let create ?(paranoid = false) shrink_wrap =
           aliases = Aliases.empty;
           future = [];
           paranoid;
+          version = 0;
         }
   | errors -> Error errors
 
@@ -136,6 +141,7 @@ let index t = t.index
 let concepts t = t.concepts
 let log t = t.log
 let step_count t = List.length t.log
+let version t = t.version
 
 let find_concept t id = Decompose.find t.concepts id
 
@@ -152,6 +158,7 @@ let commit t ~kind op (index, events) ~future =
       index;
       past_indexes = t.index :: t.past_indexes;
       future;
+      version = t.version + 1;
       log =
         t.log
         @ [ { st_kind = kind; st_op = op; st_events = events; st_before = t.workspace } ];
@@ -204,6 +211,7 @@ let undo t =
           past_indexes;
           log = List.rev rev_rest;
           future = (last.st_kind, last.st_op) :: t.future;
+          version = t.version + 1;
         }
 
 (** Redo the most recently undone step; [None] when there is nothing to
@@ -230,11 +238,12 @@ let custom_schema ?name t =
 (** Bind a local (presentation) name to a construct of the workspace. *)
 let add_alias t target local =
   Result.map
-    (fun aliases -> { t with aliases })
+    (fun aliases -> { t with aliases; version = t.version + 1 })
     (Aliases.add t.workspace t.aliases target local)
 
 (** Remove a construct's local name. *)
-let remove_alias t target = { t with aliases = Aliases.remove t.aliases target }
+let remove_alias t target =
+  { t with aliases = Aliases.remove t.aliases target; version = t.version + 1 }
 
 (** The live bindings: stale ones (whose construct was deleted since) are
     pruned on read. *)
@@ -244,7 +253,7 @@ let aliases_report t = Aliases.report (aliases t)
 
 (** Install persisted bindings wholesale (used when loading a repository);
     stale bindings are dropped lazily by {!aliases}. *)
-let restore_aliases t aliases = { t with aliases }
+let restore_aliases t aliases = { t with aliases; version = t.version + 1 }
 
 (** Consistency report over the workspace (errors cannot occur — accepted
     operations preserve validity — so this surfaces the warnings).  Served

@@ -63,6 +63,12 @@ val concepts : t -> Concept.t list
 val log : t -> step list
 val step_count : t -> int
 (** [List.length (log t)]: committed (not undone) steps. *)
+
+val version : t -> int
+(** Monotonic change stamp: [0] at {!create}, bumped by every state
+    transition (apply, undo, redo, alias changes).  Unlike {!step_count} it
+    never goes backwards along a session's lineage, so snapshot readers can
+    use it to detect staleness. *)
 val find_concept : t -> string -> Concept.t option
 
 val apply :

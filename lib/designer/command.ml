@@ -118,6 +118,40 @@ let parse line =
   | "" -> raise (Bad_command "empty command")
   | other -> raise (Bad_command ("unknown command: " ^ other))
 
+(* --- lock classification --------------------------------------------------
+
+   [access] decides which service path executes a command: [Read] commands
+   run lock-free on the published snapshot (and must leave the engine state
+   untouched — the read path discards the state the engine returns), [Write]
+   commands go through the per-variant writer lock.  The match is total on
+   purpose: a new constructor fails to compile until someone decides which
+   path it belongs on, so nothing can silently default onto the lock-free
+   path.  [mutates] is the narrower question — does the command change the
+   durable design state? — and drives the [!readonly] rejection. *)
+
+type access = Read | Write
+
+let access = function
+  (* browsing/derivation: engine returns the same state value *)
+  | Concepts | Show _ | Odl _ | Print_schema | Summary | Preview _ | Plan _
+  | Check | Quality | Todo | Migrate_data | Query _ | Mapping | Impact
+  | Custom _ | Explain _ | List_aliases | Log | Rules | Help ->
+      Read
+  (* design-state transitions *)
+  | Apply _ | Undo | Redo | Alias _ | Unalias _ -> Write
+  (* engine-state transitions that are not design changes *)
+  | Focus _ | Load_data _ | Quit -> Write
+  (* side effects outside the session (files, scripts) *)
+  | Source _ | Save _ -> Write
+
+let mutates = function
+  | Apply _ | Undo | Redo | Alias _ | Unalias _ -> true
+  | Source _ | Save _ | Load_data _ -> true  (* scripts, files, data store *)
+  | Concepts | Focus _ | Show _ | Odl _ | Print_schema | Summary | Preview _
+  | Plan _ | Check | Quality | Todo | Migrate_data | Query _ | Mapping
+  | Impact | Custom _ | Explain _ | List_aliases | Log | Rules | Help | Quit ->
+      false
+
 let help_text =
   {|commands:
   concepts            list concept schemas

@@ -35,6 +35,23 @@ type t =
 
 exception Bad_command of string
 
+type access = Read | Write
+(** Which service path may execute a command. *)
+
+val access : t -> access
+(** Total classification (exhaustive match, no catch-all): [Read] commands
+    never change the engine state and may run lock-free against a published
+    snapshot; [Write] commands require the per-variant writer lock.  Adding
+    a constructor without classifying it is a compile error, so no command
+    can silently default onto the lock-free path. *)
+
+val mutates : t -> bool
+(** Does the command change durable design state (or have side effects
+    outside the session)?  Strictly narrower than [access = Write]: e.g.
+    [Focus] is a [Write] (it moves the shared cursor) but does not mutate
+    the design, so read-only connections may still focus.  Drives the
+    [!readonly] rejection. *)
+
 val parse : string -> t
 (** Parse one command line.  @raise Bad_command on errors (including
     modification-language syntax errors in [apply]/[preview]/[plan]). *)

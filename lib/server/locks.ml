@@ -1,11 +1,15 @@
-(** Two-level lock manager for variant repositories.
+(** Two-level writer lock manager for variant repositories.
 
-    In-process, a table of per-variant locks serializes the sessions of one
-    server: a request holds its variant's lock for the duration of its
-    execution (engine step + journal append), so two sessions can never
-    interleave journal records.  Waiting is bounded twice over — by a
-    per-variant queue bound (excess requests are shed immediately so the
-    accept loop never blocks behind a convoy) and by the request deadline.
+    In-process, a table of per-variant locks serializes the write path of
+    one server: a mutating request holds its variant's lock for the
+    duration of its execution (engine step + journal append), so two
+    sessions can never interleave journal records.  Read-class requests
+    bypass this table entirely — they are served lock-free from the
+    snapshot the writer publishes ({!Publish}), so a convoy here can
+    never make a variant unreadable.  Waiting is bounded twice over — by
+    a per-variant queue bound (excess requests are shed immediately so
+    the accept loop never blocks behind a convoy) and by the request
+    deadline.
 
     Across processes, an advisory file lock ([.lock] in the locked
     directory, [lockf]) keeps a second server — or a [swsd repl --save]

@@ -1,6 +1,12 @@
-(** Two-level lock manager: an in-process per-variant mutex table with
-    bounded, deadline-limited waiting, plus advisory [lockf] file locks
-    against other processes ([swsd serve], [swsd repl --save]). *)
+(** Two-level {e writer} lock manager: an in-process per-variant mutex
+    table with bounded, deadline-limited waiting, plus advisory [lockf]
+    file locks against other processes ([swsd serve],
+    [swsd repl --save]).
+
+    This is the write half of the service's concurrency split: only the
+    write path queues here; read-class requests are served lock-free
+    from the variant's published snapshot ({!Publish}, DESIGN.md §10)
+    and never touch this table. *)
 
 (** {1 In-process} *)
 

@@ -7,6 +7,9 @@
     {v
     @list                 list the variants (sorted)
     @open <variant>       attach to a variant (shared session)
+    @open <variant> readonly
+                          attach without write access: mutating commands
+                          are refused with [!readonly]
     @new <variant>        create a variant, then attach
     @close                detach; last detach snapshots the session
     @ping                 liveness probe
@@ -17,11 +20,14 @@
 
     Every request yields one response: zero or more body lines, each
     prefixed [". "] so arbitrary command output (schemas, reports) can
-    never be mistaken for a status, then exactly one status line:
+    never be mistaken for a status, then an optional [#version <n>] meta
+    line (the variant's publication stamp, monotone per variant), then
+    exactly one status line:
 
     {v
     !ok                   accepted; mutations are durable on disk
     !err <message>        rejected (parse error, read-only variant, ...)
+    !readonly <message>   refused: the connection attached readonly
     !busy <reason>        shed by backpressure, followed by
     !retry-after <ms>     ... when to come back
     v}
@@ -31,7 +37,7 @@
 
 type request =
   | List
-  | Open of string
+  | Open of { variant : string; readonly : bool }
   | New of string
   | Close
   | Ping
@@ -42,15 +48,17 @@ type request =
 type status =
   | Ok
   | Err of string
+  | Readonly of string
   | Busy of { reason : string; retry_after_ms : int }
 
-type response = { body : string list; status : status }
+type response = { body : string list; status : status; version : int option }
 
-let ok body = { body; status = Ok }
-let err ?(body = []) message = { body; status = Err message }
+let ok ?version body = { body; status = Ok; version }
+let err ?(body = []) ?version message = { body; status = Err message; version }
+let readonly message = { body = []; status = Readonly message; version = None }
 
 let busy ?(body = []) ~retry_after_ms reason =
-  { body; status = Busy { reason; retry_after_ms } }
+  { body; status = Busy { reason; retry_after_ms }; version = None }
 
 let parse_request line =
   let line = String.trim line in
@@ -63,7 +71,11 @@ let parse_request line =
   in
   match (word, rest) with
   | "@list", "" -> Result.Ok List
-  | "@open", v when v <> "" -> Result.Ok (Open v)
+  | "@open", v when v <> "" -> (
+      match String.split_on_char ' ' v with
+      | [ variant ] -> Result.Ok (Open { variant; readonly = false })
+      | [ variant; "readonly" ] -> Result.Ok (Open { variant; readonly = true })
+      | _ -> Result.Error "usage: @open <variant> [readonly]")
   | "@new", v when v <> "" -> Result.Ok (New v)
   | "@close", "" -> Result.Ok Close
   | "@ping", "" -> Result.Ok Ping
@@ -88,10 +100,15 @@ let body_lines body =
 let status_lines = function
   | Ok -> [ "!ok" ]
   | Err m -> [ "!err " ^ m ]
+  | Readonly m -> [ "!readonly " ^ m ]
   | Busy { reason; retry_after_ms } ->
       [ "!busy " ^ reason; Printf.sprintf "!retry-after %d" retry_after_ms ]
 
-let to_lines r = body_lines r.body @ status_lines r.status
+let version_lines = function
+  | None -> []
+  | Some v -> [ Printf.sprintf "#version %d" v ]
+
+let to_lines r = body_lines r.body @ version_lines r.version @ status_lines r.status
 
 let to_string r = String.concat "\n" (to_lines r) ^ "\n"
 
@@ -99,4 +116,4 @@ let is_terminator line =
   let starts p =
     String.length line >= String.length p && String.sub line 0 (String.length p) = p
   in
-  starts "!ok" || starts "!err" || starts "!retry-after"
+  starts "!ok" || starts "!err" || starts "!readonly" || starts "!retry-after"

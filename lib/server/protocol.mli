@@ -1,11 +1,15 @@
 (** The design service's line protocol: one-line requests ([@open v],
-    [@close], [@list], [@quit], or a designer command), responses of
-    [". "]-prefixed body lines terminated by exactly one status —
-    [!ok], [!err msg], or [!busy reason] + [!retry-after ms]. *)
+    [@open v readonly], [@close], [@list], [@quit], or a designer command),
+    responses of [". "]-prefixed body lines, an optional [#version <n>]
+    meta line (the variant's publication stamp), terminated by exactly one
+    status — [!ok], [!err msg], [!readonly msg], or [!busy reason] +
+    [!retry-after ms]. *)
 
 type request =
   | List
-  | Open of string
+  | Open of { variant : string; readonly : bool }
+      (** [@open v] / [@open v readonly]; a readonly attach refuses
+          mutating commands with [!readonly] *)
   | New of string
   | Close
   | Ping
@@ -16,12 +20,17 @@ type request =
 type status =
   | Ok
   | Err of string
+  | Readonly of string  (** refused: the connection attached readonly *)
   | Busy of { reason : string; retry_after_ms : int }
 
-type response = { body : string list; status : status }
+type response = { body : string list; status : status; version : int option }
+(** [version] is the variant's publication stamp at the time the request
+    was served: monotone per variant, bumped by every published write,
+    surviving eviction.  [None] for requests with no variant context. *)
 
-val ok : string list -> response
-val err : ?body:string list -> string -> response
+val ok : ?version:int -> string list -> response
+val err : ?body:string list -> ?version:int -> string -> response
+val readonly : string -> response
 val busy : ?body:string list -> retry_after_ms:int -> string -> response
 
 val parse_request : string -> (request, string) result
@@ -32,4 +41,5 @@ val to_string : response -> string
 (** Newline-terminated wire form. *)
 
 val is_terminator : string -> bool
-(** Does this line end a response ([!ok] / [!err ...] / [!retry-after ...])? *)
+(** Does this line end a response ([!ok] / [!err ...] / [!readonly ...] /
+    [!retry-after ...])? *)

@@ -1,0 +1,88 @@
+(** Lock-free snapshot publication with epoch counters (see the interface
+    for the contract).
+
+    Representation: a copy-on-write string map behind one [Atomic], one
+    entry per variant ever opened.  Entries are never removed — a variant
+    name is a few words of memory and keeping the entry is what lets [seq]
+    and [epoch] survive session eviction.  The published cell holds the
+    value {e together with} its stamp so a reader can never pair a new
+    snapshot with an old stamp (or vice versa): the pair is one immutable
+    allocation behind one atomic load. *)
+
+module SMap = Map.Make (String)
+
+type 'a entry = {
+  cell : ('a * int) option Atomic.t;  (** published (value, stamp) *)
+  seq : int Atomic.t;  (** last issued stamp; monotone *)
+  epoch : int Atomic.t;  (** retract count; monotone *)
+  readers : int Atomic.t;  (** threads inside [with_snapshot] *)
+  touched : float Atomic.t;  (** last read-path activity (reaper input) *)
+}
+
+type 'a t = { entries : 'a entry SMap.t Atomic.t }
+
+let create () = { entries = Atomic.make SMap.empty }
+
+let find t key = SMap.find_opt key (Atomic.get t.entries)
+
+(* Find-or-create via CAS retry: creation races build two entries, one
+   wins, the loser's allocation is garbage.  Rare (once per variant name)
+   and harmless. *)
+let rec entry t key =
+  let m = Atomic.get t.entries in
+  match SMap.find_opt key m with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          cell = Atomic.make None;
+          seq = Atomic.make 0;
+          epoch = Atomic.make 0;
+          readers = Atomic.make 0;
+          touched = Atomic.make 0.;
+        }
+      in
+      if Atomic.compare_and_set t.entries m (SMap.add key e m) then e
+      else entry t key
+
+let read t key =
+  match find t key with None -> None | Some e -> Atomic.get e.cell
+
+let with_snapshot t key f =
+  match find t key with
+  | None -> None
+  | Some e -> (
+      Atomic.incr e.readers;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr e.readers)
+        (fun () ->
+          match Atomic.get e.cell with
+          | None -> None
+          | Some pair -> Some (f pair)))
+
+let publish t key v =
+  let e = entry t key in
+  (* single writer per key: fetch_and_add alone would do, but keep the
+     stamp stored with the value so readers see a consistent pair *)
+  let stamp = 1 + Atomic.fetch_and_add e.seq 1 in
+  Atomic.set e.cell (Some (v, stamp));
+  stamp
+
+let retract t key =
+  match find t key with
+  | None -> ()
+  | Some e ->
+      Atomic.set e.cell None;
+      Atomic.incr e.epoch
+
+let seq t key = match find t key with None -> 0 | Some e -> Atomic.get e.seq
+let epoch t key = match find t key with None -> 0 | Some e -> Atomic.get e.epoch
+
+let readers t key =
+  match find t key with None -> 0 | Some e -> Atomic.get e.readers
+
+let touch t key ~now =
+  match find t key with None -> () | Some e -> Atomic.set e.touched now
+
+let last_touched t key =
+  match find t key with None -> 0. | Some e -> Atomic.get e.touched

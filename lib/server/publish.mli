@@ -1,0 +1,66 @@
+(** Lock-free snapshot publication with epoch counters.
+
+    One {!t} maps each variant to an atomically published immutable
+    snapshot (the service publishes {!Designer.Engine.state} values, but
+    the table is generic).  Readers {!read} the current snapshot and run on
+    it with no lock at all; the single writer (holding the variant's writer
+    lock) {!publish}es each committed state, and eviction {!retract}s the
+    cell, bumping the variant's epoch.
+
+    Three counters ride on every entry, all monotone for the lifetime of
+    the service (entries are never removed from the table, so they survive
+    session eviction):
+
+    - {b seq} — the publication stamp: bumped by every {!publish} and
+      stored {e with} the value, so a reader always sees a (value, stamp)
+      pair that belongs together.  This is the [#version] surfaced in
+      responses: per variant it never goes backwards, even across
+      evict/reload cycles.
+    - {b epoch} — bumped by every {!retract}: a cheap "the session you
+      were reading was evicted" signal.  Stale readers finish on their
+      snapshot (it is immutable), then reattach.
+    - {b readers} — how many threads are inside {!with_snapshot} right
+      now: the idle reaper treats a variant with live snapshot holders as
+      busy.
+
+    Thread-safe without locks: the variant map is copy-on-write behind an
+    [Atomic], the per-variant cell is a single atomic load/store. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val read : 'a t -> string -> ('a * int) option
+(** The variant's current snapshot and its publication stamp; [None] when
+    nothing is published (never opened, or retracted by eviction). *)
+
+val with_snapshot : 'a t -> string -> ('a * int -> 'b) -> 'b option
+(** Like {!read}, but holds the variant's live-reader count across [f] so
+    the reaper will not free the session mid-read.  [None] when nothing is
+    published ([f] is not called). *)
+
+val publish : 'a t -> string -> 'a -> int
+(** Publish a new snapshot and return its stamp.  Single writer per
+    variant (the caller holds the writer lock); concurrent readers observe
+    either the old pair or the new, never a mixture. *)
+
+val retract : 'a t -> string -> unit
+(** Eviction: clear the published cell and bump the epoch.  The stamp
+    counter is retained, so a later re-publish continues the sequence. *)
+
+val seq : 'a t -> string -> int
+(** Last issued publication stamp (0 before the first publish). *)
+
+val epoch : 'a t -> string -> int
+(** How many times the variant was retracted. *)
+
+val readers : 'a t -> string -> int
+(** Live snapshot holders currently inside {!with_snapshot}. *)
+
+val touch : 'a t -> string -> now:float -> unit
+(** Record read-path activity for the idle reaper (lock-free reads never
+    touch the session record, so writer-side [last_used] alone would let
+    the reaper free a read-hot variant). *)
+
+val last_touched : 'a t -> string -> float
+(** Latest {!touch} time; [0.] when never touched. *)

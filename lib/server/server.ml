@@ -13,6 +13,7 @@ module Retry = Retry
 module Breaker = Breaker
 module Locks = Locks
 module Protocol = Protocol
+module Publish = Publish
 module Service = Service
 module Io = Repository.Io
 

@@ -6,6 +6,7 @@ module Retry = Retry
 module Breaker = Breaker
 module Locks = Locks
 module Protocol = Protocol
+module Publish = Publish
 module Service = Service
 
 type t

@@ -7,15 +7,31 @@
     around {!request}; the chaos harness drives {!request} directly from
     test threads.
 
+    Since the snapshot-concurrency refactor the implementation is split by
+    path — this module is the assembler and request dispatcher:
+
+    - {!Service_types} — config, instruments, the session/service records,
+      and the helpers every path shares (writer lock, eviction, journal
+      delta persistence);
+    - {!Service_read} — command classification and the {e lock-free} read
+      path: read-class commands run on the variant's published immutable
+      snapshot with no variant lock at all ({!Publish});
+    - {!Service_write} — the single-writer pipeline:
+      lock → apply → check → journal → publish → ack;
+    - {!Service_admin} — session lifecycle, [@stats], the idle reaper
+      (defined against live snapshot holders), and shutdown.
+
     Robustness discipline, in order of application to a request:
 
     - {b Admission}: a stopping service refuses new work; each request gets
       an absolute deadline ([request_deadline] from arrival).
-    - {b Backpressure}: requests serialize per variant through {!Locks};
-      when [max_waiters] requests are already queued on the variant the new
-      one is shed immediately with [!busy]/[!retry-after], and a queued
-      request that cannot start by its deadline is shed the same way — the
-      accept loop never blocks behind a convoy.
+    - {b Backpressure}: mutating requests serialize per variant through
+      {!Locks}; when [max_waiters] requests are already queued on the
+      variant the new one is shed immediately with [!busy]/[!retry-after],
+      and a queued request that cannot start by its deadline is shed the
+      same way — the accept loop never blocks behind a convoy.  Read-class
+      requests bypass the queue entirely (they take no lock) and so are
+      never shed.
     - {b Durability}: the engine runs with no repository attached; the
       service itself journals the delta of every accepted command (undo
       records, then fresh steps) through {!Retry.with_retries}, and only
@@ -27,162 +43,44 @@
       a tripped breaker leaves the variant readable but refuses mutations
       until a cooled-down probe succeeds — the server never crashes over a
       failing disk.
-    - {b Reaping}: sessions idle past [idle_timeout] are snapshotted and
-      freed; their connections are told to [@open] again.
+    - {b Reaping}: sessions idle past [idle_timeout] — on the writer side
+      {e and} the read side, with no live snapshot holder — are
+      snapshotted and freed; their connections are told to [@open] again.
     - {b Shutdown}: {!shutdown} drains in-flight requests, snapshots every
       dirty session through the existing {!Repository.Store} path, and
       releases all locks. *)
 
-module Engine = Designer.Engine
-module Store = Repository.Store
 module Repo = Repository.Repo
 module Io = Repository.Io
 
-type config = {
-  request_deadline : float;  (** seconds from arrival to shed *)
-  max_waiters : int;  (** per-variant queue bound *)
-  idle_timeout : float;  (** reaper frees sessions idle this long *)
-  drain_timeout : float;  (** max wait for in-flight work at shutdown *)
-  retry : Retry.policy;  (** around journal appends and snapshots *)
+type config = Service_types.config = {
+  request_deadline : float;
+  max_waiters : int;
+  idle_timeout : float;
+  drain_timeout : float;
+  retry : Retry.policy;
   breaker_threshold : int;
   breaker_cooldown : float;
-  use_file_locks : bool;  (** advisory [.lock] per variant (real fs only) *)
-  retry_after_ms : int;  (** hint sent with [!busy] *)
+  use_file_locks : bool;
+  retry_after_ms : int;
+  lockfree_reads : bool;
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
-      (** test-only: runs inside the variant lock before execution; an
-          exception here models a worker thread killed mid-request *)
 }
 
-let default_config =
-  {
-    request_deadline = 5.0;
-    max_waiters = 8;
-    idle_timeout = 300.0;
-    drain_timeout = 5.0;
-    retry = Retry.default;
-    breaker_threshold = 3;
-    breaker_cooldown = 30.0;
-    use_file_locks = true;
-    retry_after_ms = 100;
-    now = Unix.gettimeofday;
-    sleep = Thread.delay;
-    chaos_hook = None;
-  }
+let default_config = Service_types.default_config
 
-(* --- instruments ----------------------------------------------------------
+type t = Service_types.t
+type conn = Service_types.conn
 
-   Every counter/histogram the service records into, resolved once at
-   [open_service] so the hot path never looks instruments up by name.  With
-   a disabled registry ([Obs.noop], the [--no-obs] configuration) each of
-   these is a no-op object and every record call is a load and a branch.
-
-   Naming scheme: [swsd.<area>.<name>], [_total] for counters, [_seconds]
-   for latency histograms (exported in ms by the text renderer); dimension-
-   less histograms (queue depth, dirty-set size) carry no suffix. *)
-
-type instruments = {
-  obs : Obs.t;
-  tracer : Obs.Trace.t;
-  c_requests : Obs.Metrics.counter;
-  c_ok : Obs.Metrics.counter;
-  c_err : Obs.Metrics.counter;
-  c_shed_queue : Obs.Metrics.counter;  (** [!busy]: variant queue full *)
-  c_shed_deadline : Obs.Metrics.counter;  (** [!busy]: deadline while queued *)
-  c_breaker_rejected : Obs.Metrics.counter;  (** mutations refused read-only *)
-  c_breaker_trips : Obs.Metrics.counter;  (** closed/half-open → open edges *)
-  c_ops : Obs.Metrics.counter;  (** committed engine operations *)
-  c_opened : Obs.Metrics.counter;  (** sessions loaded from disk *)
-  c_evicted : Obs.Metrics.counter;  (** sessions dropped on failure *)
-  c_reaped : Obs.Metrics.counter;  (** sessions freed by the idle reaper *)
-  c_retries : Obs.Metrics.counter;  (** backoff sleeps inside {!Retry} *)
-  g_sessions : Obs.Metrics.gauge;
-  g_inflight : Obs.Metrics.gauge;
-  h_request : Obs.Histo.t;  (** whole request, arrival to response *)
-  h_lock_wait : Obs.Histo.t;
-  h_lock_hold : Obs.Histo.t;
-  h_queue_depth : Obs.Histo.t;  (** waiters seen at admission *)
-  h_apply : Obs.Histo.t;  (** engine execution of a command line *)
-  h_check : Obs.Histo.t;  (** incremental consistency report *)
-  h_dirty : Obs.Histo.t;  (** dirty-set size per committed op *)
-  h_respond : Obs.Histo.t;  (** feedback rendering *)
-  h_journal_append : Obs.Histo.t;  (** record + fsync, the commit path *)
-  h_journal_rewrite : Obs.Histo.t;  (** snapshot / repair replace *)
-  h_io_write : Obs.Histo.t;
-  h_io_append : Obs.Histo.t;
-  h_io_fsync : Obs.Histo.t;
-  h_io_rename : Obs.Histo.t;
-}
-
-let make_instruments obs =
-  let c = Obs.counter obs and g = Obs.gauge obs in
-  let h ?lo ?hi name = Obs.histo ?lo ?hi obs name in
-  {
-    obs;
-    tracer = Obs.tracer obs;
-    c_requests = c "swsd.requests_total";
-    c_ok = c "swsd.responses.ok_total";
-    c_err = c "swsd.responses.err_total";
-    c_shed_queue = c "swsd.shed.queue_full_total";
-    c_shed_deadline = c "swsd.shed.deadline_total";
-    c_breaker_rejected = c "swsd.breaker.rejected_total";
-    c_breaker_trips = c "swsd.breaker.trips_total";
-    c_ops = c "swsd.engine.ops_total";
-    c_opened = c "swsd.sessions.opened_total";
-    c_evicted = c "swsd.sessions.evicted_total";
-    c_reaped = c "swsd.sessions.reaped_total";
-    c_retries = c "swsd.retry.attempts_total";
-    g_sessions = g "swsd.sessions.open";
-    g_inflight = g "swsd.requests.inflight";
-    h_request = h "swsd.request_seconds";
-    h_lock_wait = h "swsd.lock.wait_seconds";
-    h_lock_hold = h "swsd.lock.hold_seconds";
-    h_queue_depth = h ~lo:1.0 ~hi:1e4 "swsd.lock.queue_depth";
-    h_apply = h "swsd.engine.apply_seconds";
-    h_check = h "swsd.engine.check_seconds";
-    h_dirty = h ~lo:1.0 ~hi:1e4 "swsd.engine.dirty_set";
-    h_respond = h "swsd.respond_seconds";
-    h_journal_append = h "swsd.journal.append_seconds";
-    h_journal_rewrite = h "swsd.journal.rewrite_seconds";
-    h_io_write = h "swsd.io.write_seconds";
-    h_io_append = h "swsd.io.append_seconds";
-    h_io_fsync = h "swsd.io.fsync_seconds";
-    h_io_rename = h "swsd.io.rename_seconds";
-  }
-
-type session = {
-  variant : string;
-  store : Store.t;
-  conns : (int, unit) Hashtbl.t;  (** attached connection ids *)
-  mutable state : Engine.state;
-  mutable dirty : bool;  (** changes not yet snapshotted *)
-  mutable last_used : float;
-  mutable flock : Locks.file_lock option;
-}
-
-type t = {
-  repo : Repo.t;
-  config : config;
-  locks : Locks.t;
-  sessions : (string, session) Hashtbl.t;
-  breakers : (string, Breaker.t) Hashtbl.t;
-      (** per variant, surviving session eviction *)
-  mu : Mutex.t;  (** guards [sessions], [breakers], and session bookkeeping *)
-  inflight : int Atomic.t;
-  conn_ids : int Atomic.t;
-  mutable stopping : bool;
-  rand : Random.State.t;
-  i : instruments;
-}
-
-type conn = { id : int; mutable variant : string option }
+open Service_types
 
 (* The session/journal observation hooks are process-wide globals (see
    their doc comments for why); install them only for an enabled registry,
    so opening an [Obs.noop] service for a quick test does not silence a
    live one's hooks. *)
-let install_hooks i ~now =
+let install_hooks (i : instruments) ~now =
   Core.Session.set_hooks
     (Some
        {
@@ -228,6 +126,7 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
         repo;
         config;
         locks = Locks.create ();
+        pub = Publish.create ();
         sessions = Hashtbl.create 8;
         breakers = Hashtbl.create 8;
         mu = Mutex.create ();
@@ -239,464 +138,32 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
       })
     (Repo.open_dir ~io dir)
 
-let obs t = t.i.obs
+let obs (t : t) = t.i.obs
 
 (* The global hooks are last-writer-wins, so in a multi-service process
    (tests, the overhead benchmark) the most recently opened enabled service
    owns them.  These let such a process hand them around explicitly. *)
-let rearm_hooks t =
+let rearm_hooks (t : t) =
   if Obs.enabled t.i.obs then install_hooks t.i ~now:t.config.now
 
 let disarm_hooks () =
   Core.Session.set_hooks None;
   Repository.Journal.set_observer None
 
-let connect t = { id = Atomic.fetch_and_add t.conn_ids 1; variant = None }
+let connect (t : t) =
+  { id = Atomic.fetch_and_add t.conn_ids 1; variant = None; readonly = false }
 
-let session_count t =
+let session_count (t : t) =
   Mutex.lock t.mu;
   let n = Hashtbl.length t.sessions in
   Mutex.unlock t.mu;
   n
 
-(* --- small helpers -------------------------------------------------------- *)
+let disconnect = Service_admin.disconnect
+let reap_idle = Service_admin.reap_idle
+let shutdown = Service_admin.shutdown
 
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
-
-let breaker_of t variant =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.breakers variant with
-      | Some b -> b
-      | None ->
-          let b =
-            Breaker.create ~threshold:t.config.breaker_threshold
-              ~cooldown:t.config.breaker_cooldown ()
-          in
-          Hashtbl.add t.breakers variant b;
-          b)
-
-let shed t (failure : Locks.failure) =
-  match failure with
-  | Locks.Busy n ->
-      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
-        (Printf.sprintf "%d request(s) queued on this variant" n)
-  | Locks.Timed_out ->
-      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
-        "deadline exceeded waiting for the variant"
-
-let with_variant t variant f =
-  let i = t.i in
-  let deadline = t.config.now () +. t.config.request_deadline in
-  let arrived = t.config.now () in
-  let observe =
-    if not (Obs.enabled i.obs) then None
-    else
-      Some
-        (fun ~waited ~held ~depth ->
-          Obs.Histo.observe i.h_lock_wait waited;
-          Obs.Histo.observe i.h_lock_hold held;
-          Obs.Histo.observe i.h_queue_depth (float_of_int depth))
-  in
-  (* the wait phase is stamped on entry (not from [observe], which fires
-     after release) so trace phases read in execution order *)
-  let g () =
-    if Obs.enabled i.obs then
-      Obs.Trace.add_phase_current i.tracer "wait" (t.config.now () -. arrived);
-    f ()
-  in
-  match
-    Locks.with_key ~max_waiters:t.config.max_waiters ~sleep:t.config.sleep
-      ~now:t.config.now ?observe t.locks variant ~deadline g
-  with
-  | Ok r -> r
-  | Error failure ->
-      (match failure with
-      | Locks.Busy _ -> Obs.Metrics.incr i.c_shed_queue
-      | Locks.Timed_out -> Obs.Metrics.incr i.c_shed_deadline);
-      shed t failure
-
-(* Free a session's cross-process lock and drop it from the table.  Caller
-   holds the variant lock; never snapshots. *)
-let evict t (s : session) =
-  locked t (fun () -> Hashtbl.remove t.sessions s.variant);
-  Option.iter Locks.unlock_file s.flock;
-  s.flock <- None
-
-(* Snapshot a dirty session through the regular Store path. *)
-let snapshot t (s : session) =
-  if not s.dirty then Ok ()
-  else
-    match
-      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
-        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
-        t.config.retry
-        (fun () -> Store.save_session s.store s.state.Engine.session)
-    with
-    | Ok () ->
-        s.dirty <- false;
-        Ok ()
-    | Error e -> Error (Printexc.to_string e)
-    | exception e ->
-        (* e.g. an injected crash: atomic whole-file writes keep every
-           artifact whole, and the journal remains authoritative *)
-        Error (Printexc.to_string e)
-
-(* --- journal persistence -------------------------------------------------- *)
-
-let step_ops session =
-  List.map
-    (fun (st : Core.Session.step) -> (st.Core.Session.st_kind, st.st_op))
-    (Core.Session.log session)
-
-let step_eq (k1, o1) (k2, o2) = k1 = k2 && Core.Modop.equal o1 o2
-
-let rec common_prefix n a b =
-  match (a, b) with
-  | x :: a', y :: b' when step_eq x y -> common_prefix (n + 1) a' b'
-  | _ -> n
-
-let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
-
-(** The journal records turning [before]'s log into [after]'s: undos for
-    the popped tail, then the fresh steps.  Ops only push/pop at the tail,
-    so the common prefix characterizes the delta exactly. *)
-let journal_delta ~before ~after =
-  let b = step_ops before and a = step_ops after in
-  let p = common_prefix 0 b a in
-  let undos = List.length b - p in
-  (undos, drop p a)
-
-(* Append the delta, each record through the retry policy; durable (fsync'd
-   per record) on [Ok].  Any failure leaves the on-disk journal in an
-   unknown (possibly torn) state: the caller must evict the session so the
-   next open reloads through recovery. *)
-let persist_delta t s ~before ~after =
-  let undos, adds = journal_delta ~before ~after in
-  let append thunk =
-    match
-      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
-        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
-        t.config.retry thunk
-    with
-    | Ok () -> Ok ()
-    | Error e -> Error e
-  in
-  let rec undo_loop n =
-    if n = 0 then Ok ()
-    else
-      match append (fun () -> Store.append_undo s.store) with
-      | Ok () -> undo_loop (n - 1)
-      | Error _ as e -> e
-  in
-  let rec add_loop = function
-    | [] -> Ok ()
-    | step :: rest -> (
-        match append (fun () -> Store.append_step s.store step) with
-        | Ok () -> add_loop rest
-        | Error _ as e -> e)
-  in
-  if undos = 0 && adds = [] then Ok 0
-  else
-    match undo_loop undos with
-    | Error e -> Error e
-    | Ok () -> (
-        match add_loop adds with
-        | Error e -> Error e
-        | Ok () -> Ok (undos + List.length adds))
-
-(* --- command classification ----------------------------------------------- *)
-
-type class_ = Read_only | Mutating | Refused of string
-
-let classify line =
-  match Designer.Command.parse line with
-  | exception Designer.Command.Bad_command _ ->
-      (* the engine will produce the error feedback *)
-      Read_only
-  | Apply _ | Undo | Redo | Alias _ | Unalias _ -> Mutating
-  | Source _ -> Refused "source is not available in server sessions"
-  | Save _ -> Refused "save is not available in server sessions; @close snapshots"
-  | Quit -> Refused "quit is not available in server sessions; use @close or @quit"
-  | Concepts | Focus _ | Show _ | Odl _ | Print_schema | Summary | Preview _
-  | Plan _ | Check | Quality | Todo | Load_data _ | Migrate_data | Query _
-  | Mapping | Impact | Custom _ | Explain _ | List_aliases | Log | Rules
-  | Help ->
-      Read_only
-
-(* --- session lifecycle ---------------------------------------------------- *)
-
-let find_session t variant =
-  locked t (fun () -> Hashtbl.find_opt t.sessions variant)
-
-let attach t (s : session) (conn : conn) =
-  locked t (fun () -> Hashtbl.replace s.conns conn.id ());
-  conn.variant <- Some s.variant;
-  s.last_used <- t.config.now ()
-
-(* Load a variant from disk into a fresh shared session.  Caller holds the
-   variant lock. *)
-let load_session t variant =
-  let flock =
-    if t.config.use_file_locks then
-      let path =
-        Filename.concat (Repo.variant_dir t.repo variant) Locks.lock_file_name
-      in
-      match Locks.lock_file path with
-      | Ok l -> Ok (Some l)
-      | Error m -> Error ("variant is locked by another process: " ^ m)
-    else Ok None
-  in
-  match flock with
-  | Error _ as e -> e
-  | Ok flock -> (
-      match Repo.open_variant t.repo variant with
-      | Error e ->
-          Option.iter Locks.unlock_file flock;
-          Error (Repo.open_error_to_string e)
-      | exception e ->
-          (* an injected crash while reading/repairing; nothing attached *)
-          Option.iter Locks.unlock_file flock;
-          Error ("could not load variant: " ^ Printexc.to_string e)
-      | Ok session -> (
-          match Repo.variant_store t.repo variant with
-          | store ->
-              let s =
-                {
-                  variant;
-                  store;
-                  conns = Hashtbl.create 4;
-                  state = Engine.start session;
-                  dirty = false;
-                  last_used = t.config.now ();
-                  flock;
-                }
-              in
-              locked t (fun () -> Hashtbl.replace t.sessions variant s);
-              Obs.Metrics.incr t.i.c_opened;
-              Ok s
-          | exception e ->
-              Option.iter Locks.unlock_file flock;
-              Error ("could not open variant store: " ^ Printexc.to_string e)))
-
-let do_open t conn variant ~create =
-  match conn.variant with
-  | Some v when v = variant -> Protocol.ok [ "already attached to " ^ variant ]
-  | Some v -> Protocol.err ("already attached to " ^ v ^ "; @close first")
-  | None ->
-      with_variant t variant (fun () ->
-          let created =
-            if not create then Ok false
-            else
-              match Repo.create_variant t.repo variant with
-              | Ok _ -> Ok true
-              | Error m -> Error m
-              | exception e ->
-                  Error ("could not create variant: " ^ Printexc.to_string e)
-          in
-          match created with
-          | Error m -> Protocol.err m
-          | Ok created -> (
-              match find_session t variant with
-              | Some s ->
-                  attach t s conn;
-                  Protocol.ok
-                    [
-                      Printf.sprintf "attached to %s (%d client(s))" variant
-                        (Hashtbl.length s.conns);
-                    ]
-              | None -> (
-                  if not (Repo.mem_variant t.repo variant) then
-                    Protocol.err ("no variant named " ^ variant)
-                  else
-                    match load_session t variant with
-                    | Error m -> Protocol.err m
-                    | Ok s ->
-                        attach t s conn;
-                        Protocol.ok
-                          [
-                            (if created then "created and attached to " ^ variant
-                             else "attached to " ^ variant);
-                          ])))
-
-(* Detach [conn]; the last detach snapshots and frees the session.  Caller
-   holds the variant lock. *)
-let release t (s : session) (conn : conn) ~snapshot_on_free =
-  locked t (fun () -> Hashtbl.remove s.conns conn.id);
-  conn.variant <- None;
-  if locked t (fun () -> Hashtbl.length s.conns) = 0 then begin
-    let warn =
-      if snapshot_on_free then
-        match snapshot t s with
-        | Ok () -> []
-        | Error m -> [ "snapshot failed (journal remains authoritative): " ^ m ]
-      else []
-    in
-    evict t s;
-    warn
-  end
-  else []
-
-let do_close t conn =
-  match conn.variant with
-  | None -> Protocol.err "no open session"
-  | Some variant ->
-      with_variant t variant (fun () ->
-          match find_session t variant with
-          | None ->
-              (* reaped underneath us; nothing left to release *)
-              conn.variant <- None;
-              Protocol.ok [ "session was already closed (idle)" ]
-          | Some s ->
-              let warn = release t s conn ~snapshot_on_free:true in
-              Protocol.ok (warn @ [ "closed" ]))
-
-(* --- request execution ---------------------------------------------------- *)
-
-let feedback_body feedback = List.map Designer.Feedback.to_string feedback
-
-let do_command t conn line =
-  match conn.variant with
-  | None -> Protocol.err "no open session; use: @open <variant>"
-  | Some variant -> (
-      match classify line with
-      | Refused m -> Protocol.err m
-      | class_ ->
-          with_variant t variant (fun () ->
-              match find_session t variant with
-              | None ->
-                  conn.variant <- None;
-                  Protocol.err "session expired (idle); use @open to resume"
-              | Some s ->
-                  let i = t.i in
-                  let now = t.config.now () in
-                  let breaker = breaker_of t variant in
-                  if class_ = Mutating && not (Breaker.allows breaker ~now)
-                  then begin
-                    Obs.Metrics.incr i.c_breaker_rejected;
-                    Protocol.err
-                      ("variant is read-only: circuit " ^ Breaker.describe breaker)
-                  end
-                  else
-                    (* the on-disk journal state is unknown after a killed
-                       worker (chaos hook) or a crash mid-append: degrade
-                       the variant and evict the session, so the next @open
-                       reloads through recovery *)
-                    let degrade_and_evict why =
-                      let was_open = Breaker.is_open breaker in
-                      Breaker.record_failure breaker ~now:(t.config.now ());
-                      if Breaker.is_open breaker && not was_open then
-                        Obs.Metrics.incr i.c_breaker_trips;
-                      Obs.Metrics.incr i.c_evicted;
-                      Hashtbl.reset s.conns;
-                      evict t s;
-                      conn.variant <- None;
-                      Protocol.err why
-                    in
-                    let run () =
-                      (match t.config.chaos_hook with
-                      | Some hook -> hook ~variant ~line
-                      | None -> ());
-                      let before = s.state in
-                      let t_apply = t.config.now () in
-                      let after, feedback = Engine.exec_line before line in
-                      let apply_seconds = t.config.now () -. t_apply in
-                      Obs.Histo.observe i.h_apply apply_seconds;
-                      Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
-                      let persisted =
-                        persist_delta t s ~before:before.Engine.session
-                          ~after:after.Engine.session
-                      in
-                      s.last_used <- t.config.now ();
-                      match persisted with
-                      | Ok n ->
-                          if n > 0 then
-                            Breaker.record_success breaker
-                              ~now:(t.config.now ());
-                          s.state <- after;
-                          if class_ = Mutating || n > 0 then s.dirty <- true;
-                          let t_respond = t.config.now () in
-                          let body = feedback_body feedback in
-                          let respond_seconds = t.config.now () -. t_respond in
-                          Obs.Histo.observe i.h_respond respond_seconds;
-                          Obs.Trace.add_phase_current i.tracer "respond"
-                            respond_seconds;
-                          if List.exists Designer.Feedback.is_error feedback
-                          then Protocol.err ~body "command rejected"
-                          else Protocol.ok body
-                      | Error e ->
-                          degrade_and_evict
-                            ("persistence failed; operation not accepted; \
-                              session evicted (reopen with @open): "
-                            ^ Printexc.to_string e)
-                    in
-                    (match run () with
-                    | response -> response
-                    | exception e ->
-                        degrade_and_evict
-                          ("request died mid-flight; session evicted: "
-                          ^ Printexc.to_string e))))
-
-let disconnect t conn =
-  match conn.variant with
-  | None -> ()
-  | Some variant ->
-      with_variant t variant (fun () ->
-          (match find_session t variant with
-          | None -> conn.variant <- None
-          | Some s -> ignore (release t s conn ~snapshot_on_free:true));
-          Protocol.ok [])
-      |> ignore
-
-(* --- the @stats snapshot --------------------------------------------------- *)
-
-(** Render the observability snapshot.  Dynamic state that has no standing
-    instrument — per-variant breaker history, attached sessions — rides
-    along as notes; the sessions/inflight gauges are refreshed here, at
-    read time, rather than maintained on every transition. *)
-let do_stats t fmt =
-  let i = t.i in
-  if not (Obs.enabled i.obs) then
-    Protocol.err "observability is disabled (server started with --no-obs)"
-  else begin
-    Obs.Metrics.set i.g_inflight (Atomic.get t.inflight);
-    let now = t.config.now () in
-    let notes =
-      locked t (fun () ->
-          Obs.Metrics.set i.g_sessions (Hashtbl.length t.sessions);
-          let sessions =
-            Hashtbl.fold
-              (fun v s acc ->
-                ( "session." ^ v,
-                  Printf.sprintf "%d client(s)%s" (Hashtbl.length s.conns)
-                    (if s.dirty then ", dirty" else "") )
-                :: acc)
-              t.sessions []
-          in
-          let breakers =
-            Hashtbl.fold
-              (fun v b acc ->
-                let in_state =
-                  match Breaker.time_in_state b ~now with
-                  | Some s -> Printf.sprintf " (%.1fs in state)" s
-                  | None -> ""
-                in
-                ("breaker." ^ v, Breaker.describe b ^ in_state) :: acc)
-              t.breakers []
-          in
-          List.sort compare (sessions @ breakers))
-    in
-    let sn = Obs.snapshot ~notes i.obs in
-    let text =
-      match fmt with
-      | `Text -> Obs.Export.to_text sn
-      | `Json -> Obs.Export.to_json sn
-    in
-    Protocol.ok [ String.trim text ]
-  end
-
-let request t conn line =
+let request (t : t) (conn : conn) line =
   if t.stopping then Protocol.err "server is shutting down"
   else begin
     Atomic.incr t.inflight;
@@ -724,14 +191,16 @@ let request t conn line =
             | Error m -> Protocol.err m
             | Ok List -> Protocol.ok (Repo.variant_names t.repo)
             | Ok Ping -> Protocol.ok [ "pong" ]
-            | Ok (Stats fmt) -> do_stats t fmt
-            | Ok (Open v) -> do_open t conn v ~create:false
-            | Ok (New v) -> do_open t conn v ~create:true
-            | Ok Close -> do_close t conn
+            | Ok (Stats fmt) -> Service_admin.do_stats t fmt
+            | Ok (Open { variant; readonly }) ->
+                Service_admin.do_open t conn variant ~create:false ~readonly
+            | Ok (New v) ->
+                Service_admin.do_open t conn v ~create:true ~readonly:false
+            | Ok Close -> Service_admin.do_close t conn
             | Ok Quit ->
-                disconnect t conn;
+                Service_admin.disconnect t conn;
                 Protocol.ok [ "bye" ]
-            | Ok (Command c) -> do_command t conn c
+            | Ok (Command c) -> Service_read.do_command t conn c
           with
           | response -> response
           (* no request may kill its worker thread: locks were released on
@@ -742,83 +211,15 @@ let request t conn line =
         (match response.Protocol.status with
         | Protocol.Ok -> Obs.Metrics.incr i.c_ok
         | Protocol.Err _ -> Obs.Metrics.incr i.c_err
+        | Protocol.Readonly _ -> () (* counted at the rejection site *)
         | Protocol.Busy _ -> () (* already counted at the shed site *));
         Obs.Trace.finish i.tracer sp
           ~status:
             (match response.Protocol.status with
             | Protocol.Ok -> "ok"
             | Protocol.Err _ -> "err"
+            | Protocol.Readonly _ -> "readonly"
             | Protocol.Busy _ -> "busy");
         Obs.Histo.observe i.h_request (t.config.now () -. arrived);
         response)
   end
-
-(* --- reaper and shutdown -------------------------------------------------- *)
-
-(** Snapshot and free sessions idle longer than [idle_timeout]; attached
-    connections learn on their next request.  Returns how many were
-    reaped.  Runs opportunistically: a variant busy right now is skipped
-    (it is not idle). *)
-let reap_idle t =
-  let now = t.config.now () in
-  let candidates =
-    locked t (fun () ->
-        Hashtbl.fold
-          (fun v s acc ->
-            if now -. s.last_used > t.config.idle_timeout then (v, s) :: acc
-            else acc)
-          t.sessions [])
-  in
-  List.fold_left
-    (fun reaped (variant, _) ->
-      let deadline = t.config.now () +. 0.05 in
-      match
-        Locks.with_key ~max_waiters:1 ~sleep:t.config.sleep ~now:t.config.now
-          t.locks variant ~deadline (fun () ->
-            match find_session t variant with
-            | Some s when t.config.now () -. s.last_used > t.config.idle_timeout
-              ->
-                (match snapshot t s with Ok () | Error _ -> ());
-                Hashtbl.reset s.conns;
-                evict t s;
-                Obs.Metrics.incr t.i.c_reaped;
-                true
-            | _ -> false)
-      with
-      | Ok true -> reaped + 1
-      | Ok false | Error _ -> reaped)
-    0 candidates
-
-(** Drain in-flight requests (bounded by [drain_timeout]), snapshot every
-    dirty session, release all locks.  Further requests get [!err].
-    Returns the sessions that failed to snapshot (their journals remain
-    authoritative). *)
-let shutdown t =
-  t.stopping <- true;
-  let give_up = t.config.now () +. t.config.drain_timeout in
-  while Atomic.get t.inflight > 0 && t.config.now () < give_up do
-    t.config.sleep 0.002
-  done;
-  let all =
-    locked t (fun () -> Hashtbl.fold (fun v s acc -> (v, s) :: acc) t.sessions [])
-  in
-  List.filter_map
-    (fun (variant, s) ->
-      let deadline = t.config.now () +. 1.0 in
-      let res =
-        Locks.with_key ~max_waiters:1 ~sleep:t.config.sleep ~now:t.config.now
-          t.locks variant ~deadline (fun () ->
-            let r = snapshot t s in
-            Hashtbl.reset s.conns;
-            evict t s;
-            r)
-      in
-      match res with
-      | Ok (Ok ()) -> None
-      | Ok (Error m) -> Some (variant, m)
-      | Error _ ->
-          (* still busy past the drain budget: free without snapshot; the
-             journal holds every acknowledged op *)
-          (match find_session t variant with Some s -> evict t s | None -> ());
-          Some (variant, "busy at shutdown; journal remains authoritative"))
-    all

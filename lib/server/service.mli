@@ -2,11 +2,17 @@
 
     Serves a multi-variant repository to many concurrent connections; each
     open variant is one shared session (engine state + durable store).
-    Per-variant locks serialize requests, bounded queues and per-request
-    deadlines shed load ([!busy]/[!retry-after]), journal appends are
-    retried with jittered backoff and acknowledged only once durable, and
-    repeated failures trip a per-variant circuit breaker to read-only.
-    Thread-safe: {!request} may be called from any number of threads. *)
+    Mutating requests serialize through a per-variant writer lock with
+    bounded queues and per-request deadlines ([!busy]/[!retry-after]);
+    read-only commands are served {e lock-free} from the variant's
+    published immutable snapshot (single-writer MVCC, see {!Publish} and
+    DESIGN.md §10).  Journal appends are retried with jittered backoff and
+    acknowledged only once durable, and repeated failures trip a
+    per-variant circuit breaker to read-only.  Successful responses carry
+    the variant's publication stamp ([#version], monotone per variant);
+    the writer publishes before acknowledging, so a connection always
+    reads its own acknowledged writes.  Thread-safe: {!request} may be
+    called from any number of threads. *)
 
 type config = {
   request_deadline : float;  (** seconds from arrival to shed *)
@@ -18,11 +24,17 @@ type config = {
   breaker_cooldown : float;
   use_file_locks : bool;  (** advisory [.lock] per variant (real fs only) *)
   retry_after_ms : int;  (** hint sent with [!busy] *)
+  lockfree_reads : bool;
+      (** serve read-class commands from the published snapshot with no
+          variant lock (default [true]); [false] forces every command
+          through the writer lock — the pre-snapshot behavior, kept as a
+          measurable baseline (bench P13) *)
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
       (** test-only: runs inside the variant lock before execution; an
-          exception here models a worker thread killed mid-request *)
+          exception here models a worker thread killed mid-request.  Never
+          fired on the lock-free read path (which holds no lock). *)
 }
 
 val default_config : config
@@ -37,7 +49,7 @@ val open_service :
     [obs] (default: a fresh enabled registry) receives the service's
     counters, latency histograms, and request traces, served back over the
     protocol's [@stats] request; pass [Obs.noop] to disable every
-    instrumentation point ([--no-obs]).  Opening with an enabled registry
+    instrumentation point ([--no-obs]). Opening with an enabled registry
     installs the process-wide session/journal observation hooks. *)
 
 val obs : t -> Obs.t
@@ -56,9 +68,11 @@ val connect : t -> conn
 (** A fresh connection context (one per client). *)
 
 val request : t -> conn -> string -> Protocol.response
-(** Execute one request line on behalf of [conn]; blocks at most
-    [request_deadline] (then sheds).  Mutations are durable when the
-    response is [!ok]. *)
+(** Execute one request line on behalf of [conn]; a mutating request
+    blocks at most [request_deadline] (then sheds), a read-class request
+    never queues.  Mutations are durable when the response is [!ok].  A
+    connection attached with [@open v readonly] gets [!readonly] for any
+    mutating command. *)
 
 val disconnect : t -> conn -> unit
 (** Drop the connection; its session detach behaves like [@close]. *)
@@ -66,8 +80,9 @@ val disconnect : t -> conn -> unit
 val session_count : t -> int
 
 val reap_idle : t -> int
-(** Snapshot and free sessions idle past [idle_timeout]; busy variants are
-    skipped.  Returns how many were reaped. *)
+(** Snapshot and free sessions idle past [idle_timeout]; busy variants —
+    including any with a thread currently reading a published snapshot —
+    are skipped.  Returns how many were reaped. *)
 
 val shutdown : t -> (string * string) list
 (** Drain in-flight requests (bounded by [drain_timeout]), snapshot every

@@ -1,0 +1,353 @@
+(** Shared guts of the service: configuration, instruments, the session and
+    service records, and the helpers every path (read / write / admin)
+    leans on.  The public face is {!Service}; this module has no interface
+    of its own and is not re-exported by {!Server}.
+
+    Concurrency invariants, stated once here and relied on everywhere:
+
+    - [t.mu] guards the [sessions] and [breakers] tables and per-session
+      bookkeeping ([conns]); it is held only for table operations, never
+      across engine or IO work.
+    - A session's [state]/[dirty]/[last_used]/[flock] fields are written
+      only while holding the variant's writer lock ({!with_writer}).
+    - [t.pub] is the lock-free publication table: the writer publishes the
+      committed state after every change and retracts it on eviction;
+      readers run on published snapshots with {e no} lock at all.  The
+      published [Engine.state] is immutable from the reader's point of
+      view (sessions are immutable values; the schema index's memoized
+      diagnostics are the one benign exception, see DESIGN.md §10). *)
+
+module Engine = Designer.Engine
+module Store = Repository.Store
+module Repo = Repository.Repo
+module Io = Repository.Io
+
+type config = {
+  request_deadline : float;  (** seconds from arrival to shed *)
+  max_waiters : int;  (** per-variant queue bound *)
+  idle_timeout : float;  (** reaper frees sessions idle this long *)
+  drain_timeout : float;  (** max wait for in-flight work at shutdown *)
+  retry : Retry.policy;  (** around journal appends and snapshots *)
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  use_file_locks : bool;  (** advisory [.lock] per variant (real fs only) *)
+  retry_after_ms : int;  (** hint sent with [!busy] *)
+  lockfree_reads : bool;
+      (** serve read-only commands from the published snapshot without the
+          variant lock (default); [false] forces every command through the
+          writer lock — the pre-snapshot behavior, kept as a baseline *)
+  now : unit -> float;
+  sleep : float -> unit;
+  chaos_hook : (variant:string -> line:string -> unit) option;
+      (** test-only: runs inside the variant lock before execution; an
+          exception here models a worker thread killed mid-request.  Never
+          fired on the lock-free read path (which holds no lock). *)
+}
+
+let default_config =
+  {
+    request_deadline = 5.0;
+    max_waiters = 8;
+    idle_timeout = 300.0;
+    drain_timeout = 5.0;
+    retry = Retry.default;
+    breaker_threshold = 3;
+    breaker_cooldown = 30.0;
+    use_file_locks = true;
+    retry_after_ms = 100;
+    lockfree_reads = true;
+    now = Unix.gettimeofday;
+    sleep = Thread.delay;
+    chaos_hook = None;
+  }
+
+(* --- instruments ----------------------------------------------------------
+
+   Every counter/histogram the service records into, resolved once at
+   [open_service] so the hot path never looks instruments up by name.  With
+   a disabled registry ([Obs.noop], the [--no-obs] configuration) each of
+   these is a no-op object and every record call is a load and a branch.
+
+   Naming scheme: [swsd.<area>.<name>], [_total] for counters, [_seconds]
+   for latency histograms (exported in ms by the text renderer); dimension-
+   less histograms (queue depth, dirty-set size) carry no suffix. *)
+
+type instruments = {
+  obs : Obs.t;
+  tracer : Obs.Trace.t;
+  c_requests : Obs.Metrics.counter;
+  c_ok : Obs.Metrics.counter;
+  c_err : Obs.Metrics.counter;
+  c_shed_queue : Obs.Metrics.counter;  (** [!busy]: variant queue full *)
+  c_shed_deadline : Obs.Metrics.counter;  (** [!busy]: deadline while queued *)
+  c_readonly_rejected : Obs.Metrics.counter;  (** [!readonly] refusals *)
+  c_breaker_rejected : Obs.Metrics.counter;  (** mutations refused read-only *)
+  c_breaker_trips : Obs.Metrics.counter;  (** closed/half-open → open edges *)
+  c_read_lockfree : Obs.Metrics.counter;
+      (** read-class commands served from the published snapshot *)
+  c_read_fallback : Obs.Metrics.counter;
+      (** read-class commands that went through the writer lock instead
+          (nothing published, eviction race, or [lockfree_reads = false]) *)
+  c_write : Obs.Metrics.counter;  (** write-class commands executed *)
+  c_ops : Obs.Metrics.counter;  (** committed engine operations *)
+  c_opened : Obs.Metrics.counter;  (** sessions loaded from disk *)
+  c_evicted : Obs.Metrics.counter;  (** sessions dropped on failure *)
+  c_reaped : Obs.Metrics.counter;  (** sessions freed by the idle reaper *)
+  c_retries : Obs.Metrics.counter;  (** backoff sleeps inside {!Retry} *)
+  g_sessions : Obs.Metrics.gauge;
+  g_inflight : Obs.Metrics.gauge;
+  h_request : Obs.Histo.t;  (** whole request, arrival to response *)
+  h_read : Obs.Histo.t;  (** read-class command, either path *)
+  h_write : Obs.Histo.t;  (** write-class command, lock wait included *)
+  h_lock_wait : Obs.Histo.t;
+  h_lock_hold : Obs.Histo.t;
+  h_queue_depth : Obs.Histo.t;  (** waiters seen at admission *)
+  h_apply : Obs.Histo.t;  (** engine execution of a command line *)
+  h_check : Obs.Histo.t;  (** incremental consistency report *)
+  h_dirty : Obs.Histo.t;  (** dirty-set size per committed op *)
+  h_respond : Obs.Histo.t;  (** feedback rendering *)
+  h_journal_append : Obs.Histo.t;  (** record + fsync, the commit path *)
+  h_journal_rewrite : Obs.Histo.t;  (** snapshot / repair replace *)
+  h_io_write : Obs.Histo.t;
+  h_io_append : Obs.Histo.t;
+  h_io_fsync : Obs.Histo.t;
+  h_io_rename : Obs.Histo.t;
+}
+
+let make_instruments obs =
+  let c = Obs.counter obs and g = Obs.gauge obs in
+  let h ?lo ?hi name = Obs.histo ?lo ?hi obs name in
+  {
+    obs;
+    tracer = Obs.tracer obs;
+    c_requests = c "swsd.requests_total";
+    c_ok = c "swsd.responses.ok_total";
+    c_err = c "swsd.responses.err_total";
+    c_shed_queue = c "swsd.shed.queue_full_total";
+    c_shed_deadline = c "swsd.shed.deadline_total";
+    c_readonly_rejected = c "swsd.readonly.rejected_total";
+    c_breaker_rejected = c "swsd.breaker.rejected_total";
+    c_breaker_trips = c "swsd.breaker.trips_total";
+    c_read_lockfree = c "swsd.read.lockfree_total";
+    c_read_fallback = c "swsd.read.fallback_total";
+    c_write = c "swsd.write_total";
+    c_ops = c "swsd.engine.ops_total";
+    c_opened = c "swsd.sessions.opened_total";
+    c_evicted = c "swsd.sessions.evicted_total";
+    c_reaped = c "swsd.sessions.reaped_total";
+    c_retries = c "swsd.retry.attempts_total";
+    g_sessions = g "swsd.sessions.open";
+    g_inflight = g "swsd.requests.inflight";
+    h_request = h "swsd.request_seconds";
+    h_read = h "swsd.read_seconds";
+    h_write = h "swsd.write_seconds";
+    h_lock_wait = h "swsd.lock.wait_seconds";
+    h_lock_hold = h "swsd.lock.hold_seconds";
+    h_queue_depth = h ~lo:1.0 ~hi:1e4 "swsd.lock.queue_depth";
+    h_apply = h "swsd.engine.apply_seconds";
+    h_check = h "swsd.engine.check_seconds";
+    h_dirty = h ~lo:1.0 ~hi:1e4 "swsd.engine.dirty_set";
+    h_respond = h "swsd.respond_seconds";
+    h_journal_append = h "swsd.journal.append_seconds";
+    h_journal_rewrite = h "swsd.journal.rewrite_seconds";
+    h_io_write = h "swsd.io.write_seconds";
+    h_io_append = h "swsd.io.append_seconds";
+    h_io_fsync = h "swsd.io.fsync_seconds";
+    h_io_rename = h "swsd.io.rename_seconds";
+  }
+
+type session = {
+  variant : string;
+  store : Store.t;
+  conns : (int, unit) Hashtbl.t;  (** attached connection ids *)
+  mutable state : Engine.state;  (** writer's copy; readers use [t.pub] *)
+  mutable dirty : bool;  (** changes not yet snapshotted *)
+  mutable last_used : float;  (** writer-path activity; reads go to [pub] *)
+  mutable flock : Locks.file_lock option;
+}
+
+type t = {
+  repo : Repo.t;
+  config : config;
+  locks : Locks.t;  (** the per-variant {e writer} locks *)
+  pub : Engine.state Publish.t;
+      (** lock-free snapshot publication, one cell per variant; stamps and
+          epochs survive session eviction *)
+  sessions : (string, session) Hashtbl.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
+      (** per variant, surviving session eviction *)
+  mu : Mutex.t;  (** guards [sessions], [breakers], and session bookkeeping *)
+  inflight : int Atomic.t;
+  conn_ids : int Atomic.t;
+  mutable stopping : bool;
+  rand : Random.State.t;
+  i : instruments;
+}
+
+type conn = {
+  id : int;
+  mutable variant : string option;
+  mutable readonly : bool;  (** attached via [@open v readonly] *)
+}
+
+(* --- small helpers -------------------------------------------------------- *)
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let breaker_of t variant =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.breakers variant with
+      | Some b -> b
+      | None ->
+          let b =
+            Breaker.create ~threshold:t.config.breaker_threshold
+              ~cooldown:t.config.breaker_cooldown ()
+          in
+          Hashtbl.add t.breakers variant b;
+          b)
+
+let shed t (failure : Locks.failure) =
+  match failure with
+  | Locks.Busy n ->
+      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
+        (Printf.sprintf "%d request(s) queued on this variant" n)
+  | Locks.Timed_out ->
+      Protocol.busy ~retry_after_ms:t.config.retry_after_ms
+        "deadline exceeded waiting for the variant"
+
+(** Run [f] holding the variant's writer lock (bounded queue, deadline);
+    sheds with [!busy] on failure.  Every state-changing path goes through
+    here — the lock-free read path never does. *)
+let with_writer t variant f =
+  let i = t.i in
+  let deadline = t.config.now () +. t.config.request_deadline in
+  let arrived = t.config.now () in
+  let observe =
+    if not (Obs.enabled i.obs) then None
+    else
+      Some
+        (fun ~waited ~held ~depth ->
+          Obs.Histo.observe i.h_lock_wait waited;
+          Obs.Histo.observe i.h_lock_hold held;
+          Obs.Histo.observe i.h_queue_depth (float_of_int depth))
+  in
+  (* the wait phase is stamped on entry (not from [observe], which fires
+     after release) so trace phases read in execution order *)
+  let g () =
+    if Obs.enabled i.obs then
+      Obs.Trace.add_phase_current i.tracer "wait" (t.config.now () -. arrived);
+    f ()
+  in
+  match
+    Locks.with_key ~max_waiters:t.config.max_waiters ~sleep:t.config.sleep
+      ~now:t.config.now ?observe t.locks variant ~deadline g
+  with
+  | Ok r -> r
+  | Error failure ->
+      (match failure with
+      | Locks.Busy _ -> Obs.Metrics.incr i.c_shed_queue
+      | Locks.Timed_out -> Obs.Metrics.incr i.c_shed_deadline);
+      shed t failure
+
+let find_session t variant =
+  locked t (fun () -> Hashtbl.find_opt t.sessions variant)
+
+(* Free a session's cross-process lock and drop it from the table; the
+   published snapshot is retracted (epoch flip), so lock-free readers fall
+   back and learn the session is gone.  Caller holds the writer lock;
+   never snapshots. *)
+let evict t (s : session) =
+  locked t (fun () -> Hashtbl.remove t.sessions s.variant);
+  Publish.retract t.pub s.variant;
+  Option.iter Locks.unlock_file s.flock;
+  s.flock <- None
+
+(* Publish the session's current state for lock-free readers; returns the
+   publication stamp.  Caller holds the writer lock. *)
+let publish t (s : session) = Publish.publish t.pub s.variant s.state
+
+(* Snapshot a dirty session through the regular Store path. *)
+let snapshot t (s : session) =
+  if not s.dirty then Ok ()
+  else
+    match
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
+        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
+        t.config.retry
+        (fun () -> Store.save_session s.store s.state.Engine.session)
+    with
+    | Ok () ->
+        s.dirty <- false;
+        Ok ()
+    | Error e -> Error (Printexc.to_string e)
+    | exception e ->
+        (* e.g. an injected crash: atomic whole-file writes keep every
+           artifact whole, and the journal remains authoritative *)
+        Error (Printexc.to_string e)
+
+let feedback_body feedback = List.map Designer.Feedback.to_string feedback
+
+(* --- journal persistence -------------------------------------------------- *)
+
+let step_ops session =
+  List.map
+    (fun (st : Core.Session.step) -> (st.Core.Session.st_kind, st.st_op))
+    (Core.Session.log session)
+
+let step_eq (k1, o1) (k2, o2) = k1 = k2 && Core.Modop.equal o1 o2
+
+let rec common_prefix n a b =
+  match (a, b) with
+  | x :: a', y :: b' when step_eq x y -> common_prefix (n + 1) a' b'
+  | _ -> n
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+
+(** The journal records turning [before]'s log into [after]'s: undos for
+    the popped tail, then the fresh steps.  Ops only push/pop at the tail,
+    so the common prefix characterizes the delta exactly. *)
+let journal_delta ~before ~after =
+  let b = step_ops before and a = step_ops after in
+  let p = common_prefix 0 b a in
+  let undos = List.length b - p in
+  (undos, drop p a)
+
+(* Append the delta, each record through the retry policy; durable (fsync'd
+   per record) on [Ok].  Any failure leaves the on-disk journal in an
+   unknown (possibly torn) state: the caller must evict the session so the
+   next open reloads through recovery. *)
+let persist_delta t s ~before ~after =
+  let undos, adds = journal_delta ~before ~after in
+  let append thunk =
+    match
+      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
+        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
+        t.config.retry thunk
+    with
+    | Ok () -> Ok ()
+    | Error e -> Error e
+  in
+  let rec undo_loop n =
+    if n = 0 then Ok ()
+    else
+      match append (fun () -> Store.append_undo s.store) with
+      | Ok () -> undo_loop (n - 1)
+      | Error _ as e -> e
+  in
+  let rec add_loop = function
+    | [] -> Ok ()
+    | step :: rest -> (
+        match append (fun () -> Store.append_step s.store step) with
+        | Ok () -> add_loop rest
+        | Error _ as e -> e)
+  in
+  if undos = 0 && adds = [] then Ok 0
+  else
+    match undo_loop undos with
+    | Error e -> Error e
+    | Ok () -> (
+        match add_loop adds with
+        | Error e -> Error e
+        | Ok () -> Ok (undos + List.length adds))

@@ -1,0 +1,104 @@
+(** The write path: lock → apply → check → journal → publish, one writer
+    per variant.
+
+    Every command that may change state runs here, as does a read-class
+    command falling back from the lock-free path (nothing published, or
+    [lockfree_reads = false]).  The pipeline for an accepted command:
+
+    + acquire the variant's writer lock ({!Service_types.with_writer});
+    + refuse mutations while the variant's breaker is open;
+    + execute on the engine;
+    + journal the delta (undo records, then fresh steps), each record
+      fsync'd through the retry policy — only a durable delta is
+      acknowledged;
+    + commit the new state to the session {e and publish it} for lock-free
+      readers (publish-before-ack is what gives a connection
+      read-your-writes: by the time it sees [!ok] the snapshot readers
+      serve is at least as new as its write);
+    + answer with the publication stamp as [#version].
+
+    Any persistence failure or mid-flight death degrades the variant's
+    breaker and evicts the session — which also {e retracts} the published
+    snapshot and flips the epoch, so readers fall back and reattach — and
+    the next [@open] reloads from the journal through recovery. *)
+
+open Service_types
+
+let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
+  with_writer t variant (fun () ->
+      match find_session t variant with
+      | None ->
+          conn.variant <- None;
+          Protocol.err "session expired (idle); use @open to resume"
+      | Some s ->
+          let i = t.i in
+          let now = t.config.now () in
+          let breaker = breaker_of t variant in
+          let mutating = Designer.Command.mutates cmd in
+          if mutating && not (Breaker.allows breaker ~now) then begin
+            Obs.Metrics.incr i.c_breaker_rejected;
+            Protocol.err
+              ("variant is read-only: circuit " ^ Breaker.describe breaker)
+          end
+          else
+            (* the on-disk journal state is unknown after a killed worker
+               (chaos hook) or a crash mid-append: degrade the variant and
+               evict the session, so the next @open reloads through
+               recovery *)
+            let degrade_and_evict why =
+              let was_open = Breaker.is_open breaker in
+              Breaker.record_failure breaker ~now:(t.config.now ());
+              if Breaker.is_open breaker && not was_open then
+                Obs.Metrics.incr i.c_breaker_trips;
+              Obs.Metrics.incr i.c_evicted;
+              Hashtbl.reset s.conns;
+              evict t s;
+              conn.variant <- None;
+              Protocol.err why
+            in
+            let run () =
+              (match t.config.chaos_hook with
+              | Some hook -> hook ~variant ~line
+              | None -> ());
+              let before = s.state in
+              let t_apply = t.config.now () in
+              let after, feedback = Engine.exec before cmd in
+              let apply_seconds = t.config.now () -. t_apply in
+              Obs.Histo.observe i.h_apply apply_seconds;
+              Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
+              let persisted =
+                persist_delta t s ~before:before.Engine.session
+                  ~after:after.Engine.session
+              in
+              s.last_used <- t.config.now ();
+              match persisted with
+              | Ok n ->
+                  if n > 0 then
+                    Breaker.record_success breaker ~now:(t.config.now ());
+                  s.state <- after;
+                  if mutating || n > 0 then s.dirty <- true;
+                  (* publish-before-ack; an unchanged state (read-class
+                     fallback, rejected op) keeps the current stamp *)
+                  let version =
+                    if after != before then publish t s
+                    else Publish.seq t.pub variant
+                  in
+                  let t_respond = t.config.now () in
+                  let body = feedback_body feedback in
+                  let respond_seconds = t.config.now () -. t_respond in
+                  Obs.Histo.observe i.h_respond respond_seconds;
+                  Obs.Trace.add_phase_current i.tracer "respond" respond_seconds;
+                  if List.exists Designer.Feedback.is_error feedback then
+                    Protocol.err ~body ~version "command rejected"
+                  else Protocol.ok ~version body
+              | Error e ->
+                  degrade_and_evict
+                    ("persistence failed; operation not accepted; session \
+                      evicted (reopen with @open): " ^ Printexc.to_string e)
+            in
+            (match run () with
+            | response -> response
+            | exception e ->
+                degrade_and_evict
+                  ("request died mid-flight; session evicted: "
+                  ^ Printexc.to_string e)))

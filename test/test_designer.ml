@@ -284,6 +284,110 @@ let save_includes_data () =
       Alcotest.(check bool) "data persisted" true
         (Sys.file_exists (Filename.concat dir "data.objs")))
 
+(* Every Command constructor has a decided service classification.  The
+   [expected] match below is exhaustive with no catch-all — as are
+   [Command.access] and [Command.mutates] themselves — so adding a
+   constructor without deciding its read/write class fails to compile in
+   all three places; this test then pins the decisions at run time. *)
+let command_classification () =
+  let module C = Designer.Command in
+  let op =
+    match C.parse "apply add_attribute(Person, string, 8, x)" with
+    | C.Apply op -> op
+    | _ -> Alcotest.fail "apply should parse to Apply"
+    | exception C.Bad_command m -> Alcotest.fail m
+  in
+  let expected (c : C.t) =
+    match c with
+    (* pure reads: lock-free against the published snapshot *)
+    | C.Concepts -> (C.Read, false)
+    | C.Show _ -> (C.Read, false)
+    | C.Odl _ -> (C.Read, false)
+    | C.Print_schema -> (C.Read, false)
+    | C.Summary -> (C.Read, false)
+    | C.Preview _ -> (C.Read, false)
+    | C.Plan _ -> (C.Read, false)
+    | C.Check -> (C.Read, false)
+    | C.Quality -> (C.Read, false)
+    | C.Todo -> (C.Read, false)
+    | C.Migrate_data -> (C.Read, false)
+    | C.Query _ -> (C.Read, false)
+    | C.Mapping -> (C.Read, false)
+    | C.Impact -> (C.Read, false)
+    | C.Custom _ -> (C.Read, false)
+    | C.Explain _ -> (C.Read, false)
+    | C.List_aliases -> (C.Read, false)
+    | C.Log -> (C.Read, false)
+    | C.Rules -> (C.Read, false)
+    | C.Help -> (C.Read, false)
+    (* design mutations: writer lock, refused on readonly connections *)
+    | C.Apply _ -> (C.Write, true)
+    | C.Undo -> (C.Write, true)
+    | C.Redo -> (C.Write, true)
+    | C.Alias _ -> (C.Write, true)
+    | C.Unalias _ -> (C.Write, true)
+    | C.Source _ -> (C.Write, true)
+    | C.Save _ -> (C.Write, true)
+    | C.Load_data _ -> (C.Write, true)
+    (* engine-state changes that are not design mutations: the writer
+       lock, but allowed readonly *)
+    | C.Focus _ -> (C.Write, false)
+    | C.Quit -> (C.Write, false)
+  in
+  let samples =
+    [
+      ("concepts", C.Concepts);
+      ("focus", C.Focus "ww:Person");
+      ("show", C.Show None);
+      ("show <c>", C.Show (Some "ww:Person"));
+      ("odl", C.Odl "ww:Person");
+      ("schema", C.Print_schema);
+      ("summary", C.Summary);
+      ("apply", C.Apply op);
+      ("preview", C.Preview op);
+      ("plan", C.Plan op);
+      ("undo", C.Undo);
+      ("redo", C.Redo);
+      ("source", C.Source "cmds.txt");
+      ("check", C.Check);
+      ("quality", C.Quality);
+      ("todo", C.Todo);
+      ("data", C.Load_data "objs");
+      ("migrate", C.Migrate_data);
+      ("select", C.Query "select Person");
+      ("mapping", C.Mapping);
+      ("impact", C.Impact);
+      ("custom", C.Custom None);
+      ("custom <n>", C.Custom (Some "mine"));
+      ("explain", C.Explain None);
+      ("explain <r>", C.Explain (Some "r1"));
+      ("alias", C.Alias ("aa", "apply add_attribute"));
+      ("unalias", C.Unalias "aa");
+      ("aliases", C.List_aliases);
+      ("log", C.Log);
+      ("rules", C.Rules);
+      ("save", C.Save "/tmp/out");
+      ("help", C.Help);
+      ("quit", C.Quit);
+    ]
+  in
+  List.iter
+    (fun (name, c) ->
+      let acc, mut = expected c in
+      Alcotest.(check bool)
+        (name ^ ": access")
+        (acc = C.Write)
+        (C.access c = C.Write);
+      Alcotest.(check bool) (name ^ ": mutates") mut (C.mutates c);
+      (* the invariant the service relies on: every mutating command goes
+         through the writer lock — nothing mutating may classify Read *)
+      if C.mutates c then
+        Alcotest.(check bool)
+          (name ^ ": mutating implies write-class")
+          true
+          (C.access c = C.Write))
+    samples
+
 let tests =
   [
     test "concepts lists all" concepts_lists_all;
@@ -300,6 +404,8 @@ let tests =
     test "custom with a name" custom_named;
     test "summary and schema" summary_and_schema;
     test "bad commands" bad_commands;
+    test "every command constructor has a decided service classification"
+      command_classification;
     test "quit finishes" quit_finishes;
     test "help lists commands" help_lists_commands;
     test "log after apply" log_after_apply;

@@ -55,7 +55,13 @@ let parse_requests () =
     | Result.Error m -> Alcotest.failf "%s: %s" l m
   in
   ok "@list" Protocol.List;
-  ok "  @open night_school " (Protocol.Open "night_school");
+  ok "  @open night_school "
+    (Protocol.Open { variant = "night_school"; readonly = false });
+  ok "@open night_school readonly"
+    (Protocol.Open { variant = "night_school"; readonly = true });
+  (match Protocol.parse_request "@open night_school sideways" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "bad @open mode must be rejected");
   ok "@new v1" (Protocol.New "v1");
   ok "@close" Protocol.Close;
   ok "@ping" Protocol.Ping;
@@ -81,14 +87,21 @@ let render_responses () =
   Alcotest.(check string) "busy is two lines"
     "!busy queue full\n!retry-after 250\n"
     (Protocol.to_string (Protocol.busy ~retry_after_ms:250 "queue full"));
+  Alcotest.(check string) "readonly" "!readonly no writes\n"
+    (Protocol.to_string (Protocol.readonly "no writes"));
+  Alcotest.(check string) "version meta line precedes the status"
+    ". a\n#version 7\n!ok\n"
+    (Protocol.to_string (Protocol.ok ~version:7 [ "a" ]));
   List.iter
     (fun (line, expect) ->
       Alcotest.(check bool) line expect (Protocol.is_terminator line))
     [
       ("!ok", true);
       ("!err nope", true);
+      ("!readonly no writes", true);
       ("!retry-after 100", true);
       ("!busy queue full", false);
+      ("#version 7", false);
       (". body", false);
     ]
 
@@ -286,7 +299,8 @@ let quick_retry =
   { Retry.max_attempts = 3; base_delay = 0.0002; max_delay = 0.001; jitter = 0.5 }
 
 let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
-    ?(idle = 300.0) ?(threshold = 3) ?(cooldown = 30.0) ?chaos_hook () =
+    ?(idle = 300.0) ?(threshold = 3) ?(cooldown = 30.0)
+    ?(lockfree_reads = true) ?chaos_hook () =
   {
     Service.request_deadline = deadline;
     max_waiters;
@@ -297,6 +311,7 @@ let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     breaker_cooldown = cooldown;
     use_file_locks = false (* lockf needs a real fd; mem fs has none *);
     retry_after_ms = 25;
+    lockfree_reads;
     now = Option.value now ~default:Unix.gettimeofday;
     sleep = Option.value sleep ~default:Thread.delay;
     chaos_hook;
@@ -447,9 +462,15 @@ let blocked_variant ~max_waiters ~deadline k =
           Thread.join slow)
         (fun () -> k t b))
 
+(* [focus] is write-class (it moves the shared cursor) but non-mutating:
+   the cheapest probe that must queue on the writer lock. *)
 let backpressure_sheds () =
   blocked_variant ~max_waiters:0 ~deadline:5.0 (fun t b ->
-      match (Service.request t b "summary").Protocol.status with
+      (* a read-class command bypasses the full queue entirely *)
+      (match (Service.request t b "summary").Protocol.status with
+      | Protocol.Ok -> ()
+      | _ -> Alcotest.fail "reads must not queue behind a blocked writer");
+      match (Service.request t b "focus ww:Course").Protocol.status with
       | Protocol.Busy { retry_after_ms; reason } ->
           Alcotest.(check int) "advertises the configured backoff" 25
             retry_after_ms;
@@ -459,7 +480,7 @@ let backpressure_sheds () =
 
 let deadline_sheds () =
   blocked_variant ~max_waiters:8 ~deadline:0.08 (fun t b ->
-      match (Service.request t b "summary").Protocol.status with
+      match (Service.request t b "focus ww:Course").Protocol.status with
       | Protocol.Busy { reason; _ } ->
           Alcotest.(check bool) "names the deadline" true
             (Str_contains.contains reason "deadline")
@@ -620,10 +641,18 @@ let distinct_variants_parallel () =
 (* --- chaos: concurrent clients over a crashing filesystem ------------------ *)
 
 (* One chaos schedule: 3 clients race 3 ops each onto the shared variant
-   while (a) the filesystem crashes at a seed-chosen syscall and (b) a
-   seed-chosen subset of requests has its worker killed mid-flight.  Then:
-   power loss, salvage, and the recovered journal must contain every
-   acknowledged op, per client in order, with a clean re-fsck. *)
+   while (a) the filesystem crashes at a seed-chosen syscall, (b) a
+   seed-chosen subset of requests has its worker killed mid-flight, and
+   (c) two readonly readers hammer the published snapshot throughout —
+   every successful read must carry a never-backwards version stamp and a
+   schema that passes the full consistency checker (snapshot isolation),
+   and every writer must read its own acknowledged writes.  Then: power
+   loss, salvage, and the recovered journal must contain every
+   acknowledged op, per client in order, with a clean re-fsck.
+
+   Assertions made on worker threads are collected into [first_error]
+   (an Alcotest failure raised off the main thread would vanish with its
+   thread) and re-raised on the main thread after the joins. *)
 let chaos_schedule seed =
   let m = Io.mem_create () in
   let plain = Io.locked (Io.mem_io m) in
@@ -646,6 +675,59 @@ let chaos_schedule seed =
   let t = service ~config io in
   let clients = 3 and ops = 3 in
   let acked = Array.make clients [] in
+  let first_error = Atomic.make None in
+  let record fmt =
+    Printf.ksprintf
+      (fun m -> ignore (Atomic.compare_and_set first_error None (Some m)))
+      fmt
+  in
+  let writers_done = Atomic.make false in
+  let readers =
+    List.init 2 (fun ri ->
+        Thread.create
+          (fun () ->
+            let c = Service.connect t in
+            ignore (Service.request t c "@open v readonly");
+            let last = ref 0 in
+            let flip = ref false in
+            while not (Atomic.get writers_done) do
+              flip := not !flip;
+              let line = if !flip then "check" else "summary" in
+              let r = Service.request t c line in
+              (match r.Protocol.status with
+              | Protocol.Ok -> (
+                  (match r.Protocol.version with
+                  | Some v ->
+                      if v < !last then
+                        record
+                          "seed %d reader %d: version went backwards (%d \
+                           after %d)"
+                          seed ri v !last
+                      else last := v
+                  | None ->
+                      record "seed %d reader %d: read response without #version"
+                        seed ri);
+                  if line = "check" then
+                    List.iter
+                      (fun b ->
+                        if Str_contains.contains b "error [" then
+                          record
+                            "seed %d reader %d: torn read — snapshot failed \
+                             the consistency checker: %s"
+                            seed ri b)
+                      r.Protocol.body)
+              | Protocol.Err _ ->
+                  (* evicted/expired under chaos: reattach and continue *)
+                  ignore (Service.request t c "@open v readonly")
+              | Protocol.Readonly m ->
+                  record "seed %d reader %d: read refused as mutating: %s" seed
+                    ri m
+              | Protocol.Busy _ -> Thread.delay 0.0005);
+              Thread.delay 0.0002
+            done;
+            Service.disconnect t c)
+          ())
+  in
   let threads =
     List.init clients (fun i ->
         Thread.create
@@ -661,7 +743,22 @@ let chaos_schedule seed =
                   ignore (Service.request t c "focus ww:Person");
                   let r = Service.request t c (apply_line name) in
                   match r.Protocol.status with
-                  | Protocol.Ok -> acked.(i) <- name :: acked.(i)
+                  | Protocol.Ok -> (
+                      acked.(i) <- name :: acked.(i);
+                      (* read-your-writes: a later read on this connection
+                         must see at least the acked write's stamp *)
+                      match r.Protocol.version with
+                      | None ->
+                          record "seed %d: acked write without #version" seed
+                      | Some vw -> (
+                          let r2 = Service.request t c "log" in
+                          match (r2.Protocol.status, r2.Protocol.version) with
+                          | Protocol.Ok, Some vr when vr < vw ->
+                              record
+                                "seed %d client %d: read-your-writes violated \
+                                 (read %d after write %d)"
+                                seed i vr vw
+                          | _ -> ()))
                   | Protocol.Err m when Str_contains.contains m "rejected" ->
                       (* the engine refused it — e.g. a crashed-but-written
                          earlier attempt replayed into the reopened session.
@@ -678,6 +775,11 @@ let chaos_schedule seed =
           ())
   in
   List.iter Thread.join threads;
+  Atomic.set writers_done true;
+  List.iter Thread.join readers;
+  (match Atomic.get first_error with
+  | Some m -> Alcotest.fail m
+  | None -> ());
   ignore (Service.shutdown t);
   (* power loss, then recovery with the fault injector unplugged *)
   Io.mem_crash ~flush:seed m;
@@ -888,6 +990,203 @@ let variant_names_sorted () =
         [ "alpha"; "mid"; "zeta" ]
         (Repo.variant_names repo)
 
+(* --- snapshot concurrency: the lock-free read path ------------------------- *)
+
+let readonly_connection () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let ro = Service.connect t and rw = Service.connect t in
+  let r = Service.request t ro "@open v readonly" in
+  (match r.Protocol.status with
+  | Protocol.Ok -> ()
+  | _ -> Alcotest.failf "readonly open failed: %s" (Protocol.to_string r));
+  Alcotest.(check bool) "attach announces readonly" true
+    (List.exists (fun l -> Str_contains.contains l "readonly") r.Protocol.body);
+  (* reads flow, and so does focus (write-class but not mutating) *)
+  ignore (req_ok t ro "summary");
+  ignore (req_ok t ro "check");
+  ignore (req_ok t ro "focus ww:Person");
+  (* mutations get !readonly — a distinct status, not a generic !err *)
+  let refused line =
+    let r = Service.request t ro line in
+    match r.Protocol.status with
+    | Protocol.Readonly m ->
+        Alcotest.(check bool) "refusal says how to get write access" true
+          (Str_contains.contains m "reopen")
+    | _ -> Alcotest.failf "%s not refused: %s" line (Protocol.to_string r)
+  in
+  refused (apply_line "nickname");
+  refused "undo";
+  refused "alias nick nickname";
+  (* the refusal is connection-scoped: the variant stays writable *)
+  ignore (req_ok t rw "@open v");
+  ignore (req_ok t rw "focus ww:Person");
+  ignore (req_ok t rw (apply_line "nickname"));
+  (* ...and the readonly reader sees the committed write *)
+  Alcotest.(check bool) "reader sees the committed write" true
+    (List.exists
+       (fun l -> Str_contains.contains l "nickname)")
+       (req_ok t ro "log"));
+  let sn = Obs.snapshot (Service.obs t) in
+  (match List.assoc_opt "swsd.readonly.rejected_total" sn.Obs.sn_counters with
+  | Some n when n >= 3 -> ()
+  | v ->
+      Alcotest.failf "readonly rejections miscounted: %s"
+        (match v with Some n -> string_of_int n | None -> "absent"));
+  (* reopening without readonly restores write access *)
+  ignore (req_ok t ro "@close");
+  ignore (req_ok t ro "@open v");
+  ignore (req_ok t ro "focus ww:Course");
+  ignore (req_ok t ro (apply_line "credits_note"));
+  ignore (Service.shutdown t)
+
+let version_stamps () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  let version line =
+    let r = Service.request t c line in
+    match (r.Protocol.status, r.Protocol.version) with
+    | Protocol.Ok, Some v -> v
+    | Protocol.Ok, None -> Alcotest.failf "%s: !ok without #version" line
+    | _ -> Alcotest.failf "%s failed: %s" line (Protocol.to_string r)
+  in
+  let v0 = version "@open v" in
+  Alcotest.(check bool) "first publication stamps from 1" true (v0 >= 1);
+  Alcotest.(check int) "a read does not advance the stamp" v0 (version "summary");
+  let v1 = version "focus ww:Person" in
+  Alcotest.(check bool) "a state change advances the stamp" true (v1 > v0);
+  let v2 = version (apply_line "nickname") in
+  Alcotest.(check bool) "a write advances the stamp" true (v2 > v1);
+  Alcotest.(check bool) "read-your-writes" true (version "log" >= v2);
+  let v3 = version "undo" in
+  Alcotest.(check bool) "undo publishes a new state" true (v3 > v2);
+  (* a rejected op responds with the stamp left where it was *)
+  let r = Service.request t c "apply add_attribute(NoSuch, string, 8, x)" in
+  (match (r.Protocol.status, r.Protocol.version) with
+  | Protocol.Err _, Some v ->
+      Alcotest.(check int) "rejected op keeps the stamp" v3 v
+  | _ -> Alcotest.failf "bad apply should be !err with #version");
+  (* the stamp survives eviction: @close frees the session (and retracts
+     the snapshot); reopening reloads and republishes strictly above *)
+  ignore (req_ok t c "@close");
+  Alcotest.(check int) "session freed" 0 (Service.session_count t);
+  let v4 = version "@open v" in
+  Alcotest.(check bool) "stamps stay monotone across eviction" true (v4 > v3);
+  ignore (Service.shutdown t)
+
+let read_path_counters () =
+  let run lockfree =
+    let _, io = mem_repo () in
+    let t = service ~config:(quick_config ~lockfree_reads:lockfree ()) io in
+    let c = Service.connect t in
+    ignore (req_ok t c "@open v");
+    ignore (req_ok t c "summary");
+    ignore (req_ok t c "check");
+    ignore (req_ok t c "focus ww:Person");
+    ignore (req_ok t c (apply_line "nickname"));
+    let sn = Obs.snapshot (Service.obs t) in
+    ignore (Service.shutdown t);
+    let n name =
+      match List.assoc_opt name sn.Obs.sn_counters with Some v -> v | None -> 0
+    in
+    let histos name =
+      match List.assoc_opt name sn.Obs.sn_histos with
+      | Some h -> h.Obs.Histo.s_count
+      | None -> 0
+    in
+    ( n "swsd.read.lockfree_total",
+      n "swsd.read.fallback_total",
+      n "swsd.write_total",
+      histos "swsd.read_seconds",
+      histos "swsd.write_seconds" )
+  in
+  let lf, fb, w, hr, hw = run true in
+  Alcotest.(check int) "lock-free serves both reads" 2 lf;
+  Alcotest.(check int) "no fallbacks with a live snapshot" 0 fb;
+  Alcotest.(check int) "focus and apply are writes" 2 w;
+  Alcotest.(check int) "read latencies recorded" 2 hr;
+  Alcotest.(check int) "write latencies recorded" 2 hw;
+  let lf, fb, w, hr, hw = run false in
+  Alcotest.(check int) "toggled off: nothing lock-free" 0 lf;
+  Alcotest.(check int) "toggled off: reads fall back to the lock" 2 fb;
+  Alcotest.(check int) "toggled off: writes unchanged" 2 w;
+  Alcotest.(check int) "toggled off: reads still timed as reads" 2 hr;
+  Alcotest.(check int) "toggled off: write timings unchanged" 2 hw
+
+(* Snapshot isolation without chaos: three readonly readers hammer the
+   snapshot while one writer storms; every read must be a consistent
+   schema with a never-backwards stamp, and none may fail or shed. *)
+let snapshot_isolation_storm () =
+  with_watchdog ~secs:60.0 ~name:"snapshot isolation storm" (fun () ->
+      let _, io = mem_repo () in
+      let t = service ~config:(quick_config ~deadline:10.0 ()) io in
+      let first_error = Atomic.make None in
+      let record fmt =
+        Printf.ksprintf
+          (fun m -> ignore (Atomic.compare_and_set first_error None (Some m)))
+          fmt
+      in
+      let storm_done = Atomic.make false in
+      let reads = Atomic.make 0 in
+      let readers =
+        List.init 3 (fun ri ->
+            Thread.create
+              (fun () ->
+                let c = Service.connect t in
+                ignore (Service.request t c "@open v readonly");
+                let last = ref 0 in
+                let flip = ref false in
+                while not (Atomic.get storm_done) do
+                  flip := not !flip;
+                  let line = if !flip then "check" else "summary" in
+                  let r = Service.request t c line in
+                  (match r.Protocol.status with
+                  | Protocol.Ok ->
+                      Atomic.incr reads;
+                      (match r.Protocol.version with
+                      | Some v when v >= !last -> last := v
+                      | Some v ->
+                          record "reader %d: version backwards (%d after %d)"
+                            ri v !last
+                      | None -> record "reader %d: read without #version" ri);
+                      if line = "check" then
+                        List.iter
+                          (fun b ->
+                            if Str_contains.contains b "error [" then
+                              record "reader %d: torn read: %s" ri b)
+                          r.Protocol.body
+                  | _ ->
+                      record "reader %d: read failed under storm: %s" ri
+                        (Protocol.to_string r));
+                  Thread.yield ()
+                done;
+                Service.disconnect t c)
+              ())
+      in
+      let c = Service.connect t in
+      ignore (req_ok t c "@open v");
+      ignore (req_ok t c "focus ww:Person");
+      (* the mem fs never blocks, so on one core the storm could finish
+         before any reader thread is scheduled: wait for all three to be
+         reading, and yield between writes to keep them interleaved *)
+      while Atomic.get reads < 3 do
+        Thread.yield ()
+      done;
+      for k = 1 to 30 do
+        ignore (req_ok t c (apply_line (Printf.sprintf "storm_%d" k)));
+        if k mod 5 = 0 then ignore (req_ok t c "undo");
+        Thread.yield ()
+      done;
+      Atomic.set storm_done true;
+      List.iter Thread.join readers;
+      (match Atomic.get first_error with
+      | Some m -> Alcotest.fail m
+      | None -> ());
+      Alcotest.(check bool) "readers actually overlapped the storm" true
+        (Atomic.get reads > 0);
+      ignore (Service.shutdown t))
+
 (* --- @stats (observability end to end) ------------------------------------- *)
 
 let stats_snapshot () =
@@ -940,6 +1239,15 @@ let stats_snapshot () =
     (histo_count "swsd.request_seconds" > 0);
   Alcotest.(check bool) "consistency checks timed" true
     (histo_count "swsd.engine.check_seconds" > 0);
+  (* the read/write split: "check" above was served lock-free, the focus
+     and apply went through the writer lock *)
+  Alcotest.(check bool) "lock-free reads counted" true
+    (counter "swsd.read.lockfree_total" > 0);
+  Alcotest.(check bool) "writes counted" true (counter "swsd.write_total" > 0);
+  Alcotest.(check bool) "read latencies recorded" true
+    (histo_count "swsd.read_seconds" > 0);
+  Alcotest.(check bool) "write latencies recorded" true
+    (histo_count "swsd.write_seconds" > 0);
   (* JSON rendering round-trips through the wire protocol in one body *)
   let json = String.concat "\n" (req_ok t c "@stats json") in
   Alcotest.(check bool) "json has counters" true
@@ -982,6 +1290,13 @@ let tests =
     test "service: deadline expiry sheds with !busy" deadline_sheds;
     test "service: journal failures degrade the variant to read-only"
       breaker_degrades_variant;
+    test "service: readonly connections read but never write" readonly_connection;
+    test "service: #version stamps are monotone and read-your-writes"
+      version_stamps;
+    test "service: read/write paths counted, lockfree toggle falls back"
+      read_path_counters;
+    test "service: snapshot isolation holds under a writer storm"
+      snapshot_isolation_storm;
     test "locks: same-variant requests serialize (journal intact)"
       same_variant_serializes;
     test "locks: distinct variants run in parallel" distinct_variants_parallel;
