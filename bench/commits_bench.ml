@@ -1,0 +1,282 @@
+(* P14: group commit under concurrent writers.
+
+   The claim under test: batching concurrent writers' journal records into
+   one fsync amortizes the dominant write cost, so write throughput scales
+   with the writer count instead of being pinned at ~1/fsync-latency.
+   One variant, W writer connections ([1; 8; 16]), each looping one
+   mutation at a time (the protocol allows one in-flight op per
+   connection, so W is also the largest batch a flush can see).  Each
+   cell runs for a fixed wall-clock window and is measured twice: with
+   group commit (the default) and with [group_commit = false], the
+   per-record-fsync baseline.
+
+   The repository lives on the in-memory filesystem with an injected
+   per-fsync delay (default 5 ms) modelling a real disk, wrapped outside
+   the serializing [Io.locked] layer so it stalls only the fsyncing
+   thread.  Writers alternate adding and deleting a per-writer attribute,
+   so the schema — and the cost of an engine step — stays the same size
+   however long the cell runs.
+
+   Reported per cell: writes/s, write p99.  Two regression gates (exit 1):
+
+   - throughput: group commit must deliver >= 10x the per-op-fsync
+     writes/s at the 16-writer cell.  With one op in flight per writer
+     the best possible speedup at W writers is W, so the ">=10x at 8+
+     writers" claim is evaluated at the 16-writer level; the 8-writer
+     ratio is reported (its ceiling is 8x).
+   - latency: group-commit write p99 at 16 writers must stay within one
+     batch interval — linger + 2 fsyncs (a writer landing just after a
+     flush started waits out that flush, its own batch's linger, and its
+     own batch's fsync) — plus a small scheduling allowance.
+
+   Knobs: SWSD_COMMITS_SECS (seconds per cell, default 2.0),
+   SWSD_COMMITS_FSYNC_MS (injected fsync delay, default 5). *)
+
+module Io = Repository.Io
+module Repo = Repository.Repo
+module Service = Server.Service
+module Protocol = Server.Protocol
+
+let schema_text =
+  "interface Person { attribute string name; attribute int age; };\n\
+   interface Course { attribute string title; attribute string code; };"
+
+let levels = [ 1; 8; 16 ]
+let gate_level = 16
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+let cell_secs () = env_float "SWSD_COMMITS_SECS" 2.0
+let fsync_delay () = env_float "SWSD_COMMITS_FSYNC_MS" 5.0 /. 1000.0
+let linger = 0.002
+
+let config ~group =
+  {
+    Service.default_config with
+    Service.use_file_locks = false;
+    group_commit = group;
+    flush_linger = linger;
+    (* every writer fits in one batch and nobody is shed: the cell
+       measures the commit path, not admission control *)
+    flush_max_batch = 64;
+    max_waiters = 64;
+    request_deadline = 30.0;
+  }
+
+(* A one-variant mem-fs service whose fsyncs stall like a disk's.  The
+   delay wraps *outside* the serializing [Io.locked] layer, so it blocks
+   only the fsyncing thread (as a real fsync would), not all I/O. *)
+let fresh_service ~group =
+  let m = Io.mem_create () in
+  let io = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io "/repo" (Odl.Parser.parse_schema schema_text) with
+  | Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Ok _ -> ()
+      | Error e -> failwith e)
+  | Error e -> failwith e);
+  let d = fsync_delay () in
+  let io =
+    { io with Io.fsync = (fun p -> Thread.delay d; io.Io.fsync p) }
+  in
+  match Service.open_service ~config:(config ~group) ~obs:Obs.noop ~io "/repo" with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let must t c line =
+  let r = Service.request t c line in
+  match r.Protocol.status with
+  | Protocol.Ok -> ()
+  | _ -> failwith (Printf.sprintf "%s failed: %s" line (Protocol.to_string r))
+
+(* Writer [w] alternately adds and deletes its own attribute: every op is
+   accepted, every op journals exactly one record, and the schema size is
+   constant (undo is unusable here — it pops the session-global op, not
+   the connection's own). *)
+let write_line ~w k =
+  if k land 1 = 0 then
+    Printf.sprintf "apply add_attribute(Person, string, 8, w%d)" w
+  else Printf.sprintf "apply delete_attribute(Person, w%d)" w
+
+type lats = { mutable xs : float list; mutable n : int }
+
+let lats () = { xs = []; n = 0 }
+
+let observe l dt =
+  l.xs <- dt :: l.xs;
+  l.n <- l.n + 1
+
+let timed t c line l =
+  let t0 = Unix.gettimeofday () in
+  must t c line;
+  observe l (Unix.gettimeofday () -. t0)
+
+let p99_ms l =
+  match l.xs with
+  | [] -> 0.0
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      a.(min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+      *. 1000.0
+
+type cell = {
+  writers : int;
+  group : bool;
+  writes : int;
+  writes_per_s : float;
+  write_p99_ms : float;
+}
+
+let measure ~writers ~group =
+  let t = fresh_service ~group in
+  let secs = cell_secs () in
+  let per_writer = Array.init writers (fun _ -> lats ()) in
+  let ready = Atomic.make 0 and go = Atomic.make false in
+  let t_end = ref infinity in
+  let threads =
+    Array.mapi
+      (fun w l ->
+        Thread.create
+          (fun () ->
+            let c = Service.connect t in
+            must t c "@open v";
+            must t c "focus ww:Person";
+            (* untimed warmup: bootstrap the commit lane, let the batch
+               heuristics calibrate, and absorb first-touch costs (thread
+               stacks, heap growth) outside the measured window; one
+               add/delete pair leaves the schema as found *)
+            must t c (write_line ~w 0);
+            must t c (write_line ~w 1);
+            Atomic.incr ready;
+            while not (Atomic.get go) do
+              Thread.yield ()
+            done;
+            let k = ref 0 in
+            while Unix.gettimeofday () < !t_end do
+              timed t c (write_line ~w !k) l;
+              incr k
+            done;
+            Service.disconnect t c)
+          ())
+      per_writer
+  in
+  while Atomic.get ready < writers do
+    Thread.yield ()
+  done;
+  t_end := Unix.gettimeofday () +. secs;
+  Atomic.set go true;
+  Array.iter Thread.join threads;
+  ignore (Service.shutdown t);
+  let all = lats () in
+  Array.iter (fun l -> List.iter (observe all) l.xs) per_writer;
+  {
+    writers;
+    group;
+    writes = all.n;
+    writes_per_s = float_of_int all.n /. secs;
+    write_p99_ms = p99_ms all;
+  }
+
+let run ~json_path () =
+  Printf.printf
+    "P14: group commit, concurrent writers, one variant, %.0f ms injected \
+     fsync\n"
+    (fsync_delay () *. 1000.0);
+  Printf.printf "  %-8s %-8s %12s %15s\n" "writers" "mode" "writes/s"
+    "write p99 (ms)";
+  let cells =
+    List.concat_map
+      (fun writers ->
+        List.map
+          (fun group ->
+            let c = measure ~writers ~group in
+            Printf.printf "  %-8d %-8s %12.0f %15.3f\n%!" c.writers
+              (if c.group then "group" else "per-op")
+              c.writes_per_s c.write_p99_ms;
+            c)
+          [ true; false ])
+      levels
+  in
+  let find ~writers ~group =
+    List.find (fun c -> c.writers = writers && c.group = group) cells
+  in
+  let speedup_at w =
+    let g = find ~writers:w ~group:true
+    and p = find ~writers:w ~group:false in
+    if p.writes_per_s > 0.0 then g.writes_per_s /. p.writes_per_s else 0.0
+  in
+  let speedup8 = speedup_at 8 and speedup16 = speedup_at gate_level in
+  Printf.printf
+    "\n  write speedup, group vs per-op: %.2fx at 8 writers (ceiling 8x), \
+     %.2fx at %d writers\n"
+    speedup8 speedup16 gate_level;
+  (* gate 1: amortization must actually happen at scale *)
+  let min_speedup = 10.0 in
+  let too_slow = speedup16 < min_speedup in
+  (* gate 2: a batched writer's p99 stays within one batch interval *)
+  let g16 = find ~writers:gate_level ~group:true in
+  let interval_ms = ((2.0 *. fsync_delay ()) +. linger) *. 1000.0 in
+  let budget_ms = interval_ms +. 3.0 (* scheduling allowance *) in
+  let too_laggy = g16.write_p99_ms > budget_ms in
+  Printf.printf
+    "  write p99 at %d writers (group): %.3f ms; batch interval %.3f ms \
+     (budget %.3f ms)\n"
+    gate_level g16.write_p99_ms interval_ms budget_ms;
+  let entry c =
+    Printf.sprintf
+      "    { \"writers\": %d, \"mode\": \"%s\", \"writes\": %d, \
+       \"writes_per_s\": %.1f, \"write_p99_ms\": %.3f }"
+      c.writers
+      (if c.group then "group" else "per-op")
+      c.writes c.writes_per_s c.write_p99_ms
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"P14 group commit (concurrent writers)\",";
+        "  \"setup\": \"one variant, mem fs with injected fsync delay; W \
+         writer connections each looping one accepted mutation at a time; \
+         group commit vs per-record fsync\",";
+        Printf.sprintf "  \"seconds_per_cell\": %.2f," (cell_secs ());
+        Printf.sprintf "  \"fsync_delay_ms\": %.1f,"
+          (fsync_delay () *. 1000.0);
+        Printf.sprintf "  \"flush_linger_ms\": %.1f," (linger *. 1000.0);
+        Printf.sprintf "  \"write_speedup_8\": %.2f," speedup8;
+        Printf.sprintf "  \"write_speedup_%d\": %.2f," gate_level speedup16;
+        Printf.sprintf
+          "  \"throughput_gate\": { \"writers\": %d, \"speedup\": %.2f, \
+           \"min_speedup\": %.1f, \"passed\": %b },"
+          gate_level speedup16 min_speedup (not too_slow);
+        Printf.sprintf
+          "  \"p99_gate\": { \"writers\": %d, \"write_p99_ms\": %.3f, \
+           \"batch_interval_ms\": %.3f, \"budget_ms\": %.3f, \"passed\": \
+           %b },"
+          gate_level g16.write_p99_ms interval_ms budget_ms (not too_laggy);
+        "  \"results\": [";
+        String.concat ",\n" (List.map entry cells);
+        "  ]";
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  if too_slow then
+    Printf.printf
+      "FAIL: group-commit write throughput at %d writers is %.2fx the \
+       per-op-fsync baseline (< %.1fx)\n"
+      gate_level speedup16 min_speedup;
+  if too_laggy then
+    Printf.printf
+      "FAIL: group-commit write p99 at %d writers (%.3f ms) exceeds one \
+       batch interval (budget %.3f ms)\n"
+      gate_level g16.write_p99_ms budget_ms;
+  if too_slow || too_laggy then exit 1

@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- --server  P11 only; writes BENCH_server.json
      dune exec bench/main.exe -- --obs     P12 only; writes BENCH_obs.json
      dune exec bench/main.exe -- --reads   P13 only; writes BENCH_reads.json
+     dune exec bench/main.exe -- --commits P14 only; writes BENCH_commits.json
 *)
 
 let () =
@@ -20,10 +21,12 @@ let () =
   let server = List.mem "--server" args in
   let obs = List.mem "--obs" args in
   let reads = List.mem "--reads" args in
+  let commits = List.mem "--commits" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
   if journal then Perf.run_journal ~json_path:"BENCH_journal.json" ();
   if server then Server_bench.run ~json_path:"BENCH_server.json" ();
   if obs then Obs_bench.run ~json_path:"BENCH_obs.json" ();
-  if reads then Reads_bench.run ~json_path:"BENCH_reads.json" ()
+  if reads then Reads_bench.run ~json_path:"BENCH_reads.json" ();
+  if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ()

@@ -512,12 +512,21 @@ let cmd_fsck dir salvage =
 (* Serve a multi-variant repository to concurrent designer sessions over
    a Unix domain socket.  SIGTERM/SIGINT drain gracefully: in-flight
    requests finish, dirty sessions are snapshotted, locks released. *)
-let cmd_serve dir socket no_obs =
+let cmd_serve dir socket no_obs no_group_commit flush_linger_ms
+    flush_max_batch =
   let socket_path =
     match socket with Some p -> p | None -> Filename.concat dir "swsd.sock"
   in
   let obs = if no_obs then Obs.noop else Obs.create () in
-  match Server.create ~obs ~socket_path dir with
+  let config =
+    {
+      Server.Service.default_config with
+      group_commit = not no_group_commit;
+      flush_linger = Float.max 0.0 flush_linger_ms /. 1000.0;
+      flush_max_batch = max 1 flush_max_batch;
+    }
+  in
+  match Server.create ~config ~obs ~socket_path dir with
   | Error m ->
       prerr_endline m;
       1
@@ -879,7 +888,7 @@ let serve_cmd =
          "Serve a variant repository to concurrent designer sessions over a \
           Unix domain socket (line protocol; graceful drain on SIGTERM)")
     Term.(
-      const (fun d s n -> Stdlib.exit (cmd_serve d s n))
+      const (fun d s n ngc lm mb -> Stdlib.exit (cmd_serve d s n ngc lm mb))
       $ repo_dir_arg
       $ Arg.(
           value
@@ -891,7 +900,27 @@ let serve_cmd =
           & info [ "no-obs" ]
               ~doc:
                 "Disable observability: every metric, histogram, and trace \
-                 hook becomes a no-op, and @stats reports an error."))
+                 hook becomes a no-op, and @stats reports an error.")
+      $ Arg.(
+          value & flag
+          & info [ "no-group-commit" ]
+              ~doc:
+                "Fsync each journal record individually instead of batching \
+                 concurrent writers' records into one fsync (the group-commit \
+                 default).")
+      $ Arg.(
+          value & opt float 2.0
+          & info [ "flush-linger-ms" ] ~docv:"MS"
+              ~doc:
+                "Group commit: maximum time a journal record waits for \
+                 company before its batch is flushed anyway (default 2ms; \
+                 idle lanes flush immediately).")
+      $ Arg.(
+          value & opt int 64
+          & info [ "flush-max-batch" ] ~docv:"N"
+              ~doc:
+                "Group commit: flush a batch as soon as it holds this many \
+                 records (default 64)."))
 
 let stats_cmd =
   Cmd.v

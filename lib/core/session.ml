@@ -32,9 +32,15 @@ type t = {
   workspace : schema;  (** the schema under design; equals [schema index] *)
   index : Schema_index.t;  (** the workspace's index, updated per op *)
   past_indexes : Schema_index.t list;
-      (** index versions before each step, newest first (parallels [log]);
-          undo restores from here in O(1) *)
-  log : step list;  (** applied steps, oldest first *)
+      (** index versions before each step, newest first (parallels
+          [rev_log]); undo restores from here in O(1) *)
+  rev_log : step list;
+      (** applied steps, {e newest} first: apply conses and undo pops, so
+          the spine below any point is shared physically across every
+          session derived from it — {!steps_rev} exposes this so the
+          journal layer can diff two lineage-related sessions in
+          O(changed steps) instead of walking both full logs *)
+  nlog : int;  (** [List.length rev_log], maintained for O(1) counting *)
   aliases : Aliases.t;  (** local names (presentation-level renaming) *)
   future : (Concept.kind * Modop.t) list;  (** undone steps, for redo *)
   paranoid : bool;  (** cross-check every op against the naive engine *)
@@ -127,7 +133,8 @@ let create ?(paranoid = false) shrink_wrap =
           workspace = shrink_wrap;
           index;
           past_indexes = [];
-          log = [];
+          rev_log = [];
+          nlog = 0;
           aliases = Aliases.empty;
           future = [];
           paranoid;
@@ -139,8 +146,9 @@ let original t = t.original
 let workspace t = t.workspace
 let index t = t.index
 let concepts t = t.concepts
-let log t = t.log
-let step_count t = List.length t.log
+let log t = List.rev t.rev_log
+let steps_rev t = t.rev_log
+let step_count t = t.nlog
 let version t = t.version
 
 let find_concept t id = Decompose.find t.concepts id
@@ -159,9 +167,10 @@ let commit t ~kind op (index, events) ~future =
       past_indexes = t.index :: t.past_indexes;
       future;
       version = t.version + 1;
-      log =
-        t.log
-        @ [ { st_kind = kind; st_op = op; st_events = events; st_before = t.workspace } ];
+      rev_log =
+        { st_kind = kind; st_op = op; st_events = events; st_before = t.workspace }
+        :: t.rev_log;
+      nlog = t.nlog + 1;
     },
     events )
 
@@ -195,9 +204,9 @@ let preview t ~kind op =
     operation becomes redoable until the next fresh application.  The index
     version recorded at apply time is restored in O(1). *)
 let undo t =
-  match List.rev t.log with
+  match t.rev_log with
   | [] -> None
-  | last :: rev_rest ->
+  | last :: rest ->
       let index, past_indexes =
         match t.past_indexes with
         | idx :: rest -> (idx, rest)
@@ -209,7 +218,8 @@ let undo t =
           workspace = last.st_before;
           index;
           past_indexes;
-          log = List.rev rev_rest;
+          rev_log = rest;
+          nlog = t.nlog - 1;
           future = (last.st_kind, last.st_op) :: t.future;
           version = t.version + 1;
         }
@@ -288,7 +298,7 @@ let pp_step ppf (idx, s) =
 let impact_report t =
   Fmt.str "@[<v>impact report for %s@,%a@]" t.original.s_name
     Fmt.(list ~sep:(any "@,") pp_step)
-    (List.mapi (fun i s -> (i, s)) t.log)
+    (List.mapi (fun i s -> (i, s)) (log t))
 
 let consistency_report_text t =
   let ds = consistency_report t in
@@ -324,7 +334,7 @@ let deliverables t =
 (** Serialize the operation log in the modification language (replayable via
     {!replay}). *)
 let log_text t =
-  t.log
+  log t
   |> List.map (fun s ->
          Printf.sprintf "// in %s\n%s;"
            (Concept.kind_name s.st_kind)

@@ -61,8 +61,18 @@ val concepts : t -> Concept.t list
 (** The decomposition of the original schema. *)
 
 val log : t -> step list
+(** The applied steps, oldest first (rebuilt on each call — report-path
+    cost; the hot path uses {!steps_rev}). *)
+
+val steps_rev : t -> step list
+(** The applied steps, {e newest} first — the session's internal spine.
+    Apply conses onto it and undo pops it, so two sessions of one lineage
+    share the spine below their divergence point {e physically}; callers
+    (the service's journal delta) exploit this to diff logs by pointer
+    equality in O(changed steps). *)
+
 val step_count : t -> int
-(** [List.length (log t)]: committed (not undone) steps. *)
+(** [List.length (log t)]: committed (not undone) steps.  O(1). *)
 
 val version : t -> int
 (** Monotonic change stamp: [0] at {!create}, bumped by every state

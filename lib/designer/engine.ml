@@ -213,7 +213,7 @@ let rec exec state (cmd : Command.t) =
       | Some (session, events) ->
           let persisted =
             (* the redone step is the most recent entry of the log *)
-            match List.rev (Session.log session) with
+            match Session.steps_rev session with
             | (s : Session.step) :: _ -> persist_step state s.st_kind s.st_op
             | [] -> []
           in

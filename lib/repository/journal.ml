@@ -136,10 +136,14 @@ let timed op f =
       record ~op ~seconds:(Unix.gettimeofday () -. t0);
       r
 
-let append (io : Io.t) path entry =
+let encode entry = entry_to_line entry ^ "\n"
+
+let append_raw (io : Io.t) path data =
   timed "append" (fun () ->
-      io.append path (entry_to_line entry ^ "\n");
+      io.append path data;
       io.fsync path)
+
+let append io path entry = append_raw io path (encode entry)
 
 let read (io : Io.t) path =
   if io.file_exists path then parse (io.read_file path)

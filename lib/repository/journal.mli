@@ -61,8 +61,17 @@ val set_observer : (op:string -> seconds:float -> unit) option -> unit
     (atomic snapshot/repair replace).  [None] (the default) disables it.
     The hook runs on the writer's thread and must be fast and non-raising. *)
 
+val encode : entry -> string
+(** One record, newline-terminated — the exact bytes {!append} writes. *)
+
 val append : Io.t -> string -> entry -> unit
 (** Append one record and fsync; the entry is durable on return. *)
+
+val append_raw : Io.t -> string -> string -> unit
+(** Append pre-encoded record bytes — a concatenation of {!encode}
+    results, i.e. a group-commit batch — and fsync {e once}; every record
+    in the batch is durable on return.  Timed as ["append"] by the
+    {!set_observer} hook, like {!append}. *)
 
 val read : Io.t -> string -> parsed
 (** Read and {!parse} the journal; an absent file is an empty journal. *)

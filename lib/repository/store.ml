@@ -386,7 +386,7 @@ let fsck ?(salvage = false) t =
                 issue "manifest: unreadable (rewritten by salvage)"
               else issue "manifest: missing (rewritten by salvage)"
           | Some m ->
-              let actual = List.length (Core.Session.log session) in
+              let actual = Core.Session.step_count session in
               if actual < m.m_ops then
                 issue
                   "manifest: records %d op(s) but only %d replay — a saved \

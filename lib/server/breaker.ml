@@ -32,10 +32,25 @@ type t = {
   mutable failures : int;  (** consecutive failures while closed *)
   mutable state : state;
   mutable log : (float * phase) list;  (** transitions, newest first, capped *)
+  mu : Mutex.t;
+      (** Since group commit, outcomes are recorded from the batch
+          waiters' threads {e outside} the variant writer lock, so the
+          breaker synchronizes itself; uncontended in the common case. *)
 }
 
 let create ?(threshold = 3) ?(cooldown = 30.0) () =
-  { threshold; cooldown; failures = 0; state = St_closed; log = [] }
+  {
+    threshold;
+    cooldown;
+    failures = 0;
+    state = St_closed;
+    log = [];
+    mu = Mutex.create ();
+  }
+
+let sync t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let record t ~now phase =
   t.log <-
@@ -44,9 +59,11 @@ let record t ~now phase =
           List.filteri (fun i _ -> i < max_log - 1) t.log
         else t.log)
 
-let is_open t = match t.state with St_open _ -> true | _ -> false
+let is_open t =
+  sync t (fun () -> match t.state with St_open _ -> true | _ -> false)
 
 let phase t =
+  sync t @@ fun () ->
   match t.state with
   | St_closed -> Closed
   | St_open _ -> Opened
@@ -57,6 +74,7 @@ let phase t =
     transition is recorded here, on the admitting read) and probes are
     admitted until an outcome closes or re-trips it. *)
 let allows t ~now =
+  sync t @@ fun () ->
   match t.state with
   | St_closed -> true
   | St_half_open _ -> true
@@ -69,6 +87,7 @@ let allows t ~now =
       else false
 
 let record_success t ~now =
+  sync t @@ fun () ->
   (match t.state with
   | St_closed -> ()
   | St_open _ | St_half_open _ -> record t ~now Closed);
@@ -79,6 +98,7 @@ let record_success t ~now =
     [threshold] consecutive failures; a failed half-open probe (or any
     failure while open) re-trips it immediately, restarting the cooldown. *)
 let record_failure t ~now =
+  sync t @@ fun () ->
   match t.state with
   | St_open _ | St_half_open _ ->
       t.state <- St_open now;
@@ -92,11 +112,13 @@ let record_failure t ~now =
 
 (** The transition history, newest first: [(timestamp, phase entered)].
     Capped at a small fixed length. *)
-let transitions t = List.map (fun (at, p) -> (at, phase_name p)) t.log
+let transitions t =
+  sync t (fun () -> List.map (fun (at, p) -> (at, phase_name p)) t.log)
 
 (** When the current state was entered; [None] while closed with no
     recorded transitions (a breaker that never tripped). *)
 let since t =
+  sync t @@ fun () ->
   match t.state with
   | St_open at | St_half_open at -> Some at
   | St_closed -> (
@@ -107,6 +129,7 @@ let since t =
 let time_in_state t ~now = Option.map (fun at -> now -. at) (since t)
 
 let describe t =
+  sync t @@ fun () ->
   let history =
     match t.log with
     | [] -> ""

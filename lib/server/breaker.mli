@@ -2,7 +2,9 @@
     the variant to read-only instead of crashing the server; a cooldown
     admits a half-open probe whose outcome closes or re-trips the
     circuit.  State transitions are recorded with timestamps for [@stats].
-    Not thread-safe on its own — call under the session lock. *)
+    Thread-safe: since group commit, batch outcomes are recorded from the
+    waiters' threads outside the variant writer lock, so every operation
+    synchronizes on an internal (uncontended in practice) mutex. *)
 
 type t
 

@@ -1,0 +1,344 @@
+(** Group commit coordinator.  See group_commit.mli for the contract. *)
+
+type policy = {
+  max_batch : int;
+  max_linger : float;
+  flush_on_idle : bool;
+}
+
+let default_policy = { max_batch = 64; max_linger = 0.002; flush_on_idle = true }
+
+type status = Pending | Done | Failed of exn
+
+type ticket = {
+  tk_mu : Mutex.t;
+  tk_cond : Condition.t;
+  mutable status : status;
+}
+
+type entry = {
+  data : string;
+  on_durable : (unit -> unit) option;
+  ticket : ticket;
+}
+
+type lane = {
+  mutable pending : entry list;  (** newest first *)
+  mutable npending : int;
+  mutable oldest : float;  (** submit time of the oldest pending entry *)
+  mutable rested : float;  (** when the lane's last flush completed *)
+  mutable expected : int;
+      (** self-calibrating idle-departure threshold: the size the next
+          batch should reach at saturation — what was already pending when
+          the last flush completed plus that flush's waiters, all of whom
+          will resubmit if they are still writing *)
+  mutable flushing : bool;  (** a batch from this lane is being written *)
+  mutable poisoned : exn option;  (** tail state unknown after a failed flush *)
+  mutable force : bool;  (** a drain wants this lane out now *)
+}
+
+type t = {
+  mu : Mutex.t;
+  wake : Condition.t;  (** work arrived / drain / stop — wakes the flusher *)
+  settled : Condition.t;  (** a lane finished a flush — wakes drainers *)
+  lanes : (string, lane) Hashtbl.t;
+  policy : policy;
+  now : unit -> float;
+  sleep : float -> unit;
+  flush : path:string -> data:string -> unit;
+  on_flush : (path:string -> batch:int -> seconds:float -> unit) option;
+  mutable submitted : int;  (** total submits ever; the idle detector *)
+  mutable stopping : bool;
+  mutable flusher : Thread.t option;
+}
+
+exception Stopped
+
+let () =
+  Printexc.register_printer (function
+    | Stopped -> Some "group commit stopped (server shutting down)"
+    | _ -> None)
+
+(* --- tickets --------------------------------------------------------------- *)
+
+let fresh_ticket status =
+  { tk_mu = Mutex.create (); tk_cond = Condition.create (); status }
+
+let settle tk status =
+  Mutex.lock tk.tk_mu;
+  tk.status <- status;
+  Condition.broadcast tk.tk_cond;
+  Mutex.unlock tk.tk_mu
+
+let await tk =
+  Mutex.lock tk.tk_mu;
+  while match tk.status with Pending -> true | _ -> false do
+    Condition.wait tk.tk_cond tk.tk_mu
+  done;
+  let r = match tk.status with
+    | Done -> Ok ()
+    | Failed e -> Error e
+    | Pending -> assert false
+  in
+  Mutex.unlock tk.tk_mu;
+  r
+
+(* --- lanes ----------------------------------------------------------------- *)
+
+let lane_of t path =
+  match Hashtbl.find_opt t.lanes path with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          pending = [];
+          npending = 0;
+          oldest = 0.0;
+          rested = 0.0;
+          expected = 0;
+          flushing = false;
+          poisoned = None;
+          force = false;
+        }
+      in
+      Hashtbl.add t.lanes path l;
+      l
+
+(* The flusher's poll cadence while a lane lingers: a fraction of the
+   linger, floored so a tiny linger does not spin and capped so a huge
+   linger (deterministic tests) still notices idleness and drains fast. *)
+let tick t =
+  Float.max 5e-5 (Float.min (t.policy.max_linger /. 4.0) 2e-3)
+
+(* Ripe lanes, sorted by path for deterministic flush order.  [idle_mark]
+   (the [submitted] count one tick ago) makes pausing submission streams
+   ripen short batches when the policy allows it.  Called with [t.mu]
+   held. *)
+let collect t ~idle_mark =
+  let now = t.now () in
+  let idle =
+    match idle_mark with
+    | Some m -> t.policy.flush_on_idle && t.submitted = m
+    | None -> false
+  in
+  Hashtbl.fold
+    (fun path l acc ->
+      if l.npending = 0 then begin
+        l.force <- false;
+        acc
+      end
+      else if
+        l.npending >= t.policy.max_batch
+        (* the linger clock starts at the later of the oldest record and
+           the last flush's completion: records that queued {e during} a
+           flush have already waited it out, but departing the instant it
+           completes would strand the flushed batch's returning writers on
+           the next bus — the linger is exactly the regroup window that
+           keeps steady-state batches full (and throughput ~W per fsync)
+           instead of splitting the writers into two half-full cohorts *)
+        || now -. Float.max l.oldest l.rested >= t.policy.max_linger
+        || l.force || t.stopping
+        (* a fully regrouped bus leaves at once: when every waiter from
+           the last flush is back aboard ([expected], which the next flush
+           recalibrates), there is nobody left to linger for, and waiting
+           a tick to "notice" that only adds dead time to every cycle.
+           Bootstrap ([expected] still 0) falls through to the idle rule
+           below.  Both are heuristics about a regrouping cohort, so both
+           are gated on [flush_on_idle]: with it off, only max_batch,
+           linger and drain ripen a lane — the deterministic contract. *)
+        || (t.policy.flush_on_idle && l.expected > 0
+            && l.npending >= l.expected)
+        (* idle departure is gated on a full regroup: a pause in
+           submissions only means "nobody else is coming" once the last
+           batch's returning writers are back aboard — otherwise a
+           scheduling hiccup while they wake would split a steady writer
+           pool into two half-full cohorts for good.  A genuinely shrunken
+           pool never refills [expected]; the linger bound above departs
+           the bus anyway and the next flush recalibrates it. *)
+        || (idle && l.npending >= l.expected)
+      then (path, l) :: acc
+      else acc)
+    t.lanes []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let has_pending t =
+  Hashtbl.fold (fun _ l b -> b || l.npending > 0) t.lanes false
+
+(* Write one lane's batch.  Runs with [t.mu] released; re-locks only to
+   poison the lane on failure.  On success the [on_durable] callbacks run
+   in submission order before any ticket settles, so a waiter observing
+   [Ok] knows every earlier record in its batch is durable {e and}
+   published. *)
+let write_batch t path lane batch =
+  let data = String.concat "" (List.map (fun e -> e.data) batch) in
+  let t0 = t.now () in
+  match if data = "" then () else t.flush ~path ~data with
+  | () ->
+      (match t.on_flush with
+      | Some f -> f ~path ~batch:(List.length batch) ~seconds:(t.now () -. t0)
+      | None -> ());
+      List.iter
+        (fun e ->
+          match (match e.on_durable with Some f -> f () | None -> ()) with
+          | () -> settle e.ticket Done
+          | exception ex ->
+              (* the record is durable but its publish hook died; the
+                 waiter must not ack what it cannot prove was published *)
+              settle e.ticket (Failed ex))
+        batch
+  | exception e ->
+      (* The journal tail is now unknown (possibly torn): poison the lane
+         so no later record can fuse with the torn fragment, and fail the
+         whole batch plus anything that queued behind it meanwhile. *)
+      Mutex.lock t.mu;
+      lane.poisoned <- Some e;
+      let stragglers = List.rev lane.pending in
+      lane.pending <- [];
+      lane.npending <- 0;
+      Mutex.unlock t.mu;
+      List.iter (fun e' -> settle e'.ticket (Failed e)) (batch @ stragglers)
+
+(* Flush the given lanes one at a time.  Called and returns with [t.mu]
+   held. *)
+let flush_lanes t ready =
+  List.iter
+    (fun (path, lane) ->
+      let batch = List.rev lane.pending in
+      lane.pending <- [];
+      lane.npending <- 0;
+      lane.force <- false;
+      lane.flushing <- true;
+      Mutex.unlock t.mu;
+      write_batch t path lane batch;
+      Mutex.lock t.mu;
+      lane.flushing <- false;
+      lane.rested <- t.now ();
+      lane.expected <- lane.npending + List.length batch;
+      Condition.broadcast t.settled)
+    ready
+
+let flusher_loop t =
+  Mutex.lock t.mu;
+  let running = ref true in
+  while !running do
+    while (not t.stopping) && not (has_pending t) do
+      Condition.wait t.wake t.mu
+    done;
+    if t.stopping && not (has_pending t) then running := false
+    else begin
+      let ready = collect t ~idle_mark:None in
+      let ready =
+        if ready <> [] then ready
+        else begin
+          (* nothing ripe yet: linger one tick, then reconsider — a pause
+             in submissions counts as ripeness when the policy says so *)
+          let mark = t.submitted in
+          Mutex.unlock t.mu;
+          t.sleep (tick t);
+          Mutex.lock t.mu;
+          collect t ~idle_mark:(Some mark)
+        end
+      in
+      flush_lanes t ready
+    end
+  done;
+  Mutex.unlock t.mu
+
+(* --- public API ------------------------------------------------------------ *)
+
+let create ?(policy = default_policy) ?(now = Unix.gettimeofday)
+    ?(sleep = Thread.delay) ~flush ?on_flush () =
+  let t =
+    {
+      mu = Mutex.create ();
+      wake = Condition.create ();
+      settled = Condition.create ();
+      lanes = Hashtbl.create 8;
+      policy =
+        { policy with max_batch = max 1 policy.max_batch;
+          max_linger = Float.max 0.0 policy.max_linger };
+      now;
+      sleep;
+      flush;
+      on_flush;
+      submitted = 0;
+      stopping = false;
+      flusher = None;
+    }
+  in
+  t.flusher <- Some (Thread.create flusher_loop t);
+  t
+
+let submit t ~path ?on_durable data =
+  Mutex.lock t.mu;
+  let lane = lane_of t path in
+  let tk =
+    match lane.poisoned with
+    | Some e -> fresh_ticket (Failed e)
+    | None when t.stopping -> fresh_ticket (Failed Stopped)
+    | None ->
+        let tk = fresh_ticket Pending in
+        lane.pending <- { data; on_durable; ticket = tk } :: lane.pending;
+        if lane.npending = 0 then lane.oldest <- t.now ();
+        lane.npending <- lane.npending + 1;
+        t.submitted <- t.submitted + 1;
+        Condition.signal t.wake;
+        tk
+  in
+  Mutex.unlock t.mu;
+  tk
+
+let quiescent t ~path =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.lanes path with
+    | None -> true
+    | Some l ->
+        l.npending = 0 && (not l.flushing)
+        && match l.poisoned with None -> true | Some _ -> false
+  in
+  Mutex.unlock t.mu;
+  r
+
+let drain t ~path =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.lanes path with
+  | None -> ()
+  | Some l ->
+      l.force <- true;
+      Condition.signal t.wake;
+      while l.npending > 0 || l.flushing do
+        Condition.wait t.settled t.mu
+      done);
+  Mutex.unlock t.mu
+
+let drain_all t =
+  Mutex.lock t.mu;
+  Hashtbl.iter (fun _ l -> l.force <- true) t.lanes;
+  Condition.signal t.wake;
+  let busy () =
+    Hashtbl.fold (fun _ l b -> b || l.npending > 0 || l.flushing) t.lanes false
+  in
+  while busy () do
+    Condition.wait t.settled t.mu
+  done;
+  Mutex.unlock t.mu
+
+let reset t ~path =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.lanes path with
+  | None -> ()
+  | Some l -> l.poisoned <- None);
+  Mutex.unlock t.mu
+
+let stop t =
+  Mutex.lock t.mu;
+  if t.stopping then Mutex.unlock t.mu
+  else begin
+    t.stopping <- true;
+    Condition.signal t.wake;
+    let th = t.flusher in
+    t.flusher <- None;
+    Mutex.unlock t.mu;
+    Option.iter Thread.join th
+  end

@@ -1,0 +1,103 @@
+(** Group commit: one fsync amortized across a batch of writers.
+
+    Writers encode their journal records under the variant writer lock,
+    {!submit} the bytes to a per-journal-file lane, and block on the
+    returned {!ticket}; a single flusher thread concatenates each lane's
+    pending records, writes them with {e one} append + fsync, and settles
+    every ticket in the batch.  An acknowledged ticket therefore still
+    implies durability — the fsync cost is just shared by everyone whose
+    record rode in the batch.
+
+    {2 Flush policy}
+
+    A lane is flushed when any of these holds:
+    - it has at least [max_batch] pending records;
+    - its oldest record has waited [max_linger] seconds;
+    - [flush_on_idle] is set and no new record arrived anywhere during the
+      last flusher tick (the common low-concurrency case: a lone writer is
+      not held hostage for the full linger);
+    - a {!drain} or {!stop} forces it out.
+
+    {2 Failure semantics}
+
+    A flush failure (after the caller's [flush] has exhausted its own
+    retries) fails {e every} ticket in the batch — nothing in it is
+    acknowledged — and {e poisons} the lane: the journal file's tail state
+    is unknown (possibly torn), so appending more records could fuse a torn
+    fragment with a fresh record into interior corruption.  Subsequent
+    submits fail immediately until {!reset}, which the service calls after
+    the journal has been reloaded through recovery.
+
+    {2 Ordering}
+
+    Records are flushed in submission order per lane, and the optional
+    [on_durable] callbacks of a batch run {e in that order} on the flusher
+    thread before any of the batch's tickets settle — the service uses this
+    to publish engine snapshots in exactly journal order (publish-before-ack,
+    DESIGN.md §11). *)
+
+type policy = {
+  max_batch : int;  (** flush when this many records are pending *)
+  max_linger : float;  (** max seconds the oldest record may wait *)
+  flush_on_idle : bool;  (** flush a short batch when submissions pause *)
+}
+
+val default_policy : policy
+(** [{ max_batch = 64; max_linger = 0.002; flush_on_idle = true }]. *)
+
+type t
+
+type ticket
+(** One submitted record's handle; settled exactly once. *)
+
+exception Stopped
+(** The failure a ticket settles with when its record was submitted to a
+    stopped coordinator (server shutdown won the race). *)
+
+val create :
+  ?policy:policy ->
+  ?now:(unit -> float) ->
+  ?sleep:(float -> unit) ->
+  flush:(path:string -> data:string -> unit) ->
+  ?on_flush:(path:string -> batch:int -> seconds:float -> unit) ->
+  unit ->
+  t
+(** Start a coordinator (spawns the flusher thread).  [flush] must make
+    [data] durable at [path] or raise — it runs on the flusher thread and
+    owns its own retry discipline.  [on_flush] observes each successful
+    batch (record count and flush latency) for the metrics layer. *)
+
+val submit : t -> path:string -> ?on_durable:(unit -> unit) -> string -> ticket
+(** Enqueue pre-encoded record bytes (may be [""] to order a pure
+    in-memory state change behind the lane's pending records).  Returns
+    immediately; the caller must {!await} the ticket before acknowledging.
+    On a poisoned lane, or after {!stop}, the ticket is already failed. *)
+
+val await : ticket -> (unit, exn) result
+(** Block until the ticket settles.  [Ok] means the record — and every
+    record submitted to the lane before it — is durable and its
+    [on_durable] has run. *)
+
+val drain : t -> path:string -> unit
+(** Force the lane out and wait until it has no pending records and no
+    flush in flight.  Callers must drain before any whole-file journal
+    rewrite (snapshot, recovery repair) — a rewrite that raced a batch
+    append would duplicate the batch's records. *)
+
+val drain_all : t -> unit
+(** {!drain} every lane; used before loading a session (the journal path
+    is not known until the store is open). *)
+
+val quiescent : t -> path:string -> bool
+(** No pending records, no flush in flight, not poisoned.  A writer with
+    an empty delta may publish directly iff its lane is quiescent;
+    otherwise it must submit an empty record to keep publish order equal
+    to journal order. *)
+
+val reset : t -> path:string -> unit
+(** Clear the lane's poison after the journal has been reloaded through
+    recovery (the on-disk tail is known-good again). *)
+
+val stop : t -> unit
+(** Flush everything still pending, stop the flusher thread, and join it.
+    Subsequent submits fail immediately.  Idempotent. *)

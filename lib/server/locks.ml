@@ -50,8 +50,14 @@ type failure =
   | Timed_out  (** queued, but the deadline passed before the lock freed *)
 
 (* OCaml's [Condition] has no timed wait, so bounded waiting polls
-   [try_lock] at a millisecond cadence; at the service's request scale the
-   contention window is a single engine step, which this resolves fast. *)
+   [try_lock], backing off exponentially from 50 us to 1 ms.  The fine
+   initial cadence matters under group commit: a flush wakes a cohort of
+   writers at once and each holds the lock only for an engine step
+   (~100 us), so a fixed millisecond poll would dominate every handoff
+   and stretch the cohort's regroup window to many times the actual
+   serial work.  The cap keeps a long wait (a convoy behind a slow
+   probe) from spinning. *)
+let poll_min = 5e-5
 let poll_interval = 0.001
 
 (** Run [f] holding [key]'s lock.  Sheds immediately with [Busy] when
@@ -98,7 +104,7 @@ let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
           e.waiters <- e.waiters - 1;
           Mutex.unlock t.table_mutex
         in
-        let rec acquire () =
+        let rec acquire delay =
           if Mutex.try_lock e.mutex then begin
             leave ();
             run ~depth ()
@@ -108,11 +114,11 @@ let with_key ?(max_waiters = 8) ?(sleep = Thread.delay)
             Error Timed_out
           end
           else begin
-            sleep poll_interval;
-            acquire ()
+            sleep delay;
+            acquire (Float.min poll_interval (delay *. 2.0))
           end
         in
-        acquire ()
+        acquire poll_min
 
 let waiters t key =
   Mutex.lock t.table_mutex;

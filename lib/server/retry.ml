@@ -46,8 +46,18 @@ let delay_for ~policy ~rand attempt =
     reproducible delays pass an explicit seeded [rand].
 
     [on_retry] (if given) observes each backoff before the sleep — the
-    observability layer counts retries and their delays with it. *)
-let with_retries ?rand ?(sleep = Thread.delay) ?on_retry policy f =
+    observability layer counts retries and their delays with it.
+
+    [deadline] (absolute, per [now]) bounds the whole retry budget: each
+    backoff is clamped to the time remaining, and once none remains the
+    last failure surfaces instead of sleeping.  Without the clamp a
+    deadline shorter than the minimum backoff would leave the caller
+    spinning through zero-length (or negative) sleeps — the sleep never
+    advances the clock, the deadline check never fires inside [sleep],
+    and the retries degenerate into a busy loop against a failing
+    syscall. *)
+let with_retries ?rand ?(sleep = Thread.delay) ?(now = Unix.gettimeofday)
+    ?deadline ?on_retry policy f =
   let rand =
     lazy
       (match rand with
@@ -61,11 +71,19 @@ let with_retries ?rand ?(sleep = Thread.delay) ?on_retry policy f =
         if attempt + 1 >= policy.max_attempts then Error e
         else begin
           let delay = delay_for ~policy ~rand:(Lazy.force rand) attempt in
-          (match on_retry with
-          | Some g -> g ~attempt ~delay
-          | None -> ());
-          sleep delay;
-          go (attempt + 1)
+          let delay =
+            match deadline with
+            | None -> delay
+            | Some d -> Float.min delay (d -. now ())
+          in
+          if delay <= 0.0 then Error e
+          else begin
+            (match on_retry with
+            | Some g -> g ~attempt ~delay
+            | None -> ());
+            sleep delay;
+            go (attempt + 1)
+          end
         end
   in
   go 0

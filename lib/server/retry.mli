@@ -20,6 +20,8 @@ val delay_for : policy:policy -> rand:Random.State.t -> int -> float
 val with_retries :
   ?rand:Random.State.t ->
   ?sleep:(float -> unit) ->
+  ?now:(unit -> float) ->
+  ?deadline:float ->
   ?on_retry:(attempt:int -> delay:float -> unit) ->
   policy ->
   (unit -> 'a) ->
@@ -31,4 +33,10 @@ val with_retries :
     that would synchronize concurrent backoffs into a thundering herd).
     Pass a seeded [rand] for reproducible delays in tests.  [on_retry]
     observes each backoff (0-based attempt, chosen delay) before the
-    sleep. *)
+    sleep.
+
+    [deadline] (absolute, measured by [now]) caps the retry budget: each
+    backoff sleep is clamped to the remaining time, and when none remains
+    the last failure is returned immediately — never a zero-length sleep
+    loop.  Total time slept on behalf of one call is at most
+    [deadline - now()] at entry. *)

@@ -12,6 +12,7 @@
 module Retry = Retry
 module Breaker = Breaker
 module Locks = Locks
+module Group_commit = Group_commit
 module Protocol = Protocol
 module Publish = Publish
 module Service = Service

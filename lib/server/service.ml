@@ -64,6 +64,10 @@ type config = Service_types.config = {
   use_file_locks : bool;
   retry_after_ms : int;
   lockfree_reads : bool;
+  group_commit : bool;
+  flush_max_batch : int;
+  flush_linger : float;
+  flush_on_idle : bool;
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
@@ -120,9 +124,46 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
         io
   in
   if Obs.enabled obs then install_hooks i ~now:config.now;
+  (* The group-commit coordinator's flush runs on the flusher thread: it
+     gets its own jitter stream (the service's [rand] is only touched
+     under variant locks) and a deadline so a failing disk cannot pin the
+     whole batch in backoff longer than one request is allowed to wait. *)
+  let make_commit () =
+    if not config.group_commit then None
+    else
+      let crand = Random.State.make [| 0x0ddba11 |] in
+      Some
+        (Group_commit.create
+           ~policy:
+             {
+               Group_commit.max_batch = config.flush_max_batch;
+               max_linger = config.flush_linger;
+               flush_on_idle = config.flush_on_idle;
+             }
+           ~now:config.now ~sleep:config.sleep
+           ~flush:(fun ~path ~data ->
+             match
+               Retry.with_retries ~rand:crand ~sleep:config.sleep
+                 ~now:config.now
+                 ~deadline:(config.now () +. config.request_deadline)
+                 ~on_retry:(fun ~attempt:_ ~delay:_ ->
+                   Obs.Metrics.incr i.c_retries)
+                 config.retry
+                 (fun () -> Repository.Journal.append_raw io path data)
+             with
+             | Ok () -> ()
+             | Error e -> raise e)
+           ~on_flush:(fun ~path:_ ~batch ~seconds ->
+             Obs.Histo.observe i.h_commit_batch (float_of_int batch);
+             Obs.Histo.observe i.h_commit_flush seconds)
+           ())
+  in
   Result.map
     (fun repo ->
       {
+        (* created only once the repository opened, so a failed open never
+           leaks a flusher thread *)
+        commit = make_commit ();
         repo;
         config;
         locks = Locks.create ();
@@ -134,6 +175,7 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
         conn_ids = Atomic.make 0;
         stopping = false;
         rand = Random.State.make [| 0x5ca1ab1e |];
+        commit_waiting = Atomic.make 0;
         i;
       })
     (Repo.open_dir ~io dir)

@@ -29,6 +29,21 @@ type config = {
           variant lock (default [true]); [false] forces every command
           through the writer lock — the pre-snapshot behavior, kept as a
           measurable baseline (bench P13) *)
+  group_commit : bool;
+      (** batch journal fsyncs across concurrent writers ({!Group_commit}):
+          writers enqueue their encoded records and block on a ticket, one
+          flusher thread pays a single fsync per batch, and an ack still
+          implies durability (default [true]); [false] keeps the
+          per-record-fsync write path as a measurable baseline (bench
+          P14) *)
+  flush_max_batch : int;
+      (** flush a batch at this many pending records (default 64) *)
+  flush_linger : float;
+      (** max seconds a record waits for company before its batch is
+          flushed anyway (default 0.002) *)
+  flush_on_idle : bool;
+      (** flush short batches as soon as submissions pause, so a lone
+          writer is not held for the full linger (default [true]) *)
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;

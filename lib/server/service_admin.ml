@@ -103,10 +103,22 @@ let do_open t (conn : conn) variant ~create ~readonly =
               | None -> (
                   if not (Repo.mem_variant t.repo variant) then
                     Protocol.err ("no variant named " ^ variant)
-                  else
+                  else begin
+                    (* Loading replays the journal and may rewrite a torn
+                       tail: no batch append may race that (we only learn
+                       the journal path once the store is open, hence
+                       drain {e all} lanes), and a lane poisoned by a
+                       failed flush is safe again afterwards — recovery
+                       just made the tail known-good. *)
+                    (match t.commit with
+                    | Some gc -> Group_commit.drain_all gc
+                    | None -> ());
                     match load_session t variant with
                     | Error m -> Protocol.err m
                     | Ok s ->
+                        (match t.commit with
+                        | Some gc -> Group_commit.reset gc ~path:(log_path s)
+                        | None -> ());
                         attach t s conn ~readonly;
                         Protocol.ok
                           ~version:(Publish.seq t.pub variant)
@@ -114,7 +126,8 @@ let do_open t (conn : conn) variant ~create ~readonly =
                             (if created then "created and attached to " ^ variant
                              else "attached to " ^ variant)
                             ^ (if readonly then " (readonly)" else "");
-                          ])))
+                          ]
+                  end)))
 
 (* Detach [conn]; the last detach snapshots and frees the session.  Caller
    holds the variant writer lock. *)
@@ -264,6 +277,11 @@ let shutdown t =
   while Atomic.get t.inflight > 0 && t.config.now () < give_up do
     t.config.sleep 0.002
   done;
+  (* Stop the commit coordinator only after the in-flight drain: waiters
+     parked on tickets need the flusher alive to settle them.  [stop]
+     flushes whatever is still pending, so the snapshots below see fully
+     appended journals and nothing acked is lost. *)
+  (match t.commit with Some gc -> Group_commit.stop gc | None -> ());
   let all =
     locked t (fun () -> Hashtbl.fold (fun v s acc -> (v, s) :: acc) t.sessions [])
   in

@@ -36,6 +36,13 @@ type config = {
       (** serve read-only commands from the published snapshot without the
           variant lock (default); [false] forces every command through the
           writer lock — the pre-snapshot behavior, kept as a baseline *)
+  group_commit : bool;
+      (** batch journal fsyncs across concurrent writers through
+          {!Group_commit} (default); [false] keeps the per-record-fsync
+          write path, kept as a measurable baseline (bench P14) *)
+  flush_max_batch : int;  (** flush a lane at this many pending records *)
+  flush_linger : float;  (** max seconds a record may wait for company *)
+  flush_on_idle : bool;  (** flush short batches when submissions pause *)
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
@@ -56,6 +63,10 @@ let default_config =
     use_file_locks = true;
     retry_after_ms = 100;
     lockfree_reads = true;
+    group_commit = true;
+    flush_max_batch = 64;
+    flush_linger = 0.002;
+    flush_on_idle = true;
     now = Unix.gettimeofday;
     sleep = Thread.delay;
     chaos_hook = None;
@@ -96,6 +107,8 @@ type instruments = {
   c_retries : Obs.Metrics.counter;  (** backoff sleeps inside {!Retry} *)
   g_sessions : Obs.Metrics.gauge;
   g_inflight : Obs.Metrics.gauge;
+  g_commit_stalled : Obs.Metrics.gauge;
+      (** writers currently blocked on a group-commit ticket *)
   h_request : Obs.Histo.t;  (** whole request, arrival to response *)
   h_read : Obs.Histo.t;  (** read-class command, either path *)
   h_write : Obs.Histo.t;  (** write-class command, lock wait included *)
@@ -106,6 +119,8 @@ type instruments = {
   h_check : Obs.Histo.t;  (** incremental consistency report *)
   h_dirty : Obs.Histo.t;  (** dirty-set size per committed op *)
   h_respond : Obs.Histo.t;  (** feedback rendering *)
+  h_commit_batch : Obs.Histo.t;  (** records per group-commit flush *)
+  h_commit_flush : Obs.Histo.t;  (** one batch append + fsync *)
   h_journal_append : Obs.Histo.t;  (** record + fsync, the commit path *)
   h_journal_rewrite : Obs.Histo.t;  (** snapshot / repair replace *)
   h_io_write : Obs.Histo.t;
@@ -138,6 +153,7 @@ let make_instruments obs =
     c_retries = c "swsd.retry.attempts_total";
     g_sessions = g "swsd.sessions.open";
     g_inflight = g "swsd.requests.inflight";
+    g_commit_stalled = g "swsd.commit.stalled";
     h_request = h "swsd.request_seconds";
     h_read = h "swsd.read_seconds";
     h_write = h "swsd.write_seconds";
@@ -148,6 +164,8 @@ let make_instruments obs =
     h_check = h "swsd.engine.check_seconds";
     h_dirty = h ~lo:1.0 ~hi:1e4 "swsd.engine.dirty_set";
     h_respond = h "swsd.respond_seconds";
+    h_commit_batch = h ~lo:1.0 ~hi:1e4 "swsd.commit.batch_size";
+    h_commit_flush = h "swsd.commit.flush_seconds";
     h_journal_append = h "swsd.journal.append_seconds";
     h_journal_rewrite = h "swsd.journal.rewrite_seconds";
     h_io_write = h "swsd.io.write_seconds";
@@ -181,6 +199,11 @@ type t = {
   conn_ids : int Atomic.t;
   mutable stopping : bool;
   rand : Random.State.t;
+  commit : Group_commit.t option;
+      (** the group-commit coordinator; [None] runs the per-record-fsync
+          baseline ([group_commit = false]) *)
+  commit_waiting : int Atomic.t;
+      (** writers blocked on a ticket right now (feeds the stall gauge) *)
   i : instruments;
 }
 
@@ -218,9 +241,13 @@ let shed t (failure : Locks.failure) =
         "deadline exceeded waiting for the variant"
 
 (** Run [f] holding the variant's writer lock (bounded queue, deadline);
-    sheds with [!busy] on failure.  Every state-changing path goes through
-    here — the lock-free read path never does. *)
-let with_writer t variant f =
+    [Error] is the (already counted) admission failure.  Every
+    state-changing path goes through here — the lock-free read path never
+    does.  {!with_writer} is the common wrapper that renders the failure
+    as [!busy]; the group-commit write path uses [try_writer] directly
+    because it must keep working {e after} the lock is released (awaiting
+    its ticket) before it has a response. *)
+let try_writer t variant f =
   let i = t.i in
   let deadline = t.config.now () +. t.config.request_deadline in
   let arrived = t.config.now () in
@@ -244,12 +271,17 @@ let with_writer t variant f =
     Locks.with_key ~max_waiters:t.config.max_waiters ~sleep:t.config.sleep
       ~now:t.config.now ?observe t.locks variant ~deadline g
   with
-  | Ok r -> r
+  | Ok _ as r -> r
   | Error failure ->
       (match failure with
       | Locks.Busy _ -> Obs.Metrics.incr i.c_shed_queue
       | Locks.Timed_out -> Obs.Metrics.incr i.c_shed_deadline);
-      shed t failure
+      Error failure
+
+let with_writer t variant f =
+  match try_writer t variant f with
+  | Ok r -> r
+  | Error failure -> shed t failure
 
 let find_session t variant =
   locked t (fun () -> Hashtbl.find_opt t.sessions variant)
@@ -268,10 +300,22 @@ let evict t (s : session) =
    publication stamp.  Caller holds the writer lock. *)
 let publish t (s : session) = Publish.publish t.pub s.variant s.state
 
+let log_path (s : session) = Store.log_file s.store
+
+(* Wait until the session's group-commit lane is empty and no flush is in
+   flight.  Mandatory before any whole-file journal rewrite (snapshot,
+   recovery repair): the rewrite materializes pending records from the
+   in-memory state, so a batch append racing it would write them twice. *)
+let drain_commits t (s : session) =
+  match t.commit with
+  | None -> ()
+  | Some gc -> Group_commit.drain gc ~path:(log_path s)
+
 (* Snapshot a dirty session through the regular Store path. *)
 let snapshot t (s : session) =
   if not s.dirty then Ok ()
-  else
+  else begin
+    drain_commits t s;
     match
       Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
         ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
@@ -286,33 +330,64 @@ let snapshot t (s : session) =
         (* e.g. an injected crash: atomic whole-file writes keep every
            artifact whole, and the journal remains authoritative *)
         Error (Printexc.to_string e)
+  end
 
 let feedback_body feedback = List.map Designer.Feedback.to_string feedback
 
 (* --- journal persistence -------------------------------------------------- *)
 
-let step_ops session =
-  List.map
-    (fun (st : Core.Session.step) -> (st.Core.Session.st_kind, st.st_op))
-    (Core.Session.log session)
+let step_op (st : Core.Session.step) = (st.Core.Session.st_kind, st.st_op)
 
-let step_eq (k1, o1) (k2, o2) = k1 = k2 && Core.Modop.equal o1 o2
-
-let rec common_prefix n a b =
-  match (a, b) with
-  | x :: a', y :: b' when step_eq x y -> common_prefix (n + 1) a' b'
-  | _ -> n
-
-let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+let step_eq s1 s2 =
+  let k1, o1 = step_op s1 and k2, o2 = step_op s2 in
+  k1 = k2 && Core.Modop.equal o1 o2
 
 (** The journal records turning [before]'s log into [after]'s: undos for
     the popped tail, then the fresh steps.  Ops only push/pop at the tail,
-    so the common prefix characterizes the delta exactly. *)
+    so the common prefix characterizes the delta exactly.
+
+    Cost is O(changed steps), not O(log): [after] derives from [before] by
+    applies (cons) and undos (pop) on the session's newest-first spine
+    ({!Core.Session.steps_rev}), so below the divergence point the two
+    spines are {e physically} the same list.  Walk the longer spine down
+    to the shorter's length, then both in lockstep until they are pointer
+    equal — everything popped on the way is the delta.  This matters under
+    group commit: the delta runs once per accepted op with the variant
+    lock held, and an O(log) walk there makes a long-lived session's
+    write throughput decay with its own history. *)
 let journal_delta ~before ~after =
-  let b = step_ops before and a = step_ops after in
-  let p = common_prefix 0 b a in
-  let undos = List.length b - p in
-  (undos, drop p a)
+  let rec chop n popped l =
+    if n = 0 then (popped, l)
+    else
+      match l with
+      | s :: rest -> chop (n - 1) (s :: popped) rest
+      | [] -> (popped, [])
+  in
+  let nb = Core.Session.step_count before
+  and na = Core.Session.step_count after in
+  let popped, b =
+    chop (max 0 (nb - na)) [] (Core.Session.steps_rev before)
+  in
+  let added, a = chop (max 0 (na - nb)) [] (Core.Session.steps_rev after) in
+  (* equal lengths now; [] == [] terminates the walk *)
+  let rec sync popped added b a =
+    if b == a then (popped, added)
+    else
+      match (b, a) with
+      | sb :: b', sa :: a' -> sync (sb :: popped) (sa :: added) b' a'
+      | _ -> assert false
+  in
+  let popped, added = sync popped added b a in
+  (* an undone-then-reapplied step is structurally unchanged even though
+     its spine node is fresh: emitting undo + re-add for it would be
+     correct but noisy, so trim matching pairs (both lists are oldest
+     first, mirroring the old full-log common-prefix semantics) *)
+  let rec trim = function
+    | pb :: p', aa :: a' when step_eq pb aa -> trim (p', a')
+    | rest -> rest
+  in
+  let popped, added = trim (popped, added) in
+  (List.length popped, List.map step_op added)
 
 (* Append the delta, each record through the retry policy; durable (fsync'd
    per record) on [Ok].  Any failure leaves the on-disk journal in an
@@ -351,3 +426,19 @@ let persist_delta t s ~before ~after =
         match add_loop adds with
         | Error e -> Error e
         | Ok () -> Ok (undos + List.length adds))
+
+(** The delta as one pre-encoded byte run for group commit: the record
+    count and the exact bytes the per-record path would have appended —
+    undo records first, then the fresh steps, each newline-terminated. *)
+let encoded_delta ~before ~after =
+  let undos, adds = journal_delta ~before ~after in
+  let buf = Buffer.create 128 in
+  for _ = 1 to undos do
+    Buffer.add_string buf (Repository.Journal.encode Repository.Journal.Undo)
+  done;
+  List.iter
+    (fun (kind, op) ->
+      Buffer.add_string buf
+        (Repository.Journal.encode (Repository.Journal.Op (kind, op))))
+    adds;
+  (undos + List.length adds, Buffer.contents buf)

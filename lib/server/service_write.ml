@@ -1,104 +1,242 @@
-(** The write path: lock → apply → check → journal → publish, one writer
-    per variant.
+(** The write path: lock → apply → check → enqueue → (await fsync) →
+    publish → ack, one writer per variant.
 
     Every command that may change state runs here, as does a read-class
     command falling back from the lock-free path (nothing published, or
-    [lockfree_reads = false]).  The pipeline for an accepted command:
+    [lockfree_reads = false]).  Since group commit the pipeline has two
+    phases:
 
-    + acquire the variant's writer lock ({!Service_types.with_writer});
-    + refuse mutations while the variant's breaker is open;
-    + execute on the engine;
-    + journal the delta (undo records, then fresh steps), each record
-      fsync'd through the retry policy — only a durable delta is
-      acknowledged;
-    + commit the new state to the session {e and publish it} for lock-free
-      readers (publish-before-ack is what gives a connection
-      read-your-writes: by the time it sees [!ok] the snapshot readers
-      serve is at least as new as its write);
-    + answer with the publication stamp as [#version].
+    {b Phase 1 — under the variant's writer lock} ({!Service_types.try_writer}):
+    refuse mutations while the variant's breaker is open, execute on the
+    engine, encode the journal delta (undo records, then fresh steps), and
+    {!Group_commit.submit} the bytes to the journal's lane, capturing the
+    new engine state in the ticket's [on_durable] hook.  The session
+    commits to the new state {e before the lock is released} — per-variant
+    engine order, journal order, and publish order are all the submission
+    order.
 
-    Any persistence failure or mid-flight death degrades the variant's
-    breaker and evicts the session — which also {e retracts} the published
-    snapshot and flips the epoch, so readers fall back and reattach — and
-    the next [@open] reloads from the journal through recovery. *)
+    {b Phase 2 — off the lock}: block on the ticket.  The flusher thread
+    batches the lane, pays {e one} fsync for the whole batch, then runs
+    each record's [on_durable] in order — which is where the new state is
+    published for lock-free readers — and settles the tickets.  Only then
+    is the command acknowledged, with the publication stamp as [#version]:
+    ack still implies durability {e and} publish-before-ack still gives a
+    connection read-your-writes, exactly as in the per-record-fsync path
+    (kept verbatim for [group_commit = false]).
+
+    A flush failure fails the whole batch: every waiter reacquires the
+    writer lock to degrade the variant's breaker and evict the session —
+    which also {e retracts} the published snapshot — and the lane stays
+    poisoned until the next [@open] reloads the journal through recovery.
+    A mid-flight death in phase 1 (chaos hook, crash during encode)
+    degrades and evicts under the lock it already holds, as before. *)
 
 open Service_types
 
+(** A command whose records were enqueued in phase 1; phase 2 owns it. *)
+type staged = {
+  st_session : session;
+  st_variant : string;
+  st_conn : conn;
+  st_ticket : Group_commit.ticket;
+  st_version : int ref;  (** written by [on_durable] on the flusher *)
+  st_feedback : Designer.Feedback.t list;
+  st_records : int;  (** journal records in the delta *)
+}
+
+let persistence_failed e =
+  "persistence failed; operation not accepted; session evicted (reopen \
+   with @open): " ^ Printexc.to_string e
+
+(* Degrade the breaker (already thread-safe) and evict the session if it
+   is still the one we staged against.  Runs under the variant writer
+   lock when [locked] is true; phase 2 reacquires the lock around it. *)
+let degrade t (st : staged) =
+  let i = t.i in
+  let breaker = breaker_of t st.st_variant in
+  let was_open = Breaker.is_open breaker in
+  Breaker.record_failure breaker ~now:(t.config.now ());
+  if Breaker.is_open breaker && not was_open then
+    Obs.Metrics.incr i.c_breaker_trips
+
+let evict_staged t (st : staged) =
+  match find_session t st.st_variant with
+  | Some s when s == st.st_session ->
+      Obs.Metrics.incr t.i.c_evicted;
+      Hashtbl.reset s.conns;
+      evict t s
+  | Some _ | None -> () (* another waiter of the failed batch got here first *)
+
+(* Phase-2 failure: the batch fsync failed (or the flusher refused the
+   record).  Reacquire the writer lock to evict — phase 1 released it —
+   then answer [!err].  If the variant is so contended the lock cannot be
+   had by the deadline, evict anyway: serving a session whose disk state
+   is unknown is strictly worse than the benign race (a writer admitted
+   meanwhile fails its own enqueue on the poisoned lane and lands here
+   too). *)
+let fail_staged t (st : staged) e =
+  degrade t st;
+  let deadline = t.config.now () +. t.config.request_deadline in
+  (match
+     Locks.with_key ~max_waiters:max_int ~sleep:t.config.sleep
+       ~now:t.config.now t.locks st.st_variant ~deadline (fun () ->
+         evict_staged t st)
+   with
+  | Ok () -> ()
+  | Error _ -> evict_staged t st);
+  st.st_conn.variant <- None;
+  Protocol.err (persistence_failed e)
+
+(* Phase 2: wait out the batch fsync.  The stall gauge tracks how many
+   writers are parked on tickets right now (set from a shared atomic, so
+   concurrent updates may briefly show a stale count — it is a gauge, not
+   an invariant). *)
+let complete t (st : staged) =
+  let i = t.i in
+  Obs.Metrics.set i.g_commit_stalled
+    (Atomic.fetch_and_add t.commit_waiting 1 + 1);
+  let settled = Group_commit.await st.st_ticket in
+  Obs.Metrics.set i.g_commit_stalled
+    (Atomic.fetch_and_add t.commit_waiting (-1) - 1);
+  match settled with
+  | Error e -> fail_staged t st e
+  | Ok () ->
+      if st.st_records > 0 then
+        Breaker.record_success
+          (breaker_of t st.st_variant)
+          ~now:(t.config.now ());
+      let t_respond = t.config.now () in
+      let body = feedback_body st.st_feedback in
+      let respond_seconds = t.config.now () -. t_respond in
+      Obs.Histo.observe i.h_respond respond_seconds;
+      Obs.Trace.add_phase_current i.tracer "respond" respond_seconds;
+      let version = !(st.st_version) in
+      if List.exists Designer.Feedback.is_error st.st_feedback then
+        Protocol.err ~body ~version "command rejected"
+      else Protocol.ok ~version body
+
 let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
-  with_writer t variant (fun () ->
-      match find_session t variant with
-      | None ->
-          conn.variant <- None;
-          Protocol.err "session expired (idle); use @open to resume"
-      | Some s ->
-          let i = t.i in
-          let now = t.config.now () in
-          let breaker = breaker_of t variant in
-          let mutating = Designer.Command.mutates cmd in
-          if mutating && not (Breaker.allows breaker ~now) then begin
-            Obs.Metrics.incr i.c_breaker_rejected;
-            Protocol.err
-              ("variant is read-only: circuit " ^ Breaker.describe breaker)
-          end
-          else
-            (* the on-disk journal state is unknown after a killed worker
-               (chaos hook) or a crash mid-append: degrade the variant and
-               evict the session, so the next @open reloads through
-               recovery *)
-            let degrade_and_evict why =
-              let was_open = Breaker.is_open breaker in
-              Breaker.record_failure breaker ~now:(t.config.now ());
-              if Breaker.is_open breaker && not was_open then
-                Obs.Metrics.incr i.c_breaker_trips;
-              Obs.Metrics.incr i.c_evicted;
-              Hashtbl.reset s.conns;
-              evict t s;
-              conn.variant <- None;
-              Protocol.err why
-            in
-            let run () =
-              (match t.config.chaos_hook with
-              | Some hook -> hook ~variant ~line
-              | None -> ());
-              let before = s.state in
-              let t_apply = t.config.now () in
-              let after, feedback = Engine.exec before cmd in
-              let apply_seconds = t.config.now () -. t_apply in
-              Obs.Histo.observe i.h_apply apply_seconds;
-              Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
-              let persisted =
-                persist_delta t s ~before:before.Engine.session
-                  ~after:after.Engine.session
+  let phase1 =
+    try_writer t variant (fun () ->
+        match find_session t variant with
+        | None ->
+            conn.variant <- None;
+            `Respond (Protocol.err "session expired (idle); use @open to resume")
+        | Some s ->
+            let i = t.i in
+            let now = t.config.now () in
+            let breaker = breaker_of t variant in
+            let mutating = Designer.Command.mutates cmd in
+            if mutating && not (Breaker.allows breaker ~now) then begin
+              Obs.Metrics.incr i.c_breaker_rejected;
+              `Respond
+                (Protocol.err
+                   ("variant is read-only: circuit " ^ Breaker.describe breaker))
+            end
+            else
+              (* the on-disk journal state is unknown after a killed worker
+                 (chaos hook) or a crash mid-append: degrade the variant and
+                 evict the session, so the next @open reloads through
+                 recovery *)
+              let degrade_and_evict why =
+                let was_open = Breaker.is_open breaker in
+                Breaker.record_failure breaker ~now:(t.config.now ());
+                if Breaker.is_open breaker && not was_open then
+                  Obs.Metrics.incr i.c_breaker_trips;
+                Obs.Metrics.incr i.c_evicted;
+                Hashtbl.reset s.conns;
+                evict t s;
+                conn.variant <- None;
+                Protocol.err why
               in
-              s.last_used <- t.config.now ();
-              match persisted with
-              | Ok n ->
-                  if n > 0 then
-                    Breaker.record_success breaker ~now:(t.config.now ());
-                  s.state <- after;
-                  if mutating || n > 0 then s.dirty <- true;
-                  (* publish-before-ack; an unchanged state (read-class
-                     fallback, rejected op) keeps the current stamp *)
-                  let version =
-                    if after != before then publish t s
-                    else Publish.seq t.pub variant
-                  in
-                  let t_respond = t.config.now () in
-                  let body = feedback_body feedback in
-                  let respond_seconds = t.config.now () -. t_respond in
-                  Obs.Histo.observe i.h_respond respond_seconds;
-                  Obs.Trace.add_phase_current i.tracer "respond" respond_seconds;
-                  if List.exists Designer.Feedback.is_error feedback then
-                    Protocol.err ~body ~version "command rejected"
-                  else Protocol.ok ~version body
-              | Error e ->
-                  degrade_and_evict
-                    ("persistence failed; operation not accepted; session \
-                      evicted (reopen with @open): " ^ Printexc.to_string e)
-            in
-            (match run () with
-            | response -> response
-            | exception e ->
-                degrade_and_evict
-                  ("request died mid-flight; session evicted: "
-                  ^ Printexc.to_string e)))
+              let respond_now ~version feedback =
+                let t_respond = t.config.now () in
+                let body = feedback_body feedback in
+                let respond_seconds = t.config.now () -. t_respond in
+                Obs.Histo.observe i.h_respond respond_seconds;
+                Obs.Trace.add_phase_current i.tracer "respond" respond_seconds;
+                if List.exists Designer.Feedback.is_error feedback then
+                  Protocol.err ~body ~version "command rejected"
+                else Protocol.ok ~version body
+              in
+              let run () =
+                (match t.config.chaos_hook with
+                | Some hook -> hook ~variant ~line
+                | None -> ());
+                let before = s.state in
+                let t_apply = t.config.now () in
+                let after, feedback = Engine.exec before cmd in
+                let apply_seconds = t.config.now () -. t_apply in
+                Obs.Histo.observe i.h_apply apply_seconds;
+                Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
+                let n, data =
+                  encoded_delta ~before:before.Engine.session
+                    ~after:after.Engine.session
+                in
+                s.last_used <- t.config.now ();
+                match t.commit with
+                | Some gc
+                  when n > 0
+                       || after != before
+                          && not (Group_commit.quiescent gc ~path:(log_path s))
+                  ->
+                    (* Group-commit path.  A changed state with an empty
+                       delta (e.g. [focus]) still submits — an empty record
+                       — when the lane is busy, so its publish is ordered
+                       behind the pending records' publishes. *)
+                    let version = ref (Publish.seq t.pub variant) in
+                    let ticket =
+                      Group_commit.submit gc ~path:(log_path s)
+                        ~on_durable:(fun () ->
+                          version := Publish.publish t.pub variant after)
+                        data
+                    in
+                    s.state <- after;
+                    if mutating || n > 0 then s.dirty <- true;
+                    `Staged
+                      {
+                        st_session = s;
+                        st_variant = variant;
+                        st_conn = conn;
+                        st_ticket = ticket;
+                        st_version = version;
+                        st_feedback = feedback;
+                        st_records = n;
+                      }
+                | _ -> (
+                    (* per-record-fsync baseline ([group_commit = false]),
+                       and the no-delta fast path on a quiescent lane *)
+                    let persisted =
+                      if n = 0 then Ok 0
+                      else
+                        persist_delta t s ~before:before.Engine.session
+                          ~after:after.Engine.session
+                    in
+                    match persisted with
+                    | Ok n ->
+                        if n > 0 then
+                          Breaker.record_success breaker ~now:(t.config.now ());
+                        s.state <- after;
+                        if mutating || n > 0 then s.dirty <- true;
+                        (* publish-before-ack; an unchanged state (read-class
+                           fallback, rejected op) keeps the current stamp *)
+                        let version =
+                          if after != before then publish t s
+                          else Publish.seq t.pub variant
+                        in
+                        `Respond (respond_now ~version feedback)
+                    | Error e ->
+                        `Respond (degrade_and_evict (persistence_failed e)))
+              in
+              (match run () with
+              | r -> r
+              | exception e ->
+                  `Respond
+                    (degrade_and_evict
+                       ("request died mid-flight; session evicted: "
+                       ^ Printexc.to_string e))))
+  in
+  match phase1 with
+  | Error failure -> shed t failure
+  | Ok (`Respond response) -> response
+  | Ok (`Staged st) -> complete t st

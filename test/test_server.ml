@@ -151,6 +151,39 @@ let retry_delays_bounded () =
       Alcotest.failf "attempt %d: delay %f out of bounds" attempt d
   done
 
+(* The absolute deadline clamps every backoff to the remaining budget, and
+   a spent budget stops the loop at the next failure — no sleeping past
+   the deadline, and no busy-spin on zero-length sleeps.  (The group
+   commit flusher leans on this: its flush retries under a request-scale
+   deadline, so a failing disk can pin a batch for at most one deadline,
+   not max_attempts * max_delay.) *)
+let retry_deadline_clamped () =
+  let clock = ref 0.0 in
+  let slept = ref 0.0 in
+  let sleep d =
+    if d <= 0.0 then Alcotest.failf "zero-length sleep (busy spin): %f" d;
+    slept := !slept +. d;
+    clock := !clock +. d
+  in
+  let calls = ref 0 in
+  let policy =
+    { Retry.max_attempts = 50; base_delay = 0.4; max_delay = 0.4; jitter = 0.0 }
+  in
+  (match
+     Retry.with_retries ~sleep ~now:(fun () -> !clock) ~deadline:1.0 policy
+       (fun () ->
+         incr calls;
+         raise (Sys_error "always"))
+   with
+  | Result.Error (Sys_error _) -> ()
+  | _ -> Alcotest.fail "a failing thunk must report its failure");
+  if !slept > 1.0 +. 1e-9 then
+    Alcotest.failf "slept %.3fs past a 1s deadline" !slept;
+  Alcotest.(check int)
+    "gave up when the deadline was spent, not at max_attempts"
+    4 (* 0.4 + 0.4 + 0.2 (clamped), then the budget is zero *)
+    !calls
+
 (* --- breaker -------------------------------------------------------------- *)
 
 let breaker_ladder () =
@@ -300,7 +333,8 @@ let quick_retry =
 
 let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     ?(idle = 300.0) ?(threshold = 3) ?(cooldown = 30.0)
-    ?(lockfree_reads = true) ?chaos_hook () =
+    ?(lockfree_reads = true) ?(group_commit = true) ?(flush_max_batch = 64)
+    ?(flush_linger = 0.002) ?(flush_on_idle = true) ?chaos_hook () =
   {
     Service.request_deadline = deadline;
     max_waiters;
@@ -312,6 +346,10 @@ let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     use_file_locks = false (* lockf needs a real fd; mem fs has none *);
     retry_after_ms = 25;
     lockfree_reads;
+    group_commit;
+    flush_max_batch;
+    flush_linger;
+    flush_on_idle;
     now = Option.value now ~default:Unix.gettimeofday;
     sleep = Option.value sleep ~default:Thread.delay;
     chaos_hook;
@@ -545,6 +583,145 @@ let breaker_degrades_variant () =
   Alcotest.(check bool) "refused op absent" true
     (not (Str_contains.contains steps "lost"))
 
+(* A failed batch flush fails EVERY writer aboard — nothing in the batch
+   is acked, every session is evicted, the breaker trips — and once the
+   disk heals and the breaker cools, a fresh @open reloads the journal
+   and resets the poisoned commit lane: writes flow again. *)
+let group_batch_failure_fails_all () =
+  with_watchdog ~secs:60.0 ~name:"batch failure" (fun () ->
+      let clock = ref 0.0 in
+      let failing = ref false in
+      let m = Io.mem_create () in
+      let raw = Io.locked (Io.mem_io m) in
+      let io =
+        {
+          raw with
+          Io.append =
+            (fun path data ->
+              if !failing then raise (Sys_error (path ^ ": injected EIO"))
+              else raw.Io.append path data);
+        }
+      in
+      (match Repo.init ~io:raw "/repo" (tiny ()) with
+      | Result.Ok repo -> (
+          match Repo.create_variant repo "v" with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e)
+      | Result.Error e -> Alcotest.fail e);
+      (* three writers fill one batch exactly; the strict policy (no idle
+         flush, long linger) makes the batch boundary deterministic *)
+      let config =
+        quick_config ~now:(fun () -> !clock) ~threshold:1 ~cooldown:30.0
+          ~flush_max_batch:3 ~flush_linger:3600.0 ~flush_on_idle:false ()
+      in
+      let t = service ~config io in
+      let conns =
+        List.init 3 (fun _ ->
+            let c = Service.connect t in
+            ignore (req_ok t c "@open v");
+            ignore (req_ok t c "focus ww:Person");
+            c)
+      in
+      failing := true;
+      let failures = Atomic.make 0 in
+      let threads =
+        List.mapi
+          (fun i c ->
+            Thread.create
+              (fun () ->
+                let r =
+                  Service.request t c (apply_line (Printf.sprintf "doomed%d" i))
+                in
+                match r.Protocol.status with
+                | Protocol.Err m
+                  when Str_contains.contains m "persistence failed" ->
+                    Atomic.incr failures
+                | _ -> ())
+              ())
+          conns
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "every waiter of the batch failed" 3
+        (Atomic.get failures);
+      Alcotest.(check int) "every session evicted" 0 (Service.session_count t);
+      (* the breaker tripped: reopened variant is read-only *)
+      let c = List.hd conns in
+      ignore (req_ok t c "@open v");
+      Alcotest.(check bool) "breaker tripped" true
+        (Str_contains.contains (req_err t c (apply_line "still_down")) "read-only");
+      (* disk heals, breaker cools; @open already reloaded the journal and
+         reset the lane — the next batch commits *)
+      failing := false;
+      clock := !clock +. 31.0;
+      ignore (req_ok t c "focus ww:Person");
+      ignore (req_ok t c (apply_line "healed"));
+      ignore (Service.shutdown t);
+      let steps = String.concat "\n" (recovered_steps raw) in
+      Alcotest.(check bool) "post-heal op durable" true
+        (Str_contains.contains steps "healed");
+      Alcotest.(check bool) "no doomed op leaked" true
+        (not (Str_contains.contains steps "doomed")))
+
+(* The crash window between a batch's fsync and its acks: the record is
+   durable but the writer never hears Ok.  That outcome is allowed — the
+   durability contract is one-way (ack implies durable, not the reverse)
+   — but it must leave the journal clean: the reopened session replays
+   the unacked op, and fsck finds nothing to repair. *)
+let durable_but_unacked () =
+  with_watchdog ~secs:60.0 ~name:"durable but unacked" (fun () ->
+      let failing = ref false in
+      let m = Io.mem_create () in
+      let raw = Io.locked (Io.mem_io m) in
+      let io =
+        {
+          raw with
+          Io.fsync =
+            (fun path ->
+              raw.Io.fsync path;
+              (* the data IS durable; the failure hits on the way back *)
+              if !failing then raise (Sys_error (path ^ ": injected: lost ack")));
+        }
+      in
+      (match Repo.init ~io:raw "/repo" (tiny ()) with
+      | Result.Ok repo -> (
+          match Repo.create_variant repo "v" with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e)
+      | Result.Error e -> Alcotest.fail e);
+      (* one attempt only: a retry after the durable-but-failed fsync
+         would append the same record twice *)
+      let config =
+        {
+          (quick_config ~threshold:max_int ()) with
+          Service.retry = { quick_retry with Retry.max_attempts = 1 };
+        }
+      in
+      let t = service ~config io in
+      let c = Service.connect t in
+      ignore (req_ok t c "@open v");
+      ignore (req_ok t c "focus ww:Person");
+      ignore (req_ok t c (apply_line "acked"));
+      failing := true;
+      Alcotest.(check bool) "ack withheld" true
+        (Str_contains.contains (req_err t c (apply_line "limbo"))
+           "persistence failed");
+      Alcotest.(check int) "session evicted (state unknown)" 0
+        (Service.session_count t);
+      failing := false;
+      (* the unacked op was durable after all: the reload replays it *)
+      ignore (req_ok t c "@open v");
+      let steps = String.concat "\n" (recovered_steps raw) in
+      Alcotest.(check bool) "acked op present" true
+        (Str_contains.contains steps "acked");
+      Alcotest.(check bool) "unacked-but-durable op survives" true
+        (Str_contains.contains steps "limbo");
+      ignore (Service.shutdown t);
+      (* and the journal needs no repair *)
+      match (Store.fsck (Store.open_dir ~io:raw "/repo/variants/v")).Store.fsck_issues with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "journal not clean: %s" (String.concat "; " issues))
+
 (* --- lock discipline ------------------------------------------------------- *)
 
 (* Same variant: requests must serialize.  The chaos hook briefly dwells
@@ -650,6 +827,15 @@ let distinct_variants_parallel () =
    loss, salvage, and the recovered journal must contain every
    acknowledged op, per client in order, with a clean re-fsck.
 
+   The group-commit flush policy is varied by seed (batch bound, linger,
+   idle flush): batches then form differently across schedules, so the
+   seed-chosen crash syscall lands in every phase of a batch's life —
+   while records are queued but unflushed, inside a multi-record append
+   (a torn half-batch tail for recovery to cut), and after the fsync but
+   before the waiters ack.  The invariants don't care which: acked ops
+   are durable in per-client order, unacked ops may go either way, and
+   fsck always comes back clean.
+
    Assertions made on worker threads are collected into [first_error]
    (an Alcotest failure raised off the main thread would vanish with its
    thread) and re-raised on the main thread after the joins. *)
@@ -670,7 +856,10 @@ let chaos_schedule seed =
       failwith "chaos: worker killed mid-request"
   in
   let config =
-    quick_config ~deadline:10.0 ~threshold:max_int ~chaos_hook:hook ()
+    quick_config ~deadline:10.0 ~threshold:max_int ~chaos_hook:hook
+      ~flush_max_batch:(1 + (seed mod 4))
+      ~flush_linger:(float_of_int (seed mod 3) /. 1000.0)
+      ~flush_on_idle:(seed mod 2 = 0) ()
   in
   let t = service ~config io in
   let clients = 3 and ops = 3 in
@@ -934,15 +1123,32 @@ let sigterm_drains () =
               [| "swsd"; "serve"; dir; "--socket"; socket_path |]
               Unix.stdin Unix.stdout Unix.stderr
           in
-          let rec connect tries =
+          (* poll for socket readiness against a wall-clock deadline (not a
+             fixed try count x fixed sleep): a slow CI box gets the whole
+             window, a fast one connects on the first probe, and a child
+             that dies during startup fails the test immediately instead of
+             burning the rest of the budget on connection refusals *)
+          let deadline = Unix.gettimeofday () +. 30.0 in
+          let rec connect () =
             match Server.Client.connect socket_path with
             | Result.Ok c -> c
-            | Result.Error _ when tries > 0 ->
-                Thread.delay 0.05;
-                connect (tries - 1)
-            | Result.Error m -> Alcotest.fail m
+            | Result.Error m ->
+                (match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ -> ()
+                | _, status ->
+                    Alcotest.failf "server died during startup (%s)"
+                      (match status with
+                      | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+                      | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                      | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n));
+                if Unix.gettimeofday () > deadline then
+                  Alcotest.failf "server socket never came up: %s" m
+                else begin
+                  Thread.delay 0.02;
+                  connect ()
+                end
           in
-          let client = connect 100 in
+          let client = connect () in
           ignore (Server.Client.read_response client);
           (match Server.Client.request client "@open v" with
           | Some lines -> Alcotest.(check bool) "opened" true (List.mem "!ok" lines)
@@ -1129,8 +1335,14 @@ let snapshot_isolation_storm () =
       in
       let storm_done = Atomic.make false in
       let reads = Atomic.make 0 in
+      (* the readers spin; more of them than spare cores just preempts the
+         writer (and on a 1-2 core CI box, stalls the whole storm) without
+         adding any concurrency the test cares about *)
+      let nreaders =
+        max 1 (min 3 (Domain.recommended_domain_count () - 1))
+      in
       let readers =
-        List.init 3 (fun ri ->
+        List.init nreaders (fun ri ->
             Thread.create
               (fun () ->
                 let c = Service.connect t in
@@ -1168,9 +1380,9 @@ let snapshot_isolation_storm () =
       ignore (req_ok t c "@open v");
       ignore (req_ok t c "focus ww:Person");
       (* the mem fs never blocks, so on one core the storm could finish
-         before any reader thread is scheduled: wait for all three to be
-         reading, and yield between writes to keep them interleaved *)
-      while Atomic.get reads < 3 do
+         before any reader thread is scheduled: wait for every reader to
+         be reading, and yield between writes to keep them interleaved *)
+      while Atomic.get reads < nreaders do
         Thread.yield ()
       done;
       for k = 1 to 30 do
@@ -1274,6 +1486,8 @@ let tests =
     test "retry: transient failures retried, then reported" retry_transient;
     test "retry: crashes fly through untouched" retry_non_transient;
     test "retry: jittered delays stay bounded" retry_delays_bounded;
+    test "retry: the deadline clamps backoff and stops the loop"
+      retry_deadline_clamped;
     test "breaker: trip, half-open probe, close" breaker_ladder;
     test "breaker: timestamped transition log" breaker_transition_log;
     test "stats: @stats reports live counters, latencies, and traces"
@@ -1290,6 +1504,10 @@ let tests =
     test "service: deadline expiry sheds with !busy" deadline_sheds;
     test "service: journal failures degrade the variant to read-only"
       breaker_degrades_variant;
+    test "service: a failed batch flush fails every writer aboard"
+      group_batch_failure_fails_all;
+    test "service: durable-but-unacked is clean after the lost-ack window"
+      durable_but_unacked;
     test "service: readonly connections read but never write" readonly_connection;
     test "service: #version stamps are monotone and read-your-writes"
       version_stamps;
