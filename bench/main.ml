@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- --obs     P12 only; writes BENCH_obs.json
      dune exec bench/main.exe -- --reads   P13 only; writes BENCH_reads.json
      dune exec bench/main.exe -- --commits P14 only; writes BENCH_commits.json
+     dune exec bench/main.exe -- --shards  P15 only; writes BENCH_shards.json
+                                           (needs bin/swsd.exe built)
 *)
 
 let () =
@@ -22,6 +24,7 @@ let () =
   let obs = List.mem "--obs" args in
   let reads = List.mem "--reads" args in
   let commits = List.mem "--commits" args in
+  let shards = List.mem "--shards" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
@@ -29,4 +32,5 @@ let () =
   if server then Server_bench.run ~json_path:"BENCH_server.json" ();
   if obs then Obs_bench.run ~json_path:"BENCH_obs.json" ();
   if reads then Reads_bench.run ~json_path:"BENCH_reads.json" ();
-  if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ()
+  if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ();
+  if shards then Shards_bench.run ~json_path:"BENCH_shards.json" ()

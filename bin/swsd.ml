@@ -510,45 +510,131 @@ let cmd_fsck dir salvage =
   end
 
 (* Serve a multi-variant repository to concurrent designer sessions over
-   a Unix domain socket.  SIGTERM/SIGINT drain gracefully: in-flight
-   requests finish, dirty sessions are snapshotted, locks released. *)
-let cmd_serve dir socket no_obs no_group_commit flush_linger_ms
-    flush_max_batch =
-  let socket_path =
-    match socket with Some p -> p | None -> Filename.concat dir "swsd.sock"
+   a Unix domain socket or TCP.  SIGTERM/SIGINT drain gracefully:
+   in-flight requests finish, dirty sessions are snapshotted, locks
+   released.  With --shards N (N >= 2) this process becomes a
+   variant-hashing router over a supervised pool of worker processes
+   (each a plain single-process `swsd serve` on its own Unix socket). *)
+let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
+    flush_linger_ms flush_max_batch fsync_delay_ms =
+  let listen_spec =
+    match listen with
+    | Some s -> Server.Protocol.parse_address s
+    | None ->
+        Result.Ok
+          (Server.Protocol.Unix_path
+             (match socket with
+             | Some p -> p
+             | None -> Filename.concat dir "swsd.sock"))
   in
-  let obs = if no_obs then Obs.noop else Obs.create () in
-  let config =
-    {
-      Server.Service.default_config with
-      group_commit = not no_group_commit;
-      flush_linger = Float.max 0.0 flush_linger_ms /. 1000.0;
-      flush_max_batch = max 1 flush_max_batch;
-    }
-  in
-  match Server.create ~config ~obs ~socket_path dir with
+  match listen_spec with
   | Error m ->
       prerr_endline m;
       1
-  | Ok server ->
-      Server.install_signal_handlers server;
-      Printf.printf "serving %s on %s\n%!" dir socket_path;
-      let failures = Server.run server in
-      List.iter
-        (fun (variant, reason) ->
-          Printf.eprintf
-            "warning: %s: snapshot failed (%s); journal remains authoritative\n"
-            variant reason)
-        failures;
-      print_endline "server stopped";
-      0
+  | Ok listen -> (
+      let obs = if no_obs then Obs.noop else Obs.create () in
+      let fsync_delay = Float.max 0.0 fsync_delay_ms /. 1000.0 in
+      (* benchmarks model a slower disk by stretching fsync; everything
+         else (writes, renames) keeps real speed *)
+      let io =
+        if fsync_delay <= 0.0 then None
+        else
+          let module Io = Repository.Io in
+          Some
+            {
+              Io.unix with
+              Io.fsync =
+                (fun path ->
+                  Io.unix.Io.fsync path;
+                  Thread.delay fsync_delay);
+            }
+      in
+      let serve_flags =
+        (if no_obs then [ "--no-obs" ] else [])
+        @ (if no_group_commit then [ "--no-group-commit" ] else [])
+        @ [
+            "--flush-linger-ms";
+            string_of_float flush_linger_ms;
+            "--flush-max-batch";
+            string_of_int flush_max_batch;
+          ]
+        @
+        if fsync_delay_ms > 0.0 then
+          [ "--fsync-delay-ms"; string_of_float fsync_delay_ms ]
+        else []
+      in
+      if shards >= 2 then begin
+        (* router mode: fork+exec one worker per shard, then route *)
+        let pool =
+          Server.Shard_pool.create ~worker_args:serve_flags
+            ~exe:Sys.executable_name ~dir ~shards ()
+        in
+        match Server.Shard_pool.start pool with
+        | Error m ->
+            Server.Shard_pool.stop pool;
+            prerr_endline m;
+            1
+        | Ok () -> (
+            match Server.Router.create ~obs ~listen pool with
+            | Error m ->
+                Server.Shard_pool.stop pool;
+                prerr_endline m;
+                1
+            | Ok router ->
+                Server.Router.install_signal_handlers router;
+                Printf.printf "serving %s on %s (%d shards)\n%!" dir
+                  (Server.Protocol.address_to_string
+                     (Server.Router.listen_address router))
+                  shards;
+                Server.Router.run router;
+                Server.Shard_pool.stop pool;
+                print_endline "server stopped";
+                0)
+      end
+      else begin
+        let instance_notes =
+          (match shard_id with
+          | Some k -> [ ("instance.shard", string_of_int k) ]
+          | None -> [])
+          @ [ ("instance.listen", Server.Protocol.address_to_string listen) ]
+        in
+        let config =
+          {
+            Server.Service.default_config with
+            group_commit = not no_group_commit;
+            flush_linger = Float.max 0.0 flush_linger_ms /. 1000.0;
+            flush_max_batch = max 1 flush_max_batch;
+            instance_notes;
+          }
+        in
+        match Server.create ~config ~obs ?io ~listen dir with
+        | Error m ->
+            prerr_endline m;
+            1
+        | Ok server ->
+            Server.install_signal_handlers server;
+            Printf.printf "serving %s on %s\n%!" dir
+              (Server.Protocol.address_to_string
+                 (Server.listen_address server));
+            let failures = Server.run server in
+            List.iter
+              (fun (variant, reason) ->
+                Printf.eprintf
+                  "warning: %s: snapshot failed (%s); journal remains \
+                   authoritative\n"
+                  variant reason)
+              failures;
+            print_endline "server stopped";
+            0
+      end)
 
 (* Ask a running server for its observability snapshot.  The transcript is
    plain line protocol: consume the greeting, send @stats, strip the body
    prefix from the reply.  Exit 1 when the server refuses (e.g. --no-obs)
    or cannot be reached. *)
 let cmd_stats socket json =
-  match Server.Client.connect socket with
+  (* ride out a server that is still binding (startup race) *)
+  match Server.Client.connect ~retry_for:2.0 socket with
   | Error m ->
       prerr_endline m;
       1
@@ -886,15 +972,40 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve a variant repository to concurrent designer sessions over a \
-          Unix domain socket (line protocol; graceful drain on SIGTERM)")
+          Unix domain socket or TCP (line protocol; graceful drain on \
+          SIGTERM).  With --shards N, route variants across a supervised \
+          pool of worker processes by consistent hashing.")
     Term.(
-      const (fun d s n ngc lm mb -> Stdlib.exit (cmd_serve d s n ngc lm mb))
+      const (fun d s l sh sid n ngc lm mb fd ->
+          Stdlib.exit (cmd_serve d s l sh sid n ngc lm mb fd))
       $ repo_dir_arg
       $ Arg.(
           value
           & opt (some string) None
           & info [ "socket" ] ~docv:"PATH"
-              ~doc:"Socket path (default: DIR/swsd.sock).")
+              ~doc:"Unix socket path (default: DIR/swsd.sock).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "listen" ] ~docv:"ADDR"
+              ~doc:
+                "Listen address: a Unix socket path, or HOST:PORT for TCP \
+                 (port 0 picks a free port).  Overrides $(b,--socket).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "shards" ] ~docv:"N"
+              ~doc:
+                "Run N worker processes and route variants onto them by \
+                 consistent hashing (rendezvous over the variant name); \
+                 this process becomes the accept/router front end and \
+                 restarts workers that crash.  Default 1: serve in-process.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "shard-id" ] ~docv:"K"
+              ~doc:
+                "Identity note reported in @stats (set by the router when \
+                 it spawns workers; rarely useful by hand).")
       $ Arg.(
           value & flag
           & info [ "no-obs" ]
@@ -920,7 +1031,13 @@ let serve_cmd =
           & info [ "flush-max-batch" ] ~docv:"N"
               ~doc:
                 "Group commit: flush a batch as soon as it holds this many \
-                 records (default 64)."))
+                 records (default 64).")
+      $ Arg.(
+          value & opt float 0.0
+          & info [ "fsync-delay-ms" ] ~docv:"MS"
+              ~doc:
+                "Stretch every fsync by this many milliseconds (benchmarks: \
+                 model a slower disk; default 0)."))
 
 let stats_cmd =
   Cmd.v
@@ -934,7 +1051,8 @@ let stats_cmd =
       $ Arg.(
           required
           & pos 0 (some string) None
-          & info [] ~docv:"SOCKET" ~doc:"The server's Unix socket path.")
+          & info [] ~docv:"ADDR"
+              ~doc:"The server's Unix socket path, or HOST:PORT for TCP.")
       $ Arg.(
           value & flag
           & info [ "json" ] ~doc:"Emit the snapshot as one JSON object."))

@@ -155,3 +155,21 @@ let to_json sn =
       jfield "traces"
         ("[" ^ String.concat ", " (List.map trace_json sn.sn_traces) ^ "]");
     ]
+
+(* --- composition (multi-process stats) ------------------------------------- *)
+
+let json_string = jstr
+
+let merge_labeled_json parts =
+  jobj (List.map (fun (label, doc) -> jfield label doc) parts)
+
+let merge_labeled_text parts =
+  parts
+  |> List.map (fun (label, text) ->
+         let text =
+           if String.length text > 0 && text.[String.length text - 1] = '\n'
+           then String.sub text 0 (String.length text - 1)
+           else text
+         in
+         Printf.sprintf "== %s ==\n%s" label text)
+  |> String.concat "\n\n"

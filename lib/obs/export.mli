@@ -6,3 +6,15 @@ val to_text : Registry.snapshot -> string
 val to_json : Registry.snapshot -> string
 (** One JSON object: counters, gauges, histogram quantiles, notes, recent
     traces.  Latencies in seconds; no NaN/infinity ever emitted. *)
+
+val json_string : string -> string
+(** Quote + escape one string as a JSON string literal. *)
+
+val merge_labeled_json : (string * string) list -> string
+(** Combine already-rendered JSON documents into one object keyed by
+    label — how a router merges per-shard {!to_json} snapshots (each
+    value must itself be valid JSON). *)
+
+val merge_labeled_text : (string * string) list -> string
+(** Concatenate already-rendered text sections under [== label ==]
+    headers — the text-format counterpart of {!merge_labeled_json}. *)

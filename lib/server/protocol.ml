@@ -35,6 +35,34 @@
     [!busy] is always immediately followed by its [!retry-after] line;
     clients treat [!retry-after] as the terminator. *)
 
+(* --- transport addresses -------------------------------------------------- *)
+
+type address = Unix_path of string | Tcp of string * int
+
+(* A string with a '/' is always a filesystem path; otherwise [host:port]
+   with a numeric port is TCP.  This keeps every pre-TCP invocation
+   ([swsd serve DIR --socket /run/swsd.sock], [swsd stats sock]) parsing
+   exactly as before: relative socket paths without slashes are unusual,
+   and can always be written as [./name.sock]. *)
+let parse_address s =
+  let s = String.trim s in
+  if s = "" then Result.Error "empty address"
+  else if String.contains s '/' then Result.Ok (Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | Some i when i > 0 && i < String.length s - 1 -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p <= 0xffff -> Result.Ok (Tcp (host, p))
+        | Some _ -> Result.Error (s ^ ": port out of range")
+        | None -> Result.Ok (Unix_path s))
+    | _ -> Result.Ok (Unix_path s)
+
+let address_to_string = function
+  | Unix_path p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
 type request =
   | List
   | Open of { variant : string; readonly : bool }

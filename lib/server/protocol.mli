@@ -5,6 +5,18 @@
     status — [!ok], [!err msg], [!readonly msg], or [!busy reason] +
     [!retry-after ms]. *)
 
+type address = Unix_path of string | Tcp of string * int
+(** Where a server listens (or a client connects): a Unix-domain socket
+    path, or a TCP host:port. *)
+
+val parse_address : string -> (address, string) result
+(** Strings containing ['/'] are always [Unix_path]; otherwise a
+    [host:port] suffix with a numeric port parses as [Tcp], and anything
+    else falls back to [Unix_path].  Write [./name.sock] to force a
+    relative path that looks like host:port. *)
+
+val address_to_string : address -> string
+
 type request =
   | List
   | Open of { variant : string; readonly : bool }

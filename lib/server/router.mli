@@ -1,0 +1,41 @@
+(** The sharding front end: accepts client connections (Unix socket or
+    TCP), consistent-hashes variant names onto a {!Shard_pool} of worker
+    processes, forwards the line protocol verbatim, and merges [@stats]
+    across shards.  Mutating designer commands are never silently resent
+    after a backend failure — a lost ack must not become a double apply. *)
+
+val shard_of : shards:int -> string -> int
+(** Rendezvous (highest-random-weight) hashing over FNV-1a 64-bit
+    digests: deterministic across restarts, total (every name maps to
+    exactly one shard in [0, shards)), and minimally disruptive (growing
+    [shards] by one only moves names onto the new shard). *)
+
+type t
+
+val create :
+  ?backlog:int ->
+  ?obs:Obs.t ->
+  ?connect_retry:float ->
+  ?retry_after_ms:int ->
+  listen:Protocol.address ->
+  Shard_pool.t ->
+  (t, string) result
+(** Bind the front-end listener.  [connect_retry] (default 5 s) bounds
+    how long a request waits for a backend worker to accept — long
+    enough to ride out a supervisor respawn.  [obs] feeds the router's
+    own counters ([swsd.router.*]); pass [Obs.noop] for [--no-obs]. *)
+
+val listen_address : t -> Protocol.address
+(** Effective listen address (TCP port 0 resolved to the bound port). *)
+
+val pool : t -> Shard_pool.t
+
+val run : t -> unit
+(** Accept and route until {!stop}; blocks.  The caller starts/stops the
+    {!Shard_pool} around this. *)
+
+val stop : t -> unit
+(** Safe from a signal handler; also closes live client connections. *)
+
+val install_signal_handlers : t -> unit
+(** SIGTERM/SIGINT → {!stop}; SIGPIPE ignored. *)

@@ -1,4 +1,5 @@
-(** Unix-domain-socket front end for {!Service}.
+(** Socket front end for {!Service} — Unix-domain or TCP
+    ({!Protocol.address}).
 
     Thread-per-connection over a listening socket: the accept loop never
     does repository work (admission, shedding, and serialization live in
@@ -16,43 +17,42 @@ module Group_commit = Group_commit
 module Protocol = Protocol
 module Publish = Publish
 module Service = Service
+module Transport = Transport
+module Router = Router
+module Shard_pool = Shard_pool
 module Io = Repository.Io
 
 type t = {
   service : Service.t;
-  socket_path : string;
+  listen : Protocol.address;
   listen_fd : Unix.file_descr;
   stop_requested : bool Atomic.t;
   accepting : bool Atomic.t;
 }
 
-let create ?(config = Service.default_config) ?(backlog = 64) ?obs ~socket_path
+let create ?(config = Service.default_config) ?(backlog = 64) ?obs ?io ~listen
     dir =
-  match Service.open_service ~config ?obs dir with
+  match Service.open_service ~config ?io ?obs dir with
   | Error m -> Error m
   | Ok service -> (
-      (* a leftover socket file from a dead server would fail the bind *)
-      (if Sys.file_exists socket_path then
-         try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-      match
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind fd (Unix.ADDR_UNIX socket_path);
-        Unix.listen fd backlog;
-        fd
-      with
-      | fd ->
+      (* [Transport.bind] probes a Unix path first: a stale socket file
+         from a kill -9'd server is reclaimed, a live listener (or a
+         non-socket file) is refused instead of silently stolen. *)
+      match Transport.bind ~backlog listen with
+      | Error m -> Error m
+      | Ok fd ->
           Ok
             {
               service;
-              socket_path;
+              listen = Transport.bound_address fd listen;
               listen_fd = fd;
               stop_requested = Atomic.make false;
               accepting = Atomic.make false;
-            }
-      | exception Unix.Unix_error (e, _, _) ->
-          Error (socket_path ^ ": " ^ Unix.error_message e))
+            })
 
 let service t = t.service
+
+let listen_address t = t.listen
 
 (** Ask the accept loop to wind down; safe from a signal handler or any
     thread.  Closing the listener unblocks a pending [accept]. *)
@@ -67,37 +67,9 @@ let install_signal_handlers t =
   (try Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
    with Invalid_argument _ | Sys_error _ -> ());
   (* a client vanishing mid-write must be an EPIPE error, not death *)
-  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-  with Invalid_argument _ | Sys_error _ -> ()
+  Transport.ignore_sigpipe ()
 
 (* --- per-connection worker ------------------------------------------------ *)
-
-let send fd text =
-  let b = Bytes.of_string text in
-  let len = Bytes.length b in
-  let rec go off =
-    if off < len then
-      let n = Io.retry_eintr (fun () -> Unix.write fd b off (len - off)) in
-      go (off + n)
-  in
-  go 0
-
-(* Read one newline-terminated line; [None] at EOF.  Byte-at-a-time reads
-   are fine at this protocol's scale and keep the loop interruptible. *)
-let read_line fd =
-  let b = Buffer.create 64 in
-  let one = Bytes.create 1 in
-  let rec go () =
-    match Io.retry_eintr (fun () -> Unix.read fd one 0 1) with
-    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
-    | _ ->
-        if Bytes.get one 0 = '\n' then Some (Buffer.contents b)
-        else begin
-          Buffer.add_char b (Bytes.get one 0);
-          go ()
-        end
-  in
-  go ()
 
 let handle_client t fd =
   let conn = Service.connect t.service in
@@ -106,18 +78,22 @@ let handle_client t fd =
     try Unix.close fd with Unix.Unix_error _ -> ()
   in
   (try
-     send fd (Protocol.to_string (Protocol.ok [ "swsd design service" ]));
+     let reader = Transport.reader fd in
+     Transport.write_all fd
+       (Protocol.to_string (Protocol.ok [ "swsd design service" ]));
      let rec loop () =
-       match read_line fd with
+       match Transport.read_line reader with
        | None -> ()  (* client went away; disconnect snapshots for it *)
        | Some line ->
            let stop_after = String.trim line = "@quit" in
            let response = Service.request t.service conn line in
-           send fd (Protocol.to_string response);
+           Transport.write_all fd (Protocol.to_string response);
            if not stop_after then loop ()
      in
      loop ()
    with
+  (* EPIPE here is the normal fate of a worker whose client hung up
+     mid-response: tear the connection down cleanly, keep the process *)
   | Unix.Unix_error _ | Sys_error _ -> ()
   | Io.Crash -> ());
   finish ()
@@ -129,6 +105,9 @@ let handle_client t fd =
     {!Service.shutdown}.  Blocks the calling thread; spawns one thread per
     connection plus the idle reaper. *)
 let run ?(reap_every = 1.0) t =
+  (* embedded servers (tests, benches) never call
+     [install_signal_handlers]; they still must survive client hangups *)
+  Transport.ignore_sigpipe ();
   let reaper =
     Thread.create
       (fun () ->
@@ -169,55 +148,12 @@ let run ?(reap_every = 1.0) t =
   accept_loop ();
   Thread.join reaper;
   let failures = Service.shutdown t.service in
-  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  (match t.listen with
+  | Protocol.Unix_path p -> (
+      try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Protocol.Tcp _ -> ());
   failures
 
 (* --- a minimal client (tests, bench, scripting) --------------------------- *)
 
-module Client = struct
-  type c = { fd : Unix.file_descr; mutable buf : string }
-
-  let connect path =
-    match
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Io.retry_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path));
-      fd
-    with
-    | fd -> Ok { fd; buf = "" }
-    | exception Unix.Unix_error (e, _, _) ->
-        Error (path ^ ": " ^ Unix.error_message e)
-
-  let read_line c =
-    let rec go () =
-      match String.index_opt c.buf '\n' with
-      | Some i ->
-          let line = String.sub c.buf 0 i in
-          c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
-          Some line
-      | None -> (
-          let chunk = Bytes.create 4096 in
-          match Io.retry_eintr (fun () -> Unix.read c.fd chunk 0 4096) with
-          | 0 -> None
-          | n ->
-              c.buf <- c.buf ^ Bytes.sub_string chunk 0 n;
-              go ())
-    in
-    go ()
-
-  (** Read body lines up to and including the status; [None] on EOF. *)
-  let read_response c =
-    let rec go acc =
-      match read_line c with
-      | None -> None
-      | Some line ->
-          if Protocol.is_terminator line then Some (List.rev (line :: acc))
-          else go (line :: acc)
-    in
-    go []
-
-  let request c line =
-    send c.fd (line ^ "\n");
-    read_response c
-
-  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
-end
+module Client = Transport.Client

@@ -1,6 +1,9 @@
-(** Unix-domain-socket front end for {!Service}: one thread per
-    connection, a periodic idle-session reaper, and graceful drain on
-    SIGTERM/SIGINT. *)
+(** Socket front end for {!Service} — Unix-domain or TCP
+    ({!Protocol.address}): one thread per connection, a periodic
+    idle-session reaper, and graceful drain on SIGTERM/SIGINT.  The
+    sharding pieces live alongside: {!Transport} (bind/connect/IO),
+    {!Shard_pool} (supervised worker processes), {!Router} (the
+    variant-hashing front end). *)
 
 module Retry = Retry
 module Breaker = Breaker
@@ -9,6 +12,9 @@ module Group_commit = Group_commit
 module Protocol = Protocol
 module Publish = Publish
 module Service = Service
+module Transport = Transport
+module Router = Router
+module Shard_pool = Shard_pool
 
 type t
 
@@ -16,19 +22,28 @@ val create :
   ?config:Service.config ->
   ?backlog:int ->
   ?obs:Obs.t ->
-  socket_path:string ->
+  ?io:Repository.Io.t ->
+  listen:Protocol.address ->
   string ->
   (t, string) result
-(** [create ~socket_path dir] opens the repository at [dir] and binds a
-    listening socket at [socket_path] (unlinking a stale socket file).
-    [obs] is passed to {!Service.open_service}; [Obs.noop] disables
-    observability ([--no-obs]). *)
+(** [create ~listen dir] opens the repository at [dir] and binds a
+    listener at [listen].  A stale Unix socket file left by a crashed
+    server is probed and reclaimed; a path with a live listener (or a
+    non-socket file) is an error — never silently stolen.  [obs] is
+    passed to {!Service.open_service}; [Obs.noop] disables observability
+    ([--no-obs]).  [io] overrides the repository IO (benchmarks inject
+    fsync latency through it). *)
 
 val service : t -> Service.t
 
+val listen_address : t -> Protocol.address
+(** Effective listen address (TCP port 0 resolved to the bound port). *)
+
 val run : ?reap_every:float -> t -> (string * string) list
 (** Accept and serve until {!stop}; then drain, snapshot, and release
-    locks via {!Service.shutdown}, returning its failures.  Blocks. *)
+    locks via {!Service.shutdown}, returning its failures.  Blocks.
+    Ignores SIGPIPE process-wide: a client hanging up mid-response is a
+    clean per-connection teardown, never process death. *)
 
 val stop : t -> unit
 (** Request shutdown; safe from a signal handler or another thread. *)
@@ -36,18 +51,8 @@ val stop : t -> unit
 val install_signal_handlers : t -> unit
 (** SIGTERM/SIGINT → {!stop} (graceful drain); SIGPIPE ignored. *)
 
-(** Blocking line-protocol client used by the CLI, tests, and bench. *)
-module Client : sig
-  type c
-
-  val connect : string -> (c, string) result
-
-  val request : c -> string -> string list option
-  (** Send one request line; returns the response lines (body then
-      status, terminator included), or [None] if the server hung up. *)
-
-  val read_response : c -> string list option
-  (** Read one response without sending (e.g. the greeting). *)
-
-  val close : c -> unit
-end
+(** Blocking line-protocol client used by the CLI, tests, and bench; see
+    {!Transport.Client}.  [connect ?retry_for path] accepts a socket path
+    or [host:port] and can retry transient startup races (ECONNREFUSED /
+    ENOENT) until a deadline. *)
+module Client = Transport.Client

@@ -71,6 +71,7 @@ type config = Service_types.config = {
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
+  instance_notes : (string * string) list;
 }
 
 let default_config = Service_types.default_config

@@ -50,6 +50,9 @@ type config = {
       (** test-only: runs inside the variant lock before execution; an
           exception here models a worker thread killed mid-request.  Never
           fired on the lock-free read path (which holds no lock). *)
+  instance_notes : (string * string) list;
+      (** static identity notes appended to every [@stats] snapshot (e.g.
+          a worker's shard id and socket under [--shards]) *)
 }
 
 val default_config : config

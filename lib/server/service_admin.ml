@@ -219,6 +219,7 @@ let do_stats t fmt =
           in
           List.sort compare (sessions @ breakers))
     in
+    let notes = t.config.instance_notes @ notes in
     let sn = Obs.snapshot ~notes i.obs in
     let text =
       match fmt with

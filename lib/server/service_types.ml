@@ -49,6 +49,10 @@ type config = {
       (** test-only: runs inside the variant lock before execution; an
           exception here models a worker thread killed mid-request.  Never
           fired on the lock-free read path (which holds no lock). *)
+  instance_notes : (string * string) list;
+      (** static identity notes appended to every [@stats] snapshot — a
+          sharded worker reports its shard id and socket here so merged
+          stats stay attributable *)
 }
 
 let default_config =
@@ -70,6 +74,7 @@ let default_config =
     now = Unix.gettimeofday;
     sleep = Thread.delay;
     chaos_hook = None;
+    instance_notes = [];
   }
 
 (* --- instruments ----------------------------------------------------------

@@ -1,0 +1,200 @@
+(** A supervised pool of worker [swsd serve] processes, one Unix-domain
+    socket each, for {!Router} to route over.
+
+    Workers are fork+exec'd copies of the ordinary server core ([EXE serve
+    DIR --socket DIR/shard-<k>.sock --shard-id <k> ...]) sharing one
+    repository directory: the router's consistent hash sends each variant
+    to exactly one shard, so each worker owns a disjoint set of
+    [variants/<name>/] journal+store trees and the single-writer-per-
+    variant invariant holds across the pool (the per-variant [.lock]
+    advisory lock remains the cross-process backstop).
+
+    A supervisor thread reaps dead workers ([waitpid WNOHANG]) and
+    respawns them in place; the stale-socket probe in {!Transport.bind}
+    is what lets a respawned worker rebind the socket path its kill -9'd
+    predecessor left behind. *)
+
+type t = {
+  exe : string;
+  dir : string;
+  shards : int;
+  worker_args : string list;
+  sockets : string array;
+  pids : int array;  (** guarded by [mu]; -1 = not running *)
+  mu : Mutex.t;
+  restarts : int Atomic.t;
+  mutable supervising : bool;
+  mutable supervisor : Thread.t option;
+  mutable on_restart : (shard:int -> pid:int -> unit) option;
+}
+
+let socket_name k = Printf.sprintf "shard-%d.sock" k
+
+let create ?(worker_args = []) ?sockets_dir ~exe ~dir ~shards () =
+  let sdir = match sockets_dir with Some d -> d | None -> dir in
+  {
+    exe;
+    dir;
+    shards;
+    worker_args;
+    sockets = Array.init shards (fun k -> Filename.concat sdir (socket_name k));
+    pids = Array.make shards (-1);
+    mu = Mutex.create ();
+    restarts = Atomic.make 0;
+    supervising = false;
+    supervisor = None;
+    on_restart = None;
+  }
+
+let shards t = t.shards
+let socket t k = t.sockets.(k)
+let restarts t = Atomic.get t.restarts
+
+let pid t k =
+  Mutex.lock t.mu;
+  let p = t.pids.(k) in
+  Mutex.unlock t.mu;
+  p
+
+let on_restart t f = t.on_restart <- Some f
+
+(* --- spawning ------------------------------------------------------------- *)
+
+let spawn t k =
+  let args =
+    Array.of_list
+      ([
+         t.exe;
+         "serve";
+         t.dir;
+         "--socket";
+         t.sockets.(k);
+         "--shard-id";
+         string_of_int k;
+       ]
+      @ t.worker_args)
+  in
+  (* workers inherit stderr for diagnostics; stdout (the "serving ..."
+     banner) would interleave with the front end's, so drop it *)
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close devnull with Unix.Unix_error _ -> ())
+    (fun () -> Unix.create_process t.exe args devnull devnull Unix.stderr)
+
+(* [`Alive] on EINTR: the next supervisor tick will ask again. *)
+let probe_pid pid =
+  match Unix.waitpid [ Unix.WNOHANG ] pid with
+  | 0, _ -> `Alive
+  | _, _ -> `Dead
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Alive
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> `Dead
+
+let alive t k =
+  let p = pid t k in
+  p >= 0 && probe_pid p = `Alive
+
+(* --- supervision ----------------------------------------------------------- *)
+
+let supervise_tick t =
+  for k = 0 to t.shards - 1 do
+    Mutex.lock t.mu;
+    let p = t.pids.(k) in
+    let dead = p >= 0 && probe_pid p = `Dead in
+    let fresh =
+      if dead && t.supervising then begin
+        let np = spawn t k in
+        t.pids.(k) <- np;
+        Atomic.incr t.restarts;
+        Some np
+      end
+      else None
+    in
+    Mutex.unlock t.mu;
+    match (fresh, t.on_restart) with
+    | Some np, Some f -> f ~shard:k ~pid:np
+    | _ -> ()
+  done
+
+let start_supervisor t =
+  t.supervising <- true;
+  t.supervisor <-
+    Some
+      (Thread.create
+         (fun () ->
+           while t.supervising do
+             supervise_tick t;
+             Thread.delay 0.05
+           done)
+         ())
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+(** Spawn every worker and wait (up to [wait_ready] seconds overall) for
+    each to accept a connection; then start the supervisor.  Fails fast if
+    a worker exits during startup (bad repo dir, unusable socket path). *)
+let start ?(wait_ready = 15.) t =
+  Mutex.lock t.mu;
+  for k = 0 to t.shards - 1 do
+    if t.pids.(k) < 0 then t.pids.(k) <- spawn t k
+  done;
+  Mutex.unlock t.mu;
+  let deadline = Unix.gettimeofday () +. wait_ready in
+  let rec ready k =
+    if k >= t.shards then Result.Ok ()
+    else if not (alive t k) then
+      Result.Error (Printf.sprintf "shard %d exited during startup" k)
+    else
+      match
+        Transport.Client.connect_to ~retry_for:0.3
+          (Protocol.Unix_path t.sockets.(k))
+      with
+      | Result.Ok c ->
+          (* consume the greeting so the worker's connection count settles *)
+          ignore (Transport.Client.read_response c);
+          Transport.Client.close c;
+          ready (k + 1)
+      | Result.Error m ->
+          if Unix.gettimeofday () > deadline then
+            Result.Error (Printf.sprintf "shard %d not ready: %s" k m)
+          else ready k
+  in
+  match ready 0 with
+  | Result.Ok () ->
+      start_supervisor t;
+      Result.Ok ()
+  | Result.Error _ as e -> e
+
+let signal_pid signum p =
+  if p >= 0 then try Unix.kill p signum with Unix.Unix_error _ -> ()
+
+(** Stop supervising, SIGTERM every worker (graceful drain), and reap
+    them; stragglers get SIGKILL after [grace] seconds. *)
+let stop ?(grace = 10.) t =
+  t.supervising <- false;
+  (match t.supervisor with Some th -> Thread.join th | None -> ());
+  t.supervisor <- None;
+  Mutex.lock t.mu;
+  let pids = Array.copy t.pids in
+  Array.fill t.pids 0 t.shards (-1);
+  Mutex.unlock t.mu;
+  Array.iter (signal_pid Sys.sigterm) pids;
+  let deadline = Unix.gettimeofday () +. grace in
+  Array.iter
+    (fun p ->
+      if p >= 0 then
+        let rec reap () =
+          match probe_pid p with
+          | `Dead -> ()
+          | `Alive ->
+              if Unix.gettimeofday () > deadline then begin
+                signal_pid Sys.sigkill p;
+                (try ignore (Unix.waitpid [] p)
+                 with Unix.Unix_error _ -> ())
+              end
+              else begin
+                Thread.delay 0.02;
+                reap ()
+              end
+        in
+        reap ())
+    pids

@@ -1,0 +1,42 @@
+(** A supervised pool of worker [swsd serve] processes (one Unix socket
+    each) sharing one repository directory, for {!Router} to route over.
+    A supervisor thread respawns workers that die; {!Transport.bind}'s
+    stale-socket reclamation lets a respawned worker rebind the path its
+    kill -9'd predecessor left behind. *)
+
+type t
+
+val create :
+  ?worker_args:string list ->
+  ?sockets_dir:string ->
+  exe:string ->
+  dir:string ->
+  shards:int ->
+  unit ->
+  t
+(** [create ~exe ~dir ~shards ()] describes a pool of [shards] workers
+    run as [exe serve dir --socket <sockets_dir>/shard-<k>.sock
+    --shard-id <k> <worker_args>].  [sockets_dir] defaults to [dir].
+    Nothing is spawned until {!start}. *)
+
+val start : ?wait_ready:float -> t -> (unit, string) result
+(** Spawn all workers, wait until each accepts a connection (bounded by
+    [wait_ready] seconds, default 15), then start the supervisor thread.
+    Fails fast if a worker exits during startup. *)
+
+val stop : ?grace:float -> t -> unit
+(** Stop supervising, SIGTERM every worker, reap them; SIGKILL stragglers
+    after [grace] seconds (default 10). *)
+
+val shards : t -> int
+val socket : t -> int -> string
+val pid : t -> int -> int
+(** Current worker pid for a shard; -1 when not running.  (Chaos tests
+    kill this directly and let the supervisor respawn it.) *)
+
+val alive : t -> int -> bool
+val restarts : t -> int
+(** Workers respawned by the supervisor since {!start}. *)
+
+val on_restart : t -> (shard:int -> pid:int -> unit) -> unit
+(** Observer invoked (from the supervisor thread) after each respawn. *)

@@ -1,0 +1,239 @@
+(** Socket plumbing shared by {!Server}, {!Router}, and the clients:
+    bind/connect over both transports ({!Protocol.address}), partial-write
+    loops, a buffered line reader, and the blocking protocol client.
+
+    This lives below [server.ml] (the library interface module) so that
+    {!Router} and {!Shard_pool} can use the same plumbing without a
+    dependency cycle through [Server]. *)
+
+module Io = Repository.Io
+
+exception Bind_error of string
+
+(* A client hanging up mid-response must surface as EPIPE on the write,
+   never as a process-killing SIGPIPE.  Process-wide, idempotent; called
+   by every accept loop ([Server.run], [Router.run]) so embedded servers
+   (tests, benches) are covered too, not only [swsd serve] which installs
+   full signal handlers. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let sockaddr_of = function
+  | Protocol.Unix_path p -> Unix.ADDR_UNIX p
+  | Protocol.Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+          | _ -> raise (Bind_error (host ^ ": cannot resolve host")))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let domain_of = function
+  | Protocol.Unix_path _ -> Unix.PF_UNIX
+  | Protocol.Tcp _ -> Unix.PF_INET
+
+(* --- binding --------------------------------------------------------------- *)
+
+(* Probe a Unix socket path before binding.  A path can hold:
+   - a live listener (connect succeeds)      -> refuse to steal it;
+   - a dead socket from a kill -9'd server   -> unlink and take over;
+   - a non-socket file                       -> refuse to clobber it. *)
+let prepare_unix_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Result.Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Result.Error (path ^ ": " ^ Unix.error_message e)
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let probe =
+        match Io.retry_eintr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path)) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Dead
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+        | exception Unix.Unix_error (e, _, _) -> `Err (Unix.error_message e)
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match probe with
+      | `Live -> Result.Error (path ^ ": a server is already listening here")
+      | `Err m -> Result.Error (path ^ ": " ^ m)
+      | `Gone -> Result.Ok ()
+      | `Dead -> (
+          (* stale socket left by a crashed server: safe to reclaim *)
+          match Unix.unlink path with
+          | () | (exception Unix.Unix_error (Unix.ENOENT, _, _)) -> Result.Ok ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Result.Error (path ^ ": " ^ Unix.error_message e)))
+  | _ -> Result.Error (path ^ ": exists and is not a socket; refusing to replace it")
+
+(** Bind and listen on [address].  For Unix sockets, a stale socket file
+    from a crashed server is detected (probe-connect) and unlinked; a
+    path with a live listener — or holding a non-socket file — is an
+    error.  For TCP, [SO_REUSEADDR] is set; port 0 picks a free port
+    (recover it with {!bound_address}). *)
+let bind ?(backlog = 64) address =
+  let prepared =
+    match address with
+    | Protocol.Unix_path p -> prepare_unix_path p
+    | Protocol.Tcp _ -> Result.Ok ()
+  in
+  match prepared with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> (
+      match
+        let fd = Unix.socket (domain_of address) Unix.SOCK_STREAM 0 in
+        (match address with
+        | Protocol.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+        | Protocol.Unix_path _ -> ());
+        (try Unix.bind fd (sockaddr_of address)
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        Unix.listen fd backlog;
+        fd
+      with
+      | fd -> Result.Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          Result.Error
+            (Protocol.address_to_string address ^ ": " ^ Unix.error_message e)
+      | exception Bind_error m -> Result.Error m)
+
+(** The address a listener actually bound — resolves TCP port 0 to the
+    kernel-assigned port.  [address] is the address passed to {!bind}. *)
+let bound_address fd address =
+  match address with
+  | Protocol.Unix_path _ -> address
+  | Protocol.Tcp (host, _) -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> Protocol.Tcp (host, port)
+      | _ | (exception Unix.Unix_error _) -> address)
+
+(* --- connecting ------------------------------------------------------------ *)
+
+(* The startup race: a client racing a server that is still binding sees
+   ECONNREFUSED (socket exists, nobody listening) or ENOENT (file not
+   created yet).  Both are transient; [Retry] only retries [Sys_error],
+   so wrap them and let everything else escape untouched. *)
+let transient_connect_errors =
+  [ Unix.ECONNREFUSED; Unix.ENOENT; Unix.ECONNRESET; Unix.EAGAIN ]
+
+let connect_once address =
+  let fd = Unix.socket (domain_of address) Unix.SOCK_STREAM 0 in
+  match Io.retry_eintr (fun () -> Unix.connect fd (sockaddr_of address)) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+(** Connect to [address].  [retry_for] (seconds, default [0.] = a single
+    attempt) bounds a jittered-backoff retry loop over the transient
+    startup failures (ECONNREFUSED / ENOENT / ECONNRESET) so callers can
+    ride out a server that is still binding. *)
+let connect ?(retry_for = 0.) address =
+  let attempt () =
+    try connect_once address
+    with Unix.Unix_error (e, _, _) when List.mem e transient_connect_errors ->
+      raise (Sys_error (Unix.error_message e))
+  in
+  let outcome =
+    if retry_for <= 0. then (
+      match attempt () with v -> Result.Ok v | exception e -> Result.Error e)
+    else
+      let policy =
+        { Retry.default with Retry.max_attempts = max_int; max_delay = 0.25 }
+      in
+      Retry.with_retries ~deadline:(Unix.gettimeofday () +. retry_for) policy
+        attempt
+  in
+  match outcome with
+  | Result.Ok fd -> Result.Ok fd
+  | Result.Error (Sys_error m) ->
+      Result.Error (Protocol.address_to_string address ^ ": " ^ m)
+  | Result.Error (Unix.Unix_error (e, _, _)) ->
+      Result.Error
+        (Protocol.address_to_string address ^ ": " ^ Unix.error_message e)
+  | Result.Error e -> raise e
+
+(* --- IO helpers ------------------------------------------------------------ *)
+
+(** Write all of [text], looping over partial writes; EINTR is retried and
+    EAGAIN waits for writability.  Raises [Unix.Unix_error] (EPIPE when
+    the peer hung up) — never writes a short response silently. *)
+let write_all fd text =
+  let b = Bytes.of_string text in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Io.retry_eintr (fun () -> Unix.write fd b off (len - off)) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (match Unix.select [] [ fd ] [] 1.0 with
+          | _ -> ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off
+  in
+  go 0
+
+type reader = { fd : Unix.file_descr; mutable buf : string }
+
+let reader fd = { fd; buf = "" }
+let reader_fd r = r.fd
+
+(** One newline-terminated line (newline stripped); [None] at EOF. *)
+let read_line r =
+  let rec go () =
+    match String.index_opt r.buf '\n' with
+    | Some i ->
+        let line = String.sub r.buf 0 i in
+        r.buf <- String.sub r.buf (i + 1) (String.length r.buf - i - 1);
+        Some line
+    | None -> (
+        let chunk = Bytes.create 4096 in
+        match Io.retry_eintr (fun () -> Unix.read r.fd chunk 0 4096) with
+        | 0 -> if r.buf = "" then None else (
+            let line = r.buf in
+            r.buf <- "";
+            Some line)
+        | n ->
+            r.buf <- r.buf ^ Bytes.sub_string chunk 0 n;
+            go ())
+  in
+  go ()
+
+(* --- a minimal client (CLI, tests, bench, router backends) ----------------- *)
+
+module Client = struct
+  type c = { r : reader }
+
+  let connect_to ?retry_for address =
+    match connect ?retry_for address with
+    | Result.Ok fd -> Result.Ok { r = reader fd }
+    | Result.Error _ as e -> e
+
+  let connect ?retry_for path =
+    match Protocol.parse_address path with
+    | Result.Error _ as e -> e
+    | Result.Ok a -> connect_to ?retry_for a
+
+  let fd c = c.r.fd
+  let read_line c = read_line c.r
+
+  (** Read body lines up to and including the status; [None] on EOF. *)
+  let read_response c =
+    let rec go acc =
+      match read_line c with
+      | None -> None
+      | Some line ->
+          if Protocol.is_terminator line then Some (List.rev (line :: acc))
+          else go (line :: acc)
+    in
+    go []
+
+  let request c line =
+    write_all c.r.fd (line ^ "\n");
+    read_response c
+
+  let close c = try Unix.close c.r.fd with Unix.Unix_error _ -> ()
+end

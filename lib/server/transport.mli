@@ -1,0 +1,60 @@
+(** Socket plumbing shared by {!Server}, {!Router}, and the clients: bind
+    and connect over both transports ({!Protocol.address}), a partial-write
+    loop, a buffered line reader, and the blocking protocol client. *)
+
+val ignore_sigpipe : unit -> unit
+(** Process-wide, idempotent: a peer hanging up mid-write must surface as
+    EPIPE, never kill the process.  Called by every accept loop. *)
+
+val bind :
+  ?backlog:int -> Protocol.address -> (Unix.file_descr, string) result
+(** Bind + listen.  Unix: probes the path first — a stale socket file from
+    a crashed server is unlinked and reclaimed; a live listener or a
+    non-socket file is an error.  TCP: sets [SO_REUSEADDR]; port 0 lets
+    the kernel pick (recover it with {!bound_address}). *)
+
+val bound_address : Unix.file_descr -> Protocol.address -> Protocol.address
+(** The effective listen address (resolves TCP port 0). *)
+
+val connect :
+  ?retry_for:float -> Protocol.address -> (Unix.file_descr, string) result
+(** [retry_for] (seconds, default 0 = single attempt) retries the
+    transient startup races (ECONNREFUSED / ENOENT / ECONNRESET) with
+    jittered backoff until the deadline — so clients stop flaking when
+    they race a server that is still binding. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write everything, looping over partial writes (EINTR retried, EAGAIN
+    waits for writability).  Raises [Unix.Unix_error] — EPIPE when the
+    peer hung up. *)
+
+type reader
+
+val reader : Unix.file_descr -> reader
+val reader_fd : reader -> Unix.file_descr
+
+val read_line : reader -> string option
+(** One newline-terminated line (newline stripped); [None] at EOF. *)
+
+(** Blocking line-protocol client used by the CLI, tests, bench, and the
+    router's backend connections. *)
+module Client : sig
+  type c
+
+  val connect : ?retry_for:float -> string -> (c, string) result
+  (** Parses the argument with {!Protocol.parse_address}: a socket path
+      or [host:port]. *)
+
+  val connect_to : ?retry_for:float -> Protocol.address -> (c, string) result
+  val fd : c -> Unix.file_descr
+  val read_line : c -> string option
+
+  val request : c -> string -> string list option
+  (** Send one request line; returns the response lines (body then
+      status, terminator included), or [None] if the server hung up. *)
+
+  val read_response : c -> string list option
+  (** Read one response without sending (e.g. the greeting). *)
+
+  val close : c -> unit
+end

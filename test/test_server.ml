@@ -353,6 +353,7 @@ let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     now = Option.value now ~default:Unix.gettimeofday;
     sleep = Option.value sleep ~default:Thread.delay;
     chaos_hook;
+    instance_notes = [];
   }
 
 (* A mem-fs repository with one variant [v], ready to serve. *)
@@ -1062,7 +1063,9 @@ let socket_end_to_end () =
           | Result.Error e -> Alcotest.fail e);
           let socket_path = Filename.concat dir "swsd.sock" in
           let server =
-            match Server.create ~socket_path dir with
+            match
+              Server.create ~listen:(Server.Protocol.Unix_path socket_path) dir
+            with
             | Result.Ok s -> s
             | Result.Error m -> Alcotest.fail m
           in
@@ -1172,6 +1175,241 @@ let sigterm_drains () =
           | Unix.WSTOPPED _ -> Alcotest.fail "server stopped");
           Alcotest.(check bool) "socket removed on drain" false
             (Sys.file_exists socket_path)))
+
+(* --- socket lifecycle (satellites) ----------------------------------------- *)
+
+(* The stale-socket bug: a kill -9'd server leaves its bound socket file
+   behind, and [Server.create] used to die on EADDRINUSE at the next
+   start.  The fix probes the path: a dead socket is unlinked and
+   reclaimed; a live listener or a non-socket file is still refused. *)
+let stale_socket_reclaimed () =
+  with_watchdog ~secs:60.0 ~name:"stale socket reclamation" (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e);
+          let path = Filename.concat dir "swsd.sock" in
+          (* the kill -9 shape, in-process: bind, listen, die without
+             unlinking *)
+          let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.bind dead (Unix.ADDR_UNIX path);
+          Unix.listen dead 1;
+          Unix.close dead;
+          Alcotest.(check bool) "stale socket file left behind" true
+            (Sys.file_exists path);
+          let server =
+            match Server.create ~listen:(Protocol.Unix_path path) dir with
+            | Result.Ok s -> s
+            | Result.Error m -> Alcotest.failf "stale socket not reclaimed: %s" m
+          in
+          let runner = Thread.create (fun () -> ignore (Server.run server)) () in
+          let client =
+            match Server.Client.connect ~retry_for:10.0 path with
+            | Result.Ok c -> c
+            | Result.Error m -> Alcotest.fail m
+          in
+          ignore (Server.Client.read_response client);
+          (match Server.Client.request client "@ping" with
+          | Some lines ->
+              Alcotest.(check bool) "reclaimed server answers" true
+                (List.mem "!ok" lines)
+          | None -> Alcotest.fail "reclaimed server hung up");
+          (* a LIVE listener is never stolen... *)
+          (match Server.Transport.bind (Protocol.Unix_path path) with
+          | Result.Ok fd ->
+              Unix.close fd;
+              Alcotest.fail "bind stole a live listener's socket"
+          | Result.Error m ->
+              Alcotest.(check bool) "refusal names the live listener" true
+                (Str_contains.contains m "already listening"));
+          (* ...and a regular file at the path is never unlinked *)
+          let decoy = Filename.concat dir "not_a_socket" in
+          Io.unix.Io.write decoy "precious";
+          (match Server.Transport.bind (Protocol.Unix_path decoy) with
+          | Result.Ok fd ->
+              Unix.close fd;
+              Alcotest.fail "bind replaced a regular file"
+          | Result.Error m ->
+              Alcotest.(check bool) "refusal names the non-socket" true
+                (Str_contains.contains m "not a socket"));
+          Alcotest.(check string) "the file survived the refusal" "precious"
+            (Io.unix.Io.read_file decoy);
+          Server.Client.close client;
+          Server.stop server;
+          Thread.join runner))
+
+(* The same regression end to end: kill -9 a [swsd serve] process, then
+   restart it on the very socket path the corpse left behind. *)
+let kill9_restart_same_socket () =
+  with_watchdog ~secs:60.0 ~name:"kill -9 then restart on the same socket"
+    (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e);
+          let path = Filename.concat dir "swsd.sock" in
+          let spawn () =
+            Unix.create_process "../bin/swsd.exe"
+              [| "swsd"; "serve"; dir; "--socket"; path |]
+              Unix.stdin Unix.stdout Unix.stderr
+          in
+          let ping () =
+            match Server.Client.connect ~retry_for:30.0 path with
+            | Result.Error m -> Alcotest.failf "server never came up: %s" m
+            | Result.Ok c ->
+                ignore (Server.Client.read_response c);
+                (match Server.Client.request c "@ping" with
+                | Some lines ->
+                    Alcotest.(check bool) "pong" true (List.mem "!ok" lines)
+                | None -> Alcotest.fail "server hung up on @ping");
+                Server.Client.close c
+          in
+          let pid = spawn () in
+          ping ();
+          Unix.kill pid Sys.sigkill;
+          ignore (Io.retry_eintr (fun () -> Unix.waitpid [] pid));
+          Alcotest.(check bool) "kill -9 leaves the socket file behind" true
+            (Sys.file_exists path);
+          (* the regression: this restart used to fail on EADDRINUSE *)
+          let pid = spawn () in
+          ping ();
+          Unix.kill pid Sys.sigterm;
+          let _, status = Io.retry_eintr (fun () -> Unix.waitpid [] pid) in
+          match status with
+          | Unix.WEXITED 0 -> ()
+          | Unix.WEXITED n -> Alcotest.failf "restarted server exited %d" n
+          | Unix.WSIGNALED n ->
+              Alcotest.failf "restarted server killed by signal %d" n
+          | Unix.WSTOPPED _ -> Alcotest.fail "restarted server stopped"))
+
+(* [Client.connect ~retry_for] rides out the startup race (ECONNREFUSED /
+   ENOENT while the server is still binding) but still fails honestly
+   against a server that never arrives. *)
+let connect_retry_deadline () =
+  with_watchdog ~secs:60.0 ~name:"bounded connect retry" (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e);
+          let path = Filename.concat dir "swsd.sock" in
+          (* nothing will ever listen here: the retry gives up at its
+             deadline, not immediately and not never *)
+          let t0 = Unix.gettimeofday () in
+          (match Server.Client.connect ~retry_for:0.3 path with
+          | Result.Ok _ -> Alcotest.fail "connected to nothing"
+          | Result.Error _ -> ());
+          let waited = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "gave up near the deadline (%.2fs)" waited)
+            true
+            (waited >= 0.25 && waited < 10.0);
+          (* a server that binds late: the retrying client wins the race a
+             single-shot connect used to flake on *)
+          let slot = Atomic.make None in
+          let late =
+            Thread.create
+              (fun () ->
+                Thread.delay 0.3;
+                match Server.create ~listen:(Protocol.Unix_path path) dir with
+                | Result.Error m -> Printf.eprintf "late server: %s\n%!" m
+                | Result.Ok s ->
+                    Atomic.set slot (Some s);
+                    ignore (Server.run s))
+              ()
+          in
+          (match Server.Client.connect ~retry_for:10.0 path with
+          | Result.Error m -> Alcotest.failf "retrying connect lost: %s" m
+          | Result.Ok c ->
+              (match Server.Client.read_response c with
+              | Some greeting ->
+                  Alcotest.(check bool) "greeted" true (List.mem "!ok" greeting)
+              | None -> Alcotest.fail "no greeting");
+              Server.Client.close c);
+          let rec stop_late () =
+            match Atomic.get slot with
+            | Some s -> Server.stop s
+            | None ->
+                Thread.delay 0.02;
+                stop_late ()
+          in
+          stop_late ();
+          Thread.join late))
+
+(* A client that pipelines requests and vanishes without reading: the
+   server hits EPIPE mid-response, which must be that connection's clean
+   teardown — the process survives, the session detaches, and the next
+   client gets full service. *)
+let hangup_mid_response () =
+  with_watchdog ~secs:60.0 ~name:"client hangup mid-response" (fun () ->
+      let dir = tmp_dir () in
+      Fun.protect
+        ~finally:(fun () -> rm_rf dir)
+        (fun () ->
+          (match Repo.init dir (tiny ()) with
+          | Result.Ok _ -> ()
+          | Result.Error e -> Alcotest.fail e);
+          let path = Filename.concat dir "swsd.sock" in
+          let server =
+            match Server.create ~listen:(Protocol.Unix_path path) dir with
+            | Result.Ok s -> s
+            | Result.Error m -> Alcotest.fail m
+          in
+          let runner = Thread.create (fun () -> ignore (Server.run server)) () in
+          (* rude clients: stuff the pipe with requests whose responses
+             are large, never read a byte, slam the connection *)
+          for _ = 1 to 5 do
+            match Server.Transport.connect ~retry_for:10.0 (Protocol.Unix_path path) with
+            | Result.Error m -> Alcotest.fail m
+            | Result.Ok fd ->
+                let burst =
+                  "@open rude\n"
+                  ^ String.concat ""
+                      (List.init 50 (fun _ -> "@stats json\n@list\n"))
+                in
+                Server.Transport.write_all fd burst;
+                Unix.close fd
+          done;
+          (* the server is intact and polite to the next client *)
+          let client =
+            match Server.Client.connect ~retry_for:10.0 path with
+            | Result.Ok c -> c
+            | Result.Error m ->
+                Alcotest.failf "server died with its rude clients: %s" m
+          in
+          ignore (Server.Client.read_response client);
+          let expect_ok line =
+            match Server.Client.request client line with
+            | Some lines ->
+                if not (List.mem "!ok" lines) then
+                  Alcotest.failf "%s: %s" line (String.concat " | " lines)
+            | None -> Alcotest.failf "%s: server hung up" line
+          in
+          expect_ok "@new survivor";
+          expect_ok "focus ww:Person";
+          expect_ok (apply_line "after_the_rudeness");
+          expect_ok "@quit";
+          Server.Client.close client;
+          (* every rude connection tore down cleanly: no session leaks *)
+          let deadline = Unix.gettimeofday () +. 10.0 in
+          while
+            Service.session_count (Server.service server) > 0
+            && Unix.gettimeofday () < deadline
+          do
+            Thread.delay 0.02
+          done;
+          Alcotest.(check int) "sessions drained back to zero" 0
+            (Service.session_count (Server.service server));
+          Server.stop server;
+          Thread.join runner))
 
 (* --- deterministic listings (satellite) ------------------------------------ *)
 
@@ -1525,6 +1763,14 @@ let tests =
     test "server: socket round trip, stop removes the socket" socket_end_to_end;
     test "server: SIGTERM drains; repl --save fails fast on a served variant"
       sigterm_drains;
+    test "server: a stale socket is reclaimed, a live one never stolen"
+      stale_socket_reclaimed;
+    test "server: kill -9 then restart binds the same socket path"
+      kill9_restart_same_socket;
+    test "client: connect retries to a deadline, then gives up honestly"
+      connect_retry_deadline;
+    test "server: EPIPE mid-response is a clean per-connection teardown"
+      hangup_mid_response;
     test "repo: variant names are sorted whatever readdir yields"
       variant_names_sorted;
   ]
