@@ -12,6 +12,8 @@
      dune exec bench/main.exe -- --commits P14 only; writes BENCH_commits.json
      dune exec bench/main.exe -- --shards  P15 only; writes BENCH_shards.json
                                            (needs bin/swsd.exe built)
+     dune exec bench/main.exe -- --repl    P16 only; writes BENCH_repl.json
+                                           (needs bin/swsd.exe built)
 *)
 
 let () =
@@ -25,6 +27,7 @@ let () =
   let reads = List.mem "--reads" args in
   let commits = List.mem "--commits" args in
   let shards = List.mem "--shards" args in
+  let repl = List.mem "--repl" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
@@ -33,4 +36,5 @@ let () =
   if obs then Obs_bench.run ~json_path:"BENCH_obs.json" ();
   if reads then Reads_bench.run ~json_path:"BENCH_reads.json" ();
   if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ();
-  if shards then Shards_bench.run ~json_path:"BENCH_shards.json" ()
+  if shards then Shards_bench.run ~json_path:"BENCH_shards.json" ();
+  if repl then Repl_bench.run ~json_path:"BENCH_repl.json" ()

@@ -458,11 +458,14 @@ let cmd_variants_affinity dir =
 
 (* Check (and optionally salvage) a repository directory: a plain session
    store, or a multi-variant repository (every variant is checked).
-   Exit codes: 0 clean (or fully salvaged), 2 damaged. *)
+   Exit codes: 0 clean, 1 damage found and salvaged (--salvage repaired
+   everything it found), 2 corrupt (damage present and not repaired, or
+   the directory is not a repository at all).  Multi-variant repositories
+   aggregate by max, so one unsalvageable variant makes the whole run 2. *)
 let cmd_fsck dir salvage =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     prerr_endline (dir ^ ": not a directory");
-    1
+    2
   end
   else begin
     let fsck_store label sdir =
@@ -478,7 +481,7 @@ let cmd_fsck dir salvage =
       | { fsck_session = Some _; _ } ->
           if salvage then begin
             Printf.printf "%s: salvaged\n" label;
-            0
+            1
           end
           else 2
     in
@@ -514,9 +517,17 @@ let cmd_fsck dir salvage =
    in-flight requests finish, dirty sessions are snapshotted, locks
    released.  With --shards N (N >= 2) this process becomes a
    variant-hashing router over a supervised pool of worker processes
-   (each a plain single-process `swsd serve` on its own Unix socket). *)
+   (each a plain single-process `swsd serve` on its own Unix socket).
+
+   Replication (DESIGN.md §14): --replicate accepts follower streams;
+   --follow ADDR serves this directory as a read-only replica of the
+   leader at ADDR; --replicas N supervises a leader plus N followers and
+   promotes a follower if the leader dies; --promote-from DIR recovers a
+   dead leader's directory into this one and fences the old era before
+   serving (what the supervisor passes to the follower it promotes). *)
 let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
-    flush_linger_ms flush_max_batch fsync_delay_ms =
+    flush_linger_ms flush_max_batch fsync_delay_ms replicate follow replicas
+    promote_from era =
   let listen_spec =
     match listen with
     | Some s -> Server.Protocol.parse_address s
@@ -530,6 +541,16 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
   match listen_spec with
   | Error m ->
       prerr_endline m;
+      1
+  | Ok listen when
+      shards >= 2
+      && (replicate || follow <> None || replicas > 0 || promote_from <> None)
+    ->
+      ignore listen;
+      prerr_endline
+        "serve: --shards cannot be combined with \
+         --replicate/--follow/--replicas/--promote-from (shard stores are \
+         replicated individually)";
       1
   | Ok listen -> (
       let obs = if no_obs then Obs.noop else Obs.create () in
@@ -591,6 +612,40 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
                 print_endline "server stopped";
                 0)
       end
+      else if replicas > 0 then begin
+        (* replication pool: one leader plus N follower processes under a
+           supervisor that respawns dead followers and promotes a follower
+           over the leader's socket when the leader dies *)
+        let pool =
+          Server.Replication.Pool.create ~worker_args:serve_flags
+            ~exe:Sys.executable_name ~dir ~replicas ()
+        in
+        match Server.Replication.Pool.start pool with
+        | Error m ->
+            Server.Replication.Pool.stop pool;
+            prerr_endline m;
+            1
+        | Ok () ->
+            let stopping = Atomic.make false in
+            let handle _ = Atomic.set stopping true in
+            (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+             with Invalid_argument _ | Sys_error _ -> ());
+            (try Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+             with Invalid_argument _ | Sys_error _ -> ());
+            Printf.printf "serving %s on %s (leader, %d replicas)\n" dir
+              (Server.Replication.Pool.leader_socket pool)
+              replicas;
+            for k = 0 to replicas - 1 do
+              Printf.printf "replica %d (readonly) on %s\n%!" k
+                (Server.Replication.Pool.follower_socket pool k)
+            done;
+            while not (Atomic.get stopping) do
+              Thread.delay 0.2
+            done;
+            Server.Replication.Pool.stop pool;
+            print_endline "pool stopped";
+            0
+      end
       else begin
         let instance_notes =
           (match shard_id with
@@ -598,34 +653,135 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
           | None -> [])
           @ [ ("instance.listen", Server.Protocol.address_to_string listen) ]
         in
-        let config =
+        let base_config extra_notes =
           {
             Server.Service.default_config with
             group_commit = not no_group_commit;
             flush_linger = Float.max 0.0 flush_linger_ms /. 1000.0;
             flush_max_batch = max 1 flush_max_batch;
-            instance_notes;
+            instance_notes = extra_notes @ instance_notes;
           }
         in
-        match Server.create ~config ~obs ?io ~listen dir with
-        | Error m ->
-            prerr_endline m;
-            1
-        | Ok server ->
-            Server.install_signal_handlers server;
-            Printf.printf "serving %s on %s\n%!" dir
-              (Server.Protocol.address_to_string
-                 (Server.listen_address server));
-            let failures = Server.run server in
-            List.iter
-              (fun (variant, reason) ->
-                Printf.eprintf
-                  "warning: %s: snapshot failed (%s); journal remains \
-                   authoritative\n"
-                  variant reason)
-              failures;
-            print_endline "server stopped";
-            0
+        let serve_one ~banner make_server cleanup =
+          match make_server () with
+          | Result.Error m ->
+              prerr_endline m;
+              1
+          | Result.Ok server ->
+              Server.install_signal_handlers server;
+              Printf.printf "%s on %s\n%!" banner
+                (Server.Protocol.address_to_string
+                   (Server.listen_address server));
+              let failures = Server.run server in
+              cleanup ();
+              List.iter
+                (fun (variant, reason) ->
+                  Printf.eprintf
+                    "warning: %s: snapshot failed (%s); journal remains \
+                     authoritative\n"
+                    variant reason)
+                failures;
+              print_endline "server stopped";
+              0
+        in
+        match follow with
+        | Some leader_spec -> (
+            (* follower: replicate the leader's repository into [dir] and
+               serve it read-only; reconnects and re-bootstraps on its own *)
+            match Server.Protocol.parse_address leader_spec with
+            | Error m ->
+                prerr_endline m;
+                1
+            | Ok leader -> (
+                let config =
+                  base_config [ ("instance.role", "follower") ]
+                in
+                match
+                  Server.Replication.Follower.create ~config ?io ~obs ~leader
+                    dir
+                with
+                | Error m ->
+                    prerr_endline m;
+                    1
+                | Ok follower ->
+                    serve_one
+                      ~banner:
+                        (Printf.sprintf "following %s into %s" leader_spec dir)
+                      (fun () ->
+                        Server.of_service ~listen
+                          (Server.Replication.Follower.service follower))
+                      (fun () -> Server.Replication.Follower.stop follower)))
+        | None -> (
+            (* leader (or plain single server).  --promote-from recovers a
+               dead leader's directory into this one first and fences the
+               old era; the era the store carries afterwards is what this
+               writer must present at session load. *)
+            let promoted =
+              match promote_from with
+              | None -> Result.Ok 0
+              | Some src -> (
+                  match Server.Replication.promote ~src ~dst:dir () with
+                  | Error m -> Result.Error m
+                  | Ok (new_era, outcomes) ->
+                      List.iter
+                        (fun (v, r) ->
+                          match r with
+                          | Ok () ->
+                              Printf.printf "promoted variant %s from %s\n" v
+                                src
+                          | Error m ->
+                              Printf.eprintf
+                                "warning: variant %s not recovered during \
+                                 promotion: %s\n"
+                                v m)
+                        outcomes;
+                      Printf.printf "promotion complete: era %d\n%!" new_era;
+                      Result.Ok new_era)
+            in
+            match promoted with
+            | Error m ->
+                prerr_endline ("promotion failed: " ^ m);
+                1
+            | Ok promoted_era ->
+                (* A fresh writer adopts the era its store already carries:
+                   fencing exists to refuse a *still-running* stale writer
+                   (whose config keeps the era it started with), not the
+                   next clean restart of this directory — without adoption
+                   a once-promoted repository would refuse `swsd serve`
+                   until the operator guessed --era by hand. *)
+                let stored_era =
+                  match Repository.Repo.open_dir ?io dir with
+                  | Error _ | (exception _) -> 0
+                  | Ok repo ->
+                      List.fold_left
+                        (fun acc v ->
+                          match
+                            Repository.Store.stored_era
+                              (Repository.Repo.variant_store repo v)
+                          with
+                          | e -> max acc e
+                          | exception _ -> acc)
+                        0
+                        (Repository.Repo.variant_names repo)
+                in
+                if stored_era > max era promoted_era then
+                  Printf.printf "adopting write era %d from the store\n%!"
+                    stored_era;
+                let era = max (max era promoted_era) stored_era in
+                let replicate = replicate || promote_from <> None in
+                let config =
+                  base_config
+                    ((if replicate then [ ("instance.role", "leader") ]
+                      else [])
+                    @ if era > 0 then [ ("instance.era", string_of_int era) ]
+                      else [])
+                in
+                let config = { config with era } in
+                serve_one
+                  ~banner:(Printf.sprintf "serving %s" dir)
+                  (fun () ->
+                    Server.create ~config ~obs ?io ~replicate ~listen dir)
+                  (fun () -> ()))
       end)
 
 (* Ask a running server for its observability snapshot.  The transcript is
@@ -963,7 +1119,11 @@ let fsck_cmd =
     (Cmd.info "fsck"
        ~doc:
          "Check the integrity of a repository directory (a session store or \
-          a variants repository) and optionally salvage it")
+          a variants repository) and optionally salvage it.  Exit status: 0 \
+          the repository is clean; 1 damage was found and --salvage repaired \
+          it; 2 the repository is corrupt (damage present and not repaired, \
+          or the path is not a repository).  Multi-variant repositories \
+          report the worst variant's status.")
     Term.(
       const (fun d s -> Stdlib.exit (cmd_fsck d s)) $ repo_dir_arg $ salvage_arg)
 
@@ -974,10 +1134,12 @@ let serve_cmd =
          "Serve a variant repository to concurrent designer sessions over a \
           Unix domain socket or TCP (line protocol; graceful drain on \
           SIGTERM).  With --shards N, route variants across a supervised \
-          pool of worker processes by consistent hashing.")
+          pool of worker processes by consistent hashing.  With --replicate \
+          / --follow / --replicas, ship acked journal records to read-only \
+          follower processes and promote one if the leader dies.")
     Term.(
-      const (fun d s l sh sid n ngc lm mb fd ->
-          Stdlib.exit (cmd_serve d s l sh sid n ngc lm mb fd))
+      const (fun d s l sh sid n ngc lm mb fd rep fo nrep pf er ->
+          Stdlib.exit (cmd_serve d s l sh sid n ngc lm mb fd rep fo nrep pf er))
       $ repo_dir_arg
       $ Arg.(
           value
@@ -1037,7 +1199,58 @@ let serve_cmd =
           & info [ "fsync-delay-ms" ] ~docv:"MS"
               ~doc:
                 "Stretch every fsync by this many milliseconds (benchmarks: \
-                 model a slower disk; default 0)."))
+                 model a slower disk; default 0).")
+      $ Arg.(
+          value & flag
+          & info [ "replicate" ]
+              ~doc:
+                "Accept replication followers: a connection that sends \
+                 $(b,@follow) receives the acked journal stream (bootstrap \
+                 snapshots, then every durable record in stamp order) \
+                 instead of the line protocol.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "follow" ] ~docv:"ADDR"
+              ~doc:
+                "Serve this directory as a read-only replica of the leader \
+                 at ADDR (a Unix socket path or HOST:PORT).  The repository \
+                 is bootstrapped from the leader's snapshot stream, then \
+                 kept current by replaying its acked journal records; \
+                 clients attach with $(b,@open <variant> readonly) and see \
+                 bounded staleness (a follower's #version stamp never \
+                 exceeds the leader's).  Reconnects with jittered backoff \
+                 and re-bootstraps after any gap.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "replicas" ] ~docv:"N"
+              ~doc:
+                "Supervise a leader plus N follower processes: the leader \
+                 serves DIR on $(i,DIR)/leader.sock with --replicate, each \
+                 follower serves $(i,DIR)/replica-$(i,k) on \
+                 $(i,DIR)/replica-$(i,k).sock.  Dead followers respawn in \
+                 place; a dead leader is replaced by promoting the first \
+                 live follower onto the leader's socket (--promote-from), \
+                 fencing the old generation.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "promote-from" ] ~docv:"DIR"
+              ~doc:
+                "Before serving, recover the (dead) leader repository at \
+                 DIR into this directory — every acked write is in its \
+                 journal; a torn tail is unacknowledged — and fence both \
+                 stores at a fresh era so the old leader, if it ever \
+                 restarts without promotion, is refused at session load.  \
+                 Implies --replicate.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "era" ] ~docv:"N"
+              ~doc:
+                "This writer's replication era (default 0; raised \
+                 automatically by --promote-from).  A variant whose store \
+                 manifest carries a higher era was taken over by a newer \
+                 writer and is refused at session load."))
 
 let stats_cmd =
   Cmd.v

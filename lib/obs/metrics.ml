@@ -75,6 +75,17 @@ let value c = Array.fold_left (fun acc cell -> acc + Atomic.get cell) 0 c.c_cell
 let set g v = if g.g_on then Atomic.set g.g_cell v
 let gauge_value g = Atomic.get g.g_cell
 
+(* Read-only lookups: assertions and exporters ask "what is
+   swsd.repl.lag right now?" without registering a phantom zero-valued
+   instrument on a registry that never emitted it. *)
+let find_counter r name =
+  locked r (fun () -> List.find_opt (fun c -> c.c_name = name) r.r_counters)
+  |> Option.map value
+
+let find_gauge r name =
+  locked r (fun () -> List.find_opt (fun g -> g.g_name = name) r.r_gauges)
+  |> Option.map gauge_value
+
 let by_name name_of l =
   List.sort (fun a b -> compare (name_of a) (name_of b)) l
 

@@ -24,6 +24,14 @@ val value : counter -> int
 val set : gauge -> int -> unit
 val gauge_value : gauge -> int
 
+val find_counter : registry -> string -> int option
+(** Current value of the counter named, or [None] when nothing has
+    registered it — a read-only lookup that, unlike {!counter}, never
+    creates a phantom zero-valued instrument (tests and exporters probe
+    [swsd.repl.*] on registries that may not replicate). *)
+
+val find_gauge : registry -> string -> int option
+
 val counters : registry -> (string * int) list
 (** All counters with their aggregated values, sorted by name. *)
 

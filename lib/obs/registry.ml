@@ -33,6 +33,10 @@ let noop = create ~on:false ()
 let enabled t = t.on
 let counter t name = Metrics.counter t.metrics name
 let gauge t name = Metrics.gauge t.metrics name
+
+(* read-only probes; [None] when nothing registered the instrument *)
+let counter_value t name = Metrics.find_counter t.metrics name
+let gauge_value t name = Metrics.find_gauge t.metrics name
 let tracer t = t.tracer
 
 (** Find-or-create a histogram; the optional bucket shape only applies on

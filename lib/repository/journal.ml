@@ -151,3 +151,138 @@ let read (io : Io.t) path =
 
 let rewrite io path entries =
   timed "rewrite" (fun () -> Io.atomic_write io path (to_string entries))
+
+(* --- replication stream framing ------------------------------------------ *)
+
+module Frame = struct
+  type t =
+    | Hello of { era : int }
+    | Root of { data : string }
+    | File of { variant : string; name : string; data : string }
+    | Start of { variant : string; stamp : int }
+    | Records of { variant : string; stamp : int; data : string }
+    | Reset of { variant : string }
+    | Live
+    | Ack of { variant : string; stamp : int }
+
+  (* Header lines carry only integers and fixed tokens; every
+     variable-length field (variant names may hold any quoted-identifier
+     byte, record runs are raw journal bytes) rides in a length-prefixed
+     payload after the newline.  Nothing in a frame is ever parsed by
+     line discipline, so pathological names cannot break the stream. *)
+  let to_string = function
+    | Hello { era } -> Printf.sprintf "+hello %d\n" era
+    | Root { data } -> Printf.sprintf "+root %d\n%s" (String.length data) data
+    | File { variant; name; data } ->
+        Printf.sprintf "+file %d %d %s\n%s%s" (String.length variant)
+          (String.length data) name variant data
+    | Start { variant; stamp } ->
+        Printf.sprintf "+start %d %d\n%s" (String.length variant) stamp variant
+    | Records { variant; stamp; data } ->
+        Printf.sprintf "+rec %d %d %d\n%s%s" (String.length variant) stamp
+          (String.length data) variant data
+    | Reset { variant } ->
+        Printf.sprintf "+reset %d\n%s" (String.length variant) variant
+    | Live -> "+live\n"
+    | Ack { variant; stamp } ->
+        Printf.sprintf "+ack %d %d\n%s" (String.length variant) stamp variant
+
+  let describe = function
+    | Hello _ -> "+hello"
+    | Root _ -> "+root"
+    | File _ -> "+file"
+    | Start _ -> "+start"
+    | Records _ -> "+rec"
+    | Reset _ -> "+reset"
+    | Live -> "+live"
+    | Ack _ -> "+ack"
+
+  let read ~read_line ~read_exact =
+    match read_line () with
+    | None -> Ok None
+    | Some line -> (
+        let int s = int_of_string_opt s in
+        let payload n k =
+          match read_exact n with
+          | Some s -> k s
+          | None -> Error ("stream ended inside a " ^ line ^ " frame")
+        in
+        let nonneg = function Some n when n >= 0 -> Some n | _ -> None in
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "+hello"; e ] -> (
+            match int e with
+            | Some era -> Ok (Some (Hello { era }))
+            | None -> Error ("bad frame header: " ^ line))
+        | [ "+root"; len ] -> (
+            match nonneg (int len) with
+            | Some n -> payload n (fun data -> Ok (Some (Root { data })))
+            | None -> Error ("bad frame header: " ^ line))
+        | [ "+file"; vlen; dlen; name ] -> (
+            match (nonneg (int vlen), nonneg (int dlen)) with
+            | Some vn, Some dn ->
+                payload (vn + dn) (fun s ->
+                    Ok
+                      (Some
+                         (File
+                            {
+                              variant = String.sub s 0 vn;
+                              name;
+                              data = String.sub s vn dn;
+                            })))
+            | _ -> Error ("bad frame header: " ^ line))
+        | [ "+start"; vlen; stamp ] -> (
+            match (nonneg (int vlen), int stamp) with
+            | Some vn, Some stamp ->
+                payload vn (fun variant -> Ok (Some (Start { variant; stamp })))
+            | _ -> Error ("bad frame header: " ^ line))
+        | [ "+rec"; vlen; stamp; dlen ] -> (
+            match (nonneg (int vlen), int stamp, nonneg (int dlen)) with
+            | Some vn, Some stamp, Some dn ->
+                payload (vn + dn) (fun s ->
+                    Ok
+                      (Some
+                         (Records
+                            {
+                              variant = String.sub s 0 vn;
+                              stamp;
+                              data = String.sub s vn dn;
+                            })))
+            | _ -> Error ("bad frame header: " ^ line))
+        | [ "+reset"; vlen ] -> (
+            match nonneg (int vlen) with
+            | Some vn ->
+                payload vn (fun variant -> Ok (Some (Reset { variant })))
+            | None -> Error ("bad frame header: " ^ line))
+        | [ "+live" ] -> Ok (Some Live)
+        | [ "+ack"; vlen; stamp ] -> (
+            match (nonneg (int vlen), int stamp) with
+            | Some vn, Some stamp ->
+                payload vn (fun variant -> Ok (Some (Ack { variant; stamp })))
+            | _ -> Error ("bad frame header: " ^ line))
+        | _ -> Error ("unknown frame: " ^ line))
+
+  let of_string text =
+    let pos = ref 0 in
+    let read_line () =
+      if !pos >= String.length text then None
+      else
+        match String.index_from_opt text !pos '\n' with
+        | Some i ->
+            let line = String.sub text !pos (i - !pos) in
+            pos := i + 1;
+            Some line
+        | None ->
+            let line = String.sub text !pos (String.length text - !pos) in
+            pos := String.length text;
+            Some line
+    in
+    let read_exact n =
+      if !pos + n > String.length text then None
+      else begin
+        let s = String.sub text !pos n in
+        pos := !pos + n;
+        Some s
+      end
+    in
+    read ~read_line ~read_exact
+end

@@ -84,3 +84,54 @@ val rewrite : Io.t -> string -> entry list -> unit
 
 val kind_tag : Core.Concept.kind -> string
 val kind_of_tag : string -> Core.Concept.kind option
+
+(** {1 Replication stream framing}
+
+    The journal doubles as a physical replication log: a leader ships
+    acked record runs (and, for bootstrap/catch-up, whole artifact files)
+    to followers as a stream of frames.  A frame is a space-delimited
+    header line carrying only integers and fixed tokens, followed by a
+    length-prefixed binary payload holding every variable-length field
+    (variant names may contain any quoted-identifier byte, including
+    spaces and newlines, so they never ride on the header line). *)
+
+module Frame : sig
+  type t =
+    | Hello of { era : int }  (** stream start; the leader's write era *)
+    | Root of { data : string }  (** repository-root [shrinkwrap.odl] *)
+    | File of { variant : string; name : string; data : string }
+        (** one variant artifact ([shrinkwrap.odl], [log.ops],
+            [aliases.map]) shipped during bootstrap or catch-up *)
+    | Start of { variant : string; stamp : int }
+        (** the variant's snapshot is complete: load it through recovery
+            and publish at [stamp] *)
+    | Records of { variant : string; stamp : int; data : string }
+        (** one durable delta: concatenated {!encode} bytes (possibly
+            empty, for publishes with no journal delta), publish at
+            [stamp] *)
+    | Reset of { variant : string }
+        (** the leader rewrote this variant's journal (snapshot, repair,
+            or re-open); byte continuity is broken — ignore [Records]
+            until the next [Start] *)
+    | Live  (** bootstrap complete; the stream is now tailing *)
+    | Ack of { variant : string; stamp : int }
+        (** follower → leader: applied and durable through [stamp] *)
+
+  val to_string : t -> string
+  (** Exact wire bytes: header line + newline + payload. *)
+
+  val describe : t -> string
+  (** The frame's header tag, for logs and counters. *)
+
+  val read :
+    read_line:(unit -> string option) ->
+    read_exact:(int -> string option) ->
+    (t option, string) result
+  (** Read one frame.  [Ok None] is clean end-of-stream at a frame
+      boundary; [Error] is a malformed header or a stream truncated
+      mid-payload.  The callbacks are the transport: [read_line] returns
+      one line without its newline, [read_exact n] exactly [n] bytes. *)
+
+  val of_string : string -> (t option, string) result
+  (** {!read} from the front of a string, for tests. *)
+end

@@ -113,10 +113,14 @@ let append_undo t = Journal.append t.io (log_file t) Journal.Undo
 
 (* --- manifest ------------------------------------------------------------ *)
 
-type manifest = { m_generation : int; m_ops : int }
+type manifest = { m_generation : int; m_ops : int; m_era : int }
 
 let manifest_to_string m =
-  Printf.sprintf "format 1\ngeneration %d\nops %d\n" m.m_generation m.m_ops
+  (* [era] rides along the tolerant key-value format: manifests written
+     before replication existed simply lack the line and parse as era 0,
+     and older readers ignore it. *)
+  Printf.sprintf "format 1\ngeneration %d\nops %d\nera %d\n" m.m_generation
+    m.m_ops m.m_era
 
 let manifest_of_string text =
   let kv line =
@@ -138,8 +142,9 @@ let manifest_of_string text =
     | Some v -> int_of_string_opt v
     | None -> None
   in
+  let era = match int_field "era" with Some e -> e | None -> 0 in
   match (List.assoc_opt "format" fields, int_field "generation", int_field "ops") with
-  | Some "1", Some g, Some o -> Some { m_generation = g; m_ops = o }
+  | Some "1", Some g, Some o -> Some { m_generation = g; m_ops = o; m_era = era }
   | _ -> None
 
 let load_manifest t =
@@ -150,6 +155,25 @@ let load_manifest t =
   else None
 
 let save_manifest t m = write_file t (manifest_file t) (manifest_to_string m)
+
+(* --- generation fencing --------------------------------------------------- *)
+
+(** The write era recorded in the manifest; 0 when there is no manifest or
+    it predates replication. *)
+let stored_era t =
+  match load_manifest t with Some m -> m.m_era | None -> 0
+
+(** Stamp [era] into the manifest (monotone: never lowers a higher stored
+    era).  Promotion fences both the dead leader's store and the promoted
+    replica's at the new era; a writer opening a variant whose stored era
+    exceeds its own must refuse — a newer writer has taken over. *)
+let fence t ~era =
+  let m =
+    match load_manifest t with
+    | Some m -> { m with m_era = max era m.m_era }
+    | None -> { m_generation = 0; m_ops = 0; m_era = era }
+  in
+  save_manifest t m
 
 (* --- whole sessions ------------------------------------------------------ *)
 
@@ -163,8 +187,10 @@ let session_steps session =
     each atomically, so a crash anywhere leaves every artifact whole. *)
 let save_session t session =
   let steps = session_steps session in
-  let generation =
-    match load_manifest t with Some m -> m.m_generation + 1 | None -> 1
+  let generation, era =
+    match load_manifest t with
+    | Some m -> (m.m_generation + 1, m.m_era)
+    | None -> (1, 0)
   in
   save_shrinkwrap t (Core.Session.original session);
   save_log t steps;
@@ -176,7 +202,7 @@ let save_session t session =
   write_file t
     (Filename.concat (reports_dir t) "deliverables.html")
     (Html_report.render session);
-  save_manifest t { m_generation = generation; m_ops = List.length steps }
+  save_manifest t { m_generation = generation; m_ops = List.length steps; m_era = era }
 
 type load_error =
   | Damaged of { file : string; reason : string }

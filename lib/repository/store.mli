@@ -77,11 +77,27 @@ val append_undo : t -> unit
 type manifest = {
   m_generation : int;  (** bumped by every full {!save_session} *)
   m_ops : int;  (** resolved operation count at that save *)
+  m_era : int;
+      (** write era for replication fencing; 0 for manifests written
+          before replication existed (the parser tolerates the missing
+          line). Preserved by {!save_session}, raised by {!fence}. *)
 }
 
 val load_manifest : t -> manifest option
 (** [None] when absent or unreadable (older repository or interrupted
     save — the artifacts themselves are still authoritative). *)
+
+(** {1 Generation fencing} *)
+
+val stored_era : t -> int
+(** The write era recorded in the manifest; 0 when there is no manifest. *)
+
+val fence : t -> era:int -> unit
+(** Stamp [era] into the manifest (monotone — never lowers a higher
+    stored era).  Promotion fences both the dead leader's store and the
+    promoted replica's at the new era; a writer whose configured era is
+    below a variant's stored era must refuse to open it for writing —
+    a newer writer has taken over. *)
 
 (** {1 Whole sessions} *)
 

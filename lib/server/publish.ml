@@ -68,6 +68,19 @@ let publish t key v =
   Atomic.set e.cell (Some (v, stamp));
   stamp
 
+let publish_at t key v stamp =
+  let e = entry t key in
+  (* single applier per key (the follower's replay thread): pin the
+     published stamp to the leader's rather than minting a local one, so
+     a follower's #version can never run ahead of the leader that issued
+     it.  [seq] only ratchets forward. *)
+  let rec bump () =
+    let cur = Atomic.get e.seq in
+    if stamp > cur && not (Atomic.compare_and_set e.seq cur stamp) then bump ()
+  in
+  bump ();
+  Atomic.set e.cell (Some (v, stamp))
+
 let retract t key =
   match find t key with
   | None -> ()

@@ -44,6 +44,13 @@ val publish : 'a t -> string -> 'a -> int
     variant (the caller holds the writer lock); concurrent readers observe
     either the old pair or the new, never a mixture. *)
 
+val publish_at : 'a t -> string -> 'a -> int -> unit
+(** Publish a snapshot under a caller-supplied stamp instead of minting
+    one — the replication follower pins its published stamps to the
+    leader's, so a follower's [#version] can never exceed the stamp the
+    leader issued.  [seq] ratchets to [max seq stamp]; single applier per
+    variant. *)
+
 val retract : 'a t -> string -> unit
 (** Eviction: clear the published cell and bump the epoch.  The stamp
     counter is retained, so a later re-publish continues the sequence. *)

@@ -20,6 +20,7 @@ module Service = Service
 module Transport = Transport
 module Router = Router
 module Shard_pool = Shard_pool
+module Replication = Replication
 module Io = Repository.Io
 
 type t = {
@@ -28,27 +29,38 @@ type t = {
   listen_fd : Unix.file_descr;
   stop_requested : bool Atomic.t;
   accepting : bool Atomic.t;
+  hub : Replication.hub option;
+      (** present when this server replicates; [@follow] connections are
+          handed to it instead of the request loop *)
 }
 
-let create ?(config = Service.default_config) ?(backlog = 64) ?obs ?io ~listen
-    dir =
+(** Put an already open service on a socket — the follower path, where
+    {!Replication.Follower.create} must open the service itself (it
+    bootstraps the repository before the directory is servable). *)
+let of_service ?(backlog = 64) ?hub ~listen service =
+  (* [Transport.bind] probes a Unix path first: a stale socket file
+     from a kill -9'd server is reclaimed, a live listener (or a
+     non-socket file) is refused instead of silently stolen. *)
+  match Transport.bind ~backlog listen with
+  | Error m -> Error m
+  | Ok fd ->
+      Ok
+        {
+          service;
+          listen = Transport.bound_address fd listen;
+          listen_fd = fd;
+          stop_requested = Atomic.make false;
+          accepting = Atomic.make false;
+          hub;
+        }
+
+let create ?(config = Service.default_config) ?(backlog = 64) ?obs ?io
+    ?(replicate = false) ~listen dir =
   match Service.open_service ~config ?io ?obs dir with
   | Error m -> Error m
-  | Ok service -> (
-      (* [Transport.bind] probes a Unix path first: a stale socket file
-         from a kill -9'd server is reclaimed, a live listener (or a
-         non-socket file) is refused instead of silently stolen. *)
-      match Transport.bind ~backlog listen with
-      | Error m -> Error m
-      | Ok fd ->
-          Ok
-            {
-              service;
-              listen = Transport.bound_address fd listen;
-              listen_fd = fd;
-              stop_requested = Atomic.make false;
-              accepting = Atomic.make false;
-            })
+  | Ok service ->
+      let hub = if replicate then Some (Replication.hub service) else None in
+      of_service ~backlog ?hub ~listen service
 
 let service t = t.service
 
@@ -84,6 +96,18 @@ let handle_client t fd =
      let rec loop () =
        match Transport.read_line reader with
        | None -> ()  (* client went away; disconnect snapshots for it *)
+       | Some line when String.trim line = "@follow" -> (
+           (* the connection stops speaking the line protocol and becomes
+              a replication stream; it never returns to this loop *)
+           match t.hub with
+           | Some hub -> Replication.serve_follower hub fd reader
+           | None ->
+               Transport.write_all fd
+                 (Protocol.to_string
+                    (Protocol.err
+                       "replication is not enabled on this server \
+                        (start it with --replicate)"));
+               loop ())
        | Some line ->
            let stop_after = String.trim line = "@quit" in
            let response = Service.request t.service conn line in
@@ -147,6 +171,9 @@ let run ?(reap_every = 1.0) t =
   Atomic.set t.accepting true;
   accept_loop ();
   Thread.join reaper;
+  (* wake follower streams before the drain so their worker threads wind
+     down instead of waiting on the hub's condition forever *)
+  (match t.hub with Some hub -> Replication.stop_hub hub | None -> ());
   let failures = Service.shutdown t.service in
   (match t.listen with
   | Protocol.Unix_path p -> (

@@ -15,6 +15,7 @@ module Service = Service
 module Transport = Transport
 module Router = Router
 module Shard_pool = Shard_pool
+module Replication = Replication
 
 type t
 
@@ -23,6 +24,7 @@ val create :
   ?backlog:int ->
   ?obs:Obs.t ->
   ?io:Repository.Io.t ->
+  ?replicate:bool ->
   listen:Protocol.address ->
   string ->
   (t, string) result
@@ -32,7 +34,19 @@ val create :
     non-socket file) is an error — never silently stolen.  [obs] is
     passed to {!Service.open_service}; [Obs.noop] disables observability
     ([--no-obs]).  [io] overrides the repository IO (benchmarks inject
-    fsync latency through it). *)
+    fsync latency through it).  [replicate] (default [false]) installs a
+    {!Replication.hub}: connections that send [@follow] become follower
+    streams instead of protocol clients. *)
+
+val of_service :
+  ?backlog:int ->
+  ?hub:Replication.hub ->
+  listen:Protocol.address ->
+  Service.t ->
+  (t, string) result
+(** Put an already open service on a listener — the replication-follower
+    path, where {!Replication.Follower.create} opens the service itself
+    (bootstrapping the repository first). *)
 
 val service : t -> Service.t
 

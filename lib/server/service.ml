@@ -68,6 +68,8 @@ type config = Service_types.config = {
   flush_max_batch : int;
   flush_linger : float;
   flush_on_idle : bool;
+  follower : bool;
+  era : int;
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
@@ -177,6 +179,7 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
         stopping = false;
         rand = Random.State.make [| 0x5ca1ab1e |];
         commit_waiting = Atomic.make 0;
+        repl = None;
         i;
       })
     (Repo.open_dir ~io dir)

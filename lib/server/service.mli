@@ -14,7 +14,7 @@
     reads its own acknowledged writes.  Thread-safe: {!request} may be
     called from any number of threads. *)
 
-type config = {
+type config = Service_types.config = {
   request_deadline : float;  (** seconds from arrival to shed *)
   max_waiters : int;  (** per-variant queue bound *)
   idle_timeout : float;  (** reaper frees sessions idle this long *)
@@ -44,6 +44,17 @@ type config = {
   flush_on_idle : bool;
       (** flush short batches as soon as submissions pause, so a lone
           writer is not held for the full linger (default [true]) *)
+  follower : bool;
+      (** serve as a replication follower (default [false]): sessions are
+          never loaded from disk — the replication applier publishes
+          replayed snapshots — so [@open] only attaches readonly to a
+          published variant, and [@new] / non-readonly opens are refused
+          with a pointer at the leader *)
+  era : int;
+      (** this writer's replication era (default [0]), checked against
+          the store manifest at session load: a variant whose stored era
+          is higher was fenced by a promotion — a newer writer owns it —
+          and is refused here (see {!Replication.promote}) *)
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
@@ -57,7 +68,12 @@ type config = {
 
 val default_config : config
 
-type t
+type t = Service_types.t
+(** Transparent so sibling subsystems with their own interfaces
+    ({!Replication}) can accept a [Service.t] and still reach the shared
+    internals through {!Service_types}.  External users should treat it
+    as opaque — [Service_types] is not re-exported by {!Server}. *)
+
 type conn
 
 val open_service :

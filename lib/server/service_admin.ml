@@ -31,6 +31,24 @@ let load_session t variant =
   match flock with
   | Error _ as e -> e
   | Ok flock -> (
+      (* Era fencing, checked {e before} the variant is opened: opening
+         replays the journal and may rewrite a torn tail, and a fenced-out
+         writer must not touch the files a newer era now owns.  The store
+         manifest carries the high-water era ({!Store.fence}); a promotion
+         bumps it on both the old and new homes of every variant. *)
+      match
+        match Repo.variant_store t.repo variant with
+        | store -> Store.stored_era store
+        | exception _ -> 0
+      with
+      | stored when stored > t.config.era ->
+          Option.iter Locks.unlock_file flock;
+          Error
+            (Printf.sprintf
+               "variant is fenced: stored era %d > writer era %d (a newer \
+                writer took over after promotion)"
+               stored t.config.era)
+      | _ -> (
       match Repo.open_variant t.repo variant with
       | Error e ->
           Option.iter Locks.unlock_file flock;
@@ -57,11 +75,14 @@ let load_session t variant =
               (* the stamp continues the variant's sequence across
                  evict/reload cycles: readers never see it go backwards *)
               ignore (publish t s : int);
+              (* recovery may have repaired (rewritten) the journal, so a
+                 follower tracking the old bytes must re-seed *)
+              invalidate t variant;
               Obs.Metrics.incr t.i.c_opened;
               Ok s
           | exception e ->
               Option.iter Locks.unlock_file flock;
-              Error ("could not open variant store: " ^ Printexc.to_string e)))
+              Error ("could not open variant store: " ^ Printexc.to_string e))))
 
 let attach t (s : session) (conn : conn) ~readonly =
   locked t (fun () -> Hashtbl.replace s.conns conn.id ());
@@ -76,6 +97,27 @@ let do_open t (conn : conn) variant ~create ~readonly =
         ~version:(Publish.seq t.pub variant)
         [ "already attached to " ^ variant ]
   | Some v -> Protocol.err ("already attached to " ^ v ^ "; @close first")
+  | None when t.config.follower ->
+      (* A follower never loads sessions from disk — its published
+         snapshots come from the replication applier, which owns the
+         variant's files.  [@open v readonly] attaches to whatever is
+         published; everything else belongs on the leader. *)
+      if create then Protocol.err "this server is a follower; create variants on the leader"
+      else if not readonly then
+        Protocol.err
+          "this server is a follower; attach with: @open <variant> readonly \
+           (or write to the leader)"
+      else (
+        match Publish.read t.pub variant with
+        | Some (_, stamp) ->
+            conn.variant <- Some variant;
+            conn.readonly <- true;
+            Protocol.ok ~version:stamp
+              [ "attached to " ^ variant ^ " (readonly, replica)" ]
+        | None ->
+            if Repo.mem_variant t.repo variant then
+              Protocol.err ("variant " ^ variant ^ " is not yet replicated; retry shortly")
+            else Protocol.err ("no variant named " ^ variant))
   | None ->
       with_writer t variant (fun () ->
           let created =

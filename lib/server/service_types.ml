@@ -43,6 +43,17 @@ type config = {
   flush_max_batch : int;  (** flush a lane at this many pending records *)
   flush_linger : float;  (** max seconds a record may wait for company *)
   flush_on_idle : bool;  (** flush short batches when submissions pause *)
+  follower : bool;
+      (** serve as a replication follower: sessions are never loaded from
+          disk — the replication applier publishes replayed snapshots —
+          so [@open] only attaches readonly to a published variant, and
+          [@new] / non-readonly opens are refused with a pointer at the
+          leader *)
+  era : int;
+      (** this writer's replication era, checked against the store
+          manifest at session load: a variant whose stored era is higher
+          was fenced by a promotion — a newer writer owns it — and must
+          not be opened for writing here *)
   now : unit -> float;
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
@@ -71,6 +82,8 @@ let default_config =
     flush_max_batch = 64;
     flush_linger = 0.002;
     flush_on_idle = true;
+    follower = false;
+    era = 0;
     now = Unix.gettimeofday;
     sleep = Thread.delay;
     chaos_hook = None;
@@ -179,6 +192,18 @@ let make_instruments obs =
     h_io_rename = h "swsd.io.rename_seconds";
   }
 
+(** The hook a replication hub installs on the leader service.  [rs_ship]
+    is called from the commit paths — after the records are durable, in
+    publication-stamp order per variant — with the exact journal bytes
+    that were appended.  [rs_invalidate] fires whenever the on-disk
+    journal is {e rewritten} rather than appended to (snapshot, recovery
+    repair): the shipped byte stream is no longer a suffix of the file,
+    so followers must be re-seeded from a fresh snapshot. *)
+type replication_sink = {
+  rs_ship : variant:string -> stamp:int -> data:string -> unit;
+  rs_invalidate : variant:string -> unit;
+}
+
 type session = {
   variant : string;
   store : Store.t;
@@ -209,6 +234,10 @@ type t = {
           baseline ([group_commit = false]) *)
   commit_waiting : int Atomic.t;
       (** writers blocked on a ticket right now (feeds the stall gauge) *)
+  mutable repl : replication_sink option;
+      (** installed by {!Replication.hub} on the leader; [None] when the
+          server does not replicate.  Written once before the first
+          client is served, read on every commit. *)
   i : instruments;
 }
 
@@ -305,6 +334,23 @@ let evict t (s : session) =
    publication stamp.  Caller holds the writer lock. *)
 let publish t (s : session) = Publish.publish t.pub s.variant s.state
 
+(* Hand freshly durable journal bytes to the replication hub (no-ops
+   without one).  Called with the publication stamp the bytes correspond
+   to, in stamp order per variant: under group commit that order is
+   guaranteed by the flusher running [on_durable] hooks in submission
+   order; on the per-record path by the variant writer lock. *)
+let ship t ~variant ~stamp ~data =
+  match t.repl with
+  | None -> ()
+  | Some sink -> sink.rs_ship ~variant ~stamp ~data
+
+(* Tell the hub the variant's journal file was rewritten (snapshot,
+   repair): shipped bytes no longer extend the file, re-seed followers. *)
+let invalidate t variant =
+  match t.repl with
+  | None -> ()
+  | Some sink -> sink.rs_invalidate ~variant
+
 let log_path (s : session) = Store.log_file s.store
 
 (* Wait until the session's group-commit lane is empty and no flush is in
@@ -329,6 +375,9 @@ let snapshot t (s : session) =
     with
     | Ok () ->
         s.dirty <- false;
+        (* the snapshot rewrote the journal; shipped bytes no longer
+           extend the on-disk file, so followers must re-seed *)
+        invalidate t s.variant;
         Ok ()
     | Error e -> Error (Printexc.to_string e)
     | exception e ->

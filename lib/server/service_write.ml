@@ -188,7 +188,11 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                     let ticket =
                       Group_commit.submit gc ~path:(log_path s)
                         ~on_durable:(fun () ->
-                          version := Publish.publish t.pub variant after)
+                          (* runs on the flusher in submission order, so
+                             the hub receives records in stamp order *)
+                          let stamp = Publish.publish t.pub variant after in
+                          version := stamp;
+                          ship t ~variant ~stamp ~data)
                         data
                     in
                     s.state <- after;
@@ -221,7 +225,15 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                         (* publish-before-ack; an unchanged state (read-class
                            fallback, rejected op) keeps the current stamp *)
                         let version =
-                          if after != before then publish t s
+                          if after != before then begin
+                            let stamp = publish t s in
+                            (* the records are durable (fsync'd above);
+                               [data] may be empty for a state-only change
+                               ([focus]) — shipped anyway so follower
+                               stamps track the leader's *)
+                            ship t ~variant ~stamp ~data;
+                            stamp
+                          end
                           else Publish.seq t.pub variant
                         in
                         `Respond (respond_now ~version feedback)

@@ -128,10 +128,15 @@ let connect_once address =
       raise e
 
 (** Connect to [address].  [retry_for] (seconds, default [0.] = a single
-    attempt) bounds a jittered-backoff retry loop over the transient
+    attempt) bounds a {!Retry} full-jitter backoff loop over the transient
     startup failures (ECONNREFUSED / ENOENT / ECONNRESET) so callers can
-    ride out a server that is still binding. *)
-let connect ?(retry_for = 0.) address =
+    ride out a server that is still binding — and so N followers
+    reconnecting after a leader failure spread their storm instead of
+    synchronizing on a fixed sleep.  [policy]/[rand]/[sleep]/[on_retry]
+    are injection points for the backoff (tests pin the jitter stream and
+    record delays without sleeping); the default policy retries until the
+    deadline with delays capped at 250 ms, self-seeded per call. *)
+let connect ?(retry_for = 0.) ?policy ?rand ?sleep ?on_retry address =
   let attempt () =
     try connect_once address
     with Unix.Unix_error (e, _, _) when List.mem e transient_connect_errors ->
@@ -142,10 +147,13 @@ let connect ?(retry_for = 0.) address =
       match attempt () with v -> Result.Ok v | exception e -> Result.Error e)
     else
       let policy =
-        { Retry.default with Retry.max_attempts = max_int; max_delay = 0.25 }
+        match policy with
+        | Some p -> p
+        | None ->
+            { Retry.default with Retry.max_attempts = max_int; max_delay = 0.25 }
       in
-      Retry.with_retries ~deadline:(Unix.gettimeofday () +. retry_for) policy
-        attempt
+      Retry.with_retries ?rand ?sleep ?on_retry
+        ~deadline:(Unix.gettimeofday () +. retry_for) policy attempt
   in
   match outcome with
   | Result.Ok fd -> Result.Ok fd
@@ -201,6 +209,28 @@ let read_line r =
             go ())
   in
   go ()
+
+(** Exactly [n] bytes (consuming the line buffer first); [None] when the
+    stream ends short.  Replication frames interleave header lines with
+    length-prefixed binary payloads on one connection, so this shares the
+    buffer with {!read_line}. *)
+let read_exact r n =
+  let rec go () =
+    let have = String.length r.buf in
+    if have >= n then begin
+      let s = String.sub r.buf 0 n in
+      r.buf <- String.sub r.buf n (have - n);
+      Some s
+    end
+    else
+      let chunk = Bytes.create 4096 in
+      match Io.retry_eintr (fun () -> Unix.read r.fd chunk 0 4096) with
+      | 0 -> None
+      | m ->
+          r.buf <- r.buf ^ Bytes.sub_string chunk 0 m;
+          go ()
+  in
+  if n = 0 then Some "" else go ()
 
 (* --- a minimal client (CLI, tests, bench, router backends) ----------------- *)
 

@@ -17,11 +17,21 @@ val bound_address : Unix.file_descr -> Protocol.address -> Protocol.address
 (** The effective listen address (resolves TCP port 0). *)
 
 val connect :
-  ?retry_for:float -> Protocol.address -> (Unix.file_descr, string) result
+  ?retry_for:float ->
+  ?policy:Retry.policy ->
+  ?rand:Random.State.t ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay:float -> unit) ->
+  Protocol.address ->
+  (Unix.file_descr, string) result
 (** [retry_for] (seconds, default 0 = single attempt) retries the
     transient startup races (ECONNREFUSED / ENOENT / ECONNRESET) with
-    jittered backoff until the deadline — so clients stop flaking when
-    they race a server that is still binding. *)
+    {!Retry} full-jitter backoff until the deadline — so clients stop
+    flaking when they race a server that is still binding, and follower
+    reconnect storms decorrelate instead of synchronizing.  The optional
+    [policy]/[rand]/[sleep]/[on_retry] mirror {!Retry.with_retries} and
+    exist so tests can pin the jitter stream and observe the delay
+    sequence without real sleeps; the defaults self-seed per call. *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Write everything, looping over partial writes (EINTR retried, EAGAIN
@@ -35,6 +45,12 @@ val reader_fd : reader -> Unix.file_descr
 
 val read_line : reader -> string option
 (** One newline-terminated line (newline stripped); [None] at EOF. *)
+
+val read_exact : reader -> int -> string option
+(** Exactly [n] bytes (shares the buffer with {!read_line}, so header
+    lines and length-prefixed binary payloads can interleave on one
+    connection — the replication stream's framing); [None] when the
+    stream ends short. *)
 
 (** Blocking line-protocol client used by the CLI, tests, bench, and the
     router's backend connections. *)

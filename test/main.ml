@@ -50,6 +50,7 @@ let () =
       ("properties", Test_properties.tests);
       ("index", Test_index.tests);
       ("server", Test_server.tests);
+      ("replication", Test_replication.tests);
       ("router", Test_router.tests);
       ("group-commit", Test_group_commit.tests);
       ("server-restore", Test_restore.tests);

@@ -267,8 +267,9 @@ let fsck_corrupt_and_salvage () =
           check_run [ "variants"; "apply"; dir; "site1"; more ] 2 [ "log.ops" ]);
       check_run [ "fsck"; dir ] 2 [ "variants/site1: log.ops" ];
       (* salvage keeps the valid journal prefix and leaves the repository
-         usable again *)
-      check_run [ "fsck"; "--salvage"; dir ] 0 [ "variants/site1: salvaged" ];
+         usable again; exit 1 distinguishes "found damage and repaired it"
+         from a clean 0 *)
+      check_run [ "fsck"; "--salvage"; dir ] 1 [ "variants/site1: salvaged" ];
       check_run [ "fsck"; dir ] 0 [ "clean" ];
       check_run [ "variants"; "list"; dir ] 0 [ "site1" ];
       (* a corrupt top-level schema is corruption too *)
@@ -279,7 +280,9 @@ let fsck_corrupt_and_salvage () =
       check_run [ "fsck"; dir ] 2 [ "shrinkwrap.odl" ])
 
 let fsck_not_a_directory () =
-  check_run [ "fsck"; "/nonexistent/definitely/not" ] 1 [ "not a directory" ]
+  (* not a repository at all is corruption-grade: exit 2, like damage that
+     cannot be repaired *)
+  check_run [ "fsck"; "/nonexistent/definitely/not" ] 2 [ "not a directory" ]
 
 let data_commands () =
   let data =

@@ -350,6 +350,8 @@ let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     flush_max_batch;
     flush_linger;
     flush_on_idle;
+    follower = false;
+    era = 0;
     now = Option.value now ~default:Unix.gettimeofday;
     sleep = Option.value sleep ~default:Thread.delay;
     chaos_hook;
