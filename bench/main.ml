@@ -14,6 +14,7 @@
                                            (needs bin/swsd.exe built)
      dune exec bench/main.exe -- --repl    P16 only; writes BENCH_repl.json
                                            (needs bin/swsd.exe built)
+     dune exec bench/main.exe -- --query   P17 only; writes BENCH_query.json
 *)
 
 let () =
@@ -28,6 +29,7 @@ let () =
   let commits = List.mem "--commits" args in
   let shards = List.mem "--shards" args in
   let repl = List.mem "--repl" args in
+  let query = List.mem "--query" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
@@ -37,4 +39,5 @@ let () =
   if reads then Reads_bench.run ~json_path:"BENCH_reads.json" ();
   if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ();
   if shards then Shards_bench.run ~json_path:"BENCH_shards.json" ();
-  if repl then Repl_bench.run ~json_path:"BENCH_repl.json" ()
+  if repl then Repl_bench.run ~json_path:"BENCH_repl.json" ();
+  if query then Query_bench.run ~json_path:"BENCH_query.json" ()

@@ -1,0 +1,190 @@
+(* P17: incrementally maintained query views vs from-scratch evaluation.
+
+   The claim under test: maintaining each variant's materialized
+   {!Query.View} incrementally from the session's dirty set makes
+   [@query] answers cheap — the view is refreshed once per committed op
+   (a cost proportional to the op's neighbourhood), and every query then
+   evaluates against ready-made indexes.  The naive alternative rebuilds
+   the whole view per request ({!Query.Eval.run_fresh}) — a cost
+   proportional to the schema, paid on every query.
+
+   Setup: one synthetic schema (default 1000 interfaces, the paper-scale
+   stress point), 200 committed ops each followed by an incremental
+   refresh (the write path's cost, reported separately), then a battery
+   of representative queries — point and glob name lookups, attribute
+   search with inheritance, ISA and part-of closures, a wagon wheel —
+   evaluated both ways over identical state.  ([diff] is absent: history
+   slices only exist on a maintained view — a from-scratch rebuild has no
+   stamps to slice, which is its own argument for the views.)
+
+   Reported: per-op maintain cost, per-query latency for both paths, and
+   the aggregate speedup = naive / materialized.  The run FAILS (exit 1)
+   below 5x: at that point the views would not be paying for their
+   maintenance.
+
+   Both paths produce answers over the same view/session, and the bench
+   asserts they are line-identical before timing anything — a speedup
+   over wrong answers would be worthless.
+
+   Knobs: SWSD_QUERY_TYPES (schema size, default 1000),
+   SWSD_QUERY_OPS (committed ops, default 200),
+   SWSD_QUERY_ROUNDS (battery repetitions per path, default 20). *)
+
+module View = Query.View
+module Eval = Query.Eval
+module Parser = Query.Parser
+
+let env_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
+let n_types () = env_int "SWSD_QUERY_TYPES" 1000
+let n_ops () = env_int "SWSD_QUERY_OPS" 200
+let rounds () = env_int "SWSD_QUERY_ROUNDS" 20
+
+let session_of schema =
+  match Core.Session.create schema with
+  | Ok s -> s
+  | Error _ -> failwith "synth schema should be valid"
+
+let apply session text =
+  match
+    Core.Session.apply session ~kind:Core.Concept.Wagon_wheel
+      (Core.Op_parser.parse text)
+  with
+  | Ok (s, _) -> s
+  | Error e -> failwith (text ^ ": " ^ Core.Apply.error_to_string e)
+
+(* the battery: one of each access path, over names the generator emits *)
+let battery =
+  [
+    "name T1";
+    "name \"T1*\"";
+    "name \"*7\"";
+    "attr a1_0";
+    "attr \"a1_*\" inherited";
+    "attr \"bench_*\"";
+    "isa T0";
+    "isa T1 up";
+    "partof T0";
+    "wheel T1";
+  ]
+
+let atom q =
+  match Parser.parse q with
+  | Ok p -> p.Query.Ast.q_atom
+  | Error m -> failwith (q ^ ": " ^ m)
+
+let lines_of = function
+  | Ok ls -> ls
+  | Error m -> [ "error: " ^ m ]
+
+type timing = { query : string; mat_us : float; naive_us : float }
+
+let run ~json_path () =
+  let types = n_types () and ops = n_ops () and reps = rounds () in
+  Printf.printf "P17: materialized query views, %d interfaces, %d ops\n" types
+    ops;
+  let schema = Schemas.Synth.(generate (default_params ~n_types:types)) in
+  let session = ref (session_of schema) in
+  let view = ref (View.build ~stamp:1 !session) in
+  (* the write path: each committed op refreshes the view from its dirty
+     neighbourhood; this is the price of keeping queries cheap *)
+  let maintain_total = ref 0.0 in
+  let stamp = ref 1 in
+  for k = 1 to ops do
+    let target = (k * 7919) mod types in
+    !session
+    |> Fun.flip apply
+         (Printf.sprintf "add_attribute(T%d, string, 8, bench_%d)" target k)
+    |> fun s ->
+    session := s;
+    incr stamp;
+    let t0 = Unix.gettimeofday () in
+    view := View.refresh !view ~stamp:!stamp !session;
+    maintain_total := !maintain_total +. (Unix.gettimeofday () -. t0)
+  done;
+  let maintain_us = !maintain_total /. float_of_int ops *. 1e6 in
+  Printf.printf "  maintain: %.1f us/op over %d ops (%d refreshes)\n"
+    maintain_us ops
+    (View.refresh_count !view);
+  (* both paths must answer identically before any timing matters *)
+  List.iter
+    (fun q ->
+      let a = atom q in
+      let mat = lines_of (Eval.run !view a)
+      and fresh = lines_of (Eval.run_fresh ~stamp:!stamp !session a) in
+      if mat <> fresh then
+        failwith (Printf.sprintf "%s: materialized and fresh answers differ" q))
+    battery;
+  let time_one f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  in
+  Printf.printf "  %-22s %14s %14s %9s\n" "query" "mat (us)" "naive (us)"
+    "speedup";
+  let timings =
+    List.map
+      (fun q ->
+        let a = atom q in
+        let mat_us = time_one (fun () -> Eval.run !view a) in
+        let naive_us =
+          time_one (fun () -> Eval.run_fresh ~stamp:!stamp !session a)
+        in
+        Printf.printf "  %-22s %14.1f %14.1f %8.1fx\n%!" q mat_us naive_us
+          (if mat_us > 0.0 then naive_us /. mat_us else 0.0);
+        { query = q; mat_us; naive_us })
+      battery
+  in
+  let total which = List.fold_left (fun s t -> s +. which t) 0.0 timings in
+  let mat_total = total (fun t -> t.mat_us)
+  and naive_total = total (fun t -> t.naive_us) in
+  let speedup = if mat_total > 0.0 then naive_total /. mat_total else 0.0 in
+  let passed = speedup >= 5.0 in
+  Printf.printf "\n  battery: %.1f us materialized, %.1f us naive — %.1fx\n"
+    mat_total naive_total speedup;
+  let entry t =
+    Printf.sprintf
+      "    { \"query\": %S, \"materialized_us\": %.2f, \"naive_us\": %.2f }"
+      t.query t.mat_us t.naive_us
+  in
+  let json =
+    String.concat "\n"
+      [
+        "{";
+        "  \"benchmark\": \"P17 incrementally maintained query views\",";
+        "  \"setup\": \"synthetic schema; per-op incremental refresh, then \
+         a query battery evaluated on the materialized view vs a \
+         from-scratch rebuild per request\",";
+        Printf.sprintf "  \"n_types\": %d," types;
+        Printf.sprintf "  \"ops\": %d," ops;
+        Printf.sprintf "  \"rounds\": %d," reps;
+        Printf.sprintf "  \"maintain_us_per_op\": %.2f," maintain_us;
+        Printf.sprintf "  \"battery_materialized_us\": %.2f," mat_total;
+        Printf.sprintf "  \"battery_naive_us\": %.2f," naive_total;
+        Printf.sprintf
+          "  \"speedup_gate\": { \"speedup\": %.2f, \"floor\": 5.0, \
+           \"passed\": %b },"
+          speedup passed;
+        "  \"results\": [";
+        String.concat ",\n" (List.map entry timings);
+        "  ]";
+        "}";
+        "";
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "wrote %s\n" json_path;
+  if not passed then begin
+    Printf.printf
+      "FAIL: battery speedup %.2fx is below the 5x floor — the views are \
+       not paying for their maintenance\n"
+      speedup;
+    exit 1
+  end

@@ -334,7 +334,7 @@ let cmd_migrate_data arg log_path data_path =
           print_endline (Objects.Serial.to_string migrated);
           0)
 
-let cmd_query arg data_path query_text =
+let cmd_oql arg data_path query_text =
   with_schema arg (fun schema ->
       match Objects.Serial.of_string schema (read_file data_path) with
       | exception Objects.Serial.Bad_store m ->
@@ -525,9 +525,9 @@ let cmd_fsck dir salvage =
    promotes a follower if the leader dies; --promote-from DIR recovers a
    dead leader's directory into this one and fences the old era before
    serving (what the supervisor passes to the follower it promotes). *)
-let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
-    flush_linger_ms flush_max_batch fsync_delay_ms replicate follow replicas
-    promote_from era =
+let cmd_serve dir socket listen shards shard_id shard_total no_obs
+    no_group_commit flush_linger_ms flush_max_batch fsync_delay_ms replicate
+    repl_ring follow replicas promote_from era =
   let listen_spec =
     match listen with
     | Some s -> Server.Protocol.parse_address s
@@ -579,13 +579,19 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
             "--flush-max-batch";
             string_of_int flush_max_batch;
           ]
+        @ (if repl_ring <> 1024 then
+             [ "--repl-ring"; string_of_int repl_ring ]
+           else [])
         @
         if fsync_delay_ms > 0.0 then
           [ "--fsync-delay-ms"; string_of_float fsync_delay_ms ]
         else []
       in
       if shards >= 2 then begin
-        (* router mode: fork+exec one worker per shard, then route *)
+        (* router mode: fork+exec one worker per shard, then route.  Each
+           worker learns the pool size so [@query all] fan-out partitions:
+           a worker answers only for the variants the router's hash sends
+           its way. *)
         let pool =
           Server.Shard_pool.create ~worker_args:serve_flags
             ~exe:Sys.executable_name ~dir ~shards ()
@@ -653,6 +659,11 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
           | None -> [])
           @ [ ("instance.listen", Server.Protocol.address_to_string listen) ]
         in
+        let shard_span =
+          match (shard_id, shard_total) with
+          | Some k, Some n when n >= 2 -> Some (k, n)
+          | _ -> None
+        in
         let base_config extra_notes =
           {
             Server.Service.default_config with
@@ -660,6 +671,7 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
             flush_linger = Float.max 0.0 flush_linger_ms /. 1000.0;
             flush_max_batch = max 1 flush_max_batch;
             instance_notes = extra_notes @ instance_notes;
+            shard_span;
           }
         in
         let serve_one ~banner make_server cleanup =
@@ -780,7 +792,8 @@ let cmd_serve dir socket listen shards shard_id no_obs no_group_commit
                 serve_one
                   ~banner:(Printf.sprintf "serving %s" dir)
                   (fun () ->
-                    Server.create ~config ~obs ?io ~replicate ~listen dir)
+                    Server.create ~config ~obs ?io ~replicate
+                      ~repl_ring ~listen dir)
                   (fun () -> ()))
       end)
 
@@ -830,6 +843,60 @@ let cmd_stats socket json =
                 prerr_endline status;
                 finish 1
               end))
+
+(* Ask a running server (leader, follower, or router front end) one
+   [@query] and print the answer body.  [--variant V] attaches readonly
+   first; [all]-scoped and [explain] queries need no attachment.  Exit 0
+   on [!ok], 1 otherwise. *)
+let cmd_query addr variant expr =
+  match Server.Client.connect ~retry_for:2.0 addr with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok c ->
+      let finish code =
+        Server.Client.close c;
+        code
+      in
+      let strip line =
+        let p = Server.Protocol.body_prefix in
+        let pl = String.length p in
+        if String.length line >= pl && String.sub line 0 pl = p then
+          String.sub line pl (String.length line - pl)
+        else line
+      in
+      let run line =
+        match Server.Client.request c line with
+        | None -> Result.Error (addr ^ ": server hung up")
+        | Some lines -> (
+            match List.rev lines with
+            | status :: rev_body
+              when String.length status >= 3 && String.sub status 0 3 = "!ok"
+              ->
+                Result.Ok (List.rev_map strip rev_body)
+            | status :: rev_body ->
+                Result.Error
+                  (String.concat "\n"
+                     (List.rev_map strip rev_body @ [ status ]))
+            | [] -> Result.Error "empty response")
+      in
+      (match Server.Client.read_response c with
+      | None ->
+          prerr_endline (addr ^ ": server hung up before greeting");
+          finish 1
+      | Some _greeting -> (
+          let opened =
+            match variant with
+            | None -> Result.Ok []
+            | Some v -> run ("@open " ^ v ^ " readonly")
+          in
+          match Result.bind opened (fun _ -> run ("@query " ^ expr)) with
+          | Error m ->
+              prerr_endline m;
+              finish 1
+          | Ok body ->
+              List.iter print_endline body;
+              finish 0))
 
 let cmd_examples () =
   List.iter
@@ -1075,16 +1142,46 @@ let data2_arg =
     & pos 2 (some string) None
     & info [] ~docv:"DATA" ~doc:"Object store file.")
 
-let query_cmd =
+let oql_cmd =
   Cmd.v
-    (Cmd.info "query" ~doc:"Run an OQL query over an object store")
+    (Cmd.info "oql" ~doc:"Run an OQL query over an object store")
     Term.(
-      const (fun s d q -> Stdlib.exit (cmd_query s d q))
+      const (fun s d q -> Stdlib.exit (cmd_oql s d q))
       $ schema_arg $ data_arg
       $ Arg.(
           required
           & pos 2 (some string) None
           & info [] ~docv:"QUERY" ~doc:"e.g. 'select Person where name = \"A\"'"))
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Query a running server's repository: interface names, \
+          attributes, ISA/part-of reachability, wagon-wheel \
+          neighborhoods, version diffs — served lock-free from \
+          incrementally maintained views (see LANGUAGE.md)")
+    Term.(
+      const (fun a v e -> Stdlib.exit (cmd_query a v e))
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"ADDR"
+              ~doc:"The server's Unix socket path, or HOST:PORT for TCP.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "variant" ] ~docv:"V"
+              ~doc:
+                "Attach (readonly) to this variant first.  Required unless \
+                 the query is $(b,all)-scoped or $(b,explain).")
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"QUERY"
+              ~doc:
+                "e.g. 'name \"Course*\"', 'all attr units', 'isa Person \
+                 down', 'wheel Course', 'diff 4'"))
 
 let data_check_cmd =
   Cmd.v
@@ -1138,8 +1235,9 @@ let serve_cmd =
           / --follow / --replicas, ship acked journal records to read-only \
           follower processes and promote one if the leader dies.")
     Term.(
-      const (fun d s l sh sid n ngc lm mb fd rep fo nrep pf er ->
-          Stdlib.exit (cmd_serve d s l sh sid n ngc lm mb fd rep fo nrep pf er))
+      const (fun d s l sh sid st n ngc lm mb fd rep rr fo nrep pf er ->
+          Stdlib.exit
+            (cmd_serve d s l sh sid st n ngc lm mb fd rep rr fo nrep pf er))
       $ repo_dir_arg
       $ Arg.(
           value
@@ -1168,6 +1266,16 @@ let serve_cmd =
               ~doc:
                 "Identity note reported in @stats (set by the router when \
                  it spawns workers; rarely useful by hand).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "shard-total" ] ~docv:"N"
+              ~doc:
+                "Total shard count of the pool this worker belongs to (set \
+                 by the router alongside --shard-id): restricts @query all \
+                 to the variants this shard owns under the router's \
+                 consistent hash, so fan-out answers merge without \
+                 duplicates.")
       $ Arg.(
           value & flag
           & info [ "no-obs" ]
@@ -1208,6 +1316,14 @@ let serve_cmd =
                  $(b,@follow) receives the acked journal stream (bootstrap \
                  snapshots, then every durable record in stamp order) \
                  instead of the line protocol.")
+      $ Arg.(
+          value & opt int 1024
+          & info [ "repl-ring" ] ~docv:"N"
+              ~doc:
+                "Replication hub event-ring size (default 1024, clamped to \
+                 [2, 1048576]): a follower that falls more than N events \
+                 behind is re-seeded from a fresh snapshot instead of \
+                 stalling the leader.")
       $ Arg.(
           value
           & opt (some string) None
@@ -1287,6 +1403,7 @@ let () =
             decompose_cmd; show_cmd; check_cmd; custom_cmd; report_cmd; repl_cmd;
             diff_cmd; explain_cmd; affinity_cmd; library_cmd; graph_cmd;
             sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
-            query_cmd;
-            variants_cmd; serve_cmd; stats_cmd; fsck_cmd; examples_cmd;
+            oql_cmd;
+            variants_cmd; serve_cmd; query_cmd; stats_cmd; fsck_cmd;
+            examples_cmd;
           ]))

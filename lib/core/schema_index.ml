@@ -336,6 +336,33 @@ let remove_interface t name =
           g_cache = None;
         }
 
+(* --- version deltas ------------------------------------------------------ *)
+
+(* Because updates rebuild only the touched [by_name] entries (persistent
+   maps share the rest), two versions of one lineage disagree physically on
+   exactly the entries some update replaced.  Comparing entries by pointer
+   therefore recovers the changed-name set in O(n) worst case but O(changed ·
+   log n) typically, without storing any explicit changelog.  A no-op update
+   that returns the old record unchanged compares equal and is (correctly)
+   not reported. *)
+let changed_names a b =
+  if a.sch == b.sch then []
+  else
+    let s =
+      SMap.fold
+        (fun n (ia, _) acc ->
+          match SMap.find_opt n b.by_name with
+          | Some (ib, _) when ia == ib -> acc
+          | _ -> SSet.add n acc)
+        a.by_name SSet.empty
+    in
+    let s =
+      SMap.fold
+        (fun n _ acc -> if SMap.mem n a.by_name then acc else SSet.add n acc)
+        b.by_name s
+    in
+    SSet.elements s
+
 (* --- incremental consistency checking ------------------------------------ *)
 
 module Lookup = struct

@@ -27,3 +27,11 @@ include Schema_view.S with type t := t
 
 val is_valid : t -> bool
 (** No error-level diagnostics (cache-served where possible). *)
+
+val changed_names : t -> t -> Odl.Types.type_name list
+(** [changed_names old new_] — the interface names whose records differ
+    between two index versions of one lineage, sorted.  Detected by pointer
+    equality on the persistent [by_name] entries, so the cost is
+    proportional to what the updates actually rebuilt; sound for any two
+    versions (falls back to reporting every differing entry).  This is the
+    dirty seed the materialized query views ({!Query.View}) refresh from. *)

@@ -1,0 +1,81 @@
+(** Parser for the query language, on the shared {!Odl.Token_stream}
+    machinery (same lexer as ODL and the modification language, so quoting
+    and escaping behave identically everywhere).
+
+    {v
+    query := ['all'] ['explain'] atom
+    atom  := 'name' pat
+           | 'attr' pat ['inherited']
+           | 'isa' iname ['up' | 'down']
+           | 'partof' iname ['up' | 'down']
+           | 'wheel' iname
+           | 'diff' INT [INT]
+    pat   := IDENT | QUOTED        (quoted may contain * and ? wildcards)
+    iname := IDENT | QUOTED
+    v}
+
+    Keywords are contextual: an interface literally named [name] or [all]
+    is written quoted. *)
+
+module Ts = Odl.Token_stream
+module Lx = Odl.Lexer
+
+let pattern ts =
+  match Ts.peek ts with
+  | Lx.Ident s ->
+      Ts.advance ts;
+      Ast.Exact s
+  | Lx.Quoted s ->
+      Ts.advance ts;
+      (* a quoted pattern without wildcards is a point lookup, and the
+         planner should see it as one *)
+      if Ast.has_wildcards s then Ast.Glob s else Ast.Exact s
+  | _ -> Ts.error ts "expected a name or a quoted pattern"
+
+let iface_name ts =
+  match Ts.peek ts with
+  | Lx.Ident s | Lx.Quoted s ->
+      Ts.advance ts;
+      s
+  | _ -> Ts.error ts "expected an interface name"
+
+let direction ts ~default =
+  if Ts.eat_ident ts "up" then Ast.Up
+  else if Ts.eat_ident ts "down" then Ast.Down
+  else default
+
+let atom ts =
+  if Ts.eat_ident ts "name" then Ast.Name (pattern ts)
+  else if Ts.eat_ident ts "attr" then
+    let pat = pattern ts in
+    let inherited = Ts.eat_ident ts "inherited" in
+    Ast.Attr { pat; inherited }
+  else if Ts.eat_ident ts "isa" then
+    let name = iface_name ts in
+    Ast.Isa { name; dir = direction ts ~default:Ast.Down }
+  else if Ts.eat_ident ts "partof" then
+    let name = iface_name ts in
+    Ast.Part { name; dir = direction ts ~default:Ast.Down }
+  else if Ts.eat_ident ts "wheel" then Ast.Wheel (iface_name ts)
+  else if Ts.eat_ident ts "diff" then
+    let since = Ts.int ts in
+    let until =
+      match Ts.peek ts with Lx.Int _ -> Some (Ts.int ts) | _ -> None
+    in
+    Ast.Diff { since; until }
+  else Ts.error ts "expected a query form: name | attr | isa | partof | wheel | diff"
+
+let parse text =
+  match
+    let ts = Ts.of_string text in
+    let q_all = Ts.eat_ident ts "all" in
+    let q_explain = Ts.eat_ident ts "explain" in
+    let a = atom ts in
+    Ts.expect ts Lx.Eof;
+    { Ast.q_all; q_explain; q_atom = a }
+  with
+  | q -> Ok q
+  | exception Ts.Parse_error (m, l, c) ->
+      Error (Printf.sprintf "query parse error at line %d, col %d: %s" l c m)
+  | exception Lx.Lex_error (m, l, c) ->
+      Error (Printf.sprintf "query lex error at line %d, col %d: %s" l c m)

@@ -14,6 +14,8 @@
     @close                detach; last detach snapshots the session
     @ping                 liveness probe
     @stats [json]         observability snapshot (text, or JSON with [json])
+    @query <expr>         read-side query over materialized views (see
+                          {!Query.Parser}; [@query all ...] spans variants)
     @quit                 close the connection
     focus ww:Person       ... any designer command line ...
     v}
@@ -70,6 +72,9 @@ type request =
   | Close
   | Ping
   | Stats of [ `Text | `Json ]
+  | Query of string
+      (** a read-side query (the text after [@query], verbatim; parsed by
+          {!Query.Parser} — scope and plan live in the query language) *)
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 
@@ -109,6 +114,10 @@ let parse_request line =
   | "@ping", "" -> Result.Ok Ping
   | "@stats", "" -> Result.Ok (Stats `Text)
   | "@stats", "json" -> Result.Ok (Stats `Json)
+  | "@query", q when q <> "" -> Result.Ok (Query q)
+  | "@query", "" ->
+      Result.Error
+        "usage: @query [all] [explain] <name|attr|isa|partof|wheel|diff> ..."
   | "@quit", "" -> Result.Ok Quit
   | _ when String.length line > 0 && line.[0] = '@' ->
       Result.Error ("unknown control request: " ^ line)

@@ -26,6 +26,10 @@ type request =
   | Close
   | Ping
   | Stats of [ `Text | `Json ]  (** [@stats] / [@stats json]: obs snapshot *)
+  | Query of string
+      (** [@query <expr>]: a read-side query, text kept verbatim; scope
+          ([all]) and form are parsed by {!Query.Parser}, so the router
+          and the service agree on one grammar *)
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 

@@ -70,6 +70,7 @@ type hub = {
   h_mu : Mutex.t;
   h_cond : Condition.t;
   h_ring : ev option array;
+  h_cap : int;  (** ring slots; a follower further behind is re-seeded *)
   mutable h_next : int;  (** events ever pushed; slot = next mod capacity *)
   mutable h_stopping : bool;
   h_followers : int Atomic.t;
@@ -81,16 +82,21 @@ type hub = {
   hg_lag : Obs.Metrics.gauge;
 }
 
-let ring_capacity = 1024
+let default_ring = 1024
 
-let hub (svc : Service_types.t) =
+let hub ?(ring = default_ring) (svc : Service_types.t) =
+  (* clamp: below 2 the ring cannot hold even one event plus headroom and
+     every push would force a re-seed; a silly-large ask is capped rather
+     than refused so a fat-fingered flag still serves *)
+  let cap = max 2 (min ring (1 lsl 20)) in
   let obs = svc.i.obs in
   let h =
     {
       h_svc = svc;
       h_mu = Mutex.create ();
       h_cond = Condition.create ();
-      h_ring = Array.make ring_capacity None;
+      h_ring = Array.make cap None;
+      h_cap = cap;
       h_next = 0;
       h_stopping = false;
       h_followers = Atomic.make 0;
@@ -104,7 +110,7 @@ let hub (svc : Service_types.t) =
   in
   let push ev =
     Mutex.lock h.h_mu;
-    h.h_ring.(h.h_next mod ring_capacity) <- Some ev;
+    h.h_ring.(h.h_next mod h.h_cap) <- Some ev;
     h.h_next <- h.h_next + 1;
     Condition.broadcast h.h_cond;
     Mutex.unlock h.h_mu
@@ -185,13 +191,13 @@ let serve_stream h ~send ~alive =
     if h.h_stopping || not (alive ()) then Mutex.unlock h.h_mu
     else begin
       let next = h.h_next in
-      let lo = max !cursor (next - ring_capacity) in
+      let lo = max !cursor (next - h.h_cap) in
       let gap = lo > !cursor in
       let evs =
         if gap then []
         else
           List.init (next - lo) (fun k ->
-              Option.get h.h_ring.((lo + k) mod ring_capacity))
+              Option.get h.h_ring.((lo + k) mod h.h_cap))
       in
       cursor := next;
       Mutex.unlock h.h_mu;
@@ -349,7 +355,9 @@ module Apply = struct
         | Ok session ->
             Hashtbl.replace a.a_states variant
               { a_session = session; a_stamp = stamp; a_stale = false };
-            Publish.publish_at svc.pub variant (Engine.start session) stamp;
+            let state = Engine.start session in
+            Publish.publish_at svc.pub variant state stamp;
+            advance_view svc variant state stamp;
             ack ~variant ~stamp)
     | Frame.Records { variant; stamp; data } -> (
         match Hashtbl.find_opt a.a_states variant with
@@ -388,7 +396,9 @@ module Apply = struct
             in
             e.a_session <- session;
             e.a_stamp <- stamp;
-            Publish.publish_at svc.pub variant (Engine.start session) stamp;
+            let state = Engine.start session in
+            Publish.publish_at svc.pub variant state stamp;
+            advance_view svc variant state stamp;
             Obs.Metrics.incr a.ac_applied;
             ack ~variant ~stamp)
     | Frame.Live -> Atomic.set a.a_live true

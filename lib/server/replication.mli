@@ -27,10 +27,13 @@ type hub
     that falls a full ring behind is re-seeded from a fresh snapshot
     rather than stalling the leader. *)
 
-val hub : Service.t -> hub
+val hub : ?ring:int -> Service.t -> hub
 (** Create the hub and install its sink on the service (at most one per
     service; the last installed wins).  Registers the [swsd.repl.*]
-    leader instruments on the service's registry. *)
+    leader instruments on the service's registry.  [ring] bounds the
+    event ring (default 1024, clamped to [2, 2^20]): a follower that
+    falls more than [ring] events behind is re-seeded from a fresh
+    snapshot ([+reset]) instead of stalling the leader. *)
 
 val hub_service : hub -> Service.t
 

@@ -201,6 +201,7 @@ let resend_safe line =
   | Result.Error _ -> true  (* any worker answers this with the same !err *)
   | Result.Ok (Protocol.List | Protocol.Ping | Protocol.Stats _) -> true
   | Result.Ok (Protocol.Open _ | Protocol.Close | Protocol.Quit) -> true
+  | Result.Ok (Protocol.Query _) -> true  (* pure read of published views *)
   | Result.Ok (Protocol.New _) -> false  (* creates a variant: a mutation *)
   | Result.Ok (Protocol.Command l) -> (
       match Designer.Command.parse l with
@@ -344,6 +345,56 @@ let do_stats t st fmt line =
         Protocol.to_lines (Protocol.ok [ String.trim merged ])
   end
 
+(* [@query all ...]: every shard answers only for the variants it owns
+   (workers filter by [shard_span], the same rendezvous hash {!shard_of}
+   steers by), so the per-variant blocks are disjoint; the merge is
+   concatenation re-sorted by the [= variant] header.  Body lines are
+   always indented two spaces, so a header line is unambiguous — and the
+   single-process answer already emits blocks in sorted-variant order, so
+   the merged bytes are identical to what one unsharded server says. *)
+let do_query_all t st line =
+  let shards = Shard_pool.shards t.pool in
+  let rec collect k acc =
+    if k >= shards then Result.Ok (List.rev acc)
+    else
+      match backend t st k with
+      | Result.Error (`Conn m) -> Result.Error (`Down (k, m))
+      | Result.Error (`Refused lines) ->
+          drop_backend st k;
+          Result.Error (`Lines lines)
+      | Result.Ok c -> (
+          match send_on c line with
+          | Result.Error (`Conn m) ->
+              drop_backend st k;
+              Result.Error (`Down (k, m))
+          | Result.Ok lines when not (status_ok lines) ->
+              Result.Error (`Lines lines)
+          | Result.Ok lines ->
+              Obs.Metrics.incr t.i.c_forwarded.(k);
+              collect (k + 1) (strip_body lines :: acc))
+  in
+  match collect 0 [] with
+  | Result.Error (`Down (k, m)) -> unavailable t k m
+  | Result.Error (`Lines lines) -> lines
+  | Result.Ok parts ->
+      let lines =
+        List.concat_map
+          (fun s -> if s = "" then [] else String.split_on_char '\n' s)
+          parts
+      in
+      let blocks =
+        List.fold_left
+          (fun acc l ->
+            if String.length l >= 2 && String.sub l 0 2 = "= " then [ l ] :: acc
+            else
+              match acc with
+              | b :: rest -> (l :: b) :: rest
+              | [] -> [ [ l ] ] (* headerless stray: keep, never drop data *))
+          [] lines
+        |> List.rev_map List.rev |> List.sort compare
+      in
+      Protocol.to_lines (Protocol.ok (List.concat blocks))
+
 let handle_request t st line =
   Obs.Metrics.incr t.i.c_requests;
   let shards = Shard_pool.shards t.pool in
@@ -386,6 +437,20 @@ let handle_request t st line =
         st.backends;
       st.attached <- None;
       Protocol.to_lines (Protocol.ok [ "bye" ])
+  | Result.Ok (Protocol.Query q) -> (
+      match Query.Parser.parse q with
+      (* malformed and [explain] queries get the same answer from every
+         shard: serve from any one healthy worker, like [@list] *)
+      | Result.Error _ -> do_list t st line
+      | Result.Ok pq when pq.Query.Ast.q_explain -> do_list t st line
+      | Result.Ok pq when pq.Query.Ast.q_all -> do_query_all t st line
+      | Result.Ok _ -> (
+          match st.attached with
+          | None ->
+              Protocol.to_lines
+                (Protocol.err
+                   "no open session; use: @open <variant> (or: @query all ...)")
+          | Some (v, _) -> forward t st (shard_of ~shards v) line))
   | Result.Ok (Protocol.Command _) -> (
       match st.attached with
       | None ->

@@ -25,6 +25,7 @@ val create :
   ?obs:Obs.t ->
   ?io:Repository.Io.t ->
   ?replicate:bool ->
+  ?repl_ring:int ->
   listen:Protocol.address ->
   string ->
   (t, string) result
@@ -36,7 +37,8 @@ val create :
     ([--no-obs]).  [io] overrides the repository IO (benchmarks inject
     fsync latency through it).  [replicate] (default [false]) installs a
     {!Replication.hub}: connections that send [@follow] become follower
-    streams instead of protocol clients. *)
+    streams instead of protocol clients.  [repl_ring] sizes the hub's
+    event ring ([--repl-ring], default 1024). *)
 
 val of_service :
   ?backlog:int ->

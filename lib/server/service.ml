@@ -74,6 +74,7 @@ type config = Service_types.config = {
   sleep : float -> unit;
   chaos_hook : (variant:string -> line:string -> unit) option;
   instance_notes : (string * string) list;
+  shard_span : (int * int) option;
 }
 
 let default_config = Service_types.default_config
@@ -173,6 +174,7 @@ let open_service ?(config = default_config) ?io ?(obs = Obs.create ()) dir =
         pub = Publish.create ();
         sessions = Hashtbl.create 8;
         breakers = Hashtbl.create 8;
+        views = Hashtbl.create 8;
         mu = Mutex.create ();
         inflight = Atomic.make 0;
         conn_ids = Atomic.make 0;
@@ -246,6 +248,7 @@ let request (t : t) (conn : conn) line =
             | Ok Quit ->
                 Service_admin.disconnect t conn;
                 Protocol.ok [ "bye" ]
+            | Ok (Query q) -> Service_query.do_query t conn q
             | Ok (Command c) -> Service_read.do_command t conn c
           with
           | response -> response

@@ -64,6 +64,11 @@ type config = Service_types.config = {
   instance_notes : (string * string) list;
       (** static identity notes appended to every [@stats] snapshot (e.g.
           a worker's shard id and socket under [--shards]) *)
+  shard_span : (int * int) option;
+      (** [(shard_id, shards)] when serving as one worker of a sharded
+          deployment: [@query all] restricts to the variants this shard
+          owns under rendezvous hashing, so the router's fan-out merges
+          disjoint blocks *)
 }
 
 val default_config : config

@@ -259,7 +259,29 @@ let do_stats t fmt =
                 ("breaker." ^ v, Breaker.describe b ^ in_state) :: acc)
               t.breakers []
           in
-          List.sort compare (sessions @ breakers))
+          (* view freshness: how far each materialized query view trails
+             its variant's publication stamp (0 = exactly current) *)
+          let lag = ref 0 in
+          let views =
+            Hashtbl.fold
+              (fun v cell acc ->
+                match Atomic.get cell with
+                | None -> acc
+                | Some view ->
+                    let stamp = Query.View.stamp view in
+                    let seq = Publish.seq t.pub v in
+                    lag := max !lag (seq - stamp);
+                    ( "view." ^ v,
+                      Printf.sprintf
+                        "stamp %d, seq %d, lag %d, interfaces %d, refreshes %d"
+                        stamp seq (seq - stamp)
+                        (Query.View.interface_count view)
+                        (Query.View.refresh_count view) )
+                    :: acc)
+              t.views []
+          in
+          Obs.Metrics.set i.g_view_lag !lag;
+          List.sort compare (sessions @ breakers @ views))
     in
     let notes = t.config.instance_notes @ notes in
     let sn = Obs.snapshot ~notes i.obs in

@@ -1,0 +1,151 @@
+(** The query path: serve [@query] from the variant's materialized
+    {!Query.View}, lock-free.
+
+    The flow for a query line:
+
+    + parse once ({!Query.Parser.parse}); a malformed query is answered
+      with a structured [!err] — no session state is involved, nothing can
+      hang or disconnect;
+    + [explain] queries print the plan and stop — no variant needed;
+    + variant-scoped queries read the published (state, stamp) pair and
+      the view cell: when the cell is already at the publication stamp
+      (the common case — the writer refreshes it after every committed
+      op) the evaluator runs straight on it; when it lags (a follower
+      racing its applier, [lockfree_reads = false] baselines, cold start)
+      the reader advances it itself via the same CAS loop the writer uses
+      ({!Service_types.advance_view}) — still {e no variant writer lock};
+    + only a variant with {e nothing published at all} falls back through
+      the writer path once, to load the session from disk (counted by
+      [swsd.query.fallback_total]; the retry then serves lock-free);
+    + [all]-scoped queries walk every variant of the repository (sorted,
+      restricted to this shard's span under [--shard-total]) and emit one
+      block per variant: a [= variant] header, then the answer lines
+      indented two spaces.  Blocks are self-delimiting — body lines never
+      start with [= ] — so the router can merge blocks from many shards
+      and re-sort by header into the exact bytes one process would emit.
+
+    The answer's [#version] is the view's stamp: on a follower that is the
+    leader-issued stamp the applier pinned ({!Publish.publish_at}), so a
+    follower's query answer never claims a version the leader has not
+    acknowledged — the bounded-staleness contract queries inherit from
+    the read path. *)
+
+open Service_types
+
+let usage =
+  "usage: @query [all] [explain] <name|attr|isa|partof|wheel|diff> ..."
+
+(* Load a variant through the writer path so something is published; the
+   caller retries its lock-free read afterwards.  Mirrors the [@open] load
+   (drain lanes before the journal replay may rewrite a torn tail, reset
+   the lane after), but attaches no connection. *)
+let ensure_loaded t variant =
+  match
+    try_writer t variant (fun () ->
+        match find_session t variant with
+        | Some s ->
+            (* a session is always published while it lives; re-publish to
+               close the benign race with a concurrent evict *)
+            ignore (publish t s : int);
+            Ok ()
+        | None -> (
+            (match t.commit with
+            | Some gc -> Group_commit.drain_all gc
+            | None -> ());
+            match Service_admin.load_session t variant with
+            | Error m -> Error m
+            | Ok s ->
+                (match t.commit with
+                | Some gc -> Group_commit.reset gc ~path:(log_path s)
+                | None -> ());
+                Ok ()))
+  with
+  | Ok r -> r
+  | Error (Locks.Busy n) ->
+      Error (Printf.sprintf "variant is busy (%d request(s) queued)" n)
+  | Error Locks.Timed_out -> Error "variant is busy (deadline exceeded)"
+
+(* The variant's view at (at least) its current publication stamp;
+   [Error] carries a user-facing reason. *)
+let rec query_view ?(retried = false) t variant =
+  match Publish.read t.pub variant with
+  | Some (state, stamp) -> (
+      Obs.Metrics.incr t.i.c_query_lockfree;
+      Publish.touch t.pub variant ~now:(t.config.now ());
+      let cell = view_cell t variant in
+      match Atomic.get cell with
+      | Some v when Query.View.stamp v >= stamp -> Ok v
+      | _ -> (
+          advance_view t variant state stamp;
+          match Atomic.get cell with
+          | Some v -> Ok v
+          | None -> Error ("variant " ^ variant ^ " is unavailable; retry")))
+  | None ->
+      if retried then Error ("variant " ^ variant ^ " is unavailable")
+      else if t.config.follower then
+        if Repo.mem_variant t.repo variant then
+          Error ("variant " ^ variant ^ " is not yet replicated; retry shortly")
+        else Error ("no variant named " ^ variant)
+      else if not (Repo.mem_variant t.repo variant) then
+        Error ("no variant named " ^ variant)
+      else begin
+        Obs.Metrics.incr t.i.c_query_fallback;
+        match ensure_loaded t variant with
+        | Ok () -> query_view ~retried:true t variant
+        | Error m -> Error m
+      end
+
+let single t variant (q : Query.Ast.t) =
+  match query_view t variant with
+  | Error m -> Protocol.err m
+  | Ok view -> (
+      let version = Query.View.stamp view in
+      match Query.Eval.run view q.q_atom with
+      | Ok lines -> Protocol.ok ~version lines
+      | Error m -> Protocol.err ~version m)
+
+(* Does this worker own the variant?  Outside a sharded deployment, always;
+   inside one, exactly when rendezvous hashing routes it here — the same
+   function the router steers by, so fan-out blocks partition cleanly. *)
+let owned t variant =
+  match t.config.shard_span with
+  | None -> true
+  | Some (shard, shards) -> Router.shard_of ~shards variant = shard
+
+let all_scope t (q : Query.Ast.t) =
+  let variants =
+    Repo.variant_names t.repo |> List.filter (owned t)
+    |> List.sort String.compare
+  in
+  let block variant =
+    let lines =
+      match query_view t variant with
+      | Error m -> [ "# " ^ m ]
+      | Ok view -> (
+          match Query.Eval.run view q.q_atom with
+          | Ok lines -> lines
+          | Error m -> [ "# " ^ m ])
+    in
+    ("= " ^ variant) :: List.map (fun l -> "  " ^ l) lines
+  in
+  Protocol.ok (List.concat_map block variants)
+
+let do_query t (conn : conn) text =
+  let i = t.i in
+  Obs.Metrics.incr i.c_query;
+  let t0 = t.config.now () in
+  let finish response =
+    Obs.Histo.observe i.h_query (t.config.now () -. t0);
+    response
+  in
+  finish
+    (match Query.Parser.parse text with
+    | Error m -> Protocol.err ~body:[ usage ] m
+    | Ok q when q.Query.Ast.q_explain -> Protocol.ok (Query.Eval.explain q.q_atom)
+    | Ok q when q.q_all -> all_scope t q
+    | Ok q -> (
+        match conn.variant with
+        | None ->
+            Protocol.err
+              "no open session; use: @open <variant> (or: @query all ...)"
+        | Some variant -> single t variant q))

@@ -64,6 +64,12 @@ type config = {
       (** static identity notes appended to every [@stats] snapshot — a
           sharded worker reports its shard id and socket here so merged
           stats stay attributable *)
+  shard_span : (int * int) option;
+      (** [(shard_id, shards)] when serving as one worker of a sharded
+          deployment ([--shard-id K --shard-total N]): repository-wide
+          walks ([@query all]) restrict to the variants this shard owns
+          under rendezvous hashing, so the router can fan out to every
+          worker and merge disjoint blocks without double counting *)
 }
 
 let default_config =
@@ -88,6 +94,7 @@ let default_config =
     sleep = Thread.delay;
     chaos_hook = None;
     instance_notes = [];
+    shard_span = None;
   }
 
 (* --- instruments ----------------------------------------------------------
@@ -123,11 +130,25 @@ type instruments = {
   c_evicted : Obs.Metrics.counter;  (** sessions dropped on failure *)
   c_reaped : Obs.Metrics.counter;  (** sessions freed by the idle reaper *)
   c_retries : Obs.Metrics.counter;  (** backoff sleeps inside {!Retry} *)
+  c_query : Obs.Metrics.counter;  (** [@query] requests *)
+  c_query_lockfree : Obs.Metrics.counter;
+      (** per-variant query evaluations served from the published view with
+          no variant writer lock *)
+  c_query_fallback : Obs.Metrics.counter;
+      (** query evaluations that first had to load the variant through the
+          writer path (nothing published) *)
+  c_view_refresh : Obs.Metrics.counter;  (** incremental view refreshes *)
+  c_view_rebuild : Obs.Metrics.counter;  (** from-scratch view builds *)
   g_sessions : Obs.Metrics.gauge;
   g_inflight : Obs.Metrics.gauge;
   g_commit_stalled : Obs.Metrics.gauge;
       (** writers currently blocked on a group-commit ticket *)
+  g_view_lag : Obs.Metrics.gauge;
+      (** max over variants of (publication stamp − view stamp), refreshed
+          at [@stats] read time: the query views' staleness bound *)
   h_request : Obs.Histo.t;  (** whole request, arrival to response *)
+  h_query : Obs.Histo.t;  (** whole [@query] request, parse to response *)
+  h_view_maintain : Obs.Histo.t;  (** one view build/refresh (any path) *)
   h_read : Obs.Histo.t;  (** read-class command, either path *)
   h_write : Obs.Histo.t;  (** write-class command, lock wait included *)
   h_lock_wait : Obs.Histo.t;
@@ -169,10 +190,18 @@ let make_instruments obs =
     c_evicted = c "swsd.sessions.evicted_total";
     c_reaped = c "swsd.sessions.reaped_total";
     c_retries = c "swsd.retry.attempts_total";
+    c_query = c "swsd.query.requests_total";
+    c_query_lockfree = c "swsd.query.lockfree_total";
+    c_query_fallback = c "swsd.query.fallback_total";
+    c_view_refresh = c "swsd.query.view.refresh_total";
+    c_view_rebuild = c "swsd.query.view.rebuild_total";
     g_sessions = g "swsd.sessions.open";
     g_inflight = g "swsd.requests.inflight";
     g_commit_stalled = g "swsd.commit.stalled";
+    g_view_lag = g "swsd.query.view.lag";
     h_request = h "swsd.request_seconds";
+    h_query = h "swsd.query.seconds";
+    h_view_maintain = h "swsd.query.view.maintain_seconds";
     h_read = h "swsd.read_seconds";
     h_write = h "swsd.write_seconds";
     h_lock_wait = h "swsd.lock.wait_seconds";
@@ -224,6 +253,11 @@ type t = {
   sessions : (string, session) Hashtbl.t;
   breakers : (string, Breaker.t) Hashtbl.t;
       (** per variant, surviving session eviction *)
+  views : (string, Query.View.t option Atomic.t) Hashtbl.t;
+      (** per-variant materialized query views ({!Query.View}), published
+          epoch-stamped beside the snapshot: the writer refreshes after
+          each committed op, queries read lock-free.  The cell survives
+          session eviction — the next refresh diffs across the reload. *)
   mu : Mutex.t;  (** guards [sessions], [breakers], and session bookkeeping *)
   inflight : int Atomic.t;
   conn_ids : int Atomic.t;
@@ -333,6 +367,44 @@ let evict t (s : session) =
 (* Publish the session's current state for lock-free readers; returns the
    publication stamp.  Caller holds the writer lock. *)
 let publish t (s : session) = Publish.publish t.pub s.variant s.state
+
+(* --- materialized query views --------------------------------------------- *)
+
+let view_cell t variant =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.views variant with
+      | Some c -> c
+      | None ->
+          let c = Atomic.make None in
+          Hashtbl.add t.views variant c;
+          c)
+
+(* Bring the variant's materialized query view to [stamp] (the publication
+   stamp of [state]).  Lock-free: a CAS retry loop on the view cell — a
+   loser recomputes against the winner's newer view, and a cell already at
+   or past [stamp] means a racing writer got there first, which is fine
+   (views are monotone per variant, like publication stamps).  Runs on the
+   writer's own thread (group-commit phase 2, the per-record path), on the
+   replication applier, and — self-healing — on the query read path; never
+   on the group-commit flusher, whose batches must not wait on view
+   maintenance. *)
+let advance_view t variant (state : Engine.state) stamp =
+  let cell = view_cell t variant in
+  let session = state.Engine.session in
+  let rec loop () =
+    let prev = Atomic.get cell in
+    match prev with
+    | Some v when Query.View.stamp v >= stamp -> ()
+    | _ ->
+        let t0 = t.config.now () in
+        let v = Query.View.update ?prev ~stamp session in
+        (match prev with
+        | None -> Obs.Metrics.incr t.i.c_view_rebuild
+        | Some _ -> Obs.Metrics.incr t.i.c_view_refresh);
+        Obs.Histo.observe t.i.h_view_maintain (t.config.now () -. t0);
+        if not (Atomic.compare_and_set cell prev (Some v)) then loop ()
+  in
+  loop ()
 
 (* Hand freshly durable journal bytes to the replication hub (no-ops
    without one).  Called with the publication stamp the bytes correspond

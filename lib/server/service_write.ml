@@ -40,6 +40,7 @@ type staged = {
   st_conn : conn;
   st_ticket : Group_commit.ticket;
   st_version : int ref;  (** written by [on_durable] on the flusher *)
+  st_after : Engine.state;  (** the state the flusher will publish *)
   st_feedback : Designer.Feedback.t list;
   st_records : int;  (** journal records in the delta *)
 }
@@ -105,6 +106,10 @@ let complete t (st : staged) =
         Breaker.record_success
           (breaker_of t st.st_variant)
           ~now:(t.config.now ());
+      (* refresh the materialized query view on the writer's own thread —
+         off the variant lock (phase 1 released it) and off the flusher
+         (whose batches must not wait on view maintenance) *)
+      advance_view t st.st_variant st.st_after !(st.st_version);
       let t_respond = t.config.now () in
       let body = feedback_body st.st_feedback in
       let respond_seconds = t.config.now () -. t_respond in
@@ -204,6 +209,7 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                         st_conn = conn;
                         st_ticket = ticket;
                         st_version = version;
+                        st_after = after;
                         st_feedback = feedback;
                         st_records = n;
                       }
@@ -232,6 +238,7 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                                ([focus]) — shipped anyway so follower
                                stamps track the leader's *)
                             ship t ~variant ~stamp ~data;
+                            advance_view t variant after stamp;
                             stamp
                           end
                           else Publish.seq t.pub variant

@@ -71,6 +71,11 @@ let spawn t k =
          t.sockets.(k);
          "--shard-id";
          string_of_int k;
+         (* the pool size, so each worker can partition repository-wide
+            fan-outs ([@query all]) to the variants the router's hash
+            actually sends its way *)
+         "--shard-total";
+         string_of_int t.shards;
        ]
       @ t.worker_args)
   in

@@ -43,6 +43,8 @@ let () =
       ("migrate", Test_migrate.tests);
       ("serial", Test_serial.tests);
       ("query", Test_query.tests);
+      ("query-view", Test_query_view.tests);
+      ("query-service", Test_query_service.tests);
       ("html", Test_html.tests);
       ("end-to-end", Test_endtoend.tests);
       ("api-corners", Test_api_corners.tests);

@@ -302,7 +302,7 @@ let data_commands () =
       check_run [ "migrate-data"; "university"; log; data ] 0
         [ "object @2 : Faculty"; "dropped: @1 object" ])
 
-let query_command () =
+let oql_command () =
   let data =
     write_temp ".objs"
       "object @1 : Person { name = \"Alice\"; ssn = \"1\"; }\nobject @2 : \
@@ -312,10 +312,10 @@ let query_command () =
     ~finally:(fun () -> Sys.remove data)
     (fun () ->
       check_run
-        [ "query"; "university"; data; "select Person where name = \"Bob\"" ]
+        [ "oql"; "university"; data; "select Person where name = \"Bob\"" ]
         0
         [ "@2 : Person" ];
-      check_run [ "query"; "university"; data; "select Person where" ] 1 [])
+      check_run [ "oql"; "university"; data; "select Person where" ] 1 [])
 
 let tests =
   [
@@ -340,5 +340,5 @@ let tests =
     test "fsck reports, refuses, and salvages corruption" fsck_corrupt_and_salvage;
     test "fsck on a non-directory" fsck_not_a_directory;
     test "data commands" data_commands;
-    test "query command" query_command;
+    test "oql command" oql_command;
   ]

@@ -297,6 +297,132 @@ let fence_refuses_old_writer () =
   ignore (req_ok t2 c2 "focus ww:Person");
   ignore (req_ok t2 c2 (apply_line "after_fence"))
 
+(* --- the bounded event ring ------------------------------------------------
+   A stream that falls a full ring behind is not a reason for the leader
+   to retain history: the hub re-seeds it ([Reset] + snapshot + [Live])
+   instead.  A ring of two and a stream held at its bootstrap [Live]
+   while four writes land forces exactly that path. *)
+
+let ring_of_two_forces_reset () =
+  let _, lio = mem_repo () in
+  let obs = Obs.create () in
+  (* per-record commits so every acked write has already been pushed into
+     the ring by the time [req_ok] returns *)
+  let lsvc = service ~config:(quick_config ~group_commit:false ()) ~obs lio in
+  let hub = Replication.hub ~ring:2 lsvc in
+  let c = Service.connect lsvc in
+  ignore (req_ok lsvc c "@open v");
+  ignore (req_ok lsvc c "focus ww:Person");
+  let mu = Mutex.create () and cond = Condition.create () in
+  let frames = ref [] and gate_open = ref false in
+  let live_count () =
+    List.length (List.filter (fun f -> f = Frame.Live) !frames)
+  in
+  (* the stream's [send]: record every frame, and hold the stream at its
+     bootstrap [Live] until the main thread has overflowed the ring *)
+  let send f =
+    Mutex.lock mu;
+    frames := !frames @ [ f ];
+    if f = Frame.Live && live_count () = 1 then begin
+      Condition.broadcast cond;
+      while not !gate_open do
+        Condition.wait cond mu
+      done
+    end
+    else Condition.broadcast cond;
+    Mutex.unlock mu
+  in
+  let streamer =
+    Thread.create
+      (fun () -> Replication.serve_stream hub ~send ~alive:(fun () -> true))
+      ()
+  in
+  Mutex.lock mu;
+  while live_count () < 1 do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  (* four pushes into a ring of two: the held stream's cursor is now more
+     than a full ring behind *)
+  for k = 1 to 4 do
+    ignore (req_ok lsvc c (apply_line (Printf.sprintf "lag_%d" k)))
+  done;
+  Mutex.lock mu;
+  gate_open := true;
+  Condition.broadcast cond;
+  while live_count () < 2 do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  Replication.stop_hub hub;
+  Thread.join streamer;
+  (* the catch-up leg must be a re-seed, not replayed records: Reset,
+     then a fresh snapshot ending in [Start], then [Live] *)
+  let after_bootstrap =
+    let rec drop = function
+      | Frame.Live :: rest -> rest
+      | _ :: rest -> drop rest
+      | [] -> Alcotest.fail "stream never went live"
+    in
+    drop !frames
+  in
+  (match after_bootstrap with
+  | Frame.Reset { variant = "v" } :: _ -> ()
+  | f :: _ ->
+      Alcotest.failf "expected Reset after the gap, got %s" (Frame.describe f)
+  | [] -> Alcotest.fail "nothing followed the held Live");
+  Alcotest.(check bool) "no stale record is replayed after the gap" true
+    (not
+       (List.exists
+          (function Frame.Records _ -> true | _ -> false)
+          after_bootstrap));
+  Alcotest.(check bool) "the re-seed ships a complete snapshot" true
+    (List.exists
+       (function Frame.Start { variant = "v"; _ } -> true | _ -> false)
+       after_bootstrap);
+  (match after_bootstrap with
+  | _ :: _ when List.nth after_bootstrap (List.length after_bootstrap - 1)
+                = Frame.Live -> ()
+  | _ -> Alcotest.fail "re-seed must end with Live");
+  (match Obs.counter_value obs "swsd.repl.resets_total" with
+  | Some n when n >= 1 -> ()
+  | v ->
+      Alcotest.failf "resets_total should count the re-seed, got %s"
+        (match v with Some n -> string_of_int n | None -> "nothing"));
+  (* a replayed re-seed really is the leader's state: apply it to a fresh
+     follower and compare stamps *)
+  match open_follower !frames with
+  | None -> Alcotest.fail "re-seeded stream must still carry the root"
+  | Some (fsvc, _) ->
+      let apply = Replication.Apply.create fsvc in
+      List.iter
+        (Replication.Apply.frame apply ~ack:(fun ~variant:_ ~stamp:_ -> ()))
+        !frames;
+      let leader_stamp =
+        match (Service.request lsvc c "log").Protocol.version with
+        | Some v -> v
+        | None -> Alcotest.fail "leader read must carry a stamp"
+      in
+      Alcotest.(check int) "re-seeded follower lands on the leader's stamp"
+        leader_stamp
+        (Replication.Apply.stamp apply "v")
+
+(* the clamp: a ring below two slots (or an absurd ask) still serves *)
+let ring_size_is_clamped () =
+  List.iter
+    (fun ring ->
+      let _, lio = mem_repo () in
+      let lsvc = service ~config:(quick_config ()) lio in
+      let hub = Replication.hub ~ring lsvc in
+      let frames = Test_server.with_watchdog ~secs:30.0 ~name:"clamped ring"
+          (fun () -> bootstrap_frames hub)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ring=%d still bootstraps" ring)
+        true
+        (List.mem Frame.Live frames))
+    [ 0; -3; 1 lsl 24 ]
+
 (* --- the chaos property ----------------------------------------------------
    For >= 200 randomized schedules: a leader applies ops while a follower
    consumes its stream; the leader "dies" at an arbitrary frame boundary
@@ -736,6 +862,9 @@ let tests =
     test "follower: replicated state served readonly at the leader's stamp"
       follower_serves_readonly;
     test "follower: a stale leader's era is refused" stale_leader_refused;
+    test "hub: a stream a full ring behind is re-seeded, not replayed"
+      ring_of_two_forces_reset;
+    test "hub: the ring size is clamped, never refused" ring_size_is_clamped;
     test "fence: an old-era writer is refused, the promoted era admitted"
       fence_refuses_old_writer;
     Alcotest.test_case

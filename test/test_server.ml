@@ -356,6 +356,7 @@ let quick_config ?now ?sleep ?(deadline = 2.0) ?(max_waiters = 8)
     sleep = Option.value sleep ~default:Thread.delay;
     chaos_hook;
     instance_notes = [];
+    shard_span = None;
   }
 
 (* A mem-fs repository with one variant [v], ready to serve. *)
