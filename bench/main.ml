@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- --repl    P16 only; writes BENCH_repl.json
                                            (needs bin/swsd.exe built)
      dune exec bench/main.exe -- --query   P17 only; writes BENCH_query.json
+     dune exec bench/main.exe -- --merge   P18 only; writes BENCH_merge.json
 *)
 
 let () =
@@ -30,6 +31,7 @@ let () =
   let shards = List.mem "--shards" args in
   let repl = List.mem "--repl" args in
   let query = List.mem "--query" args in
+  let merge = List.mem "--merge" args in
   if tables then Tables.all ();
   if perf then Perf.run_and_print ();
   if index then Perf.run_index ~json_path:"BENCH_index.json" ();
@@ -40,4 +42,5 @@ let () =
   if commits then Commits_bench.run ~json_path:"BENCH_commits.json" ();
   if shards then Shards_bench.run ~json_path:"BENCH_shards.json" ();
   if repl then Repl_bench.run ~json_path:"BENCH_repl.json" ();
-  if query then Query_bench.run ~json_path:"BENCH_query.json" ()
+  if query then Query_bench.run ~json_path:"BENCH_query.json" ();
+  if merge then Merge_bench.run ~json_path:"BENCH_merge.json" ()

@@ -75,7 +75,7 @@ let with_replayed ?(paranoid = false) arg log_path f =
           1
       | Ok steps -> (
           try
-            match Core.Session.replay ~paranoid schema steps with
+            match Core.Oplog.replay ~paranoid schema steps with
             | Error e ->
                 prerr_endline (Core.Apply.error_to_string e);
                 1
@@ -498,6 +498,10 @@ let cmd_fsck dir salvage =
         in
         Sys.readdir variants_dir |> Array.to_list |> List.sort compare
         |> List.filter (fun n ->
+               (* dot-prefixed entries are hidden staging directories (a
+                  crashed @branch): not variants, never counted as damage *)
+               n <> "" && n.[0] <> '.'
+               &&
                try Sys.is_directory (Filename.concat variants_dir n)
                with Sys_error _ -> false)
         |> List.fold_left
@@ -897,6 +901,61 @@ let cmd_query addr variant expr =
           | Ok body ->
               List.iter print_endline body;
               finish 0))
+
+(* Send one request line to a running server and print the reply body;
+   exit 0 on [!ok], 1 otherwise.  `swsd branch` and `swsd merge` are thin
+   shells over this — the server does the work, through its lock manager
+   and commit pipeline, so concurrent designers are undisturbed. *)
+let cmd_request addr line =
+  match Server.Client.connect ~retry_for:2.0 addr with
+  | Error m ->
+      prerr_endline m;
+      1
+  | Ok c ->
+      let finish code =
+        Server.Client.close c;
+        code
+      in
+      let strip line =
+        let p = Server.Protocol.body_prefix in
+        let pl = String.length p in
+        if String.length line >= pl && String.sub line 0 pl = p then
+          String.sub line pl (String.length line - pl)
+        else line
+      in
+      (match Server.Client.read_response c with
+      | None ->
+          prerr_endline (addr ^ ": server hung up before greeting");
+          finish 1
+      | Some _greeting -> (
+          match Server.Client.request c line with
+          | None ->
+              prerr_endline (addr ^ ": server hung up");
+              finish 1
+          | Some lines -> (
+              match List.rev lines with
+              | status :: rev_body
+                when String.length status >= 3 && String.sub status 0 3 = "!ok"
+                ->
+                  List.iter print_endline (List.rev_map strip rev_body);
+                  finish 0
+              | status :: rev_body ->
+                  List.iter prerr_endline (List.rev_map strip rev_body);
+                  prerr_endline status;
+                  finish 1
+              | [] ->
+                  prerr_endline "empty response";
+                  finish 1)))
+
+let cmd_branch addr parent child at =
+  cmd_request addr
+    ("@branch " ^ parent ^ " " ^ child
+    ^ match at with None -> "" | Some n -> " @at " ^ string_of_int n)
+
+let cmd_merge addr source dest dry_run =
+  cmd_request addr
+    ("@merge " ^ source ^ " into " ^ dest
+    ^ if dry_run then " --dry-run" else "")
 
 let cmd_examples () =
   List.iter
@@ -1386,6 +1445,66 @@ let stats_cmd =
           value & flag
           & info [ "json" ] ~doc:"Emit the snapshot as one JSON object."))
 
+let addr_pos0_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"ADDR"
+        ~doc:"The server's Unix socket path, or HOST:PORT for TCP.")
+
+let branch_cmd =
+  Cmd.v
+    (Cmd.info "branch"
+       ~doc:
+         "Fork a variant on a running server: $(b,swsd branch ADDR V W) \
+          copies variant V to a new variant W with a lineage record \
+          (parent, fork stamp), crash-safely, without locking V — \
+          designers attached to V are undisturbed")
+    Term.(
+      const (fun a p c at -> Stdlib.exit (cmd_branch a p c at))
+      $ addr_pos0_arg
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"PARENT" ~doc:"The variant to branch from.")
+      $ Arg.(
+          required
+          & pos 2 (some string) None
+          & info [] ~docv:"CHILD" ~doc:"The new variant's name.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "at" ] ~docv:"N"
+              ~doc:
+                "Branch after the parent's first N committed operations \
+                 instead of its tip."))
+
+let merge_cmd =
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge one variant's work into another on a running server: \
+          $(b,swsd merge ADDR W V) rebases the operations W made since \
+          its fork onto V's current state.  Each operation replays \
+          through the permission matrix and the consistency checker; \
+          conflicts are reported in the impact report, never silently \
+          applied.  $(b,--dry-run) classifies without changing anything")
+    Term.(
+      const (fun a s d n -> Stdlib.exit (cmd_merge a s d n))
+      $ addr_pos0_arg
+      $ Arg.(
+          required
+          & pos 1 (some string) None
+          & info [] ~docv:"SOURCE" ~doc:"The branch to merge from.")
+      $ Arg.(
+          required
+          & pos 2 (some string) None
+          & info [] ~docv:"DEST" ~doc:"The variant to merge into.")
+      $ Arg.(
+          value & flag
+          & info [ "dry-run" ]
+              ~doc:"Classify and report only; mutate nothing."))
+
 let examples_cmd =
   Cmd.v
     (Cmd.info "examples" ~doc:"List the built-in example schemas")
@@ -1405,5 +1524,5 @@ let () =
             sql_cmd; er_cmd; quality_cmd; data_check_cmd; migrate_data_cmd;
             oql_cmd;
             variants_cmd; serve_cmd; query_cmd; stats_cmd; fsck_cmd;
-            examples_cmd;
+            branch_cmd; merge_cmd; examples_cmd;
           ]))

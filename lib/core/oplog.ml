@@ -1,0 +1,184 @@
+(** Replayable op-log values and optimistic rebase.  See the interface for
+    the classification contract.
+
+    The rebase loop deliberately reuses {!Session.apply} instead of calling
+    the engines directly: that is the exact pipeline a designer's own op
+    runs through (permission matrix, incremental constraint check,
+    propagation, validity preservation), so a branch op merges cleanly iff
+    the designer could have typed it against the base right now.  The only
+    extra work is the up-front {!Permission.allowed} probe, which lets the
+    report distinguish "Table 1 forbids this here" from "the checker
+    refused it" — the paper's two different designer-facing answers. *)
+
+type entry = {
+  e_kind : Concept.kind;
+  e_op : Modop.t;
+  e_events : Change.event list;
+}
+
+type t = { entries : entry list; sealed_at : int }
+
+let entry_of_step (st : Session.step) =
+  { e_kind = st.st_kind; e_op = st.st_op; e_events = st.st_events }
+
+let of_session s =
+  {
+    entries = List.map entry_of_step (Session.log s);
+    sealed_at = Session.version s;
+  }
+
+let pairs t = List.map (fun e -> (e.e_kind, e.e_op)) t.entries
+let length t = List.length t.entries
+
+let render t =
+  t.entries
+  |> List.map (fun e ->
+         Printf.sprintf "// in %s\n%s;"
+           (Concept.kind_name e.e_kind)
+           (Op_printer.to_string e.e_op))
+  |> String.concat "\n"
+
+let replay ?paranoid shrink_wrap steps =
+  match Session.create ?paranoid shrink_wrap with
+  | Error ds ->
+      Error
+        (Apply.Violation
+           (Fmt.str "shrink wrap schema invalid: %a"
+              Fmt.(list ~sep:(any "; ") Odl.Validate.pp_diagnostic_line)
+              ds))
+  | Ok session ->
+      List.fold_left
+        (fun acc (kind, op) ->
+          Result.bind acc (fun s -> Result.map fst (Session.apply s ~kind op)))
+        (Ok session) steps
+
+let replay_log ?paranoid shrink_wrap t = replay ?paranoid shrink_wrap (pairs t)
+
+(* --- fork-point arithmetic ------------------------------------------------ *)
+
+let same_step (a : Session.step) (b : Session.step) =
+  Concept.equal_kind a.st_kind b.st_kind && Modop.equal a.st_op b.st_op
+
+let common_prefix ~base ~branch =
+  let rec go n = function
+    | a :: xs, b :: ys when same_step a b -> go (n + 1) (xs, ys)
+    | _ -> n
+  in
+  go 0 (Session.log base, Session.log branch)
+
+let branch_entries ~base ~branch =
+  let n = common_prefix ~base ~branch in
+  Session.log branch
+  |> List.filteri (fun i _ -> i >= n)
+  |> List.map entry_of_step
+
+(* --- rebase --------------------------------------------------------------- *)
+
+type reason = Permission of string | Rejected of Apply.error
+
+type outcome =
+  | Clean of Change.event list
+  | Auto_merged of string * Change.event list
+  | Conflict of reason
+
+type verdict = { v_entry : entry; v_outcome : outcome }
+
+type report = {
+  r_base_version : int;
+  r_session : Session.t;
+  r_mapping : Mapping.t;
+  r_verdicts : verdict list;
+  r_clean : int;
+  r_auto : int;
+  r_conflict : int;
+}
+
+let already_applied session e =
+  List.exists
+    (fun (st : Session.step) ->
+      Concept.equal_kind st.st_kind e.e_kind && Modop.equal st.st_op e.e_op)
+    (Session.steps_rev session)
+
+let rebase_one session e =
+  if already_applied session e then
+    (session, Auto_merged ("already applied on base", []))
+  else
+    match Permission.allowed e.e_kind e.e_op with
+    | Error why -> (session, Conflict (Permission why))
+    | Ok () -> (
+        match Session.apply session ~kind:e.e_kind e.e_op with
+        | Error err -> (session, Conflict (Rejected err))
+        | Ok (session', events) ->
+            if List.equal Change.equal_event events e.e_events then
+              (session', Clean events)
+            else
+              ( session',
+                Auto_merged ("propagated impact differs on rebased base", events)
+              ))
+
+let rebase ~base ~branch_ops =
+  let r_base_version = Session.version base in
+  let session, rev_verdicts =
+    List.fold_left
+      (fun (session, acc) e ->
+        let session, outcome = rebase_one session e in
+        (session, { v_entry = e; v_outcome = outcome } :: acc))
+      (base, []) branch_ops
+  in
+  let r_verdicts = List.rev rev_verdicts in
+  let count p = List.length (List.filter p r_verdicts) in
+  {
+    r_base_version;
+    r_session = session;
+    r_mapping = Session.mapping session;
+    r_verdicts;
+    r_clean = count (fun v -> match v.v_outcome with Clean _ -> true | _ -> false);
+    r_auto =
+      count (fun v -> match v.v_outcome with Auto_merged _ -> true | _ -> false);
+    r_conflict =
+      count (fun v -> match v.v_outcome with Conflict _ -> true | _ -> false);
+  }
+
+let rebase_ops ?paranoid shrink_wrap ~base_ops ~branch_ops =
+  Result.map
+    (fun base -> rebase ~base ~branch_ops)
+    (replay ?paranoid shrink_wrap base_ops)
+
+let conflicts report =
+  List.filter_map
+    (fun v ->
+      match v.v_outcome with
+      | Conflict r -> Some (v.v_entry, r)
+      | Clean _ | Auto_merged _ -> None)
+    report.r_verdicts
+
+let reason_to_string = function
+  | Permission why -> "permission: " ^ why
+  | Rejected err -> Apply.error_to_string err
+
+let verdict_lines i v =
+  let head verdict =
+    Printf.sprintf "%d. [%s] %s : %s" (i + 1)
+      (Concept.kind_name v.v_entry.e_kind)
+      (Op_printer.to_string v.v_entry.e_op)
+      verdict
+  in
+  match v.v_outcome with
+  | Clean events ->
+      head "clean" :: List.map (fun e -> "   " ^ Change.event_to_string e) events
+  | Auto_merged (why, events) ->
+      head (Printf.sprintf "auto-merged (%s)" why)
+      :: List.map (fun e -> "   " ^ Change.event_to_string e) events
+  | Conflict r -> [ head (Printf.sprintf "CONFLICT (%s)" (reason_to_string r)) ]
+
+let render_report label report =
+  let body = List.concat (List.mapi verdict_lines report.r_verdicts) in
+  let tally =
+    Printf.sprintf "rebased %d op(s): %d clean, %d auto-merged, %d conflict(s)"
+      (List.length report.r_verdicts)
+      report.r_clean report.r_auto report.r_conflict
+  in
+  String.concat "\n"
+    ([ "merge report: " ^ label ]
+    @ body
+    @ [ tally; Fmt.str "%a" Mapping.pp report.r_mapping ])

@@ -331,27 +331,6 @@ let deliverables t =
       aliases_report t;
     ]
 
-(** Serialize the operation log in the modification language (replayable via
-    {!replay}). *)
-let log_text t =
-  log t
-  |> List.map (fun s ->
-         Printf.sprintf "// in %s\n%s;"
-           (Concept.kind_name s.st_kind)
-           (Op_printer.to_string s.st_op))
-  |> String.concat "\n"
-
-(** Replay a [(kind, op)] log on a fresh session over [shrink_wrap]. *)
-let replay ?paranoid shrink_wrap steps =
-  match create ?paranoid shrink_wrap with
-  | Error ds ->
-      Error
-        (Apply.Violation
-           (Fmt.str "shrink wrap schema invalid: %a"
-              Fmt.(list ~sep:(any "; ") Validate.pp_diagnostic_line)
-              ds))
-  | Ok session ->
-      List.fold_left
-        (fun acc (kind, op) ->
-          Result.bind acc (fun s -> Result.map fst (apply s ~kind op)))
-        (Ok session) steps
+(* Serialization of the log and replay live in {!Oplog}, which builds on
+   this module: the session records steps, the op-log is their durable,
+   exchangeable (and rebase-capable) projection. *)

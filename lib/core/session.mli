@@ -130,12 +130,6 @@ val current_concepts : t -> Concept.t list
 val deliverables : t -> string
 (** All designer deliverables in one document. *)
 
-val log_text : t -> string
-(** The operation log in the modification language. *)
-
-val replay :
-  ?paranoid:bool ->
-  schema ->
-  (Concept.kind * Modop.t) list ->
-  (t, Apply.error) result
-(** Rebuild a session by replaying a log on a shrink wrap schema. *)
+(** The replayable op-log projection of a session — serialization
+    ([Oplog.render]), replay ([Oplog.replay]), and optimistic rebase across
+    branched variants ([Oplog.rebase]) — lives in {!Oplog}. *)

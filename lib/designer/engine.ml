@@ -333,7 +333,7 @@ let rec exec state (cmd : Command.t) =
         [ Feedback.info ("local name of " ^ canonical ^ " dropped") ] )
   | List_aliases ->
       (state, [ Feedback.output (Session.aliases_report state.session) ])
-  | Log -> (state, [ Feedback.output (Session.log_text state.session) ])
+  | Log -> (state, [ Feedback.output (Core.Oplog.(render (of_session state.session))) ])
   | Rules ->
       ( state,
         Repository.Knowledge.rule_summaries

@@ -26,6 +26,14 @@ type atom =
   | Diff of { since : int; until : int option }
       (** operations between two publication stamps, [(since, until]];
           [until] defaults to the variant's current stamp *)
+  | Lineage
+      (** the variant's branch lineage: its parent and fork stamp (the
+          stamp to [diff] from to see everything since the fork), or
+          [root] for an unbranched variant *)
+  | Branches of string
+      (** the variants branched off the named variant, with their fork
+          stamps — repository-scoped (answered from the stores on disk,
+          identically by every shard) *)
 
 type t = { q_all : bool; q_explain : bool; q_atom : atom }
 

@@ -113,6 +113,21 @@ let run_plan v plan =
       | None -> Error ("no interface " ^ name)
       | Some e -> Ok (sorted e.View.e_wheel.Core.Concept.c_members))
   | Plan.Hist_slice { since; until } -> diff_lines v ~since ~until
+  | Plan.Lineage_read -> (
+      match View.lineage v with
+      | Some (parent, fork) ->
+          (* the fork stamp doubles as the [diff] anchor: everything this
+             variant did since it was cut is [diff <fork>] *)
+          Ok
+            [
+              Printf.sprintf "parent %s@%d" parent fork;
+              Printf.sprintf "diff since fork: @query diff %d" fork;
+            ]
+      | None -> Ok [ "root" ])
+  | Plan.Branch_scan _ ->
+      (* repository-scoped: the server answers it from the stores on disk
+         (every shard identically); a bare view cannot *)
+      Error "branches is repository-scoped; ask the server"
 
 let run v atom = run_plan v (Plan.of_atom atom)
 

@@ -10,6 +10,8 @@
            | 'partof' iname ['up' | 'down']
            | 'wheel' iname
            | 'diff' INT [INT]
+           | 'lineage'
+           | 'branches' 'of' vname
     pat   := IDENT | QUOTED        (quoted may contain * and ? wildcards)
     iname := IDENT | QUOTED
     v}
@@ -63,7 +65,16 @@ let atom ts =
       match Ts.peek ts with Lx.Int _ -> Some (Ts.int ts) | _ -> None
     in
     Ast.Diff { since; until }
-  else Ts.error ts "expected a query form: name | attr | isa | partof | wheel | diff"
+  else if Ts.eat_ident ts "lineage" then Ast.Lineage
+  else if Ts.eat_ident ts "branches" then begin
+    if not (Ts.eat_ident ts "of") then
+      Ts.error ts "expected: branches of <variant>";
+    Ast.Branches (iface_name ts)
+  end
+  else
+    Ts.error ts
+      "expected a query form: name | attr | isa | partof | wheel | diff | \
+       lineage | branches"
 
 let parse text =
   match

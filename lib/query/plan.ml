@@ -17,6 +17,10 @@ type t =
   | Part_closure of { name : string; dir : Ast.dir }
   | Wheel of string
   | Hist_slice of { since : int; until : int option }
+  | Lineage_read  (** read of the view's cached manifest lineage record *)
+  | Branch_scan of string
+      (** scan of the repository's manifest lineage records (served at the
+          repository layer — identical from every shard, like [@list]) *)
 
 let of_atom = function
   | Ast.Name (Ast.Exact n) -> Name_point n
@@ -30,6 +34,8 @@ let of_atom = function
   | Ast.Part { name; dir } -> Part_closure { name; dir }
   | Ast.Wheel n -> Wheel n
   | Ast.Diff { since; until } -> Hist_slice { since; until }
+  | Ast.Lineage -> Lineage_read
+  | Ast.Branches n -> Branch_scan n
 
 let widen inherited = if inherited then " + descendant-closure widening" else ""
 
@@ -54,3 +60,7 @@ let describe = function
   | Hist_slice { since; until } ->
       Printf.sprintf "plan: history slice (%d, %s]" since
         (match until with Some u -> string_of_int u | None -> "current")
+  | Lineage_read -> "plan: read of the view's cached lineage record"
+  | Branch_scan n ->
+      "plan: repository-wide scan of manifest lineage records for children \
+       of " ^ n

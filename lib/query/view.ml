@@ -46,12 +46,16 @@ type t = {
   v_history : (int * string) list;  (** newest first; feeds [diff] *)
   v_floor : int;  (** stamps ≤ this have no retained history *)
   v_refreshes : int;  (** incremental refreshes since [build] *)
+  v_lineage : (string * int) option;
+      (** the variant's (parent, fork stamp) manifest record, cached at
+          build time; feeds the [lineage] atom *)
 }
 
 let max_history = 512
 
 let stamp v = v.v_stamp
 let floor_stamp v = v.v_floor
+let lineage v = v.v_lineage
 let refresh_count v = v.v_refreshes
 let interface_count v = SMap.cardinal v.v_entries
 let find_entry v name = SMap.find_opt name v.v_entries
@@ -215,7 +219,7 @@ let bound_history v hist =
 
 (* --- build and refresh ---------------------------------------------------- *)
 
-let build ~stamp (session : Core.Session.t) =
+let build ?lineage ~stamp (session : Core.Session.t) =
   let idx = Core.Session.index session in
   let entries =
     List.fold_left
@@ -236,6 +240,7 @@ let build ~stamp (session : Core.Session.t) =
     v_history = [];
     v_floor = stamp;
     v_refreshes = 0;
+    v_lineage = lineage;
   }
 
 let refresh v ~stamp (session : Core.Session.t) =
@@ -298,14 +303,15 @@ let refresh v ~stamp (session : Core.Session.t) =
     v_history = history;
     v_floor = floor;
     v_refreshes = v.v_refreshes + 1;
+    v_lineage = v.v_lineage;
   }
 
 (** Bring a (possibly absent) view to [stamp]: build from scratch when there
     is none, keep it when it is already at or past [stamp] (a racing writer
     advanced it first), refresh otherwise. *)
-let update ?prev ~stamp session =
+let update ?prev ?lineage ~stamp session =
   match prev with
-  | None -> build ~stamp session
+  | None -> build ?lineage ~stamp session
   | Some v when v.v_stamp >= stamp -> v
   | Some v -> refresh v ~stamp session
 

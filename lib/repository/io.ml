@@ -169,6 +169,38 @@ let mem_io (m : mem) : t =
         | None -> raise (Sys_error (p ^ ": No such file or directory")));
     rename =
       (fun a b ->
+        if Hashtbl.mem m.dirs a then begin
+          (* directory rename: on a real filesystem this is the same single
+             metadata operation as a file rename — the entries keep their
+             inodes — so here every key under the old prefix moves at once *)
+          let prefix = a ^ "/" in
+          let plen = String.length prefix in
+          let rewrite p =
+            if p = a then Some b
+            else if String.length p > plen && String.sub p 0 plen = prefix then
+              Some (b ^ "/" ^ String.sub p plen (String.length p - plen))
+            else None
+          in
+          let move tbl =
+            let moved =
+              Hashtbl.fold
+                (fun p c acc ->
+                  match rewrite p with
+                  | Some p' -> (p, p', c) :: acc
+                  | None -> acc)
+                tbl []
+            in
+            List.iter
+              (fun (p, p', c) ->
+                Hashtbl.remove tbl p;
+                Hashtbl.replace tbl p' c)
+              moved
+          in
+          move m.files;
+          move m.synced;
+          move m.dirs
+        end
+        else begin
         (match get m.files a with
         | Some c ->
             Hashtbl.replace m.files b c;
@@ -179,7 +211,8 @@ let mem_io (m : mem) : t =
         (match get m.synced a with
         | Some c -> Hashtbl.replace m.synced b c
         | None -> Hashtbl.remove m.synced b);
-        Hashtbl.remove m.synced a);
+        Hashtbl.remove m.synced a
+        end);
     remove =
       (fun p ->
         Hashtbl.remove m.files p;

@@ -18,7 +18,9 @@ type t = {
   write : string -> string -> unit;  (** create/truncate; NOT durable *)
   append : string -> string -> unit;  (** append, creating; NOT durable *)
   fsync : string -> unit;  (** make the file's current contents durable *)
-  rename : string -> string -> unit;  (** atomic replace *)
+  rename : string -> string -> unit;
+      (** atomic replace; also moves a whole directory (one metadata
+          operation — used to publish a staged variant branch) *)
   remove : string -> unit;
   file_exists : string -> bool;
   is_directory : string -> bool;  (** [false] on dangling symlinks *)

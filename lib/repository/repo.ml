@@ -65,7 +65,10 @@ let variant_names t =
     (match t.io.Io.readdir d with
     | names -> names
     | exception Sys_error _ -> [])
-    (* is_directory is false on dangling symlinks, so they are skipped *)
+    (* is_directory is false on dangling symlinks, so they are skipped;
+       dot-prefixed entries are hidden staging directories (an in-flight or
+       crashed {!branch_variant}) and never count as variants *)
+    |> List.filter (fun n -> n <> "" && n.[0] <> '.')
     |> List.filter (fun n -> t.io.Io.is_directory (Filename.concat d n))
     |> List.sort compare
   else []
@@ -94,6 +97,85 @@ let create_variant t name =
         Store.save_session (variant_store t name) session;
         Ok session
 
+(** Branch [child] off [parent]: persist a copy of the parent's session
+    under the child's name with a lineage record (parent, fork stamp) in
+    its manifest.  The copy is assembled in a hidden staging directory
+    ([variants/.tmp-<child>]) and renamed into place in one metadata
+    operation, so a crash leaves either no child or a complete one — never
+    a half-branch ({!variant_names} hides staging directories).
+
+    [at] branches at a historical point instead of the tip: the child
+    replays only the parent's first [at] committed operations, and [at]
+    becomes the fork stamp.  By default the child gets the parent's whole
+    log and the fork stamp is the parent's current version stamp. *)
+let branch_variant t ~parent ~child ?at () =
+  if not (valid_variant_name child) then
+    Error (Printf.sprintf "%s is not a valid variant name" child)
+  else if mem_variant t child then
+    Error (Printf.sprintf "variant %s already exists" child)
+  else if not (mem_variant t parent) then
+    Error (Printf.sprintf "no variant named %s" parent)
+  else
+    (* read-only parent load: the parent may be live on another shard,
+       so a torn tail is tolerated but never repaired in place *)
+    match Store.load_session ~repair:false (variant_store t parent) with
+    | Error e -> Error (Store.load_error_to_string e)
+    | Ok session -> (
+        let forked =
+          match at with
+          | None -> Ok (Core.Session.version session, session)
+          | Some n when n < 0 -> Error "branch point must be non-negative"
+          | Some n ->
+              let prefix =
+                Core.Oplog.pairs (Core.Oplog.of_session session)
+                |> List.filteri (fun i _ -> i < n)
+              in
+              Result.fold
+                ~ok:(fun s ->
+                  (* local names ride along; stale ones prune on read *)
+                  Ok (n, Core.Session.restore_aliases s
+                           (Core.Session.aliases session)))
+                ~error:(fun e ->
+                  Error
+                    ("parent log does not replay: "
+                    ^ Core.Apply.error_to_string e))
+                (Core.Oplog.replay t.shrink_wrap prefix)
+        in
+        match forked with
+        | Error _ as e -> e
+        | Ok (fork, child_session) ->
+            let staging =
+              Filename.concat (variants_dir t) (".tmp-" ^ child)
+            in
+            (* leftovers of a crashed earlier attempt are simply
+               overwritten: save_session rewrites every artifact *)
+            let st = Store.open_dir ~io:t.io staging in
+            Store.save_session st child_session;
+            Store.set_lineage st ~parent ~fork;
+            t.io.Io.rename staging (variant_dir t child);
+            Ok child_session)
+
+(** The (parent, fork stamp) recorded when [name] was branched; [None] for
+    root variants (or unknown names). *)
+let variant_lineage t name = Store.lineage (variant_store t name)
+
+(** One deterministic line per variant, sorted by name:
+    ["<name> <parent>@<stamp> era <era>"], with ["root"] in place of the
+    lineage pair for unbranched variants.  Derived entirely from the stores
+    on disk, so every process sharing the repository renders identical
+    bytes — the sharded router's merged listing stays byte-identical to a
+    single server's. *)
+let lineage_listing t =
+  variant_names t
+  |> List.map (fun name ->
+         let st = variant_store t name in
+         let lineage =
+           match Store.lineage st with
+           | Some (parent, fork) -> Printf.sprintf "%s@%d" parent fork
+           | None -> "root"
+         in
+         Printf.sprintf "%s %s era %d" name lineage (Store.stored_era st))
+
 (** Load a variant's session by replaying its journal. *)
 let open_variant t name =
   if not (mem_variant t name) then Error (No_variant name)
@@ -101,6 +183,18 @@ let open_variant t name =
     Result.map_error
       (fun e -> Load e)
       (Store.load_session (variant_store t name))
+
+(** Like {!open_variant}, but strictly read-only: a torn journal tail is
+    tolerated (its longest valid prefix replays) and {e never} repaired in
+    place.  This is the safe way to read a variant another process — or
+    another thread holding only its own variant's lock — may be appending
+    to: merge reads its source branch through here, lock-free. *)
+let open_variant_ro t name =
+  if not (mem_variant t name) then Error (No_variant name)
+  else
+    Result.map_error
+      (fun e -> Load e)
+      (Store.load_session ~repair:false (variant_store t name))
 
 (** Persist a session as (a new state of) the named variant. *)
 let save_variant t name session =

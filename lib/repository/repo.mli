@@ -45,6 +45,34 @@ val create_variant : t -> string -> (Core.Session.t, string) result
 val open_variant : t -> string -> (Core.Session.t, open_error) result
 (** Load a variant's session by replaying its stored journal. *)
 
+val open_variant_ro : t -> string -> (Core.Session.t, open_error) result
+(** Read-only load: tolerates a torn journal tail (longest valid prefix
+    replays) without repairing it in place — safe against a concurrent
+    appender.  Merge reads its source branch through here, lock-free. *)
+
+val branch_variant :
+  t ->
+  parent:string ->
+  child:string ->
+  ?at:int ->
+  unit ->
+  (Core.Session.t, string) result
+(** Branch [child] off [parent]: a full copy of the parent's persisted
+    session with a lineage record (parent, fork stamp) in its manifest,
+    staged in a hidden directory and renamed into place atomically — a
+    crash leaves either no child or a complete one.  [?at] branches after
+    the parent's first [at] committed operations (the default is the whole
+    log, stamped with the parent's current version). *)
+
+val variant_lineage : t -> string -> (string * int) option
+(** The (parent, fork stamp) recorded at branch time; [None] for root
+    variants. *)
+
+val lineage_listing : t -> string list
+(** One deterministic sorted line per variant:
+    ["<name> <parent>@<stamp> era <era>"] (or ["<name> root era <era>"]) —
+    derived from the stores on disk, so shards render identical bytes. *)
+
 val save_variant : t -> string -> Core.Session.t -> (unit, string) result
 
 val variant_customs : t -> (string * Odl.Types.schema) list

@@ -113,14 +113,23 @@ let append_undo t = Journal.append t.io (log_file t) Journal.Undo
 
 (* --- manifest ------------------------------------------------------------ *)
 
-type manifest = { m_generation : int; m_ops : int; m_era : int }
+type manifest = {
+  m_generation : int;
+  m_ops : int;
+  m_era : int;
+  m_lineage : (string * int) option;
+}
 
 let manifest_to_string m =
-  (* [era] rides along the tolerant key-value format: manifests written
-     before replication existed simply lack the line and parse as era 0,
-     and older readers ignore it. *)
-  Printf.sprintf "format 1\ngeneration %d\nops %d\nera %d\n" m.m_generation
+  (* [era] — and now the lineage pair — ride along the tolerant key-value
+     format: manifests written before replication (or branching) existed
+     simply lack the lines and parse as era 0 / no parent, and older
+     readers ignore them. *)
+  Printf.sprintf "format 1\ngeneration %d\nops %d\nera %d\n%s" m.m_generation
     m.m_ops m.m_era
+    (match m.m_lineage with
+    | None -> ""
+    | Some (parent, fork) -> Printf.sprintf "parent %s\nfork %d\n" parent fork)
 
 let manifest_of_string text =
   let kv line =
@@ -143,8 +152,17 @@ let manifest_of_string text =
     | None -> None
   in
   let era = match int_field "era" with Some e -> e | None -> 0 in
+  let lineage =
+    match List.assoc_opt "parent" fields with
+    | None -> None
+    | Some parent ->
+        (* a [parent] line without a [fork] stamp parses as fork 0: the
+           child branched at the root of the parent's history *)
+        Some (parent, match int_field "fork" with Some f -> f | None -> 0)
+  in
   match (List.assoc_opt "format" fields, int_field "generation", int_field "ops") with
-  | Some "1", Some g, Some o -> Some { m_generation = g; m_ops = o; m_era = era }
+  | Some "1", Some g, Some o ->
+      Some { m_generation = g; m_ops = o; m_era = era; m_lineage = lineage }
   | _ -> None
 
 let load_manifest t =
@@ -171,7 +189,26 @@ let fence t ~era =
   let m =
     match load_manifest t with
     | Some m -> { m with m_era = max era m.m_era }
-    | None -> { m_generation = 0; m_ops = 0; m_era = era }
+    | None -> { m_generation = 0; m_ops = 0; m_era = era; m_lineage = None }
+  in
+  save_manifest t m
+
+(* --- variant lineage ------------------------------------------------------ *)
+
+(** The (parent variant, fork stamp) pair recorded when this store was
+    branched; [None] for root variants. *)
+let lineage t =
+  match load_manifest t with Some m -> m.m_lineage | None -> None
+
+(** Record that this store was branched off [parent] at version stamp
+    [fork].  Preserves the rest of the manifest; like {!fence} it tolerates
+    a missing manifest (the save that follows rewrites it anyway). *)
+let set_lineage t ~parent ~fork =
+  let m =
+    match load_manifest t with
+    | Some m -> { m with m_lineage = Some (parent, fork) }
+    | None ->
+        { m_generation = 0; m_ops = 0; m_era = 0; m_lineage = Some (parent, fork) }
   in
   save_manifest t m
 
@@ -187,10 +224,10 @@ let session_steps session =
     each atomically, so a crash anywhere leaves every artifact whole. *)
 let save_session t session =
   let steps = session_steps session in
-  let generation, era =
+  let generation, era, lineage =
     match load_manifest t with
-    | Some m -> (m.m_generation + 1, m.m_era)
-    | None -> (1, 0)
+    | Some m -> (m.m_generation + 1, m.m_era, m.m_lineage)
+    | None -> (1, 0, None)
   in
   save_shrinkwrap t (Core.Session.original session);
   save_log t steps;
@@ -202,7 +239,13 @@ let save_session t session =
   write_file t
     (Filename.concat (reports_dir t) "deliverables.html")
     (Html_report.render session);
-  save_manifest t { m_generation = generation; m_ops = List.length steps; m_era = era }
+  save_manifest t
+    {
+      m_generation = generation;
+      m_ops = List.length steps;
+      m_era = era;
+      m_lineage = lineage;
+    }
 
 type load_error =
   | Damaged of { file : string; reason : string }
@@ -231,8 +274,15 @@ let read_schema_artifact t file path =
 (** Rebuild a session by replaying the journal on the stored shrink wrap
     schema, then restoring its local names.  A torn journal tail — the
     crash artifact of an append that was never acknowledged — is truncated
-    and forgotten; interior corruption is an error.  No exception escapes. *)
-let load_session t =
+    and forgotten; interior corruption is an error.  No exception escapes.
+
+    [repair] (default [true]) rewrites a torn tail in place so the next
+    append lands on a clean file.  Pass [~repair:false] when reading a
+    store another process may be appending to right now — a branch being
+    merged, a sibling shard's variant: the longest valid prefix is exactly
+    the acknowledged history, and the reader must not truncate an append
+    in flight. *)
+let load_session ?(repair = true) t =
   let ( let* ) = Result.bind in
   try
     let* shrink_wrap =
@@ -243,8 +293,7 @@ let load_session t =
       match damage with
       | None -> Ok entries
       | Some (Journal.Torn_tail _) ->
-          (* Repair in place so the next append lands on a clean file. *)
-          Journal.rewrite t.io (log_file t) entries;
+          if repair then Journal.rewrite t.io (log_file t) entries;
           Ok entries
       | Some (Journal.Corrupt _ as d) ->
           damaged "log.ops" (Journal.damage_to_string d)
@@ -257,7 +306,7 @@ let load_session t =
     let* session =
       Result.map_error
         (fun e -> Replay e)
-        (Core.Session.replay shrink_wrap steps)
+        (Core.Oplog.replay shrink_wrap steps)
     in
     let* aliases =
       if t.io.Io.file_exists (aliases_file t) then
@@ -417,5 +466,18 @@ let fsck ?(salvage = false) t =
                 issue
                   "manifest: records %d op(s) but only %d replay — a saved \
                    tail was lost"
-                  m.m_ops actual);
+                  m.m_ops actual;
+              (* lineage sanity (branched variants): a damaged lineage line
+                 is an issue, never a crash — the variant's own artifacts
+                 are still whole and salvage keeps the record as parsed *)
+              (match m.m_lineage with
+              | None -> ()
+              | Some (parent, fork) ->
+                  if not (Odl.Names.is_valid parent) then
+                    issue "manifest: parent %S is not a valid variant name"
+                      parent;
+                  if parent = Filename.basename t.dir then
+                    issue "manifest: variant records itself as its own parent";
+                  if fork < 0 then
+                    issue "manifest: negative fork stamp %d" fork));
           finish (Some session))

@@ -81,11 +81,26 @@ type manifest = {
       (** write era for replication fencing; 0 for manifests written
           before replication existed (the parser tolerates the missing
           line). Preserved by {!save_session}, raised by {!fence}. *)
+  m_lineage : (string * int) option;
+      (** [(parent variant, fork stamp)] recorded when this variant was
+          branched; [None] for root variants and manifests written before
+          branching existed.  Preserved by {!save_session} and {!fence}. *)
 }
 
 val load_manifest : t -> manifest option
 (** [None] when absent or unreadable (older repository or interrupted
     save — the artifacts themselves are still authoritative). *)
+
+(** {1 Variant lineage} *)
+
+val lineage : t -> (string * int) option
+(** The (parent variant, fork stamp) recorded at branch time; [None] for
+    root variants. *)
+
+val set_lineage : t -> parent:string -> fork:int -> unit
+(** Record the branch point.  Preserves the rest of the manifest; {!fsck}
+    validates the record (valid parent name, not self, non-negative
+    stamp). *)
 
 (** {1 Generation fencing} *)
 
@@ -114,11 +129,14 @@ type load_error =
 
 val load_error_to_string : load_error -> string
 
-val load_session : t -> (Core.Session.t, load_error) result
+val load_session : ?repair:bool -> t -> (Core.Session.t, load_error) result
 (** Rebuild by replaying the journal on the stored shrink wrap schema, then
     restoring local names.  A torn journal tail (crash artifact of an
     unacknowledged append) is silently truncated; interior corruption is
-    {!Damaged}.  No exception escapes. *)
+    {!Damaged}.  No exception escapes.  [~repair:false] (default [true])
+    suppresses the in-place rewrite of a torn tail — required when reading
+    a store another process may be appending to (merge reads the branch
+    lock-free; the longest valid prefix is the acknowledged history). *)
 
 (** {1 Integrity checking} *)
 

@@ -5,7 +5,15 @@
     {!Designer.Engine} against the connection's open variant:
 
     {v
-    @list                 list the variants (sorted)
+    @list                 list the variants (sorted): name, lineage
+                          ([parent@stamp] or [root]), era — one line each
+    @branch V W [@at STAMP]
+                          fork variant W off V (lineage recorded); @at
+                          forks after V's first STAMP operations
+    @merge W into V [--dry-run]
+                          rebase W's ops past the fork point onto V;
+                          per-op clean/auto-merged/conflict report;
+                          --dry-run reports without writing
     @open <variant>       attach to a variant (shared session)
     @open <variant> readonly
                           attach without write access: mutating commands
@@ -75,6 +83,13 @@ type request =
   | Query of string
       (** a read-side query (the text after [@query], verbatim; parsed by
           {!Query.Parser} — scope and plan live in the query language) *)
+  | Branch of { parent : string; child : string; at : int option }
+      (** [@branch V W [@at STAMP]]: fork variant [W] off [V], recording
+          lineage; [at] forks after V's first [at] operations *)
+  | Merge of { source : string; dest : string; dry_run : bool }
+      (** [@merge W into V [--dry-run]]: rebase W's ops past the fork point
+          onto V and report clean/auto-merged/conflict per op; [--dry-run]
+          reports without writing *)
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 
@@ -115,9 +130,26 @@ let parse_request line =
   | "@stats", "" -> Result.Ok (Stats `Text)
   | "@stats", "json" -> Result.Ok (Stats `Json)
   | "@query", q when q <> "" -> Result.Ok (Query q)
+  | "@branch", v -> (
+      match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
+      | [ parent; child ] -> Result.Ok (Branch { parent; child; at = None })
+      | [ parent; child; "@at"; stamp ] -> (
+          match int_of_string_opt stamp with
+          | Some at when at >= 0 ->
+              Result.Ok (Branch { parent; child; at = Some at })
+          | _ -> Result.Error ("@branch: bad stamp " ^ stamp))
+      | _ -> Result.Error "usage: @branch <parent> <child> [@at STAMP]")
+  | "@merge", v -> (
+      match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
+      | [ source; "into"; dest ] ->
+          Result.Ok (Merge { source; dest; dry_run = false })
+      | [ source; "into"; dest; "--dry-run" ] ->
+          Result.Ok (Merge { source; dest; dry_run = true })
+      | _ -> Result.Error "usage: @merge <branch> into <variant> [--dry-run]")
   | "@query", "" ->
       Result.Error
-        "usage: @query [all] [explain] <name|attr|isa|partof|wheel|diff> ..."
+        "usage: @query [all] [explain] \
+         <name|attr|isa|partof|wheel|diff|lineage|branches> ..."
   | "@quit", "" -> Result.Ok Quit
   | _ when String.length line > 0 && line.[0] = '@' ->
       Result.Error ("unknown control request: " ^ line)

@@ -30,6 +30,14 @@ type request =
       (** [@query <expr>]: a read-side query, text kept verbatim; scope
           ([all]) and form are parsed by {!Query.Parser}, so the router
           and the service agree on one grammar *)
+  | Branch of { parent : string; child : string; at : int option }
+      (** [@branch V W [@at STAMP]]: fork variant [W] off [V] with a
+          lineage record; [at] forks after V's first [at] operations
+          (default: the whole log at V's current stamp) *)
+  | Merge of { source : string; dest : string; dry_run : bool }
+      (** [@merge W into V [--dry-run]]: rebase W's ops past the fork
+          point onto V, reporting each as clean / auto-merged / conflict;
+          [--dry-run] produces the report without writing *)
   | Quit
   | Command of string  (** a designer command line, verbatim *)
 

@@ -203,6 +203,9 @@ let resend_safe line =
   | Result.Ok (Protocol.Open _ | Protocol.Close | Protocol.Quit) -> true
   | Result.Ok (Protocol.Query _) -> true  (* pure read of published views *)
   | Result.Ok (Protocol.New _) -> false  (* creates a variant: a mutation *)
+  | Result.Ok (Protocol.Branch _) -> false  (* creates the child variant *)
+  | Result.Ok (Protocol.Merge { dry_run; _ }) ->
+      dry_run (* a dry run only classifies; a real merge mutates [dest] *)
   | Result.Ok (Protocol.Command l) -> (
       match Designer.Command.parse l with
       | exception Designer.Command.Bad_command _ -> true
@@ -443,6 +446,10 @@ let handle_request t st line =
          shard: serve from any one healthy worker, like [@list] *)
       | Result.Error _ -> do_list t st line
       | Result.Ok pq when pq.Query.Ast.q_explain -> do_list t st line
+      | Result.Ok { Query.Ast.q_atom = Query.Ast.Branches _; _ } ->
+          (* repository-scoped: the lineage records live in the shared
+             stores, so any healthy shard renders the same lines *)
+          do_list t st line
       | Result.Ok pq when pq.Query.Ast.q_all -> do_query_all t st line
       | Result.Ok _ -> (
           match st.attached with
@@ -451,6 +458,16 @@ let handle_request t st line =
                 (Protocol.err
                    "no open session; use: @open <variant> (or: @query all ...)")
           | Some (v, _) -> forward t st (shard_of ~shards v) line))
+  | Result.Ok (Protocol.Branch { child; _ }) ->
+      (* the child hashes independently of its parent: the branch runs on
+         the shard that will own the child (the parent is read from the
+         shared store, lock-free), so later writes land where the child
+         session lives *)
+      forward t st (shard_of ~shards child) line
+  | Result.Ok (Protocol.Merge { dest; _ }) ->
+      (* route by destination: merge takes the writer lock on [dest] only
+         and reads the source branch from the shared store *)
+      forward t st (shard_of ~shards dest) line
   | Result.Ok (Protocol.Command _) -> (
       match st.attached with
       | None ->

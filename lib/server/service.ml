@@ -237,7 +237,7 @@ let request (t : t) (conn : conn) line =
                   Protocol.parse_request line)
             with
             | Error m -> Protocol.err m
-            | Ok List -> Protocol.ok (Repo.variant_names t.repo)
+            | Ok List -> Protocol.ok (Repo.lineage_listing t.repo)
             | Ok Ping -> Protocol.ok [ "pong" ]
             | Ok (Stats fmt) -> Service_admin.do_stats t fmt
             | Ok (Open { variant; readonly }) ->
@@ -249,6 +249,10 @@ let request (t : t) (conn : conn) line =
                 Service_admin.disconnect t conn;
                 Protocol.ok [ "bye" ]
             | Ok (Query q) -> Service_query.do_query t conn q
+            | Ok (Branch { parent; child; at }) ->
+                Service_branch.do_branch t ~parent ~child ~at ~line
+            | Ok (Merge { source; dest; dry_run }) ->
+                Service_branch.do_merge t conn ~source ~dest ~dry_run ~line
             | Ok (Command c) -> Service_read.do_command t conn c
           with
           | response -> response

@@ -75,6 +75,14 @@ let load_session t variant =
               (* the stamp continues the variant's sequence across
                  evict/reload cycles: readers never see it go backwards *)
               ignore (publish t s : int);
+              (* a branched child's sequence starts at its fork stamp, so
+                 [#version] on its reads (readonly repl included) reports
+                 where on the parent's timeline it forked, and lineage
+                 diffs can anchor there *)
+              (match Store.lineage store with
+              | Some (_, fork) when fork > Publish.seq t.pub variant ->
+                  Publish.publish_at t.pub variant s.state fork
+              | Some _ | None -> ());
               (* recovery may have repaired (rewritten) the journal, so a
                  follower tracking the old bytes must re-seed *)
               invalidate t variant;

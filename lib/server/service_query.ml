@@ -33,7 +33,23 @@
 open Service_types
 
 let usage =
-  "usage: @query [all] [explain] <name|attr|isa|partof|wheel|diff> ..."
+  "usage: @query [all] [explain] \
+   <name|attr|isa|partof|wheel|diff|lineage|branches> ..."
+
+(* [branches of V]: the repository's manifest lineage records, read from
+   the shared stores on disk — every shard (and a single process) renders
+   the same sorted lines, like [@list]. *)
+let do_branches t name =
+  if not (Repo.mem_variant t.repo name) then
+    Protocol.err ("no variant named " ^ name)
+  else
+    Repo.variant_names t.repo
+    |> List.filter_map (fun v ->
+           match Repo.variant_lineage t.repo v with
+           | Some (p, f) when String.equal p name ->
+               Some (Printf.sprintf "%s fork %d" v f)
+           | Some _ | None -> None)
+    |> Protocol.ok
 
 (* Load a variant through the writer path so something is published; the
    caller retries its lock-free read afterwards.  Mirrors the [@open] load
@@ -142,6 +158,7 @@ let do_query t (conn : conn) text =
     (match Query.Parser.parse text with
     | Error m -> Protocol.err ~body:[ usage ] m
     | Ok q when q.Query.Ast.q_explain -> Protocol.ok (Query.Eval.explain q.q_atom)
+    | Ok { Query.Ast.q_atom = Query.Ast.Branches name; _ } -> do_branches t name
     | Ok q when q.q_all -> all_scope t q
     | Ok q -> (
         match conn.variant with

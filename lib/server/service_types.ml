@@ -139,6 +139,12 @@ type instruments = {
           writer path (nothing published) *)
   c_view_refresh : Obs.Metrics.counter;  (** incremental view refreshes *)
   c_view_rebuild : Obs.Metrics.counter;  (** from-scratch view builds *)
+  c_merge_clean : Obs.Metrics.counter;
+      (** rebased branch ops that applied with their recorded impact *)
+  c_merge_auto : Obs.Metrics.counter;
+      (** rebased ops auto-merged (already present, or adapted impact) *)
+  c_merge_conflict : Obs.Metrics.counter;
+      (** rebased ops refused (permission matrix / consistency checker) *)
   g_sessions : Obs.Metrics.gauge;
   g_inflight : Obs.Metrics.gauge;
   g_commit_stalled : Obs.Metrics.gauge;
@@ -195,6 +201,9 @@ let make_instruments obs =
     c_query_fallback = c "swsd.query.fallback_total";
     c_view_refresh = c "swsd.query.view.refresh_total";
     c_view_rebuild = c "swsd.query.view.rebuild_total";
+    c_merge_clean = c "swsd.merge.clean_total";
+    c_merge_auto = c "swsd.merge.auto_total";
+    c_merge_conflict = c "swsd.merge.conflict_total";
     g_sessions = g "swsd.sessions.open";
     g_inflight = g "swsd.requests.inflight";
     g_commit_stalled = g "swsd.commit.stalled";
@@ -397,7 +406,18 @@ let advance_view t variant (state : Engine.state) stamp =
     | Some v when Query.View.stamp v >= stamp -> ()
     | _ ->
         let t0 = t.config.now () in
-        let v = Query.View.update ?prev ~stamp session in
+        (* a from-scratch build caches the variant's lineage record off the
+           manifest, so the [lineage] atom answers without touching disk;
+           refreshes carry it forward *)
+        let lineage =
+          match prev with
+          | Some _ -> None
+          | None -> (
+              match Repo.variant_lineage t.repo variant with
+              | l -> l
+              | exception _ -> None)
+        in
+        let v = Query.View.update ?prev ?lineage ~stamp session in
         (match prev with
         | None -> Obs.Metrics.incr t.i.c_view_rebuild
         | Some _ -> Obs.Metrics.incr t.i.c_view_refresh);
@@ -515,47 +535,27 @@ let journal_delta ~before ~after =
   let popped, added = trim (popped, added) in
   (List.length popped, List.map step_op added)
 
-(* Append the delta, each record through the retry policy; durable (fsync'd
-   per record) on [Ok].  Any failure leaves the on-disk journal in an
-   unknown (possibly torn) state: the caller must evict the session so the
-   next open reloads through recovery. *)
-let persist_delta t s ~before ~after =
-  let undos, adds = journal_delta ~before ~after in
-  let append thunk =
-    match
-      Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
-        ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
-        t.config.retry thunk
-    with
-    | Ok () -> Ok ()
-    | Error e -> Error e
-  in
-  let rec undo_loop n =
-    if n = 0 then Ok ()
-    else
-      match append (fun () -> Store.append_undo s.store) with
-      | Ok () -> undo_loop (n - 1)
-      | Error _ as e -> e
-  in
-  let rec add_loop = function
-    | [] -> Ok ()
-    | step :: rest -> (
-        match append (fun () -> Store.append_step s.store step) with
-        | Ok () -> add_loop rest
-        | Error _ as e -> e)
-  in
-  if undos = 0 && adds = [] then Ok 0
-  else
-    match undo_loop undos with
-    | Error e -> Error e
-    | Ok () -> (
-        match add_loop adds with
-        | Error e -> Error e
-        | Ok () -> Ok (undos + List.length adds))
+(** Append [data] — pre-encoded journal records from {!encoded_delta} —
+    through the retry policy; durable (appended and fsync'd as one batch)
+    on [Ok].  Any failure leaves the on-disk journal in an unknown
+    (possibly torn) state: the caller must evict the session so the next
+    open reloads through recovery.  This is the whole of the non-group-
+    commit persistence path: the per-record append/fsync loop it replaces
+    duplicated the delta encoding the group-commit path already owns. *)
+let append_data t (s : session) ~data =
+  match
+    Retry.with_retries ~rand:t.rand ~sleep:t.config.sleep
+      ~on_retry:(fun ~attempt:_ ~delay:_ -> Obs.Metrics.incr t.i.c_retries)
+      t.config.retry
+      (fun () -> Repository.Journal.append_raw (Store.io s.store) (log_path s) data)
+  with
+  | Ok () -> Ok ()
+  | Error e -> Error e
 
-(** The delta as one pre-encoded byte run for group commit: the record
-    count and the exact bytes the per-record path would have appended —
-    undo records first, then the fresh steps, each newline-terminated. *)
+(** The delta as one pre-encoded byte run: the record count and the exact
+    bytes to append — undo records first, then the fresh steps, each
+    newline-terminated.  Both commit paths (group commit and the
+    per-command-fsync baseline) append exactly these bytes. *)
 let encoded_delta ~before ~after =
   let undos, adds = journal_delta ~before ~after in
   let buf = Buffer.create 128 in

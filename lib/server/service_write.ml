@@ -120,18 +120,48 @@ let complete t (st : staged) =
         Protocol.err ~body ~version "command rejected"
       else Protocol.ok ~version body
 
-let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
+(** The generic single-writer pipeline: run [exec] on the variant's engine
+    state under its writer lock, journal the session delta, publish, and
+    acknowledge only once durable.  [exec] is the only moving part —
+    {!do_command} passes {!Engine.exec} on a designer command, and the
+    merge path ({!Service_branch}) passes the op-log rebase; everything
+    else (breaker, chaos hook, group commit vs per-command fsync, publish
+    order, eviction on failure) is this one pipeline.
+
+    [load_if_absent] loads the session from disk first when nothing is live
+    (merge targets a variant no connection has open); the default answers
+    "session expired" like a designer command does. *)
+let execute ?(load_if_absent = false) t (conn : conn) variant ~mutating ~exec
+    ~line =
   let phase1 =
     try_writer t variant (fun () ->
-        match find_session t variant with
-        | None ->
-            conn.variant <- None;
-            `Respond (Protocol.err "session expired (idle); use @open to resume")
-        | Some s ->
+        let found =
+          match find_session t variant with
+          | Some s -> Ok s
+          | None when load_if_absent -> (
+              (* mirror the [@open] load: drain every lane before the
+                 journal replay may rewrite a torn tail, reset after *)
+              (match t.commit with
+              | Some gc -> Group_commit.drain_all gc
+              | None -> ());
+              match Service_admin.load_session t variant with
+              | Error m -> Error (Protocol.err m)
+              | Ok s ->
+                  (match t.commit with
+                  | Some gc -> Group_commit.reset gc ~path:(log_path s)
+                  | None -> ());
+                  Ok s)
+          | None ->
+              conn.variant <- None;
+              Error
+                (Protocol.err "session expired (idle); use @open to resume")
+        in
+        match found with
+        | Error response -> `Respond response
+        | Ok s ->
             let i = t.i in
             let now = t.config.now () in
             let breaker = breaker_of t variant in
-            let mutating = Designer.Command.mutates cmd in
             if mutating && not (Breaker.allows breaker ~now) then begin
               Obs.Metrics.incr i.c_breaker_rejected;
               `Respond
@@ -170,7 +200,7 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                 | None -> ());
                 let before = s.state in
                 let t_apply = t.config.now () in
-                let after, feedback = Engine.exec before cmd in
+                let after, feedback = exec before in
                 let apply_seconds = t.config.now () -. t_apply in
                 Obs.Histo.observe i.h_apply apply_seconds;
                 Obs.Trace.add_phase_current i.tracer "apply" apply_seconds;
@@ -214,16 +244,16 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
                         st_records = n;
                       }
                 | _ -> (
-                    (* per-record-fsync baseline ([group_commit = false]),
-                       and the no-delta fast path on a quiescent lane *)
+                    (* per-command-fsync baseline ([group_commit = false]),
+                       and the no-delta fast path on a quiescent lane: the
+                       same pre-encoded bytes the group-commit path
+                       submits, appended and fsync'd here and now *)
                     let persisted =
-                      if n = 0 then Ok 0
-                      else
-                        persist_delta t s ~before:before.Engine.session
-                          ~after:after.Engine.session
+                      if n = 0 then Ok ()
+                      else append_data t s ~data
                     in
                     match persisted with
-                    | Ok n ->
+                    | Ok () ->
                         if n > 0 then
                           Breaker.record_success breaker ~now:(t.config.now ());
                         s.state <- after;
@@ -259,3 +289,8 @@ let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
   | Error failure -> shed t failure
   | Ok (`Respond response) -> response
   | Ok (`Staged st) -> complete t st
+
+let do_command t (conn : conn) variant (cmd : Designer.Command.t) ~line =
+  execute t conn variant ~mutating:(Designer.Command.mutates cmd)
+    ~exec:(fun before -> Engine.exec before cmd)
+    ~line

@@ -20,6 +20,7 @@ let () =
       ("propagate", Test_propagate.tests);
       ("mapping", Test_mapping.tests);
       ("session", Test_session.tests);
+      ("oplog", Test_oplog.tests);
       ("coverage", Test_coverage.tests);
       ("render", Test_render.tests);
       ("schemas", Test_schemas.tests);

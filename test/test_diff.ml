@@ -12,7 +12,7 @@ let check_converges name a b =
       (Odl.Printer.schema_to_string reached)
       (Odl.Printer.schema_to_string b);
   (* the log must also replay through a fresh session *)
-  match Core.Session.replay a steps with
+  match Core.Oplog.replay a steps with
   | Ok session ->
       Alcotest.check Util.schema_testable (name ^ " replay")
         b

@@ -53,7 +53,7 @@ let genome_workflow () =
   let derive target =
     let steps, _, converged = Core.Diff.infer ~original:acedb ~target in
     Alcotest.(check bool) "diff converges" true converged;
-    match Core.Session.replay acedb steps with
+    match Core.Oplog.replay acedb steps with
     | Ok s -> s
     | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
   in
@@ -116,7 +116,7 @@ let long_session_with_undo () =
       (fun (st : Core.Session.step) -> (st.st_kind, st.st_op))
       (Core.Session.log session)
   in
-  match Core.Session.replay schema steps with
+  match Core.Oplog.replay schema steps with
   | Ok replayed ->
       Alcotest.check Util.schema_testable "log replays"
         (Core.Session.workspace session)

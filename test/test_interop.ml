@@ -93,7 +93,7 @@ let genome_family_interchange () =
   let acedb = Schemas.Genome.acedb_v () in
   let replay target =
     let steps, _, _ = Core.Diff.infer ~original:acedb ~target in
-    match Core.Session.replay acedb steps with
+    match Core.Oplog.replay acedb steps with
     | Ok s -> Core.Session.workspace s
     | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
   in

@@ -1,0 +1,217 @@
+(* The replayable op-log and its rebase (Core.Oplog): fork-point
+   arithmetic, per-op classification, the merge impact report, and the
+   property that on conflict-free histories a rebase is exactly a
+   sequential apply (same state, same mapping). *)
+
+module Session = Core.Session
+module Oplog = Core.Oplog
+
+let test = Util.test
+
+let prop name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let entry ?(kind = Core.Concept.Wagon_wheel) text =
+  { Oplog.e_kind = kind; e_op = Util.parse_op text; e_events = [] }
+
+(* --- fork-point arithmetic ------------------------------------------------- *)
+
+let fork_point () =
+  let root = Util.session_of (Util.university ()) in
+  let shared, _ = Util.apply_ok root "add_type_definition(Shared)" in
+  let base, _ = Util.apply_ok shared "add_type_definition(Basework)" in
+  let branch, _ = Util.apply_ok shared "add_type_definition(Branchwork)" in
+  Alcotest.(check int) "common prefix is the shared history" 1
+    (Oplog.common_prefix ~base ~branch);
+  match Oplog.branch_entries ~base ~branch with
+  | [ e ] ->
+      Alcotest.check Util.op_testable "the branch's own op"
+        (Util.parse_op "add_type_definition(Branchwork)")
+        e.Oplog.e_op
+  | es -> Alcotest.failf "expected 1 branch entry, got %d" (List.length es)
+
+(* undo on the branch pops its tail; the prefix is what both still agree
+   on, never more *)
+let fork_point_after_undo () =
+  let root = Util.session_of (Util.university ()) in
+  let shared, _ = Util.apply_ok root "add_type_definition(Shared)" in
+  let branch, _ = Util.apply_ok shared "add_type_definition(Gone)" in
+  let branch = Option.get (Session.undo branch) in
+  let base, _ = Util.apply_ok shared "add_type_definition(Basework)" in
+  Alcotest.(check int) "prefix unaffected by undone work" 1
+    (Oplog.common_prefix ~base ~branch);
+  Alcotest.(check int) "nothing left to rebase" 0
+    (List.length (Oplog.branch_entries ~base ~branch))
+
+(* --- classification -------------------------------------------------------- *)
+
+let rebase_clean () =
+  let base = Util.session_of (Util.university ()) in
+  let branch, _ =
+    Util.apply_ok base "add_attribute(Person, string, 20, nickname)"
+  in
+  let report =
+    Oplog.rebase ~base ~branch_ops:(Oplog.branch_entries ~base ~branch)
+  in
+  Alcotest.(check (list int)) "1 clean, 0 auto, 0 conflict" [ 1; 0; 0 ]
+    [ report.Oplog.r_clean; report.r_auto; report.r_conflict ];
+  Alcotest.(check bool) "applied to the merged session" true
+    (List.exists
+       (fun (a : Odl.Types.attribute) -> a.attr_name = "nickname")
+       (Odl.Schema.get_interface
+          (Session.workspace report.Oplog.r_session)
+          "Person")
+       .i_attrs)
+
+let rebase_already_applied () =
+  let root = Util.session_of (Util.university ()) in
+  let base, _ = Util.apply_ok root "add_attribute(Person, string, 20, nickname)" in
+  let report =
+    Oplog.rebase ~base
+      ~branch_ops:[ entry "add_attribute(Person, string, 20, nickname)" ]
+  in
+  Alcotest.(check (list int)) "auto-merged, not a conflict" [ 0; 1; 0 ]
+    [ report.Oplog.r_clean; report.r_auto; report.r_conflict ];
+  (* skipped, not double-applied *)
+  Alcotest.(check int) "no step added" (Session.step_count base)
+    (Session.step_count report.Oplog.r_session)
+
+(* the semantic conflict of the paper's workflow: the branch's op was
+   admissible when issued, but the base moved ahead and deleted its
+   target — the checker refuses it on replay, and the merge reports it
+   instead of applying it *)
+let rebase_semantic_conflict () =
+  let root = Util.session_of (Util.university ()) in
+  let base, _ = Util.apply_ok root "delete_type_definition(Book)" in
+  let report =
+    Oplog.rebase ~base
+      ~branch_ops:[ entry "add_attribute(Book, string, 20, shelfmark)" ]
+  in
+  Alcotest.(check (list int)) "conflict, nothing applied" [ 0; 0; 1 ]
+    [ report.Oplog.r_clean; report.r_auto; report.r_conflict ];
+  (match Oplog.conflicts report with
+  | [ (_, Oplog.Rejected _) ] -> ()
+  | _ -> Alcotest.fail "expected one checker-rejected conflict");
+  Alcotest.(check int) "merged session unchanged" (Session.step_count base)
+    (Session.step_count report.Oplog.r_session)
+
+(* a (kind, op) pair the permission matrix never admits — a hand-edited or
+   foreign log — is refused at the permission gate, before the checker *)
+let rebase_permission_conflict () =
+  let base = Util.session_of (Util.university ()) in
+  let report =
+    Oplog.rebase ~base
+      ~branch_ops:
+        [
+          entry ~kind:Core.Concept.Wagon_wheel
+            "add_supertype(Student, Person)";
+        ]
+  in
+  (match Oplog.conflicts report with
+  | [ (_, Oplog.Permission _) ] -> ()
+  | _ -> Alcotest.fail "expected one permission conflict")
+
+let report_text () =
+  let root = Util.session_of (Util.university ()) in
+  let branch =
+    Util.apply_many root
+      [
+        "add_attribute(Person, string, 20, nickname)";
+        "add_attribute(Book, string, 20, shelfmark)";
+      ]
+  in
+  let base, _ = Util.apply_ok root "delete_type_definition(Book)" in
+  let report =
+    Oplog.rebase ~base ~branch_ops:(Oplog.branch_entries ~base ~branch)
+  in
+  let text = Oplog.render_report "w into v" report in
+  List.iter
+    (fun needle ->
+      if not (Str_contains.contains text needle) then
+        Alcotest.failf "report misses %S:\n%s" needle text)
+    [
+      "merge report: w into v";
+      "clean";
+      "CONFLICT";
+      "rebased 2 op(s): 1 clean, 0 auto-merged, 1 conflict(s)";
+    ]
+
+(* --- replay (moved here from Session) -------------------------------------- *)
+
+let replay_round_trip () =
+  let s = Util.session_of (Util.university ()) in
+  let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
+  let s, _ =
+    Util.apply_ok ~kind:Core.Concept.Generalization s
+      "add_supertype(Lab, Person)"
+  in
+  let log = Oplog.of_session s in
+  match Oplog.replay (Session.original s) (Oplog.pairs log) with
+  | Error e -> Alcotest.fail (Core.Apply.error_to_string e)
+  | Ok s' ->
+      Alcotest.check Util.schema_testable "same workspace"
+        (Session.workspace s) (Session.workspace s')
+
+(* --- rebase ≡ sequential apply on conflict-free histories ------------------ *)
+
+(* The branch develops freely from the root; the base moves ahead with
+   fresh type definitions no generated op can name (generated identifiers
+   are at most 8 characters).  Rebase of the branch onto that base must
+   then find no conflicts and land in exactly the state — workspace and
+   shrink-wrap mapping — that applying the branch ops one by one on the
+   base produces. *)
+let rebase_equals_sequential =
+  prop "rebase = sequential apply on conflict-free histories"
+    Gen.schema_and_ops (fun (schema, steps) ->
+      match Session.create schema with
+      | Error _ -> false (* synth schemas are valid; see synth_always_valid *)
+      | Ok root ->
+          let branch =
+            List.fold_left
+              (fun s (kind, op) ->
+                match Session.apply s ~kind op with
+                | Ok (s', _) -> s'
+                | Error _ -> s)
+              root steps
+          in
+          let base =
+            List.fold_left
+              (fun s name ->
+                match
+                  Session.apply s ~kind:Core.Concept.Wagon_wheel
+                    (Core.Modop.Add_type_definition name)
+                with
+                | Ok (s', _) -> s'
+                | Error _ -> s)
+              root
+              [ "Qqbasemovedahead"; "Qqbasemovedfurther" ]
+          in
+          let branch_ops = Oplog.branch_entries ~base ~branch in
+          let report = Oplog.rebase ~base ~branch_ops in
+          let sequential =
+            List.fold_left
+              (fun s (e : Oplog.entry) ->
+                match Session.apply s ~kind:e.Oplog.e_kind e.e_op with
+                | Ok (s', _) -> s'
+                | Error _ -> s)
+              base branch_ops
+          in
+          report.Oplog.r_conflict = 0
+          && Core.Recompose.equal_content
+               (Session.workspace report.Oplog.r_session)
+               (Session.workspace sequential)
+          && Fmt.str "%a" Core.Mapping.pp report.Oplog.r_mapping
+             = Fmt.str "%a" Core.Mapping.pp (Session.mapping sequential))
+
+let tests =
+  [
+    test "fork point" fork_point;
+    test "fork point after undo" fork_point_after_undo;
+    test "rebase: clean" rebase_clean;
+    test "rebase: already applied auto-merges" rebase_already_applied;
+    test "rebase: semantic conflict reported" rebase_semantic_conflict;
+    test "rebase: permission conflict reported" rebase_permission_conflict;
+    test "merge impact report" report_text;
+    test "replay round trip" replay_round_trip;
+    rebase_equals_sequential;
+  ]

@@ -8,7 +8,7 @@ let plan_for ?(kind = ww) schema text =
   Core.Advisor.repair_plan ~original:schema schema kind (Util.parse_op text)
 
 let verify schema plan =
-  match Core.Session.replay schema plan with
+  match Core.Oplog.replay schema plan with
   | Ok _ -> ()
   | Error e ->
       Alcotest.failf "plan must replay cleanly: %s" (Core.Apply.error_to_string e)

@@ -182,7 +182,7 @@ let replay_reproduces =
               (fun (st : Core.Session.step) -> (st.st_kind, st.st_op))
               (Core.Session.log session)
           in
-          (match Core.Session.replay schema steps with
+          (match Core.Oplog.replay schema steps with
           | Ok replayed ->
               Core.Recompose.equal_content
                 (Core.Session.workspace session)
@@ -261,7 +261,7 @@ let diff_converges =
       let steps, _, converged = Core.Diff.infer ~original:schema ~target in
       converged
       &&
-      match Core.Session.replay schema steps with
+      match Core.Oplog.replay schema steps with
       | Ok session ->
           Core.Recompose.equal_content (Core.Session.workspace session) target
       | Error _ -> false)

@@ -255,6 +255,77 @@ let follower_serves_readonly () =
       Alcotest.(check bool) "unknown variant is a plain error" true
         (Str_contains.contains (req_err fsvc fresh "@open ghost readonly") "ghost")
 
+(* A branched child crosses the bootstrap stream with its manifest, so a
+   follower serves its lineage — parent, fork stamp, branches-of — at
+   bounded staleness, and the fork stamp still floors [#version] on the
+   replica.  Merging stays a leader-side affair: the follower refuses
+   and points at the leader. *)
+let follower_serves_lineage () =
+  let _, lio = mem_repo () in
+  let lsvc = service ~config:(quick_config ()) lio in
+  let hub = Replication.hub lsvc in
+  let c = Service.connect lsvc in
+  ignore (req_ok lsvc c "@open v");
+  ignore (req_ok lsvc c "focus ww:Person");
+  ignore (req_ok lsvc c (apply_line "pre_fork"));
+  ignore (req_ok lsvc c "@close");
+  let fork =
+    let body = req_ok lsvc c "@branch v w" in
+    match
+      List.find_map
+        (fun l ->
+          match String.rindex_opt l '@' with
+          | Some i when Str_contains.contains l "branched" ->
+              int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+          | _ -> None)
+        body
+    with
+    | Some n -> n
+    | None ->
+        Alcotest.failf "branch response carries no fork stamp: %s"
+          (String.concat " | " body)
+  in
+  let leader_stamp =
+    match (Service.request lsvc c "@open w readonly").Protocol.version with
+    | Some v -> v
+    | None -> Alcotest.fail "leader attach must carry a stamp"
+  in
+  let frames = bootstrap_frames hub in
+  match open_follower frames with
+  | None -> Alcotest.fail "bootstrap stream must carry the root"
+  | Some (fsvc, _fio) ->
+      let apply = Replication.Apply.create fsvc in
+      List.iter
+        (Replication.Apply.frame apply ~ack:(fun ~variant:_ ~stamp:_ -> ()))
+        frames;
+      let fc = Service.connect fsvc in
+      let r = Service.request fsvc fc "@open w readonly" in
+      (match (r.Protocol.status, r.Protocol.version) with
+      | Protocol.Ok, Some v when v >= fork && v <= leader_stamp ->
+          () (* the fork floors the stamp; staleness is bounded above *)
+      | Protocol.Ok, v ->
+          Alcotest.failf "follower serves w at %s (fork %d, leader %d)"
+            (match v with Some v -> string_of_int v | None -> "none")
+            fork leader_stamp
+      | _ -> Alcotest.failf "readonly attach refused: %s" (Protocol.to_string r));
+      let lineage = req_ok fsvc fc "@query lineage" in
+      Alcotest.(check bool) "the replica knows w's parent and fork" true
+        (List.exists
+           (fun l -> Str_contains.contains l (Printf.sprintf "parent v@%d" fork))
+           lineage);
+      Alcotest.(check (list string)) "branches-of answers on the replica"
+        [ Printf.sprintf "w fork %d" fork ]
+        (req_ok fsvc fc "@query branches of v");
+      (* the listing carries lineage on the follower too *)
+      Alcotest.(check (list string)) "replicated lineage listing"
+        [ "v root era 0"; Printf.sprintf "w v@%d era 0" fork ]
+        (req_ok fsvc fc "@list");
+      (* writes of every kind go to the leader *)
+      Alcotest.(check bool) "@branch points at the leader" true
+        (Str_contains.contains (req_err fsvc fc "@branch v x") "leader");
+      Alcotest.(check bool) "@merge points at the leader" true
+        (Str_contains.contains (req_err fsvc fc "@merge w into v") "leader")
+
 (* A stale leader — an era below what the follower has already seen —
    must not feed the apply state machine. *)
 let stale_leader_refused () =
@@ -861,6 +932,8 @@ let tests =
       connect_retry_determinism;
     test "follower: replicated state served readonly at the leader's stamp"
       follower_serves_readonly;
+    test "follower: lineage served at bounded staleness, merges to the leader"
+      follower_serves_lineage;
     test "follower: a stale leader's era is refused" stale_leader_refused;
     test "hub: a stream a full ring behind is re-seeded, not replayed"
       ring_of_two_forces_reset;

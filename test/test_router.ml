@@ -272,6 +272,135 @@ let two_shard_versions () =
               Client.close ca;
               Client.close cb)))
 
+(* --- branch and merge through the router ----------------------------------- *)
+
+let body_of lines =
+  List.filter_map
+    (fun l ->
+      if String.length l >= 2 && String.sub l 0 2 = ". " then
+        Some (String.sub l 2 (String.length l - 2))
+      else None)
+    lines
+
+(* a name that rendezvous-hashes onto [target], distinct from the v%d
+   namespace [pick_variant] draws from *)
+let pick_branch_name ~shards target =
+  let rec go i =
+    if i > 10_000 then Alcotest.failf "no branch name hashes to shard %d" target
+    else
+      let n = Printf.sprintf "b%d" i in
+      if Router.shard_of ~shards n = target then n else go (i + 1)
+  in
+  go 0
+
+(* The parent lives on shard 0, the child hashes onto shard 1: @branch
+   must route by the child, the design sessions by their own variants,
+   and @merge by the destination.  The lineage listing must come back
+   byte-identical whichever shard answers (it is derived from the shared
+   repository directory, never from per-shard state). *)
+let branch_merge_routed transport () =
+  let tname = match transport with `Unix -> "unix socket" | `Tcp -> "tcp" in
+  with_watchdog ~secs:120.0 ~name:("router branch/merge over " ^ tname)
+    (fun () ->
+      let cl = start_cluster transport in
+      Fun.protect
+        ~finally:(fun () -> rm_rf cl.dir)
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () -> stop_cluster cl)
+            (fun () ->
+              let parent = pick_variant ~shards:2 0 in
+              let child = pick_branch_name ~shards:2 1 in
+              let c = connect cl in
+              ignore (expect_ok c ("@new " ^ parent));
+              ignore (expect_ok c "focus ww:Person");
+              ignore (expect_ok c (apply_line "pre_fork"));
+              ignore (expect_ok c "@close");
+              let blines =
+                expect_ok c (Printf.sprintf "@branch %s %s" parent child)
+              in
+              let fork =
+                match
+                  List.find_map
+                    (fun l ->
+                      match String.rindex_opt l '@' with
+                      | Some i when Str_contains.contains l "branched" ->
+                          int_of_string_opt
+                            (String.sub l (i + 1) (String.length l - i - 1))
+                      | _ -> None)
+                    blines
+                with
+                | Some n -> n
+                | None ->
+                    Alcotest.failf "no fork stamp in: %s"
+                      (String.concat " | " blines)
+              in
+              (* independent design on both sides, each on its own shard *)
+              ignore (expect_ok c ("@open " ^ child));
+              ignore (expect_ok c "focus ww:Person");
+              ignore (expect_ok c (apply_line "on_branch"));
+              ignore (expect_ok c "@close");
+              ignore (expect_ok c ("@open " ^ parent));
+              ignore (expect_ok c "focus ww:Person");
+              ignore (expect_ok c (apply_line "on_base"));
+              ignore (expect_ok c "@close");
+              (* dry run writes nothing *)
+              let dry =
+                expect_ok c
+                  (Printf.sprintf "@merge %s into %s --dry-run" child parent)
+              in
+              Alcotest.(check bool) "dry run labelled" true
+                (List.exists
+                   (fun l -> Str_contains.contains l "(dry run)")
+                   dry);
+              let parent_journal () =
+                Io.unix.Io.read_file
+                  (Filename.concat cl.dir
+                     (Filename.concat "variants"
+                        (Filename.concat parent "log.ops")))
+              in
+              Alcotest.(check bool) "dry run left the destination alone" false
+                (Str_contains.contains (parent_journal ()) "on_branch");
+              let merged =
+                expect_ok c (Printf.sprintf "@merge %s into %s" child parent)
+              in
+              Alcotest.(check bool) "merge reports through the router" true
+                (List.exists
+                   (fun l -> Str_contains.contains l "merge report")
+                   merged);
+              Alcotest.(check bool) "merged op durable on the destination" true
+                (Str_contains.contains (parent_journal ()) "on_branch");
+              (* the lineage listing: same bytes from both connections,
+                 and exactly the two variants with their lineage *)
+              let want =
+                List.sort compare
+                  [
+                    Printf.sprintf "%s root era 0" parent;
+                    Printf.sprintf "%s %s@%d era 0" child parent fork;
+                  ]
+              in
+              let c2 = connect cl in
+              Alcotest.(check (list string)) "lineage listing, first client"
+                want
+                (body_of (expect_ok c "@list"));
+              Alcotest.(check (list string)) "lineage listing, second client"
+                want
+                (body_of (expect_ok c2 "@list"));
+              (* lineage queries route to the child's shard; branches-of
+                 is repository-scoped and any shard may answer *)
+              ignore (expect_ok c ("@open " ^ child));
+              Alcotest.(check bool) "child's lineage via the router" true
+                (List.exists
+                   (fun l ->
+                     Str_contains.contains l
+                       (Printf.sprintf "parent %s@%d" parent fork))
+                   (body_of (expect_ok c "@query lineage")));
+              Alcotest.(check (list string)) "branches-of via the router"
+                [ Printf.sprintf "%s fork %d" child fork ]
+                (body_of (expect_ok c2 ("@query branches of " ^ parent)));
+              Client.close c;
+              Client.close c2)))
+
 (* --- chaos: kill -9 a worker mid-load, over both transports ---------------- *)
 
 let find_sub hay needle =
@@ -450,6 +579,10 @@ let tests =
     test "router: 1000 names spread evenly over 4 shards" hash_balanced;
     test "router: two shards end to end, #version monotone per variant"
       two_shard_versions;
+    test "router: branch on one shard, merge on another (unix socket)"
+      (branch_merge_routed `Unix);
+    test "router: branch on one shard, merge on another (tcp)"
+      (branch_merge_routed `Tcp);
     test "router: kill -9 a worker mid-load (unix socket), nothing acked lost"
       (chaos_kill9 `Unix);
     test "router: kill -9 a worker mid-load (tcp), nothing acked lost"

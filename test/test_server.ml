@@ -63,6 +63,22 @@ let parse_requests () =
   | Result.Error _ -> ()
   | Result.Ok _ -> Alcotest.fail "bad @open mode must be rejected");
   ok "@new v1" (Protocol.New "v1");
+  ok "@branch v w" (Protocol.Branch { parent = "v"; child = "w"; at = None });
+  ok "  @branch v w @at 3 "
+    (Protocol.Branch { parent = "v"; child = "w"; at = Some 3 });
+  (match Protocol.parse_request "@branch v" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "bad @branch must be rejected");
+  (match Protocol.parse_request "@branch v w @at -1" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "negative @at must be rejected");
+  ok "@merge w into v"
+    (Protocol.Merge { source = "w"; dest = "v"; dry_run = false });
+  ok "@merge w into v --dry-run"
+    (Protocol.Merge { source = "w"; dest = "v"; dry_run = true });
+  (match Protocol.parse_request "@merge w v" with
+  | Result.Error _ -> ()
+  | Result.Ok _ -> Alcotest.fail "bad @merge must be rejected");
   ok "@close" Protocol.Close;
   ok "@ping" Protocol.Ping;
   ok "@quit" Protocol.Quit;
@@ -406,7 +422,7 @@ let service_lifecycle () =
   let _, io = mem_repo () in
   let t = service ~config:(quick_config ()) io in
   let c = Service.connect t in
-  Alcotest.(check (list string)) "list" [ "v" ] (req_ok t c "@list");
+  Alcotest.(check (list string)) "list" [ "v root era 0" ] (req_ok t c "@list");
   ignore (req_ok t c "@ping");
   Alcotest.(check bool) "command without a session refused" true
     (Str_contains.contains (req_err t c "concepts") "@open");
@@ -1101,6 +1117,27 @@ let socket_end_to_end () =
                (Io.unix.Io.read_file
                   (Filename.concat dir "variants/night/log.ops"))
                "over_the_wire");
+          (* the branch/merge round trip over the same wire *)
+          expect_ok "@close";
+          expect_ok "@branch night day";
+          expect_ok "@open day";
+          expect_ok "focus ww:Person";
+          expect_ok (apply_line "on_the_branch");
+          expect_ok "@close";
+          let merged = roundtrip "@merge day into night" in
+          if not (List.mem "!ok" merged) then
+            Alcotest.failf "@merge over the wire: %s"
+              (String.concat " | " merged);
+          Alcotest.(check bool) "merge report crosses the socket" true
+            (List.exists
+               (fun l ->
+                 Str_contains.contains l "merge report: day into night")
+               merged);
+          Alcotest.(check bool) "merged op durable behind the socket" true
+            (Str_contains.contains
+               (Io.unix.Io.read_file
+                  (Filename.concat dir "variants/night/log.ops"))
+               "on_the_branch");
           expect_ok "@quit";
           Server.Client.close client;
           (* a second client arrives, then the server stops underneath it *)
@@ -1640,6 +1677,386 @@ let snapshot_isolation_storm () =
         (Atomic.get reads > 0);
       ignore (Service.shutdown t))
 
+(* --- branch and merge: optimistic concurrent design ------------------------ *)
+
+let body_contains body needle =
+  List.exists (fun l -> Str_contains.contains l needle) body
+
+(* "branched w from v@N" -> N *)
+let fork_of_branch_body body =
+  match
+    List.find_map
+      (fun l ->
+        match String.rindex_opt l '@' with
+        | Some i when Str_contains.contains l "branched" ->
+            int_of_string_opt
+              (String.sub l (i + 1) (String.length l - i - 1))
+        | _ -> None)
+      body
+  with
+  | Some n -> n
+  | None ->
+      Alcotest.failf "branch response carries no fork stamp: %s"
+        (String.concat " | " body)
+
+(* The lineage listing (satellite): one deterministic line per variant —
+   name, parent@stamp or root, era — sorted, pinned to the byte. *)
+let branch_lineage_listing () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "pre_fork"));
+  ignore (req_ok t c "@close");
+  let body = req_ok t c "@branch v w" in
+  Alcotest.(check bool) "response announces parent and fork" true
+    (body_contains body "branched w from v@");
+  let fork = fork_of_branch_body body in
+  Alcotest.(check int) "forked at the parent's tip" 2 fork;
+  Alcotest.(check (list string)) "pinned lineage listing"
+    [ "v root era 0"; "w v@2 era 0" ]
+    (req_ok t c "@list");
+  (* @at forks at a historical point; the stamp is the branch point *)
+  let body = req_ok t c "@branch v x @at 0" in
+  Alcotest.(check int) "@at 0 forks before the first op" 0
+    (fork_of_branch_body body);
+  Alcotest.(check (list string)) "listing stays sorted and deterministic"
+    [ "v root era 0"; "w v@2 era 0"; "x v@0 era 0" ]
+    (req_ok t c "@list");
+  (* the historical child really lacks the parent's later op *)
+  ignore (req_ok t c "@open x readonly");
+  Alcotest.(check bool) "x predates pre_fork" false
+    (body_contains (req_ok t c "log") "pre_fork");
+  (* refusals: unknown parent, duplicate child *)
+  Alcotest.(check bool) "unknown parent refused" true
+    (Str_contains.contains (req_err t c "@branch ghost y") "ghost");
+  Alcotest.(check bool) "existing child refused" true
+    (Str_contains.contains (req_err t c "@branch v w") "exists");
+  ignore (Service.shutdown t)
+
+(* A branched child's published stamp never falls below its fork stamp:
+   a reader attaching to the fresh copy sees [#version >= fork], not a
+   from-1 restart (satellite). *)
+let branch_child_version_floor () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "one"));
+  ignore (req_ok t c (apply_line "two"));
+  ignore (req_ok t c (apply_line "three"));
+  ignore (req_ok t c "@close");
+  let r = Service.request t c "@branch v w" in
+  let fork =
+    match r.Protocol.status with
+    | Protocol.Ok -> fork_of_branch_body r.Protocol.body
+    | _ -> Alcotest.failf "branch failed: %s" (Protocol.to_string r)
+  in
+  Alcotest.(check bool) "fork stamp covers the parent's ops" true (fork >= 3);
+  (match r.Protocol.version with
+  | Some v when v >= fork -> ()
+  | v ->
+      Alcotest.failf "branch published w at %s, below fork %d"
+        (match v with Some v -> string_of_int v | None -> "none")
+        fork);
+  (* a fresh readonly reader reports at least the fork stamp too *)
+  let ro = Service.connect t in
+  let r = Service.request t ro "@open w readonly" in
+  (match (r.Protocol.status, r.Protocol.version) with
+  | Protocol.Ok, Some v when v >= fork -> ()
+  | Protocol.Ok, v ->
+      Alcotest.failf "reader attached at %s, below fork %d"
+        (match v with Some v -> string_of_int v | None -> "none")
+        fork
+  | _ -> Alcotest.failf "readonly attach failed: %s" (Protocol.to_string r));
+  ignore (Service.shutdown t)
+
+(* The full optimistic-concurrency round trip: fork, design independently
+   on both sides, dry-run, merge.  The clean branch op lands on the
+   destination; the branch itself is never written. *)
+let merge_round_trip () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "pre_fork"));
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@branch v w");
+  ignore (req_ok t c "@open w");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "on_branch"));
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "on_base"));
+  ignore (req_ok t c "@close");
+  (* dry run: the report comes back, nothing is written *)
+  let dry = req_ok t c "@merge w into v --dry-run" in
+  Alcotest.(check bool) "dry run labelled" true
+    (body_contains dry "merge report: w into v (dry run)");
+  Alcotest.(check bool) "dry run classifies the branch op clean" true
+    (body_contains dry "1 clean");
+  Alcotest.(check bool) "dry run writes nothing" false
+    (Str_contains.contains (io.Io.read_file "/repo/variants/v/log.ops") "on_branch");
+  (* the real merge: durable on the destination, branch untouched *)
+  let body = req_ok t c "@merge w into v" in
+  Alcotest.(check bool) "merge reports" true
+    (body_contains body "merge report: w into v");
+  Alcotest.(check bool) "merged op durable on the destination" true
+    (Str_contains.contains (io.Io.read_file "/repo/variants/v/log.ops") "on_branch");
+  Alcotest.(check bool) "the branch is never written by a merge" false
+    (Str_contains.contains (io.Io.read_file "/repo/variants/w/log.ops") "on_base");
+  (* a designer on v sees both lines of development *)
+  ignore (req_ok t c "@open v");
+  let log = req_ok t c "log" in
+  Alcotest.(check bool) "merged history: base op" true
+    (body_contains log "on_base");
+  Alcotest.(check bool) "merged history: branch op" true
+    (body_contains log "on_branch");
+  (* merging a variant into itself is refused *)
+  Alcotest.(check bool) "self-merge refused" true
+    (Str_contains.contains (req_err t c "@merge v into v") "itself");
+  (* the merge counters moved, and the trace shows a rebase phase *)
+  let sn = Obs.snapshot (Service.obs t) in
+  (match List.assoc_opt "swsd.merge.clean_total" sn.Obs.sn_counters with
+  | Some n when n >= 2 -> () (* dry run + real merge *)
+  | v ->
+      Alcotest.failf "clean merges miscounted: %s"
+        (match v with Some n -> string_of_int n | None -> "absent"));
+  Alcotest.(check bool) "rebase phase traced" true
+    (Str_contains.contains
+       (String.concat "\n" (req_ok t c "@stats"))
+       "rebase=");
+  ignore (Service.shutdown t)
+
+(* The paper's semantic conflict, end to end: the base deletes the type
+   the branch decorated.  The merge still answers !ok — the conflict is
+   *reported* in the impact report, never silently applied. *)
+let merge_conflict_reported () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "pre_fork"));
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@branch v w");
+  ignore (req_ok t c "@open w");
+  ignore (req_ok t c "focus ww:Person");
+  ignore
+    (req_ok t c "apply add_attribute(Course, string, 8, on_branch)");
+  ignore (req_ok t c (apply_line "also_clean"));
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c "apply delete_type_definition(Course)");
+  ignore (req_ok t c "@close");
+  let r = Service.request t c "@merge w into v" in
+  (match r.Protocol.status with
+  | Protocol.Ok -> ()
+  | _ ->
+      Alcotest.failf "a conflicted merge still reports with !ok: %s"
+        (Protocol.to_string r));
+  let body = r.Protocol.body in
+  Alcotest.(check bool) "impact report flags the conflict" true
+    (body_contains body "CONFLICT");
+  Alcotest.(check bool) "tallies one clean, one conflict" true
+    (body_contains body "1 clean" && body_contains body "1 conflict(s)");
+  (* the conflicted op never reached the destination; the clean one did *)
+  let journal = io.Io.read_file "/repo/variants/v/log.ops" in
+  Alcotest.(check bool) "conflicted op not applied" false
+    (Str_contains.contains journal "on_branch");
+  Alcotest.(check bool) "clean op applied" true
+    (Str_contains.contains journal "also_clean");
+  let sn = Obs.snapshot (Service.obs t) in
+  (match List.assoc_opt "swsd.merge.conflict_total" sn.Obs.sn_counters with
+  | Some n when n >= 1 -> ()
+  | v ->
+      Alcotest.failf "conflicts miscounted: %s"
+        (match v with Some n -> string_of_int n | None -> "absent"));
+  ignore (Service.shutdown t)
+
+(* Lineage on the read side: @query lineage answers from the variant's
+   materialized view; branches-of is repository-scoped. *)
+let lineage_queries () =
+  let _, io = mem_repo () in
+  let t = service ~config:(quick_config ()) io in
+  let c = Service.connect t in
+  ignore (req_ok t c "@open v");
+  ignore (req_ok t c "focus ww:Person");
+  ignore (req_ok t c (apply_line "pre_fork"));
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@branch v w");
+  ignore (req_ok t c "@open v");
+  Alcotest.(check (list string)) "a root variant has no parent" [ "root" ]
+    (req_ok t c "@query lineage");
+  Alcotest.(check (list string)) "branches of the root" [ "w fork 2" ]
+    (req_ok t c "@query branches of v");
+  ignore (req_ok t c "@close");
+  ignore (req_ok t c "@open w");
+  let lines = req_ok t c "@query lineage" in
+  Alcotest.(check bool) "child names its parent and fork" true
+    (body_contains lines "parent v@2");
+  Alcotest.(check bool) "child points at the fork diff" true
+    (body_contains lines "diff since fork: @query diff 2");
+  Alcotest.(check (list string)) "the child has no branches yet" []
+    (req_ok t c "@query branches of w");
+  Alcotest.(check bool) "unknown variant refused" true
+    (Str_contains.contains (req_err t c "@query branches of ghost") "ghost");
+  ignore (Service.shutdown t)
+
+(* --- chaos: crash in the middle of a merge --------------------------------- *)
+
+let merge_recovered_steps io variant =
+  match
+    Store.load_session (Store.open_dir ~io ("/repo/variants/" ^ variant))
+  with
+  | Result.Ok s ->
+      List.map
+        (fun (st : Core.Session.step) ->
+          Core.Op_printer.to_string st.Core.Session.st_op)
+        (Core.Session.log s)
+  | Result.Error e -> Alcotest.fail (Store.load_error_to_string e)
+
+(* One schedule: build divergent histories cleanly, then attempt the
+   merge over a filesystem that crashes at a seed-chosen syscall while a
+   seed-chosen subset of merge requests is killed mid-flight by the
+   chaos hook; group-commit flush policy varies by seed so the crash
+   lands in every phase of the write pipeline.  Then power loss, and the
+   audit: both variants must fsck back to a session (salvageable — exit
+   0/1, never 2), every acked op must survive — including the merged
+   branch ops iff the merge was acknowledged — and the child's lineage
+   record must still name its parent. *)
+let merge_chaos_schedule seed =
+  let m = Io.mem_create () in
+  let plain = Io.locked (Io.mem_io m) in
+  (match Repo.init ~io:plain "/repo" (tiny ()) with
+  | Result.Ok repo -> (
+      match Repo.create_variant repo "v" with
+      | Result.Ok _ -> ()
+      | Result.Error e -> Alcotest.fail e)
+  | Result.Error e -> Alcotest.fail e);
+  (* divergent histories, no faults: these acks are durable ground truth *)
+  let setup = service ~config:(quick_config ()) plain in
+  let c = Service.connect setup in
+  ignore (req_ok setup c "@open v");
+  ignore (req_ok setup c "focus ww:Person");
+  ignore (req_ok setup c (apply_line "pre_fork"));
+  ignore (req_ok setup c "@close");
+  ignore (req_ok setup c "@branch v w");
+  ignore (req_ok setup c "@open w");
+  ignore (req_ok setup c "focus ww:Person");
+  ignore (req_ok setup c (apply_line "w_one"));
+  ignore (req_ok setup c (apply_line "w_two"));
+  ignore (req_ok setup c "@close");
+  ignore (req_ok setup c "@open v");
+  ignore (req_ok setup c "focus ww:Person");
+  ignore (req_ok setup c (apply_line "v_ahead"));
+  ignore (req_ok setup c "@close");
+  ignore (Service.shutdown setup);
+  (* now the faults: crash syscall + mid-request kills, varied by seed *)
+  let faulted, _ = Io.faulty ~crash_at:(3 + (seed * 13 mod 90)) (Io.mem_io m) in
+  let io = Io.locked faulted in
+  let hook ~variant:_ ~line =
+    if
+      Str_contains.contains line "@merge"
+      && Hashtbl.hash (seed, line) mod 3 = 0
+    then failwith "chaos: merge killed mid-request"
+  in
+  let config =
+    quick_config ~deadline:10.0 ~threshold:max_int ~chaos_hook:hook
+      ~flush_max_batch:(1 + (seed mod 4))
+      ~flush_linger:(float_of_int (seed mod 3) /. 1000.0)
+      ~flush_on_idle:(seed mod 2 = 0) ()
+  in
+  let t = service ~config io in
+  let c = Service.connect t in
+  let merge_acked = ref false in
+  let dry = seed mod 5 = 0 in
+  let line =
+    if dry then "@merge w into v --dry-run" else "@merge w into v"
+  in
+  (let rec attempt k =
+     if k > 0 && not !merge_acked then begin
+       (match (Service.request t c line).Protocol.status with
+       | Protocol.Ok -> merge_acked := true
+       | _ -> Thread.delay 0.001);
+       attempt (k - 1)
+     end
+   in
+   attempt 3);
+  ignore (Service.shutdown t);
+  (* power loss; audit with the fault injector unplugged *)
+  Io.mem_crash ~flush:seed m;
+  List.iter
+    (fun variant ->
+      let store = Store.open_dir ~io:plain ("/repo/variants/" ^ variant) in
+      let report = Store.fsck ~salvage:true store in
+      (match report.Store.fsck_session with
+      | Some _ -> ()
+      | None ->
+          Alcotest.failf "seed %d: %s unrecoverable after merge crash" seed
+            variant);
+      match (Store.fsck store).Store.fsck_issues with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "seed %d: %s not clean after salvage: %s" seed variant
+            (String.concat "; " issues))
+    [ "v"; "w" ];
+  let has variant needle =
+    List.exists
+      (fun s -> Str_contains.contains s needle)
+      (merge_recovered_steps plain variant)
+  in
+  List.iter
+    (fun op ->
+      if not (has "v" op) then
+        Alcotest.failf "seed %d: acked op %s lost from v" seed op)
+    [ "pre_fork"; "v_ahead" ];
+  List.iter
+    (fun op ->
+      if not (has "w" op) then
+        Alcotest.failf "seed %d: acked op %s lost from w" seed op)
+    [ "pre_fork"; "w_one"; "w_two" ];
+  if !merge_acked && not dry then
+    List.iter
+      (fun op ->
+        if not (has "v" op) then
+          Alcotest.failf "seed %d: acked merge lost %s" seed op)
+      [ "w_one"; "w_two" ];
+  if !merge_acked && dry then
+    List.iter
+      (fun op ->
+        if has "v" op then
+          Alcotest.failf "seed %d: dry-run merge wrote %s" seed op)
+      [ "w_one"; "w_two" ];
+  match Repo.open_dir ~io:plain "/repo" with
+  | Result.Error e -> Alcotest.fail e
+  | Result.Ok repo -> (
+      match Repo.variant_lineage repo "w" with
+      | Some ("v", _) -> ()
+      | Some _ | None ->
+          Alcotest.failf "seed %d: lineage lost in the crash" seed)
+
+(* 200 schedules by default; the nightly [@merge-chaos] alias scales to
+   1000 via SWSD_MERGE_CHAOS_SCHEDULES. *)
+let merge_chaos_schedules =
+  match Sys.getenv_opt "SWSD_MERGE_CHAOS_SCHEDULES" with
+  | Some s -> (
+      match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+let merge_chaos_property () =
+  with_watchdog
+    ~secs:(300.0 +. (float_of_int merge_chaos_schedules /. 2.0))
+    ~name:"merge chaos schedules" (fun () ->
+      for seed = 0 to merge_chaos_schedules - 1 do
+        merge_chaos_schedule seed
+      done)
+
 (* --- @stats (observability end to end) ------------------------------------- *)
 
 let stats_snapshot () =
@@ -1763,6 +2180,20 @@ let tests =
       (Printf.sprintf "chaos: %d crash/kill schedules recover every acked op"
          chaos_soak_schedules)
       `Slow chaos_property;
+    test "branch: @list shows lineage, pinned and deterministic"
+      branch_lineage_listing;
+    test "branch: a child's #version never falls below its fork stamp"
+      branch_child_version_floor;
+    test "merge: branch, design on both sides, dry-run, merge, audit"
+      merge_round_trip;
+    test "merge: a semantic conflict is reported, never silently applied"
+      merge_conflict_reported;
+    test "query: lineage and branches-of answer from views" lineage_queries;
+    Alcotest.test_case
+      (Printf.sprintf
+         "chaos: %d crash-mid-merge schedules leave both variants salvageable"
+         merge_chaos_schedules)
+      `Slow merge_chaos_property;
     test "server: socket round trip, stop removes the socket" socket_end_to_end;
     test "server: SIGTERM drains; repl --save fails fast on a served variant"
       sigterm_drains;

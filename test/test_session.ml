@@ -144,7 +144,7 @@ let replay_matches_session () =
   let steps =
     List.map (fun (st : Session.step) -> (st.st_kind, st.st_op)) (Session.log s)
   in
-  match Session.replay (Util.university ()) steps with
+  match Core.Oplog.replay (Util.university ()) steps with
   | Ok replayed ->
       Alcotest.check Util.schema_testable "same workspace"
         (Session.workspace s) (Session.workspace replayed)
@@ -152,7 +152,7 @@ let replay_matches_session () =
 
 let replay_stops_on_failure () =
   match
-    Session.replay (Util.university ())
+    Core.Oplog.replay (Util.university ())
       [ (Core.Concept.Wagon_wheel, Util.parse_op "delete_type_definition(Ghost)") ]
   with
   | Error _ -> ()
@@ -173,7 +173,7 @@ let consistency_report_warnings_only () =
 let log_text_replayable () =
   let s = Util.session_of (Util.university ()) in
   let s, _ = Util.apply_ok s "add_type_definition(Lab)" in
-  let text = Session.log_text s in
+  let text = Core.Oplog.(render (of_session s)) in
   Alcotest.(check bool) "contains the op" true
     (Str_contains.contains text "add_type_definition(Lab)")
 
